@@ -1,0 +1,203 @@
+//! The closed-form security analysis of Section VI.
+//!
+//! Parameters follow Table III: `I` sets, `W` ways, `T` tag entropy, `O`
+//! offset entropy, `Ω` target entropy. All complexities are the number of
+//! monitorable events (mispredictions or evictions) an attacker must
+//! trigger for a 50 % success probability.
+
+/// Structure geometry for the analysis (Table III parameters).
+#[derive(Clone, Copy, Debug)]
+pub struct BpuGeometry {
+    /// BTB sets (I).
+    pub btb_sets: u64,
+    /// BTB ways (W).
+    pub btb_ways: u64,
+    /// BTB tag entropy |T| = 2^tag_bits.
+    pub btb_tags: u64,
+    /// BTB offset entropy |O| = 2^offset_bits.
+    pub btb_offsets: u64,
+    /// Stored-target entropy |Ω| = 2^32 (32 stored bits).
+    pub target_space: u64,
+    /// PHT sets.
+    pub pht_sets: u64,
+    /// RSB entries.
+    pub rsb_entries: u64,
+}
+
+impl BpuGeometry {
+    /// The Skylake-like baseline: BTB 512×8 with 8-bit tags and 5-bit
+    /// offsets, 16k PHT, 16-entry RSB (Section VI-5).
+    pub fn skylake() -> Self {
+        BpuGeometry {
+            btb_sets: 512,
+            btb_ways: 8,
+            btb_tags: 1 << 8,
+            btb_offsets: 1 << 5,
+            target_space: 1 << 32,
+            pht_sets: 1 << 14,
+            rsb_entries: 16,
+        }
+    }
+}
+
+/// Cost of a reuse-based attack per Equation (2): mispredictions `M` and
+/// evictions `E` incurred while growing the collision-free probe set `SB`
+/// to `n` branches over a structure with `i` sets and `to` tag·offset
+/// entropy.
+pub fn eq2_reuse_cost(i: f64, to: f64, n: f64) -> (f64, f64) {
+    use std::f64::consts::PI;
+    let pairs = n * (n + 1.0) / 2.0;
+    let m = pairs / ((PI / 2.0 * i).sqrt() * (PI / 2.0 * to).sqrt());
+    let e = (i * to) / 2.0 - i * 8.0;
+    (m, e.max(0.0))
+}
+
+/// Equation (3): probability of randomly guessing `w` branches that share
+/// one set among `i` sets.
+pub fn eq3_naive_eviction_set(i: f64, w: f64) -> f64 {
+    1.0 / i.powf(w - 1.0)
+}
+
+/// Equation (4): evictions generated while building eviction sets with GEM
+/// for attack success probability `p`.
+pub fn eq4_gem_evictions(i: f64, w: f64, p: f64) -> f64 {
+    let e = std::f64::consts::E;
+    p * i * (p * i * w + (w + 1.0) * (1.0 - 1.0 / e) * 3.0)
+}
+
+/// The §VI-5 complexity table for one geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct ComplexityTable {
+    /// BTB reuse-based side channel: mispredictions (paper: ≈ 6.9×10⁸).
+    pub btb_reuse_misp: f64,
+    /// BTB reuse-based side channel: evictions (paper: ≈ 2²¹).
+    pub btb_reuse_ev: f64,
+    /// PHT reuse (BranchScope-class): mispredictions (paper: ≈ 8.38×10⁵).
+    pub pht_reuse_misp: f64,
+    /// BTB eviction-based side channel: evictions (paper: ≈ 5.3×10⁵).
+    pub btb_eviction_ev: f64,
+    /// Spectre-v2 / SpectreRSB target injection: mispredictions
+    /// (paper: ≈ 2³¹).
+    pub injection_misp: f64,
+}
+
+/// Computes the §VI-5 table.
+///
+/// Two conventions from the paper are reproduced verbatim:
+/// * BTB reuse uses `n = I·T·O / 2` with both collision factors;
+/// * PHT reuse uses `n = I` with the index factor only (the PHT has no
+///   tags or offsets, so the tag·offset term degenerates).
+pub fn complexity_table(g: &BpuGeometry) -> ComplexityTable {
+    use std::f64::consts::PI;
+    let i = g.btb_sets as f64;
+    let to = (g.btb_tags * g.btb_offsets) as f64;
+    let n_btb = i * to / 2.0;
+    let (btb_m, btb_e) = eq2_reuse_cost(i, to, n_btb);
+
+    let pht_n = g.pht_sets as f64;
+    let pht_m = pht_n * (pht_n + 1.0) / 2.0 / (PI / 2.0 * pht_n).sqrt();
+
+    ComplexityTable {
+        btb_reuse_misp: btb_m,
+        btb_reuse_ev: btb_e,
+        pht_reuse_misp: pht_m,
+        btb_eviction_ev: eq4_gem_evictions(i, g.btb_ways as f64, 0.5),
+        injection_misp: g.target_space as f64 / 2.0,
+    }
+}
+
+/// Re-randomization thresholds derived from the table: the lowest
+/// misprediction- and eviction-based complexities scaled by `r`
+/// (Section VII-A).
+pub fn thresholds(g: &BpuGeometry, r: f64) -> (u64, u64) {
+    let t = complexity_table(g);
+    let min_misp = t.pht_reuse_misp.min(t.btb_reuse_misp).min(t.injection_misp);
+    let min_ev = t.btb_eviction_ev.min(t.btb_reuse_ev);
+    (
+        ((r * min_misp).round() as u64).max(1),
+        ((r * min_ev).round() as u64).max(1),
+    )
+}
+
+/// Probability that one attacker branch collides with a static victim
+/// branch: `P(A⇒V) = (1/I)·(1/(T·O))` (Section VI-A2).
+pub fn collision_probability(g: &BpuGeometry) -> f64 {
+    1.0 / (g.btb_sets as f64) / ((g.btb_tags * g.btb_offsets) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_reuse_matches_paper() {
+        let t = complexity_table(&BpuGeometry::skylake());
+        assert!(
+            (t.btb_reuse_misp / 6.9e8 - 1.0).abs() < 0.03,
+            "BTB reuse MISP {} vs paper 6.9e8",
+            t.btb_reuse_misp
+        );
+        assert!(
+            (t.btb_reuse_ev / 2f64.powi(21) - 1.0).abs() < 0.01,
+            "BTB reuse EV {} vs paper 2^21",
+            t.btb_reuse_ev
+        );
+    }
+
+    #[test]
+    fn pht_reuse_matches_paper() {
+        let t = complexity_table(&BpuGeometry::skylake());
+        assert!(
+            (t.pht_reuse_misp / 8.38e5 - 1.0).abs() < 0.01,
+            "PHT reuse MISP {} vs paper 8.38e5",
+            t.pht_reuse_misp
+        );
+    }
+
+    #[test]
+    fn gem_eviction_matches_paper() {
+        let t = complexity_table(&BpuGeometry::skylake());
+        assert!(
+            (t.btb_eviction_ev / 5.3e5 - 1.0).abs() < 0.01,
+            "eviction EV {} vs paper 5.3e5",
+            t.btb_eviction_ev
+        );
+    }
+
+    #[test]
+    fn injection_is_2_pow_31() {
+        let t = complexity_table(&BpuGeometry::skylake());
+        assert_eq!(t.injection_misp, 2f64.powi(31));
+    }
+
+    #[test]
+    fn thresholds_match_section_7a() {
+        let g = BpuGeometry::skylake();
+        let (m01, e01) = thresholds(&g, 0.1);
+        // Paper: 8.3×10⁴ and 5.3×10⁴ at r = 0.1.
+        assert!((m01 as f64 / 8.38e4 - 1.0).abs() < 0.02, "misp {m01}");
+        assert!((e01 as f64 / 5.3e4 - 1.0).abs() < 0.02, "ev {e01}");
+        let (m005, e005) = thresholds(&g, 0.05);
+        assert!((m005 as f64 / 4.15e4 - 1.0).abs() < 0.02, "misp {m005}");
+        assert!((e005 as f64 / 2.65e4 - 1.0).abs() < 0.02, "ev {e005}");
+    }
+
+    #[test]
+    fn eq3_is_astronomically_small() {
+        let p = eq3_naive_eviction_set(512.0, 8.0);
+        assert!(p < 1e-18, "naive eviction-set guessing must be hopeless: {p}");
+    }
+
+    #[test]
+    fn collision_probability_tiny() {
+        let p = collision_probability(&BpuGeometry::skylake());
+        assert!((p - 1.0 / (512.0 * 8192.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_monotone_in_n() {
+        let (m1, _) = eq2_reuse_cost(512.0, 8192.0, 1e5);
+        let (m2, _) = eq2_reuse_cost(512.0, 8192.0, 2e5);
+        assert!(m2 > m1);
+    }
+}

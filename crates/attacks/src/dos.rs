@@ -1,0 +1,135 @@
+//! Denial-of-service attacks on the BPU (Section VI-A6).
+//!
+//! The attacker does not try to read secrets, only to slow the victim
+//! down: by evicting BPU data behind the victim's hot branches
+//! (eviction-based DoS) or by filling the BTB with bogus targets the
+//! victim might speculate to (reuse-based DoS).
+
+use crate::harness::AttackBpu;
+use stbpu_bpu::{EntityId, VirtAddr};
+
+/// Result of a DoS campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct DosResult {
+    /// Rounds in which the victim's hot branch missed (was slowed down).
+    pub victim_misses: u32,
+    /// Rounds in which the victim *reused* attacker-planted data
+    /// (speculating to a wrong address — reuse-based DoS).
+    pub victim_poisoned: u32,
+    /// Total rounds.
+    pub rounds: u32,
+}
+
+/// Eviction-based DoS: each round the victim executes one hot branch; the
+/// attacker then floods `flood` branches, trying to displace it.
+/// On the baseline the attacker knows the victim's set and floods exactly
+/// it; under STBPU it must flood blindly.
+pub fn eviction_dos(bpu: &mut AttackBpu, targeted: bool, flood: usize, rounds: u32) -> DosResult {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let hot_pc = 0x0040_5000u64;
+    let hot_tgt = 0x0041_0000u64;
+    let mut victim_misses = 0;
+    bpu.switch_to(victim);
+    bpu.jump(hot_pc, hot_tgt);
+    for r in 0..rounds {
+        bpu.switch_to(attacker);
+        for k in 0..flood {
+            let pc = if targeted {
+                // Baseline knowledge: same index, different tags.
+                hot_pc + (((k as u64 % 15) + 1) << 14) + (k as u64 / 15) * 0x200_0000
+            } else {
+                // Blind flood across the address space.
+                0x0100_0000 + (r as u64 * flood as u64 + k as u64) * 0x2_7961
+            };
+            bpu.jump(pc, 0x0900_0000);
+        }
+        bpu.switch_to(victim);
+        let o = bpu.jump(hot_pc, hot_tgt);
+        if o.predicted_target != Some(VirtAddr::new(hot_tgt)) {
+            victim_misses += 1;
+        }
+    }
+    DosResult { victim_misses, victim_poisoned: 0, rounds }
+}
+
+/// Reuse-based DoS: the attacker pre-fills entries aliasing the victim's
+/// branches with bogus targets, hoping the victim speculates down wrong
+/// paths. Under STBPU a hit would decrypt to garbage *and* the aliasing
+/// itself is gone.
+pub fn reuse_dos(bpu: &mut AttackBpu, rounds: u32) -> DosResult {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let mut victim_poisoned = 0;
+    let mut victim_misses = 0;
+    for r in 0..rounds {
+        let pc = 0x0040_0000 + (r as u64) * 0x88;
+        let bogus = 0x0990_0000 + (r as u64) * 4;
+        let legit = 0x0042_0000 + (r as u64) * 4;
+        bpu.switch_to(attacker);
+        bpu.jump(pc, bogus);
+        bpu.switch_to(victim);
+        let o = bpu.jump(pc, legit);
+        match o.predicted_target {
+            Some(t) if t == VirtAddr::new(legit) => {}
+            Some(_) => victim_poisoned += 1,
+            None => victim_misses += 1,
+        }
+    }
+    DosResult { victim_misses, victim_poisoned, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbpu_core::StConfig;
+
+    #[test]
+    fn baseline_targeted_eviction_dos_is_devastating() {
+        let mut bpu = AttackBpu::baseline();
+        let r = eviction_dos(&mut bpu, true, 16, 40);
+        assert!(
+            r.victim_misses as f64 / r.rounds as f64 > 0.9,
+            "targeted flood must displace the victim: {}/{}",
+            r.victim_misses,
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn stbpu_blind_eviction_dos_is_weak_at_equal_budget() {
+        let mut bpu = AttackBpu::stbpu(StConfig::default(), 19);
+        let r = eviction_dos(&mut bpu, false, 16, 40);
+        let miss_rate = r.victim_misses as f64 / r.rounds as f64;
+        assert!(
+            miss_rate < 0.5,
+            "blind flood of 16 lines into 4096 entries must mostly miss: {}/{}",
+            r.victim_misses,
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn baseline_reuse_dos_poisons_victim_speculation() {
+        let mut bpu = AttackBpu::baseline();
+        let r = reuse_dos(&mut bpu, 64);
+        assert!(
+            r.victim_poisoned > 56,
+            "baseline reuse DoS must redirect speculation: {}",
+            r.victim_poisoned
+        );
+    }
+
+    #[test]
+    fn stbpu_reuse_dos_causes_no_wrong_path_speculation() {
+        let mut bpu = AttackBpu::stbpu(StConfig::default(), 23);
+        let r = reuse_dos(&mut bpu, 128);
+        // The victim may miss (cold) but must essentially never speculate
+        // to an attacker-resident address.
+        assert!(
+            r.victim_poisoned <= 2,
+            "STBPU must not let bogus entries redirect the victim: {}",
+            r.victim_poisoned
+        );
+    }
+}

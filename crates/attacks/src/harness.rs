@@ -1,0 +1,253 @@
+//! The attack harness: a transparent BPU instance shared by attacker and
+//! victim "code", with the storage discipline of the full models.
+//!
+//! Unlike the opaque [`stbpu_bpu::Bpu`] models, the harness exposes what an
+//! attacker measures through timing in reality — whether *their own* branch
+//! was predicted and to where — while keeping the defender's monitoring
+//! MSRs live (mispredictions and evictions reported to the mapper, which
+//! re-randomizes secret tokens when thresholds trip).
+
+use stbpu_bpu::{
+    BaselineMapper, BranchKind, BranchRecord, Btb, BtbConfig, EntityId, HistoryCtx, Mapper, Pht,
+    VirtAddr, PHT_ENTRIES,
+};
+use stbpu_core::{StConfig, StMapper};
+
+/// What one executed branch observed — the attacker's "timing" view.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOutcome {
+    /// Target the BPU predicted before resolution (None = BTB/RSB miss).
+    pub predicted_target: Option<VirtAddr>,
+    /// Direction the PHT predicted (conditionals only).
+    pub predicted_taken: Option<bool>,
+    /// The branch mispredicted (direction or target).
+    pub mispredicted: bool,
+    /// This branch's BTB insertion evicted a valid entry.
+    pub evicted: bool,
+}
+
+/// A transparent BPU under attack.
+pub struct AttackBpu {
+    mapper: Box<dyn Mapper>,
+    btb: Btb,
+    pht: Pht,
+    hist: HistoryCtx,
+    current: EntityId,
+}
+
+/// Tag-space bit separating BTB mode-two entries (mirrors the full model).
+const MODE2_BIT: u64 = 1 << 62;
+
+impl AttackBpu {
+    /// A baseline (unprotected) BPU.
+    pub fn baseline() -> Self {
+        Self::with_mapper(Box::new(BaselineMapper::new()))
+    }
+
+    /// An STBPU-protected BPU with the given configuration.
+    pub fn stbpu(cfg: StConfig, seed: u64) -> Self {
+        Self::with_mapper(Box::new(StMapper::new(cfg, seed)))
+    }
+
+    fn with_mapper(mapper: Box<dyn Mapper>) -> Self {
+        AttackBpu {
+            mapper,
+            btb: Btb::new(BtbConfig::skylake()),
+            pht: Pht::new(PHT_ENTRIES),
+            hist: HistoryCtx::new(),
+            current: EntityId::user(0),
+        }
+    }
+
+    /// Switches the running software entity (context or mode switch).
+    pub fn switch_to(&mut self, entity: EntityId) {
+        self.current = entity;
+        self.mapper.set_entity(0, entity);
+    }
+
+    /// The entity currently running.
+    pub fn current_entity(&self) -> EntityId {
+        self.current
+    }
+
+    /// Number of secret-token re-randomizations so far (0 on baseline).
+    pub fn rerandomizations(&self) -> u64 {
+        self.mapper.rerandomizations()
+    }
+
+    /// Total BTB evictions observed by the structure.
+    pub fn btb_evictions(&self) -> u64 {
+        self.btb.evictions()
+    }
+
+    /// Direct access to the PHT counter backing `pc` (the side-channel
+    /// observable BranchScope reconstructs via timing).
+    pub fn pht_counter(&self, pc: u64) -> u8 {
+        let idx = self.mapper.pht1(0, pc) % self.pht.len();
+        self.pht.counter(idx)
+    }
+
+    /// Executes one branch of the current entity and returns what its
+    /// owner could observe.
+    pub fn exec(&mut self, rec: &BranchRecord) -> ExecOutcome {
+        let pc = rec.pc.raw();
+        let coord = self.mapper.btb1(0, pc);
+        let set = coord.index % self.btb.config().sets;
+
+        // --- Predict ---
+        let predicted_taken = if rec.kind.is_conditional() {
+            let idx = self.mapper.pht1(0, pc) % self.pht.len();
+            Some(self.pht.predict(idx))
+        } else {
+            None
+        };
+        let predicted_target = match rec.kind {
+            BranchKind::Return => match self.hist.rsb.pop() {
+                Some(p) => {
+                    Some(VirtAddr::extend(rec.pc, self.mapper.decrypt_target(0, p as u32)))
+                }
+                // Underflow: fall back to the indirect predictor
+                // (Section II-A) — the path the RSB eviction-away attack
+                // poisons.
+                None => {
+                    let tag2 = self.mapper.btb2_tag(0, self.hist.bhb());
+                    self.btb
+                        .lookup(set, tag2 | MODE2_BIT, coord.offset)
+                        .or_else(|| self.btb.lookup(set, coord.tag, coord.offset))
+                        .map(|p| VirtAddr::extend(rec.pc, self.mapper.decrypt_target(0, p as u32)))
+                }
+            },
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                let tag2 = self.mapper.btb2_tag(0, self.hist.bhb());
+                self.btb
+                    .lookup(set, tag2 | MODE2_BIT, coord.offset)
+                    .or_else(|| self.btb.lookup(set, coord.tag, coord.offset))
+                    .map(|p| VirtAddr::extend(rec.pc, self.mapper.decrypt_target(0, p as u32)))
+            }
+            _ => self
+                .btb
+                .lookup(set, coord.tag, coord.offset)
+                .map(|p| VirtAddr::extend(rec.pc, self.mapper.decrypt_target(0, p as u32))),
+        };
+
+        // --- Resolve ---
+        let dir_ok = predicted_taken.map(|p| p == rec.taken).unwrap_or(true);
+        let tgt_ok = if rec.taken {
+            predicted_target == Some(rec.target)
+        } else {
+            true
+        };
+        let mispredicted = !(dir_ok && tgt_ok);
+
+        // --- Update ---
+        let mut evicted = false;
+        if rec.kind.is_conditional() {
+            let idx = self.mapper.pht1(0, pc) % self.pht.len();
+            self.pht.train(idx, rec.taken);
+        }
+        if rec.taken {
+            let payload = self.mapper.encrypt_target(0, rec.target.low32()) as u64;
+            let tag = if rec.kind.is_indirect() && !rec.kind.is_return() {
+                self.mapper.btb2_tag(0, self.hist.bhb()) | MODE2_BIT
+            } else {
+                coord.tag
+            };
+            if !rec.kind.is_return() && self.btb.insert(set, tag, coord.offset, payload).is_some()
+            {
+                evicted = true;
+            }
+            self.hist.push_edge(rec.pc, rec.target);
+        }
+        if rec.kind.is_call() {
+            let p = self.mapper.encrypt_target(0, rec.fallthrough().low32()) as u64;
+            self.hist.rsb.push(p);
+        }
+
+        // --- Monitor (strictly after mapping) ---
+        if evicted {
+            self.mapper.note_eviction(0);
+        }
+        if mispredicted {
+            self.mapper.note_misprediction(0);
+        }
+
+        ExecOutcome { predicted_target, predicted_taken, mispredicted, evicted }
+    }
+
+    /// Convenience: executes a taken direct jump.
+    pub fn jump(&mut self, pc: u64, target: u64) -> ExecOutcome {
+        self.exec(&BranchRecord::taken(pc, BranchKind::DirectJump, target))
+    }
+
+    /// Convenience: executes a conditional branch.
+    pub fn cond(&mut self, pc: u64, taken: bool) -> ExecOutcome {
+        self.exec(&BranchRecord::conditional(pc, taken, pc + 0x40))
+    }
+}
+
+impl std::fmt::Debug for AttackBpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AttackBpu {{ entity: {}, rerandomizations: {} }}",
+            self.current,
+            self.rerandomizations()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_own_branch() {
+        let mut b = AttackBpu::baseline();
+        assert!(b.jump(0x40_0000, 0x41_0000).mispredicted);
+        let o = b.jump(0x40_0000, 0x41_0000);
+        assert!(!o.mispredicted);
+        assert_eq!(o.predicted_target, Some(VirtAddr::new(0x41_0000)));
+    }
+
+    #[test]
+    fn baseline_shares_entries_across_entities() {
+        let mut b = AttackBpu::baseline();
+        b.switch_to(EntityId::user(1));
+        b.jump(0x40_0000, 0x41_0000);
+        b.switch_to(EntityId::user(2));
+        // The reuse-based collision: entity 2 sees entity 1's target.
+        let o = b.jump(0x40_0000, 0x99_0000);
+        assert_eq!(o.predicted_target, Some(VirtAddr::new(0x41_0000)));
+    }
+
+    #[test]
+    fn stbpu_isolates_entities() {
+        let mut b = AttackBpu::stbpu(StConfig::default(), 1);
+        b.switch_to(EntityId::user(1));
+        b.jump(0x40_0000, 0x41_0000);
+        b.switch_to(EntityId::user(2));
+        let o = b.jump(0x40_0000, 0x99_0000);
+        // Either a miss (different set/tag) or garbage (φ mismatch) —
+        // never the victim's plaintext target.
+        assert_ne!(o.predicted_target, Some(VirtAddr::new(0x41_0000)));
+    }
+
+    #[test]
+    fn pht_counter_is_observable() {
+        let mut b = AttackBpu::baseline();
+        b.cond(0x1234, true);
+        b.cond(0x1234, true);
+        assert!(b.pht_counter(0x1234) >= 2);
+    }
+
+    #[test]
+    fn misprediction_events_reach_the_monitor() {
+        let cfg = StConfig { r: 1.0, misp_complexity: 3.0, ..StConfig::default() };
+        let mut b = AttackBpu::stbpu(cfg, 2);
+        b.switch_to(EntityId::user(1));
+        for i in 0..16 {
+            b.jump(0x1000 + i * 0x100, 0x9000); // cold: each first exec mispredicts
+        }
+        assert!(b.rerandomizations() >= 1, "monitor must have tripped");
+    }
+}

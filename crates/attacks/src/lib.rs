@@ -1,0 +1,44 @@
+//! Collision-based BPU attack simulations and security analysis
+//! (Sections II-B, III and VI of the paper).
+//!
+//! The crate has two halves:
+//!
+//! * [`analysis`] — the closed-form security analysis of Section VI:
+//!   Equations (2)–(4), the attack-complexity table of §VI-5 (BTB reuse
+//!   ≈ 6.9×10⁸ MISP / ≈ 2²¹ EV, PHT reuse ≈ 8.38×10⁵ MISP, BTB eviction
+//!   ≈ 5.3×10⁵ EV, Spectre-v2 ≈ 2³¹ MISP) and the re-randomization
+//!   thresholds Γ = r·C they imply.
+//! * executable attacks — concrete implementations of every cell of the
+//!   Table I attack surface ([`surface`]), run against both the baseline
+//!   BPU and STBPU: reuse-based probing and BranchScope ([`reuse`]),
+//!   Spectre-v2 / SpectreRSB target injection ([`inject`]), eviction-set
+//!   construction with the GEM algorithm ([`eviction`]), same-address-space
+//!   transient trojans ([`same_space`]) and denial-of-service ([`dos`]).
+//!
+//! Attacks run on an [`harness::AttackBpu`] — a deliberately transparent
+//! BPU instance (BTB + PHT + RSB + mapper with the exact storage discipline
+//! of the full models) that lets the attacker observe predictions the way a
+//! real attacker observes timing, while the defender's monitoring MSRs
+//! count events normally.
+//!
+//! ```
+//! use stbpu_attacks::analysis;
+//! let skl = analysis::BpuGeometry::skylake();
+//! let c = analysis::complexity_table(&skl);
+//! // The paper's §VI-5 numbers:
+//! assert!((c.btb_reuse_misp / 6.9e8 - 1.0).abs() < 0.05);
+//! assert!((c.pht_reuse_misp / 8.38e5 - 1.0).abs() < 0.05);
+//! assert!((c.btb_eviction_ev / 5.3e5 - 1.0).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dos;
+pub mod eviction;
+pub mod harness;
+pub mod inject;
+pub mod reuse;
+pub mod same_space;
+pub mod surface;

@@ -1,0 +1,368 @@
+//! The full Table I attack surface, executed cell by cell against the
+//! baseline BPU and STBPU.
+//!
+//! Cells are classified by structure (BTB/PHT/RSB), event type (reuse- or
+//! eviction-based) and where the adversarial effect lands (home = in the
+//! attacker's observation, away = in the victim's execution).
+
+use crate::harness::AttackBpu;
+use crate::{inject, reuse};
+use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
+use stbpu_core::StConfig;
+
+/// BPU structure a cell targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Structure {
+    /// Branch target buffer.
+    Btb,
+    /// Pattern history table.
+    Pht,
+    /// Return stack buffer.
+    Rsb,
+}
+
+/// Collision event type and effect location.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Vector {
+    /// Reuse-based, home effect (attacker observes victim data).
+    ReuseHome,
+    /// Reuse-based, away effect (victim consumes attacker data).
+    ReuseAway,
+    /// Eviction-based, home effect.
+    EvictionHome,
+    /// Eviction-based, away effect.
+    EvictionAway,
+}
+
+/// Result of evaluating one Table I cell against both designs.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Structure under attack.
+    pub structure: Structure,
+    /// Attack vector.
+    pub vector: Vector,
+    /// Table I row description.
+    pub description: &'static str,
+    /// `None` when the cell is not applicable (PHT entries are not
+    /// evicted).
+    pub baseline_vulnerable: Option<bool>,
+    /// STBPU verdict (see `note` for channels that survive without
+    /// carrying address information).
+    pub stbpu_vulnerable: Option<bool>,
+    /// Free-form observation.
+    pub note: &'static str,
+}
+
+fn bpus(seed: u64) -> (AttackBpu, AttackBpu) {
+    (AttackBpu::baseline(), AttackBpu::stbpu(StConfig::default(), seed))
+}
+
+/// BTB eviction, home effect: the attacker primes a set and detects the
+/// victim's insertion through its own subsequent misses.
+fn btb_eviction_home(bpu: &mut AttackBpu, analytic: bool) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let victim_pc = 0x0040_3000u64;
+    bpu.switch_to(attacker);
+    let primes: Vec<u64> = if analytic {
+        crate::eviction::baseline_eviction_set(victim_pc, 8)
+    } else {
+        (0..8u64).map(|k| 0x0200_0000 + k * 0x5_1237).collect()
+    };
+    for (i, &pc) in primes.iter().enumerate() {
+        bpu.jump(pc, 0x0900_0000 + i as u64 * 8);
+    }
+    bpu.switch_to(victim);
+    bpu.jump(victim_pc, 0x0800_0000);
+    bpu.switch_to(attacker);
+    primes.iter().enumerate().any(|(i, &pc)| {
+        bpu.jump(pc, 0x0900_0000 + i as u64 * 8).predicted_target.is_none()
+    })
+}
+
+/// BTB eviction, away effect: the attacker displaces the victim's entry so
+/// the victim loses its prediction.
+fn btb_eviction_away(bpu: &mut AttackBpu, analytic: bool) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let victim_pc = 0x0040_4000u64;
+    bpu.switch_to(victim);
+    bpu.jump(victim_pc, 0x0800_0000);
+    bpu.switch_to(attacker);
+    let flood: Vec<u64> = if analytic {
+        crate::eviction::baseline_eviction_set(victim_pc, 8)
+    } else {
+        (0..8u64).map(|k| 0x0300_0000 + k * 0x7_1931).collect()
+    };
+    for (i, &pc) in flood.iter().enumerate() {
+        bpu.jump(pc, 0x0900_0000 + i as u64 * 8);
+    }
+    bpu.switch_to(victim);
+    bpu.jump(victim_pc, 0x0800_0000).predicted_target != Some(VirtAddr::new(0x0800_0000))
+}
+
+/// PHT reuse, away effect: the attacker trains the shared counter so the
+/// victim's not-taken branch is predicted taken (malicious speculation).
+fn pht_reuse_away(bpu: &mut AttackBpu) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let pc = 0x0056_6000u64;
+    bpu.switch_to(attacker);
+    for _ in 0..3 {
+        bpu.cond(pc, true);
+    }
+    bpu.switch_to(victim);
+    // The victim's branch is architecturally not-taken; a taken
+    // prediction sends it down the speculative gadget path.
+    bpu.cond(pc, false).predicted_taken == Some(true)
+}
+
+/// RSB reuse, home effect: the attacker's `ret` pops the victim's pushed
+/// return address, disclosing it.
+fn rsb_reuse_home(bpu: &mut AttackBpu) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    bpu.switch_to(victim);
+    let call = BranchRecord::taken(0x0040_7000, BranchKind::DirectCall, 0x0050_0000);
+    bpu.exec(&call);
+    bpu.switch_to(attacker);
+    let o = bpu.exec(&BranchRecord::taken(0x0060_0000, BranchKind::Return, 0x0061_0000));
+    o.predicted_target == Some(call.fallthrough())
+}
+
+/// RSB eviction, home effect: the attacker fills the RSB and detects the
+/// victim's call through its own deep-return misprediction. Note this is a
+/// pure *occupancy* channel.
+fn rsb_eviction_home(bpu: &mut AttackBpu) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    bpu.switch_to(attacker);
+    let mut expected = Vec::new();
+    for i in 0..16u64 {
+        let rec = BranchRecord::taken(0x0070_0000 + i * 0x100, BranchKind::DirectCall, 0x0071_0000);
+        bpu.exec(&rec);
+        expected.push(rec.fallthrough());
+    }
+    bpu.switch_to(victim);
+    bpu.exec(&BranchRecord::taken(0x0040_8000, BranchKind::DirectCall, 0x0050_0000));
+    bpu.switch_to(attacker);
+    // Unwind: the deepest return must now pop the victim's (foreign) entry.
+    let mut signalled = false;
+    for exp in expected.iter().rev() {
+        let o = bpu.exec(&BranchRecord::taken(0x0071_0000, BranchKind::Return, exp.raw()));
+        if o.predicted_target != Some(*exp) {
+            signalled = true;
+        }
+    }
+    signalled
+}
+
+/// RSB eviction, away effect: the attacker overflows the RSB so the
+/// victim's return underflows; "vulnerable" means the attacker can steer
+/// where the victim then speculates (via the poisoned indirect fallback).
+fn rsb_eviction_away(bpu: &mut AttackBpu) -> bool {
+    let attacker = EntityId::user(1);
+    let victim = EntityId::user(2);
+    let gadget = 0x0066_6000u64;
+    // Victim calls once (its return address is on the RSB)...
+    bpu.switch_to(victim);
+    bpu.exec(&BranchRecord::taken(0x0040_9000, BranchKind::DirectCall, 0x0050_0000));
+    // ... the attacker drains the stack (pops the victim's entry) and
+    // poisons the indirect-predictor fallback for the victim's return
+    // site (history-stuffed, see `spectre_v2`).
+    bpu.switch_to(attacker);
+    for _ in 0..17u64 {
+        bpu.exec(&BranchRecord::taken(0x0071_0000, BranchKind::Return, 0x0072_0000));
+    }
+    for _ in 0..30 {
+        bpu.exec(&BranchRecord::taken(0x0050_0040, BranchKind::IndirectJump, gadget));
+    }
+    // Victim returns: RSB underflow (its entry was drained), fallback to
+    // the (poisoned) indirect predictor.
+    bpu.switch_to(victim);
+    let o = bpu.exec(&BranchRecord::taken(0x0050_0040, BranchKind::Return, 0x0040_9004));
+    o.predicted_target == Some(VirtAddr::new(gadget))
+}
+
+/// Evaluates the full Table I surface. Each cell runs a concrete scenario
+/// against a fresh baseline and a fresh STBPU instance.
+pub fn evaluate_surface(seed: u64) -> Vec<CellReport> {
+    let mut out = Vec::new();
+
+    // --- BTB reuse, home ---
+    let (mut b, mut s) = bpus(seed);
+    out.push(CellReport {
+        structure: Structure::Btb,
+        vector: Vector::ReuseHome,
+        description: "V: jmp s→d; A: jmp s→d'; A sees misprediction (target disclosure)",
+        baseline_vulnerable: Some(reuse::btb_probe(&mut b, 32).rate() > 0.5),
+        stbpu_vulnerable: Some(reuse::btb_probe(&mut s, 32).rate() > 0.5),
+        note: "Jump-over-ASLR class [19]",
+    });
+
+    // --- BTB reuse, away (Spectre v2) ---
+    let (mut b, mut s) = bpus(seed + 1);
+    out.push(CellReport {
+        structure: Structure::Btb,
+        vector: Vector::ReuseAway,
+        description: "A: jmp s→d; V: jmp s→d'; V speculatively executes d",
+        baseline_vulnerable: Some(inject::spectre_v2(&mut b, 16).hits > 0),
+        stbpu_vulnerable: Some(inject::spectre_v2(&mut s, 64).hits > 0),
+        note: "Spectre v2 [32]; φ-encryption stalls gadget jumps",
+    });
+
+    // --- BTB eviction, home ---
+    let (mut b, mut s) = bpus(seed + 2);
+    out.push(CellReport {
+        structure: Structure::Btb,
+        vector: Vector::EvictionHome,
+        description: "A primes set; V: jmp s'→d' evicts; A sees s mispredicted",
+        baseline_vulnerable: Some(btb_eviction_home(&mut b, true)),
+        stbpu_vulnerable: Some(btb_eviction_home(&mut s, false)),
+        note: "set construction needs GEM under STBPU; monitor fires first",
+    });
+
+    // --- BTB eviction, away ---
+    let (mut b, mut s) = bpus(seed + 3);
+    out.push(CellReport {
+        structure: Structure::Btb,
+        vector: Vector::EvictionAway,
+        description: "V: jmp s→d; A evicts; V falls back to static prediction",
+        baseline_vulnerable: Some(btb_eviction_away(&mut b, true)),
+        stbpu_vulnerable: Some(btb_eviction_away(&mut s, false)),
+        note: "analytic sets on baseline; blind flood whiffs under STBPU",
+    });
+
+    // --- PHT reuse, home (BranchScope) ---
+    let (mut b, mut s) = bpus(seed + 4);
+    let secret: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+    out.push(CellReport {
+        structure: Structure::Pht,
+        vector: Vector::ReuseHome,
+        description: "V: jt s; A: jnt s reuses counter; A sees misprediction",
+        baseline_vulnerable: Some(reuse::branchscope(&mut b, &secret).accuracy() > 0.8),
+        stbpu_vulnerable: Some(reuse::branchscope(&mut s, &secret).accuracy() > 0.8),
+        note: "BranchScope [21]",
+    });
+
+    // --- PHT reuse, away ---
+    let (mut b, mut s) = bpus(seed + 5);
+    out.push(CellReport {
+        structure: Structure::Pht,
+        vector: Vector::ReuseAway,
+        description: "A: jt s trains counter; V: jnt s predicted taken; V speculates s+1",
+        baseline_vulnerable: Some(pht_reuse_away(&mut b)),
+        stbpu_vulnerable: Some(pht_reuse_away(&mut s)),
+        note: "Spectre-v1-style direction steering across entities",
+    });
+
+    // --- PHT eviction: entries are not evicted ---
+    for vector in [Vector::EvictionHome, Vector::EvictionAway] {
+        out.push(CellReport {
+            structure: Structure::Pht,
+            vector,
+            description: "PHT entries are not evicted",
+            baseline_vulnerable: None,
+            stbpu_vulnerable: None,
+            note: "not applicable (tag-less saturating counters)",
+        });
+    }
+
+    // --- RSB reuse, home ---
+    let (mut b, mut s) = bpus(seed + 6);
+    out.push(CellReport {
+        structure: Structure::Rsb,
+        vector: Vector::ReuseHome,
+        description: "V: call s→d; A: ret reuses (s+1); A sees V's return address",
+        baseline_vulnerable: Some(rsb_reuse_home(&mut b)),
+        stbpu_vulnerable: Some(rsb_reuse_home(&mut s)),
+        note: "φ-encryption garbles foreign RSB payloads",
+    });
+
+    // --- RSB reuse, away (SpectreRSB) ---
+    let (mut b, mut s) = bpus(seed + 7);
+    out.push(CellReport {
+        structure: Structure::Rsb,
+        vector: Vector::ReuseAway,
+        description: "A: call s→d; V: ret speculates to (s+1)",
+        baseline_vulnerable: Some(inject::spectre_rsb(&mut b, 16).hits > 0),
+        stbpu_vulnerable: Some(inject::spectre_rsb(&mut s, 64).hits > 0),
+        note: "SpectreRSB [34]",
+    });
+
+    // --- RSB eviction, home ---
+    let (mut b, mut s) = bpus(seed + 8);
+    out.push(CellReport {
+        structure: Structure::Rsb,
+        vector: Vector::EvictionHome,
+        description: "A fills RSB; V: call evicts (s+1); A sees misprediction",
+        baseline_vulnerable: Some(rsb_eviction_home(&mut b)),
+        stbpu_vulnerable: Some(rsb_eviction_home(&mut s)),
+        note: "pure occupancy channel: survives STBPU but leaks only call \
+               counts, never addresses (payloads stay encrypted)",
+    });
+
+    // --- RSB eviction, away ---
+    let (mut b, mut s) = bpus(seed + 9);
+    out.push(CellReport {
+        structure: Structure::Rsb,
+        vector: Vector::EvictionAway,
+        description: "A overflows RSB; V: ret underflows to static/indirect prediction",
+        baseline_vulnerable: Some(rsb_eviction_away(&mut b)),
+        stbpu_vulnerable: Some(rsb_eviction_away(&mut s)),
+        note: "baseline: poisoned indirect fallback steers V; STBPU: fallback keyed",
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_has_twelve_cells() {
+        let cells = evaluate_surface(42);
+        assert_eq!(cells.len(), 12);
+        let na = cells.iter().filter(|c| c.baseline_vulnerable.is_none()).count();
+        assert_eq!(na, 2, "exactly the two PHT eviction cells are N/A");
+    }
+
+    #[test]
+    fn baseline_is_vulnerable_everywhere_applicable() {
+        for c in evaluate_surface(42) {
+            if let Some(v) = c.baseline_vulnerable {
+                assert!(v, "baseline must be vulnerable: {:?}/{:?}", c.structure, c.vector);
+            }
+        }
+    }
+
+    #[test]
+    fn stbpu_blocks_all_address_revealing_cells() {
+        for c in evaluate_surface(42) {
+            // The RSB occupancy channel is the documented exception: it
+            // signals *that* the victim called, but no addresses.
+            if c.structure == Structure::Rsb && c.vector == Vector::EvictionHome {
+                continue;
+            }
+            if let Some(v) = c.stbpu_vulnerable {
+                assert!(
+                    !v,
+                    "STBPU must block {:?}/{:?} ({})",
+                    c.structure, c.vector, c.description
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rsb_occupancy_channel_documented() {
+        let cells = evaluate_surface(42);
+        let c = cells
+            .iter()
+            .find(|c| c.structure == Structure::Rsb && c.vector == Vector::EvictionHome)
+            .unwrap();
+        assert_eq!(c.stbpu_vulnerable, Some(true));
+        assert!(c.note.contains("occupancy"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion ablation benches for the design choices called out in
+//! DESIGN.md §5: the hardware remap circuit vs a multi-cycle software-style
+//! mixer, and XOR target encryption vs a 2-round Feistel model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stbpu_remap::{analysis, RemapSet};
+
+/// A 2-round Feistel network over 32-bit targets (the stronger cipher the
+/// paper considered and rejected — each round costs multiple cycles of
+/// latency in the front end for no security gain under re-randomization).
+fn feistel2(key: u64, v: u32) -> u32 {
+    let mut l = (v >> 16) as u16;
+    let mut r = (v & 0xffff) as u16;
+    for round in 0..2u64 {
+        let k = (key >> (round * 16)) as u16;
+        let f = (r ^ k).wrapping_mul(0x9e37).rotate_left(5);
+        let nl = r;
+        r = l ^ f;
+        l = nl;
+    }
+    ((l as u32) << 16) | r as u32
+}
+
+fn ablate_cipher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_target_cipher");
+    let phi = 0xdead_beefu32;
+    g.bench_function("xor_phi", |b| {
+        let mut v = 0x1234u32;
+        b.iter(|| {
+            v = v.wrapping_add(0x40);
+            black_box(v ^ phi)
+        })
+    });
+    g.bench_function("feistel_2round", |b| {
+        let mut v = 0x1234u32;
+        b.iter(|| {
+            v = v.wrapping_add(0x40);
+            black_box(feistel2(0xdead_beef_0bad_f00d, v))
+        })
+    });
+    g.finish();
+}
+
+fn ablate_remap_vs_software(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_remap_impl");
+    let set = RemapSet::standard();
+    g.bench_function("hw_circuit_r3", |b| {
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(set.r3(1, pc & ((1 << 48) - 1)))
+        })
+    });
+    g.bench_function("sw_mulxor_14bit", |b| {
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(analysis::reference_hash(1, pc, 14))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablate_cipher, ablate_remap_vs_software);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks: remapping-circuit evaluation cost, mapper
+//! overhead, full-model throughput, trace generation and attack primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stbpu_bpu::{BaselineMapper, Bpu, EntityId, Mapper};
+use stbpu_core::{st_skl, st_tage64, StConfig, StMapper};
+use stbpu_predictors::{skl_baseline, tage64_baseline};
+use stbpu_remap::{analysis, RemapSet};
+use stbpu_trace::{profiles, TraceGenerator};
+
+fn bench_remap_circuits(c: &mut Criterion) {
+    let set = RemapSet::standard();
+    let mut g = c.benchmark_group("remap_eval");
+    g.bench_function("r1", |b| {
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(set.r1(0xdead_beef, pc & ((1 << 48) - 1)))
+        })
+    });
+    g.bench_function("rt", |b| {
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(set.rt(0xdead_beef, pc & ((1 << 48) - 1), pc as u16))
+        })
+    });
+    g.bench_function("reference_mulxor_hash", |b| {
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(analysis::reference_hash(0xdead_beef, pc, 22))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapper_btb1");
+    let base = BaselineMapper::new();
+    g.bench_function("baseline", |b| {
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(base.btb1(0, pc))
+        })
+    });
+    let mut st = StMapper::new(StConfig::default(), 1);
+    st.set_entity(0, EntityId::user(1));
+    g.bench_function("stbpu", |b| {
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x44);
+            black_box(st.btb1(0, pc))
+        })
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let p = profiles::se_profile(profiles::by_name("525.x264").expect("profile"));
+    let trace = TraceGenerator::new(&p, 7).generate(2_000);
+    let recs: Vec<_> = trace.branches().map(|(_, r)| *r).collect();
+
+    let mut g = c.benchmark_group("model_process_2k_branches");
+    g.sample_size(20);
+    for name in ["SKLCond", "ST_SKLCond", "TAGE64", "ST_TAGE64"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter_batched(
+                || -> Box<dyn Bpu> {
+                    match name {
+                        "SKLCond" => Box::new(skl_baseline()),
+                        "ST_SKLCond" => Box::new(st_skl(StConfig::default(), 1)),
+                        "TAGE64" => Box::new(tage64_baseline()),
+                        _ => Box::new(st_tage64(StConfig::default(), 1)),
+                    }
+                },
+                |mut m| {
+                    for r in &recs {
+                        black_box(m.process(0, r));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let p = *profiles::by_name("505.mcf").expect("profile");
+    c.bench_function("trace_generate_10k", |b| {
+        b.iter(|| {
+            let t = TraceGenerator::new(&p, 3).generate(10_000);
+            black_box(t.branch_count())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_remap_circuits,
+    bench_mappers,
+    bench_models,
+    bench_trace_generation
+);
+criterion_main!(benches);

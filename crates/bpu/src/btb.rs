@@ -1,0 +1,346 @@
+//! Branch target buffer (BTB).
+//!
+//! An 8-way, 4096-entry set-associative cache of branch targets in the
+//! Skylake baseline. Each entry stores a compressed tag, an offset
+//! disambiguator and an opaque target payload (the truncated 32-bit target
+//! in the baseline; a φ-encrypted value under STBPU; the full 48-bit target
+//! in the "conservative" model). Replacement is true-LRU within a set.
+//!
+//! Evictions are reported to the caller because STBPU's monitoring MSRs
+//! count them (Section IV-B) and eviction-based attacks are measured by
+//! them (Table I, Section VI).
+
+/// Geometry of a [`Btb`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl BtbConfig {
+    /// The Skylake-like baseline geometry: 512 sets × 8 ways = 4096 entries.
+    pub fn skylake() -> Self {
+        BtbConfig { sets: 512, ways: 8 }
+    }
+
+    /// The "conservative" model of Section VII-B1: storing full 48-bit tags
+    /// and targets roughly doubles the entry size, halving capacity under an
+    /// unchanged hardware budget — 256 sets × 8 ways.
+    pub fn conservative() -> Self {
+        BtbConfig { sets: 256, ways: 8 }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Information about an entry displaced by an insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// Set index the eviction happened in.
+    pub set: usize,
+    /// Tag of the displaced entry.
+    pub tag: u64,
+    /// Payload of the displaced entry.
+    pub payload: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    valid: bool,
+    tag: u64,
+    offset: u8,
+    payload: u64,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer with true-LRU replacement.
+///
+/// ```
+/// use stbpu_bpu::{Btb, BtbConfig};
+/// let mut b = Btb::new(BtbConfig { sets: 4, ways: 2 });
+/// assert!(b.insert(1, 0xaa, 3, 0x1234).is_none());
+/// assert_eq!(b.lookup(1, 0xaa, 3), Some(0x1234));
+/// assert_eq!(b.lookup(1, 0xab, 3), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    cfg: BtbConfig,
+    entries: Vec<Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: BtbConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(cfg.ways > 0, "BTB must have at least one way");
+        Btb {
+            cfg,
+            entries: vec![Entry::default(); cfg.entries()],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> BtbConfig {
+        self.cfg
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Entry] {
+        let w = self.cfg.ways;
+        &mut self.entries[set * w..(set + 1) * w]
+    }
+
+    /// Looks up `(set, tag, offset)`; returns the stored payload on a hit
+    /// and refreshes LRU state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn lookup(&mut self, set: usize, tag: u64, offset: u8) -> Option<u64> {
+        assert!(set < self.cfg.sets, "BTB set index out of range");
+        self.clock += 1;
+        let clock = self.clock;
+        for e in self.set_slice(set) {
+            if e.valid && e.tag == tag && e.offset == offset {
+                e.lru = clock;
+                let p = e.payload;
+                self.hits += 1;
+                return Some(p);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Checks for presence without perturbing LRU or hit/miss statistics —
+    /// used by attack harnesses that model an attacker timing a *separate*
+    /// probe branch.
+    pub fn probe(&self, set: usize, tag: u64, offset: u8) -> Option<u64> {
+        let w = self.cfg.ways;
+        self.entries[set * w..(set + 1) * w]
+            .iter()
+            .find(|e| e.valid && e.tag == tag && e.offset == offset)
+            .map(|e| e.payload)
+    }
+
+    /// Inserts or updates `(set, tag, offset) -> payload`.
+    ///
+    /// Returns the eviction displaced by the insertion, if any. Updating an
+    /// existing entry or filling an invalid way reports no eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn insert(&mut self, set: usize, tag: u64, offset: u8, payload: u64) -> Option<Eviction> {
+        assert!(set < self.cfg.sets, "BTB set index out of range");
+        self.clock += 1;
+        let clock = self.clock;
+        // Update in place on tag+offset match.
+        for e in self.set_slice(set) {
+            if e.valid && e.tag == tag && e.offset == offset {
+                e.payload = payload;
+                e.lru = clock;
+                return None;
+            }
+        }
+        // Fill an invalid way if one exists.
+        for e in self.set_slice(set) {
+            if !e.valid {
+                *e = Entry { valid: true, tag, offset, payload, lru: clock };
+                return None;
+            }
+        }
+        // Evict the LRU way.
+        let victim = self
+            .set_slice(set)
+            .iter_mut()
+            .min_by_key(|e| e.lru)
+            .expect("ways > 0");
+        let ev = Eviction { set, tag: victim.tag, payload: victim.payload };
+        *victim = Entry { valid: true, tag, offset, payload, lru: clock };
+        self.evictions += 1;
+        Some(ev)
+    }
+
+    /// Invalidates every entry (IBPB-style flush).
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+
+    /// Invalidates the half of the index space *not* owned by `tid` — the
+    /// STIBP partitioning model restricts each logical thread to half of the
+    /// sets; flipping the partition on a thread switch is modelled by the
+    /// caller remapping set indexes (see `partition_set`).
+    pub fn flush_partition(&mut self, sets: std::ops::Range<usize>) {
+        let w = self.cfg.ways;
+        for set in sets {
+            for e in &mut self.entries[set * w..(set + 1) * w] {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Number of live entries (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions of valid entries so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Restricts `set` to the partition owned by hardware thread `tid` when
+/// STIBP-style partitioning is enabled: each of the two logical threads gets
+/// half of the index space.
+pub fn partition_set(set: usize, sets: usize, tid: usize, partitioned: bool) -> usize {
+    if !partitioned {
+        return set;
+    }
+    let half = sets / 2;
+    (set % half) + tid * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Btb {
+        Btb::new(BtbConfig { sets: 4, ways: 2 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = small();
+        assert_eq!(b.lookup(0, 1, 0), None);
+        b.insert(0, 1, 0, 99);
+        assert_eq!(b.lookup(0, 1, 0), Some(99));
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn offset_disambiguates() {
+        let mut b = small();
+        b.insert(0, 1, 0, 10);
+        b.insert(0, 1, 1, 20);
+        assert_eq!(b.lookup(0, 1, 0), Some(10));
+        assert_eq!(b.lookup(0, 1, 1), Some(20));
+    }
+
+    #[test]
+    fn update_in_place_no_eviction() {
+        let mut b = small();
+        assert!(b.insert(2, 5, 0, 1).is_none());
+        assert!(b.insert(2, 5, 0, 2).is_none());
+        assert_eq!(b.lookup(2, 5, 0), Some(2));
+        assert_eq!(b.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut b = small();
+        b.insert(1, 10, 0, 100);
+        b.insert(1, 11, 0, 110);
+        // Touch tag 10 so tag 11 becomes LRU.
+        assert!(b.lookup(1, 10, 0).is_some());
+        let ev = b.insert(1, 12, 0, 120).expect("full set must evict");
+        assert_eq!(ev.tag, 11);
+        assert_eq!(b.lookup(1, 10, 0), Some(100));
+        assert_eq!(b.lookup(1, 11, 0), None);
+        assert_eq!(b.lookup(1, 12, 0), Some(120));
+        assert_eq!(b.evictions(), 1);
+    }
+
+    #[test]
+    fn ways_plus_one_conflicting_branches_guarantee_eviction() {
+        // The eviction-set primitive: W+1 same-index inserts must displace
+        // something (Section VI-A4).
+        let mut b = Btb::new(BtbConfig { sets: 8, ways: 4 });
+        let mut evicted = false;
+        for t in 0..5 {
+            evicted |= b.insert(3, t, 0, t).is_some();
+        }
+        assert!(evicted);
+    }
+
+    #[test]
+    fn flush_invalidates_all() {
+        let mut b = small();
+        b.insert(0, 1, 0, 1);
+        b.insert(3, 2, 0, 2);
+        assert_eq!(b.occupancy(), 2);
+        b.flush();
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.lookup(0, 1, 0), None);
+    }
+
+    #[test]
+    fn probe_does_not_change_stats() {
+        let mut b = small();
+        b.insert(0, 1, 0, 7);
+        let (h, m) = (b.hits(), b.misses());
+        assert_eq!(b.probe(0, 1, 0), Some(7));
+        assert_eq!(b.probe(0, 9, 0), None);
+        assert_eq!((b.hits(), b.misses()), (h, m));
+    }
+
+    #[test]
+    fn partitioning_maps_to_disjoint_halves() {
+        for s in 0..512 {
+            let a = partition_set(s, 512, 0, true);
+            let b = partition_set(s, 512, 1, true);
+            assert!(a < 256);
+            assert!((256..512).contains(&b));
+            assert_eq!(partition_set(s, 512, 1, false), s);
+        }
+    }
+
+    #[test]
+    fn flush_partition_only_clears_range() {
+        let mut b = Btb::new(BtbConfig { sets: 4, ways: 1 });
+        for s in 0..4 {
+            b.insert(s, 1, 0, s as u64);
+        }
+        b.flush_partition(0..2);
+        assert_eq!(b.lookup(0, 1, 0), None);
+        assert_eq!(b.lookup(1, 1, 0), None);
+        assert_eq!(b.lookup(2, 1, 0), Some(2));
+        assert_eq!(b.lookup(3, 1, 0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Btb::new(BtbConfig { sets: 3, ways: 2 });
+    }
+}

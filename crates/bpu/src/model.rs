@@ -1,0 +1,100 @@
+//! The full-predictor trait consumed by the trace simulator and the
+//! pipeline model.
+
+use crate::addr::EntityId;
+use crate::branch::BranchRecord;
+use crate::stats::BpuStats;
+
+/// Maximum number of SMT hardware threads a model must support.
+pub const MAX_THREADS: usize = 2;
+
+/// Outcome of processing one branch through a predictor model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Direction prediction result (`None` for unconditional branches).
+    pub direction_correct: Option<bool>,
+    /// Target prediction result (`None` when no target prediction was
+    /// needed, i.e. a correctly-predicted not-taken branch).
+    pub target_correct: Option<bool>,
+    /// True when every necessary prediction was correct (the OAE criterion).
+    pub effective_correct: bool,
+    /// True when the front end would have been redirected (any
+    /// misprediction).
+    pub mispredicted: bool,
+    /// True when the BTB lookup missed for a taken branch (front-end bubble
+    /// even when the ultimate prediction was counted correct).
+    pub btb_miss: bool,
+}
+
+impl BranchOutcome {
+    /// A fully-correct outcome for an unconditional branch.
+    pub fn correct_unconditional() -> Self {
+        BranchOutcome {
+            direction_correct: None,
+            target_correct: Some(true),
+            effective_correct: true,
+            mispredicted: false,
+            btb_miss: false,
+        }
+    }
+}
+
+/// A complete branch prediction unit: direction + target prediction with
+/// SMT awareness and the control hooks protection policies need.
+///
+/// Implementations live in `stbpu-predictors` (baseline models) and are
+/// re-keyed via the [`crate::Mapper`] they are constructed with
+/// (`stbpu-core` provides the secret-token mapper).
+pub trait Bpu {
+    /// Human-readable model name (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Processes one retired branch on hardware thread `tid`: predicts,
+    /// compares with the architected outcome, updates all structures and
+    /// statistics, and reports monitoring events to the mapper.
+    fn process(&mut self, tid: usize, rec: &BranchRecord) -> BranchOutcome;
+
+    /// Informs the model that `entity` is now running on `tid` (context or
+    /// mode switch). STBPU-mapped models switch secret tokens; baseline
+    /// models ignore it.
+    fn context_switch(&mut self, tid: usize, entity: EntityId);
+
+    /// Invalidates all prediction state (IBPB-style flush).
+    fn flush(&mut self);
+
+    /// Invalidates target-prediction state only — BTB and RSB — while
+    /// conditional-direction history survives. Models IBRS, which
+    /// restricts *indirect branch* speculation on privilege transitions.
+    /// Defaults to a full flush for models without that granularity.
+    fn flush_targets(&mut self) {
+        self.flush();
+    }
+
+    /// Enables or disables STIBP-style static partitioning of shared
+    /// structures between hardware threads.
+    fn set_partitioned(&mut self, on: bool);
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &BpuStats;
+
+    /// Resets statistics (e.g. after warm-up) without touching predictor
+    /// state.
+    fn reset_stats(&mut self);
+
+    /// Number of secret-token re-randomizations (0 for unprotected models).
+    fn rerandomizations(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_unconditional_shape() {
+        let o = BranchOutcome::correct_unconditional();
+        assert!(o.effective_correct);
+        assert!(!o.mispredicted);
+        assert_eq!(o.direction_correct, None);
+        assert_eq!(o.target_correct, Some(true));
+    }
+}

@@ -1,0 +1,181 @@
+//! STBPU — the Secret-Token Branch Prediction Unit (Section IV of the
+//! paper). This crate is the primary contribution of the reproduction.
+//!
+//! Each software entity requiring isolation is assigned a 64-bit **secret
+//! token** ([`SecretToken`]) split into two 32-bit halves: ψ keys the
+//! remapping functions R1..4,t,p (how branch addresses map into BPU
+//! structures) and φ XOR-encrypts targets stored in the BTB and RSB. Only
+//! privileged software can read or load the token registers; the OS loads
+//! the appropriate token on context and mode switches ([`TokenManager`]).
+//!
+//! To stop brute-force collision construction, STBPU monitors
+//! prediction-related hardware events — branch mispredictions and BTB
+//! evictions — in model-specific registers ([`EventMonitor`]); when a
+//! counter reaches zero the current entity's token is re-randomized, which
+//! instantly turns all of its stored BPU state into garbage while leaving
+//! other entities' state intact (the key difference from flushing).
+//! Thresholds derive from the Section VI security analysis via the attack
+//! difficulty factor `r` ([`StConfig`]): Γ = r · C.
+//!
+//! [`StMapper`] packages tokens + monitors + the canonical remap circuits
+//! as a [`stbpu_bpu::Mapper`], so every predictor model from
+//! `stbpu-predictors` becomes its ST_* variant by construction:
+//!
+//! ```
+//! use stbpu_bpu::{BranchRecord, Bpu};
+//! use stbpu_core::{st_skl, StConfig};
+//!
+//! let mut bpu = st_skl(StConfig::default(), 42);
+//! for _ in 0..8 {
+//!     bpu.process(0, &BranchRecord::conditional(0x40_0000, true, 0x40_1000));
+//! }
+//! let out = bpu.process(0, &BranchRecord::conditional(0x40_0000, true, 0x40_1000));
+//! assert!(out.effective_correct, "STBPU predicts as well as baseline within an entity");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod manager;
+mod mapper;
+mod token;
+
+pub use config::StConfig;
+pub use manager::{EventMonitor, TokenManager};
+pub use mapper::StMapper;
+pub use token::SecretToken;
+
+use stbpu_bpu::BtbConfig;
+use stbpu_predictors::{
+    FullBpu, PerceptronConfig, PerceptronPredictor, SklCond, Tage, TageConfig,
+};
+
+/// ST_SKLCond: the Skylake-like baseline model protected by secret tokens.
+///
+/// Note this model has *no* separate TAGE threshold register
+/// (Section VII-B2) — all direction mispredictions hit the main MISP
+/// register, which is why it re-randomizes more often in SMT mode.
+pub fn st_skl(cfg: StConfig, seed: u64) -> FullBpu<SklCond, StMapper> {
+    let cfg = StConfig { separate_tage_register: false, ..cfg };
+    FullBpu::new(
+        "ST_SKLCond",
+        SklCond::new(),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+    )
+}
+
+/// ST TAGE-SC-L 64 KB (separate TAGE-misprediction threshold register).
+pub fn st_tage64(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
+    let cfg = StConfig { separate_tage_register: true, ..cfg };
+    FullBpu::new(
+        "ST_TAGE_SC_L_64KB",
+        Tage::new(TageConfig::kb64()),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+    )
+}
+
+/// ST TAGE-SC-L 8 KB (separate TAGE-misprediction threshold register).
+pub fn st_tage8(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
+    let cfg = StConfig { separate_tage_register: true, ..cfg };
+    FullBpu::new(
+        "ST_TAGE_SC_L_8KB",
+        Tage::new(TageConfig::kb8()),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+    )
+}
+
+/// ST perceptron model.
+pub fn st_perceptron(cfg: StConfig, seed: u64) -> FullBpu<PerceptronPredictor, StMapper> {
+    FullBpu::new(
+        "ST_PerceptronBP",
+        PerceptronPredictor::new(PerceptronConfig::default()),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbpu_bpu::{BranchKind, BranchRecord, Bpu, EntityId};
+
+    #[test]
+    fn st_models_learn_within_an_entity() {
+        let mut models: Vec<Box<dyn Bpu>> = vec![
+            Box::new(st_skl(StConfig::default(), 1)),
+            Box::new(st_tage8(StConfig::default(), 1)),
+            Box::new(st_perceptron(StConfig::default(), 1)),
+        ];
+        for m in &mut models {
+            for i in 0..200u64 {
+                let taken = i % 5 != 4;
+                m.process(0, &BranchRecord::conditional(0x40_0000, taken, 0x40_2000));
+            }
+            assert!(
+                m.stats().oae() > 0.7,
+                "{} failed to learn: {}",
+                m.name(),
+                m.stats().oae()
+            );
+            assert_eq!(m.rerandomizations(), 0, "no attack, no re-randomization");
+        }
+    }
+
+    #[test]
+    fn context_switch_isolates_entities_without_flush() {
+        // Entity A trains a branch; entity B runs; switching back to A, the
+        // history is still there — the paper's central performance claim.
+        let mut bpu = st_skl(StConfig::default(), 7);
+        let rec = BranchRecord::taken(0x40_0000, BranchKind::DirectJump, 0x41_0000);
+        bpu.context_switch(0, EntityId::user(1));
+        bpu.process(0, &rec);
+        assert!(bpu.process(0, &rec).effective_correct);
+
+        bpu.context_switch(0, EntityId::user(2));
+        // B misses on the same address (different ψ) ...
+        let out_b = bpu.process(0, &rec);
+        assert!(!out_b.effective_correct, "entity B must not reuse A's BTB entry");
+
+        bpu.context_switch(0, EntityId::user(1));
+        // ... while A's entry survived B entirely.
+        assert!(bpu.process(0, &rec).effective_correct);
+    }
+
+    #[test]
+    fn forced_rerandomization_invalidates_history() {
+        let mut bpu = st_skl(StConfig::default(), 3);
+        bpu.context_switch(0, EntityId::user(1));
+        let rec = BranchRecord::taken(0x40_0000, BranchKind::DirectJump, 0x41_0000);
+        bpu.process(0, &rec);
+        assert!(bpu.process(0, &rec).effective_correct);
+        bpu.mapper_mut().force_rerandomize(0);
+        let out = bpu.process(0, &rec);
+        assert!(!out.effective_correct, "old mapping must be unusable after ST change");
+        assert_eq!(bpu.rerandomizations(), 1);
+    }
+
+    #[test]
+    fn tiny_thresholds_trigger_rerandomization() {
+        // r so small the threshold is a handful of events: mispredictions
+        // from a random pattern must trigger token churn.
+        let cfg = StConfig::with_r(1e-5); // misp threshold ≈ 8 events
+        let mut bpu = st_skl(cfg, 11);
+        for i in 0..4000u64 {
+            let taken = (i * 2654435761) % 7 < 3; // noisy pattern
+            bpu.process(0, &BranchRecord::conditional(0x40_0000 + (i % 16) * 64, taken, 0x5000));
+        }
+        assert!(
+            bpu.rerandomizations() > 10,
+            "expected many re-randomizations, got {}",
+            bpu.rerandomizations()
+        );
+    }
+}

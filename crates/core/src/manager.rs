@@ -1,0 +1,318 @@
+//! OS-side token management: per-entity tokens, monitoring MSRs and
+//! re-randomization (Sections IV-A and IV-B).
+
+use crate::config::StConfig;
+use crate::token::SecretToken;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use stbpu_bpu::EntityId;
+
+/// The monitoring MSRs of one software entity: countdown registers
+/// initialised to their thresholds; an observed event decrements the
+/// matching counter and a zero triggers ST re-randomization (Section IV-B).
+///
+/// The registers are part of the process context — the OS saves and
+/// restores them across context/mode switches, which the per-entity storage
+/// here models directly.
+#[derive(Clone, Copy, Debug)]
+pub struct EventMonitor {
+    /// Remaining mispredictions before re-randomization.
+    pub misp_left: u64,
+    /// Remaining TAGE-component mispredictions (only consulted when the
+    /// model has the separate register).
+    pub tage_misp_left: u64,
+    /// Remaining BTB evictions before re-randomization.
+    pub evictions_left: u64,
+}
+
+impl EventMonitor {
+    /// Fresh counters at their thresholds.
+    pub fn armed(cfg: &StConfig) -> Self {
+        EventMonitor {
+            misp_left: cfg.misp_threshold(),
+            tage_misp_left: cfg.tage_misp_threshold(),
+            evictions_left: cfg.eviction_threshold(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct EntityState {
+    token: SecretToken,
+    monitor: EventMonitor,
+    generation: u64,
+}
+
+/// Per-entity secret-token table with monitoring and re-randomization —
+/// the privileged-software side of STBPU.
+///
+/// ```
+/// use stbpu_bpu::EntityId;
+/// use stbpu_core::{StConfig, TokenManager};
+///
+/// let mut mgr = TokenManager::new(StConfig::default(), 1);
+/// let a = mgr.token(EntityId::user(1));
+/// let b = mgr.token(EntityId::user(2));
+/// assert_ne!(a, b, "separate entities get separate tokens");
+/// assert_eq!(a, mgr.token(EntityId::user(1)), "tokens are stable until re-randomized");
+/// ```
+#[derive(Debug)]
+pub struct TokenManager {
+    cfg: StConfig,
+    rng: rand::rngs::StdRng,
+    entities: HashMap<EntityId, EntityState>,
+    /// Selective history sharing: alias → canonical entity (Section IV-A).
+    aliases: HashMap<EntityId, EntityId>,
+    rerandomizations: u64,
+    generations: u64,
+}
+
+impl TokenManager {
+    /// Creates a manager with a deterministic DRNG model.
+    pub fn new(cfg: StConfig, seed: u64) -> Self {
+        TokenManager {
+            cfg,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x57_42_50_55),
+            entities: HashMap::new(),
+            aliases: HashMap::new(),
+            rerandomizations: 0,
+            generations: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StConfig {
+        &self.cfg
+    }
+
+    fn canonical(&self, e: EntityId) -> EntityId {
+        *self.aliases.get(&e).unwrap_or(&e)
+    }
+
+    fn state(&mut self, e: EntityId) -> &mut EntityState {
+        let e = self.canonical(e);
+        let cfg = self.cfg;
+        self.generations += 1;
+        let gen = self.generations;
+        let rng = &mut self.rng;
+        self.entities.entry(e).or_insert_with(|| EntityState {
+            token: SecretToken::random(rng),
+            monitor: EventMonitor::armed(&cfg),
+            generation: gen,
+        })
+    }
+
+    /// The current token of `entity` (allocating one on first use).
+    pub fn token(&mut self, entity: EntityId) -> SecretToken {
+        self.state(entity).token
+    }
+
+    /// A generation stamp that changes whenever `entity`'s mapping changes.
+    pub fn generation(&mut self, entity: EntityId) -> u64 {
+        self.state(entity).generation
+    }
+
+    /// Snapshot of the entity's monitoring registers.
+    pub fn monitor(&mut self, entity: EntityId) -> EventMonitor {
+        self.state(entity).monitor
+    }
+
+    /// Declares that `alias` shares `canonical`'s token — the OS's
+    /// selective history sharing for multi-process services (Section IV-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alias` already has private state (sharing must be set up
+    /// before the alias runs).
+    pub fn share_token(&mut self, alias: EntityId, canonical: EntityId) {
+        assert!(
+            !self.entities.contains_key(&alias),
+            "cannot alias an entity that already has a token"
+        );
+        let c = self.canonical(canonical);
+        self.aliases.insert(alias, c);
+    }
+
+    /// Forces re-randomization of `entity`'s token and re-arms its
+    /// counters. Returns the new token.
+    pub fn rerandomize(&mut self, entity: EntityId) -> SecretToken {
+        let e = self.canonical(entity);
+        let cfg = self.cfg;
+        let token = SecretToken::random(&mut self.rng);
+        self.generations += 1;
+        let gen = self.generations;
+        let st = self.entities.entry(e).or_insert_with(|| EntityState {
+            token,
+            monitor: EventMonitor::armed(&cfg),
+            generation: gen,
+        });
+        st.token = token;
+        st.monitor = EventMonitor::armed(&cfg);
+        st.generation = gen;
+        self.rerandomizations += 1;
+        token
+    }
+
+    /// Records a misprediction event; re-randomizes and returns `true` when
+    /// the counter hits zero.
+    pub fn note_misprediction(&mut self, entity: EntityId) -> bool {
+        let st = self.state(entity);
+        st.monitor.misp_left = st.monitor.misp_left.saturating_sub(1);
+        if st.monitor.misp_left == 0 {
+            self.rerandomize(entity);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a TAGE-component misprediction. Uses the separate register
+    /// when the model has one, otherwise falls through to the main MISP
+    /// register.
+    pub fn note_tage_misprediction(&mut self, entity: EntityId) -> bool {
+        if !self.cfg.separate_tage_register {
+            return self.note_misprediction(entity);
+        }
+        let st = self.state(entity);
+        st.monitor.tage_misp_left = st.monitor.tage_misp_left.saturating_sub(1);
+        if st.monitor.tage_misp_left == 0 {
+            self.rerandomize(entity);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a BTB eviction event; re-randomizes and returns `true` when
+    /// the counter hits zero.
+    pub fn note_eviction(&mut self, entity: EntityId) -> bool {
+        let st = self.state(entity);
+        st.monitor.evictions_left = st.monitor.evictions_left.saturating_sub(1);
+        if st.monitor.evictions_left == 0 {
+            self.rerandomize(entity);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total re-randomizations performed.
+    pub fn rerandomizations(&self) -> u64 {
+        self.rerandomizations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_with_thresholds(misp: f64, ev: f64) -> TokenManager {
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: misp,
+            eviction_complexity: ev,
+            separate_tage_register: false,
+        };
+        TokenManager::new(cfg, 42)
+    }
+
+    #[test]
+    fn misp_counter_triggers_at_threshold() {
+        let mut m = mgr_with_thresholds(3.0, 100.0);
+        let e = EntityId::user(1);
+        let t0 = m.token(e);
+        assert!(!m.note_misprediction(e));
+        assert!(!m.note_misprediction(e));
+        assert!(m.note_misprediction(e), "third event hits the threshold");
+        assert_ne!(m.token(e), t0);
+        assert_eq!(m.rerandomizations(), 1);
+        // Counters re-armed.
+        assert_eq!(m.monitor(e).misp_left, 3);
+    }
+
+    #[test]
+    fn eviction_counter_independent_of_misp() {
+        let mut m = mgr_with_thresholds(100.0, 2.0);
+        let e = EntityId::user(1);
+        assert!(!m.note_misprediction(e));
+        assert!(!m.note_eviction(e));
+        assert!(m.note_eviction(e));
+        assert_eq!(m.rerandomizations(), 1);
+    }
+
+    #[test]
+    fn counters_are_per_entity_context() {
+        let mut m = mgr_with_thresholds(2.0, 2.0);
+        let a = EntityId::user(1);
+        let b = EntityId::user(2);
+        assert!(!m.note_misprediction(a));
+        // B's events don't advance A's register.
+        assert!(!m.note_misprediction(b));
+        assert!(m.note_misprediction(a));
+        assert_eq!(m.rerandomizations(), 1);
+    }
+
+    #[test]
+    fn rerandomizing_one_entity_keeps_others() {
+        let mut m = mgr_with_thresholds(1e9, 1e9);
+        let a = EntityId::user(1);
+        let b = EntityId::user(2);
+        let tb = m.token(b);
+        m.rerandomize(a);
+        assert_eq!(m.token(b), tb, "other entities' tokens must survive");
+    }
+
+    #[test]
+    fn shared_tokens_for_spawned_workers() {
+        let mut m = mgr_with_thresholds(1e9, 1e9);
+        let parent = EntityId::user(1);
+        let worker = EntityId::user(7);
+        m.share_token(worker, parent);
+        assert_eq!(m.token(worker), m.token(parent));
+        // Re-randomizing the parent moves the whole group.
+        let t2 = m.rerandomize(parent);
+        assert_eq!(m.token(worker), t2);
+    }
+
+    #[test]
+    fn separate_tage_register_when_enabled() {
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: 100.0,
+            eviction_complexity: 100.0,
+            separate_tage_register: true,
+        };
+        let mut m = TokenManager::new(cfg, 5);
+        let e = EntityId::user(1);
+        // TAGE mispredictions drain only the TAGE register...
+        for _ in 0..99 {
+            assert!(!m.note_tage_misprediction(e));
+        }
+        assert_eq!(m.monitor(e).misp_left, 100, "main register untouched");
+        assert!(m.note_tage_misprediction(e));
+    }
+
+    #[test]
+    fn without_separate_register_tage_events_hit_main() {
+        let mut m = mgr_with_thresholds(2.0, 100.0);
+        let e = EntityId::user(1);
+        assert!(!m.note_tage_misprediction(e));
+        assert!(m.note_tage_misprediction(e));
+    }
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let mut a = TokenManager::new(StConfig::default(), 9);
+        let mut b = TokenManager::new(StConfig::default(), 9);
+        assert_eq!(a.token(EntityId::user(3)), b.token(EntityId::user(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot alias")]
+    fn late_alias_rejected() {
+        let mut m = mgr_with_thresholds(10.0, 10.0);
+        let w = EntityId::user(5);
+        let _ = m.token(w);
+        m.share_token(w, EntityId::user(1));
+    }
+}

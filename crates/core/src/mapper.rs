@@ -1,0 +1,289 @@
+//! The secret-token [`Mapper`]: keyed remapping + target encryption +
+//! event monitoring, per hardware thread.
+
+use crate::config::StConfig;
+use crate::manager::TokenManager;
+use crate::token::SecretToken;
+use stbpu_bpu::{BtbCoord, EntityId, Mapper, MAX_THREADS};
+use stbpu_remap::RemapSet;
+
+/// The STBPU mapping policy: every structure address is produced by the
+/// canonical remapping circuits R1..4,t,p keyed with ψ of the entity
+/// currently running on the issuing hardware thread, and stored targets are
+/// XOR-encrypted with that entity's φ (Section IV-B).
+///
+/// All remapping functions consume the *full 48-bit* branch address —
+/// crucial for stopping same-address-space attacks [78].
+///
+/// ```
+/// use stbpu_bpu::{EntityId, Mapper};
+/// use stbpu_core::{StConfig, StMapper};
+///
+/// let mut m = StMapper::new(StConfig::default(), 7);
+/// m.set_entity(0, EntityId::user(1));
+/// let a = m.btb1(0, 0x40_0000);
+/// m.set_entity(0, EntityId::user(2));
+/// let b = m.btb1(0, 0x40_0000);
+/// assert_ne!(a, b, "different entities map the same branch differently");
+/// ```
+#[derive(Debug)]
+pub struct StMapper {
+    remaps: &'static RemapSet,
+    mgr: TokenManager,
+    current: [EntityId; MAX_THREADS],
+    token: [SecretToken; MAX_THREADS],
+    generation: [u64; MAX_THREADS],
+}
+
+impl StMapper {
+    /// Creates a mapper with its own token manager, seeded DRNG model and
+    /// the process-wide canonical remap circuits.
+    pub fn new(cfg: StConfig, seed: u64) -> Self {
+        let mut mgr = TokenManager::new(cfg, seed);
+        let default_entity = EntityId::user(0);
+        let token = mgr.token(default_entity);
+        let generation = mgr.generation(default_entity);
+        StMapper {
+            remaps: RemapSet::standard(),
+            mgr,
+            current: [default_entity; MAX_THREADS],
+            token: [token; MAX_THREADS],
+            generation: [generation; MAX_THREADS],
+        }
+    }
+
+    /// The token manager (OS interface: sharing, forced re-randomization).
+    pub fn manager_mut(&mut self) -> &mut TokenManager {
+        &mut self.mgr
+    }
+
+    /// The entity currently loaded on `tid`.
+    pub fn current_entity(&self, tid: usize) -> EntityId {
+        self.current[tid.min(MAX_THREADS - 1)]
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StConfig {
+        self.mgr.config()
+    }
+
+    /// Forces a re-randomization of the entity on thread `tid` (used by
+    /// tests and by the OS "sensitive process" policy with Γ = 1).
+    pub fn force_rerandomize(&mut self, tid: usize) {
+        let tid = tid.min(MAX_THREADS - 1);
+        let e = self.current[tid];
+        self.mgr.rerandomize(e);
+        self.refresh(tid);
+    }
+
+    fn refresh(&mut self, tid: usize) {
+        let e = self.current[tid];
+        self.token[tid] = self.mgr.token(e);
+        self.generation[tid] = self.mgr.generation(e);
+        // Another thread may be running the same entity: its cached token
+        // must follow the re-randomization.
+        for t in 0..MAX_THREADS {
+            if t != tid && self.current[t] == e {
+                self.token[t] = self.token[tid];
+                self.generation[t] = self.generation[tid];
+            }
+        }
+    }
+
+    fn psi(&self, tid: usize) -> u32 {
+        self.token[tid.min(MAX_THREADS - 1)].psi()
+    }
+}
+
+impl Mapper for StMapper {
+    fn btb1(&self, tid: usize, pc: u64) -> BtbCoord {
+        let (index, tag, offset) = self.remaps.r1(self.psi(tid), pc);
+        BtbCoord { index, tag, offset }
+    }
+
+    fn btb2_tag(&self, tid: usize, bhb: u64) -> u64 {
+        self.remaps.r2(self.psi(tid), bhb)
+    }
+
+    fn pht1(&self, tid: usize, pc: u64) -> usize {
+        self.remaps.r3(self.psi(tid), pc)
+    }
+
+    fn pht2(&self, tid: usize, pc: u64, ghr: u64) -> usize {
+        // R4 consumes 16 GHR bits (Table II).
+        self.remaps.r4(self.psi(tid), (ghr & 0xffff) as u16, pc)
+    }
+
+    fn tage(
+        &self,
+        tid: usize,
+        pc: u64,
+        folded_idx: u64,
+        folded_tag: u64,
+        table: usize,
+        idx_bits: u32,
+        tag_bits: u32,
+    ) -> (usize, u64) {
+        // Mix the per-bank folded history and a bank constant into the
+        // 16-bit auxiliary input of Rt, so each bank maps differently.
+        let fold16 = (folded_idx
+            ^ (folded_tag << 3)
+            ^ ((table as u64).wrapping_mul(0x9e5)) as u64) as u16;
+        let (idx, tag) = self.remaps.rt(self.psi(tid), pc, fold16);
+        (
+            (idx & ((1u64 << idx_bits) - 1)) as usize,
+            tag & ((1u64 << tag_bits) - 1),
+        )
+    }
+
+    fn perceptron(&self, tid: usize, pc: u64, idx_bits: u32) -> usize {
+        self.remaps.rp(self.psi(tid), pc) & ((1usize << idx_bits) - 1)
+    }
+
+    fn encrypt_target(&self, tid: usize, stored: u32) -> u32 {
+        self.token[tid.min(MAX_THREADS - 1)].encrypt(stored)
+    }
+
+    fn decrypt_target(&self, tid: usize, stored: u32) -> u32 {
+        self.token[tid.min(MAX_THREADS - 1)].decrypt(stored)
+    }
+
+    fn set_entity(&mut self, tid: usize, entity: EntityId) {
+        let tid = tid.min(MAX_THREADS - 1);
+        self.current[tid] = entity;
+        self.refresh(tid);
+    }
+
+    fn note_misprediction(&mut self, tid: usize) {
+        let tid = tid.min(MAX_THREADS - 1);
+        if self.mgr.note_misprediction(self.current[tid]) {
+            self.refresh(tid);
+        }
+    }
+
+    fn note_tage_misprediction(&mut self, tid: usize) {
+        let tid = tid.min(MAX_THREADS - 1);
+        if self.mgr.note_tage_misprediction(self.current[tid]) {
+            self.refresh(tid);
+        }
+    }
+
+    fn note_eviction(&mut self, tid: usize) {
+        let tid = tid.min(MAX_THREADS - 1);
+        if self.mgr.note_eviction(self.current[tid]) {
+            self.refresh(tid);
+        }
+    }
+
+    fn rerandomizations(&self) -> u64 {
+        self.mgr.rerandomizations()
+    }
+
+    fn generation(&self, tid: usize) -> u64 {
+        self.generation[tid.min(MAX_THREADS - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> StMapper {
+        StMapper::new(StConfig::default(), 1234)
+    }
+
+    #[test]
+    fn mapping_is_stable_within_a_token() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        let a = m.btb1(0, 0x7fff_1234_5678);
+        let b = m.btb1(0, 0x7fff_1234_5678);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernel_and_user_map_differently() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        let user = m.pht1(0, 0xffff_8000_1000);
+        m.set_entity(0, EntityId::KERNEL);
+        let kernel = m.pht1(0, 0xffff_8000_1000);
+        assert_ne!(user, kernel, "jump-over-ASLR collisions must be gone");
+    }
+
+    #[test]
+    fn rerandomization_changes_all_mappings() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        let pc = 0x40_0000u64;
+        let before = (
+            m.btb1(0, pc),
+            m.pht1(0, pc),
+            m.pht2(0, pc, 0xabcd),
+            m.tage(0, pc, 5, 9, 3, 10, 8),
+            m.perceptron(0, pc, 10),
+        );
+        m.force_rerandomize(0);
+        let after = (
+            m.btb1(0, pc),
+            m.pht1(0, pc),
+            m.pht2(0, pc, 0xabcd),
+            m.tage(0, pc, 5, 9, 3, 10, 8),
+            m.perceptron(0, pc, 10),
+        );
+        assert_ne!(before, after);
+        assert_eq!(m.rerandomizations(), 1);
+    }
+
+    #[test]
+    fn generation_tracks_token_changes() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        let g0 = m.generation(0);
+        m.force_rerandomize(0);
+        assert_ne!(m.generation(0), g0);
+    }
+
+    #[test]
+    fn smt_threads_hold_independent_tokens() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        m.set_entity(1, EntityId::user(2));
+        let pc = 0x41_0000u64;
+        assert_ne!(m.btb1(0, pc), m.btb1(1, pc));
+        // Encryption keys differ too: cross-thread target reuse garbles.
+        let stored = m.encrypt_target(0, 0x1234_5678);
+        assert_ne!(m.decrypt_target(1, stored), 0x1234_5678);
+        assert_eq!(m.decrypt_target(0, stored), 0x1234_5678);
+    }
+
+    #[test]
+    fn same_entity_on_both_threads_shares_token() {
+        let mut m = mapper();
+        m.set_entity(0, EntityId::user(1));
+        m.set_entity(1, EntityId::user(1));
+        let pc = 0x42_0000u64;
+        assert_eq!(m.btb1(0, pc), m.btb1(1, pc));
+        // A re-randomization triggered via thread 0 must be visible on
+        // thread 1 immediately.
+        m.force_rerandomize(0);
+        assert_eq!(m.btb1(0, pc), m.btb1(1, pc));
+    }
+
+    #[test]
+    fn monitoring_events_route_to_current_entity() {
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: 2.0,
+            eviction_complexity: 1e9,
+            separate_tage_register: false,
+        };
+        let mut m = StMapper::new(cfg, 5);
+        m.set_entity(0, EntityId::user(1));
+        let before = m.btb1(0, 0x1000);
+        m.note_misprediction(0);
+        assert_eq!(m.btb1(0, 0x1000), before, "one event below threshold");
+        m.note_misprediction(0);
+        assert_ne!(m.btb1(0, 0x1000), before, "threshold reached: new token");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the secret-token machinery.
+
+use proptest::prelude::*;
+use stbpu_bpu::{EntityId, Mapper};
+use stbpu_core::{StConfig, StMapper, TokenManager};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Thresholds scale linearly in r and never reach zero.
+    #[test]
+    fn thresholds_scale(r in 1e-9f64..1.0) {
+        let c = StConfig::with_r(r);
+        prop_assert!(c.misp_threshold() >= 1);
+        prop_assert!(c.eviction_threshold() >= 1);
+        let c2 = StConfig::with_r((r * 2.0).min(1.0));
+        prop_assert!(c2.misp_threshold() >= c.misp_threshold());
+    }
+
+    /// Exactly Γ misprediction events trigger one re-randomization, for
+    /// any threshold.
+    #[test]
+    fn counter_fires_exactly_at_threshold(gamma in 1u64..500, seed in any::<u64>()) {
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: gamma as f64,
+            eviction_complexity: 1e12,
+            separate_tage_register: false,
+        };
+        let mut mgr = TokenManager::new(cfg, seed);
+        let e = EntityId::user(1);
+        for i in 1..gamma {
+            prop_assert!(!mgr.note_misprediction(e), "fired early at {i}");
+        }
+        prop_assert!(mgr.note_misprediction(e), "must fire at {gamma}");
+        prop_assert_eq!(mgr.rerandomizations(), 1);
+    }
+
+    /// Re-randomization always changes the effective mapping of the
+    /// current entity (over a sample of addresses).
+    #[test]
+    fn rerandomization_changes_mapping(seed in any::<u64>(), entity in 1u32..1000) {
+        let mut m = StMapper::new(StConfig::default(), seed);
+        m.set_entity(0, EntityId::user(entity));
+        let sample: Vec<_> = (0..32u64).map(|i| 0x40_0000 + i * 0x1234).collect();
+        let before: Vec<_> = sample.iter().map(|&pc| m.btb1(0, pc)).collect();
+        m.force_rerandomize(0);
+        let after: Vec<_> = sample.iter().map(|&pc| m.btb1(0, pc)).collect();
+        prop_assert_ne!(before, after, "mapping must change");
+        prop_assert_eq!(m.rerandomizations(), 1);
+    }
+
+    /// Token sharing is transitive through the canonical entity and
+    /// re-keys the whole group at once.
+    #[test]
+    fn shared_group_rekeys_together(seed in any::<u64>()) {
+        let mut mgr = TokenManager::new(StConfig::default(), seed);
+        let parent = EntityId::user(1);
+        let w1 = EntityId::user(2);
+        let w2 = EntityId::user(3);
+        mgr.share_token(w1, parent);
+        mgr.share_token(w2, w1); // alias of an alias
+        let t = mgr.token(parent);
+        prop_assert_eq!(mgr.token(w1), t);
+        prop_assert_eq!(mgr.token(w2), t);
+        let t2 = mgr.rerandomize(w2);
+        prop_assert_eq!(mgr.token(parent), t2);
+        prop_assert_eq!(mgr.token(w1), t2);
+    }
+
+    /// Encryption with the current token round-trips through the mapper on
+    /// both hardware threads, and thread tokens are independent when
+    /// entities differ.
+    #[test]
+    fn mapper_encryption_roundtrip(seed in any::<u64>(), v in any::<u32>()) {
+        let mut m = StMapper::new(StConfig::default(), seed);
+        m.set_entity(0, EntityId::user(1));
+        m.set_entity(1, EntityId::user(2));
+        prop_assert_eq!(m.decrypt_target(0, m.encrypt_target(0, v)), v);
+        prop_assert_eq!(m.decrypt_target(1, m.encrypt_target(1, v)), v);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the predictor models: no panics, sane statistics and
+//! structural invariants for arbitrary branch streams.
+
+use proptest::prelude::*;
+use stbpu_bpu::{BranchKind, BranchRecord, Bpu};
+use stbpu_predictors::{
+    conservative, perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline,
+};
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..(1u64 << 48),
+        0usize..6,
+        any::<bool>(),
+        0u64..(1u64 << 48),
+        0u16..64,
+    )
+        .prop_map(|(pc, k, taken, target, gap)| {
+            let kind = BranchKind::ALL[k];
+            let taken = taken || !kind.is_conditional();
+            BranchRecord {
+                pc: pc.into(),
+                kind,
+                taken,
+                target: target.into(),
+                ilen: 4,
+                gap,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All five models accept arbitrary branch streams on both threads
+    /// without panicking, and their statistics stay consistent.
+    #[test]
+    fn models_absorb_arbitrary_streams(recs in proptest::collection::vec(arb_record(), 1..200)) {
+        let mut models: Vec<Box<dyn Bpu>> = vec![
+            Box::new(skl_baseline()),
+            Box::new(tage8_baseline()),
+            Box::new(tage64_baseline()),
+            Box::new(perceptron_baseline()),
+            Box::new(conservative()),
+        ];
+        for m in &mut models {
+            for (i, r) in recs.iter().enumerate() {
+                let out = m.process(i % 2, r);
+                // The OAE relation must hold per branch.
+                let dir_ok = out.direction_correct.unwrap_or(true);
+                let tgt_ok = out.target_correct.unwrap_or(true);
+                prop_assert_eq!(out.effective_correct, dir_ok && tgt_ok);
+                prop_assert_eq!(out.mispredicted, !out.effective_correct);
+            }
+            let s = m.stats();
+            prop_assert_eq!(s.branches, recs.len() as u64);
+            prop_assert!(s.effective_correct <= s.branches);
+            prop_assert!(s.cond_correct <= s.cond);
+            prop_assert!(s.target_correct <= s.target_needed);
+            prop_assert!((0.0..=1.0).contains(&s.oae()));
+        }
+    }
+
+    /// Determinism: the same stream through two instances of the same
+    /// model gives identical outcomes.
+    #[test]
+    fn models_are_deterministic(recs in proptest::collection::vec(arb_record(), 1..100)) {
+        let mut a = tage8_baseline();
+        let mut b = tage8_baseline();
+        for r in &recs {
+            prop_assert_eq!(a.process(0, r), b.process(0, r));
+        }
+    }
+
+    /// Flushing returns the model to a state where previously learned
+    /// direct branches miss again.
+    #[test]
+    fn flush_forgets_targets(pc in 0u64..(1 << 40), tgt in 0u64..(1 << 40)) {
+        let mut m = skl_baseline();
+        let rec = BranchRecord::taken(pc, BranchKind::DirectJump, tgt);
+        m.process(0, &rec);
+        m.flush();
+        let out = m.process(0, &rec);
+        prop_assert!(out.btb_miss);
+    }
+}

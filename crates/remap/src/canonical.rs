@@ -1,0 +1,223 @@
+//! Canonical R1..4, Rt and Rp instances with the Table II geometry.
+//!
+//! The circuits are generated deterministically (fixed seeds) by the
+//! Section V-A generator at first use and cached for the process lifetime,
+//! mirroring a hardware vendor freezing one concrete design per function.
+//!
+//! Input packing conventions (LSB first):
+//!
+//! | Fn | Input (low → high)              | Bits | Output               |
+//! |----|---------------------------------|------|----------------------|
+//! | R1 | ψ(32) ‖ s(48)                   | 80   | 9 ind ‖ 8 tag ‖ 5 off|
+//! | R2 | ψ(32) ‖ BHB(58)                 | 90   | 8 tag                |
+//! | R3 | ψ(32) ‖ s(48)                   | 80   | 14 ind               |
+//! | R4 | ψ(32) ‖ GHR(16) ‖ s(48)         | 96   | 14 ind               |
+//! | Rt | ψ(32) ‖ s(48) ‖ fold(16)        | 96   | 13 ind ‖ 12 tag      |
+//! | Rp | ψ(32) ‖ s(48)                   | 80   | 10 ind               |
+
+use crate::circuit::Circuit;
+use crate::generator::{GenError, Generator, HwConstraints};
+use std::sync::OnceLock;
+
+/// The six canonical STBPU remapping circuits.
+///
+/// ```
+/// use stbpu_remap::RemapSet;
+/// let r = RemapSet::standard();
+/// let (idx, tag, off) = r.r1(0xdead_beef, 0x7fff_1234_5678);
+/// assert!(idx < 512 && tag < 256 && off < 32);
+/// ```
+#[derive(Debug)]
+pub struct RemapSet {
+    r1: Circuit,
+    r2: Circuit,
+    r3: Circuit,
+    r4: Circuit,
+    rt: Circuit,
+    rp: Circuit,
+}
+
+static STANDARD: OnceLock<RemapSet> = OnceLock::new();
+
+impl RemapSet {
+    /// The process-wide canonical instance (deterministic across runs).
+    pub fn standard() -> &'static RemapSet {
+        STANDARD.get_or_init(|| {
+            RemapSet::generate(0x5742_5055 /* "STBPU" */)
+                .expect("canonical remap generation must succeed")
+        })
+    }
+
+    /// Generates a fresh set of remapping circuits from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] if any geometry cannot be satisfied within the
+    /// hardware constraints (does not happen for the Table II geometries
+    /// with the default budgets).
+    pub fn generate(seed: u64) -> Result<RemapSet, GenError> {
+        let gen = |io: (u32, u32), s: u64| -> Result<Circuit, GenError> {
+            Generator::new(HwConstraints::for_geometry(io.0, io.1), seed ^ s).generate(3, 120)
+        };
+        Ok(RemapSet {
+            r1: gen((80, 22), 0x01)?,
+            r2: gen((90, 8), 0x02)?,
+            r3: gen((80, 14), 0x03)?,
+            r4: gen((96, 14), 0x04)?,
+            rt: gen((96, 25), 0x05)?,
+            rp: gen((80, 10), 0x06)?,
+        })
+    }
+
+    /// R1: BTB mode-one mapping → `(set index, tag, offset)`.
+    pub fn r1(&self, psi: u32, pc48: u64) -> (usize, u64, u8) {
+        let x = (psi as u128) | (((pc48 & ((1 << 48) - 1)) as u128) << 32);
+        let y = self.r1.eval(x);
+        (
+            (y & 0x1ff) as usize,
+            (y >> 9) & 0xff,
+            ((y >> 17) & 0x1f) as u8,
+        )
+    }
+
+    /// R2: BTB mode-two tag from the BHB.
+    pub fn r2(&self, psi: u32, bhb58: u64) -> u64 {
+        let x = (psi as u128) | (((bhb58 & ((1 << 58) - 1)) as u128) << 32);
+        self.r2.eval(x) & 0xff
+    }
+
+    /// R3: PHT one-level index.
+    pub fn r3(&self, psi: u32, pc48: u64) -> usize {
+        let x = (psi as u128) | (((pc48 & ((1 << 48) - 1)) as u128) << 32);
+        (self.r3.eval(x) & 0x3fff) as usize
+    }
+
+    /// R4: PHT two-level index (16 GHR bits per Table II).
+    pub fn r4(&self, psi: u32, ghr16: u16, pc48: u64) -> usize {
+        let x = (psi as u128)
+            | ((ghr16 as u128) << 32)
+            | (((pc48 & ((1 << 48) - 1)) as u128) << 48);
+        (self.r4.eval(x) & 0x3fff) as usize
+    }
+
+    /// Rt: TAGE tagged-table mapping → `(13-bit index, 12-bit tag)`; the
+    /// caller truncates to the table's actual index/tag widths. `fold16`
+    /// carries the folded global history of the table (plus a table
+    /// constant) so each bank maps differently.
+    pub fn rt(&self, psi: u32, pc48: u64, fold16: u16) -> (u64, u64) {
+        let x = (psi as u128)
+            | (((pc48 & ((1 << 48) - 1)) as u128) << 32)
+            | ((fold16 as u128) << 80);
+        let y = self.rt.eval(x);
+        (y & 0x1fff, (y >> 13) & 0xfff)
+    }
+
+    /// Rp: perceptron table index (10 bits).
+    pub fn rp(&self, psi: u32, pc48: u64) -> usize {
+        let x = (psi as u128) | (((pc48 & ((1 << 48) - 1)) as u128) << 32);
+        (self.rp.eval(x) & 0x3ff) as usize
+    }
+
+    /// The underlying circuits, in Table II order (R1, R2, R3, R4, Rt, Rp)
+    /// — exposed for cost/statistics reporting.
+    pub fn circuits(&self) -> [(&'static str, &Circuit); 6] {
+        [
+            ("R1", &self.r1),
+            ("R2", &self.r2),
+            ("R3", &self.r3),
+            ("R4", &self.r4),
+            ("Rt", &self.rt),
+            ("Rp", &self.rp),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_geometry_matches_table2() {
+        let r = RemapSet::standard();
+        let expect = [(80, 22), (90, 8), (80, 14), (96, 14), (96, 25), (80, 10)];
+        for ((_, c), (i, o)) in r.circuits().iter().zip(expect) {
+            assert_eq!(c.input_bits(), i);
+            assert_eq!(c.output_bits(), o);
+        }
+    }
+
+    #[test]
+    fn all_circuits_respect_c1() {
+        let r = RemapSet::standard();
+        for (name, c) in r.circuits() {
+            let cost = c.cost();
+            assert!(
+                cost.critical_path <= crate::MAX_CRITICAL_PATH,
+                "{name}: critical path {} exceeds 45",
+                cost.critical_path
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_stay_in_range() {
+        let r = RemapSet::standard();
+        for i in 0..200u64 {
+            let psi = (i as u32).wrapping_mul(0x9e37_79b9);
+            let pc = i.wrapping_mul(0x1234_5677) & ((1 << 48) - 1);
+            let (idx, tag, off) = r.r1(psi, pc);
+            assert!(idx < 512 && tag < 256 && off < 32);
+            assert!(r.r2(psi, pc) < 256);
+            assert!(r.r3(psi, pc) < (1 << 14));
+            assert!(r.r4(psi, i as u16, pc) < (1 << 14));
+            let (ti, tt) = r.rt(psi, pc, i as u16);
+            assert!(ti < (1 << 13) && tt < (1 << 12));
+            assert!(r.rp(psi, pc) < 1024);
+        }
+    }
+
+    #[test]
+    fn key_changes_remap_everything() {
+        // The core STBPU property: a re-randomized ψ must give a different
+        // mapping for (nearly) any branch — stored history becomes garbage.
+        let r = RemapSet::standard();
+        let mut moved = 0;
+        let n = 256;
+        for i in 0..n {
+            let pc = 0x4000_0000u64 + i * 4096;
+            if r.r1(0xaaaa_5555, pc) != r.r1(0xaaaa_5556, pc) {
+                moved += 1;
+            }
+        }
+        assert!(moved as f64 / n as f64 > 0.95, "only {moved}/{n} branches moved");
+    }
+
+    #[test]
+    fn full_48_bit_address_is_consumed() {
+        // Unlike the baseline's 30-bit truncation, R1/R3 must distinguish
+        // addresses differing only in bit 47 — defeating the same-address-
+        // space collision primitive.
+        let r = RemapSet::standard();
+        let mut distinct = 0;
+        let n = 64;
+        for i in 0..n {
+            let pc = 0x1234_5678u64 + i * 64;
+            let hi = pc | (1 << 47);
+            if r.r1(1, pc) != r.r1(1, hi) || r.r3(1, pc) != r.r3(1, hi) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct as f64 / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn deterministic_regeneration() {
+        let a = RemapSet::generate(777).unwrap();
+        let b = RemapSet::generate(777).unwrap();
+        for i in 0..64u64 {
+            let pc = i * 0x9999 + 3;
+            assert_eq!(a.r3(5, pc), b.r3(5, pc));
+            assert_eq!(a.rt(5, pc, i as u16), b.rt(5, pc, i as u16));
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Automated remap-function generation (Section V-A).
+//!
+//! Designing a remapping function is a multi-variable optimization problem:
+//! the algorithm takes a list of hardware constraints and randomly composes
+//! candidate circuits from the primitive pool, one layer at a time. After a
+//! layer is added the partial design is tested against the constraints:
+//! a violating design is discarded (and the primitive-selection weights are
+//! adapted), a complete satisfying design is stored for scoring, and an
+//! incomplete non-violating design keeps growing.
+//!
+//! Candidates follow the structure of the paper's Figure 2: alternating
+//! substitution stages (4→4 PRESENT/SPONGENT and 3→3 S-boxes), P-boxes with
+//! randomly generated pin mappings, and compressing C-S boxes, with
+//! substitution stages at positions 1, 3, 5, … . Designs that satisfy the
+//! hardware constraints (C1) are then validated statistically — uniformity
+//! (C2) and avalanche (C3) — and the final selection minimizes the
+//! unit-weighted score of Section V-B.
+
+use crate::analysis;
+use crate::circuit::{Circuit, Layer};
+use crate::primitive::SboxKind;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Hardware constraints supplied to the generator (the C1 inputs of
+/// Section V-A: critical-path and transistor budgets, pin counts, layer and
+/// wire-crossing limits).
+#[derive(Clone, Copy, Debug)]
+pub struct HwConstraints {
+    /// Input pins.
+    pub input_bits: u32,
+    /// Output pins.
+    pub output_bits: u32,
+    /// Maximum series transistors along the critical path (≤ 45).
+    pub max_critical_path: u32,
+    /// Maximum total transistor budget.
+    pub max_total_transistors: u32,
+    /// Maximum transistors in parallel (breadth) per layer.
+    pub max_breadth: u32,
+    /// Maximum number of functional layers.
+    pub max_layers: u32,
+    /// Maximum wires any single wire may cross.
+    pub max_wire_crossings: u32,
+}
+
+impl HwConstraints {
+    /// Sensible defaults for a Table II geometry: the paper's 45-transistor
+    /// critical-path ceiling and generous area budgets.
+    pub fn for_geometry(input_bits: u32, output_bits: u32) -> Self {
+        HwConstraints {
+            input_bits,
+            output_bits,
+            max_critical_path: crate::MAX_CRITICAL_PATH,
+            max_total_transistors: 8000,
+            max_breadth: 3000,
+            max_layers: 12,
+            max_wire_crossings: input_bits + 32,
+        }
+    }
+}
+
+/// Generation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenError {
+    msg: String,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remap generation failed: {}", self.msg)
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// The randomized layer-by-layer remap generator.
+///
+/// ```
+/// use stbpu_remap::{Generator, HwConstraints};
+/// let mut g = Generator::new(HwConstraints::for_geometry(32, 8), 42);
+/// let c = g.generate(2, 100).unwrap();
+/// assert_eq!(c.input_bits(), 32);
+/// assert_eq!(c.output_bits(), 8);
+/// assert!(c.cost().critical_path <= 45);
+/// ```
+#[derive(Debug)]
+pub struct Generator {
+    constraints: HwConstraints,
+    rng: rand::rngs::StdRng,
+    /// Probability weights adapted across attempts: `[trailing_round,
+    /// extra_permute, mask_overlap]`. When a partial design dies of budget
+    /// exhaustion, the expensive extras are de-weighted (the paper's case
+    /// iii: change primitive-selection weights for the next layer/attempt).
+    weights: [f64; 3],
+}
+
+impl Generator {
+    /// Creates a generator with deterministic randomness from `seed`.
+    pub fn new(constraints: HwConstraints, seed: u64) -> Self {
+        Generator {
+            constraints,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            weights: [0.7, 0.4, 0.5],
+        }
+    }
+
+    /// Builds up to `candidates` constraint-satisfying circuits, scores each
+    /// with `samples` statistical samples, and returns the best.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when no candidate satisfying all constraints is
+    /// found within the attempt budget — e.g. an infeasibly small critical
+    /// path for the requested geometry.
+    pub fn generate(&mut self, candidates: usize, samples: usize) -> Result<Circuit, GenError> {
+        let mut found = Vec::new();
+        let max_attempts = candidates.max(1) * 64;
+        for _ in 0..max_attempts {
+            if found.len() >= candidates {
+                break;
+            }
+            match self.try_build() {
+                Some(c) => found.push(c),
+                None => {
+                    // Constraint violation: bias the next attempt toward a
+                    // cheaper design.
+                    self.weights[0] = (self.weights[0] * 0.7).max(0.05);
+                    self.weights[1] = (self.weights[1] * 0.7).max(0.05);
+                    self.weights[2] = (self.weights[2] * 0.7).max(0.05);
+                }
+            }
+        }
+        if found.is_empty() {
+            return Err(GenError {
+                msg: format!(
+                    "no circuit satisfied constraints {:?} after {} attempts",
+                    self.constraints, max_attempts
+                ),
+            });
+        }
+        let seed = self.rng.gen::<u64>();
+        found
+            .into_iter()
+            .map(|c| {
+                let s = analysis::score(&c, samples, seed);
+                (c, s)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)
+            .ok_or_else(|| GenError { msg: "scoring failed".into() })
+    }
+
+    /// Attempts one randomized construction. Returns `None` when the design
+    /// violates a constraint and must be discarded.
+    fn try_build(&mut self) -> Option<Circuit> {
+        let cs = self.constraints;
+        let schedule = width_schedule(cs.input_bits, cs.output_bits)?;
+        let mut layers: Vec<Layer> = Vec::new();
+        let mut width = cs.input_bits;
+
+        for &next in &schedule {
+            layers.push(self.make_substitution(width)?);
+            layers.push(self.make_permutation(width));
+            if self.rng.gen::<f64>() < self.weights[1] && layers.len() + 2 < cs.max_layers as usize
+            {
+                // Occasional extra P-box (free in depth, adds diffusion).
+                layers.push(self.make_permutation(width));
+            }
+            if next < width {
+                layers.push(self.make_compression(width, next));
+                width = next;
+            }
+        }
+        // Trailing whitening rounds: keep mixing on the output width while
+        // the substitution count is low or the dice say so.
+        let mut subs = schedule.len();
+        while (subs < 3 || self.rng.gen::<f64>() < self.weights[0] * 0.3)
+            && tile(width).is_some()
+            && layers.len() + 2 <= cs.max_layers as usize
+            && subs < 5
+        {
+            layers.push(self.make_substitution(width)?);
+            layers.push(self.make_permutation(width));
+            subs += 1;
+        }
+
+        let circuit = Circuit::new(cs.input_bits, layers).ok()?;
+        let cost = circuit.cost();
+        if cost.critical_path > cs.max_critical_path
+            || cost.total_transistors > cs.max_total_transistors
+            || cost.breadth > cs.max_breadth
+            || cost.layers > cs.max_layers
+            || cost.max_wire_crossings > cs.max_wire_crossings
+        {
+            None
+        } else {
+            Some(circuit)
+        }
+    }
+
+    fn make_substitution(&mut self, width: u32) -> Option<Layer> {
+        let (fours, threes) = tile(width)?;
+        let mut boxes = Vec::new();
+        let mut off = 0;
+        for _ in 0..fours {
+            let kind = if self.rng.gen::<bool>() {
+                SboxKind::Present4
+            } else {
+                SboxKind::Spongent4
+            };
+            boxes.push((off, kind));
+            off += 4;
+        }
+        for _ in 0..threes {
+            boxes.push((off, SboxKind::Tail3));
+            off += 3;
+        }
+        Some(Layer::Substitute(boxes))
+    }
+
+    fn make_permutation(&mut self, width: u32) -> Layer {
+        let mut perm: Vec<u32> = (0..width).collect();
+        perm.shuffle(&mut self.rng);
+        Layer::Permute(perm)
+    }
+
+    /// Builds a compressing C-S layer `width -> next`: input bits are dealt
+    /// into `next` parity groups (covering every input), optionally with one
+    /// extra overlap bit per group for additional diffusion.
+    fn make_compression(&mut self, width: u32, next: u32) -> Layer {
+        let mut order: Vec<u32> = (0..width).collect();
+        order.shuffle(&mut self.rng);
+        let mut masks = vec![0u128; next as usize];
+        for (i, bit) in order.iter().enumerate() {
+            masks[i % next as usize] |= 1u128 << bit;
+        }
+        if self.rng.gen::<f64>() < self.weights[2] {
+            for m in &mut masks {
+                let extra = self.rng.gen_range(0..width);
+                *m |= 1u128 << extra;
+            }
+        }
+        Layer::Compress(masks)
+    }
+}
+
+/// Plans the sequence of post-compression widths. At most two compression
+/// steps are used (geometric interpolation between input and output) so the
+/// XOR-tree depths plus three substitution stages stay inside the paper's
+/// 45-transistor critical-path ceiling; the intermediate width is bumped to
+/// a tileable value so a substitution stage can follow it.
+fn width_schedule(input: u32, output: u32) -> Option<Vec<u32>> {
+    if output == 0 || output > input || input > 128 {
+        return None;
+    }
+    if input == output {
+        return Some(Vec::new());
+    }
+    let ratio = input as f64 / output as f64;
+    if ratio <= 2.5 {
+        return Some(vec![output]);
+    }
+    let mid_raw = (input as f64 / ratio.sqrt()).round() as u32;
+    let mid = tileable_ceil(mid_raw.clamp(output + 1, input - 1))?;
+    if mid <= output || mid >= input {
+        return Some(vec![output]);
+    }
+    Some(vec![mid, output])
+}
+
+/// Smallest tileable width ≥ `w` (every width ≥ 3 except 5 is expressible
+/// as 4a + 3b).
+fn tileable_ceil(w: u32) -> Option<u32> {
+    (w..=w + 3).find(|&x| tile(x).is_some())
+}
+
+/// Expresses `width = 4a + 3b` with minimal `b`, if possible.
+fn tile(width: u32) -> Option<(u32, u32)> {
+    for b in 0..=(width / 3) {
+        let rest = width - 3 * b;
+        if rest % 4 == 0 {
+            return Some((rest / 4, b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_covers_all_widths_except_one_two_five() {
+        for w in 3..=128u32 {
+            if w == 5 {
+                assert_eq!(tile(5), None, "5 = 4a+3b has no solution");
+                continue;
+            }
+            let (a, b) = tile(w).unwrap_or_else(|| panic!("width {w} untileable"));
+            assert_eq!(4 * a + 3 * b, w);
+        }
+        assert_eq!(tile(1), None);
+        assert_eq!(tile(2), None);
+    }
+
+    #[test]
+    fn width_schedule_descends_to_output() {
+        for (i, o) in [(80u32, 22u32), (90, 8), (96, 14), (96, 25), (80, 10), (32, 8)] {
+            let s = width_schedule(i, o).unwrap();
+            assert_eq!(*s.last().unwrap(), o, "{i}->{o}: {s:?}");
+            assert!(s.len() <= 2, "{i}->{o}: too many compression steps {s:?}");
+            let mut prev = i;
+            for &w in &s {
+                assert!(w < prev, "{i}->{o}: {s:?}");
+                assert!(w == o || tile(w).is_some(), "{i}->{o}: untileable mid in {s:?}");
+                prev = w;
+            }
+        }
+        assert!(width_schedule(22, 22).unwrap().is_empty());
+    }
+
+    #[test]
+    fn generates_r1_geometry_within_budget() {
+        let mut g = Generator::new(HwConstraints::for_geometry(80, 22), 7);
+        let c = g.generate(2, 60).expect("generation must succeed");
+        assert_eq!(c.input_bits(), 80);
+        assert_eq!(c.output_bits(), 22);
+        let cost = c.cost();
+        assert!(cost.critical_path <= 45, "critical path {}", cost.critical_path);
+        assert!(cost.layers <= 12);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cs = HwConstraints::for_geometry(40, 10);
+        let a = Generator::new(cs, 99).generate(2, 40).unwrap();
+        let b = Generator::new(cs, 99).generate(2, 40).unwrap();
+        for x in [0u128, 1, 0xdead_beef, (1 << 40) - 1] {
+            assert_eq!(a.eval(x), b.eval(x));
+        }
+        let c = Generator::new(cs, 100).generate(2, 40).unwrap();
+        let differs = (0..200u128).any(|x| a.eval(x * 997) != c.eval(x * 997));
+        assert!(differs, "different seeds should generally give different circuits");
+    }
+
+    #[test]
+    fn infeasible_budget_reported() {
+        let cs = HwConstraints {
+            input_bits: 96,
+            output_bits: 8,
+            max_critical_path: 4, // cannot even fit one S-box
+            max_total_transistors: 100,
+            max_breadth: 50,
+            max_layers: 3,
+            max_wire_crossings: 8,
+        };
+        let err = Generator::new(cs, 1).generate(1, 20).unwrap_err();
+        assert!(err.to_string().contains("no circuit"));
+    }
+
+    #[test]
+    fn generated_circuit_has_avalanche() {
+        let mut g = Generator::new(HwConstraints::for_geometry(48, 14), 3);
+        let c = g.generate(3, 100).unwrap();
+        let av = crate::analysis::avalanche(&c, 150, 5);
+        assert!(
+            (av.mean_hd - 0.5).abs() < 0.12,
+            "mean avalanche {} too far from 0.5",
+            av.mean_hd
+        );
+    }
+
+    #[test]
+    fn generated_circuit_has_at_least_three_substitution_stages() {
+        let mut g = Generator::new(HwConstraints::for_geometry(80, 22), 21);
+        let c = g.generate(1, 40).unwrap();
+        let subs = c
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Substitute(_)))
+            .count();
+        assert!(subs >= 3, "only {subs} substitution stages");
+    }
+}

@@ -1,0 +1,124 @@
+//! Hash-construction primitives: S-boxes from PRESENT and SPONGENT.
+//!
+//! Section V-A separates primitives into *mixing* primitives (S-boxes and
+//! P-boxes, establishing non-linearity and diffusion) and *non-invertible
+//! compression* primitives (XOR trees mapping |m| → |n|, |m| > |n|). The
+//! S-boxes below are the published 4-bit boxes of the PRESENT block cipher
+//! and the SPONGENT hash, plus a 3-bit box for odd-width tails.
+
+/// The PRESENT cipher 4→4 S-box (Bogdanov et al., CHES 2007).
+pub const PRESENT_SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+/// The SPONGENT hash 4→4 S-box (Bogdanov et al., CHES 2011).
+pub const SPONGENT_SBOX: [u8; 16] = [
+    0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF, 0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6,
+];
+
+/// A 3→3 S-box used to cover widths not divisible by four. Chosen as a
+/// permutation of 0..8 with no fixed points and full diffusion.
+pub const SBOX3: [u8; 8] = [0x5, 0x6, 0x3, 0x1, 0x7, 0x2, 0x0, 0x4];
+
+/// Which substitution box a [`crate::Layer::Substitute`] position uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SboxKind {
+    /// PRESENT 4→4 box.
+    Present4,
+    /// SPONGENT 4→4 box.
+    Spongent4,
+    /// 3→3 tail box.
+    Tail3,
+}
+
+impl SboxKind {
+    /// Input/output width in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            SboxKind::Present4 | SboxKind::Spongent4 => 4,
+            SboxKind::Tail3 => 3,
+        }
+    }
+
+    /// Applies the box to a value already masked to its width.
+    pub fn apply(self, v: u8) -> u8 {
+        match self {
+            SboxKind::Present4 => PRESENT_SBOX[v as usize],
+            SboxKind::Spongent4 => SPONGENT_SBOX[v as usize],
+            SboxKind::Tail3 => SBOX3[v as usize],
+        }
+    }
+
+    /// Series-transistor depth of the box (cost model, C1).
+    pub fn depth(self) -> u32 {
+        match self {
+            SboxKind::Present4 | SboxKind::Spongent4 => crate::SBOX4_DEPTH,
+            SboxKind::Tail3 => crate::SBOX3_DEPTH,
+        }
+    }
+
+    /// Total transistor count of the box (cost model, C1).
+    pub fn transistors(self) -> u32 {
+        match self {
+            SboxKind::Present4 | SboxKind::Spongent4 => crate::SBOX4_TRANSISTORS,
+            SboxKind::Tail3 => crate::SBOX3_TRANSISTORS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(f: impl Fn(u8) -> u8, n: u8) {
+        let mut seen = vec![false; n as usize];
+        for v in 0..n {
+            let o = f(v);
+            assert!(o < n, "output out of range");
+            assert!(!seen[o as usize], "not a bijection");
+            seen[o as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sboxes_are_bijections() {
+        assert_bijection(|v| SboxKind::Present4.apply(v), 16);
+        assert_bijection(|v| SboxKind::Spongent4.apply(v), 16);
+        assert_bijection(|v| SboxKind::Tail3.apply(v), 8);
+    }
+
+    #[test]
+    fn present_sbox_matches_published_values() {
+        // Spot checks from the CHES 2007 paper.
+        assert_eq!(PRESENT_SBOX[0x0], 0xC);
+        assert_eq!(PRESENT_SBOX[0xF], 0x2);
+        assert_eq!(PRESENT_SBOX[0x7], 0xD);
+    }
+
+    #[test]
+    fn spongent_sbox_matches_published_values() {
+        assert_eq!(SPONGENT_SBOX[0x0], 0xE);
+        assert_eq!(SPONGENT_SBOX[0xF], 0x6);
+    }
+
+    #[test]
+    fn sboxes_have_no_linear_structure_over_single_bits() {
+        // Flipping any single input bit must change the output for every
+        // base value (a weak but necessary non-linearity property).
+        for kind in [SboxKind::Present4, SboxKind::Spongent4] {
+            for v in 0u8..16 {
+                for b in 0..4 {
+                    assert_ne!(kind.apply(v), kind.apply(v ^ (1 << b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_sane() {
+        assert!(SboxKind::Tail3.depth() < SboxKind::Present4.depth());
+        assert!(SboxKind::Tail3.transistors() < SboxKind::Present4.transistors());
+        assert_eq!(SboxKind::Present4.width(), 4);
+        assert_eq!(SboxKind::Tail3.width(), 3);
+    }
+}

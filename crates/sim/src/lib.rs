@@ -1,0 +1,324 @@
+//! Trace-driven BPU simulation with protection policies (Section VII-B1).
+//!
+//! The simulator feeds a [`stbpu_trace::Trace`] through a complete
+//! [`Bpu`] model while applying one of the paper's five protection schemes
+//! ([`Protection`]):
+//!
+//! * **Unprotected** — the shared, never-flushed baseline.
+//! * **Stbpu** — secret-token isolation: context/mode switches only swap
+//!   tokens; nothing is flushed.
+//! * **Ucode1** — IBPB + IBRS modelled as full BPU flushes on context
+//!   switches and on kernel entries.
+//! * **Ucode2** — Ucode1 plus STIBP: static partitioning of shared
+//!   structures between the two logical threads.
+//! * **Conservative** — full 48-bit tags/targets in a half-capacity BTB
+//!   plus flushing and partitioning: prevents every known collision attack
+//!   at a steep cost (Section VII-B1).
+//!
+//! The headline metric is OAE — overall accuracy effective (all necessary
+//! predictions correct).
+//!
+//! # Example
+//!
+//! ```
+//! use stbpu_sim::{build_model, simulate, ModelKind, Protection};
+//! use stbpu_trace::{TraceGenerator, WorkloadProfile};
+//!
+//! let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(4000);
+//! let mut model = build_model(ModelKind::Baseline, 1);
+//! let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.1);
+//! assert!(report.oae > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stbpu_bpu::{Bpu, EntityId};
+use stbpu_core::{st_skl, StConfig};
+use stbpu_predictors::{conservative, skl_baseline};
+use stbpu_trace::{Trace, TraceEvent};
+
+/// Which protection scheme the simulator enforces around the model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protection {
+    /// Shared BPU, never flushed (the vulnerable baseline).
+    Unprotected,
+    /// STBPU: secret-token switching, no flushes.
+    Stbpu,
+    /// µcode protection 1: IBPB (flush on context switch) + IBRS (flush on
+    /// kernel entry).
+    Ucode1,
+    /// µcode protection 2: Ucode1 + STIBP (thread partitioning).
+    Ucode2,
+    /// Conservative full-tag model: flushes + partitioning on top of
+    /// aliasing-free storage.
+    Conservative,
+}
+
+impl Protection {
+    /// IBPB: full flush when the scheduler switches processes.
+    fn flushes_on_context_switch(self) -> bool {
+        matches!(self, Protection::Ucode1 | Protection::Ucode2 | Protection::Conservative)
+    }
+
+    /// IBRS: indirect-prediction (BTB/RSB) flush on kernel entry. The
+    /// conservative model is exempt: its full 48-bit tags already keep
+    /// kernel and user branches apart (they live at disjoint addresses).
+    fn flushes_targets_on_kernel_entry(self) -> bool {
+        matches!(self, Protection::Ucode1 | Protection::Ucode2)
+    }
+
+    fn partitions(self) -> bool {
+        matches!(self, Protection::Ucode2 | Protection::Conservative)
+    }
+
+    /// Display name matching Figure 3's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protection::Unprotected => "baseline",
+            Protection::Stbpu => "STBPU",
+            Protection::Ucode1 => "ucode protection",
+            Protection::Ucode2 => "ucode protection2",
+            Protection::Conservative => "conservative",
+        }
+    }
+}
+
+/// Model selector for the Figure 3 evaluation (all five schemes run the
+/// same SKL-style predictor underneath).
+#[derive(Clone, Copy, Debug)]
+pub enum ModelKind {
+    /// Unprotected Skylake-like baseline.
+    Baseline,
+    /// Secret-token model with difficulty factor `r`.
+    Stbpu {
+        /// Attack difficulty factor (Section VII-A; 0.05 default).
+        r: f64,
+    },
+    /// Baseline model used under µcode flushing policies.
+    Ucode,
+    /// Conservative full-tag model.
+    Conservative,
+}
+
+/// Builds the model for a [`ModelKind`].
+pub fn build_model(kind: ModelKind, seed: u64) -> Box<dyn Bpu> {
+    match kind {
+        ModelKind::Baseline | ModelKind::Ucode => Box::new(skl_baseline()),
+        ModelKind::Stbpu { r } => Box::new(st_skl(StConfig::with_r(r), seed)),
+        ModelKind::Conservative => Box::new(conservative()),
+    }
+}
+
+/// The five (kind, policy) combinations of Figure 3, in legend order.
+pub fn fig3_schemes() -> [(ModelKind, Protection); 5] {
+    [
+        (ModelKind::Baseline, Protection::Unprotected),
+        (ModelKind::Stbpu { r: 0.05 }, Protection::Stbpu),
+        (ModelKind::Ucode, Protection::Ucode1),
+        (ModelKind::Ucode, Protection::Ucode2),
+        (ModelKind::Conservative, Protection::Conservative),
+    ]
+}
+
+/// Aggregated result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Model name.
+    pub model: String,
+    /// Protection policy label.
+    pub protection: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Overall accuracy effective.
+    pub oae: f64,
+    /// Direction prediction rate (conditionals).
+    pub direction_rate: f64,
+    /// Target prediction rate (taken branches).
+    pub target_rate: f64,
+    /// Branches measured (after warm-up).
+    pub branches: u64,
+    /// Mispredictions.
+    pub mispredictions: u64,
+    /// BTB evictions.
+    pub evictions: u64,
+    /// Full flushes performed by the policy.
+    pub flushes: u64,
+    /// Secret-token re-randomizations.
+    pub rerandomizations: u64,
+}
+
+/// Runs `model` under `policy` over `trace`; the first `warmup_frac` of
+/// branch events warm the structures without counting toward statistics.
+///
+/// # Panics
+///
+/// Panics if `warmup_frac` is not within `[0, 1)`.
+pub fn simulate(
+    model: &mut dyn Bpu,
+    policy: Protection,
+    trace: &Trace,
+    warmup_frac: f64,
+) -> SimReport {
+    assert!((0.0..1.0).contains(&warmup_frac), "warm-up fraction out of range");
+    let warmup = (trace.branch_count() as f64 * warmup_frac) as usize;
+    model.set_partitioned(policy.partitions());
+
+    // Per-thread context: the user entity to return to after kernel exits.
+    let mut user_entity = [EntityId::user(0); 2];
+    let mut seen = 0usize;
+    let mut warmed = warmup == 0;
+
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::Branch { tid, ref rec } => {
+                model.process(tid as usize, rec);
+                seen += 1;
+                if !warmed && seen >= warmup {
+                    model.reset_stats();
+                    warmed = true;
+                }
+            }
+            TraceEvent::ContextSwitch { tid, entity } => {
+                user_entity[tid as usize & 1] = entity;
+                model.context_switch(tid as usize, entity);
+                if policy.flushes_on_context_switch() {
+                    model.flush(); // IBPB
+                }
+            }
+            TraceEvent::ModeSwitch { tid, kernel } => {
+                if kernel {
+                    model.context_switch(tid as usize, EntityId::KERNEL);
+                    if policy.flushes_targets_on_kernel_entry() {
+                        model.flush_targets(); // IBRS: no user-placed targets in kernel
+                    }
+                } else {
+                    model.context_switch(tid as usize, user_entity[tid as usize & 1]);
+                }
+            }
+            TraceEvent::Interrupt { .. } => {
+                // Delivery itself is free; the kernel excursion follows as
+                // ModeSwitch events.
+            }
+        }
+    }
+
+    let s = model.stats();
+    SimReport {
+        model: model.name(),
+        protection: policy.label(),
+        workload: trace.name.clone(),
+        oae: s.oae(),
+        direction_rate: s.direction_rate(),
+        target_rate: s.target_rate(),
+        branches: s.branches,
+        mispredictions: s.mispredictions,
+        evictions: s.btb_evictions,
+        flushes: s.flushes,
+        rerandomizations: model.rerandomizations(),
+    }
+}
+
+/// Convenience: run all five Figure 3 schemes over one trace and return the
+/// reports in legend order.
+pub fn run_fig3_suite(trace: &Trace, seed: u64, warmup: f64) -> Vec<SimReport> {
+    fig3_schemes()
+        .into_iter()
+        .map(|(kind, policy)| {
+            let mut model = build_model(kind, seed);
+            simulate(model.as_mut(), policy, trace, warmup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbpu_trace::{profiles, TraceGenerator, WorkloadProfile};
+
+    fn trace_for(name: &str, branches: usize) -> Trace {
+        TraceGenerator::new(profiles::by_name(name).unwrap(), 42).generate(branches)
+    }
+
+    #[test]
+    fn baseline_accuracy_in_published_range_for_spec() {
+        // Predictable FP workload: baseline OAE must be high.
+        let t = trace_for("519.lbm", 30_000);
+        let mut m = build_model(ModelKind::Baseline, 1);
+        let r = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
+        assert!(r.oae > 0.93, "lbm baseline OAE {}", r.oae);
+
+        // Hard integer workload: noticeably lower but still decent.
+        let t = trace_for("541.leela", 30_000);
+        let mut m = build_model(ModelKind::Baseline, 1);
+        let r2 = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
+        assert!(r2.oae > 0.75 && r2.oae < 0.99, "leela baseline OAE {}", r2.oae);
+        assert!(r.oae > r2.oae, "lbm must beat leela");
+    }
+
+    #[test]
+    fn stbpu_close_to_baseline_on_spec() {
+        let t = trace_for("525.x264", 25_000);
+        let mut base = build_model(ModelKind::Baseline, 1);
+        let rb = simulate(base.as_mut(), Protection::Unprotected, &t, 0.2);
+        let mut st = build_model(ModelKind::Stbpu { r: 0.05 }, 1);
+        let rs = simulate(st.as_mut(), Protection::Stbpu, &t, 0.2);
+        assert!(
+            rs.oae > rb.oae - 0.05,
+            "STBPU ({}) must track baseline ({})",
+            rs.oae,
+            rb.oae
+        );
+    }
+
+    #[test]
+    fn ucode_flushing_hurts_switch_heavy_workloads() {
+        let t = trace_for("apache2_prefork_c256", 30_000);
+        let suite = run_fig3_suite(&t, 7, 0.1);
+        let base = suite[0].oae;
+        let stbpu = suite[1].oae;
+        let ucode1 = suite[2].oae;
+        assert!(
+            ucode1 < base - 0.03,
+            "flushing must cost accuracy on apache: base {base}, ucode {ucode1}"
+        );
+        assert!(
+            stbpu > ucode1,
+            "STBPU ({stbpu}) must beat microcode flushing ({ucode1})"
+        );
+        assert!(suite[2].flushes > 100, "apache must trigger many flushes");
+    }
+
+    #[test]
+    fn stbpu_does_not_flush() {
+        let t = trace_for("mysql_64con_50s", 15_000);
+        let suite = run_fig3_suite(&t, 3, 0.1);
+        assert_eq!(suite[1].flushes, 0, "STBPU never flushes");
+        assert_eq!(suite[0].flushes, 0, "baseline never flushes");
+        assert!(suite[2].flushes > 0);
+    }
+
+    #[test]
+    fn partitioning_makes_ucode2_at_most_ucode1() {
+        let t = trace_for("chrome-1jetstream", 25_000);
+        let suite = run_fig3_suite(&t, 3, 0.1);
+        let (u1, u2) = (suite[2].oae, suite[3].oae);
+        assert!(u2 <= u1 + 0.02, "STIBP partitioning should not help: u1 {u1}, u2 {u2}");
+    }
+
+    #[test]
+    fn warmup_zero_counts_everything() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(100);
+        let mut m = build_model(ModelKind::Baseline, 1);
+        let r = simulate(m.as_mut(), Protection::Unprotected, &t, 0.0);
+        assert_eq!(r.branches, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up fraction")]
+    fn bad_warmup_rejected() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(10);
+        let mut m = build_model(ModelKind::Baseline, 1);
+        let _ = simulate(m.as_mut(), Protection::Unprotected, &t, 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace events — the unit of exchange between workload generation and the
+//! trace-driven simulator.
+
+use stbpu_bpu::{BranchRecord, EntityId};
+
+/// One event of a captured (here: synthesized) execution trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A retired branch on logical thread `tid`.
+    Branch {
+        /// Logical (SMT) thread.
+        tid: u8,
+        /// The branch record (pc, kind, outcome, target, gap).
+        rec: BranchRecord,
+    },
+    /// The scheduler switched thread `tid` to a different process.
+    ContextSwitch {
+        /// Logical thread.
+        tid: u8,
+        /// The process now running.
+        entity: EntityId,
+    },
+    /// Privilege mode changed (syscall entry/exit, interrupt delivery).
+    ModeSwitch {
+        /// Logical thread.
+        tid: u8,
+        /// `true` on kernel entry, `false` on return to user.
+        kernel: bool,
+    },
+    /// An asynchronous interrupt was delivered (brief kernel excursion
+    /// follows as ModeSwitch events).
+    Interrupt {
+        /// Logical thread.
+        tid: u8,
+    },
+}
+
+/// A named sequence of trace events.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Workload name (matches the figure x-axis labels).
+    pub name: String,
+    /// The event stream.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty named trace.
+    pub fn new(name: &str) -> Self {
+        Trace { name: name.to_string(), events: Vec::new() }
+    }
+
+    /// Number of branch events.
+    pub fn branch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Branch { .. }))
+            .count()
+    }
+
+    /// Number of context switches.
+    pub fn context_switches(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ContextSwitch { .. }))
+            .count()
+    }
+
+    /// Number of kernel entries (mode switches with `kernel == true`).
+    pub fn kernel_entries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ModeSwitch { kernel: true, .. }))
+            .count()
+    }
+
+    /// Total instruction count implied by branches plus their gaps — used
+    /// by the pipeline model for IPC.
+    pub fn instruction_count(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Branch { rec, .. } => 1 + rec.gap as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Iterates over branch records only.
+    pub fn branches(&self) -> impl Iterator<Item = (u8, &BranchRecord)> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Branch { tid, rec } => Some((*tid, rec)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbpu_bpu::BranchKind;
+
+    #[test]
+    fn counting_helpers() {
+        let mut t = Trace::new("t");
+        t.events.push(TraceEvent::ContextSwitch { tid: 0, entity: EntityId::user(1) });
+        t.events.push(TraceEvent::Branch {
+            tid: 0,
+            rec: BranchRecord::taken(0x40, BranchKind::DirectJump, 0x80).with_gap(9),
+        });
+        t.events.push(TraceEvent::ModeSwitch { tid: 0, kernel: true });
+        t.events.push(TraceEvent::Branch {
+            tid: 0,
+            rec: BranchRecord::not_taken(0xffff_8000_0000),
+        });
+        t.events.push(TraceEvent::ModeSwitch { tid: 0, kernel: false });
+        t.events.push(TraceEvent::Interrupt { tid: 0 });
+        assert_eq!(t.branch_count(), 2);
+        assert_eq!(t.context_switches(), 1);
+        assert_eq!(t.kernel_entries(), 1);
+        assert_eq!(t.instruction_count(), 1 + 9 + 1);
+        assert_eq!(t.branches().count(), 2);
+    }
+}

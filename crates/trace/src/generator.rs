@@ -1,0 +1,315 @@
+//! The trace generator: interleaves per-process program walks with kernel
+//! excursions (syscalls, interrupts, scheduler-driven context switches)
+//! across one or two logical threads — the shape of a live Intel PT
+//! capture of a physical core (Section VII-B1).
+
+use crate::event::{Trace, TraceEvent};
+use crate::profiles::WorkloadProfile;
+use crate::program::{Program, ProgramShape, Walker};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stbpu_bpu::EntityId;
+
+/// Kernel image base (inside the canonical 48-bit space).
+const KERNEL_BASE: u64 = 0xffff_8000_0000;
+/// Branches executed inside a syscall handler.
+const SYSCALL_LEN: (u32, u32) = (25, 70);
+/// Branches executed inside an interrupt handler.
+const IRQ_LEN: (u32, u32) = (8, 25);
+/// Branches executed by the scheduler on a context switch.
+const SCHED_LEN: (u32, u32) = (40, 90);
+/// Thread time-slice in branches for two-thread traces.
+const THREAD_CHUNK: usize = 96;
+
+/// Deterministic synthetic-trace generator for one workload profile.
+///
+/// ```
+/// use stbpu_trace::{TraceGenerator, WorkloadProfile};
+/// let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(5_000);
+/// assert_eq!(t.branch_count(), 5_000);
+/// assert!(t.kernel_entries() > 0, "live traces include OS activity");
+/// ```
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    programs: Vec<Program>,
+    walkers: Vec<Walker>,
+    kernel_prog: Program,
+    kernel_walkers: Vec<Walker>,
+    /// Current process (index into `programs`) per thread.
+    current: [usize; 2],
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with deterministic randomness.
+    pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(profile.name));
+        let shape = ProgramShape {
+            functions: profile.functions,
+            blocks_per_fn: profile.blocks_per_fn,
+            loop_fraction: profile.loop_fraction,
+            avg_trip: profile.avg_trip,
+            pattern_complexity: profile.pattern_complexity,
+            taken_bias: profile.taken_bias,
+            indirect_fraction: profile.indirect_fraction,
+            indirect_targets: profile.indirect_targets,
+            call_fraction: profile.call_fraction,
+            hardness: profile.noise,
+        };
+        let nproc = profile.processes.max(1);
+        let mut programs = Vec::with_capacity(nproc);
+        let mut walkers = Vec::with_capacity(nproc);
+        for p in 0..nproc {
+            // Per-process ASLR-style base; identical program *shape* per
+            // process of the same workload (like forked server workers).
+            let base = 0x4000_0000 + (p as u64) * 0x0002_1000_0000;
+            let prog = Program::build(&shape, base, &mut rng);
+            let wseed = rng.gen();
+            walkers.push(Walker::new(&prog, profile.call_depth, profile.noise * 0.5, wseed));
+            programs.push(prog);
+        }
+        let kshape = ProgramShape {
+            functions: 36,
+            blocks_per_fn: 6,
+            loop_fraction: 0.15,
+            avg_trip: 6,
+            pattern_complexity: 0.1,
+            taken_bias: 0.75,
+            indirect_fraction: 0.1,
+            indirect_targets: 5,
+            call_fraction: 0.22,
+            hardness: 0.05,
+        };
+        let kernel_prog = Program::build(&kshape, KERNEL_BASE, &mut rng);
+        let kernel_walkers = (0..2)
+            .map(|i| Walker::new(&kernel_prog, 10, 0.04, seed ^ 0xbeef ^ i))
+            .collect();
+        TraceGenerator {
+            profile: *profile,
+            rng,
+            programs,
+            walkers,
+            kernel_prog,
+            kernel_walkers,
+            current: [0, 0],
+        }
+    }
+
+    /// Threads used by this workload's traces. A trace never occupies more
+    /// threads than it has processes (each walker is owned by one thread,
+    /// keeping per-thread call/return streams well nested).
+    pub fn threads(&self) -> usize {
+        self.profile.threads.clamp(1, 2).min(self.programs.len())
+    }
+
+    fn sample_gap(rng: &mut StdRng, mean: f64) -> u16 {
+        // Exponential gaps, clamped: bursty like real instruction streams.
+        let u: f64 = rng.gen::<f64>().max(1e-9);
+        ((-u.ln() * mean) as u64).min(900) as u16
+    }
+
+    fn entity_for(&self, proc_idx: usize) -> EntityId {
+        EntityId::user(proc_idx as u32)
+    }
+
+    /// Emits `n` kernel branches on `tid` into `out`.
+    fn kernel_run(&mut self, out: &mut Vec<TraceEvent>, tid: usize, n: u32) {
+        for _ in 0..n {
+            let mut rec = self.kernel_walkers[tid].next(&self.kernel_prog);
+            rec.gap = Self::sample_gap(&mut self.rng, 4.0);
+            out.push(TraceEvent::Branch { tid: tid as u8, rec });
+        }
+    }
+
+    /// Generates a trace containing exactly `branches` branch events
+    /// (kernel branches included).
+    pub fn generate(&mut self, branches: usize) -> Trace {
+        let mut trace = Trace::new(self.profile.name);
+        let threads = self.threads();
+        let nproc = self.programs.len();
+
+        // Announce the initial process on each thread (processes are
+        // partitioned across threads by index parity).
+        for t in 0..threads {
+            let first = (0..nproc).find(|p| p % threads == t).unwrap_or(0);
+            self.current[t] = first;
+            trace
+                .events
+                .push(TraceEvent::ContextSwitch { tid: t as u8, entity: self.entity_for(first) });
+        }
+
+        let p_sys = self.profile.syscalls_per_1k / 1000.0;
+        let p_ctx = self.profile.ctx_switches_per_1k / 1000.0;
+        let p_irq = self.profile.interrupts_per_1k / 1000.0;
+
+        let mut emitted = 0usize;
+        let mut tid = 0usize;
+        let mut chunk = 0usize;
+        while emitted < branches {
+            // Thread time-slicing for two-thread traces.
+            chunk += 1;
+            if threads == 2 && chunk % THREAD_CHUNK == 0 {
+                tid = 1 - tid;
+            }
+
+            let roll: f64 = self.rng.gen();
+            if roll < p_ctx && nproc > 1 {
+                // Scheduler: kernel entry, scheduler body, switch, exit.
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                let n = self.rng.gen_range(SCHED_LEN.0..=SCHED_LEN.1);
+                let mut buf = Vec::new();
+                self.kernel_run(&mut buf, tid, n);
+                emitted += buf.len();
+                trace.events.append(&mut buf);
+                // Round-robin among this thread's processes.
+                let mine: Vec<usize> = (0..nproc).filter(|p| p % threads == tid % threads).collect();
+                let pos = mine.iter().position(|&p| p == self.current[tid]).unwrap_or(0);
+                let next = mine[(pos + 1) % mine.len()];
+                self.current[tid] = next;
+                trace.events.push(TraceEvent::ContextSwitch {
+                    tid: tid as u8,
+                    entity: self.entity_for(next),
+                });
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+            } else if roll < p_ctx + p_sys {
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                let n = self.rng.gen_range(SYSCALL_LEN.0..=SYSCALL_LEN.1);
+                let mut buf = Vec::new();
+                self.kernel_run(&mut buf, tid, n);
+                emitted += buf.len();
+                trace.events.append(&mut buf);
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+            } else if roll < p_ctx + p_sys + p_irq {
+                trace.events.push(TraceEvent::Interrupt { tid: tid as u8 });
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                let n = self.rng.gen_range(IRQ_LEN.0..=IRQ_LEN.1);
+                let mut buf = Vec::new();
+                self.kernel_run(&mut buf, tid, n);
+                emitted += buf.len();
+                trace.events.append(&mut buf);
+                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+            } else {
+                let proc_idx = self.current[tid];
+                let mut rec = self.walkers[proc_idx].next(&self.programs[proc_idx]);
+                rec.gap = Self::sample_gap(&mut self.rng, self.profile.gap_mean);
+                trace.events.push(TraceEvent::Branch { tid: tid as u8, rec });
+                emitted += 1;
+            }
+        }
+        // Trim overshoot from the last kernel run so the count is exact.
+        while trace.branch_count() > branches {
+            let pos = trace
+                .events
+                .iter()
+                .rposition(|e| matches!(e, TraceEvent::Branch { .. }))
+                .expect("has branches");
+            trace.events.remove(pos);
+        }
+        trace
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn exact_branch_count() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(1234);
+        assert_eq!(t.branch_count(), 1234);
+    }
+
+    #[test]
+    fn mode_switches_are_balanced() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(5000);
+        let mut depth = 0i32;
+        for e in &t.events {
+            match e {
+                TraceEvent::ModeSwitch { kernel: true, .. } => depth += 1,
+                TraceEvent::ModeSwitch { kernel: false, .. } => depth -= 1,
+                _ => {}
+            }
+            assert!((0..=1).contains(&depth), "mode switches must not nest");
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn kernel_branches_live_in_kernel_windows() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(5000);
+        let mut in_kernel = [false; 2];
+        for e in &t.events {
+            match e {
+                TraceEvent::ModeSwitch { tid, kernel } => in_kernel[*tid as usize] = *kernel,
+                TraceEvent::Branch { tid, rec } => {
+                    let is_kernel_addr = rec.pc.raw() >= KERNEL_BASE;
+                    assert_eq!(
+                        is_kernel_addr, in_kernel[*tid as usize],
+                        "kernel-address branches only in kernel mode"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn server_profile_uses_two_threads_and_many_processes() {
+        let p = profiles::by_name("apache2_prefork_c128").unwrap();
+        let t = TraceGenerator::new(p, 5).generate(20_000);
+        let mut tids = std::collections::HashSet::new();
+        let mut entities = std::collections::HashSet::new();
+        for e in &t.events {
+            match e {
+                TraceEvent::Branch { tid, .. } => {
+                    tids.insert(*tid);
+                }
+                TraceEvent::ContextSwitch { entity, .. } => {
+                    entities.insert(*entity);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(tids.len(), 2, "server traces occupy both logical threads");
+        assert!(entities.len() >= 4, "prefork spawns many workers: {}", entities.len());
+    }
+
+    #[test]
+    fn spec_trace_is_mostly_user_code() {
+        let p = profiles::by_name("519.lbm").unwrap();
+        let t = TraceGenerator::new(p, 5).generate(20_000);
+        let kernel_branches = t
+            .branches()
+            .filter(|(_, r)| r.pc.raw() >= KERNEL_BASE)
+            .count();
+        assert!(
+            (kernel_branches as f64) < 0.15 * t.branch_count() as f64,
+            "compute-bound SPEC should be mostly user branches ({kernel_branches})"
+        );
+    }
+
+    #[test]
+    fn determinism_across_generators() {
+        let p = profiles::by_name("505.mcf").unwrap();
+        let a = TraceGenerator::new(p, 77).generate(3000);
+        let b = TraceGenerator::new(p, 77).generate(3000);
+        assert_eq!(a.events, b.events);
+        let c = TraceGenerator::new(p, 78).generate(3000);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn different_workloads_have_different_kernel_share() {
+        let spec = TraceGenerator::new(profiles::by_name("503.bwaves").unwrap(), 1).generate(30_000);
+        let srv =
+            TraceGenerator::new(profiles::by_name("mysql_256con_50s").unwrap(), 1).generate(30_000);
+        assert!(srv.kernel_entries() > 4 * spec.kernel_entries().max(1));
+        assert!(srv.context_switches() > spec.context_switches());
+    }
+}

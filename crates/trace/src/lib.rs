@@ -1,0 +1,44 @@
+//! Branch-trace substrate: trace format and synthetic workload generation.
+//!
+//! The paper evaluates prediction accuracy on Intel Processor Trace
+//! captures of a live machine — SPEC CPU 2017 plus user/server applications
+//! with naturally occurring context switches, mode switches and interrupts
+//! (Section VII-B1). Neither the hardware nor the captures are available,
+//! so this crate builds the documented substitute (DESIGN.md §2): a
+//! deterministic, profile-driven workload generator that emits the same
+//! *kind* of stream.
+//!
+//! Each named workload (`500.perlbench` … `obsstudio_30s`) has a
+//! [`WorkloadProfile`] describing its code footprint, branch mix, pattern
+//! complexity, call depth, and OS interaction rates. The
+//! [`TraceGenerator`] walks per-entity synthetic programs (functions,
+//! loops, periodic conditionals, indirect jumps with context-dependent
+//! targets, well-nested calls/returns) and interleaves kernel excursions —
+//! producing a [`Trace`] of [`TraceEvent`]s any `stbpu_bpu::Bpu` model can
+//! consume.
+//!
+//! # Example
+//!
+//! ```
+//! use stbpu_trace::{profiles, TraceGenerator};
+//!
+//! let profile = profiles::by_name("505.mcf").unwrap();
+//! let trace = TraceGenerator::new(profile, 42).generate(2_000);
+//! assert_eq!(trace.branch_count(), 2_000);
+//! // Same seed, same trace.
+//! let again = TraceGenerator::new(profile, 42).generate(2_000);
+//! assert_eq!(trace.events.len(), again.events.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod generator;
+pub mod profiles;
+mod program;
+pub mod serialize;
+
+pub use event::{Trace, TraceEvent};
+pub use generator::TraceGenerator;
+pub use profiles::{WorkloadClass, WorkloadProfile};

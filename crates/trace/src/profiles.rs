@@ -1,0 +1,376 @@
+//! Named workload profiles — the knobs behind every synthetic trace.
+//!
+//! Profiles are calibrated so the *baseline* model's accuracy lands in the
+//! range published for each workload class (SPECfp highly predictable,
+//! SPECint mixed, pointer-chasing/search workloads hard, servers
+//! switch-heavy). What the experiments compare is the *relative* accuracy
+//! of protection schemes on identical streams, which these knobs control
+//! directly: flush cost scales with `syscalls_per_1k` and
+//! `ctx_switches_per_1k`, capacity pressure with `functions ×
+//! blocks_per_fn`, and history value with pattern complexity.
+
+/// Broad workload category (used for reporting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadClass {
+    /// SPEC CPU 2017 integer workload.
+    SpecInt,
+    /// SPEC CPU 2017 floating-point workload.
+    SpecFp,
+    /// Server application under concurrent load.
+    Server,
+    /// Interactive desktop application.
+    Desktop,
+}
+
+/// All knobs of one synthetic workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadProfile {
+    /// Workload name as it appears on the figure axes.
+    pub name: &'static str,
+    /// Category.
+    pub class: WorkloadClass,
+    /// Number of synthetic functions (code footprint → BTB pressure).
+    pub functions: usize,
+    /// Branch sites per function.
+    pub blocks_per_fn: usize,
+    /// Fraction of conditional sites that are fixed-trip loops.
+    pub loop_fraction: f64,
+    /// Mean loop trip count.
+    pub avg_trip: u32,
+    /// Fraction of conditional sites carrying long periodic patterns
+    /// (learnable only with deep history — differentiates TAGE from the
+    /// baseline).
+    pub pattern_complexity: f64,
+    /// Fraction of purely random conditional outcomes (intrinsic
+    /// unpredictability: data-dependent branches).
+    pub noise: f64,
+    /// Taken bias of plain biased branches.
+    pub taken_bias: f64,
+    /// Fraction of sites that are indirect jumps (switch statements,
+    /// virtual calls).
+    pub indirect_fraction: f64,
+    /// Targets per indirect site.
+    pub indirect_targets: usize,
+    /// Fraction of sites that are calls.
+    pub call_fraction: f64,
+    /// Maximum call-chain depth (> 16 exercises RSB overflow).
+    pub call_depth: usize,
+    /// Syscall rate per 1000 branches (mode switches).
+    pub syscalls_per_1k: f64,
+    /// Context-switch rate per 1000 branches.
+    pub ctx_switches_per_1k: f64,
+    /// Interrupt rate per 1000 branches (timer ticks etc.).
+    pub interrupts_per_1k: f64,
+    /// Number of distinct user processes in the trace.
+    pub processes: usize,
+    /// Logical threads the trace occupies (1 or 2).
+    pub threads: usize,
+    /// Mean non-branch instructions between branches.
+    pub gap_mean: f64,
+    /// Fraction of gap instructions that are loads (pipeline model).
+    pub load_fraction: f64,
+    /// L1D miss probability per load (pipeline model).
+    pub l1_miss: f64,
+    /// L2 miss probability given L1 miss (pipeline model).
+    pub l2_miss: f64,
+    /// LLC miss probability given L2 miss (pipeline model).
+    pub llc_miss: f64,
+}
+
+impl WorkloadProfile {
+    /// A small, fast profile for unit tests.
+    pub fn test_profile() -> Self {
+        WorkloadProfile {
+            name: "test",
+            class: WorkloadClass::SpecInt,
+            functions: 12,
+            blocks_per_fn: 6,
+            loop_fraction: 0.3,
+            avg_trip: 12,
+            pattern_complexity: 0.2,
+            noise: 0.05,
+            taken_bias: 0.7,
+            indirect_fraction: 0.05,
+            indirect_targets: 3,
+            call_fraction: 0.2,
+            call_depth: 8,
+            syscalls_per_1k: 2.0,
+            ctx_switches_per_1k: 0.5,
+            interrupts_per_1k: 0.3,
+            processes: 2,
+            threads: 1,
+            gap_mean: 6.0,
+            load_fraction: 0.3,
+            l1_miss: 0.03,
+            l2_miss: 0.3,
+            llc_miss: 0.2,
+        }
+    }
+}
+
+/// Builds a SPEC-like profile. Helper for the tables below.
+#[allow(clippy::too_many_arguments)]
+const fn spec(
+    name: &'static str,
+    class: WorkloadClass,
+    functions: usize,
+    noise: f64,
+    pattern_complexity: f64,
+    indirect_fraction: f64,
+    gap_mean: f64,
+    l1_miss: f64,
+) -> WorkloadProfile {
+    let (loop_fraction, avg_trip) = match class {
+        WorkloadClass::SpecFp => (0.06, 44),
+        _ => (0.08, 18),
+    };
+    WorkloadProfile {
+        name,
+        class,
+        functions,
+        blocks_per_fn: 8,
+        loop_fraction,
+        avg_trip,
+        pattern_complexity,
+        noise,
+        taken_bias: 0.78,
+        indirect_fraction,
+        indirect_targets: 4,
+        call_fraction: 0.18,
+        call_depth: 12,
+        syscalls_per_1k: 0.6,
+        ctx_switches_per_1k: 0.15,
+        interrupts_per_1k: 0.25,
+        processes: 1,
+        threads: 1,
+        gap_mean,
+        load_fraction: 0.32,
+        l1_miss,
+        l2_miss: 0.35,
+        llc_miss: 0.3,
+    }
+}
+
+/// Builds a server/desktop profile.
+#[allow(clippy::too_many_arguments)]
+const fn app(
+    name: &'static str,
+    class: WorkloadClass,
+    functions: usize,
+    processes: usize,
+    threads: usize,
+    syscalls_per_1k: f64,
+    ctx_switches_per_1k: f64,
+    noise: f64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name,
+        class,
+        functions,
+        blocks_per_fn: 7,
+        loop_fraction: 0.06,
+        avg_trip: 12,
+        pattern_complexity: 0.10,
+        noise,
+        taken_bias: 0.72,
+        indirect_fraction: 0.09,
+        indirect_targets: 6,
+        call_fraction: 0.24,
+        call_depth: 20,
+        syscalls_per_1k,
+        ctx_switches_per_1k,
+        interrupts_per_1k: 1.2,
+        processes,
+        threads,
+        gap_mean: 5.0,
+        load_fraction: 0.35,
+        l1_miss: 0.05,
+        l2_miss: 0.4,
+        llc_miss: 0.35,
+    }
+}
+
+use WorkloadClass::{Desktop, Server, SpecFp, SpecInt};
+
+/// The 23 SPEC CPU 2017 workload profiles of Figure 3.
+pub const SPEC: [WorkloadProfile; 23] = [
+    spec("500.perlbench", SpecInt, 160, 0.035, 0.15, 0.12, 5.0, 0.02),
+    spec("502.gcc", SpecInt, 320, 0.045, 0.14, 0.10, 4.6, 0.03),
+    spec("503.bwaves", SpecFp, 40, 0.004, 0.05, 0.01, 22.0, 0.06),
+    spec("505.mcf", SpecInt, 48, 0.085, 0.11, 0.02, 6.5, 0.12),
+    spec("507.cactuBSSN", SpecFp, 90, 0.006, 0.04, 0.01, 26.0, 0.07),
+    spec("508.namd", SpecFp, 60, 0.006, 0.04, 0.01, 24.0, 0.04),
+    spec("510.parest", SpecFp, 110, 0.012, 0.06, 0.03, 15.0, 0.05),
+    spec("511.povray", SpecFp, 120, 0.022, 0.09, 0.05, 8.0, 0.02),
+    spec("519.lbm", SpecFp, 24, 0.003, 0.025, 0.01, 30.0, 0.10),
+    spec("520.omnetpp", SpecInt, 200, 0.055, 0.13, 0.11, 5.5, 0.08),
+    spec("521.wrf", SpecFp, 140, 0.008, 0.05, 0.02, 18.0, 0.05),
+    spec("523.xalancbmk", SpecInt, 240, 0.040, 0.13, 0.13, 5.2, 0.05),
+    spec("525.x264", SpecInt, 80, 0.025, 0.1, 0.04, 9.0, 0.03),
+    spec("526.blender", SpecFp, 180, 0.020, 0.08, 0.06, 10.0, 0.04),
+    spec("527.cam4", SpecFp, 150, 0.010, 0.06, 0.02, 16.0, 0.05),
+    spec("531.deepsjeng", SpecInt, 70, 0.075, 0.17, 0.03, 5.8, 0.04),
+    spec("538.imagick", SpecFp, 70, 0.006, 0.04, 0.02, 20.0, 0.03),
+    spec("541.leela", SpecInt, 60, 0.090, 0.18, 0.03, 6.0, 0.03),
+    spec("544.nab", SpecFp, 50, 0.008, 0.05, 0.01, 19.0, 0.04),
+    spec("548.exchange2", SpecInt, 40, 0.015, 0.2, 0.01, 5.0, 0.01),
+    spec("549.fotonik3d", SpecFp, 40, 0.004, 0.03, 0.01, 25.0, 0.08),
+    spec("554.roms", SpecFp, 90, 0.006, 0.045, 0.01, 21.0, 0.06),
+    spec("557.xz", SpecInt, 55, 0.060, 0.12, 0.02, 7.0, 0.06),
+];
+
+/// The user/server application profiles of Figure 3.
+pub const APPS: [WorkloadProfile; 14] = [
+    app("apache2_prefork_c32", Server, 260, 4, 2, 14.0, 3.0, 0.05),
+    app("apache2_prefork_c64", Server, 260, 6, 2, 16.0, 4.5, 0.05),
+    app("apache2_prefork_c128", Server, 260, 8, 2, 18.0, 6.5, 0.055),
+    app("apache2_prefork_c256", Server, 260, 10, 2, 20.0, 9.0, 0.055),
+    app("apache2_prefork_c512", Server, 260, 12, 2, 22.0, 12.0, 0.06),
+    app("chrome-1jetstream", Desktop, 420, 5, 2, 8.0, 2.2, 0.055),
+    app("chrome-1motionmark", Desktop, 400, 5, 2, 9.0, 2.5, 0.05),
+    app("chrome-1speedometer", Desktop, 430, 5, 2, 8.5, 2.4, 0.055),
+    app("chrome-1je_1mo_1sp", Desktop, 480, 8, 2, 10.0, 3.5, 0.06),
+    app("mysql_32con_50s", Server, 300, 5, 2, 12.0, 3.2, 0.05),
+    app("mysql_64con_50s", Server, 300, 7, 2, 13.5, 4.5, 0.05),
+    app("mysql_128con_50s", Server, 300, 9, 2, 15.0, 6.0, 0.055),
+    app("mysql_256con_50s", Server, 300, 11, 2, 17.0, 8.0, 0.055),
+    app("obsstudio_30s", Desktop, 340, 4, 2, 7.0, 1.8, 0.045),
+];
+
+/// The 18 single-workload names of the Figure 4 gem5 evaluation.
+pub const FIG4_WORKLOADS: [&str; 18] = [
+    "549.fotonik3d",
+    "525.x264",
+    "548.exchange2",
+    "531.deepsjeng",
+    "554.roms",
+    "505.mcf",
+    "544.nab",
+    "527.cam4",
+    "508.namd",
+    "523.xalancbmk",
+    "510.parest",
+    "503.bwaves",
+    "521.wrf",
+    "538.imagick",
+    "541.leela",
+    "526.blender",
+    "557.xz",
+    "519.lbm",
+];
+
+/// The 31 SMT workload pairs of Figure 5 (short names, resolved against
+/// the SPEC table).
+pub const FIG5_PAIRS: [(&str, &str); 31] = [
+    ("503.bwaves", "549.fotonik3d"),
+    ("503.bwaves", "507.cactuBSSN"),
+    ("503.bwaves", "541.leela"),
+    ("503.bwaves", "527.cam4"),
+    ("548.exchange2", "544.nab"),
+    ("503.bwaves", "521.wrf"),
+    ("541.leela", "508.namd"),
+    ("548.exchange2", "505.mcf"),
+    ("503.bwaves", "531.deepsjeng"),
+    ("548.exchange2", "549.fotonik3d"),
+    ("531.deepsjeng", "519.lbm"),
+    ("503.bwaves", "508.namd"),
+    ("503.bwaves", "519.lbm"),
+    ("541.leela", "505.mcf"),
+    ("519.lbm", "557.xz"),
+    ("549.fotonik3d", "505.mcf"),
+    ("519.lbm", "508.namd"),
+    ("519.lbm", "505.mcf"),
+    ("548.exchange2", "541.leela"),
+    ("549.fotonik3d", "519.lbm"),
+    ("527.cam4", "505.mcf"),
+    ("544.nab", "557.xz"),
+    ("548.exchange2", "508.namd"),
+    ("503.bwaves", "554.roms"),
+    ("505.mcf", "557.xz"),
+    ("548.exchange2", "519.lbm"),
+    ("503.bwaves", "511.povray"),
+    ("549.fotonik3d", "541.leela"),
+    ("549.fotonik3d", "508.namd"),
+    ("531.deepsjeng", "557.xz"),
+    ("503.bwaves", "548.exchange2"),
+];
+
+/// Looks up a profile by name across the SPEC and application tables.
+pub fn by_name(name: &str) -> Option<&'static WorkloadProfile> {
+    SPEC.iter().chain(APPS.iter()).find(|p| p.name == name)
+}
+
+/// Converts a profile into its gem5 syscall-emulation (SE) mode equivalent:
+/// a single user process with no OS activity — how the paper's Figure 4/5/6
+/// pipeline experiments run (Section VII-B2).
+pub fn se_profile(p: &WorkloadProfile) -> WorkloadProfile {
+    WorkloadProfile {
+        syscalls_per_1k: 0.0,
+        ctx_switches_per_1k: 0.0,
+        interrupts_per_1k: 0.0,
+        processes: 1,
+        threads: 1,
+        ..*p
+    }
+}
+
+/// All Figure 3 workloads in the paper's axis order (SPEC then apps).
+pub fn fig3_workloads() -> Vec<&'static WorkloadProfile> {
+    SPEC.iter().chain(APPS.iter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<&str> = fig3_workloads().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 37);
+    }
+
+    #[test]
+    fn fig4_and_fig5_names_resolve() {
+        for n in FIG4_WORKLOADS {
+            assert!(by_name(n).is_some(), "missing profile {n}");
+        }
+        for (a, b) in FIG5_PAIRS {
+            assert!(by_name(a).is_some(), "missing profile {a}");
+            assert!(by_name(b).is_some(), "missing profile {b}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in fig3_workloads() {
+            assert!(p.noise >= 0.0 && p.noise < 0.5, "{}: noise", p.name);
+            assert!(p.taken_bias > 0.5 && p.taken_bias < 1.0, "{}: bias", p.name);
+            assert!(p.functions >= 8, "{}: footprint", p.name);
+            assert!(p.processes >= 1 && p.threads >= 1 && p.threads <= 2, "{}", p.name);
+            assert!(
+                p.indirect_fraction + p.call_fraction < 0.6,
+                "{}: branch mix leaves room for conditionals",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn servers_switch_more_than_spec() {
+        let spec_avg: f64 =
+            SPEC.iter().map(|p| p.ctx_switches_per_1k).sum::<f64>() / SPEC.len() as f64;
+        let app_avg: f64 =
+            APPS.iter().map(|p| p.ctx_switches_per_1k).sum::<f64>() / APPS.len() as f64;
+        assert!(app_avg > 5.0 * spec_avg);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("505.mcf").unwrap().name, "505.mcf");
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,424 @@
+//! Synthetic program model: functions of branch sites walked by a
+//! deterministic abstract machine.
+//!
+//! Programs are DAGs of functions (callees always have higher ids, so call
+//! chains terminate) whose bodies are sequences of *sites*: conditionals
+//! with loop/periodic/Bernoulli behaviour, direct and indirect calls, and
+//! indirect jumps with rotating target sets. The walker yields one
+//! [`BranchRecord`] per step with perfectly nested call/return pairs —
+//! matching what Intel PT would deliver for real code.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stbpu_bpu::{BranchKind, BranchRecord};
+
+/// Behaviour of one conditional site.
+#[derive(Clone, Debug)]
+pub(crate) enum CondBehavior {
+    /// Fixed-trip loop back edge: taken `trip − 1` times, then exits.
+    Loop { trip: u32 },
+    /// Periodic outcome pattern (bit `i` of `pattern` = outcome at phase
+    /// `i mod len`).
+    Periodic { pattern: u64, len: u8 },
+    /// Independent biased coin.
+    Bernoulli { p_taken: f64 },
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum SiteKind {
+    Cond { behavior: CondBehavior, taken_target: u64 },
+    Call { callee: usize },
+    IndirectCall { callees: Vec<usize> },
+    IndirectJump { targets: Vec<u64> },
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Site {
+    pub pc: u64,
+    pub kind: SiteKind,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Function {
+    pub entry: u64,
+    pub exit_pc: u64,
+    pub sites: Vec<Site>,
+}
+
+/// Knobs consumed by [`Program::build`] (a subset of the workload profile).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProgramShape {
+    pub functions: usize,
+    pub blocks_per_fn: usize,
+    pub loop_fraction: f64,
+    pub avg_trip: u32,
+    pub pattern_complexity: f64,
+    pub taken_bias: f64,
+    pub indirect_fraction: f64,
+    pub indirect_targets: usize,
+    pub call_fraction: f64,
+    /// Drives the share of hard (weakly biased) branches — derived from
+    /// the profile's intrinsic-noise knob.
+    pub hardness: f64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Program {
+    pub functions: Vec<Function>,
+    pub blocks_per_fn: usize,
+    /// Dispatcher call sites (the "main loop" of the entity).
+    pub main_pcs: Vec<u64>,
+}
+
+impl Program {
+    /// Builds a synthetic program at `base` with the given shape.
+    ///
+    /// Functions are packed back-to-back with irregular sizes, like a real
+    /// linker lays them out — a page-aligned layout would make every
+    /// function alias in the BTB's low index bits.
+    pub fn build(shape: &ProgramShape, base: u64, rng: &mut StdRng) -> Program {
+        let nf = shape.functions.max(2);
+        let mut functions = Vec::with_capacity(nf);
+        let min_size = 0x48 * (shape.blocks_per_fn as u64 + 1) + 0x40;
+        let mut cursor = base;
+        for fid in 0..nf {
+            let entry = cursor;
+            let size = min_size + rng.gen_range(0..0x280u64) * 4;
+            cursor += size;
+            let mut sites = Vec::with_capacity(shape.blocks_per_fn);
+            for s in 0..shape.blocks_per_fn {
+                let pc = entry + 0x48 * (s as u64 + 1) + rng.gen_range(0..8u64) * 4;
+                let roll: f64 = rng.gen();
+                let kind = if roll < shape.call_fraction && fid + 1 < nf {
+                    // Callees strictly deeper in the DAG; mostly near.
+                    let lo = fid + 1;
+                    let hi = (fid + 9).min(nf - 1);
+                    if rng.gen::<f64>() < 0.25 {
+                        let n = rng.gen_range(2..=4usize);
+                        let callees =
+                            (0..n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<_>>();
+                        SiteKind::IndirectCall { callees }
+                    } else {
+                        SiteKind::Call { callee: rng.gen_range(lo..=hi) }
+                    }
+                } else if roll < shape.call_fraction + shape.indirect_fraction {
+                    let n = shape.indirect_targets.max(2);
+                    let targets = (0..n)
+                        .map(|k| pc + 0x100 + 0x90 * k as u64)
+                        .collect::<Vec<_>>();
+                    SiteKind::IndirectJump { targets }
+                } else {
+                    SiteKind::Cond {
+                        behavior: Self::sample_cond(shape, rng),
+                        taken_target: pc + 0x40 + rng.gen_range(0..4u64) * 8,
+                    }
+                };
+                sites.push(Site { pc, kind });
+            }
+            let exit_pc = entry + size - 8;
+            functions.push(Function { entry, exit_pc, sites });
+        }
+        let main_pcs = (0..8)
+            .map(|i| base + 0x10_0000 + i * 0x20)
+            .collect::<Vec<_>>();
+        Program { functions, blocks_per_fn: shape.blocks_per_fn, main_pcs }
+    }
+
+    fn sample_cond(shape: &ProgramShape, rng: &mut StdRng) -> CondBehavior {
+        let roll: f64 = rng.gen();
+        if roll < shape.loop_fraction {
+            let trip = 2 + (rng.gen::<f64>() * 2.0 * shape.avg_trip as f64) as u32;
+            CondBehavior::Loop { trip }
+        } else if roll < shape.loop_fraction + shape.pattern_complexity {
+            // Short periods are learnable by every model; long periods need
+            // deep history (TAGE) — 30 % of patterned sites are long.
+            let len = if rng.gen::<f64>() < 0.7 {
+                rng.gen_range(3..=6u8)
+            } else {
+                rng.gen_range(10..=24u8)
+            };
+            // Pattern bits are bias-dominated like real code: a base
+            // predictor gets the majority direction, history predictors
+            // learn the exact sequence.
+            let mut pattern = 0u64;
+            for b in 0..len {
+                if rng.gen::<f64>() < 0.72 {
+                    pattern |= 1 << b;
+                }
+            }
+            CondBehavior::Periodic { pattern, len }
+        } else {
+            // Real code is dominated by heavily biased branches; workloads
+            // differ mainly in the share of hard, data-dependent ones.
+            let u: f64 = rng.gen();
+            let hard_share = (shape.hardness * 3.0).clamp(0.03, 0.30);
+            let eps = if u < hard_share {
+                rng.gen_range(0.20..0.40) // hard: 60-80 % predictable
+            } else if u < hard_share + 0.20 {
+                rng.gen_range(0.05..0.15) // medium
+            } else {
+                rng.gen_range(0.005..0.03) // easy: near-always one way
+            };
+            let p = if rng.gen::<f64>() < shape.taken_bias { 1.0 - eps } else { eps };
+            CondBehavior::Bernoulli { p_taken: p }
+        }
+    }
+
+    fn site_id(&self, func: usize, site: usize) -> usize {
+        func * self.blocks_per_fn + site
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    func: usize,
+    site: usize,
+    ret_addr: u64,
+}
+
+/// The abstract machine executing a [`Program`].
+#[derive(Clone, Debug)]
+pub(crate) struct Walker {
+    stack: Vec<Frame>,
+    /// Per-site phase state (loop counters, pattern positions, rotors).
+    phase: Vec<u32>,
+    main_rotor: usize,
+    max_depth: usize,
+    noise: f64,
+    rng: StdRng,
+}
+
+impl Walker {
+    pub fn new(prog: &Program, max_depth: usize, noise: f64, seed: u64) -> Walker {
+        Walker {
+            stack: Vec::new(),
+            phase: vec![0; prog.functions.len() * prog.blocks_per_fn],
+            main_rotor: 0,
+            max_depth: max_depth.max(2),
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Emits the next branch of this program.
+    pub fn next(&mut self, prog: &Program) -> BranchRecord {
+        // Empty stack: the dispatcher calls a (hot-skewed) top-level
+        // function from one of its call sites.
+        if self.stack.is_empty() {
+            let r: f64 = self.rng.gen();
+            let f = ((r * r) * prog.functions.len() as f64) as usize % prog.functions.len();
+            let main_pc = prog.main_pcs[self.main_rotor % prog.main_pcs.len()];
+            self.main_rotor += 1;
+            let rec = BranchRecord::taken(main_pc, BranchKind::DirectCall, prog.functions[f].entry);
+            self.stack.push(Frame { func: f, site: 0, ret_addr: rec.fallthrough().raw() });
+            return rec;
+        }
+
+        let frame = *self.stack.last().expect("nonempty");
+        let function = &prog.functions[frame.func];
+
+        // Function body exhausted: return.
+        if frame.site >= function.sites.len() {
+            self.stack.pop();
+            return BranchRecord::taken(function.exit_pc, BranchKind::Return, frame.ret_addr);
+        }
+
+        let site = &function.sites[frame.site];
+        let sid = prog.site_id(frame.func, frame.site);
+        match &site.kind {
+            SiteKind::Cond { behavior, taken_target } => {
+                let (mut taken, advance) = match behavior {
+                    CondBehavior::Loop { trip } => {
+                        let pos = self.phase[sid];
+                        let taken = pos + 1 < *trip;
+                        self.phase[sid] = if taken { pos + 1 } else { 0 };
+                        (taken, !taken)
+                    }
+                    CondBehavior::Periodic { pattern, len } => {
+                        let pos = self.phase[sid];
+                        let taken = (pattern >> (pos % *len as u32)) & 1 == 1;
+                        self.phase[sid] = pos.wrapping_add(1);
+                        (taken, true)
+                    }
+                    CondBehavior::Bernoulli { p_taken } => {
+                        (self.rng.gen::<f64>() < *p_taken, true)
+                    }
+                };
+                // Intrinsic noise: data-dependent outcomes no predictor can
+                // learn. Loops are exempt (control-exact).
+                if !matches!(behavior, CondBehavior::Loop { .. })
+                    && self.rng.gen::<f64>() < self.noise
+                {
+                    taken = self.rng.gen();
+                }
+                if advance {
+                    self.stack.last_mut().expect("nonempty").site += 1;
+                }
+                let target = if matches!(behavior, CondBehavior::Loop { .. }) {
+                    site.pc // back edge to the loop head
+                } else {
+                    *taken_target
+                };
+                BranchRecord::conditional(site.pc, taken, target)
+            }
+            SiteKind::Call { callee } => {
+                self.stack.last_mut().expect("nonempty").site += 1;
+                self.descend(prog, *callee, site.pc)
+            }
+            SiteKind::IndirectCall { callees } => {
+                self.stack.last_mut().expect("nonempty").site += 1;
+                let pick = self.rotate(sid, callees.len());
+                self.descend(prog, callees[pick], site.pc)
+            }
+            SiteKind::IndirectJump { targets } => {
+                self.stack.last_mut().expect("nonempty").site += 1;
+                let pick = self.rotate(sid, targets.len());
+                BranchRecord::taken(site.pc, BranchKind::IndirectJump, targets[pick])
+            }
+        }
+    }
+
+    /// Indirect-target selection: mostly phase-rotating (context-
+    /// correlated, learnable via the BHB) with occasional random jumps.
+    fn rotate(&mut self, sid: usize, n: usize) -> usize {
+        let pos = self.phase[sid];
+        self.phase[sid] = pos.wrapping_add(1);
+        if self.rng.gen::<f64>() < 0.15 {
+            self.rng.gen_range(0..n)
+        } else {
+            ((pos / 3) as usize) % n
+        }
+    }
+
+    fn descend(&mut self, prog: &Program, callee: usize, call_pc: u64) -> BranchRecord {
+        let kind = BranchKind::DirectCall;
+        let rec = BranchRecord::taken(call_pc, kind, prog.functions[callee].entry);
+        let site = if self.stack.len() >= self.max_depth {
+            // Depth-bounded: enter the callee at its end so the next step
+            // returns immediately (call/ret pairing preserved).
+            prog.functions[callee].sites.len()
+        } else {
+            0
+        };
+        self.stack.push(Frame { func: callee, site, ret_addr: rec.fallthrough().raw() });
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ProgramShape {
+        ProgramShape {
+            functions: 20,
+            blocks_per_fn: 6,
+            loop_fraction: 0.3,
+            avg_trip: 10,
+            pattern_complexity: 0.2,
+            taken_bias: 0.7,
+            indirect_fraction: 0.08,
+            indirect_targets: 3,
+            call_fraction: 0.2,
+            hardness: 0.05,
+        }
+    }
+
+    fn build() -> (Program, Walker) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Program::build(&shape(), 0x40_0000_0000, &mut rng);
+        let w = Walker::new(&p, 12, 0.03, 2);
+        (p, w)
+    }
+
+    #[test]
+    fn calls_and_returns_nest_perfectly() {
+        let (p, mut w) = build();
+        let mut shadow: Vec<u64> = Vec::new();
+        for _ in 0..20_000 {
+            let rec = w.next(&p);
+            match rec.kind {
+                BranchKind::DirectCall | BranchKind::IndirectCall => {
+                    shadow.push(rec.fallthrough().raw());
+                }
+                BranchKind::Return => {
+                    let expect = shadow.pop().expect("return without call");
+                    assert_eq!(rec.target.raw(), expect, "mismatched return target");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn depth_stays_bounded() {
+        let (p, mut w) = build();
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        for _ in 0..50_000 {
+            let rec = w.next(&p);
+            match rec.kind {
+                BranchKind::DirectCall | BranchKind::IndirectCall => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                BranchKind::Return => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert!(max_depth <= 13, "walker exceeded depth bound: {max_depth}");
+        assert!(max_depth >= 4, "programs should actually recurse: {max_depth}");
+    }
+
+    #[test]
+    fn branch_mix_roughly_matches_shape() {
+        let (p, mut w) = build();
+        let mut counts = [0usize; 6];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[w.next(&p).kind.index()] += 1;
+        }
+        let cond = counts[BranchKind::Conditional.index()] as f64 / n as f64;
+        let ind = counts[BranchKind::IndirectJump.index()] as f64 / n as f64;
+        let ret = counts[BranchKind::Return.index()] as f64;
+        let calls = (counts[BranchKind::DirectCall.index()]
+            + counts[BranchKind::IndirectCall.index()]) as f64;
+        assert!(cond > 0.4, "conditionals dominate: {cond}");
+        assert!(ind > 0.005, "indirect jumps present: {ind}");
+        assert!((ret - calls).abs() / calls < 0.05, "returns ≈ calls");
+    }
+
+    #[test]
+    fn loops_emit_runs_of_taken() {
+        let (p, mut w) = build();
+        // Find a run of ≥ 4 consecutive taken outcomes at one pc — loop
+        // behaviour must be visible in the stream.
+        let mut best_run = 0;
+        let mut cur: Option<(u64, u32)> = None;
+        for _ in 0..20_000 {
+            let rec = w.next(&p);
+            if rec.kind == BranchKind::Conditional && rec.taken {
+                cur = match cur {
+                    Some((pc, n)) if pc == rec.pc.raw() => Some((pc, n + 1)),
+                    _ => Some((rec.pc.raw(), 1)),
+                };
+                best_run = best_run.max(cur.map(|c| c.1).unwrap_or(0));
+            } else {
+                cur = None;
+            }
+        }
+        assert!(best_run >= 4, "no loop runs found (best {best_run})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Program::build(&shape(), 0x40_0000_0000, &mut rng);
+        let mut w1 = Walker::new(&p, 12, 0.03, 7);
+        let mut w2 = Walker::new(&p, 12, 0.03, 7);
+        for _ in 0..5_000 {
+            assert_eq!(w1.next(&p), w2.next(&p));
+        }
+    }
+}

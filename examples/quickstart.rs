@@ -1,0 +1,50 @@
+//! Quickstart: build an STBPU-protected predictor, run a workload through
+//! it, and compare against the unprotected baseline.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use stbpu_suite::sim::{build_model, simulate, ModelKind, Protection};
+use stbpu_suite::stcore::{st_skl, StConfig};
+use stbpu_suite::trace::{profiles, TraceGenerator};
+
+fn main() {
+    // 1. Pick a workload profile and synthesize a branch trace (the
+    //    Intel-PT substitute; see DESIGN.md §2).
+    let profile = profiles::by_name("525.x264").expect("known workload");
+    let trace = TraceGenerator::new(profile, 42).generate(60_000);
+    println!(
+        "workload {}: {} branches, {} context switches, {} kernel entries",
+        trace.name,
+        trace.branch_count(),
+        trace.context_switches(),
+        trace.kernel_entries()
+    );
+
+    // 2. Run the unprotected Skylake-like baseline.
+    let mut baseline = build_model(ModelKind::Baseline, 42);
+    let rb = simulate(baseline.as_mut(), Protection::Unprotected, &trace, 0.1);
+    println!("baseline : OAE {:.4}  (dir {:.4}, tgt {:.4})", rb.oae, rb.direction_rate, rb.target_rate);
+
+    // 3. Run STBPU with the paper's default difficulty factor r = 0.05
+    //    (Γ_misp = 41 900, Γ_ev = 26 500).
+    let mut stbpu = st_skl(StConfig::default(), 42);
+    let rs = simulate(&mut stbpu, Protection::Stbpu, &trace, 0.1);
+    println!(
+        "STBPU    : OAE {:.4}  (dir {:.4}, tgt {:.4}), re-randomizations {}",
+        rs.oae, rs.direction_rate, rs.target_rate, rs.rerandomizations
+    );
+
+    // 4. Compare with microcode-style flushing (IBPB + IBRS).
+    let mut ucode = build_model(ModelKind::Ucode, 42);
+    let ru = simulate(ucode.as_mut(), Protection::Ucode1, &trace, 0.1);
+    println!("ucode    : OAE {:.4}  ({} flushes)", ru.oae, ru.flushes);
+
+    println!();
+    println!(
+        "STBPU keeps {:.2}% of baseline accuracy; flushing keeps {:.2}%",
+        100.0 * rs.oae / rb.oae,
+        100.0 * ru.oae / rb.oae
+    );
+}

@@ -1,0 +1,56 @@
+//! End-to-end integration: a miniature Figure 3 run across crates
+//! (trace generation → protection policies → OAE ordering).
+
+use stbpu_suite::sim::{run_fig3_suite, SimReport};
+use stbpu_suite::trace::{profiles, TraceGenerator};
+
+fn suite_for(name: &str, branches: usize) -> Vec<SimReport> {
+    let p = profiles::by_name(name).expect("profile exists");
+    let trace = TraceGenerator::new(p, 2024).generate(branches);
+    run_fig3_suite(&trace, 2024, 0.1)
+}
+
+#[test]
+fn stbpu_tracks_baseline_within_two_percent_on_spec() {
+    for name in ["525.x264", "503.bwaves", "548.exchange2"] {
+        let s = suite_for(name, 25_000);
+        let (base, stbpu) = (s[0].oae, s[1].oae);
+        assert!(
+            stbpu > base - 0.02,
+            "{name}: STBPU {stbpu} must be within 2% of baseline {base}"
+        );
+    }
+}
+
+#[test]
+fn microcode_flushing_loses_at_least_five_percent_on_servers() {
+    for name in ["apache2_prefork_c512", "mysql_256con_50s"] {
+        let s = suite_for(name, 25_000);
+        let (base, ucode1) = (s[0].oae, s[2].oae);
+        assert!(
+            ucode1 < base * 0.95,
+            "{name}: flushing must cost ≥5%: base {base}, ucode {ucode1}"
+        );
+    }
+}
+
+#[test]
+fn scheme_ordering_matches_figure3() {
+    // STBPU ≥ conservative ≥ ucode2 on switch-heavy workloads; STBPU beats
+    // both microcode models everywhere we sample.
+    for name in ["apache2_prefork_c128", "chrome-1speedometer"] {
+        let s = suite_for(name, 25_000);
+        let (stbpu, u1, u2) = (s[1].oae, s[2].oae, s[3].oae);
+        assert!(stbpu > u1, "{name}: STBPU {stbpu} vs ucode1 {u1}");
+        assert!(stbpu > u2, "{name}: STBPU {stbpu} vs ucode2 {u2}");
+    }
+}
+
+#[test]
+fn stbpu_never_flushes_and_baseline_never_rerandomizes() {
+    let s = suite_for("520.omnetpp", 15_000);
+    assert_eq!(s[0].rerandomizations, 0);
+    assert_eq!(s[1].flushes, 0);
+    assert_eq!(s[0].flushes, 0);
+    assert!(s[2].flushes > 0, "microcode must flush on switches");
+}

@@ -1,0 +1,104 @@
+//! End-to-end security integration: the Table I surface, the §VI analysis
+//! and the STBPU configuration must agree with each other.
+
+use stbpu_suite::attacks::analysis::{self, BpuGeometry};
+use stbpu_suite::attacks::harness::AttackBpu;
+use stbpu_suite::attacks::surface::{evaluate_surface, Structure, Vector};
+use stbpu_suite::attacks::{eviction, reuse, same_space};
+use stbpu_suite::stcore::StConfig;
+
+#[test]
+fn stconfig_thresholds_agree_with_analysis_crate() {
+    // The thresholds hard-wired into stbpu-core's StConfig must be exactly
+    // what the security analysis derives (within rounding of the paper's
+    // published constants).
+    let g = BpuGeometry::skylake();
+    let (m, e) = analysis::thresholds(&g, 0.05);
+    let cfg = StConfig::default();
+    assert!(
+        (cfg.misp_threshold() as f64 / m as f64 - 1.0).abs() < 0.01,
+        "config {} vs analysis {m}",
+        cfg.misp_threshold()
+    );
+    assert!(
+        (cfg.eviction_threshold() as f64 / e as f64 - 1.0).abs() < 0.01,
+        "config {} vs analysis {e}",
+        cfg.eviction_threshold()
+    );
+}
+
+#[test]
+fn full_surface_baseline_vs_stbpu() {
+    let cells = evaluate_surface(7);
+    assert_eq!(cells.len(), 12);
+    for c in &cells {
+        if let Some(v) = c.baseline_vulnerable {
+            assert!(v, "baseline must be vulnerable to {:?}/{:?}", c.structure, c.vector);
+        }
+        if let Some(v) = c.stbpu_vulnerable {
+            let occupancy_exception =
+                c.structure == Structure::Rsb && c.vector == Vector::EvictionHome;
+            assert_eq!(
+                v, occupancy_exception,
+                "STBPU verdict wrong for {:?}/{:?}",
+                c.structure, c.vector
+            );
+        }
+    }
+}
+
+#[test]
+fn rerandomization_fires_before_scaled_attack_succeeds() {
+    // Scale the geometry argument: with thresholds at C·r and an attack
+    // needing C events, the defense interrupts at ~r of the attack's
+    // progress. Use a scaled C so the test is fast.
+    let cfg = StConfig {
+        r: 0.05,
+        misp_complexity: 20_000.0,
+        eviction_complexity: 20_000.0,
+        ..StConfig::default()
+    };
+    let mut bpu = AttackBpu::stbpu(cfg, 3);
+    let r = reuse::grow_probe_set(&mut bpu, usize::MAX, 1 << 22);
+    assert!(r.rerandomizations >= 1, "defense must fire");
+    assert!(
+        (r.mispredictions as f64) < 20_000.0 * 0.06 + 64.0,
+        "attack stopped near Γ = r·C: {} events",
+        r.mispredictions
+    );
+}
+
+#[test]
+fn gem_found_sets_do_not_survive_rerandomization() {
+    let cfg = StConfig {
+        r: 1.0,
+        misp_complexity: 1e9,
+        eviction_complexity: 300.0,
+        ..StConfig::default()
+    };
+    let mut bpu = AttackBpu::stbpu(cfg, 5);
+    let report = eviction::eviction_campaign(&mut bpu, 0x0040_3000, 4096);
+    assert!(report.rerandomizations >= 1);
+    assert!(!report.still_valid);
+}
+
+#[test]
+fn same_space_trojans_blocked_only_by_stbpu() {
+    let mut base = AttackBpu::baseline();
+    assert!(same_space::trojan_scan(&mut base, 48).rate() > 0.9);
+    let mut st = AttackBpu::stbpu(StConfig::default(), 11);
+    assert!(same_space::trojan_scan(&mut st, 96).rate() < 0.05);
+}
+
+#[test]
+fn complexity_table_matches_paper_constants() {
+    let t = analysis::complexity_table(&BpuGeometry::skylake());
+    for (got, want) in [
+        (t.btb_reuse_misp, 6.9e8),
+        (t.pht_reuse_misp, 8.38e5),
+        (t.btb_eviction_ev, 5.3e5),
+        (t.injection_misp, 2f64.powi(31)),
+    ] {
+        assert!((got / want - 1.0).abs() < 0.05, "{got} vs {want}");
+    }
+}
