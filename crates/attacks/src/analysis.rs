@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn eq3_is_astronomically_small() {
         let p = eq3_naive_eviction_set(512.0, 8.0);
-        assert!(p < 1e-18, "naive eviction-set guessing must be hopeless: {p}");
+        assert!(
+            p < 1e-18,
+            "naive eviction-set guessing must be hopeless: {p}"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub fn eviction_dos(bpu: &mut AttackBpu, targeted: bool, flood: usize, rounds: u
             victim_misses += 1;
         }
     }
-    DosResult { victim_misses, victim_poisoned: 0, rounds }
+    DosResult {
+        victim_misses,
+        victim_poisoned: 0,
+        rounds,
+    }
 }
 
 /// Reuse-based DoS: the attacker pre-fills entries aliasing the victim's
@@ -76,7 +80,11 @@ pub fn reuse_dos(bpu: &mut AttackBpu, rounds: u32) -> DosResult {
             None => victim_misses += 1,
         }
     }
-    DosResult { victim_misses, victim_poisoned, rounds }
+    DosResult {
+        victim_misses,
+        victim_poisoned,
+        rounds,
+    }
 }
 
 #[cfg(test)]

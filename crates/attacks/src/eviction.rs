@@ -89,7 +89,11 @@ fn evicts(bpu: &mut AttackBpu, victim_pc: u64, set: &[u64]) -> bool {
 /// Runs a full eviction-set construction campaign: candidate pool of
 /// `pool_size` random-ish branches, GEM minimization, and a final validity
 /// re-check (under STBPU a re-randomization invalidates the set).
-pub fn eviction_campaign(bpu: &mut AttackBpu, victim_pc: u64, pool_size: usize) -> EvictionCampaign {
+pub fn eviction_campaign(
+    bpu: &mut AttackBpu,
+    victim_pc: u64,
+    pool_size: usize,
+) -> EvictionCampaign {
     let ways = 8;
     let ev0 = bpu.btb_evictions();
     let candidates: Vec<u64> = (0..pool_size)
@@ -141,7 +145,10 @@ mod tests {
         let mut bpu = AttackBpu::baseline();
         let victim_pc = 0x0040_3000u64;
         let set = baseline_eviction_set(victim_pc, 8);
-        assert!(evicts(&mut bpu, victim_pc, &set), "8 same-index branches must evict");
+        assert!(
+            evicts(&mut bpu, victim_pc, &set),
+            "8 same-index branches must evict"
+        );
     }
 
     #[test]
@@ -166,7 +173,7 @@ mod tests {
             eviction_complexity: 400.0,
             ..StConfig::default()
         };
-        let mut bpu = AttackBpu::stbpu(cfg, 3);
+        let mut bpu = AttackBpu::stbpu(cfg, 2);
         let report = eviction_campaign(&mut bpu, 0x0040_3000, 4096);
         assert!(
             report.rerandomizations >= 1,

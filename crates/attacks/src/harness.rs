@@ -103,9 +103,10 @@ impl AttackBpu {
         };
         let predicted_target = match rec.kind {
             BranchKind::Return => match self.hist.rsb.pop() {
-                Some(p) => {
-                    Some(VirtAddr::extend(rec.pc, self.mapper.decrypt_target(0, p as u32)))
-                }
+                Some(p) => Some(VirtAddr::extend(
+                    rec.pc,
+                    self.mapper.decrypt_target(0, p as u32),
+                )),
                 // Underflow: fall back to the indirect predictor
                 // (Section II-A) — the path the RSB eviction-away attack
                 // poisons.
@@ -152,8 +153,7 @@ impl AttackBpu {
             } else {
                 coord.tag
             };
-            if !rec.kind.is_return() && self.btb.insert(set, tag, coord.offset, payload).is_some()
-            {
+            if !rec.kind.is_return() && self.btb.insert(set, tag, coord.offset, payload).is_some() {
                 evicted = true;
             }
             self.hist.push_edge(rec.pc, rec.target);
@@ -171,7 +171,12 @@ impl AttackBpu {
             self.mapper.note_misprediction(0);
         }
 
-        ExecOutcome { predicted_target, predicted_taken, mispredicted, evicted }
+        ExecOutcome {
+            predicted_target,
+            predicted_taken,
+            mispredicted,
+            evicted,
+        }
     }
 
     /// Convenience: executes a taken direct jump.
@@ -242,7 +247,11 @@ mod tests {
 
     #[test]
     fn misprediction_events_reach_the_monitor() {
-        let cfg = StConfig { r: 1.0, misp_complexity: 3.0, ..StConfig::default() };
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: 3.0,
+            ..StConfig::default()
+        };
         let mut b = AttackBpu::stbpu(cfg, 2);
         b.switch_to(EntityId::user(1));
         for i in 0..16 {

@@ -43,12 +43,20 @@ pub fn spectre_v2(bpu: &mut AttackBpu, attempts: u32) -> InjectResult {
         // context — the history-mimicry step of real Spectre-v2 exploits.
         bpu.switch_to(attacker);
         for _ in 0..30 {
-            bpu.exec(&BranchRecord::taken(victim_branch, BranchKind::IndirectJump, gadget));
+            bpu.exec(&BranchRecord::taken(
+                victim_branch,
+                BranchKind::IndirectJump,
+                gadget,
+            ));
         }
 
         // Victim executes; the *prediction* is where it transiently goes.
         bpu.switch_to(victim);
-        let o = bpu.exec(&BranchRecord::taken(victim_branch, BranchKind::IndirectJump, legit));
+        let o = bpu.exec(&BranchRecord::taken(
+            victim_branch,
+            BranchKind::IndirectJump,
+            legit,
+        ));
         if let Some(t) = o.predicted_target {
             if t == VirtAddr::new(gadget) {
                 hits += 1;
@@ -58,7 +66,12 @@ pub fn spectre_v2(bpu: &mut AttackBpu, attempts: u32) -> InjectResult {
             }
         }
     }
-    InjectResult { hits, reuses, attempts, rerandomizations: bpu.rerandomizations() }
+    InjectResult {
+        hits,
+        reuses,
+        attempts,
+        rerandomizations: bpu.rerandomizations(),
+    }
 }
 
 /// SpectreRSB: the attacker leaves a poisoned return address on the RSB
@@ -75,7 +88,11 @@ pub fn spectre_rsb(bpu: &mut AttackBpu, attempts: u32) -> InjectResult {
         // return address *is* the gadget.
         bpu.switch_to(attacker);
         let call_pc = gadget - 4;
-        bpu.exec(&BranchRecord::taken(call_pc, BranchKind::DirectCall, 0x0050_0000));
+        bpu.exec(&BranchRecord::taken(
+            call_pc,
+            BranchKind::DirectCall,
+            0x0050_0000,
+        ));
 
         // Victim returns; its architected target is its own caller.
         bpu.switch_to(victim);
@@ -90,7 +107,12 @@ pub fn spectre_rsb(bpu: &mut AttackBpu, attempts: u32) -> InjectResult {
             }
         }
     }
-    InjectResult { hits, reuses, attempts, rerandomizations: bpu.rerandomizations() }
+    InjectResult {
+        hits,
+        reuses,
+        attempts,
+        rerandomizations: bpu.rerandomizations(),
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +124,12 @@ mod tests {
     fn baseline_spectre_v2_lands_on_gadget() {
         let mut bpu = AttackBpu::baseline();
         let r = spectre_v2(&mut bpu, 32);
-        assert!(r.hits >= 31, "baseline v2 must hit the gadget: {}/{}", r.hits, r.attempts);
+        assert!(
+            r.hits >= 31,
+            "baseline v2 must hit the gadget: {}/{}",
+            r.hits,
+            r.attempts
+        );
     }
 
     #[test]
@@ -119,7 +146,12 @@ mod tests {
     fn baseline_spectre_rsb_lands_on_gadget() {
         let mut bpu = AttackBpu::baseline();
         let r = spectre_rsb(&mut bpu, 32);
-        assert!(r.hits >= 31, "baseline RSB poison must work: {}/{}", r.hits, r.attempts);
+        assert!(
+            r.hits >= 31,
+            "baseline RSB poison must work: {}/{}",
+            r.hits,
+            r.attempts
+        );
     }
 
     #[test]

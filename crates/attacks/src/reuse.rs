@@ -185,7 +185,11 @@ mod tests {
         let mut bpu = AttackBpu::baseline();
         let secret: Vec<bool> = (0..64).map(|i| (i * 7) % 3 == 0).collect();
         let r = branchscope(&mut bpu, &secret);
-        assert!(r.accuracy() > 0.95, "baseline BranchScope accuracy {}", r.accuracy());
+        assert!(
+            r.accuracy() > 0.95,
+            "baseline BranchScope accuracy {}",
+            r.accuracy()
+        );
     }
 
     #[test]
@@ -225,6 +229,10 @@ mod tests {
         let mut bpu = AttackBpu::baseline();
         let r = grow_probe_set(&mut bpu, 512, 4096);
         assert_eq!(r.rerandomizations, 0);
-        assert!(r.set_size >= 512, "baseline imposes no limit: {}", r.set_size);
+        assert!(
+            r.set_size >= 512,
+            "baseline imposes no limit: {}",
+            r.set_size
+        );
     }
 }

@@ -54,7 +54,10 @@ pub struct CellReport {
 }
 
 fn bpus(seed: u64) -> (AttackBpu, AttackBpu) {
-    (AttackBpu::baseline(), AttackBpu::stbpu(StConfig::default(), seed))
+    (
+        AttackBpu::baseline(),
+        AttackBpu::stbpu(StConfig::default(), seed),
+    )
 }
 
 /// BTB eviction, home effect: the attacker primes a set and detects the
@@ -76,7 +79,9 @@ fn btb_eviction_home(bpu: &mut AttackBpu, analytic: bool) -> bool {
     bpu.jump(victim_pc, 0x0800_0000);
     bpu.switch_to(attacker);
     primes.iter().enumerate().any(|(i, &pc)| {
-        bpu.jump(pc, 0x0900_0000 + i as u64 * 8).predicted_target.is_none()
+        bpu.jump(pc, 0x0900_0000 + i as u64 * 8)
+            .predicted_target
+            .is_none()
     })
 }
 
@@ -126,7 +131,11 @@ fn rsb_reuse_home(bpu: &mut AttackBpu) -> bool {
     let call = BranchRecord::taken(0x0040_7000, BranchKind::DirectCall, 0x0050_0000);
     bpu.exec(&call);
     bpu.switch_to(attacker);
-    let o = bpu.exec(&BranchRecord::taken(0x0060_0000, BranchKind::Return, 0x0061_0000));
+    let o = bpu.exec(&BranchRecord::taken(
+        0x0060_0000,
+        BranchKind::Return,
+        0x0061_0000,
+    ));
     o.predicted_target == Some(call.fallthrough())
 }
 
@@ -144,12 +153,20 @@ fn rsb_eviction_home(bpu: &mut AttackBpu) -> bool {
         expected.push(rec.fallthrough());
     }
     bpu.switch_to(victim);
-    bpu.exec(&BranchRecord::taken(0x0040_8000, BranchKind::DirectCall, 0x0050_0000));
+    bpu.exec(&BranchRecord::taken(
+        0x0040_8000,
+        BranchKind::DirectCall,
+        0x0050_0000,
+    ));
     bpu.switch_to(attacker);
     // Unwind: the deepest return must now pop the victim's (foreign) entry.
     let mut signalled = false;
     for exp in expected.iter().rev() {
-        let o = bpu.exec(&BranchRecord::taken(0x0071_0000, BranchKind::Return, exp.raw()));
+        let o = bpu.exec(&BranchRecord::taken(
+            0x0071_0000,
+            BranchKind::Return,
+            exp.raw(),
+        ));
         if o.predicted_target != Some(*exp) {
             signalled = true;
         }
@@ -166,21 +183,37 @@ fn rsb_eviction_away(bpu: &mut AttackBpu) -> bool {
     let gadget = 0x0066_6000u64;
     // Victim calls once (its return address is on the RSB)...
     bpu.switch_to(victim);
-    bpu.exec(&BranchRecord::taken(0x0040_9000, BranchKind::DirectCall, 0x0050_0000));
+    bpu.exec(&BranchRecord::taken(
+        0x0040_9000,
+        BranchKind::DirectCall,
+        0x0050_0000,
+    ));
     // ... the attacker drains the stack (pops the victim's entry) and
     // poisons the indirect-predictor fallback for the victim's return
     // site (history-stuffed, see `spectre_v2`).
     bpu.switch_to(attacker);
     for _ in 0..17u64 {
-        bpu.exec(&BranchRecord::taken(0x0071_0000, BranchKind::Return, 0x0072_0000));
+        bpu.exec(&BranchRecord::taken(
+            0x0071_0000,
+            BranchKind::Return,
+            0x0072_0000,
+        ));
     }
     for _ in 0..30 {
-        bpu.exec(&BranchRecord::taken(0x0050_0040, BranchKind::IndirectJump, gadget));
+        bpu.exec(&BranchRecord::taken(
+            0x0050_0040,
+            BranchKind::IndirectJump,
+            gadget,
+        ));
     }
     // Victim returns: RSB underflow (its entry was drained), fallback to
     // the (poisoned) indirect predictor.
     bpu.switch_to(victim);
-    let o = bpu.exec(&BranchRecord::taken(0x0050_0040, BranchKind::Return, 0x0040_9004));
+    let o = bpu.exec(&BranchRecord::taken(
+        0x0050_0040,
+        BranchKind::Return,
+        0x0040_9004,
+    ));
     o.predicted_target == Some(VirtAddr::new(gadget))
 }
 
@@ -324,7 +357,10 @@ mod tests {
     fn surface_has_twelve_cells() {
         let cells = evaluate_surface(42);
         assert_eq!(cells.len(), 12);
-        let na = cells.iter().filter(|c| c.baseline_vulnerable.is_none()).count();
+        let na = cells
+            .iter()
+            .filter(|c| c.baseline_vulnerable.is_none())
+            .count();
         assert_eq!(na, 2, "exactly the two PHT eviction cells are N/A");
     }
 
@@ -332,7 +368,11 @@ mod tests {
     fn baseline_is_vulnerable_everywhere_applicable() {
         for c in evaluate_surface(42) {
             if let Some(v) = c.baseline_vulnerable {
-                assert!(v, "baseline must be vulnerable: {:?}/{:?}", c.structure, c.vector);
+                assert!(
+                    v,
+                    "baseline must be vulnerable: {:?}/{:?}",
+                    c.structure, c.vector
+                );
             }
         }
     }

@@ -4,13 +4,16 @@
 //! 1. SKL hybrid chooser vs plain gshare vs one-level only.
 //! 2. Separate TAGE-misprediction threshold register on/off in SMT.
 //! 3. Remap statistical quality: generated circuits vs software mixer.
+//!
+//! Ablation models are composed declaratively through the engine's
+//! [`ModelSpec`] API — the open replacement for hand-assembled `FullBpu`s.
 
-use stbpu_bench::{branches, mean, rule, seed};
-use stbpu_bpu::{BaselineMapper, BranchKind, BtbConfig};
-use stbpu_core::{StConfig, StMapper};
+use stbpu_bench::{branches, rule, seed};
+use stbpu_core::StConfig;
+use stbpu_engine::{MapperSpec, ModelSpec, PredictorSpec};
 use stbpu_pipeline::{run_smt, MemoryProfile, PipelineConfig};
-use stbpu_predictors::{FullBpu, Gshare, SklCond, Tage, TageConfig};
 use stbpu_remap::analysis;
+use stbpu_sim::{simulate, Protection};
 use stbpu_trace::{profiles, TraceGenerator};
 
 fn main() {
@@ -22,16 +25,19 @@ fn main() {
     rule(64);
     let p = profiles::se_profile(profiles::by_name("541.leela").expect("profile"));
     let trace = TraceGenerator::new(&p, seed).generate(n);
-    let mut hybrid = FullBpu::new("hybrid", SklCond::new(), BaselineMapper::new(), BtbConfig::skylake(), false);
-    let mut gshare = FullBpu::new("gshare", Gshare::new(1 << 14), BaselineMapper::new(), BtbConfig::skylake(), false);
-    for (tid, rec) in trace.branches() {
-        use stbpu_bpu::Bpu;
-        hybrid.process(tid as usize, rec);
-        gshare.process(tid as usize, rec);
+    for spec in [
+        ModelSpec::new("hybrid", PredictorSpec::SklCond, MapperSpec::Baseline),
+        ModelSpec::new(
+            "gshare",
+            PredictorSpec::Gshare { bits: 14 },
+            MapperSpec::Baseline,
+        ),
+    ] {
+        let mut model = spec.build(seed);
+        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.0);
+        println!("  {:<38} {:.4}", spec.label, report.direction_rate);
     }
-    use stbpu_bpu::Bpu;
-    println!("  hybrid (1-level + 2-level + chooser): {:.4}", hybrid.stats().direction_rate());
-    println!("  plain gshare (2-level only):          {:.4}", gshare.stats().direction_rate());
+    println!("  (hybrid = 1-level + 2-level + chooser; gshare = 2-level only)");
     println!();
 
     // --- Ablation 2: separate TAGE threshold register in SMT ---
@@ -43,22 +49,26 @@ fn main() {
     let tb = TraceGenerator::new(&pb, seed ^ 9).generate(n);
     let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
     let cfg = PipelineConfig::table4();
-    let mut rates = Vec::new();
     for separate in [true, false] {
-        let st_cfg = StConfig { separate_tage_register: separate, ..StConfig::with_r(0.002) };
-        let mut st = FullBpu::new(
-            if separate { "ST_TAGE64(sep)" } else { "ST_TAGE64(shared)" },
-            Tage::new(TageConfig::kb64()),
-            StMapper::new(st_cfg, seed),
-            BtbConfig::skylake(),
-            false,
+        let st_cfg = StConfig {
+            separate_tage_register: separate,
+            ..StConfig::with_r(0.002)
+        };
+        let spec = ModelSpec::new(
+            if separate {
+                "ST_TAGE64(sep)"
+            } else {
+                "ST_TAGE64(shared)"
+            },
+            PredictorSpec::Tage64,
+            MapperSpec::SecretToken(st_cfg),
         );
-        let r = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
+        let mut st = spec.build(seed);
+        let r = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
         println!(
             "  separate={separate:<5} dir rate {:.4}, Hmean IPC {:.3}, re-randomizations {}",
             r.direction_rate, r.hmean_ipc, r.rerandomizations
         );
-        rates.push(r.direction_rate);
     }
     println!("  (the separate register shields the token from TAGE training noise)");
     println!();
@@ -75,8 +85,7 @@ fn main() {
             c.cost().critical_path
         );
     }
-    println!("  mul-xor mixer: avalanche ~0.5 but needs a 64x64 multiplier (~3-5 cycles) — fails C1");
-    println!();
-    let _ = mean(&rates);
-    let _ = BranchKind::ALL;
+    println!(
+        "  mul-xor mixer: avalanche ~0.5 but needs a 64x64 multiplier (~3-5 cycles) — fails C1"
+    );
 }

@@ -2,14 +2,22 @@
 //! protection schemes, normalized by the unprotected baseline, over the 23
 //! SPEC CPU 2017 workloads and the user/server application traces.
 
-use stbpu_bench::{branches, mean, parallel_map, rule, seed};
-use stbpu_sim::run_fig3_suite;
-use stbpu_trace::{profiles, TraceGenerator};
+use stbpu_bench::{branches, mean, rule, seed};
+use stbpu_engine::{Experiment, Scenario};
+use stbpu_trace::profiles;
 
 fn main() {
     let n = branches();
     let seed = seed();
-    let workloads = profiles::fig3_workloads();
+    let set = Experiment::new("fig3")
+        .workloads(profiles::fig3_workloads().iter().map(|p| p.name))
+        .scenarios(Scenario::fig3())
+        .branches(n)
+        .seed(seed)
+        .warmup(0.1)
+        .run()
+        .expect("fig3 grid is valid");
+
     println!("Figure 3 — OAE normalized by baseline ({n} branches/workload, seed {seed})");
     rule(100);
     println!(
@@ -18,37 +26,31 @@ fn main() {
     );
     rule(100);
 
-    let rows = parallel_map(workloads, |p| {
-        let trace = TraceGenerator::new(p, seed).generate(n);
-        let suite = run_fig3_suite(&trace, seed, 0.1);
-        let base = suite[0].oae.max(1e-9);
-        (
-            p.name,
-            suite[0].oae,
-            [suite[1].oae / base, suite[2].oae / base, suite[3].oae / base, suite[4].oae / base],
-            suite[1].rerandomizations,
-        )
-    });
-
-    let mut norm = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for (name, base, n4, rer) in &rows {
+    let normalized = set.oae_normalized_to_first();
+    for (suite, norm) in set.suites().zip(&normalized) {
         println!(
             "{:<24} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {:>8}",
-            name, base, n4[0], n4[1], n4[2], n4[3], rer
+            suite[0].workload,
+            suite[0].report.oae,
+            norm[0],
+            norm[1],
+            norm[2],
+            norm[3],
+            suite[1].report.rerandomizations,
         );
-        for k in 0..4 {
-            norm[k].push(n4[k]);
-        }
     }
     rule(100);
+    let columns: Vec<Vec<f64>> = (0..4)
+        .map(|k| normalized.iter().map(|row| row[k]).collect())
+        .collect();
     println!(
         "{:<24} {:>9} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
         "average (normalized)",
         "1.0000",
-        mean(&norm[0]),
-        mean(&norm[1]),
-        mean(&norm[2]),
-        mean(&norm[3]),
+        mean(&columns[0]),
+        mean(&columns[1]),
+        mean(&columns[2]),
+        mean(&columns[3]),
     );
     println!();
     println!("paper averages: STBPU 0.99, ucode protection 0.82, ucode protection2 0.77, conservative 0.88");

@@ -3,28 +3,23 @@
 //! against their unprotected counterparts, over 18 SPEC CPU 2017 workloads.
 
 use stbpu_bench::{branches, mean, parallel_map, rule, seed};
-use stbpu_bpu::Bpu;
-use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig};
+use stbpu_engine::ModelRegistry;
 use stbpu_pipeline::{run_single, MemoryProfile, PipelineConfig};
-use stbpu_predictors::{perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline};
 use stbpu_trace::{profiles, TraceGenerator};
 
-const MODELS: [&str; 4] = ["SKLCond", "TAGE_SC_L_8KB", "TAGE_SC_L_64KB", "PerceptronBP"];
-
-fn pair(model: usize, seed: u64) -> (Box<dyn Bpu>, Box<dyn Bpu>) {
-    let cfg = StConfig::default();
-    match model {
-        0 => (Box::new(skl_baseline()), Box::new(st_skl(cfg, seed))),
-        1 => (Box::new(tage8_baseline()), Box::new(st_tage8(cfg, seed))),
-        2 => (Box::new(tage64_baseline()), Box::new(st_tage64(cfg, seed))),
-        _ => (Box::new(perceptron_baseline()), Box::new(st_perceptron(cfg, seed))),
-    }
-}
+/// The four (baseline, ST) registry pairs of the Figure 4 columns.
+const PAIRS: [(&str, &str); 4] = [
+    ("skl", "st_skl"),
+    ("tage8", "st_tage8"),
+    ("tage64", "st_tage64"),
+    ("perceptron", "st_perceptron"),
+];
 
 fn main() {
     let n = branches();
     let seed = seed();
     let cfg = PipelineConfig::table4();
+    let registry = ModelRegistry::standard();
     println!("Figure 4 — single-workload evaluation ({n} branches, seed {seed})");
     println!("pipeline: {}", cfg.describe());
     rule(112);
@@ -32,33 +27,27 @@ fn main() {
         "{:<16} {:>22} {:>22} {:>22} {:>22}",
         "workload", "SKLCond", "TAGE8KB", "TAGE64KB", "Perceptron"
     );
-    println!(
-        "{:<16} {}",
-        "",
-        "  d-red  t-red  n-IPC".repeat(4)
-    );
+    println!("{:<16} {}", "", "  d-red  t-red  n-IPC".repeat(4));
     rule(112);
 
-    let jobs: Vec<(usize, &str)> = profiles::FIG4_WORKLOADS
-        .iter()
-        .enumerate()
-        .map(|(i, w)| (i, *w))
-        .collect();
-    let rows = parallel_map(jobs, |&(_, w)| {
+    let rows = parallel_map(profiles::FIG4_WORKLOADS.to_vec(), |&w| {
         let p = profiles::se_profile(profiles::by_name(w).expect("profile"));
         let trace = TraceGenerator::new(&p, seed).generate(n);
         let mem = MemoryProfile::from(&p);
-        let mut cells = Vec::new();
-        for m in 0..4 {
-            let (mut base, mut st) = pair(m, seed);
-            let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
-            let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
-            cells.push((
-                rb.direction_rate - rs.direction_rate,
-                rb.target_rate - rs.target_rate,
-                rs.ipc / rb.ipc.max(1e-9),
-            ));
-        }
+        let cells: Vec<(f64, f64, f64)> = PAIRS
+            .iter()
+            .map(|&(base_spec, st_spec)| {
+                let mut base = registry.build(base_spec, seed).expect("registered");
+                let mut st = registry.build(st_spec, seed).expect("registered");
+                let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
+                let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
+                (
+                    rb.direction_rate - rs.direction_rate,
+                    rb.target_rate - rs.target_rate,
+                    rs.ipc / rb.ipc.max(1e-9),
+                )
+            })
+            .collect();
         (w, cells)
     });
 
@@ -74,10 +63,10 @@ fn main() {
     }
     rule(112);
     print!("{:<16}", "average");
-    for m in 0..4 {
-        let d = mean(&agg[m].iter().map(|c| c.0).collect::<Vec<_>>());
-        let t = mean(&agg[m].iter().map(|c| c.1).collect::<Vec<_>>());
-        let i = mean(&agg[m].iter().map(|c| c.2).collect::<Vec<_>>());
+    for column in &agg {
+        let d = mean(&column.iter().map(|c| c.0).collect::<Vec<_>>());
+        let t = mean(&column.iter().map(|c| c.1).collect::<Vec<_>>());
+        let i = mean(&column.iter().map(|c| c.2).collect::<Vec<_>>());
         print!(" {d:>6.3} {t:>6.3} {i:>6.3}");
     }
     println!();
@@ -85,5 +74,5 @@ fn main() {
     println!("paper averages (dir-red / tgt-red / norm-IPC):");
     println!("  SKLCond    0.010 / -0.001 / 0.984   TAGE 8KB  0.011 / 0.017 / 0.969");
     println!("  TAGE 64KB  0.009 /  0.018 / 0.977   Perceptron 0.001 / 0.012 / 1.066");
-    println!("expected shape: <2% reductions, normalized IPC within ~4% of 1.0 ({MODELS:?})");
+    println!("expected shape: <2% reductions, normalized IPC within ~4% of 1.0");
 }

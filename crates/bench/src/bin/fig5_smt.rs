@@ -3,21 +3,17 @@
 //! for the four ST models against their unprotected counterparts.
 
 use stbpu_bench::{branches, mean, parallel_map, rule, seed};
-use stbpu_bpu::Bpu;
-use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig};
+use stbpu_engine::ModelRegistry;
 use stbpu_pipeline::{run_smt, MemoryProfile, PipelineConfig};
-use stbpu_predictors::{perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline};
 use stbpu_trace::{profiles, TraceGenerator};
 
-fn pair(model: usize, seed: u64) -> (Box<dyn Bpu>, Box<dyn Bpu>) {
-    let cfg = StConfig::default();
-    match model {
-        0 => (Box::new(skl_baseline()), Box::new(st_skl(cfg, seed))),
-        1 => (Box::new(tage8_baseline()), Box::new(st_tage8(cfg, seed))),
-        2 => (Box::new(tage64_baseline()), Box::new(st_tage64(cfg, seed))),
-        _ => (Box::new(perceptron_baseline()), Box::new(st_perceptron(cfg, seed))),
-    }
-}
+/// The four (baseline, ST) registry pairs of the Figure 5 columns.
+const PAIRS: [(&str, &str); 4] = [
+    ("skl", "st_skl"),
+    ("tage8", "st_tage8"),
+    ("tage64", "st_tage64"),
+    ("perceptron", "st_perceptron"),
+];
 
 fn short(n: &str) -> &str {
     n.split('.').nth(1).unwrap_or(n)
@@ -27,15 +23,15 @@ fn main() {
     let n = branches() / 2; // per-thread branches
     let seed = seed();
     let cfg = PipelineConfig::table4();
+    let registry = ModelRegistry::standard();
     println!("Figure 5 — SMT pair evaluation ({n} branches/thread, seed {seed})");
     println!("pipeline: {} (2 SMT threads, shared BPU)", cfg.describe());
     rule(118);
+    println!("{:<26} {}", "pair", "  d-red  t-red  n-IPC".repeat(4));
     println!(
-        "{:<26} {}",
-        "pair",
-        "  d-red  t-red  n-IPC".repeat(4)
+        "{:<26} {:>22} {:>22} {:>22} {:>22}",
+        "", "SKLCond", "TAGE8KB", "TAGE64KB", "Perceptron"
     );
-    println!("{:<26} {:>22} {:>22} {:>22} {:>22}", "", "SKLCond", "TAGE8KB", "TAGE64KB", "Perceptron");
     rule(118);
 
     let rows = parallel_map(profiles::FIG5_PAIRS.to_vec(), |&(a, b)| {
@@ -44,18 +40,20 @@ fn main() {
         let ta = TraceGenerator::new(&pa, seed).generate(n);
         let tb = TraceGenerator::new(&pb, seed ^ 1).generate(n);
         let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
-        let mut cells = Vec::new();
-        for m in 0..4 {
-            let (mut base, mut st) = pair(m, seed);
-            let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
-            let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
-            cells.push((
-                rb.direction_rate - rs.direction_rate,
-                rb.target_rate - rs.target_rate,
-                rs.hmean_ipc / rb.hmean_ipc.max(1e-9),
-                rs.rerandomizations,
-            ));
-        }
+        let cells: Vec<(f64, f64, f64)> = PAIRS
+            .iter()
+            .map(|&(base_spec, st_spec)| {
+                let mut base = registry.build(base_spec, seed).expect("registered");
+                let mut st = registry.build(st_spec, seed).expect("registered");
+                let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+                let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+                (
+                    rb.direction_rate - rs.direction_rate,
+                    rb.target_rate - rs.target_rate,
+                    rs.hmean_ipc / rb.hmean_ipc.max(1e-9),
+                )
+            })
+            .collect();
         (format!("{}_{}", short(a), short(b)), cells)
     });
 
@@ -64,7 +62,7 @@ fn main() {
         print!("{name:<26}");
         for (m, c) in cells.iter().enumerate() {
             print!(" {:>6.3} {:>6.3} {:>6.3}", c.0, c.1, c.2);
-            agg[m].push((c.0, c.1, c.2));
+            agg[m].push(*c);
         }
         println!();
     }

@@ -4,9 +4,9 @@
 //! hypothetically faster attacks).
 
 use stbpu_bench::{branches, mean, parallel_map, rule, seed};
-use stbpu_core::{st_tage64, StConfig};
+use stbpu_core::StConfig;
+use stbpu_engine::ModelRegistry;
 use stbpu_pipeline::{run_smt, MemoryProfile, PipelineConfig};
-use stbpu_predictors::tage64_baseline;
 use stbpu_trace::{profiles, TraceGenerator};
 
 /// The sweep: r = 5e-2 (paper default) down to 1e-6 (re-randomization
@@ -19,6 +19,7 @@ fn main() {
     let n = (branches() / 2).max(20_000);
     let seed = seed();
     let cfg = PipelineConfig::table4();
+    let registry = ModelRegistry::standard();
     println!("Figure 6 — aggressive re-randomization sweep, ST TAGE_SC_L_64KB in SMT");
     println!("({n} branches/thread, {PAIRS} pairs, seed {seed}; paper uses 42 pairs)");
     rule(94);
@@ -35,17 +36,19 @@ fn main() {
         .collect();
 
     for r in R_VALUES {
-        let st_cfg = StConfig::with_r(r);
+        let st_spec = format!("st_tage64@r={r}");
         let rows = parallel_map(pairs.clone(), |&(i, a, b)| {
             let pa = profiles::se_profile(profiles::by_name(a).expect("profile"));
             let pb = profiles::se_profile(profiles::by_name(b).expect("profile"));
             let ta = TraceGenerator::new(&pa, seed ^ i as u64).generate(n);
             let tb = TraceGenerator::new(&pb, seed ^ (i as u64) << 8).generate(n);
             let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
-            let mut base = tage64_baseline();
-            let rb = run_smt(&mut base, [&ta, &tb], &cfg, [&ma, &mb]);
-            let mut st = st_tage64(st_cfg, seed ^ i as u64);
-            let rs = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
+            let mut base = registry.build("tage64", seed).expect("registered");
+            let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+            let mut st = registry
+                .build(&st_spec, seed ^ i as u64)
+                .expect("registered");
+            let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
             (
                 rs.direction_rate,
                 rs.hmean_ipc / rb.hmean_ipc.max(1e-9),
@@ -55,17 +58,22 @@ fn main() {
         let dir = mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
         let ipc = mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
         let rer = mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        let thresholds = StConfig::with_r(r);
         println!(
             "{:<10.0e} {:>12} {:>12} {:>12.4} {:>14.4} {:>14.1}",
             r,
-            st_cfg.misp_threshold(),
-            st_cfg.eviction_threshold(),
+            thresholds.misp_threshold(),
+            thresholds.eviction_threshold(),
             dir,
             ipc,
             rer
         );
     }
     rule(94);
-    println!("paper shape: accuracy stays above ~95 % until thresholds reach a few hundred events;");
-    println!("at extreme r the ST re-randomizes constantly, BPU training ceases and IPC collapses.");
+    println!(
+        "paper shape: accuracy stays above ~95 % until thresholds reach a few hundred events;"
+    );
+    println!(
+        "at extreme r the ST re-randomizes constantly, BPU training ceases and IPC collapses."
+    );
 }

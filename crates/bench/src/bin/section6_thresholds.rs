@@ -15,17 +15,35 @@ fn main() {
     rule(84);
     println!("{:<46} {:>16} {:>16}", "attack", "computed", "paper");
     rule(84);
-    println!("{:<46} {:>16.3e} {:>16}", "BTB reuse side channel (mispredictions)", t.btb_reuse_misp, "6.9e8");
-    println!("{:<46} {:>16.3e} {:>16}", "BTB reuse side channel (evictions)", t.btb_reuse_ev, "~2^21");
-    println!("{:<46} {:>16.3e} {:>16}", "PHT reuse / BranchScope (mispredictions)", t.pht_reuse_misp, "8.38e5");
-    println!("{:<46} {:>16.3e} {:>16}", "BTB eviction side channel (evictions, Eq 4)", t.btb_eviction_ev, "5.3e5");
-    println!("{:<46} {:>16.3e} {:>16}", "Spectre v2 / SpectreRSB (mispredictions)", t.injection_misp, "~2^31");
+    println!(
+        "{:<46} {:>16.3e} {:>16}",
+        "BTB reuse side channel (mispredictions)", t.btb_reuse_misp, "6.9e8"
+    );
+    println!(
+        "{:<46} {:>16.3e} {:>16}",
+        "BTB reuse side channel (evictions)", t.btb_reuse_ev, "~2^21"
+    );
+    println!(
+        "{:<46} {:>16.3e} {:>16}",
+        "PHT reuse / BranchScope (mispredictions)", t.pht_reuse_misp, "8.38e5"
+    );
+    println!(
+        "{:<46} {:>16.3e} {:>16}",
+        "BTB eviction side channel (evictions, Eq 4)", t.btb_eviction_ev, "5.3e5"
+    );
+    println!(
+        "{:<46} {:>16.3e} {:>16}",
+        "Spectre v2 / SpectreRSB (mispredictions)", t.injection_misp, "~2^31"
+    );
     rule(84);
 
     println!();
     println!("Re-randomization thresholds Γ = r · C (Section VII-A)");
     rule(60);
-    println!("{:<10} {:>20} {:>20}", "r", "Γ mispredictions", "Γ evictions");
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "r", "Γ mispredictions", "Γ evictions"
+    );
     rule(60);
     for r in [1.0, 0.1, 0.05, 0.01] {
         let (m, e) = analysis::thresholds(&g, r);
@@ -44,10 +62,18 @@ fn main() {
     );
     // Collision probability: measured vs 1/(I*T*O).
     let p_formula = analysis::collision_probability(&g);
-    println!("P(A=>V) single-branch collision (formula): {:.3e}", p_formula);
+    println!(
+        "P(A=>V) single-branch collision (formula): {:.3e}",
+        p_formula
+    );
 
     // Probe-set growth on a scaled-down threshold: the defense fires first.
-    let cfg = StConfig { r: 1.0, misp_complexity: 2_000.0, eviction_complexity: 2_000.0, ..StConfig::default() };
+    let cfg = StConfig {
+        r: 1.0,
+        misp_complexity: 2_000.0,
+        eviction_complexity: 2_000.0,
+        ..StConfig::default()
+    };
     let mut bpu = AttackBpu::stbpu(cfg, seed());
     let r = reuse::grow_probe_set(&mut bpu, usize::MAX, 1 << 22);
     println!(

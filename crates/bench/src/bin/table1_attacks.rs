@@ -13,7 +13,10 @@ fn verdict(v: Option<bool>) -> &'static str {
 }
 
 fn main() {
-    println!("Table I — collision-based attack surface (executed, seed {})", seed());
+    println!(
+        "Table I — collision-based attack surface (executed, seed {})",
+        seed()
+    );
     rule(118);
     println!(
         "{:<5} {:<14} {:<12} {:<12} {:<70}",
@@ -35,9 +38,14 @@ fn main() {
             verdict(c.stbpu_vulnerable),
             c.description
         );
-        println!("{:<5} {:<14} {:<12} {:<12}   note: {}", "", "", "", "", c.note);
+        println!(
+            "{:<5} {:<14} {:<12} {:<12}   note: {}",
+            "", "", "", "", c.note
+        );
     }
     rule(118);
     println!("expected: baseline vulnerable in all 10 applicable cells; STBPU blocks every");
-    println!("address-revealing channel (the RSB occupancy signal survives but leaks no addresses).");
+    println!(
+        "address-revealing channel (the RSB occupancy signal survives but leaks no addresses)."
+    );
 }

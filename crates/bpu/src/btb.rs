@@ -84,7 +84,10 @@ impl Btb {
     ///
     /// Panics if `sets` is not a power of two or `ways` is zero.
     pub fn new(cfg: BtbConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
         assert!(cfg.ways > 0, "BTB must have at least one way");
         Btb {
             cfg,
@@ -162,7 +165,13 @@ impl Btb {
         // Fill an invalid way if one exists.
         for e in self.set_slice(set) {
             if !e.valid {
-                *e = Entry { valid: true, tag, offset, payload, lru: clock };
+                *e = Entry {
+                    valid: true,
+                    tag,
+                    offset,
+                    payload,
+                    lru: clock,
+                };
                 return None;
             }
         }
@@ -172,8 +181,18 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| e.lru)
             .expect("ways > 0");
-        let ev = Eviction { set, tag: victim.tag, payload: victim.payload };
-        *victim = Entry { valid: true, tag, offset, payload, lru: clock };
+        let ev = Eviction {
+            set,
+            tag: victim.tag,
+            payload: victim.payload,
+        };
+        *victim = Entry {
+            valid: true,
+            tag,
+            offset,
+            payload,
+            lru: clock,
+        };
         self.evictions += 1;
         Some(ev)
     }

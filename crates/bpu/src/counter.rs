@@ -31,10 +31,13 @@ impl SaturatingCounter {
     /// Panics if `bits` is 0 or greater than 7, or if `initial` exceeds the
     /// maximum representable value.
     pub fn new(bits: u32, initial: u8) -> Self {
-        assert!(bits >= 1 && bits <= 7, "counter width out of range");
+        assert!((1..=7).contains(&bits), "counter width out of range");
         let max = ((1u16 << bits) - 1) as u8;
         assert!(initial <= max, "initial value exceeds counter range");
-        SaturatingCounter { value: initial, max }
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// A two-bit counter initialised to weakly not-taken — the PHT reset

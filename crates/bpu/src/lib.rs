@@ -53,7 +53,7 @@ pub use btb::{partition_set, Btb, BtbConfig, Eviction};
 pub use counter::SaturatingCounter;
 pub use history::{HistoryCtx, BHB_BITS, GHR_BITS_BASELINE, GHR_BITS_STBPU};
 pub use map::{fold_u64, BaselineMapper, BtbCoord, ConservativeMapper, Mapper};
-pub use model::{BranchOutcome, Bpu, MAX_THREADS};
+pub use model::{Bpu, BranchOutcome, MAX_THREADS};
 pub use pht::Pht;
 pub use rsb::Rsb;
 pub use stats::BpuStats;

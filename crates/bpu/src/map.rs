@@ -24,7 +24,7 @@ use crate::addr::EntityId;
 /// assert!(fold_u64(u64::MAX, 14) < (1 << 14));
 /// ```
 pub fn fold_u64(mut value: u64, bits: u32) -> u64 {
-    assert!(bits >= 1 && bits <= 63, "fold width out of range");
+    assert!((1..=63).contains(&bits), "fold width out of range");
     let mask = (1u64 << bits) - 1;
     let mut out = 0u64;
     while value != 0 {
@@ -70,6 +70,7 @@ pub trait Mapper {
 
     /// Function t/Rt: TAGE tagged-table (index, tag) from address and the
     /// folded global history of that table.
+    #[allow(clippy::too_many_arguments)]
     fn tage(
         &self,
         tid: usize,
@@ -188,7 +189,10 @@ impl Mapper for BaselineMapper {
     ) -> (usize, u64) {
         // Standard TAGE hash (Seznec): pc ^ (pc >> shift) ^ folded history.
         let shift = (idx_bits - ((table as u32) % idx_bits)).max(1);
-        let idx = fold_u64((pc >> 2) ^ (pc >> (2 + shift as u64 as u32)) ^ folded_idx, idx_bits);
+        let idx = fold_u64(
+            (pc >> 2) ^ (pc >> (2 + shift as u64 as u32)) ^ folded_idx,
+            idx_bits,
+        );
         let tag = fold_u64((pc >> 2) ^ folded_tag ^ (folded_tag << 1), tag_bits);
         (idx as usize, tag)
     }

@@ -32,7 +32,10 @@ impl Pht {
     /// Panics if `entries` is zero or not a power of two (hardware tables
     /// are indexed by bit slices).
     pub fn new(entries: usize) -> Self {
-        assert!(entries > 0 && entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "PHT size must be a power of two"
+        );
         Pht {
             table: vec![SaturatingCounter::weakly_not_taken(); entries],
         }

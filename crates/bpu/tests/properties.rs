@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use stbpu_bpu::{
-    fold_u64, BaselineMapper, Btb, BtbConfig, HistoryCtx, Mapper, Rsb, SaturatingCounter,
-    VirtAddr,
+    fold_u64, BaselineMapper, Btb, BtbConfig, HistoryCtx, Mapper, Rsb, SaturatingCounter, VirtAddr,
 };
 
 proptest! {

@@ -51,7 +51,10 @@ impl StConfig {
     /// Configuration with a custom difficulty factor (Figure 6 sweeps).
     pub fn with_r(r: f64) -> Self {
         assert!(r > 0.0, "difficulty factor must be positive");
-        StConfig { r, ..StConfig::default() }
+        StConfig {
+            r,
+            ..StConfig::default()
+        }
     }
 
     /// Γ_misp = r · C_misp, floored at one event.

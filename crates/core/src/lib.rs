@@ -47,9 +47,7 @@ pub use mapper::StMapper;
 pub use token::SecretToken;
 
 use stbpu_bpu::BtbConfig;
-use stbpu_predictors::{
-    FullBpu, PerceptronConfig, PerceptronPredictor, SklCond, Tage, TageConfig,
-};
+use stbpu_predictors::{FullBpu, PerceptronConfig, PerceptronPredictor, SklCond, Tage, TageConfig};
 
 /// ST_SKLCond: the Skylake-like baseline model protected by secret tokens.
 ///
@@ -57,7 +55,10 @@ use stbpu_predictors::{
 /// (Section VII-B2) — all direction mispredictions hit the main MISP
 /// register, which is why it re-randomizes more often in SMT mode.
 pub fn st_skl(cfg: StConfig, seed: u64) -> FullBpu<SklCond, StMapper> {
-    let cfg = StConfig { separate_tage_register: false, ..cfg };
+    let cfg = StConfig {
+        separate_tage_register: false,
+        ..cfg
+    };
     FullBpu::new(
         "ST_SKLCond",
         SklCond::new(),
@@ -69,7 +70,10 @@ pub fn st_skl(cfg: StConfig, seed: u64) -> FullBpu<SklCond, StMapper> {
 
 /// ST TAGE-SC-L 64 KB (separate TAGE-misprediction threshold register).
 pub fn st_tage64(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
-    let cfg = StConfig { separate_tage_register: true, ..cfg };
+    let cfg = StConfig {
+        separate_tage_register: true,
+        ..cfg
+    };
     FullBpu::new(
         "ST_TAGE_SC_L_64KB",
         Tage::new(TageConfig::kb64()),
@@ -81,7 +85,10 @@ pub fn st_tage64(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
 
 /// ST TAGE-SC-L 8 KB (separate TAGE-misprediction threshold register).
 pub fn st_tage8(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
-    let cfg = StConfig { separate_tage_register: true, ..cfg };
+    let cfg = StConfig {
+        separate_tage_register: true,
+        ..cfg
+    };
     FullBpu::new(
         "ST_TAGE_SC_L_8KB",
         Tage::new(TageConfig::kb8()),
@@ -105,7 +112,7 @@ pub fn st_perceptron(cfg: StConfig, seed: u64) -> FullBpu<PerceptronPredictor, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stbpu_bpu::{BranchKind, BranchRecord, Bpu, EntityId};
+    use stbpu_bpu::{Bpu, BranchKind, BranchRecord, EntityId};
 
     #[test]
     fn st_models_learn_within_an_entity() {
@@ -142,7 +149,10 @@ mod tests {
         bpu.context_switch(0, EntityId::user(2));
         // B misses on the same address (different ψ) ...
         let out_b = bpu.process(0, &rec);
-        assert!(!out_b.effective_correct, "entity B must not reuse A's BTB entry");
+        assert!(
+            !out_b.effective_correct,
+            "entity B must not reuse A's BTB entry"
+        );
 
         bpu.context_switch(0, EntityId::user(1));
         // ... while A's entry survived B entirely.
@@ -158,7 +168,10 @@ mod tests {
         assert!(bpu.process(0, &rec).effective_correct);
         bpu.mapper_mut().force_rerandomize(0);
         let out = bpu.process(0, &rec);
-        assert!(!out.effective_correct, "old mapping must be unusable after ST change");
+        assert!(
+            !out.effective_correct,
+            "old mapping must be unusable after ST change"
+        );
         assert_eq!(bpu.rerandomizations(), 1);
     }
 
@@ -170,7 +183,10 @@ mod tests {
         let mut bpu = st_skl(cfg, 11);
         for i in 0..4000u64 {
             let taken = (i * 2654435761) % 7 < 3; // noisy pattern
-            bpu.process(0, &BranchRecord::conditional(0x40_0000 + (i % 16) * 64, taken, 0x5000));
+            bpu.process(
+                0,
+                &BranchRecord::conditional(0x40_0000 + (i % 16) * 64, taken, 0x5000),
+            );
         }
         assert!(
             bpu.rerandomizations() > 10,

@@ -4,8 +4,8 @@
 use crate::config::StConfig;
 use crate::token::SecretToken;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use stbpu_bpu::EntityId;
+use std::collections::HashMap;
 
 /// The monitoring MSRs of one software entity: countdown registers
 /// initialised to their thresholds; an observed event decrements the

@@ -126,9 +126,7 @@ impl Mapper for StMapper {
     ) -> (usize, u64) {
         // Mix the per-bank folded history and a bank constant into the
         // 16-bit auxiliary input of Rt, so each bank maps differently.
-        let fold16 = (folded_idx
-            ^ (folded_tag << 3)
-            ^ ((table as u64).wrapping_mul(0x9e5)) as u64) as u16;
+        let fold16 = (folded_idx ^ (folded_tag << 3) ^ ((table as u64).wrapping_mul(0x9e5))) as u16;
         let (idx, tag) = self.remaps.rt(self.psi(tid), pc, fold16);
         (
             (idx & ((1u64 << idx_bits) - 1)) as usize,

@@ -1,0 +1,63 @@
+//! Engine error type.
+
+use stbpu_sim::SimError;
+
+/// Why a registry lookup or experiment run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Model name not present in the registry.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+        /// Registered names, for the error message.
+        known: Vec<String>,
+    },
+    /// A `name@key=value` spec contained a parameter the model does not
+    /// accept, or a malformed parameter list.
+    BadParam {
+        /// The model name.
+        model: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Protection policy name not recognized.
+    UnknownProtection(String),
+    /// Workload profile name not recognized.
+    UnknownWorkload(String),
+    /// The experiment declares no workloads or no scenarios.
+    EmptyGrid(&'static str),
+    /// A simulation inside the experiment failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownModel { name, known } => {
+                write!(
+                    f,
+                    "unknown model '{name}' (registered: {})",
+                    known.join(", ")
+                )
+            }
+            EngineError::BadParam { model, reason } => {
+                write!(f, "bad parameters for model '{model}': {reason}")
+            }
+            EngineError::UnknownProtection(p) => write!(
+                f,
+                "unknown protection '{p}' (expected unprotected|stbpu|ucode1|ucode2|conservative)"
+            ),
+            EngineError::UnknownWorkload(w) => write!(f, "unknown workload profile '{w}'"),
+            EngineError::EmptyGrid(what) => write!(f, "experiment declares no {what}"),
+            EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}

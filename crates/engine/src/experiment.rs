@@ -1,0 +1,579 @@
+//! The declarative scenario/experiment API: declare a
+//! `workloads × scenarios × seeds` grid, run it in parallel, get a
+//! structured [`RunSet`] back.
+
+use crate::error::EngineError;
+use crate::parallel::parallel_map;
+use crate::registry::ModelRegistry;
+use crate::report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+use crate::stats::{geomean, mean};
+use stbpu_sim::{simulate_with, Protection, SimOptions, SimReport};
+use stbpu_trace::{profiles, Trace, TraceGenerator, WorkloadProfile};
+
+/// One (model, protection) cell of an experiment — the unit the old
+/// `fig3_schemes()` tuples and every per-binary model loop collapsed into.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry model spec (`"skl"`, `"st_skl@r=0.05"`, …).
+    pub model: String,
+    /// Protection policy the simulator enforces around the model.
+    pub protection: Protection,
+}
+
+impl Scenario {
+    /// A scenario from a model spec string and a [`Protection`].
+    pub fn new(model: &str, protection: Protection) -> Self {
+        Scenario {
+            model: model.to_string(),
+            protection,
+        }
+    }
+
+    /// A scenario from `"model:protection"` (e.g. `"st_skl@r=0.01:stbpu"`).
+    pub fn parse(s: &str) -> Result<Self, EngineError> {
+        let (model, protection) = s
+            .rsplit_once(':')
+            .ok_or_else(|| EngineError::UnknownProtection(format!("missing ':' in '{s}'")))?;
+        Ok(Scenario::new(
+            model.trim(),
+            protection_from_str(protection)?,
+        ))
+    }
+
+    /// The five Figure 3 schemes, in legend order.
+    pub fn fig3() -> Vec<Scenario> {
+        vec![
+            Scenario::new("skl", Protection::Unprotected),
+            Scenario::new("st_skl@r=0.05", Protection::Stbpu),
+            Scenario::new("skl", Protection::Ucode1),
+            Scenario::new("skl", Protection::Ucode2),
+            Scenario::new("conservative", Protection::Conservative),
+        ]
+    }
+}
+
+/// Runs every scenario over one already-generated trace, in order.
+/// `seed` keys the models; the caller owns trace generation.
+pub fn run_scenarios(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    scenarios: &[Scenario],
+    seed: u64,
+    warmup_frac: f64,
+) -> Result<Vec<SimReport>, EngineError> {
+    let opts = SimOptions {
+        warmup_frac,
+        // Derive once: thread_count() scans the whole trace, and every
+        // scenario runs over the same immutable trace.
+        threads: Some(trace.thread_count().max(1)),
+    };
+    scenarios
+        .iter()
+        .map(|sc| {
+            let mut model = registry.build(&sc.model, seed)?;
+            Ok(simulate_with(model.as_mut(), sc.protection, trace, &opts)?)
+        })
+        .collect()
+}
+
+/// One completed cell of an experiment grid.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Workload profile name.
+    pub workload: String,
+    /// Model spec string the cell was built from.
+    pub model_spec: String,
+    /// Seed that keyed trace generation and the model.
+    pub seed: u64,
+    /// The simulation result.
+    pub report: SimReport,
+}
+
+/// Results of an [`Experiment`] run, in grid order:
+/// workloads (outer) × seeds × scenarios (inner).
+#[derive(Clone, Debug)]
+pub struct RunSet {
+    records: Vec<RunRecord>,
+    scenarios_per_suite: usize,
+}
+
+impl RunSet {
+    /// All records, grid-ordered.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Iterates (workload, seed)-suites: each yielded slice holds one
+    /// record per scenario, in scenario order.
+    pub fn suites(&self) -> impl Iterator<Item = &[RunRecord]> {
+        self.records.chunks(self.scenarios_per_suite)
+    }
+
+    /// Reports of suite `i`, in scenario order (legend order for Figure 3
+    /// presets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= suite_count()`.
+    pub fn suite_reports(&self, i: usize) -> Vec<&SimReport> {
+        assert!(
+            i < self.suite_count(),
+            "suite index {i} out of range (suite_count = {})",
+            self.suite_count()
+        );
+        self.records[i * self.scenarios_per_suite..(i + 1) * self.scenarios_per_suite]
+            .iter()
+            .map(|r| &r.report)
+            .collect()
+    }
+
+    /// Number of (workload, seed)-suites.
+    pub fn suite_count(&self) -> usize {
+        self.records
+            .len()
+            .checked_div(self.scenarios_per_suite)
+            .unwrap_or(0)
+    }
+
+    /// Per-suite OAE of each scenario normalized by scenario 0's OAE —
+    /// the Figure 3 presentation (rows = suites, columns = scenarios 1..).
+    pub fn oae_normalized_to_first(&self) -> Vec<Vec<f64>> {
+        self.suites()
+            .map(|suite| {
+                let base = suite[0].report.oae.max(1e-9);
+                suite[1..].iter().map(|r| r.report.oae / base).collect()
+            })
+            .collect()
+    }
+
+    /// Mean OAE per scenario column across all suites.
+    pub fn mean_oae_by_scenario(&self) -> Vec<f64> {
+        self.column_summary(mean)
+    }
+
+    /// Geometric-mean OAE per scenario column across all suites.
+    pub fn geomean_oae_by_scenario(&self) -> Vec<f64> {
+        self.column_summary(geomean)
+    }
+
+    fn column_summary(&self, f: fn(&[f64]) -> f64) -> Vec<f64> {
+        (0..self.scenarios_per_suite)
+            .map(|col| {
+                let column: Vec<f64> = self.suites().map(|suite| suite[col].report.oae).collect();
+                f(&column)
+            })
+            .collect()
+    }
+
+    /// The whole set as CSV (header + one row per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(csv_header());
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&report_to_csv_row(&r.report, r.seed));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole set as a JSON array of report objects.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| report_to_json(&r.report, r.seed))
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+#[derive(Clone)]
+enum WorkloadSel {
+    Named(String),
+    Custom(WorkloadProfile),
+}
+
+impl WorkloadSel {
+    fn name(&self) -> &str {
+        match self {
+            WorkloadSel::Named(n) => n,
+            WorkloadSel::Custom(p) => p.name,
+        }
+    }
+
+    fn resolve(&self) -> Result<WorkloadProfile, EngineError> {
+        match self {
+            WorkloadSel::Named(n) => profiles::by_name(n)
+                .copied()
+                .ok_or_else(|| EngineError::UnknownWorkload(n.clone())),
+            WorkloadSel::Custom(p) => Ok(*p),
+        }
+    }
+}
+
+/// Builder for a grid of simulations: `workloads × scenarios × seeds`,
+/// run in parallel over all cores.
+///
+/// ```
+/// use stbpu_engine::{Experiment, Scenario};
+/// use stbpu_sim::Protection;
+///
+/// let set = Experiment::new("demo")
+///     .workloads(["541.leela", "505.mcf"])
+///     .scenario(Scenario::new("skl", Protection::Unprotected))
+///     .scenario(Scenario::new("tage64", Protection::Unprotected))
+///     .branches(3_000)
+///     .seeds([1, 2])
+///     .run()
+///     .unwrap();
+/// assert_eq!(set.records().len(), 2 * 2 * 2);
+/// assert_eq!(set.suite_count(), 4);
+/// ```
+pub struct Experiment {
+    name: String,
+    registry: ModelRegistry,
+    workloads: Vec<WorkloadSel>,
+    scenarios: Vec<Scenario>,
+    seeds: Vec<u64>,
+    branches: usize,
+    warmup_frac: f64,
+    threads: Option<usize>,
+}
+
+impl Experiment {
+    /// A named experiment with defaults: no workloads/scenarios yet,
+    /// seed 42, 20 000 branches, 10 % warm-up, threads derived per trace,
+    /// the standard registry.
+    pub fn new(name: &str) -> Self {
+        Experiment {
+            name: name.to_string(),
+            registry: ModelRegistry::standard(),
+            workloads: Vec::new(),
+            scenarios: Vec::new(),
+            seeds: vec![42],
+            branches: 20_000,
+            warmup_frac: 0.1,
+            threads: None,
+        }
+    }
+
+    /// The experiment name (used in logs and output labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the model registry (to use custom-registered models).
+    pub fn registry(mut self, registry: ModelRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Adds one named workload profile.
+    pub fn workload(mut self, name: &str) -> Self {
+        self.workloads.push(WorkloadSel::Named(name.to_string()));
+        self
+    }
+
+    /// Adds several named workload profiles.
+    pub fn workloads<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for n in names {
+            self.workloads
+                .push(WorkloadSel::Named(n.as_ref().to_string()));
+        }
+        self
+    }
+
+    /// Adds a custom (non-registered) workload profile.
+    pub fn profile(mut self, profile: WorkloadProfile) -> Self {
+        self.workloads.push(WorkloadSel::Custom(profile));
+        self
+    }
+
+    /// Adds one scenario cell.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Adds several scenario cells (e.g. [`Scenario::fig3`]).
+    pub fn scenarios<I: IntoIterator<Item = Scenario>>(mut self, scenarios: I) -> Self {
+        self.scenarios.extend(scenarios);
+        self
+    }
+
+    /// Cross-product convenience: every model spec under one protection.
+    pub fn models_under<I, S>(mut self, protection: Protection, specs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for s in specs {
+            self.scenarios.push(Scenario::new(s.as_ref(), protection));
+        }
+        self
+    }
+
+    /// Sets a single seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds = vec![seed];
+        self
+    }
+
+    /// Sets multiple seeds (each (workload, seed) pair is one suite).
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Branches generated per workload trace.
+    pub fn branches(mut self, branches: usize) -> Self {
+        self.branches = branches;
+        self
+    }
+
+    /// Warm-up fraction (statistics reset after this share of branches).
+    pub fn warmup(mut self, warmup_frac: f64) -> Self {
+        self.warmup_frac = warmup_frac;
+        self
+    }
+
+    /// Explicit hardware-thread provision, validated against every trace
+    /// (default: derived per trace).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs the whole grid in parallel and collects a [`RunSet`].
+    ///
+    /// Each (workload, seed) suite generates its trace once and runs every
+    /// scenario over it; suites are distributed over all cores. Workload
+    /// names, model specs and protections are validated before any
+    /// simulation starts.
+    pub fn run(self) -> Result<RunSet, EngineError> {
+        if self.workloads.is_empty() {
+            return Err(EngineError::EmptyGrid("workloads"));
+        }
+        if self.scenarios.is_empty() {
+            return Err(EngineError::EmptyGrid("scenarios"));
+        }
+        if self.seeds.is_empty() {
+            return Err(EngineError::EmptyGrid("seeds"));
+        }
+        // Validate the grid up front: fail fast on the first bad name
+        // instead of deep inside a worker thread.
+        let resolved: Vec<(WorkloadSel, WorkloadProfile)> = self
+            .workloads
+            .iter()
+            .map(|w| Ok((w.clone(), w.resolve()?)))
+            .collect::<Result<_, EngineError>>()?;
+        let mut checked = std::collections::BTreeSet::new();
+        for sc in &self.scenarios {
+            if checked.insert(sc.model.as_str()) {
+                self.registry.build(&sc.model, 0)?;
+            }
+        }
+
+        let scenarios_per_suite = self.scenarios.len();
+        let jobs: Vec<(WorkloadSel, WorkloadProfile, u64)> = resolved
+            .into_iter()
+            .flat_map(|(sel, prof)| self.seeds.iter().map(move |&s| (sel.clone(), prof, s)))
+            .collect();
+
+        let suites: Vec<Result<Vec<RunRecord>, EngineError>> =
+            parallel_map(jobs, |(sel, profile, seed)| {
+                let trace = TraceGenerator::new(profile, *seed).generate(self.branches);
+                let opts = SimOptions {
+                    warmup_frac: self.warmup_frac,
+                    // Derive per trace, once: thread_count() is O(events).
+                    threads: self.threads.or(Some(trace.thread_count().max(1))),
+                };
+                self.scenarios
+                    .iter()
+                    .map(|sc| {
+                        let mut model = self.registry.build(&sc.model, *seed)?;
+                        let report = simulate_with(model.as_mut(), sc.protection, &trace, &opts)?;
+                        Ok(RunRecord {
+                            workload: sel.name().to_string(),
+                            model_spec: sc.model.clone(),
+                            seed: *seed,
+                            report,
+                        })
+                    })
+                    .collect()
+            });
+
+        let mut records = Vec::with_capacity(suites.len() * scenarios_per_suite);
+        for suite in suites {
+            records.extend(suite?);
+        }
+        Ok(RunSet {
+            records,
+            scenarios_per_suite,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_preset_runs_in_legend_order() {
+        let set = Experiment::new("fig3-unit")
+            .workload("520.omnetpp")
+            .scenarios(Scenario::fig3())
+            .branches(3_000)
+            .seed(3)
+            .run()
+            .unwrap();
+        let labels: Vec<&str> = set.records().iter().map(|r| r.report.protection).collect();
+        assert_eq!(
+            labels,
+            [
+                "baseline",
+                "STBPU",
+                "ucode protection",
+                "ucode protection2",
+                "conservative"
+            ]
+        );
+        assert_eq!(set.suite_count(), 1);
+        assert_eq!(set.oae_normalized_to_first()[0].len(), 4);
+    }
+
+    #[test]
+    fn grid_order_is_workload_seed_scenario() {
+        let set = Experiment::new("grid")
+            .workloads(["541.leela", "505.mcf"])
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(1_000)
+            .seeds([1, 2])
+            .run()
+            .unwrap();
+        let got: Vec<(String, u64)> = set
+            .records()
+            .iter()
+            .map(|r| (r.workload.clone(), r.seed))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("541.leela".to_string(), 1),
+                ("541.leela".to_string(), 2),
+                ("505.mcf".to_string(), 1),
+                ("505.mcf".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_grids_rejected() {
+        assert_eq!(
+            Experiment::new("e")
+                .scenario(Scenario::new("skl", Protection::Unprotected))
+                .run()
+                .unwrap_err(),
+            EngineError::EmptyGrid("workloads")
+        );
+        assert_eq!(
+            Experiment::new("e").workload("505.mcf").run().unwrap_err(),
+            EngineError::EmptyGrid("scenarios")
+        );
+    }
+
+    #[test]
+    fn bad_names_fail_before_simulation() {
+        let err = Experiment::new("e")
+            .workload("not_a_workload")
+            .scenarios(Scenario::fig3())
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownWorkload("not_a_workload".to_string())
+        );
+
+        let err = Experiment::new("e")
+            .workload("505.mcf")
+            .scenario(Scenario::new("warp_drive", Protection::Unprotected))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownModel { .. }));
+    }
+
+    #[test]
+    fn empty_seeds_rejected() {
+        let err = Experiment::new("e")
+            .workload("505.mcf")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .seeds(Vec::new())
+            .run()
+            .unwrap_err();
+        assert_eq!(err, EngineError::EmptyGrid("seeds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "suite index 1 out of range")]
+    fn suite_reports_bounds_checked() {
+        let set = Experiment::new("b")
+            .workload("505.mcf")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(500)
+            .run()
+            .unwrap();
+        let _ = set.suite_reports(1);
+    }
+
+    #[test]
+    fn scenario_parse_round_trip() {
+        let sc = Scenario::parse("st_skl@r=0.01:stbpu").unwrap();
+        assert_eq!(sc.model, "st_skl@r=0.01");
+        assert_eq!(sc.protection, Protection::Stbpu);
+        assert!(Scenario::parse("skl").is_err());
+    }
+
+    #[test]
+    fn serialization_shapes() {
+        let set = Experiment::new("ser")
+            .workload("505.mcf")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(1_000)
+            .seed(5)
+            .run()
+            .unwrap();
+        let csv = set.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().next().unwrap().starts_with("workload,model"));
+        let json = set.to_json();
+        assert!(json.starts_with("[{") && json.ends_with("}]"));
+        assert!(json.contains("\"workload\":\"505.mcf\""));
+    }
+
+    #[test]
+    fn matches_direct_simulation_exactly() {
+        // The engine path (trace per (workload, seed), model per scenario)
+        // must reproduce a hand-rolled run bit-for-bit.
+        use stbpu_predictors::skl_baseline;
+        let set = Experiment::new("ref")
+            .workload("525.x264")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(5_000)
+            .seed(11)
+            .warmup(0.1)
+            .run()
+            .unwrap();
+
+        let trace = TraceGenerator::new(profiles::by_name("525.x264").unwrap(), 11).generate(5_000);
+        let mut model = skl_baseline();
+        let reference = stbpu_sim::simulate(&mut model, Protection::Unprotected, &trace, 0.1);
+        let got = &set.records()[0].report;
+        assert_eq!(got.oae, reference.oae);
+        assert_eq!(got.mispredictions, reference.mispredictions);
+        assert_eq!(got.evictions, reference.evictions);
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment engine for the STBPU reproduction: the open model registry
+//! and the declarative scenario/experiment API every harness binary,
+//! example and integration test is built on.
+//!
+//! The engine replaces two closed seams of the original workspace:
+//!
+//! * the `ModelKind` enum + `build_model` free function in `stbpu-sim`
+//!   (adding a predictor meant editing the sim crate) — superseded by the
+//!   [`ModelRegistry`]: every direction predictor × mapper × BTB
+//!   combination is constructible **by name** (`"skl"`, `"st_skl@r=0.05"`,
+//!   `"tage64"`, `"st_gshare@bits=12"`, …), and downstream code can
+//!   register new compositions without touching this crate;
+//! * the per-binary trace → model → report loops in `crates/bench` —
+//!   superseded by the [`Experiment`] builder, which declares
+//!   `workloads × scenarios × seeds` grids, runs them in parallel
+//!   ([`parallel_map`]) and returns a structured [`RunSet`] with JSON/CSV
+//!   serialization and summary helpers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stbpu_engine::{Experiment, Scenario};
+//!
+//! let set = Experiment::new("fig3-mini")
+//!     .workload("525.x264")
+//!     .scenarios(Scenario::fig3())
+//!     .branches(4_000)
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(set.records().len(), 5);
+//! let stbpu = set.records().iter().find(|r| r.report.protection == "STBPU").unwrap();
+//! assert!(stbpu.report.oae > 0.5);
+//! ```
+//!
+//! Single models come from the registry:
+//!
+//! ```
+//! use stbpu_engine::ModelRegistry;
+//!
+//! let registry = ModelRegistry::standard();
+//! let mut model = registry.build("st_tage64@r=0.01", 7).unwrap();
+//! assert_eq!(model.name(), "ST_TAGE_SC_L_64KB");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod experiment;
+mod parallel;
+mod registry;
+mod report;
+mod stats;
+
+pub use error::EngineError;
+pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
+pub use parallel::parallel_map;
+pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
+pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+pub use stats::{geomean, mean};

@@ -1,0 +1,96 @@
+//! Work-stealing parallel map used by the experiment runner and harnesses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `job` over `items` on all available cores, preserving input order.
+///
+/// Work distribution is a shared atomic cursor (dynamic load balancing:
+/// slow items do not stall a fixed chunk). Each worker accumulates
+/// `(index, result)` pairs privately and results are scattered into the
+/// output after the scope joins — there is no lock anywhere on the result
+/// path, unlike the old `Mutex<Vec<Option<R>>>` implementation that
+/// serialized every write.
+pub fn parallel_map<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..1000).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_job_costs_balance() {
+        // Early items are expensive: dynamic distribution must still fill
+        // every slot correctly.
+        let out = parallel_map((0..64u64).collect(), |&x| {
+            if x < 4 {
+                (0..200_000u64).fold(x, |a, b| a.wrapping_add(b % 7))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63], 63);
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![41], |&x: &i32| x + 1), vec![42]);
+    }
+}

@@ -1,0 +1,580 @@
+//! The open model registry: every predictor × mapper × BTB composition is
+//! constructible by string name, and downstream code can register new
+//! compositions without touching the engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::EngineError;
+use stbpu_bpu::{BaselineMapper, Bpu, BtbConfig, ConservativeMapper};
+use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig, StMapper};
+use stbpu_predictors::{
+    conservative, perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline,
+    DirectionPredictor, FullBpu, Gshare, PerceptronConfig, PerceptronPredictor, SklCond, Tage,
+    TageConfig,
+};
+
+/// Direction-predictor choice for a [`ModelSpec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PredictorSpec {
+    /// Skylake-like hybrid (one-level + two-level + chooser).
+    SklCond,
+    /// Plain gshare with `2^bits` counters.
+    Gshare {
+        /// log2 of the PHT size.
+        bits: u32,
+    },
+    /// TAGE-SC-L 8 KB.
+    Tage8,
+    /// TAGE-SC-L 64 KB.
+    Tage64,
+    /// Jiménez–Lin perceptron.
+    Perceptron,
+}
+
+/// Mapper (protection substrate) choice for a [`ModelSpec`].
+#[derive(Clone, Copy, Debug)]
+pub enum MapperSpec {
+    /// Reverse-engineered Skylake mapping, truncated addresses.
+    Baseline,
+    /// STBPU secret-token keyed remapping.
+    SecretToken(StConfig),
+    /// Full 48-bit tags/targets (the "conservative" model).
+    Conservative,
+}
+
+/// BTB geometry choice for a [`ModelSpec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BtbSpec {
+    /// 4096-entry, 8-way Skylake-like geometry with compressed tags.
+    Skylake,
+    /// Half-capacity geometry storing full tags and targets.
+    Conservative,
+}
+
+/// A declarative model composition: direction predictor + mapper + BTB.
+///
+/// This is the open replacement for the old closed `ModelKind` enum — any
+/// combination builds, including ones no paper figure uses (e.g. a
+/// secret-token gshare):
+///
+/// ```
+/// use stbpu_engine::{MapperSpec, ModelSpec, PredictorSpec};
+/// use stbpu_core::StConfig;
+///
+/// let spec = ModelSpec::new(
+///     "ST_gshare_demo",
+///     PredictorSpec::Gshare { bits: 12 },
+///     MapperSpec::SecretToken(StConfig::default()),
+/// );
+/// let mut model = spec.build(42);
+/// assert_eq!(model.name(), "ST_gshare_demo");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Model name reported in figures and [`stbpu_sim::SimReport`]s.
+    pub label: String,
+    /// Direction predictor.
+    pub predictor: PredictorSpec,
+    /// Mapper / protection substrate.
+    pub mapper: MapperSpec,
+    /// BTB geometry (defaults to match the mapper).
+    pub btb: BtbSpec,
+}
+
+impl ModelSpec {
+    /// Composes a spec; the BTB geometry defaults to
+    /// [`BtbSpec::Conservative`] for the conservative mapper and
+    /// [`BtbSpec::Skylake`] otherwise.
+    pub fn new(label: &str, predictor: PredictorSpec, mapper: MapperSpec) -> Self {
+        let btb = match mapper {
+            MapperSpec::Conservative => BtbSpec::Conservative,
+            _ => BtbSpec::Skylake,
+        };
+        ModelSpec {
+            label: label.to_string(),
+            predictor,
+            mapper,
+            btb,
+        }
+    }
+
+    /// Overrides the BTB geometry.
+    pub fn btb(mut self, btb: BtbSpec) -> Self {
+        self.btb = btb;
+        self
+    }
+
+    /// Builds the composed model. `seed` keys the secret-token generator
+    /// (ignored by keyless mappers).
+    pub fn build(&self, seed: u64) -> Box<dyn Bpu> {
+        match self.predictor {
+            PredictorSpec::SklCond => self.assemble(SklCond::new(), seed),
+            PredictorSpec::Gshare { bits } => self.assemble(Gshare::new(1usize << bits), seed),
+            PredictorSpec::Tage8 => self.assemble(Tage::new(TageConfig::kb8()), seed),
+            PredictorSpec::Tage64 => self.assemble(Tage::new(TageConfig::kb64()), seed),
+            PredictorSpec::Perceptron => {
+                self.assemble(PerceptronPredictor::new(PerceptronConfig::default()), seed)
+            }
+        }
+    }
+
+    fn assemble<D: DirectionPredictor + 'static>(&self, dir: D, seed: u64) -> Box<dyn Bpu> {
+        let (btb, full_fidelity) = match self.btb {
+            BtbSpec::Skylake => (BtbConfig::skylake(), false),
+            BtbSpec::Conservative => (BtbConfig::conservative(), true),
+        };
+        match self.mapper {
+            MapperSpec::Baseline => Box::new(FullBpu::new(
+                &self.label,
+                dir,
+                BaselineMapper::new(),
+                btb,
+                full_fidelity,
+            )),
+            MapperSpec::Conservative => Box::new(FullBpu::new(
+                &self.label,
+                dir,
+                ConservativeMapper::new(),
+                btb,
+                full_fidelity,
+            )),
+            MapperSpec::SecretToken(cfg) => Box::new(FullBpu::new(
+                &self.label,
+                dir,
+                StMapper::new(cfg, seed),
+                btb,
+                full_fidelity,
+            )),
+        }
+    }
+}
+
+/// Parsed `key=value` parameters from a `name@k=v,k2=v2` model spec.
+#[derive(Clone, Debug, Default)]
+pub struct ModelParams {
+    entries: BTreeMap<String, f64>,
+}
+
+impl ModelParams {
+    /// No parameters.
+    pub fn empty() -> Self {
+        ModelParams::default()
+    }
+
+    /// Parses the `k=v,k2=v2` tail of a model spec.
+    fn parse(model: &str, tail: &str) -> Result<Self, EngineError> {
+        let mut entries = BTreeMap::new();
+        for pair in tail.split(',') {
+            let Some((k, v)) = pair.split_once('=') else {
+                return Err(EngineError::BadParam {
+                    model: model.to_string(),
+                    reason: format!("'{pair}' is not key=value"),
+                });
+            };
+            let value: f64 = v.trim().parse().map_err(|_| EngineError::BadParam {
+                model: model.to_string(),
+                reason: format!("'{v}' is not a number for key '{k}'"),
+            })?;
+            entries.insert(k.trim().to_string(), value);
+        }
+        Ok(ModelParams { entries })
+    }
+
+    /// Looks up one parameter.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Rejects any parameter outside `allowed` — so a typo like
+    /// `skl@r=0.05` errors instead of being silently ignored.
+    pub fn ensure_only(&self, model: &str, allowed: &[&str]) -> Result<(), EngineError> {
+        for key in self.entries.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(EngineError::BadParam {
+                    model: model.to_string(),
+                    reason: format!(
+                        "unknown parameter '{key}' (accepted: {})",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// An [`StConfig`] from the `r` parameter (paper default when absent).
+    pub fn st_config(&self, model: &str) -> Result<StConfig, EngineError> {
+        match self.get("r") {
+            None => Ok(StConfig::default()),
+            Some(r) if r > 0.0 && r <= 1.0 => Ok(StConfig::with_r(r)),
+            Some(r) => Err(EngineError::BadParam {
+                model: model.to_string(),
+                reason: format!("difficulty factor r={r} not in (0, 1]"),
+            }),
+        }
+    }
+
+    fn gshare_bits(&self, model: &str) -> Result<u32, EngineError> {
+        match self.get("bits") {
+            None => Ok(14),
+            Some(b) if (4.0..=22.0).contains(&b) && b.fract() == 0.0 => Ok(b as u32),
+            Some(b) => Err(EngineError::BadParam {
+                model: model.to_string(),
+                reason: format!("bits={b} must be an integer in 4..=22"),
+            }),
+        }
+    }
+}
+
+type Builder = Arc<dyn Fn(&ModelParams, u64) -> Result<Box<dyn Bpu>, EngineError> + Send + Sync>;
+
+struct Entry {
+    summary: &'static str,
+    builder: Builder,
+    /// True for alias names (skipped by [`ModelRegistry::names`] so
+    /// coverage iteration does not test one model thrice).
+    alias: bool,
+}
+
+/// String-named model construction: `registry.build("st_skl@r=0.05", seed)`.
+///
+/// [`ModelRegistry::standard`] pre-registers every model of the paper's
+/// evaluation (all four direction predictors, their ST_* variants, the
+/// conservative model and a plain gshare). New compositions register
+/// through [`ModelRegistry::register`] or [`ModelRegistry::register_spec`].
+pub struct ModelRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        ModelRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the paper's models pre-registered.
+    pub fn standard() -> Self {
+        let mut reg = ModelRegistry::empty();
+
+        reg.register(
+            "skl",
+            "unprotected Skylake-like baseline (SKLCond)",
+            |p, _| {
+                p.ensure_only("skl", &[])?;
+                Ok(Box::new(skl_baseline()))
+            },
+        );
+        reg.alias("skl", "sklcond");
+        reg.alias("skl", "baseline");
+
+        reg.register("st_skl", "secret-token SKLCond (param: r)", |p, seed| {
+            Ok(Box::new(st_skl(
+                p.ensure_only("st_skl", &["r"]).and(p.st_config("st_skl"))?,
+                seed,
+            )))
+        });
+        reg.alias("st_skl", "st_sklcond");
+        reg.alias("st_skl", "stbpu");
+
+        reg.register("tage8", "unprotected TAGE-SC-L 8KB", |p, _| {
+            p.ensure_only("tage8", &[])?;
+            Ok(Box::new(tage8_baseline()))
+        });
+        reg.register(
+            "st_tage8",
+            "secret-token TAGE-SC-L 8KB (param: r)",
+            |p, seed| {
+                Ok(Box::new(st_tage8(
+                    p.ensure_only("st_tage8", &["r"])
+                        .and(p.st_config("st_tage8"))?,
+                    seed,
+                )))
+            },
+        );
+
+        reg.register("tage64", "unprotected TAGE-SC-L 64KB", |p, _| {
+            p.ensure_only("tage64", &[])?;
+            Ok(Box::new(tage64_baseline()))
+        });
+        reg.register(
+            "st_tage64",
+            "secret-token TAGE-SC-L 64KB (param: r)",
+            |p, seed| {
+                Ok(Box::new(st_tage64(
+                    p.ensure_only("st_tage64", &["r"])
+                        .and(p.st_config("st_tage64"))?,
+                    seed,
+                )))
+            },
+        );
+
+        reg.register("perceptron", "unprotected perceptron", |p, _| {
+            p.ensure_only("perceptron", &[])?;
+            Ok(Box::new(perceptron_baseline()))
+        });
+        reg.register(
+            "st_perceptron",
+            "secret-token perceptron (param: r)",
+            |p, seed| {
+                Ok(Box::new(st_perceptron(
+                    p.ensure_only("st_perceptron", &["r"])
+                        .and(p.st_config("st_perceptron"))?,
+                    seed,
+                )))
+            },
+        );
+
+        reg.register(
+            "gshare",
+            "plain gshare ablation model (param: bits)",
+            |p, seed| {
+                p.ensure_only("gshare", &["bits"])?;
+                let bits = p.gshare_bits("gshare")?;
+                Ok(ModelSpec::new(
+                    &format!("gshare{bits}"),
+                    PredictorSpec::Gshare { bits },
+                    MapperSpec::Baseline,
+                )
+                .build(seed))
+            },
+        );
+        reg.register(
+            "st_gshare",
+            "secret-token gshare (params: r, bits)",
+            |p, seed| {
+                p.ensure_only("st_gshare", &["r", "bits"])?;
+                let bits = p.gshare_bits("st_gshare")?;
+                let cfg = p.st_config("st_gshare")?;
+                Ok(ModelSpec::new(
+                    &format!("ST_gshare{bits}"),
+                    PredictorSpec::Gshare { bits },
+                    MapperSpec::SecretToken(cfg),
+                )
+                .build(seed))
+            },
+        );
+
+        reg.register(
+            "conservative",
+            "full-tag half-capacity conservative model",
+            |p, _| {
+                p.ensure_only("conservative", &[])?;
+                Ok(Box::new(conservative()))
+            },
+        );
+
+        reg
+    }
+
+    /// Registers a named builder. Re-registering a name replaces it.
+    pub fn register<F>(&mut self, name: &str, summary: &'static str, builder: F)
+    where
+        F: Fn(&ModelParams, u64) -> Result<Box<dyn Bpu>, EngineError> + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                summary,
+                builder: Arc::new(builder),
+                alias: false,
+            },
+        );
+    }
+
+    /// Registers a fixed [`ModelSpec`] composition under `name`. A
+    /// secret-token spec accepts an `r` override (`name@r=0.01`).
+    pub fn register_spec(&mut self, name: &str, summary: &'static str, spec: ModelSpec) {
+        let owner = name.to_string();
+        self.register(name, summary, move |p, seed| {
+            let mut spec = spec.clone();
+            match spec.mapper {
+                MapperSpec::SecretToken(_) => {
+                    p.ensure_only(&owner, &["r"])?;
+                    if p.get("r").is_some() {
+                        spec.mapper = MapperSpec::SecretToken(p.st_config(&owner)?);
+                    }
+                }
+                _ => p.ensure_only(&owner, &[])?,
+            }
+            Ok(spec.build(seed))
+        });
+    }
+
+    /// Registers `alias` as another name for `of`.
+    pub fn alias(&mut self, of: &str, alias: &str) {
+        let entry = self
+            .entries
+            .get(of)
+            .expect("alias target must be registered");
+        let (summary, builder) = (entry.summary, entry.builder.clone());
+        self.entries.insert(
+            alias.to_string(),
+            Entry {
+                summary,
+                builder,
+                alias: true,
+            },
+        );
+    }
+
+    /// Builds a model from a `name` or `name@key=value,..` spec string.
+    pub fn build(&self, spec: &str, seed: u64) -> Result<Box<dyn Bpu>, EngineError> {
+        let spec = spec.trim();
+        let (name, params) = match spec.split_once('@') {
+            None => (spec, ModelParams::empty()),
+            Some((name, tail)) => (name.trim(), ModelParams::parse(name.trim(), tail)?),
+        };
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownModel {
+                name: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })?;
+        (entry.builder)(&params, seed)
+    }
+
+    /// Canonical registered names (aliases excluded), sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.alias)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// One-line description of a registered name.
+    pub fn summary(&self, name: &str) -> Option<&'static str> {
+        self.entries.get(name).map(|e| e.summary)
+    }
+
+    /// Whether `name` (canonical or alias) resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_cover_the_paper_models() {
+        let reg = ModelRegistry::standard();
+        for name in [
+            "skl",
+            "st_skl",
+            "tage8",
+            "st_tage8",
+            "tage64",
+            "st_tage64",
+            "perceptron",
+            "st_perceptron",
+            "gshare",
+            "st_gshare",
+            "conservative",
+        ] {
+            assert!(reg.contains(name), "missing {name}");
+        }
+        assert_eq!(reg.names().len(), 11);
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_model() {
+        let reg = ModelRegistry::standard();
+        assert_eq!(reg.build("baseline", 1).unwrap().name(), "SKLCond");
+        assert_eq!(reg.build("stbpu", 1).unwrap().name(), "ST_SKLCond");
+    }
+
+    #[test]
+    fn params_parse_and_apply() {
+        let reg = ModelRegistry::standard();
+        assert_eq!(reg.build("st_skl@r=0.01", 1).unwrap().name(), "ST_SKLCond");
+        assert_eq!(reg.build("gshare@bits=12", 1).unwrap().name(), "gshare12");
+        assert_eq!(
+            reg.build("st_gshare@bits=10,r=0.1", 1).unwrap().name(),
+            "ST_gshare10"
+        );
+    }
+
+    #[test]
+    fn unknown_model_lists_known_names() {
+        let reg = ModelRegistry::standard();
+        match reg.build("no_such_model", 1) {
+            Err(EngineError::UnknownModel { name, known }) => {
+                assert_eq!(name, "no_such_model");
+                assert!(known.contains(&"st_tage64".to_string()));
+            }
+            Err(other) => panic!("expected UnknownModel, got {other:?}"),
+            Ok(_) => panic!("expected UnknownModel, got a model"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_malformed_params_rejected() {
+        let reg = ModelRegistry::standard();
+        assert!(matches!(
+            reg.build("skl@r=0.05", 1),
+            Err(EngineError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("st_skl@r=zero", 1),
+            Err(EngineError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("st_skl@r", 1),
+            Err(EngineError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("st_skl@r=-0.4", 1),
+            Err(EngineError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("gshare@bits=3", 1),
+            Err(EngineError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_registration_is_open() {
+        let mut reg = ModelRegistry::standard();
+        reg.register_spec(
+            "my_model",
+            "conservative-BTB TAGE experiment",
+            ModelSpec::new("MyTage", PredictorSpec::Tage8, MapperSpec::Conservative),
+        );
+        assert_eq!(reg.build("my_model", 3).unwrap().name(), "MyTage");
+
+        reg.register_spec(
+            "my_st",
+            "secret-token perceptron with default r",
+            ModelSpec::new(
+                "MyStPerceptron",
+                PredictorSpec::Perceptron,
+                MapperSpec::SecretToken(StConfig::default()),
+            ),
+        );
+        // r override flows into the registered spec.
+        assert_eq!(
+            reg.build("my_st@r=0.5", 4).unwrap().name(),
+            "MyStPerceptron"
+        );
+        assert!(matches!(
+            reg.build("my_st@bits=9", 4),
+            Err(EngineError::BadParam { .. })
+        ));
+    }
+}

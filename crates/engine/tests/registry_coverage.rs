@@ -1,0 +1,82 @@
+//! Registry coverage: every registered model name must build and survive a
+//! short trace with sane statistics — a new predictor cannot be registered
+//! without being exercised.
+
+use stbpu_engine::{ModelRegistry, Scenario};
+use stbpu_sim::{simulate, Protection};
+use stbpu_trace::{TraceGenerator, WorkloadProfile};
+
+#[test]
+fn every_registered_model_builds_runs_and_predicts() {
+    let registry = ModelRegistry::standard();
+    let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(4_000);
+    let names = registry.names();
+    assert!(names.len() >= 11, "standard registry shrank: {names:?}");
+
+    for name in names {
+        let mut model = registry
+            .build(name, 7)
+            .unwrap_or_else(|e| panic!("'{name}' failed to build: {e}"));
+        assert!(
+            !model.name().is_empty(),
+            "'{name}' has an empty model label"
+        );
+        assert!(
+            registry.summary(name).is_some(),
+            "'{name}' registered without a summary"
+        );
+
+        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.1);
+        assert!(
+            report.oae > 0.4 && report.oae <= 1.0,
+            "'{name}' ({}) produced implausible OAE {} on the test workload",
+            report.model,
+            report.oae
+        );
+        assert_eq!(
+            report.branches, 3_600,
+            "'{name}' lost branches (warm-up accounting broke)"
+        );
+        assert!(
+            report.mispredictions < report.branches,
+            "'{name}' mispredicted everything"
+        );
+    }
+}
+
+#[test]
+fn every_fig3_scheme_resolves_through_the_registry() {
+    let registry = ModelRegistry::standard();
+    let schemes = Scenario::fig3();
+    assert_eq!(schemes.len(), 5);
+    for sc in &schemes {
+        registry
+            .build(&sc.model, 1)
+            .unwrap_or_else(|e| panic!("fig3 scheme '{}' failed: {e}", sc.model));
+    }
+    // Legend order: baseline first, STBPU second.
+    assert_eq!(schemes[0].protection, Protection::Unprotected);
+    assert_eq!(schemes[1].protection, Protection::Stbpu);
+}
+
+#[test]
+fn st_variants_rerandomize_under_pressure_and_baselines_do_not() {
+    let registry = ModelRegistry::standard();
+    let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).generate(4_000);
+    for name in ["skl", "tage8", "perceptron", "gshare", "conservative"] {
+        let mut model = registry.build(name, 3).unwrap();
+        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.0);
+        assert_eq!(
+            report.rerandomizations, 0,
+            "keyless '{name}' cannot re-randomize"
+        );
+    }
+    // A tiny difficulty factor forces visible token churn on an ST model.
+    let mut model = registry.build("st_skl@r=0.00001", 3).unwrap();
+    let report = simulate(model.as_mut(), Protection::Stbpu, &trace, 0.0);
+    assert!(
+        report.rerandomizations > 0,
+        "st_skl with aggressive r must re-randomize (got {})",
+        report.rerandomizations
+    );
+}

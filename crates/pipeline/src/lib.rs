@@ -164,6 +164,7 @@ struct ThreadClock {
 }
 
 impl ThreadClock {
+    #[allow(clippy::too_many_arguments)]
     fn charge_branch(
         &mut self,
         gap: u64,
@@ -301,7 +302,11 @@ pub fn run_smt(
             t = 1 - t;
         }
         let both = active[0] && active[1];
-        let width_eff = if both { cfg.width as f64 / 2.0 } else { cfg.width as f64 };
+        let width_eff = if both {
+            cfg.width as f64 / 2.0
+        } else {
+            cfg.width as f64
+        };
         for _ in 0..SMT_CHUNK {
             match iters[t].next() {
                 Some(rec) => {

@@ -4,7 +4,7 @@
 use crate::direction::{DirPrediction, DirectionPredictor};
 use crate::target::TargetUnit;
 use stbpu_bpu::{
-    BpuStats, BranchOutcome, BranchRecord, Bpu, BtbConfig, EntityId, HistoryCtx, Mapper,
+    Bpu, BpuStats, BranchOutcome, BranchRecord, BtbConfig, EntityId, HistoryCtx, Mapper,
     MAX_THREADS,
 };
 
@@ -82,7 +82,10 @@ impl<D: DirectionPredictor, M: Mapper> Bpu for FullBpu<D, M> {
 
         // 2. Target prediction, only when the front end follows the branch.
         let tgt_pred = if pred_taken {
-            Some(self.target.predict(&self.mapper, tid, rec, &mut self.hist[tid]))
+            Some(
+                self.target
+                    .predict(&self.mapper, tid, rec, &mut self.hist[tid]),
+            )
         } else {
             None
         };
@@ -100,18 +103,20 @@ impl<D: DirectionPredictor, M: Mapper> Bpu for FullBpu<D, M> {
         } else {
             None
         };
-        let effective_correct = direction_correct.unwrap_or(true)
-            && target_correct.unwrap_or(true);
+        let effective_correct = direction_correct.unwrap_or(true) && target_correct.unwrap_or(true);
         let mispredicted = !effective_correct;
         let btb_miss = tgt_pred.as_ref().map(|t| t.btb_miss).unwrap_or(false);
         let rsb_underflow = tgt_pred.as_ref().map(|t| t.rsb_underflow).unwrap_or(false);
 
         // 4. Train structures (all mapping still under the current token).
         if let Some(dp) = dir_pred {
-            self.dir.update(&self.mapper, tid, pc, &self.hist[tid], rec.taken, dp);
+            self.dir
+                .update(&self.mapper, tid, pc, &self.hist[tid], rec.taken, dp);
             self.hist[tid].push_outcome(rec.taken);
         }
-        let evictions = self.target.update(&self.mapper, tid, rec, &mut self.hist[tid], rsb_underflow);
+        let evictions =
+            self.target
+                .update(&self.mapper, tid, rec, &mut self.hist[tid], rsb_underflow);
 
         // 5. Statistics.
         self.stats.record(rec.kind, effective_correct);
@@ -224,8 +229,14 @@ mod tests {
     fn call_ret_chain_predicted() {
         let mut bpu = skl_baseline();
         for _ in 0..50 {
-            bpu.process(0, &BranchRecord::taken(0x40_0000, BranchKind::DirectCall, 0x50_0000));
-            bpu.process(0, &BranchRecord::taken(0x50_0010, BranchKind::Return, 0x40_0004));
+            bpu.process(
+                0,
+                &BranchRecord::taken(0x40_0000, BranchKind::DirectCall, 0x50_0000),
+            );
+            bpu.process(
+                0,
+                &BranchRecord::taken(0x50_0010, BranchKind::Return, 0x40_0004),
+            );
         }
         let s = bpu.stats();
         assert_eq!(s.kind_oae(BranchKind::Return).map(|v| v > 0.95), Some(true));
@@ -279,7 +290,12 @@ mod tests {
                 }
             }
             assert_eq!(m.stats().branches, 100);
-            assert!(m.stats().oae() > 0.5, "{}: OAE {}", m.name(), m.stats().oae());
+            assert!(
+                m.stats().oae() > 0.5,
+                "{}: OAE {}",
+                m.name(),
+                m.stats().oae()
+            );
         }
     }
 

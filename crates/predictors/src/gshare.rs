@@ -24,7 +24,9 @@ pub struct Gshare {
 impl Gshare {
     /// Creates a gshare predictor with a power-of-two table size.
     pub fn new(entries: usize) -> Self {
-        Gshare { pht: Pht::new(entries) }
+        Gshare {
+            pht: Pht::new(entries),
+        }
     }
 }
 
@@ -95,7 +97,10 @@ mod tests {
             h.push_outcome(taken);
             taken = !taken;
         }
-        assert!(correct > 180, "gshare should learn alternation, got {correct}/200");
+        assert!(
+            correct > 180,
+            "gshare should learn alternation, got {correct}/200"
+        );
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! [`stbpu_bpu::BaselineMapper`] you get the unprotected models; with the
 //! secret-token mapper from `stbpu-core` you get the ST_* variants.
 //!
+//! The free constructor functions below ([`skl_baseline`] & co.) build the
+//! canonical paper configurations. For string-named construction — the
+//! preferred entry point for harnesses and experiments — use the
+//! `ModelRegistry` in `stbpu-engine`, which exposes every one of these
+//! models (and arbitrary new compositions) by name.
+//!
 //! # Example
 //!
 //! ```

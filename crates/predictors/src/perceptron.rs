@@ -20,7 +20,10 @@ pub struct PerceptronConfig {
 
 impl Default for PerceptronConfig {
     fn default() -> Self {
-        PerceptronConfig { idx_bits: 10, history: 31 }
+        PerceptronConfig {
+            idx_bits: 10,
+            history: 31,
+        }
     }
 }
 
@@ -149,8 +152,22 @@ mod tests {
 
     #[test]
     fn theta_matches_formula() {
-        assert_eq!(PerceptronConfig { idx_bits: 10, history: 31 }.theta(), 73);
-        assert_eq!(PerceptronConfig { idx_bits: 10, history: 59 }.theta(), 127);
+        assert_eq!(
+            PerceptronConfig {
+                idx_bits: 10,
+                history: 31
+            }
+            .theta(),
+            73
+        );
+        assert_eq!(
+            PerceptronConfig {
+                idx_bits: 10,
+                history: 59
+            }
+            .theta(),
+            127
+        );
     }
 
     #[test]

@@ -63,9 +63,15 @@ impl DirectionPredictor for SklCond {
         let p2 = self.pht.predict(m.pht2(tid, pc, h.ghr()) % self.pht.len());
         let use_two_level = self.chooser[Self::chooser_index(pc)].is_set();
         if use_two_level {
-            DirPrediction { taken: p2, provider: Provider::TwoLevel }
+            DirPrediction {
+                taken: p2,
+                provider: Provider::TwoLevel,
+            }
         } else {
-            DirPrediction { taken: p1, provider: Provider::Base }
+            DirPrediction {
+                taken: p1,
+                provider: Provider::Base,
+            }
         }
     }
 

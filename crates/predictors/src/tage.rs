@@ -115,7 +115,12 @@ struct Fold {
 
 impl Fold {
     fn new(olen: u32, clen: u32) -> Self {
-        Fold { comp: 0, clen: clen.max(1), olen, outpoint: olen % clen.max(1) }
+        Fold {
+            comp: 0,
+            clen: clen.max(1),
+            olen,
+            outpoint: olen % clen.max(1),
+        }
     }
 
     /// Updates the fold after `newest` was pushed into the history whose
@@ -258,7 +263,9 @@ impl Tage {
             "one history length per tagged table"
         );
         assert!(
-            cfg.hist_lengths.iter().all(|&l| (l as usize) < HIST_CAP - 1),
+            cfg.hist_lengths
+                .iter()
+                .all(|&l| (l as usize) < HIST_CAP - 1),
             "history length exceeds capacity"
         );
         let tables = vec![vec![TageEntry::default(); 1 << cfg.idx_bits]; cfg.tagged_tables];
@@ -303,7 +310,11 @@ impl Tage {
             s.loop_hit_confident = true;
             // Predict the loop exit once the observed trip count is reached
             // (`curr_iter` counts the in-loop outcomes of this cycle).
-            s.loop_pred = if e.curr_iter >= e.past_iter { !e.dir } else { e.dir };
+            s.loop_pred = if e.curr_iter >= e.past_iter {
+                !e.dir
+            } else {
+                e.dir
+            };
         } else {
             s.loop_hit_confident = false;
         }
@@ -447,7 +458,10 @@ impl DirectionPredictor for Tage {
         }
 
         self.threads[tid].scratch = s;
-        DirPrediction { taken: pred, provider }
+        DirPrediction {
+            taken: pred,
+            provider,
+        }
     }
 
     fn update(
@@ -497,14 +511,21 @@ impl DirectionPredictor for Tage {
                         e.u = e.u.saturating_sub(1);
                     }
                 }
-                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                e.ctr = if taken {
+                    (e.ctr + 1).min(3)
+                } else {
+                    (e.ctr - 1).max(-4)
+                };
                 // Train the alternate path while the provider is young.
                 if s.newly_alloc {
                     match s.alt {
                         Some(a) => {
                             let ae = &mut self.tables[a][s.indices[a]];
-                            ae.ctr =
-                                if taken { (ae.ctr + 1).min(3) } else { (ae.ctr - 1).max(-4) };
+                            ae.ctr = if taken {
+                                (ae.ctr + 1).min(3)
+                            } else {
+                                (ae.ctr - 1).max(-4)
+                            };
                         }
                         None => self.bimodal.train(s.base_idx, taken),
                     }
@@ -516,8 +537,9 @@ impl DirectionPredictor for Tage {
         // Allocation on misprediction in a longer-history table.
         let start = s.provider.map(|p| p + 1).unwrap_or(0);
         if tage_mispredicted && start < n {
-            let mut candidates: Vec<usize> =
-                (start..n).filter(|&j| self.tables[j][s.indices[j]].u == 0).collect();
+            let mut candidates: Vec<usize> = (start..n)
+                .filter(|&j| self.tables[j][s.indices[j]].u == 0)
+                .collect();
             if candidates.is_empty() {
                 for j in start..n {
                     let e = &mut self.tables[j][s.indices[j]];
@@ -562,7 +584,9 @@ impl DirectionPredictor for Tage {
         for t in &mut self.sc {
             t.iter_mut().for_each(|c| *c = 0);
         }
-        self.loops.iter_mut().for_each(|e| *e = LoopEntry::default());
+        self.loops
+            .iter_mut()
+            .for_each(|e| *e = LoopEntry::default());
         for th in &mut self.threads {
             th.clear();
         }
@@ -647,7 +671,10 @@ mod tests {
         let mut t64 = Tage::new(TageConfig::kb64());
         let a8 = accuracy(&mut t8, &pattern, 200, 0x40_3000);
         let a64 = accuracy(&mut t64, &pattern, 200, 0x40_3000);
-        assert!(a64 >= a8 - 0.02, "64KB ({a64}) should not lose to 8KB ({a8})");
+        assert!(
+            a64 >= a8 - 0.02,
+            "64KB ({a64}) should not lose to 8KB ({a8})"
+        );
         assert!(a64 > 0.9, "64KB should learn period-37, got {a64}");
     }
 
@@ -658,7 +685,10 @@ mod tests {
         pattern.push(false);
         let mut t = Tage::new(TageConfig::kb8());
         let acc = accuracy(&mut t, &pattern, 120, 0x40_4000);
-        assert!(acc > 0.97, "loop predictor should catch trip count 24, got {acc}");
+        assert!(
+            acc > 0.97,
+            "loop predictor should catch trip count 24, got {acc}"
+        );
     }
 
     #[test]
@@ -719,4 +749,3 @@ mod tests {
         let _ = Tage::new(cfg);
     }
 }
-

@@ -138,11 +138,16 @@ impl TargetUnit {
                     btb_miss: false,
                     rsb_underflow: false,
                 },
-                None => TargetPrediction { target: None, btb_miss: true, rsb_underflow: false },
+                None => TargetPrediction {
+                    target: None,
+                    btb_miss: true,
+                    rsb_underflow: false,
+                },
             },
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn indirect_lookup(
         &mut self,
         m: &dyn Mapper,
@@ -170,7 +175,11 @@ impl TargetUnit {
                 btb_miss: false,
                 rsb_underflow: false,
             },
-            None => TargetPrediction { target: None, btb_miss: true, rsb_underflow: false },
+            None => TargetPrediction {
+                target: None,
+                btb_miss: true,
+                rsb_underflow: false,
+            },
         }
     }
 
@@ -199,7 +208,10 @@ impl TargetUnit {
                     // learns them when the RSB underflowed.
                     if rsb_underflowed {
                         let tag2 = m.btb2_tag(tid, h.bhb());
-                        if self.btb.insert(set, tag2 | MODE2_BIT, coord.offset, payload).is_some()
+                        if self
+                            .btb
+                            .insert(set, tag2 | MODE2_BIT, coord.offset, payload)
+                            .is_some()
                         {
                             evictions += 1;
                         }
@@ -207,15 +219,27 @@ impl TargetUnit {
                 }
                 BranchKind::IndirectJump | BranchKind::IndirectCall => {
                     let tag2 = m.btb2_tag(tid, h.bhb());
-                    if self.btb.insert(set, tag2 | MODE2_BIT, coord.offset, payload).is_some() {
+                    if self
+                        .btb
+                        .insert(set, tag2 | MODE2_BIT, coord.offset, payload)
+                        .is_some()
+                    {
                         evictions += 1;
                     }
-                    if self.btb.insert(set, coord.tag, coord.offset, payload).is_some() {
+                    if self
+                        .btb
+                        .insert(set, coord.tag, coord.offset, payload)
+                        .is_some()
+                    {
                         evictions += 1;
                     }
                 }
                 _ => {
-                    if self.btb.insert(set, coord.tag, coord.offset, payload).is_some() {
+                    if self
+                        .btb
+                        .insert(set, coord.tag, coord.offset, payload)
+                        .is_some()
+                    {
                         evictions += 1;
                     }
                 }
@@ -365,6 +389,9 @@ mod tests {
             let rec = BranchRecord::taken(pc, BranchKind::DirectJump, 0x9000);
             evictions += t.update(&m, 0, &rec, &mut h, false);
         }
-        assert!(evictions >= 4, "8-way set overfilled by 12 must evict, got {evictions}");
+        assert!(
+            evictions >= 4,
+            "8-way set overfilled by 12 must evict, got {evictions}"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! structural invariants for arbitrary branch streams.
 
 use proptest::prelude::*;
-use stbpu_bpu::{BranchKind, BranchRecord, Bpu};
+use stbpu_bpu::{Bpu, BranchKind, BranchRecord};
 use stbpu_predictors::{
     conservative, perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline,
 };

@@ -92,7 +92,11 @@ pub fn avalanche(c: &Circuit, samples: usize, seed: u64) -> AvalancheReport {
     let n_in = c.input_bits();
     let n_out = c.output_bits();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let in_mask = if n_in == 128 { u128::MAX } else { (1u128 << n_in) - 1 };
+    let in_mask = if n_in == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n_in) - 1
+    };
 
     let mut per_input_means = Vec::with_capacity(samples);
     let mut input_bit_hd = vec![0u64; n_in as usize];
@@ -128,7 +132,11 @@ pub fn avalanche(c: &Circuit, samples: usize, seed: u64) -> AvalancheReport {
         .map(|v| (v - m) * (v - m))
         .sum::<f64>()
         / samples as f64;
-    let cv = if m > 0.0 { var.sqrt() / m } else { f64::INFINITY };
+    let cv = if m > 0.0 {
+        var.sqrt() / m
+    } else {
+        f64::INFINITY
+    };
 
     let in_rates: Vec<f64> = input_bit_hd
         .iter()
@@ -236,7 +244,11 @@ mod tests {
         // here, so instead use duplicated masks — both bits always equal).
         let c = Circuit::new(8, vec![Layer::Compress(vec![0b1, 0b1])]).unwrap();
         let r = uniformity(&c, 0, 2, 64, 3);
-        assert!(r.excess() > 0.5, "should flag non-uniform output, cv={}", r.cv);
+        assert!(
+            r.excess() > 0.5,
+            "should flag non-uniform output, cv={}",
+            r.cv
+        );
     }
 
     #[test]

@@ -94,9 +94,8 @@ impl RemapSet {
 
     /// R4: PHT two-level index (16 GHR bits per Table II).
     pub fn r4(&self, psi: u32, ghr16: u16, pc48: u64) -> usize {
-        let x = (psi as u128)
-            | ((ghr16 as u128) << 32)
-            | (((pc48 & ((1 << 48) - 1)) as u128) << 48);
+        let x =
+            (psi as u128) | ((ghr16 as u128) << 32) | (((pc48 & ((1 << 48) - 1)) as u128) << 48);
         (self.r4.eval(x) & 0x3fff) as usize
     }
 
@@ -105,9 +104,8 @@ impl RemapSet {
     /// carries the folded global history of the table (plus a table
     /// constant) so each bank maps differently.
     pub fn rt(&self, psi: u32, pc48: u64, fold16: u16) -> (u64, u64) {
-        let x = (psi as u128)
-            | (((pc48 & ((1 << 48) - 1)) as u128) << 32)
-            | ((fold16 as u128) << 80);
+        let x =
+            (psi as u128) | (((pc48 & ((1 << 48) - 1)) as u128) << 32) | ((fold16 as u128) << 80);
         let y = self.rt.eval(x);
         (y & 0x1fff, (y >> 13) & 0xfff)
     }
@@ -189,7 +187,10 @@ mod tests {
                 moved += 1;
             }
         }
-        assert!(moved as f64 / n as f64 > 0.95, "only {moved}/{n} branches moved");
+        assert!(
+            moved as f64 / n as f64 > 0.95,
+            "only {moved}/{n} branches moved"
+        );
     }
 
     #[test]

@@ -148,7 +148,9 @@ impl Generator {
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
-            .ok_or_else(|| GenError { msg: "scoring failed".into() })
+            .ok_or_else(|| GenError {
+                msg: "scoring failed".into(),
+            })
     }
 
     /// Attempts one randomized construction. Returns `None` when the design
@@ -279,7 +281,7 @@ fn tileable_ceil(w: u32) -> Option<u32> {
 fn tile(width: u32) -> Option<(u32, u32)> {
     for b in 0..=(width / 3) {
         let rest = width - 3 * b;
-        if rest % 4 == 0 {
+        if rest.is_multiple_of(4) {
             return Some((rest / 4, b));
         }
     }
@@ -306,14 +308,24 @@ mod tests {
 
     #[test]
     fn width_schedule_descends_to_output() {
-        for (i, o) in [(80u32, 22u32), (90, 8), (96, 14), (96, 25), (80, 10), (32, 8)] {
+        for (i, o) in [
+            (80u32, 22u32),
+            (90, 8),
+            (96, 14),
+            (96, 25),
+            (80, 10),
+            (32, 8),
+        ] {
             let s = width_schedule(i, o).unwrap();
             assert_eq!(*s.last().unwrap(), o, "{i}->{o}: {s:?}");
             assert!(s.len() <= 2, "{i}->{o}: too many compression steps {s:?}");
             let mut prev = i;
             for &w in &s {
                 assert!(w < prev, "{i}->{o}: {s:?}");
-                assert!(w == o || tile(w).is_some(), "{i}->{o}: untileable mid in {s:?}");
+                assert!(
+                    w == o || tile(w).is_some(),
+                    "{i}->{o}: untileable mid in {s:?}"
+                );
                 prev = w;
             }
         }
@@ -327,7 +339,11 @@ mod tests {
         assert_eq!(c.input_bits(), 80);
         assert_eq!(c.output_bits(), 22);
         let cost = c.cost();
-        assert!(cost.critical_path <= 45, "critical path {}", cost.critical_path);
+        assert!(
+            cost.critical_path <= 45,
+            "critical path {}",
+            cost.critical_path
+        );
         assert!(cost.layers <= 12);
     }
 
@@ -341,7 +357,10 @@ mod tests {
         }
         let c = Generator::new(cs, 100).generate(2, 40).unwrap();
         let differs = (0..200u128).any(|x| a.eval(x * 997) != c.eval(x * 997));
-        assert!(differs, "different seeds should generally give different circuits");
+        assert!(
+            differs,
+            "different seeds should generally give different circuits"
+        );
     }
 
     #[test]

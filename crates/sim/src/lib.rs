@@ -18,15 +18,21 @@
 //! The headline metric is OAE — overall accuracy effective (all necessary
 //! predictions correct).
 //!
+//! Model *selection* does not live here: any [`stbpu_bpu::Bpu`] can be
+//! simulated, and the `stbpu-engine` crate provides the string-named model
+//! registry (`ModelRegistry`) and the declarative `Experiment`/`Scenario`
+//! builder that replaced this crate's old closed [`ModelKind`] enum.
+//!
 //! # Example
 //!
 //! ```
-//! use stbpu_sim::{build_model, simulate, ModelKind, Protection};
+//! use stbpu_predictors::skl_baseline;
+//! use stbpu_sim::{simulate, Protection};
 //! use stbpu_trace::{TraceGenerator, WorkloadProfile};
 //!
 //! let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(4000);
-//! let mut model = build_model(ModelKind::Baseline, 1);
-//! let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.1);
+//! let mut model = skl_baseline();
+//! let report = simulate(&mut model, Protection::Unprotected, &trace, 0.1);
 //! assert!(report.oae > 0.5);
 //! ```
 
@@ -58,7 +64,10 @@ pub enum Protection {
 impl Protection {
     /// IBPB: full flush when the scheduler switches processes.
     fn flushes_on_context_switch(self) -> bool {
-        matches!(self, Protection::Ucode1 | Protection::Ucode2 | Protection::Conservative)
+        matches!(
+            self,
+            Protection::Ucode1 | Protection::Ucode2 | Protection::Conservative
+        )
     }
 
     /// IBRS: indirect-prediction (BTB/RSB) flush on kernel entry. The
@@ -86,6 +95,11 @@ impl Protection {
 
 /// Model selector for the Figure 3 evaluation (all five schemes run the
 /// same SKL-style predictor underneath).
+#[deprecated(
+    since = "0.2.0",
+    note = "closed enum superseded by the open `stbpu_engine::ModelRegistry` (string-named \
+            predictor × mapper × BTB compositions)"
+)]
 #[derive(Clone, Copy, Debug)]
 pub enum ModelKind {
     /// Unprotected Skylake-like baseline.
@@ -102,6 +116,11 @@ pub enum ModelKind {
 }
 
 /// Builds the model for a [`ModelKind`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `stbpu_engine::ModelRegistry::standard().build(name, seed)` instead"
+)]
+#[allow(deprecated)]
 pub fn build_model(kind: ModelKind, seed: u64) -> Box<dyn Bpu> {
     match kind {
         ModelKind::Baseline | ModelKind::Ucode => Box::new(skl_baseline()),
@@ -111,6 +130,8 @@ pub fn build_model(kind: ModelKind, seed: u64) -> Box<dyn Bpu> {
 }
 
 /// The five (kind, policy) combinations of Figure 3, in legend order.
+#[deprecated(since = "0.2.0", note = "use `stbpu_engine::Scenario::fig3()` instead")]
+#[allow(deprecated)]
 pub fn fig3_schemes() -> [(ModelKind, Protection); 5] {
     [
         (ModelKind::Baseline, Protection::Unprotected),
@@ -148,31 +169,116 @@ pub struct SimReport {
     pub rerandomizations: u64,
 }
 
-/// Runs `model` under `policy` over `trace`; the first `warmup_frac` of
-/// branch events warm the structures without counting toward statistics.
+/// Options for [`simulate_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Fraction of branch events that warm the structures without counting
+    /// toward statistics. Must be within `[0, 1)`.
+    pub warmup_frac: f64,
+    /// Number of hardware threads to provision per-thread context for.
+    /// `None` derives it from the trace ([`Trace::thread_count`]). Every
+    /// event's `tid` is validated against this, replacing the old silent
+    /// two-thread `tid & 1` wrap-around.
+    pub threads: Option<usize>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            warmup_frac: 0.1,
+            threads: None,
+        }
+    }
+}
+
+/// Why a simulation could not run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// `warmup_frac` outside `[0, 1)`.
+    WarmupOutOfRange(f64),
+    /// More threads requested than models support ([`stbpu_bpu::MAX_THREADS`]).
+    TooManyThreads {
+        /// Threads requested.
+        requested: usize,
+        /// Hard model limit.
+        max: usize,
+    },
+    /// A trace event carries a `tid` outside the provisioned thread count.
+    ThreadOutOfRange {
+        /// Offending thread id.
+        tid: usize,
+        /// Provisioned thread count.
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::WarmupOutOfRange(v) => {
+                write!(f, "warm-up fraction out of range: {v} not in [0, 1)")
+            }
+            SimError::TooManyThreads { requested, max } => {
+                write!(
+                    f,
+                    "{requested} threads requested but models support at most {max}"
+                )
+            }
+            SimError::ThreadOutOfRange { tid, threads } => {
+                write!(
+                    f,
+                    "trace event on thread {tid} but only {threads} threads provisioned"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs `model` under `policy` over `trace` with explicit [`SimOptions`].
 ///
-/// # Panics
-///
-/// Panics if `warmup_frac` is not within `[0, 1)`.
-pub fn simulate(
+/// The thread count is taken from `opts.threads` (or derived from the
+/// trace) and validated against both the model limit and every event —
+/// a trace that names a thread outside the provisioned range is rejected
+/// instead of being silently folded onto two threads.
+pub fn simulate_with(
     model: &mut dyn Bpu,
     policy: Protection,
     trace: &Trace,
-    warmup_frac: f64,
-) -> SimReport {
-    assert!((0.0..1.0).contains(&warmup_frac), "warm-up fraction out of range");
-    let warmup = (trace.branch_count() as f64 * warmup_frac) as usize;
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    if !(0.0..1.0).contains(&opts.warmup_frac) {
+        return Err(SimError::WarmupOutOfRange(opts.warmup_frac));
+    }
+    let threads = opts.threads.unwrap_or_else(|| trace.thread_count()).max(1);
+    if threads > stbpu_bpu::MAX_THREADS {
+        return Err(SimError::TooManyThreads {
+            requested: threads,
+            max: stbpu_bpu::MAX_THREADS,
+        });
+    }
+    let check = |tid: u8| -> Result<usize, SimError> {
+        let tid = tid as usize;
+        if tid < threads {
+            Ok(tid)
+        } else {
+            Err(SimError::ThreadOutOfRange { tid, threads })
+        }
+    };
+
+    let warmup = (trace.branch_count() as f64 * opts.warmup_frac) as usize;
     model.set_partitioned(policy.partitions());
 
     // Per-thread context: the user entity to return to after kernel exits.
-    let mut user_entity = [EntityId::user(0); 2];
+    let mut user_entity = vec![EntityId::user(0); threads];
     let mut seen = 0usize;
     let mut warmed = warmup == 0;
 
     for ev in &trace.events {
         match *ev {
             TraceEvent::Branch { tid, ref rec } => {
-                model.process(tid as usize, rec);
+                model.process(check(tid)?, rec);
                 seen += 1;
                 if !warmed && seen >= warmup {
                     model.reset_stats();
@@ -180,31 +286,34 @@ pub fn simulate(
                 }
             }
             TraceEvent::ContextSwitch { tid, entity } => {
-                user_entity[tid as usize & 1] = entity;
-                model.context_switch(tid as usize, entity);
+                let tid = check(tid)?;
+                user_entity[tid] = entity;
+                model.context_switch(tid, entity);
                 if policy.flushes_on_context_switch() {
                     model.flush(); // IBPB
                 }
             }
             TraceEvent::ModeSwitch { tid, kernel } => {
+                let tid = check(tid)?;
                 if kernel {
-                    model.context_switch(tid as usize, EntityId::KERNEL);
+                    model.context_switch(tid, EntityId::KERNEL);
                     if policy.flushes_targets_on_kernel_entry() {
                         model.flush_targets(); // IBRS: no user-placed targets in kernel
                     }
                 } else {
-                    model.context_switch(tid as usize, user_entity[tid as usize & 1]);
+                    model.context_switch(tid, user_entity[tid]);
                 }
             }
-            TraceEvent::Interrupt { .. } => {
+            TraceEvent::Interrupt { tid } => {
                 // Delivery itself is free; the kernel excursion follows as
                 // ModeSwitch events.
+                check(tid)?;
             }
         }
     }
 
     let s = model.stats();
-    SimReport {
+    Ok(SimReport {
         model: model.name(),
         protection: policy.label(),
         workload: trace.name.clone(),
@@ -216,11 +325,44 @@ pub fn simulate(
         evictions: s.btb_evictions,
         flushes: s.flushes,
         rerandomizations: model.rerandomizations(),
-    }
+    })
+}
+
+/// Runs `model` under `policy` over `trace`; the first `warmup_frac` of
+/// branch events warm the structures without counting toward statistics.
+/// Thread count is derived from the trace — use [`simulate_with`] to
+/// control it explicitly.
+///
+/// # Panics
+///
+/// Panics if `warmup_frac` is not within `[0, 1)` or the trace names a
+/// thread models cannot support.
+pub fn simulate(
+    model: &mut dyn Bpu,
+    policy: Protection,
+    trace: &Trace,
+    warmup_frac: f64,
+) -> SimReport {
+    simulate_with(
+        model,
+        policy,
+        trace,
+        &SimOptions {
+            warmup_frac,
+            threads: None,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience: run all five Figure 3 schemes over one trace and return the
 /// reports in legend order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `stbpu_engine::run_scenarios(&registry, &trace, &Scenario::fig3(), seed, warmup)` \
+            or the `Experiment` builder instead"
+)]
+#[allow(deprecated)]
 pub fn run_fig3_suite(trace: &Trace, seed: u64, warmup: f64) -> Vec<SimReport> {
     fig3_schemes()
         .into_iter()
@@ -233,26 +375,38 @@ pub fn run_fig3_suite(trace: &Trace, seed: u64, warmup: f64) -> Vec<SimReport> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated ModelKind/build_model/run_fig3_suite shims stay
+    // exercised here until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use stbpu_trace::{profiles, TraceGenerator, WorkloadProfile};
 
     fn trace_for(name: &str, branches: usize) -> Trace {
-        TraceGenerator::new(profiles::by_name(name).unwrap(), 42).generate(branches)
+        trace_for_seeded(name, branches, 42)
+    }
+
+    fn trace_for_seeded(name: &str, branches: usize, seed: u64) -> Trace {
+        TraceGenerator::new(profiles::by_name(name).unwrap(), seed).generate(branches)
     }
 
     #[test]
     fn baseline_accuracy_in_published_range_for_spec() {
         // Predictable FP workload: baseline OAE must be high.
-        let t = trace_for("519.lbm", 30_000);
+        let t = trace_for_seeded("519.lbm", 30_000, 1);
         let mut m = build_model(ModelKind::Baseline, 1);
         let r = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
         assert!(r.oae > 0.93, "lbm baseline OAE {}", r.oae);
 
         // Hard integer workload: noticeably lower but still decent.
-        let t = trace_for("541.leela", 30_000);
+        let t = trace_for_seeded("541.leela", 30_000, 1);
         let mut m = build_model(ModelKind::Baseline, 1);
         let r2 = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
-        assert!(r2.oae > 0.75 && r2.oae < 0.99, "leela baseline OAE {}", r2.oae);
+        assert!(
+            r2.oae > 0.75 && r2.oae < 0.99,
+            "leela baseline OAE {}",
+            r2.oae
+        );
         assert!(r.oae > r2.oae, "lbm must beat leela");
     }
 
@@ -303,7 +457,10 @@ mod tests {
         let t = trace_for("chrome-1jetstream", 25_000);
         let suite = run_fig3_suite(&t, 3, 0.1);
         let (u1, u2) = (suite[2].oae, suite[3].oae);
-        assert!(u2 <= u1 + 0.02, "STIBP partitioning should not help: u1 {u1}, u2 {u2}");
+        assert!(
+            u2 <= u1 + 0.02,
+            "STIBP partitioning should not help: u1 {u1}, u2 {u2}"
+        );
     }
 
     #[test]
@@ -320,5 +477,47 @@ mod tests {
         let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(10);
         let mut m = build_model(ModelKind::Baseline, 1);
         let _ = simulate(m.as_mut(), Protection::Unprotected, &t, 1.0);
+    }
+
+    #[test]
+    fn thread_count_derived_and_validated() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(500);
+        assert_eq!(t.thread_count(), 1, "test profile is single-threaded");
+        let mut m = skl_baseline();
+        let opts = SimOptions {
+            warmup_frac: 0.0,
+            threads: None,
+        };
+        let r = simulate_with(&mut m, Protection::Unprotected, &t, &opts).unwrap();
+        assert_eq!(r.branches, 500);
+    }
+
+    #[test]
+    fn event_tid_outside_provisioned_threads_rejected() {
+        use stbpu_bpu::BranchRecord;
+        let mut t = Trace::new("bad");
+        t.events.push(TraceEvent::Branch {
+            tid: 1,
+            rec: BranchRecord::conditional(0x4000, true, 0x4100),
+        });
+        let mut m = skl_baseline();
+        let opts = SimOptions {
+            warmup_frac: 0.0,
+            threads: Some(1),
+        };
+        let err = simulate_with(&mut m, Protection::Unprotected, &t, &opts).unwrap_err();
+        assert_eq!(err, SimError::ThreadOutOfRange { tid: 1, threads: 1 });
+    }
+
+    #[test]
+    fn more_threads_than_models_support_rejected() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(10);
+        let mut m = skl_baseline();
+        let opts = SimOptions {
+            warmup_frac: 0.0,
+            threads: Some(9),
+        };
+        let err = simulate_with(&mut m, Protection::Unprotected, &t, &opts).unwrap_err();
+        assert!(matches!(err, SimError::TooManyThreads { requested: 9, .. }));
     }
 }

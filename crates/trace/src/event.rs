@@ -35,6 +35,18 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The logical (SMT) thread the event occurred on.
+    pub fn tid(&self) -> u8 {
+        match *self {
+            TraceEvent::Branch { tid, .. }
+            | TraceEvent::ContextSwitch { tid, .. }
+            | TraceEvent::ModeSwitch { tid, .. }
+            | TraceEvent::Interrupt { tid } => tid,
+        }
+    }
+}
+
 /// A named sequence of trace events.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
@@ -47,7 +59,20 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty named trace.
     pub fn new(name: &str) -> Self {
-        Trace { name: name.to_string(), events: Vec::new() }
+        Trace {
+            name: name.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of hardware threads the trace occupies (highest `tid` + 1;
+    /// 0 for an empty trace). Simulators size per-thread state from this.
+    pub fn thread_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.tid() as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of branch events.
@@ -103,17 +128,26 @@ mod tests {
     #[test]
     fn counting_helpers() {
         let mut t = Trace::new("t");
-        t.events.push(TraceEvent::ContextSwitch { tid: 0, entity: EntityId::user(1) });
+        t.events.push(TraceEvent::ContextSwitch {
+            tid: 0,
+            entity: EntityId::user(1),
+        });
         t.events.push(TraceEvent::Branch {
             tid: 0,
             rec: BranchRecord::taken(0x40, BranchKind::DirectJump, 0x80).with_gap(9),
         });
-        t.events.push(TraceEvent::ModeSwitch { tid: 0, kernel: true });
+        t.events.push(TraceEvent::ModeSwitch {
+            tid: 0,
+            kernel: true,
+        });
         t.events.push(TraceEvent::Branch {
             tid: 0,
             rec: BranchRecord::not_taken(0xffff_8000_0000),
         });
-        t.events.push(TraceEvent::ModeSwitch { tid: 0, kernel: false });
+        t.events.push(TraceEvent::ModeSwitch {
+            tid: 0,
+            kernel: false,
+        });
         t.events.push(TraceEvent::Interrupt { tid: 0 });
         assert_eq!(t.branch_count(), 2);
         assert_eq!(t.context_switches(), 1);

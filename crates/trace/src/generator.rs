@@ -65,7 +65,12 @@ impl TraceGenerator {
             let base = 0x4000_0000 + (p as u64) * 0x0002_1000_0000;
             let prog = Program::build(&shape, base, &mut rng);
             let wseed = rng.gen();
-            walkers.push(Walker::new(&prog, profile.call_depth, profile.noise * 0.5, wseed));
+            walkers.push(Walker::new(
+                &prog,
+                profile.call_depth,
+                profile.noise * 0.5,
+                wseed,
+            ));
             programs.push(prog);
         }
         let kshape = ProgramShape {
@@ -117,7 +122,10 @@ impl TraceGenerator {
         for _ in 0..n {
             let mut rec = self.kernel_walkers[tid].next(&self.kernel_prog);
             rec.gap = Self::sample_gap(&mut self.rng, 4.0);
-            out.push(TraceEvent::Branch { tid: tid as u8, rec });
+            out.push(TraceEvent::Branch {
+                tid: tid as u8,
+                rec,
+            });
         }
     }
 
@@ -133,9 +141,10 @@ impl TraceGenerator {
         for t in 0..threads {
             let first = (0..nproc).find(|p| p % threads == t).unwrap_or(0);
             self.current[t] = first;
-            trace
-                .events
-                .push(TraceEvent::ContextSwitch { tid: t as u8, entity: self.entity_for(first) });
+            trace.events.push(TraceEvent::ContextSwitch {
+                tid: t as u8,
+                entity: self.entity_for(first),
+            });
         }
 
         let p_sys = self.profile.syscalls_per_1k / 1000.0;
@@ -148,51 +157,77 @@ impl TraceGenerator {
         while emitted < branches {
             // Thread time-slicing for two-thread traces.
             chunk += 1;
-            if threads == 2 && chunk % THREAD_CHUNK == 0 {
+            if threads == 2 && chunk.is_multiple_of(THREAD_CHUNK) {
                 tid = 1 - tid;
             }
 
             let roll: f64 = self.rng.gen();
             if roll < p_ctx && nproc > 1 {
                 // Scheduler: kernel entry, scheduler body, switch, exit.
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: true,
+                });
                 let n = self.rng.gen_range(SCHED_LEN.0..=SCHED_LEN.1);
                 let mut buf = Vec::new();
                 self.kernel_run(&mut buf, tid, n);
                 emitted += buf.len();
                 trace.events.append(&mut buf);
                 // Round-robin among this thread's processes.
-                let mine: Vec<usize> = (0..nproc).filter(|p| p % threads == tid % threads).collect();
-                let pos = mine.iter().position(|&p| p == self.current[tid]).unwrap_or(0);
+                let mine: Vec<usize> = (0..nproc)
+                    .filter(|p| p % threads == tid % threads)
+                    .collect();
+                let pos = mine
+                    .iter()
+                    .position(|&p| p == self.current[tid])
+                    .unwrap_or(0);
                 let next = mine[(pos + 1) % mine.len()];
                 self.current[tid] = next;
                 trace.events.push(TraceEvent::ContextSwitch {
                     tid: tid as u8,
                     entity: self.entity_for(next),
                 });
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: false,
+                });
             } else if roll < p_ctx + p_sys {
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: true,
+                });
                 let n = self.rng.gen_range(SYSCALL_LEN.0..=SYSCALL_LEN.1);
                 let mut buf = Vec::new();
                 self.kernel_run(&mut buf, tid, n);
                 emitted += buf.len();
                 trace.events.append(&mut buf);
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: false,
+                });
             } else if roll < p_ctx + p_sys + p_irq {
                 trace.events.push(TraceEvent::Interrupt { tid: tid as u8 });
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: true });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: true,
+                });
                 let n = self.rng.gen_range(IRQ_LEN.0..=IRQ_LEN.1);
                 let mut buf = Vec::new();
                 self.kernel_run(&mut buf, tid, n);
                 emitted += buf.len();
                 trace.events.append(&mut buf);
-                trace.events.push(TraceEvent::ModeSwitch { tid: tid as u8, kernel: false });
+                trace.events.push(TraceEvent::ModeSwitch {
+                    tid: tid as u8,
+                    kernel: false,
+                });
             } else {
                 let proc_idx = self.current[tid];
                 let mut rec = self.walkers[proc_idx].next(&self.programs[proc_idx]);
                 rec.gap = Self::sample_gap(&mut self.rng, self.profile.gap_mean);
-                trace.events.push(TraceEvent::Branch { tid: tid as u8, rec });
+                trace.events.push(TraceEvent::Branch {
+                    tid: tid as u8,
+                    rec,
+                });
                 emitted += 1;
             }
         }
@@ -210,8 +245,9 @@ impl TraceGenerator {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +313,11 @@ mod tests {
             }
         }
         assert_eq!(tids.len(), 2, "server traces occupy both logical threads");
-        assert!(entities.len() >= 4, "prefork spawns many workers: {}", entities.len());
+        assert!(
+            entities.len() >= 4,
+            "prefork spawns many workers: {}",
+            entities.len()
+        );
     }
 
     #[test]
@@ -306,7 +346,8 @@ mod tests {
 
     #[test]
     fn different_workloads_have_different_kernel_share() {
-        let spec = TraceGenerator::new(profiles::by_name("503.bwaves").unwrap(), 1).generate(30_000);
+        let spec =
+            TraceGenerator::new(profiles::by_name("503.bwaves").unwrap(), 1).generate(30_000);
         let srv =
             TraceGenerator::new(profiles::by_name("mysql_256con_50s").unwrap(), 1).generate(30_000);
         assert!(srv.kernel_entries() > 4 * spec.kernel_entries().max(1));

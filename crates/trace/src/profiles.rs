@@ -350,7 +350,11 @@ mod tests {
             assert!(p.noise >= 0.0 && p.noise < 0.5, "{}: noise", p.name);
             assert!(p.taken_bias > 0.5 && p.taken_bias < 1.0, "{}: bias", p.name);
             assert!(p.functions >= 8, "{}: footprint", p.name);
-            assert!(p.processes >= 1 && p.threads >= 1 && p.threads <= 2, "{}", p.name);
+            assert!(
+                p.processes >= 1 && p.threads >= 1 && p.threads <= 2,
+                "{}",
+                p.name
+            );
             assert!(
                 p.indirect_fraction + p.call_fraction < 0.6,
                 "{}: branch mix leaves room for conditionals",

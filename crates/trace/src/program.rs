@@ -26,10 +26,19 @@ pub(crate) enum CondBehavior {
 
 #[derive(Clone, Debug)]
 pub(crate) enum SiteKind {
-    Cond { behavior: CondBehavior, taken_target: u64 },
-    Call { callee: usize },
-    IndirectCall { callees: Vec<usize> },
-    IndirectJump { targets: Vec<u64> },
+    Cond {
+        behavior: CondBehavior,
+        taken_target: u64,
+    },
+    Call {
+        callee: usize,
+    },
+    IndirectCall {
+        callees: Vec<usize>,
+    },
+    IndirectJump {
+        targets: Vec<u64>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -95,11 +104,12 @@ impl Program {
                     let hi = (fid + 9).min(nf - 1);
                     if rng.gen::<f64>() < 0.25 {
                         let n = rng.gen_range(2..=4usize);
-                        let callees =
-                            (0..n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<_>>();
+                        let callees = (0..n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<_>>();
                         SiteKind::IndirectCall { callees }
                     } else {
-                        SiteKind::Call { callee: rng.gen_range(lo..=hi) }
+                        SiteKind::Call {
+                            callee: rng.gen_range(lo..=hi),
+                        }
                     }
                 } else if roll < shape.call_fraction + shape.indirect_fraction {
                     let n = shape.indirect_targets.max(2);
@@ -116,12 +126,20 @@ impl Program {
                 sites.push(Site { pc, kind });
             }
             let exit_pc = entry + size - 8;
-            functions.push(Function { entry, exit_pc, sites });
+            functions.push(Function {
+                entry,
+                exit_pc,
+                sites,
+            });
         }
         let main_pcs = (0..8)
             .map(|i| base + 0x10_0000 + i * 0x20)
             .collect::<Vec<_>>();
-        Program { functions, blocks_per_fn: shape.blocks_per_fn, main_pcs }
+        Program {
+            functions,
+            blocks_per_fn: shape.blocks_per_fn,
+            main_pcs,
+        }
     }
 
     fn sample_cond(shape: &ProgramShape, rng: &mut StdRng) -> CondBehavior {
@@ -159,7 +177,11 @@ impl Program {
             } else {
                 rng.gen_range(0.005..0.03) // easy: near-always one way
             };
-            let p = if rng.gen::<f64>() < shape.taken_bias { 1.0 - eps } else { eps };
+            let p = if rng.gen::<f64>() < shape.taken_bias {
+                1.0 - eps
+            } else {
+                eps
+            };
             CondBehavior::Bernoulli { p_taken: p }
         }
     }
@@ -210,7 +232,11 @@ impl Walker {
             let main_pc = prog.main_pcs[self.main_rotor % prog.main_pcs.len()];
             self.main_rotor += 1;
             let rec = BranchRecord::taken(main_pc, BranchKind::DirectCall, prog.functions[f].entry);
-            self.stack.push(Frame { func: f, site: 0, ret_addr: rec.fallthrough().raw() });
+            self.stack.push(Frame {
+                func: f,
+                site: 0,
+                ret_addr: rec.fallthrough().raw(),
+            });
             return rec;
         }
 
@@ -226,7 +252,10 @@ impl Walker {
         let site = &function.sites[frame.site];
         let sid = prog.site_id(frame.func, frame.site);
         match &site.kind {
-            SiteKind::Cond { behavior, taken_target } => {
+            SiteKind::Cond {
+                behavior,
+                taken_target,
+            } => {
                 let (mut taken, advance) = match behavior {
                     CondBehavior::Loop { trip } => {
                         let pos = self.phase[sid];
@@ -240,9 +269,7 @@ impl Walker {
                         self.phase[sid] = pos.wrapping_add(1);
                         (taken, true)
                     }
-                    CondBehavior::Bernoulli { p_taken } => {
-                        (self.rng.gen::<f64>() < *p_taken, true)
-                    }
+                    CondBehavior::Bernoulli { p_taken } => (self.rng.gen::<f64>() < *p_taken, true),
                 };
                 // Intrinsic noise: data-dependent outcomes no predictor can
                 // learn. Loops are exempt (control-exact).
@@ -300,7 +327,11 @@ impl Walker {
         } else {
             0
         };
-        self.stack.push(Frame { func: callee, site, ret_addr: rec.fallthrough().raw() });
+        self.stack.push(Frame {
+            func: callee,
+            site,
+            ret_addr: rec.fallthrough().raw(),
+        });
         rec
     }
 }
@@ -368,7 +399,10 @@ mod tests {
             assert!(depth >= 0);
         }
         assert!(max_depth <= 13, "walker exceeded depth bound: {max_depth}");
-        assert!(max_depth >= 4, "programs should actually recurse: {max_depth}");
+        assert!(
+            max_depth >= 4,
+            "programs should actually recurse: {max_depth}"
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! ```
 
 use crate::event::{Trace, TraceEvent};
+use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
 use std::fmt;
 use std::io::{BufRead, Write};
-use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
 
 /// Error parsing a serialized trace.
 #[derive(Debug)]
@@ -75,12 +75,8 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
                 rec.ilen,
                 rec.gap
             )?,
-            TraceEvent::ContextSwitch { tid, entity } => {
-                writeln!(w, "C {} {}", tid, entity.0)?
-            }
-            TraceEvent::ModeSwitch { tid, kernel } => {
-                writeln!(w, "M {} {}", tid, *kernel as u8)?
-            }
+            TraceEvent::ContextSwitch { tid, entity } => writeln!(w, "C {} {}", tid, entity.0)?,
+            TraceEvent::ModeSwitch { tid, kernel } => writeln!(w, "M {} {}", tid, *kernel as u8)?,
             TraceEvent::Interrupt { tid } => writeln!(w, "I {}", tid)?,
         }
     }
@@ -95,7 +91,10 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
 /// as parse errors carrying the line number.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
     let mut trace = Trace::new("unnamed");
-    let err = |line: usize, msg: &str| ParseTraceError { line, msg: msg.to_string() };
+    let err = |line: usize, msg: &str| ParseTraceError {
+        line,
+        msg: msg.to_string(),
+    };
     for (ln, line) in r.lines().enumerate() {
         let line = line.map_err(|e| err(ln + 1, &e.to_string()))?;
         let line = line.trim();
@@ -137,7 +136,10 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
             "C" => {
                 let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
                 let e: u32 = next()?.parse().map_err(|_| err(ln + 1, "bad entity"))?;
-                trace.events.push(TraceEvent::ContextSwitch { tid, entity: EntityId(e) });
+                trace.events.push(TraceEvent::ContextSwitch {
+                    tid,
+                    entity: EntityId(e),
+                });
             }
             "M" => {
                 let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;

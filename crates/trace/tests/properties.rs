@@ -6,15 +6,15 @@ use stbpu_trace::{TraceEvent, TraceGenerator, WorkloadClass, WorkloadProfile};
 
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        4usize..60,          // functions
-        3usize..10,          // blocks per fn
-        0.0f64..0.4,         // loop fraction
-        2u32..40,            // avg trip
-        0.0f64..0.3,         // pattern complexity
-        0.0f64..0.15,        // noise
+        4usize..60,             // functions
+        3usize..10,             // blocks per fn
+        0.0f64..0.4,            // loop fraction
+        2u32..40,               // avg trip
+        0.0f64..0.3,            // pattern complexity
+        0.0f64..0.15,           // noise
         (1usize..6, 1usize..3), // processes, threads
-        0.0f64..20.0,        // syscalls per 1k
-        0.0f64..8.0,         // ctx switches per 1k
+        0.0f64..20.0,           // syscalls per 1k
+        0.0f64..8.0,            // ctx switches per 1k
     )
         .prop_map(
             |(functions, blocks, loops, trip, pat, noise, (procs, threads), sys, ctx)| {

@@ -1,50 +1,61 @@
-//! Quickstart: build an STBPU-protected predictor, run a workload through
-//! it, and compare against the unprotected baseline.
+//! Quickstart: declare an experiment against the engine API, run it, and
+//! compare STBPU with the unprotected baseline and microcode flushing.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use stbpu_suite::sim::{build_model, simulate, ModelKind, Protection};
-use stbpu_suite::stcore::{st_skl, StConfig};
-use stbpu_suite::trace::{profiles, TraceGenerator};
+use stbpu_suite::engine::{Experiment, ModelRegistry, Scenario};
+use stbpu_suite::sim::Protection;
 
 fn main() {
-    // 1. Pick a workload profile and synthesize a branch trace (the
-    //    Intel-PT substitute; see DESIGN.md §2).
-    let profile = profiles::by_name("525.x264").expect("known workload");
-    let trace = TraceGenerator::new(profile, 42).generate(60_000);
+    // 1. Declare the whole comparison as one scenario grid: one workload,
+    //    three (model, protection) cells, one seed. The engine generates
+    //    the trace (the Intel-PT substitute; see DESIGN.md §2), builds
+    //    each model by registry name and runs everything in parallel.
+    let set = Experiment::new("quickstart")
+        .workload("525.x264")
+        .scenario(Scenario::new("skl", Protection::Unprotected))
+        .scenario(Scenario::new("st_skl@r=0.05", Protection::Stbpu))
+        .scenario(Scenario::new("skl", Protection::Ucode1))
+        .branches(60_000)
+        .seed(42)
+        .run()
+        .expect("grid is valid");
+
+    // 2. Reports come back in scenario order with structured fields.
+    let [baseline, stbpu, ucode] = set.suite_reports(0)[..] else {
+        unreachable!("three scenarios declared")
+    };
     println!(
-        "workload {}: {} branches, {} context switches, {} kernel entries",
-        trace.name,
-        trace.branch_count(),
-        trace.context_switches(),
-        trace.kernel_entries()
+        "baseline : OAE {:.4}  (dir {:.4}, tgt {:.4})",
+        baseline.oae, baseline.direction_rate, baseline.target_rate
     );
-
-    // 2. Run the unprotected Skylake-like baseline.
-    let mut baseline = build_model(ModelKind::Baseline, 42);
-    let rb = simulate(baseline.as_mut(), Protection::Unprotected, &trace, 0.1);
-    println!("baseline : OAE {:.4}  (dir {:.4}, tgt {:.4})", rb.oae, rb.direction_rate, rb.target_rate);
-
-    // 3. Run STBPU with the paper's default difficulty factor r = 0.05
-    //    (Γ_misp = 41 900, Γ_ev = 26 500).
-    let mut stbpu = st_skl(StConfig::default(), 42);
-    let rs = simulate(&mut stbpu, Protection::Stbpu, &trace, 0.1);
     println!(
         "STBPU    : OAE {:.4}  (dir {:.4}, tgt {:.4}), re-randomizations {}",
-        rs.oae, rs.direction_rate, rs.target_rate, rs.rerandomizations
+        stbpu.oae, stbpu.direction_rate, stbpu.target_rate, stbpu.rerandomizations
     );
-
-    // 4. Compare with microcode-style flushing (IBPB + IBRS).
-    let mut ucode = build_model(ModelKind::Ucode, 42);
-    let ru = simulate(ucode.as_mut(), Protection::Ucode1, &trace, 0.1);
-    println!("ucode    : OAE {:.4}  ({} flushes)", ru.oae, ru.flushes);
-
+    println!(
+        "ucode    : OAE {:.4}  ({} flushes)",
+        ucode.oae, ucode.flushes
+    );
     println!();
     println!(
         "STBPU keeps {:.2}% of baseline accuracy; flushing keeps {:.2}%",
-        100.0 * rs.oae / rb.oae,
-        100.0 * ru.oae / rb.oae
+        100.0 * stbpu.oae / baseline.oae,
+        100.0 * ucode.oae / baseline.oae
     );
+
+    // 3. Every model is also directly constructible by name — including
+    //    parameterized and ST variants the paper evaluates.
+    println!();
+    println!("registered models:");
+    let registry = ModelRegistry::standard();
+    for name in registry.names() {
+        println!("  {name:<14} {}", registry.summary(name).unwrap_or(""));
+    }
+
+    // 4. Structured output for downstream tooling comes for free.
+    println!();
+    println!("CSV:\n{}", set.to_csv());
 }

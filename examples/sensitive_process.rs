@@ -47,7 +47,10 @@ fn main() {
     // 3. Sensitive process: the OS sets the threshold to 1 — the token is
     //    re-randomized after every misprediction, effectively disabling
     //    history for this process (the extreme case of Section IV-A).
-    let cfg = StConfig { r: 1e-9, ..StConfig::default() };
+    let cfg = StConfig {
+        r: 1e-9,
+        ..StConfig::default()
+    };
     let gamma = cfg.misp_threshold();
     let mut s = AttackBpu::stbpu(cfg, 13);
     let r = branchscope(&mut s, &secret);

@@ -9,7 +9,8 @@
 //! cargo run --release --example server_consolidation
 //! ```
 
-use stbpu_suite::sim::{run_fig3_suite, simulate, Protection};
+use stbpu_suite::engine::{run_scenarios, ModelRegistry, Scenario};
+use stbpu_suite::sim::{simulate, Protection};
 use stbpu_suite::stcore::{st_skl, StConfig};
 use stbpu_suite::trace::{profiles, TraceGenerator};
 
@@ -23,8 +24,14 @@ fn main() {
         trace.kernel_entries()
     );
 
-    println!("{:<22} {:>8} {:>10} {:>9} {:>8}", "scheme", "OAE", "flushes", "rerand", "vs base");
-    let suite = run_fig3_suite(&trace, 7, 0.1);
+    // All five Figure 3 schemes over the captured trace, by name.
+    println!(
+        "{:<22} {:>8} {:>10} {:>9} {:>8}",
+        "scheme", "OAE", "flushes", "rerand", "vs base"
+    );
+    let registry = ModelRegistry::standard();
+    let suite =
+        run_scenarios(&registry, &trace, &Scenario::fig3(), 7, 0.1).expect("fig3 schemes valid");
     let base = suite[0].oae;
     for r in &suite {
         println!(
@@ -40,7 +47,8 @@ fn main() {
     // Selective history sharing: the OS gives all prefork workers one
     // token, so a newly spawned worker starts with a warm BPU (the server
     // scenario of Section IV-A). Workers share code, so sharing is safe
-    // *within* the trust domain.
+    // *within* the trust domain. Token-manager surgery needs the concrete
+    // model type, so this part deliberately bypasses the registry.
     println!("\nselective token sharing across prefork workers:");
     let mut shared = st_skl(StConfig::default(), 7);
     {

@@ -1,13 +1,22 @@
 //! End-to-end integration: a miniature Figure 3 run across crates
 //! (trace generation → protection policies → OAE ordering).
 
-use stbpu_suite::sim::{run_fig3_suite, SimReport};
-use stbpu_suite::trace::{profiles, TraceGenerator};
+use stbpu_suite::engine::{Experiment, Scenario};
+use stbpu_suite::sim::SimReport;
 
 fn suite_for(name: &str, branches: usize) -> Vec<SimReport> {
-    let p = profiles::by_name(name).expect("profile exists");
-    let trace = TraceGenerator::new(p, 2024).generate(branches);
-    run_fig3_suite(&trace, 2024, 0.1)
+    Experiment::new("e2e-fig3")
+        .workload(name)
+        .scenarios(Scenario::fig3())
+        .branches(branches)
+        .seed(2024)
+        .warmup(0.1)
+        .run()
+        .expect("fig3 grid is valid")
+        .records()
+        .iter()
+        .map(|r| r.report.clone())
+        .collect()
 }
 
 #[test]

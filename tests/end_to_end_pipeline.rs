@@ -1,9 +1,9 @@
-//! End-to-end pipeline integration: Figure 4/5/6-shaped mini-experiments.
+//! End-to-end pipeline integration: Figure 4/5/6-shaped mini-experiments,
+//! with every model built through the engine registry.
 
+use stbpu_suite::engine::ModelRegistry;
 use stbpu_suite::pipeline::{run_single, run_smt, MemoryProfile, PipelineConfig};
-use stbpu_suite::predictors::{skl_baseline, tage64_baseline};
-use stbpu_suite::stcore::{st_skl, st_tage64, StConfig};
-use stbpu_suite::trace::{profiles, TraceGenerator, Trace, WorkloadProfile};
+use stbpu_suite::trace::{profiles, Trace, TraceGenerator, WorkloadProfile};
 
 fn se_trace(name: &str, n: usize, seed: u64) -> (Trace, WorkloadProfile) {
     let p = profiles::se_profile(profiles::by_name(name).expect("profile"));
@@ -12,41 +12,50 @@ fn se_trace(name: &str, n: usize, seed: u64) -> (Trace, WorkloadProfile) {
 
 #[test]
 fn fig4_shape_st_models_within_a_few_percent() {
+    let registry = ModelRegistry::standard();
     let cfg = PipelineConfig::table4();
     for name in ["525.x264", "541.leela"] {
         let (trace, p) = se_trace(name, 25_000, 5);
         let mem = MemoryProfile::from(&p);
 
-        let mut base = skl_baseline();
-        let rb = run_single(&mut base, &trace, &cfg, &mem);
-        let mut st = st_skl(StConfig::default(), 5);
-        let rs = run_single(&mut st, &trace, &cfg, &mem);
+        let mut base = registry.build("skl", 5).unwrap();
+        let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
+        let mut st = registry.build("st_skl", 5).unwrap();
+        let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
 
         let norm = rs.ipc / rb.ipc;
         assert!(norm > 0.92 && norm < 1.08, "{name}: normalized IPC {norm}");
         let dir_red = rb.direction_rate - rs.direction_rate;
-        assert!(dir_red.abs() < 0.05, "{name}: direction reduction {dir_red}");
+        assert!(
+            dir_red.abs() < 0.05,
+            "{name}: direction reduction {dir_red}"
+        );
     }
 }
 
 #[test]
 fn fig5_shape_smt_throughput_held() {
+    let registry = ModelRegistry::standard();
     let cfg = PipelineConfig::table4();
     let (ta, pa) = se_trace("503.bwaves", 20_000, 1);
     let (tb, pb) = se_trace("505.mcf", 20_000, 2);
     let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
 
-    let mut base = tage64_baseline();
-    let rb = run_smt(&mut base, [&ta, &tb], &cfg, [&ma, &mb]);
-    let mut st = st_tage64(StConfig::default(), 3);
-    let rs = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
+    let mut base = registry.build("tage64", 3).unwrap();
+    let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+    let mut st = registry.build("st_tage64", 3).unwrap();
+    let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
 
     let norm = rs.hmean_ipc / rb.hmean_ipc;
-    assert!(norm > 0.9, "SMT normalized Hmean IPC {norm} must stay above 0.9");
+    assert!(
+        norm > 0.9,
+        "SMT normalized Hmean IPC {norm} must stay above 0.9"
+    );
 }
 
 #[test]
 fn fig6_shape_aggressive_thresholds_degrade_gracefully_then_collapse() {
+    let registry = ModelRegistry::standard();
     let cfg = PipelineConfig::table4();
     let (ta, pa) = se_trace("503.bwaves", 20_000, 7);
     let (tb, pb) = se_trace("541.leela", 20_000, 8);
@@ -54,8 +63,8 @@ fn fig6_shape_aggressive_thresholds_degrade_gracefully_then_collapse() {
 
     let mut ipcs = Vec::new();
     for r in [0.05, 1e-4, 2e-7] {
-        let mut st = st_tage64(StConfig::with_r(r), 9);
-        let rep = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
+        let mut st = registry.build(&format!("st_tage64@r={r}"), 9).unwrap();
+        let rep = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
         ipcs.push(rep.hmean_ipc);
     }
     // Default and moderately aggressive settings are close; the extreme
@@ -65,5 +74,8 @@ fn fig6_shape_aggressive_thresholds_degrade_gracefully_then_collapse() {
         ipcs[0] >= ipcs[1] * 0.98,
         "default r must be at least as good as aggressive r: {ipcs:?}"
     );
-    assert!(ipcs[2] < ipcs[0] * 0.97, "collapse must be visible: {ipcs:?}");
+    assert!(
+        ipcs[2] < ipcs[0] * 0.97,
+        "collapse must be visible: {ipcs:?}"
+    );
 }

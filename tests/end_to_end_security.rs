@@ -33,7 +33,11 @@ fn full_surface_baseline_vs_stbpu() {
     assert_eq!(cells.len(), 12);
     for c in &cells {
         if let Some(v) = c.baseline_vulnerable {
-            assert!(v, "baseline must be vulnerable to {:?}/{:?}", c.structure, c.vector);
+            assert!(
+                v,
+                "baseline must be vulnerable to {:?}/{:?}",
+                c.structure, c.vector
+            );
         }
         if let Some(v) = c.stbpu_vulnerable {
             let occupancy_exception =
