@@ -14,6 +14,10 @@
 //!   Spectre-v2 / SpectreRSB target injection ([`inject`]), eviction-set
 //!   construction with the GEM algorithm ([`eviction`]), same-address-space
 //!   transient trojans ([`same_space`]) and denial-of-service ([`dos`]).
+//! * [`telemetry`] — observer-driven instrumentation over full simulated
+//!   streams: a `stbpu_sim::SimObserver` recording the branch-indexed
+//!   timeline of re-randomizations and flushes (conflict-visibility
+//!   analysis) without hand-rolling a simulation loop.
 //!
 //! Attacks run on an [`harness::AttackBpu`] — a deliberately transparent
 //! BPU instance (BTB + PHT + RSB + mapper with the exact storage discipline
@@ -42,3 +46,4 @@ pub mod inject;
 pub mod reuse;
 pub mod same_space;
 pub mod surface;
+pub mod telemetry;

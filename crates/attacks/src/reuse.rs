@@ -5,7 +5,7 @@ use crate::harness::AttackBpu;
 use stbpu_bpu::{EntityId, VirtAddr};
 
 /// Result of the BTB reuse probe (home effect): the attacker learns the
-/// victim's branch target — the "Jump over ASLR" primitive [19].
+/// victim's branch target — the "Jump over ASLR" primitive \[19\].
 #[derive(Clone, Copy, Debug)]
 pub struct ProbeResult {
     /// Trials in which the attacker's probe observed the victim's target.
@@ -68,7 +68,7 @@ impl BranchScopeResult {
     }
 }
 
-/// PHT reuse, home effect (BranchScope [21]): the attacker primes the
+/// PHT reuse, home effect (BranchScope \[21\]): the attacker primes the
 /// shared two-bit counter into a known weak state, lets the victim execute
 /// one secret-dependent branch, then probes the counter with its own
 /// colliding branch and decodes the secret from its own (mis)prediction.

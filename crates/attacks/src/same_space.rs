@@ -1,4 +1,4 @@
-//! Same-address-space attacks — transient trojans [78] (Section VI-A3).
+//! Same-address-space attacks — transient trojans \[78\] (Section VI-A3).
 //!
 //! Both colliding branches live in the *attacker's own* address space, so
 //! φ-encryption provides no protection (the same key encrypts and

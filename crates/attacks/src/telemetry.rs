@@ -1,0 +1,185 @@
+//! Observer-driven attack telemetry over full trace simulations.
+//!
+//! The Table I attacks drive a transparent [`crate::harness::AttackBpu`]
+//! directly, but questions like *"how visible is the defender's monitor
+//! under a realistic workload?"* (conflict-visibility analyses in the
+//! spirit of CIBPU, and speculative branch-predictor leakage measurement)
+//! need instrumentation over a whole simulated stream. Instead of
+//! hand-rolling another simulation loop, [`MonitorTelemetry`] is a
+//! [`SimObserver`] that attaches to any `stbpu_sim::SimSession` and
+//! records *when* (at which branch index) the defense acted: secret-token
+//! re-randomizations and policy flushes — the events an attacker syncing
+//! on wall-clock time could try to correlate.
+
+use stbpu_bpu::{BranchOutcome, BranchRecord};
+use stbpu_sim::{FlushKind, SimObserver};
+
+/// Records the branch-indexed timeline of defensive events during a
+/// simulated run.
+///
+/// ```
+/// use stbpu_attacks::telemetry::MonitorTelemetry;
+/// use stbpu_core::{st_skl, StConfig};
+/// use stbpu_sim::{Protection, SessionOptions, SimSession, Warmup};
+/// use stbpu_trace::{profiles, TraceGenerator};
+///
+/// let cfg = StConfig { r: 1.0, misp_complexity: 300.0, ..StConfig::default() };
+/// let mut model = st_skl(cfg, 7);
+/// let mut telemetry = MonitorTelemetry::new();
+/// let mut session = SimSession::new(
+///     &mut model,
+///     Protection::Stbpu,
+///     SessionOptions { warmup: Warmup::Branches(0), ..SessionOptions::default() },
+/// )
+/// .unwrap();
+/// session.attach(&mut telemetry);
+/// let p = profiles::by_name("541.leela").unwrap();
+/// session.run(&mut TraceGenerator::new(p, 3).into_source(10_000)).unwrap();
+/// session.finish();
+/// assert!(!telemetry.rerand_marks().is_empty(), "aggressive thresholds trip");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MonitorTelemetry {
+    branches: u64,
+    rerand_marks: Vec<u64>,
+    flush_marks: Vec<u64>,
+}
+
+impl MonitorTelemetry {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MonitorTelemetry::default()
+    }
+
+    /// Branches observed so far.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Branch index of every secret-token re-randomization, in order.
+    pub fn rerand_marks(&self) -> &[u64] {
+        &self.rerand_marks
+    }
+
+    /// Branch index of every policy flush, in order.
+    pub fn flush_marks(&self) -> &[u64] {
+        &self.flush_marks
+    }
+
+    /// Gaps (in branches) between consecutive re-randomizations — the
+    /// attacker-observable rhythm of the defense. Empty with fewer than
+    /// two marks.
+    pub fn rerand_gaps(&self) -> Vec<u64> {
+        self.rerand_marks.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Mean re-randomization gap, `None` with fewer than two marks.
+    pub fn mean_rerand_gap(&self) -> Option<f64> {
+        let gaps = self.rerand_gaps();
+        if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum::<u64>() as f64 / gaps.len() as f64)
+        }
+    }
+}
+
+impl SimObserver for MonitorTelemetry {
+    fn on_branch(&mut self, _tid: usize, _rec: &BranchRecord, _outcome: &BranchOutcome) {
+        self.branches += 1;
+    }
+
+    fn on_flush(&mut self, _kind: FlushKind) {
+        self.flush_marks.push(self.branches);
+    }
+
+    fn on_rerandomize(&mut self, _total: u64) {
+        self.rerand_marks.push(self.branches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbpu_core::{st_skl, StConfig};
+    use stbpu_predictors::skl_baseline;
+    use stbpu_sim::{Protection, SessionOptions, SimSession, Warmup};
+    use stbpu_trace::{profiles, TraceGenerator};
+
+    fn run_with_telemetry(
+        model: &mut dyn stbpu_bpu::Bpu,
+        policy: Protection,
+        workload: &str,
+        branches: usize,
+    ) -> MonitorTelemetry {
+        let mut telemetry = MonitorTelemetry::new();
+        let mut session = SimSession::new(
+            model,
+            policy,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        session.attach(&mut telemetry);
+        let p = profiles::by_name(workload).unwrap();
+        session
+            .run(&mut TraceGenerator::new(p, 11).into_source(branches))
+            .unwrap();
+        session.finish();
+        telemetry
+    }
+
+    #[test]
+    fn stbpu_rerandomization_rhythm_is_observable() {
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: 300.0,
+            eviction_complexity: 300.0,
+            ..StConfig::default()
+        };
+        let mut model = st_skl(cfg, 5);
+        let t = run_with_telemetry(&mut model, Protection::Stbpu, "541.leela", 20_000);
+        assert_eq!(t.branches(), 20_000);
+        assert!(
+            t.rerand_marks().len() >= 2,
+            "thresholds at 300 events must trip repeatedly: {:?}",
+            t.rerand_marks().len()
+        );
+        assert!(t.flush_marks().is_empty(), "STBPU never flushes");
+        let mean_gap = t.mean_rerand_gap().unwrap();
+        assert!(
+            mean_gap > 100.0,
+            "re-randomizations are spaced by threshold accumulation: {mean_gap}"
+        );
+        // Marks are strictly ordered.
+        assert!(t.rerand_marks().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ucode_flush_marks_track_os_activity() {
+        let mut model = skl_baseline();
+        let t = run_with_telemetry(
+            &mut model,
+            Protection::Ucode1,
+            "apache2_prefork_c256",
+            20_000,
+        );
+        assert!(
+            t.flush_marks().len() > 50,
+            "switch-heavy server workload must flush constantly: {}",
+            t.flush_marks().len()
+        );
+        assert!(t.rerand_marks().is_empty(), "baseline never re-randomizes");
+    }
+
+    #[test]
+    fn quiet_baseline_produces_no_marks() {
+        let mut model = skl_baseline();
+        let t = run_with_telemetry(&mut model, Protection::Unprotected, "519.lbm", 5_000);
+        assert!(t.flush_marks().is_empty());
+        assert!(t.rerand_marks().is_empty());
+        assert_eq!(t.mean_rerand_gap(), None);
+    }
+}

@@ -1,11 +1,13 @@
 //! Criterion microbenchmarks: remapping-circuit evaluation cost, mapper
-//! overhead, full-model throughput, trace generation and attack primitives.
+//! overhead, full-model throughput, trace generation, attack primitives,
+//! and streamed- vs materialized-simulation throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use stbpu_bpu::{BaselineMapper, Bpu, EntityId, Mapper};
 use stbpu_core::{st_skl, st_tage64, StConfig, StMapper};
 use stbpu_predictors::{skl_baseline, tage64_baseline};
 use stbpu_remap::{analysis, RemapSet};
+use stbpu_sim::{simulate_with, Protection, SessionOptions, SimOptions, SimSession, Warmup};
 use stbpu_trace::{profiles, TraceGenerator};
 
 fn bench_remap_circuits(c: &mut Criterion) {
@@ -97,11 +99,74 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
+/// Streamed (generator-sourced session) vs materialized (generate whole
+/// trace, then `simulate_with`) throughput for one end-to-end workload
+/// simulation — the two ends of the memory/latency trade-off.
+fn bench_sim_throughput(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let p = *profiles::by_name("505.mcf").expect("profile");
+    let mut g = c.benchmark_group("sim_10k_branches");
+    g.sample_size(20);
+    g.bench_function("materialized", |b| {
+        b.iter(|| {
+            let trace = TraceGenerator::new(&p, 3).generate(N);
+            let mut model = skl_baseline();
+            let opts = SimOptions {
+                warmup_frac: 0.0,
+                threads: None,
+            };
+            black_box(
+                simulate_with(&mut model, Protection::Unprotected, &trace, &opts)
+                    .expect("simulates")
+                    .oae,
+            )
+        })
+    });
+    g.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut model = skl_baseline();
+            let mut session = SimSession::new(
+                &mut model,
+                Protection::Unprotected,
+                SessionOptions {
+                    warmup: Warmup::Branches(0),
+                    ..SessionOptions::default()
+                },
+            )
+            .expect("session opens");
+            let mut src = TraceGenerator::new(&p, 3).into_source(N);
+            session.run(&mut src).expect("simulates");
+            black_box(session.finish().oae)
+        })
+    });
+    // Replay from an already-materialized trace (the engine's shared-trace
+    // workload path): isolates session overhead from generation cost.
+    let trace = TraceGenerator::new(&p, 3).generate(N);
+    g.bench_function("streamed_replay", |b| {
+        b.iter(|| {
+            let mut model = skl_baseline();
+            let mut session = SimSession::new(
+                &mut model,
+                Protection::Unprotected,
+                SessionOptions {
+                    warmup: Warmup::Branches(0),
+                    ..SessionOptions::default()
+                },
+            )
+            .expect("session opens");
+            session.run(&mut trace.source()).expect("simulates");
+            black_box(session.finish().oae)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_remap_circuits,
     bench_mappers,
     bench_models,
-    bench_trace_generation
+    bench_trace_generation,
+    bench_sim_throughput
 );
 criterion_main!(benches);

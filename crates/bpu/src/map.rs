@@ -133,7 +133,7 @@ pub trait Mapper {
 /// The reverse-engineered Skylake-style baseline mapping functions.
 ///
 /// Only the low 30 bits of the 48-bit virtual address influence any mapping
-/// — the truncation that enables same-address-space collisions [78] — and
+/// — the truncation that enables same-address-space collisions \[78\] — and
 /// all functions are deterministic and key-less.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BaselineMapper;

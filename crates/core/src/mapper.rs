@@ -13,7 +13,7 @@ use stbpu_remap::RemapSet;
 /// XOR-encrypted with that entity's φ (Section IV-B).
 ///
 /// All remapping functions consume the *full 48-bit* branch address —
-/// crucial for stopping same-address-space attacks [78].
+/// crucial for stopping same-address-space attacks \[78\].
 ///
 /// ```
 /// use stbpu_bpu::{EntityId, Mapper};

@@ -24,6 +24,11 @@ pub enum EngineError {
     UnknownProtection(String),
     /// Workload profile name not recognized.
     UnknownWorkload(String),
+    /// A scenario string did not have the `model:protection` shape.
+    InvalidScenario(String),
+    /// A workload's event source could not be opened (missing or
+    /// unreadable trace file, failing custom factory…).
+    WorkloadSource(String),
     /// The experiment declares no workloads or no scenarios.
     EmptyGrid(&'static str),
     /// A simulation inside the experiment failed.
@@ -48,6 +53,11 @@ impl std::fmt::Display for EngineError {
                 "unknown protection '{p}' (expected unprotected|stbpu|ucode1|ucode2|conservative)"
             ),
             EngineError::UnknownWorkload(w) => write!(f, "unknown workload profile '{w}'"),
+            EngineError::InvalidScenario(s) => write!(
+                f,
+                "invalid scenario '{s}' (expected 'model:protection', e.g. 'st_skl@r=0.05:stbpu')"
+            ),
+            EngineError::WorkloadSource(w) => write!(f, "workload source failed: {w}"),
             EngineError::EmptyGrid(what) => write!(f, "experiment declares no {what}"),
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
         }

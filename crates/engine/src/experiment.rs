@@ -1,14 +1,32 @@
 //! The declarative scenario/experiment API: declare a
 //! `workloads × scenarios × seeds` grid, run it in parallel, get a
 //! structured [`RunSet`] back.
+//!
+//! Grid cells are simulated through streaming [`stbpu_sim::SimSession`]s
+//! over [`Workload`]-opened event sources. Small generator-backed suites
+//! materialize their stream once per (workload, seed) and replay views of
+//! it; everything else — large runs, trace files, custom sources — streams
+//! per cell, so memory never bounds branch count. An optional interval
+//! configuration attaches an [`IntervalRecorder`] so every [`RunRecord`]
+//! can carry an OAE-over-time series.
 
 use crate::error::EngineError;
 use crate::parallel::parallel_map;
 use crate::registry::ModelRegistry;
 use crate::report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
 use crate::stats::{geomean, mean};
-use stbpu_sim::{simulate_with, Protection, SimOptions, SimReport};
-use stbpu_trace::{profiles, Trace, TraceGenerator, WorkloadProfile};
+use crate::workload::Workload;
+use stbpu_sim::{
+    simulate_with, IntervalRecorder, IntervalWindow, Protection, SessionOptions, SimOptions,
+    SimReport, SimSession, Warmup,
+};
+use stbpu_trace::{EventSource, Trace, WorkloadProfile};
+use std::sync::Arc;
+
+/// Suites over generator-backed workloads materialize their stream once
+/// (instead of regenerating it per scenario) up to this many branches;
+/// larger runs stream every cell in O(1) memory.
+const MATERIALIZE_SUITE_CAP: usize = 1_000_000;
 
 /// One (model, protection) cell of an experiment — the unit the old
 /// `fig3_schemes()` tuples and every per-binary model loop collapsed into.
@@ -33,7 +51,7 @@ impl Scenario {
     pub fn parse(s: &str) -> Result<Self, EngineError> {
         let (model, protection) = s
             .rsplit_once(':')
-            .ok_or_else(|| EngineError::UnknownProtection(format!("missing ':' in '{s}'")))?;
+            .ok_or_else(|| EngineError::InvalidScenario(s.to_string()))?;
         Ok(Scenario::new(
             model.trim(),
             protection_from_str(protection)?,
@@ -52,7 +70,7 @@ impl Scenario {
     }
 }
 
-/// Runs every scenario over one already-generated trace, in order.
+/// Runs every scenario over one already-materialized trace, in order.
 /// `seed` keys the models; the caller owns trace generation.
 pub fn run_scenarios(
     registry: &ModelRegistry,
@@ -63,8 +81,6 @@ pub fn run_scenarios(
 ) -> Result<Vec<SimReport>, EngineError> {
     let opts = SimOptions {
         warmup_frac,
-        // Derive once: thread_count() scans the whole trace, and every
-        // scenario runs over the same immutable trace.
         threads: Some(trace.thread_count().max(1)),
     };
     scenarios
@@ -79,7 +95,7 @@ pub fn run_scenarios(
 /// One completed cell of an experiment grid.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
-    /// Workload profile name.
+    /// Workload label (profile name, trace name, file path…).
     pub workload: String,
     /// Model spec string the cell was built from.
     pub model_spec: String,
@@ -87,6 +103,9 @@ pub struct RunRecord {
     pub seed: u64,
     /// The simulation result.
     pub report: SimReport,
+    /// OAE-over-time windows (empty unless [`Experiment::interval`] was
+    /// configured).
+    pub intervals: Vec<IntervalWindow>,
 }
 
 /// Results of an [`Experiment`] run, in grid order:
@@ -187,32 +206,8 @@ impl RunSet {
     }
 }
 
-#[derive(Clone)]
-enum WorkloadSel {
-    Named(String),
-    Custom(WorkloadProfile),
-}
-
-impl WorkloadSel {
-    fn name(&self) -> &str {
-        match self {
-            WorkloadSel::Named(n) => n,
-            WorkloadSel::Custom(p) => p.name,
-        }
-    }
-
-    fn resolve(&self) -> Result<WorkloadProfile, EngineError> {
-        match self {
-            WorkloadSel::Named(n) => profiles::by_name(n)
-                .copied()
-                .ok_or_else(|| EngineError::UnknownWorkload(n.clone())),
-            WorkloadSel::Custom(p) => Ok(*p),
-        }
-    }
-}
-
 /// Builder for a grid of simulations: `workloads × scenarios × seeds`,
-/// run in parallel over all cores.
+/// run in parallel over all cores via streaming sessions.
 ///
 /// ```
 /// use stbpu_engine::{Experiment, Scenario};
@@ -232,18 +227,19 @@ impl WorkloadSel {
 pub struct Experiment {
     name: String,
     registry: ModelRegistry,
-    workloads: Vec<WorkloadSel>,
+    workloads: Vec<Workload>,
     scenarios: Vec<Scenario>,
     seeds: Vec<u64>,
     branches: usize,
-    warmup_frac: f64,
+    warmup: Warmup,
     threads: Option<usize>,
+    interval: Option<u64>,
 }
 
 impl Experiment {
     /// A named experiment with defaults: no workloads/scenarios yet,
-    /// seed 42, 20 000 branches, 10 % warm-up, threads derived per trace,
-    /// the standard registry.
+    /// seed 42, 20 000 branches, 10 % warm-up, threads derived per source,
+    /// no interval series, the standard registry.
     pub fn new(name: &str) -> Self {
         Experiment {
             name: name.to_string(),
@@ -252,8 +248,9 @@ impl Experiment {
             scenarios: Vec::new(),
             seeds: vec![42],
             branches: 20_000,
-            warmup_frac: 0.1,
+            warmup: Warmup::Fraction(0.1),
             threads: None,
+            interval: None,
         }
     }
 
@@ -268,10 +265,15 @@ impl Experiment {
         self
     }
 
-    /// Adds one named workload profile.
-    pub fn workload(mut self, name: &str) -> Self {
-        self.workloads.push(WorkloadSel::Named(name.to_string()));
+    /// Adds one workload of any kind.
+    pub fn add_workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
         self
+    }
+
+    /// Adds one named workload profile.
+    pub fn workload(self, name: &str) -> Self {
+        self.add_workload(Workload::Named(name.to_string()))
     }
 
     /// Adds several named workload profiles.
@@ -281,16 +283,33 @@ impl Experiment {
         S: AsRef<str>,
     {
         for n in names {
-            self.workloads
-                .push(WorkloadSel::Named(n.as_ref().to_string()));
+            self.workloads.push(Workload::Named(n.as_ref().to_string()));
         }
         self
     }
 
     /// Adds a custom (non-registered) workload profile.
-    pub fn profile(mut self, profile: WorkloadProfile) -> Self {
-        self.workloads.push(WorkloadSel::Custom(profile));
-        self
+    pub fn profile(self, profile: WorkloadProfile) -> Self {
+        self.add_workload(Workload::Profile(profile))
+    }
+
+    /// Adds an already-materialized trace; workers stream views of it
+    /// without cloning the event vector.
+    pub fn trace(self, trace: impl Into<Arc<Trace>>) -> Self {
+        self.add_workload(Workload::Trace(trace.into()))
+    }
+
+    /// Adds a line-format trace file, streamed from disk.
+    pub fn trace_file(self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.add_workload(Workload::File(path.into()))
+    }
+
+    /// Adds a custom source-factory workload.
+    pub fn source<F>(self, name: &str, factory: F) -> Self
+    where
+        F: Fn(u64, usize) -> Box<dyn EventSource + Send> + Send + Sync + 'static,
+    {
+        self.add_workload(Workload::custom(name, factory))
     }
 
     /// Adds one scenario cell.
@@ -329,31 +348,51 @@ impl Experiment {
         self
     }
 
-    /// Branches generated per workload trace.
+    /// Branches generated per workload stream (generator-backed workloads
+    /// only; traces and files replay their stored stream).
     pub fn branches(mut self, branches: usize) -> Self {
         self.branches = branches;
         self
     }
 
     /// Warm-up fraction (statistics reset after this share of branches).
+    /// Needs streams that declare a branch count — generator-backed
+    /// workloads always do; for hint-less trace files or custom sources
+    /// use [`Experiment::warmup_branches`].
     pub fn warmup(mut self, warmup_frac: f64) -> Self {
-        self.warmup_frac = warmup_frac;
+        self.warmup = Warmup::Fraction(warmup_frac);
         self
     }
 
-    /// Explicit hardware-thread provision, validated against every trace
-    /// (default: derived per trace).
+    /// Absolute warm-up budget in branch events — works for any stream,
+    /// including hint-less trace files and custom sources.
+    pub fn warmup_branches(mut self, branches: u64) -> Self {
+        self.warmup = Warmup::Branches(branches);
+        self
+    }
+
+    /// Explicit hardware-thread provision, validated against every stream
+    /// (default: taken from each source's declared thread count).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
 
+    /// Closes an OAE-over-time window every `branches` branch events;
+    /// every [`RunRecord`] then carries the window series.
+    pub fn interval(mut self, branches: u64) -> Self {
+        self.interval = Some(branches);
+        self
+    }
+
     /// Runs the whole grid in parallel and collects a [`RunSet`].
     ///
-    /// Each (workload, seed) suite generates its trace once and runs every
-    /// scenario over it; suites are distributed over all cores. Workload
-    /// names, model specs and protections are validated before any
-    /// simulation starts.
+    /// Each (workload, seed, scenario) cell runs a [`SimSession`] over a
+    /// streaming source; generator-backed suites up to 1M branches
+    /// generate once and replay views,
+    /// larger ones stream each cell in O(1) memory. Suites are distributed
+    /// over all cores. Workload names, file paths, model specs and
+    /// protections are validated before any simulation starts.
     pub fn run(self) -> Result<RunSet, EngineError> {
         if self.workloads.is_empty() {
             return Err(EngineError::EmptyGrid("workloads"));
@@ -366,11 +405,9 @@ impl Experiment {
         }
         // Validate the grid up front: fail fast on the first bad name
         // instead of deep inside a worker thread.
-        let resolved: Vec<(WorkloadSel, WorkloadProfile)> = self
-            .workloads
-            .iter()
-            .map(|w| Ok((w.clone(), w.resolve()?)))
-            .collect::<Result<_, EngineError>>()?;
+        for w in &self.workloads {
+            w.validate()?;
+        }
         let mut checked = std::collections::BTreeSet::new();
         for sc in &self.scenarios {
             if checked.insert(sc.model.as_str()) {
@@ -379,29 +416,68 @@ impl Experiment {
         }
 
         let scenarios_per_suite = self.scenarios.len();
-        let jobs: Vec<(WorkloadSel, WorkloadProfile, u64)> = resolved
-            .into_iter()
-            .flat_map(|(sel, prof)| self.seeds.iter().map(move |&s| (sel.clone(), prof, s)))
+        let jobs: Vec<(Workload, u64)> = self
+            .workloads
+            .iter()
+            .flat_map(|w| self.seeds.iter().map(move |&s| (w.clone(), s)))
             .collect();
 
         let suites: Vec<Result<Vec<RunRecord>, EngineError>> =
-            parallel_map(jobs, |(sel, profile, seed)| {
-                let trace = TraceGenerator::new(profile, *seed).generate(self.branches);
-                let opts = SimOptions {
-                    warmup_frac: self.warmup_frac,
-                    // Derive per trace, once: thread_count() is O(events).
-                    threads: self.threads.or(Some(trace.thread_count().max(1))),
-                };
+            parallel_map(jobs, |(workload, seed)| {
+                // Generator-backed workloads would regenerate an identical
+                // stream for every scenario; when the suite fits in memory,
+                // materialize once and let each scenario replay a view —
+                // bit-identical events (generate() and into_source() share
+                // the stepping machinery) at one generation cost. Above
+                // the cap, stream per cell so memory stays O(1).
+                let shared: Option<Trace> =
+                    if matches!(workload, Workload::Named(_) | Workload::Profile(_))
+                        && self.scenarios.len() > 1
+                        && self.branches <= MATERIALIZE_SUITE_CAP
+                    {
+                        let mut src = workload.open(*seed, self.branches)?;
+                        Some(
+                            src.collect_trace()
+                                .map_err(|e| EngineError::Sim(e.into()))?,
+                        )
+                    } else {
+                        None
+                    };
                 self.scenarios
                     .iter()
                     .map(|sc| {
+                        let mut source: Box<dyn EventSource + '_> = match &shared {
+                            Some(t) => Box::new(t.source()),
+                            None => workload.open(*seed, self.branches)?,
+                        };
                         let mut model = self.registry.build(&sc.model, *seed)?;
-                        let report = simulate_with(model.as_mut(), sc.protection, &trace, &opts)?;
+                        let threads = self.threads.or(match source.thread_count() {
+                            0 => None, // undeclared: session provisions the max
+                            t => Some(t),
+                        });
+                        let mut session = SimSession::new(
+                            model.as_mut(),
+                            sc.protection,
+                            SessionOptions {
+                                warmup: self.warmup,
+                                threads,
+                                interval: self.interval,
+                                workload: None, // take the source's name
+                            },
+                        )
+                        .map_err(EngineError::from)?;
+                        let mut recorder = IntervalRecorder::new();
+                        if self.interval.is_some() {
+                            session.attach(&mut recorder);
+                        }
+                        session.run(source.as_mut()).map_err(EngineError::from)?;
+                        let report = session.finish();
                         Ok(RunRecord {
-                            workload: sel.name().to_string(),
+                            workload: workload.label(),
                             model_spec: sc.model.clone(),
                             seed: *seed,
                             report,
+                            intervals: recorder.into_windows(),
                         })
                     })
                     .collect()
@@ -421,6 +497,7 @@ impl Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stbpu_trace::{profiles, TraceGenerator};
 
     #[test]
     fn fig3_preset_runs_in_legend_order() {
@@ -504,6 +581,13 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownModel { .. }));
+
+        let err = Experiment::new("e")
+            .trace_file("/does/not/exist.trace")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::WorkloadSource(_)));
     }
 
     #[test]
@@ -534,7 +618,14 @@ mod tests {
         let sc = Scenario::parse("st_skl@r=0.01:stbpu").unwrap();
         assert_eq!(sc.model, "st_skl@r=0.01");
         assert_eq!(sc.protection, Protection::Stbpu);
-        assert!(Scenario::parse("skl").is_err());
+        assert_eq!(
+            Scenario::parse("skl").unwrap_err(),
+            EngineError::InvalidScenario("skl".to_string())
+        );
+        assert!(matches!(
+            Scenario::parse("skl:warp").unwrap_err(),
+            EngineError::UnknownProtection(_)
+        ));
     }
 
     #[test]
@@ -556,8 +647,8 @@ mod tests {
 
     #[test]
     fn matches_direct_simulation_exactly() {
-        // The engine path (trace per (workload, seed), model per scenario)
-        // must reproduce a hand-rolled run bit-for-bit.
+        // The engine path (streamed per cell) must reproduce a hand-rolled
+        // materialized run bit-for-bit.
         use stbpu_predictors::skl_baseline;
         let set = Experiment::new("ref")
             .workload("525.x264")
@@ -575,5 +666,138 @@ mod tests {
         assert_eq!(got.oae, reference.oae);
         assert_eq!(got.mispredictions, reference.mispredictions);
         assert_eq!(got.evictions, reference.evictions);
+    }
+
+    #[test]
+    fn shared_trace_workload_matches_generator_workload() {
+        let trace = TraceGenerator::new(profiles::by_name("541.leela").unwrap(), 9).generate(4_000);
+        let via_trace = Experiment::new("t")
+            .trace(trace)
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .seed(9)
+            .run()
+            .unwrap();
+        let via_name = Experiment::new("n")
+            .workload("541.leela")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(4_000)
+            .seed(9)
+            .run()
+            .unwrap();
+        assert_eq!(
+            via_trace.records()[0].report.oae,
+            via_name.records()[0].report.oae
+        );
+        assert_eq!(via_trace.records()[0].workload, "541.leela");
+    }
+
+    #[test]
+    fn interval_series_lands_in_records() {
+        let set = Experiment::new("iv")
+            .workload("505.mcf")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(4_000)
+            .interval(1_000)
+            .warmup(0.0)
+            .seed(2)
+            .run()
+            .unwrap();
+        let rec = &set.records()[0];
+        assert_eq!(rec.intervals.len(), 4);
+        assert_eq!(rec.intervals.iter().map(|w| w.branches).sum::<u64>(), 4_000);
+        assert!(rec.intervals.iter().all(|w| w.oae() > 0.4));
+        // Without .interval() the series is empty.
+        let plain = Experiment::new("plain")
+            .workload("505.mcf")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(1_000)
+            .run()
+            .unwrap();
+        assert!(plain.records()[0].intervals.is_empty());
+    }
+
+    #[test]
+    fn hintless_sources_need_warmup_branches() {
+        // A source without a branch hint (e.g. a headerless trace file)
+        // cannot resolve a fractional warm-up…
+        struct Hintless(stbpu_trace::TraceSource<'static>);
+        impl EventSource for Hintless {
+            fn name(&self) -> &str {
+                "hintless"
+            }
+            fn thread_count(&self) -> usize {
+                0
+            }
+            fn branch_hint(&self) -> Option<u64> {
+                None
+            }
+            fn next_event(
+                &mut self,
+            ) -> Result<Option<stbpu_trace::TraceEvent>, stbpu_trace::SourceError> {
+                self.0.next_event()
+            }
+        }
+        fn hintless_exp(name: &str) -> Experiment {
+            let trace: &'static Trace = Box::leak(Box::new(
+                TraceGenerator::new(profiles::by_name("505.mcf").unwrap(), 3).generate(1_000),
+            ));
+            Experiment::new(name)
+                .source("hintless", move |_, _| Box::new(Hintless(trace.source())))
+                .scenario(Scenario::new("skl", Protection::Unprotected))
+        }
+        let err = hintless_exp("frac").run().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Sim(stbpu_sim::SimError::WarmupNeedsBranchCount)
+        );
+        // …but an absolute warm-up budget works on any stream.
+        let set = hintless_exp("abs").warmup_branches(200).run().unwrap();
+        assert_eq!(set.records()[0].report.branches, 800);
+    }
+
+    #[test]
+    fn streamed_and_materialized_suites_agree_across_the_cap() {
+        // Multi-scenario suites materialize once below the cap and stream
+        // per cell above it; a single-scenario grid always streams. All
+        // paths must agree bit-for-bit.
+        let single = Experiment::new("stream")
+            .workload("541.leela")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(3_000)
+            .seed(8)
+            .run()
+            .unwrap();
+        let multi = Experiment::new("materialize")
+            .workload("541.leela")
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .scenario(Scenario::new("skl", Protection::Ucode1))
+            .branches(3_000)
+            .seed(8)
+            .run()
+            .unwrap();
+        assert_eq!(
+            single.records()[0].report.oae,
+            multi.records()[0].report.oae
+        );
+        assert_eq!(
+            single.records()[0].report.mispredictions,
+            multi.records()[0].report.mispredictions
+        );
+    }
+
+    #[test]
+    fn custom_source_workload_runs() {
+        let set = Experiment::new("custom")
+            .source("gen-proxy", |seed, branches| {
+                let p = profiles::by_name("505.mcf").unwrap();
+                Box::new(TraceGenerator::new(p, seed).into_source(branches))
+            })
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .branches(2_000)
+            .seed(4)
+            .run()
+            .unwrap();
+        assert_eq!(set.records()[0].workload, "gen-proxy");
+        assert_eq!(set.records()[0].report.branches, 1_800); // 10 % warm-up
     }
 }

@@ -4,17 +4,25 @@
 //!
 //! The engine replaces two closed seams of the original workspace:
 //!
-//! * the `ModelKind` enum + `build_model` free function in `stbpu-sim`
-//!   (adding a predictor meant editing the sim crate) — superseded by the
-//!   [`ModelRegistry`]: every direction predictor × mapper × BTB
-//!   combination is constructible **by name** (`"skl"`, `"st_skl@r=0.05"`,
-//!   `"tage64"`, `"st_gshare@bits=12"`, …), and downstream code can
-//!   register new compositions without touching this crate;
+//! * the `ModelKind` enum + `build_model` free function `stbpu-sim` used
+//!   to carry (adding a predictor meant editing the sim crate; both are
+//!   now removed) — superseded by the [`ModelRegistry`]: every direction
+//!   predictor × mapper × BTB combination is constructible **by name**
+//!   (`"skl"`, `"st_skl@r=0.05"`, `"tage64"`, `"st_gshare@bits=12"`, …),
+//!   and downstream code can register new compositions without touching
+//!   this crate;
 //! * the per-binary trace → model → report loops in `crates/bench` —
 //!   superseded by the [`Experiment`] builder, which declares
 //!   `workloads × scenarios × seeds` grids, runs them in parallel
 //!   ([`parallel_map`]) and returns a structured [`RunSet`] with JSON/CSV
 //!   serialization and summary helpers.
+//!
+//! Grid cells are simulated through streaming `stbpu_sim::SimSession`s
+//! over [`Workload`]-opened event sources: a workload can be a registered
+//! profile name, an ad-hoc profile, a shared in-memory trace (borrowed,
+//! never cloned), a line-format trace file streamed from disk, or a custom
+//! source factory — and `Experiment::interval` attaches the built-in
+//! interval recorder so every `RunRecord` carries an OAE-over-time series.
 //!
 //! # Quickstart
 //!
@@ -52,6 +60,7 @@ mod parallel;
 mod registry;
 mod report;
 mod stats;
+mod workload;
 
 pub use error::EngineError;
 pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
@@ -59,3 +68,4 @@ pub use parallel::parallel_map;
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
 pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
 pub use stats::{geomean, mean};
+pub use workload::{SourceFactory, Workload};

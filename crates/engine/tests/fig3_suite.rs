@@ -1,0 +1,102 @@
+//! Figure 3 scheme behavior, exercised through the engine API.
+//!
+//! These tests were migrated from `stbpu-sim` when its deprecated
+//! `ModelKind` / `build_model` / `fig3_schemes` / `run_fig3_suite` shims
+//! were removed: the accuracy/ordering claims they check are properties of
+//! the five protection schemes, and the engine registry + `run_scenarios`
+//! is the supported way to run them.
+
+use stbpu_engine::{run_scenarios, ModelRegistry, Scenario};
+use stbpu_sim::SimReport;
+use stbpu_trace::{profiles, Trace, TraceGenerator};
+
+fn trace_for_seeded(name: &str, branches: usize, seed: u64) -> Trace {
+    TraceGenerator::new(profiles::by_name(name).unwrap(), seed).generate(branches)
+}
+
+fn trace_for(name: &str, branches: usize) -> Trace {
+    trace_for_seeded(name, branches, 42)
+}
+
+fn fig3_suite(trace: &Trace, seed: u64, warmup: f64) -> Vec<SimReport> {
+    run_scenarios(
+        &ModelRegistry::standard(),
+        trace,
+        &Scenario::fig3(),
+        seed,
+        warmup,
+    )
+    .expect("fig3 scenarios are valid")
+}
+
+#[test]
+fn baseline_accuracy_in_published_range_for_spec() {
+    let registry = ModelRegistry::standard();
+    let baseline = [Scenario::new("skl", stbpu_sim::Protection::Unprotected)];
+
+    // Predictable FP workload: baseline OAE must be high.
+    let t = trace_for_seeded("519.lbm", 30_000, 1);
+    let r = &run_scenarios(&registry, &t, &baseline, 1, 0.2).unwrap()[0];
+    assert!(r.oae > 0.93, "lbm baseline OAE {}", r.oae);
+
+    // Hard integer workload: noticeably lower but still decent.
+    let t = trace_for_seeded("541.leela", 30_000, 1);
+    let r2 = &run_scenarios(&registry, &t, &baseline, 1, 0.2).unwrap()[0];
+    assert!(
+        r2.oae > 0.75 && r2.oae < 0.99,
+        "leela baseline OAE {}",
+        r2.oae
+    );
+    assert!(r.oae > r2.oae, "lbm must beat leela");
+}
+
+#[test]
+fn stbpu_close_to_baseline_on_spec() {
+    let t = trace_for("525.x264", 25_000);
+    let suite = fig3_suite(&t, 1, 0.2);
+    let (rb, rs) = (&suite[0], &suite[1]);
+    assert!(
+        rs.oae > rb.oae - 0.05,
+        "STBPU ({}) must track baseline ({})",
+        rs.oae,
+        rb.oae
+    );
+}
+
+#[test]
+fn ucode_flushing_hurts_switch_heavy_workloads() {
+    let t = trace_for("apache2_prefork_c256", 30_000);
+    let suite = fig3_suite(&t, 7, 0.1);
+    let base = suite[0].oae;
+    let stbpu = suite[1].oae;
+    let ucode1 = suite[2].oae;
+    assert!(
+        ucode1 < base - 0.03,
+        "flushing must cost accuracy on apache: base {base}, ucode {ucode1}"
+    );
+    assert!(
+        stbpu > ucode1,
+        "STBPU ({stbpu}) must beat microcode flushing ({ucode1})"
+    );
+    assert!(suite[2].flushes > 100, "apache must trigger many flushes");
+}
+
+#[test]
+fn stbpu_does_not_flush() {
+    let t = trace_for("mysql_64con_50s", 15_000);
+    let suite = fig3_suite(&t, 3, 0.1);
+    assert_eq!(suite[1].flushes, 0, "STBPU never flushes");
+    assert_eq!(suite[0].flushes, 0, "baseline never flushes");
+    assert!(suite[2].flushes > 0);
+}
+
+#[test]
+fn partitioning_makes_ucode2_at_most_ucode1() {
+    let t = trace_for("chrome-1jetstream", 25_000);
+    let suite = fig3_suite(&t, 3, 0.1);
+    let (u1, u2) = (suite[2].oae, suite[3].oae);
+    assert!(
+        u2 <= u1 + 0.02,
+        "STIBP partitioning should not help: u1 {u1}, u2 {u2}"
+    );
+}

@@ -19,7 +19,7 @@
 //!
 //! SMT mode ([`run_smt`]) interleaves two workloads on one core with a
 //! shared BPU model (thread ids 0/1) and round-robin fetch; per-thread
-//! IPCs are combined with the harmonic mean as in the paper [49].
+//! IPCs are combined with the harmonic mean as in the paper \[49\].
 //!
 //! # Example
 //!
@@ -209,7 +209,7 @@ pub fn run_single(
     model.reset_stats();
     let stall = mem.stall_per_load(cfg);
     let mut clock = ThreadClock::default();
-    for ev in &trace.events {
+    for ev in trace.events() {
         match ev {
             TraceEvent::Branch { rec, .. } => {
                 let out = model.process(0, rec);
@@ -244,7 +244,7 @@ pub fn run_single(
 }
 
 /// Result of an SMT run: per-thread reports plus the harmonic-mean IPC
-/// used by Figure 5 (each workload equally valued [49]).
+/// used by Figure 5 (each workload equally valued \[49\]).
 #[derive(Clone, Debug)]
 pub struct SmtReport {
     /// Per-thread IPCs.
@@ -285,7 +285,7 @@ pub fn run_smt(
     let mut iters: Vec<_> = traces
         .iter()
         .map(|t| {
-            t.events
+            t.events()
                 .iter()
                 .filter_map(|e| match e {
                     TraceEvent::Branch { rec, .. } => Some(rec),

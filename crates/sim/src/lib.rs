@@ -1,8 +1,8 @@
 //! Trace-driven BPU simulation with protection policies (Section VII-B1).
 //!
-//! The simulator feeds a [`stbpu_trace::Trace`] through a complete
-//! [`Bpu`] model while applying one of the paper's five protection schemes
-//! ([`Protection`]):
+//! The simulator feeds a stream of [`stbpu_trace::TraceEvent`]s through a
+//! complete [`Bpu`] model while applying one of the paper's five protection
+//! schemes ([`Protection`]):
 //!
 //! * **Unprotected** — the shared, never-flushed baseline.
 //! * **Stbpu** — secret-token isolation: context/mode switches only swap
@@ -18,31 +18,57 @@
 //! The headline metric is OAE — overall accuracy effective (all necessary
 //! predictions correct).
 //!
+//! # Incremental sessions and streaming
+//!
+//! The core abstraction is the [`SimSession`]: open it over a model and a
+//! policy, [`SimSession::feed`] events one at a time or [`SimSession::run`]
+//! any [`stbpu_trace::EventSource`] through it, then [`SimSession::finish`]
+//! into a [`SimReport`]. Because sessions consume streams, run length is
+//! bounded by time, not memory — a 10M-branch generator-sourced run never
+//! materializes an event vector. [`SimObserver`]s attach to a session to
+//! watch branches, flushes, context switches, re-randomizations and
+//! OAE-over-time [`IntervalWindow`]s ([`IntervalRecorder`] collects the
+//! latter). [`simulate`] / [`simulate_with`] are thin wrappers running a
+//! materialized [`stbpu_trace::Trace`] through a session.
+//!
 //! Model *selection* does not live here: any [`stbpu_bpu::Bpu`] can be
 //! simulated, and the `stbpu-engine` crate provides the string-named model
 //! registry (`ModelRegistry`) and the declarative `Experiment`/`Scenario`
-//! builder that replaced this crate's old closed [`ModelKind`] enum.
+//! builder.
 //!
 //! # Example
 //!
 //! ```
 //! use stbpu_predictors::skl_baseline;
-//! use stbpu_sim::{simulate, Protection};
+//! use stbpu_sim::{simulate, Protection, SessionOptions, SimSession};
 //! use stbpu_trace::{TraceGenerator, WorkloadProfile};
 //!
+//! // Materialized path:
 //! let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(4000);
 //! let mut model = skl_baseline();
 //! let report = simulate(&mut model, Protection::Unprotected, &trace, 0.1);
 //! assert!(report.oae > 0.5);
+//!
+//! // Streaming path — same result, no materialized vector:
+//! let mut model = skl_baseline();
+//! let mut session =
+//!     SimSession::new(&mut model, Protection::Unprotected, SessionOptions::default()).unwrap();
+//! let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).into_source(4000);
+//! session.run(&mut src).unwrap();
+//! assert_eq!(session.finish().oae, report.oae);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use stbpu_bpu::{Bpu, EntityId};
-use stbpu_core::{st_skl, StConfig};
-use stbpu_predictors::{conservative, skl_baseline};
-use stbpu_trace::{Trace, TraceEvent};
+mod observer;
+mod session;
+
+pub use observer::{FlushKind, IntervalRecorder, IntervalWindow, SimObserver};
+pub use session::{SessionOptions, SimSession, Warmup};
+
+use stbpu_bpu::Bpu;
+use stbpu_trace::{SourceError, Trace};
 
 /// Which protection scheme the simulator enforces around the model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,7 +89,7 @@ pub enum Protection {
 
 impl Protection {
     /// IBPB: full flush when the scheduler switches processes.
-    fn flushes_on_context_switch(self) -> bool {
+    pub(crate) fn flushes_on_context_switch(self) -> bool {
         matches!(
             self,
             Protection::Ucode1 | Protection::Ucode2 | Protection::Conservative
@@ -73,11 +99,11 @@ impl Protection {
     /// IBRS: indirect-prediction (BTB/RSB) flush on kernel entry. The
     /// conservative model is exempt: its full 48-bit tags already keep
     /// kernel and user branches apart (they live at disjoint addresses).
-    fn flushes_targets_on_kernel_entry(self) -> bool {
+    pub(crate) fn flushes_targets_on_kernel_entry(self) -> bool {
         matches!(self, Protection::Ucode1 | Protection::Ucode2)
     }
 
-    fn partitions(self) -> bool {
+    pub(crate) fn partitions(self) -> bool {
         matches!(self, Protection::Ucode2 | Protection::Conservative)
     }
 
@@ -91,55 +117,6 @@ impl Protection {
             Protection::Conservative => "conservative",
         }
     }
-}
-
-/// Model selector for the Figure 3 evaluation (all five schemes run the
-/// same SKL-style predictor underneath).
-#[deprecated(
-    since = "0.2.0",
-    note = "closed enum superseded by the open `stbpu_engine::ModelRegistry` (string-named \
-            predictor × mapper × BTB compositions)"
-)]
-#[derive(Clone, Copy, Debug)]
-pub enum ModelKind {
-    /// Unprotected Skylake-like baseline.
-    Baseline,
-    /// Secret-token model with difficulty factor `r`.
-    Stbpu {
-        /// Attack difficulty factor (Section VII-A; 0.05 default).
-        r: f64,
-    },
-    /// Baseline model used under µcode flushing policies.
-    Ucode,
-    /// Conservative full-tag model.
-    Conservative,
-}
-
-/// Builds the model for a [`ModelKind`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `stbpu_engine::ModelRegistry::standard().build(name, seed)` instead"
-)]
-#[allow(deprecated)]
-pub fn build_model(kind: ModelKind, seed: u64) -> Box<dyn Bpu> {
-    match kind {
-        ModelKind::Baseline | ModelKind::Ucode => Box::new(skl_baseline()),
-        ModelKind::Stbpu { r } => Box::new(st_skl(StConfig::with_r(r), seed)),
-        ModelKind::Conservative => Box::new(conservative()),
-    }
-}
-
-/// The five (kind, policy) combinations of Figure 3, in legend order.
-#[deprecated(since = "0.2.0", note = "use `stbpu_engine::Scenario::fig3()` instead")]
-#[allow(deprecated)]
-pub fn fig3_schemes() -> [(ModelKind, Protection); 5] {
-    [
-        (ModelKind::Baseline, Protection::Unprotected),
-        (ModelKind::Stbpu { r: 0.05 }, Protection::Stbpu),
-        (ModelKind::Ucode, Protection::Ucode1),
-        (ModelKind::Ucode, Protection::Ucode2),
-        (ModelKind::Conservative, Protection::Conservative),
-    ]
 }
 
 /// Aggregated result of one simulation run.
@@ -210,6 +187,11 @@ pub enum SimError {
         /// Provisioned thread count.
         threads: usize,
     },
+    /// A fractional warm-up was requested but the stream declares no
+    /// branch count (hint-less source, or events fed before any source).
+    WarmupNeedsBranchCount,
+    /// The event source failed mid-stream (I/O error, malformed record…).
+    Source(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -230,13 +212,28 @@ impl std::fmt::Display for SimError {
                     "trace event on thread {tid} but only {threads} threads provisioned"
                 )
             }
+            SimError::WarmupNeedsBranchCount => {
+                write!(
+                    f,
+                    "fractional warm-up needs a source with a branch-count hint \
+                     (use Warmup::Branches for hint-less streams)"
+                )
+            }
+            SimError::Source(ref msg) => write!(f, "event source failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
 
-/// Runs `model` under `policy` over `trace` with explicit [`SimOptions`].
+impl From<SourceError> for SimError {
+    fn from(e: SourceError) -> Self {
+        SimError::Source(e.0)
+    }
+}
+
+/// Runs `model` under `policy` over `trace` with explicit [`SimOptions`] —
+/// a thin wrapper opening a [`SimSession`] over the materialized trace.
 ///
 /// The thread count is taken from `opts.threads` (or derived from the
 /// trace) and validated against both the model limit and every event —
@@ -248,84 +245,19 @@ pub fn simulate_with(
     trace: &Trace,
     opts: &SimOptions,
 ) -> Result<SimReport, SimError> {
-    if !(0.0..1.0).contains(&opts.warmup_frac) {
-        return Err(SimError::WarmupOutOfRange(opts.warmup_frac));
-    }
     let threads = opts.threads.unwrap_or_else(|| trace.thread_count()).max(1);
-    if threads > stbpu_bpu::MAX_THREADS {
-        return Err(SimError::TooManyThreads {
-            requested: threads,
-            max: stbpu_bpu::MAX_THREADS,
-        });
-    }
-    let check = |tid: u8| -> Result<usize, SimError> {
-        let tid = tid as usize;
-        if tid < threads {
-            Ok(tid)
-        } else {
-            Err(SimError::ThreadOutOfRange { tid, threads })
-        }
-    };
-
-    let warmup = (trace.branch_count() as f64 * opts.warmup_frac) as usize;
-    model.set_partitioned(policy.partitions());
-
-    // Per-thread context: the user entity to return to after kernel exits.
-    let mut user_entity = vec![EntityId::user(0); threads];
-    let mut seen = 0usize;
-    let mut warmed = warmup == 0;
-
-    for ev in &trace.events {
-        match *ev {
-            TraceEvent::Branch { tid, ref rec } => {
-                model.process(check(tid)?, rec);
-                seen += 1;
-                if !warmed && seen >= warmup {
-                    model.reset_stats();
-                    warmed = true;
-                }
-            }
-            TraceEvent::ContextSwitch { tid, entity } => {
-                let tid = check(tid)?;
-                user_entity[tid] = entity;
-                model.context_switch(tid, entity);
-                if policy.flushes_on_context_switch() {
-                    model.flush(); // IBPB
-                }
-            }
-            TraceEvent::ModeSwitch { tid, kernel } => {
-                let tid = check(tid)?;
-                if kernel {
-                    model.context_switch(tid, EntityId::KERNEL);
-                    if policy.flushes_targets_on_kernel_entry() {
-                        model.flush_targets(); // IBRS: no user-placed targets in kernel
-                    }
-                } else {
-                    model.context_switch(tid, user_entity[tid]);
-                }
-            }
-            TraceEvent::Interrupt { tid } => {
-                // Delivery itself is free; the kernel excursion follows as
-                // ModeSwitch events.
-                check(tid)?;
-            }
-        }
-    }
-
-    let s = model.stats();
-    Ok(SimReport {
-        model: model.name(),
-        protection: policy.label(),
-        workload: trace.name.clone(),
-        oae: s.oae(),
-        direction_rate: s.direction_rate(),
-        target_rate: s.target_rate(),
-        branches: s.branches,
-        mispredictions: s.mispredictions,
-        evictions: s.btb_evictions,
-        flushes: s.flushes,
-        rerandomizations: model.rerandomizations(),
-    })
+    let mut session = SimSession::new(
+        model,
+        policy,
+        SessionOptions {
+            warmup: Warmup::Fraction(opts.warmup_frac),
+            threads: Some(threads),
+            interval: None,
+            workload: Some(trace.name.clone()),
+        },
+    )?;
+    session.run(&mut trace.source())?;
+    Ok(session.finish())
 }
 
 /// Runs `model` under `policy` over `trace`; the first `warmup_frac` of
@@ -355,119 +287,17 @@ pub fn simulate(
     .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Convenience: run all five Figure 3 schemes over one trace and return the
-/// reports in legend order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `stbpu_engine::run_scenarios(&registry, &trace, &Scenario::fig3(), seed, warmup)` \
-            or the `Experiment` builder instead"
-)]
-#[allow(deprecated)]
-pub fn run_fig3_suite(trace: &Trace, seed: u64, warmup: f64) -> Vec<SimReport> {
-    fig3_schemes()
-        .into_iter()
-        .map(|(kind, policy)| {
-            let mut model = build_model(kind, seed);
-            simulate(model.as_mut(), policy, trace, warmup)
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated ModelKind/build_model/run_fig3_suite shims stay
-    // exercised here until they are removed.
-    #![allow(deprecated)]
-
     use super::*;
-    use stbpu_trace::{profiles, TraceGenerator, WorkloadProfile};
-
-    fn trace_for(name: &str, branches: usize) -> Trace {
-        trace_for_seeded(name, branches, 42)
-    }
-
-    fn trace_for_seeded(name: &str, branches: usize, seed: u64) -> Trace {
-        TraceGenerator::new(profiles::by_name(name).unwrap(), seed).generate(branches)
-    }
-
-    #[test]
-    fn baseline_accuracy_in_published_range_for_spec() {
-        // Predictable FP workload: baseline OAE must be high.
-        let t = trace_for_seeded("519.lbm", 30_000, 1);
-        let mut m = build_model(ModelKind::Baseline, 1);
-        let r = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
-        assert!(r.oae > 0.93, "lbm baseline OAE {}", r.oae);
-
-        // Hard integer workload: noticeably lower but still decent.
-        let t = trace_for_seeded("541.leela", 30_000, 1);
-        let mut m = build_model(ModelKind::Baseline, 1);
-        let r2 = simulate(m.as_mut(), Protection::Unprotected, &t, 0.2);
-        assert!(
-            r2.oae > 0.75 && r2.oae < 0.99,
-            "leela baseline OAE {}",
-            r2.oae
-        );
-        assert!(r.oae > r2.oae, "lbm must beat leela");
-    }
-
-    #[test]
-    fn stbpu_close_to_baseline_on_spec() {
-        let t = trace_for("525.x264", 25_000);
-        let mut base = build_model(ModelKind::Baseline, 1);
-        let rb = simulate(base.as_mut(), Protection::Unprotected, &t, 0.2);
-        let mut st = build_model(ModelKind::Stbpu { r: 0.05 }, 1);
-        let rs = simulate(st.as_mut(), Protection::Stbpu, &t, 0.2);
-        assert!(
-            rs.oae > rb.oae - 0.05,
-            "STBPU ({}) must track baseline ({})",
-            rs.oae,
-            rb.oae
-        );
-    }
-
-    #[test]
-    fn ucode_flushing_hurts_switch_heavy_workloads() {
-        let t = trace_for("apache2_prefork_c256", 30_000);
-        let suite = run_fig3_suite(&t, 7, 0.1);
-        let base = suite[0].oae;
-        let stbpu = suite[1].oae;
-        let ucode1 = suite[2].oae;
-        assert!(
-            ucode1 < base - 0.03,
-            "flushing must cost accuracy on apache: base {base}, ucode {ucode1}"
-        );
-        assert!(
-            stbpu > ucode1,
-            "STBPU ({stbpu}) must beat microcode flushing ({ucode1})"
-        );
-        assert!(suite[2].flushes > 100, "apache must trigger many flushes");
-    }
-
-    #[test]
-    fn stbpu_does_not_flush() {
-        let t = trace_for("mysql_64con_50s", 15_000);
-        let suite = run_fig3_suite(&t, 3, 0.1);
-        assert_eq!(suite[1].flushes, 0, "STBPU never flushes");
-        assert_eq!(suite[0].flushes, 0, "baseline never flushes");
-        assert!(suite[2].flushes > 0);
-    }
-
-    #[test]
-    fn partitioning_makes_ucode2_at_most_ucode1() {
-        let t = trace_for("chrome-1jetstream", 25_000);
-        let suite = run_fig3_suite(&t, 3, 0.1);
-        let (u1, u2) = (suite[2].oae, suite[3].oae);
-        assert!(
-            u2 <= u1 + 0.02,
-            "STIBP partitioning should not help: u1 {u1}, u2 {u2}"
-        );
-    }
+    use stbpu_predictors::skl_baseline;
+    use stbpu_trace::{TraceEvent, TraceGenerator, WorkloadProfile};
 
     #[test]
     fn warmup_zero_counts_everything() {
         let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(100);
-        let mut m = build_model(ModelKind::Baseline, 1);
-        let r = simulate(m.as_mut(), Protection::Unprotected, &t, 0.0);
+        let mut m = skl_baseline();
+        let r = simulate(&mut m, Protection::Unprotected, &t, 0.0);
         assert_eq!(r.branches, 100);
     }
 
@@ -475,8 +305,8 @@ mod tests {
     #[should_panic(expected = "warm-up fraction")]
     fn bad_warmup_rejected() {
         let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).generate(10);
-        let mut m = build_model(ModelKind::Baseline, 1);
-        let _ = simulate(m.as_mut(), Protection::Unprotected, &t, 1.0);
+        let mut m = skl_baseline();
+        let _ = simulate(&mut m, Protection::Unprotected, &t, 1.0);
     }
 
     #[test]
@@ -496,7 +326,7 @@ mod tests {
     fn event_tid_outside_provisioned_threads_rejected() {
         use stbpu_bpu::BranchRecord;
         let mut t = Trace::new("bad");
-        t.events.push(TraceEvent::Branch {
+        t.push(TraceEvent::Branch {
             tid: 1,
             rec: BranchRecord::conditional(0x4000, true, 0x4100),
         });
@@ -519,5 +349,12 @@ mod tests {
         };
         let err = simulate_with(&mut m, Protection::Unprotected, &t, &opts).unwrap_err();
         assert!(matches!(err, SimError::TooManyThreads { requested: 9, .. }));
+    }
+
+    #[test]
+    fn protection_labels_stable() {
+        assert_eq!(Protection::Unprotected.label(), "baseline");
+        assert_eq!(Protection::Stbpu.label(), "STBPU");
+        assert_eq!(Protection::Conservative.label(), "conservative");
     }
 }

@@ -1,0 +1,173 @@
+//! Observer hooks for the incremental simulator.
+//!
+//! A [`SimObserver`] attaches to a [`crate::SimSession`] and is notified of
+//! the events attack instrumentation and accuracy-over-time analyses care
+//! about — retired branches with their prediction outcome, policy flushes,
+//! context switches, secret-token re-randomizations, and (when the session
+//! is configured with an interval) fixed-size statistics windows. This is
+//! the seam that lets conflict-visibility studies observe flushes,
+//! evictions and re-randomizations without hand-rolling a simulation loop.
+
+use stbpu_bpu::{BranchOutcome, BranchRecord, EntityId};
+
+/// What kind of invalidation a protection policy performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushKind {
+    /// IBPB-style full flush (all prediction state).
+    Full,
+    /// IBRS-style target flush (BTB/RSB only, direction history survives).
+    Targets,
+}
+
+/// Fixed-size statistics window emitted by a session configured with
+/// [`crate::SessionOptions::interval`] — the OAE-over-time unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IntervalWindow {
+    /// Index of the first branch of the window (0-based, counting every
+    /// branch fed to the session, warm-up included).
+    pub start_branch: u64,
+    /// Branches retired inside the window.
+    pub branches: u64,
+    /// Branches whose every necessary prediction was correct (OAE
+    /// numerator).
+    pub effective_correct: u64,
+    /// Mispredictions inside the window.
+    pub mispredictions: u64,
+    /// Policy flushes inside the window.
+    pub flushes: u64,
+    /// Secret-token re-randomizations inside the window.
+    pub rerandomizations: u64,
+}
+
+impl IntervalWindow {
+    /// Overall accuracy effective over this window.
+    pub fn oae(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.effective_correct as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Hooks invoked by a [`crate::SimSession`] as the stream is consumed.
+/// Every method has an empty default body — implement only what the
+/// instrumentation needs.
+pub trait SimObserver {
+    /// One branch retired on `tid` with the model's prediction `outcome`.
+    fn on_branch(&mut self, tid: usize, rec: &BranchRecord, outcome: &BranchOutcome) {
+        let _ = (tid, rec, outcome);
+    }
+
+    /// The protection policy invalidated prediction state.
+    fn on_flush(&mut self, kind: FlushKind) {
+        let _ = kind;
+    }
+
+    /// The scheduler switched `tid` to `entity` (kernel entries/exits are
+    /// reported too, with [`EntityId::KERNEL`] / the saved user entity).
+    fn on_context_switch(&mut self, tid: usize, entity: EntityId) {
+        let _ = (tid, entity);
+    }
+
+    /// The model re-randomized its secret tokens (`total` is the running
+    /// count since model construction).
+    fn on_rerandomize(&mut self, total: u64) {
+        let _ = total;
+    }
+
+    /// A statistics window closed (only fired when the session is
+    /// configured with an interval).
+    fn on_interval(&mut self, window: &IntervalWindow) {
+        let _ = window;
+    }
+}
+
+/// Built-in observer collecting every [`IntervalWindow`] a session emits —
+/// the OAE-over-time series of a run.
+///
+/// ```
+/// use stbpu_predictors::skl_baseline;
+/// use stbpu_sim::{IntervalRecorder, Protection, SessionOptions, SimSession, Warmup};
+/// use stbpu_trace::{TraceGenerator, WorkloadProfile};
+///
+/// let mut model = skl_baseline();
+/// let mut rec = IntervalRecorder::new();
+/// let mut session = SimSession::new(
+///     &mut model,
+///     Protection::Unprotected,
+///     SessionOptions {
+///         warmup: Warmup::Branches(0),
+///         interval: Some(1_000),
+///         ..SessionOptions::default()
+///     },
+/// )
+/// .unwrap();
+/// session.attach(&mut rec);
+/// let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).into_source(4_000);
+/// session.run(&mut src).unwrap();
+/// let report = session.finish();
+/// assert_eq!(rec.windows().len(), 4);
+/// assert!(rec.windows().iter().all(|w| w.branches == 1_000));
+/// assert_eq!(report.branches, 4_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IntervalRecorder {
+    windows: Vec<IntervalWindow>,
+}
+
+impl IntervalRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        IntervalRecorder::default()
+    }
+
+    /// The windows recorded so far, in stream order.
+    pub fn windows(&self) -> &[IntervalWindow] {
+        &self.windows
+    }
+
+    /// Consumes the recorder, returning the window series.
+    pub fn into_windows(self) -> Vec<IntervalWindow> {
+        self.windows
+    }
+
+    /// OAE of each window, in stream order.
+    pub fn oae_series(&self) -> Vec<f64> {
+        self.windows.iter().map(IntervalWindow::oae).collect()
+    }
+}
+
+impl SimObserver for IntervalRecorder {
+    fn on_interval(&mut self, window: &IntervalWindow) {
+        self.windows.push(*window);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_oae() {
+        let w = IntervalWindow {
+            start_branch: 0,
+            branches: 10,
+            effective_correct: 9,
+            ..IntervalWindow::default()
+        };
+        assert!((w.oae() - 0.9).abs() < 1e-12);
+        assert_eq!(IntervalWindow::default().oae(), 0.0);
+    }
+
+    #[test]
+    fn default_observer_methods_are_noops() {
+        struct Nop;
+        impl SimObserver for Nop {}
+        let mut n = Nop;
+        n.on_flush(FlushKind::Full);
+        n.on_rerandomize(3);
+        n.on_context_switch(0, EntityId::user(1));
+        n.on_interval(&IntervalWindow::default());
+    }
+}

@@ -1,0 +1,489 @@
+//! The incremental simulation session: feed events one at a time (or pump
+//! a whole [`EventSource`]) through a model under a protection policy,
+//! with observer hooks and interval statistics.
+
+use crate::observer::{FlushKind, IntervalWindow, SimObserver};
+use crate::{Protection, SimError, SimReport};
+use stbpu_bpu::{Bpu, EntityId};
+use stbpu_trace::{EventSource, TraceEvent};
+
+/// Warm-up policy for a session: the structures train without counting
+/// toward statistics until the warm-up budget is spent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Warmup {
+    /// Warm for this fraction of the stream's declared branch count. Needs
+    /// a source with a branch hint (or fraction 0) — pure `feed` streams
+    /// and hint-less sources must use [`Warmup::Branches`].
+    Fraction(f64),
+    /// Warm for exactly this many branch events.
+    Branches(u64),
+}
+
+/// Options for a [`SimSession`].
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Warm-up policy (default: 10 % of the declared branch count).
+    pub warmup: Warmup,
+    /// Hardware threads to provision per-thread context for. `None`
+    /// provisions the model maximum ([`stbpu_bpu::MAX_THREADS`]); sources
+    /// with declared thread counts can be passed explicitly. Every event's
+    /// `tid` is validated against the provision.
+    pub threads: Option<usize>,
+    /// When set, close an [`IntervalWindow`] every this many branches and
+    /// report it to observers via [`SimObserver::on_interval`].
+    pub interval: Option<u64>,
+    /// Workload label for the final report. `None` takes the name of the
+    /// first source passed to [`SimSession::run`].
+    pub workload: Option<String>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            warmup: Warmup::Fraction(0.1),
+            threads: None,
+            interval: None,
+            workload: None,
+        }
+    }
+}
+
+/// An incremental simulation: one model under one protection policy,
+/// consuming trace events as they arrive.
+///
+/// Where [`crate::simulate_with`] demands a fully materialized
+/// [`stbpu_trace::Trace`], a session accepts events from any
+/// [`EventSource`] (or one at a time via [`SimSession::feed`]), so run
+/// length is never bounded by memory — a 10M-branch generator-sourced run
+/// holds only the model and a few counters. Attached [`SimObserver`]s see
+/// branches, flushes, context switches, re-randomizations and interval
+/// windows as they happen.
+///
+/// ```
+/// use stbpu_predictors::skl_baseline;
+/// use stbpu_sim::{Protection, SessionOptions, SimSession};
+/// use stbpu_trace::{TraceGenerator, WorkloadProfile};
+///
+/// let mut model = skl_baseline();
+/// let mut session = SimSession::new(
+///     &mut model,
+///     Protection::Unprotected,
+///     SessionOptions::default(),
+/// )
+/// .unwrap();
+/// let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).into_source(10_000);
+/// session.run(&mut src).unwrap();
+/// let report = session.finish();
+/// assert_eq!(report.branches, 9_000); // 10 % warm-up excluded
+/// assert!(report.oae > 0.5);
+/// ```
+pub struct SimSession<'a> {
+    model: &'a mut dyn Bpu,
+    policy: Protection,
+    threads: usize,
+    /// Per-thread context: the user entity to return to after kernel exits.
+    user_entity: Vec<EntityId>,
+    /// `None` until a fraction warm-up is resolved against a branch hint.
+    warmup_target: Option<u64>,
+    pending_fraction: f64,
+    seen: u64,
+    warmed: bool,
+    interval: Option<u64>,
+    window: IntervalWindow,
+    last_rerand: u64,
+    workload: Option<String>,
+    observers: Vec<&'a mut dyn SimObserver>,
+}
+
+impl<'a> SimSession<'a> {
+    /// Opens a session for `model` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WarmupOutOfRange`] for a fraction outside `[0, 1)`,
+    /// [`SimError::TooManyThreads`] for an explicit thread provision above
+    /// the model limit.
+    pub fn new(
+        model: &'a mut dyn Bpu,
+        policy: Protection,
+        opts: SessionOptions,
+    ) -> Result<Self, SimError> {
+        let (warmup_target, pending_fraction) = match opts.warmup {
+            Warmup::Branches(n) => (Some(n), 0.0),
+            Warmup::Fraction(f) => {
+                if !(0.0..1.0).contains(&f) {
+                    return Err(SimError::WarmupOutOfRange(f));
+                }
+                if f == 0.0 {
+                    (Some(0), 0.0)
+                } else {
+                    (None, f)
+                }
+            }
+        };
+        let threads = opts
+            .threads
+            .map(|t| t.max(1))
+            .unwrap_or(stbpu_bpu::MAX_THREADS);
+        if threads > stbpu_bpu::MAX_THREADS {
+            return Err(SimError::TooManyThreads {
+                requested: threads,
+                max: stbpu_bpu::MAX_THREADS,
+            });
+        }
+        model.set_partitioned(policy.partitions());
+        let last_rerand = model.rerandomizations();
+        Ok(SimSession {
+            model,
+            policy,
+            threads,
+            user_entity: vec![EntityId::user(0); threads],
+            warmed: warmup_target == Some(0),
+            warmup_target,
+            pending_fraction,
+            seen: 0,
+            interval: opts.interval,
+            window: IntervalWindow::default(),
+            last_rerand,
+            workload: opts.workload,
+            observers: Vec::new(),
+        })
+    }
+
+    /// Attaches an observer for the rest of the session.
+    pub fn attach(&mut self, observer: &'a mut dyn SimObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Branch events fed so far (warm-up included).
+    pub fn branches_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn check(&self, tid: u8) -> Result<usize, SimError> {
+        let tid = tid as usize;
+        if tid < self.threads {
+            Ok(tid)
+        } else {
+            Err(SimError::ThreadOutOfRange {
+                tid,
+                threads: self.threads,
+            })
+        }
+    }
+
+    fn close_window(&mut self) {
+        let w = self.window;
+        for obs in self.observers.iter_mut() {
+            obs.on_interval(&w);
+        }
+        self.window = IntervalWindow {
+            start_branch: self.seen,
+            ..IntervalWindow::default()
+        };
+    }
+
+    fn record_flush(&mut self, kind: FlushKind) {
+        self.window.flushes += 1;
+        for obs in self.observers.iter_mut() {
+            obs.on_flush(kind);
+        }
+    }
+
+    fn notify_context_switch(&mut self, tid: usize, entity: EntityId) {
+        for obs in self.observers.iter_mut() {
+            obs.on_context_switch(tid, entity);
+        }
+    }
+
+    /// Feeds one event through the session.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ThreadOutOfRange`] for an event outside the provisioned
+    /// threads; [`SimError::WarmupNeedsBranchCount`] when a fractional
+    /// warm-up was requested but no branch hint has resolved it (run a
+    /// hinted source first, or use [`Warmup::Branches`]).
+    pub fn feed(&mut self, ev: &TraceEvent) -> Result<(), SimError> {
+        match *ev {
+            TraceEvent::Branch { tid, ref rec } => {
+                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
+                let tid = self.check(tid)?;
+                let outcome = self.model.process(tid, rec);
+                self.seen += 1;
+                if !self.warmed && self.seen >= target {
+                    self.model.reset_stats();
+                    self.warmed = true;
+                }
+                self.window.branches += 1;
+                self.window.effective_correct += u64::from(outcome.effective_correct);
+                self.window.mispredictions += u64::from(outcome.mispredicted);
+                let rerand = self.model.rerandomizations();
+                if rerand > self.last_rerand {
+                    self.window.rerandomizations += rerand - self.last_rerand;
+                    self.last_rerand = rerand;
+                    for obs in self.observers.iter_mut() {
+                        obs.on_rerandomize(rerand);
+                    }
+                }
+                for obs in self.observers.iter_mut() {
+                    obs.on_branch(tid, rec, &outcome);
+                }
+                if self.interval.is_some_and(|n| self.window.branches >= n) {
+                    self.close_window();
+                }
+            }
+            TraceEvent::ContextSwitch { tid, entity } => {
+                let tid = self.check(tid)?;
+                self.user_entity[tid] = entity;
+                self.model.context_switch(tid, entity);
+                self.notify_context_switch(tid, entity);
+                if self.policy.flushes_on_context_switch() {
+                    self.model.flush(); // IBPB
+                    self.record_flush(FlushKind::Full);
+                }
+            }
+            TraceEvent::ModeSwitch { tid, kernel } => {
+                let tid = self.check(tid)?;
+                if kernel {
+                    self.model.context_switch(tid, EntityId::KERNEL);
+                    self.notify_context_switch(tid, EntityId::KERNEL);
+                    if self.policy.flushes_targets_on_kernel_entry() {
+                        // IBRS: no user-placed targets in kernel.
+                        self.model.flush_targets();
+                        self.record_flush(FlushKind::Targets);
+                    }
+                } else {
+                    let entity = self.user_entity[tid];
+                    self.model.context_switch(tid, entity);
+                    self.notify_context_switch(tid, entity);
+                }
+            }
+            TraceEvent::Interrupt { tid } => {
+                // Delivery itself is free; the kernel excursion follows as
+                // ModeSwitch events.
+                self.check(tid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pumps `source` to exhaustion through the session. Resolves a
+    /// pending fractional warm-up from the source's branch hint and takes
+    /// the source's name as the workload label if none was set.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Source`] when the source fails mid-stream, plus
+    /// everything [`SimSession::feed`] can return.
+    pub fn run(&mut self, source: &mut dyn EventSource) -> Result<(), SimError> {
+        if self.workload.is_none() {
+            self.workload = Some(source.name().to_string());
+        }
+        if self.warmup_target.is_none() {
+            let hint = source
+                .branch_hint()
+                .ok_or(SimError::WarmupNeedsBranchCount)?;
+            let target = (hint as f64 * self.pending_fraction) as u64;
+            self.warmup_target = Some(target);
+            self.warmed = self.warmed || target == 0;
+        }
+        while let Some(ev) = source.next_event().map_err(SimError::from)? {
+            self.feed(&ev)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the session: flushes a final partial interval window to the
+    /// observers and produces the aggregated report.
+    pub fn finish(mut self) -> SimReport {
+        if self.interval.is_some() && self.window.branches > 0 {
+            self.close_window();
+        }
+        let s = self.model.stats();
+        SimReport {
+            model: self.model.name(),
+            protection: self.policy.label(),
+            workload: self.workload.unwrap_or_else(|| "unnamed".to_string()),
+            oae: s.oae(),
+            direction_rate: s.direction_rate(),
+            target_rate: s.target_rate(),
+            branches: s.branches,
+            mispredictions: s.mispredictions,
+            evictions: s.btb_evictions,
+            flushes: s.flushes,
+            rerandomizations: self.model.rerandomizations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::IntervalRecorder;
+    use stbpu_bpu::{BranchOutcome, BranchRecord};
+    use stbpu_predictors::skl_baseline;
+    use stbpu_trace::{profiles, TraceGenerator, WorkloadProfile};
+
+    fn opts_nowarm() -> SessionOptions {
+        SessionOptions {
+            warmup: Warmup::Branches(0),
+            ..SessionOptions::default()
+        }
+    }
+
+    #[test]
+    fn feed_by_hand_matches_run() {
+        let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 4).generate(2_000);
+
+        let mut m1 = skl_baseline();
+        let mut s1 = SimSession::new(&mut m1, Protection::Unprotected, opts_nowarm()).unwrap();
+        for ev in trace.events() {
+            s1.feed(ev).unwrap();
+        }
+        let r1 = s1.finish();
+
+        let mut m2 = skl_baseline();
+        let mut s2 = SimSession::new(&mut m2, Protection::Unprotected, opts_nowarm()).unwrap();
+        s2.run(&mut trace.source()).unwrap();
+        let r2 = s2.finish();
+
+        assert_eq!(r1.oae, r2.oae);
+        assert_eq!(r1.mispredictions, r2.mispredictions);
+        assert_eq!(r1.branches, 2_000);
+        // feed-by-hand had no source, so no workload label.
+        assert_eq!(r1.workload, "unnamed");
+        assert_eq!(r2.workload, trace.name);
+    }
+
+    #[test]
+    fn fractional_warmup_needs_a_hint() {
+        let mut m = skl_baseline();
+        let mut s = SimSession::new(
+            &mut m,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Fraction(0.5),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        let ev = TraceEvent::Branch {
+            tid: 0,
+            rec: BranchRecord::conditional(0x4000, true, 0x4100),
+        };
+        assert_eq!(s.feed(&ev).unwrap_err(), SimError::WarmupNeedsBranchCount);
+    }
+
+    #[test]
+    fn bad_fraction_rejected_at_open() {
+        let mut m = skl_baseline();
+        let err = SimSession::new(
+            &mut m,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Fraction(1.0),
+                ..SessionOptions::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err, SimError::WarmupOutOfRange(1.0));
+    }
+
+    #[test]
+    fn interval_windows_partition_the_stream() {
+        let mut m = skl_baseline();
+        let mut rec = IntervalRecorder::new();
+        let mut s = SimSession::new(
+            &mut m,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                interval: Some(500),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        s.attach(&mut rec);
+        let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 7).into_source(1_750);
+        s.run(&mut src).unwrap();
+        let report = s.finish();
+        let windows = rec.windows();
+        assert_eq!(windows.len(), 4, "3 full + 1 partial window");
+        assert_eq!(windows.iter().map(|w| w.branches).sum::<u64>(), 1_750);
+        assert_eq!(windows[3].branches, 250);
+        assert_eq!(windows[1].start_branch, 500);
+        assert!(windows.iter().all(|w| w.oae() > 0.0));
+        assert_eq!(report.branches, 1_750);
+    }
+
+    #[test]
+    fn observers_see_flushes_and_switches() {
+        #[derive(Default)]
+        struct Counter {
+            branches: u64,
+            flushes: u64,
+            switches: u64,
+        }
+        impl SimObserver for Counter {
+            fn on_branch(&mut self, _: usize, _: &BranchRecord, _: &BranchOutcome) {
+                self.branches += 1;
+            }
+            fn on_flush(&mut self, _: FlushKind) {
+                self.flushes += 1;
+            }
+            fn on_context_switch(&mut self, _: usize, _: EntityId) {
+                self.switches += 1;
+            }
+        }
+        let p = profiles::by_name("apache2_prefork_c256").unwrap();
+        let trace = TraceGenerator::new(p, 11).generate(5_000);
+        let mut m = skl_baseline();
+        let mut c = Counter::default();
+        let mut s = SimSession::new(&mut m, Protection::Ucode1, opts_nowarm()).unwrap();
+        s.attach(&mut c);
+        s.run(&mut trace.source()).unwrap();
+        let report = s.finish();
+        assert_eq!(c.branches, 5_000);
+        assert!(c.flushes > 0, "ucode1 must flush on apache");
+        assert_eq!(
+            report.flushes, c.flushes,
+            "observer and model agree on flush count (no warm-up reset)"
+        );
+        assert!(
+            c.switches as usize >= trace.context_switches(),
+            "every context switch observed"
+        );
+    }
+
+    #[test]
+    fn rerandomizations_reach_observers() {
+        use stbpu_core::{st_skl, StConfig};
+        #[derive(Default)]
+        struct Rerand {
+            fired: u64,
+        }
+        impl SimObserver for Rerand {
+            fn on_rerandomize(&mut self, _total: u64) {
+                self.fired += 1;
+            }
+        }
+        let cfg = StConfig {
+            r: 1.0,
+            misp_complexity: 100.0,
+            eviction_complexity: 100.0,
+            ..StConfig::default()
+        };
+        let mut m = st_skl(cfg, 3);
+        let mut obs = Rerand::default();
+        let mut s = SimSession::new(&mut m, Protection::Stbpu, opts_nowarm()).unwrap();
+        s.attach(&mut obs);
+        let mut src =
+            TraceGenerator::new(profiles::by_name("541.leela").unwrap(), 5).into_source(8_000);
+        s.run(&mut src).unwrap();
+        let report = s.finish();
+        assert!(report.rerandomizations > 0, "thresholds must trip");
+        assert!(obs.fired > 0, "observer must hear about it");
+    }
+}

@@ -1,0 +1,184 @@
+//! Streaming equivalence: the incremental session over any source must be
+//! indistinguishable from the materialized `simulate_with` path.
+
+use stbpu_core::{st_skl, StConfig};
+use stbpu_predictors::skl_baseline;
+use stbpu_sim::{
+    simulate_with, Protection, SessionOptions, SimOptions, SimReport, SimSession, Warmup,
+};
+use stbpu_trace::serialize::{write_trace, TraceReader};
+use stbpu_trace::{profiles, EventSource, TraceGenerator};
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.oae, b.oae, "{what}: oae");
+    assert_eq!(a.direction_rate, b.direction_rate, "{what}: direction");
+    assert_eq!(a.target_rate, b.target_rate, "{what}: target");
+    assert_eq!(a.branches, b.branches, "{what}: branches");
+    assert_eq!(a.mispredictions, b.mispredictions, "{what}: misp");
+    assert_eq!(a.evictions, b.evictions, "{what}: evictions");
+    assert_eq!(a.flushes, b.flushes, "{what}: flushes");
+    assert_eq!(
+        a.rerandomizations, b.rerandomizations,
+        "{what}: rerandomizations"
+    );
+    assert_eq!(a.workload, b.workload, "{what}: workload");
+    assert_eq!(a.model, b.model, "{what}: model");
+}
+
+/// Session over a generator source must produce bit-identical reports to
+/// `simulate_with` over the materialized trace — for every protection
+/// scheme, including the stateful STBPU monitor.
+#[test]
+fn generator_source_bit_identical_to_materialized() {
+    for (workload, policy) in [
+        ("525.x264", Protection::Unprotected),
+        ("apache2_prefork_c128", Protection::Ucode1),
+        ("apache2_prefork_c128", Protection::Ucode2),
+        ("mysql_64con_50s", Protection::Conservative),
+    ] {
+        let p = profiles::by_name(workload).unwrap();
+        let trace = TraceGenerator::new(p, 17).generate(12_000);
+        let mut m1 = skl_baseline();
+        let reference = simulate_with(
+            &mut m1,
+            policy,
+            &trace,
+            &SimOptions {
+                warmup_frac: 0.1,
+                threads: None,
+            },
+        )
+        .unwrap();
+
+        let mut m2 = skl_baseline();
+        let mut session = SimSession::new(
+            &mut m2,
+            policy,
+            SessionOptions {
+                warmup: Warmup::Fraction(0.1),
+                threads: Some(trace.thread_count().max(1)),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        let mut src = TraceGenerator::new(p, 17).into_source(12_000);
+        session.run(&mut src).unwrap();
+        let streamed = session.finish();
+
+        assert_reports_identical(&streamed, &reference, workload);
+    }
+}
+
+/// Same equivalence for the secret-token model, whose monitor state
+/// (misprediction/eviction counters, re-randomizations) is order-
+/// sensitive: any divergence in event order or warm-up timing shows up.
+#[test]
+fn stbpu_monitor_state_streams_identically() {
+    let p = profiles::by_name("541.leela").unwrap();
+    let cfg = StConfig {
+        r: 1.0,
+        misp_complexity: 400.0,
+        eviction_complexity: 400.0,
+        ..StConfig::default()
+    };
+    let trace = TraceGenerator::new(p, 23).generate(15_000);
+    let mut m1 = st_skl(cfg, 9);
+    let reference = simulate_with(
+        &mut m1,
+        Protection::Stbpu,
+        &trace,
+        &SimOptions {
+            warmup_frac: 0.2,
+            threads: None,
+        },
+    )
+    .unwrap();
+    assert!(reference.rerandomizations > 0, "monitor must trip");
+
+    let mut m2 = st_skl(cfg, 9);
+    let mut session = SimSession::new(
+        &mut m2,
+        Protection::Stbpu,
+        SessionOptions {
+            warmup: Warmup::Fraction(0.2),
+            threads: Some(trace.thread_count().max(1)),
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    session
+        .run(&mut TraceGenerator::new(p, 23).into_source(15_000))
+        .unwrap();
+    assert_reports_identical(&session.finish(), &reference, "st_skl");
+}
+
+/// The file-reader source must round-trip `serialize` output: simulating
+/// the streamed file equals simulating the in-memory original.
+#[test]
+fn file_reader_round_trips_serialize_output() {
+    let p = profiles::by_name("apache2_prefork_c128").unwrap();
+    let trace = TraceGenerator::new(p, 5).generate(8_000);
+    let mut file = Vec::new();
+    write_trace(&trace, &mut file).unwrap();
+
+    let mut m1 = skl_baseline();
+    let reference = simulate_with(
+        &mut m1,
+        Protection::Ucode1,
+        &trace,
+        &SimOptions {
+            warmup_frac: 0.1,
+            threads: None,
+        },
+    )
+    .unwrap();
+
+    let mut reader = TraceReader::new(file.as_slice()).unwrap();
+    assert_eq!(reader.name(), trace.name, "name header round-trips");
+    assert_eq!(
+        reader.branch_hint(),
+        Some(trace.branch_count() as u64),
+        "branch hint round-trips"
+    );
+    assert_eq!(
+        reader.thread_count(),
+        trace.thread_count(),
+        "thread header round-trips"
+    );
+    let mut m2 = skl_baseline();
+    let mut session = SimSession::new(
+        &mut m2,
+        Protection::Ucode1,
+        SessionOptions {
+            warmup: Warmup::Fraction(0.1),
+            threads: Some(reader.thread_count().max(1)),
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    session.run(&mut reader).unwrap();
+    assert_reports_identical(&session.finish(), &reference, "file reader");
+}
+
+/// A long generator-sourced run completes through a session without ever
+/// materializing the event vector (the acceptance-criterion path, scaled
+/// by STBPU_STREAM_BRANCHES; CI uses the default, a full 10M-branch run is
+/// `STBPU_STREAM_BRANCHES=10000000 cargo test -p stbpu-sim --release`).
+#[test]
+fn long_streamed_run_completes() {
+    let branches: usize = std::env::var("STBPU_STREAM_BRANCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let p = profiles::by_name("505.mcf").unwrap();
+    let mut m = skl_baseline();
+    let mut session =
+        SimSession::new(&mut m, Protection::Unprotected, SessionOptions::default()).unwrap();
+    session
+        .run(&mut TraceGenerator::new(p, 1).into_source(branches))
+        .unwrap();
+    let report = session.finish();
+    let warmup = (branches as f64 * 0.1) as usize;
+    assert_eq!(report.branches as usize, branches - warmup);
+    assert!(report.oae > 0.5);
+}

@@ -47,13 +47,27 @@ impl TraceEvent {
     }
 }
 
-/// A named sequence of trace events.
+/// A named, fully materialized sequence of trace events.
+///
+/// The event vector is private: events enter through [`Trace::push`] (or
+/// [`Trace::from_events`]), which maintains the summary counters
+/// incrementally, so [`Trace::thread_count`], [`Trace::branch_count`] and
+/// the other metadata accessors are O(1) instead of re-scanning the whole
+/// vector on every call.
+///
+/// For streaming consumption (no materialized vector at all), see the
+/// [`crate::EventSource`] trait; [`Trace::source`] adapts a materialized
+/// trace to that interface.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Workload name (matches the figure x-axis labels).
     pub name: String,
-    /// The event stream.
-    pub events: Vec<TraceEvent>,
+    events: Vec<TraceEvent>,
+    threads: usize,
+    branches: usize,
+    context_switches: usize,
+    kernel_entries: usize,
+    instructions: u64,
 }
 
 impl Trace {
@@ -61,54 +75,76 @@ impl Trace {
     pub fn new(name: &str) -> Self {
         Trace {
             name: name.to_string(),
-            events: Vec::new(),
+            ..Trace::default()
         }
+    }
+
+    /// Builds a trace from an already-collected event vector (counters are
+    /// derived once).
+    pub fn from_events<I: IntoIterator<Item = TraceEvent>>(name: &str, events: I) -> Self {
+        let mut t = Trace::new(name);
+        for ev in events {
+            t.push(ev);
+        }
+        t
+    }
+
+    /// Appends one event, updating the summary counters.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.threads = self.threads.max(ev.tid() as usize + 1);
+        match ev {
+            TraceEvent::Branch { rec, .. } => {
+                self.branches += 1;
+                self.instructions += 1 + rec.gap as u64;
+            }
+            TraceEvent::ContextSwitch { .. } => self.context_switches += 1,
+            TraceEvent::ModeSwitch { kernel: true, .. } => self.kernel_entries += 1,
+            _ => {}
+        }
+        self.events.push(ev);
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events of any kind.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 
     /// Number of hardware threads the trace occupies (highest `tid` + 1;
     /// 0 for an empty trace). Simulators size per-thread state from this.
+    /// O(1): maintained incrementally by [`Trace::push`].
     pub fn thread_count(&self) -> usize {
-        self.events
-            .iter()
-            .map(|e| e.tid() as usize + 1)
-            .max()
-            .unwrap_or(0)
+        self.threads
     }
 
-    /// Number of branch events.
+    /// Number of branch events. O(1).
     pub fn branch_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Branch { .. }))
-            .count()
+        self.branches
     }
 
-    /// Number of context switches.
+    /// Number of context switches. O(1).
     pub fn context_switches(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::ContextSwitch { .. }))
-            .count()
+        self.context_switches
     }
 
-    /// Number of kernel entries (mode switches with `kernel == true`).
+    /// Number of kernel entries (mode switches with `kernel == true`). O(1).
     pub fn kernel_entries(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::ModeSwitch { kernel: true, .. }))
-            .count()
+        self.kernel_entries
     }
 
     /// Total instruction count implied by branches plus their gaps — used
-    /// by the pipeline model for IPC.
+    /// by the pipeline model for IPC. O(1).
     pub fn instruction_count(&self) -> u64 {
-        self.events
-            .iter()
-            .map(|e| match e {
-                TraceEvent::Branch { rec, .. } => 1 + rec.gap as u64,
-                _ => 0,
-            })
-            .sum()
+        self.instructions
     }
 
     /// Iterates over branch records only.
@@ -118,6 +154,11 @@ impl Trace {
             _ => None,
         })
     }
+
+    /// A streaming [`crate::EventSource`] view over this trace.
+    pub fn source(&self) -> crate::TraceSource<'_> {
+        crate::TraceSource::new(self)
+    }
 }
 
 #[cfg(test)]
@@ -125,34 +166,64 @@ mod tests {
     use super::*;
     use stbpu_bpu::BranchKind;
 
-    #[test]
-    fn counting_helpers() {
+    fn sample() -> Trace {
         let mut t = Trace::new("t");
-        t.events.push(TraceEvent::ContextSwitch {
+        t.push(TraceEvent::ContextSwitch {
             tid: 0,
             entity: EntityId::user(1),
         });
-        t.events.push(TraceEvent::Branch {
+        t.push(TraceEvent::Branch {
             tid: 0,
             rec: BranchRecord::taken(0x40, BranchKind::DirectJump, 0x80).with_gap(9),
         });
-        t.events.push(TraceEvent::ModeSwitch {
+        t.push(TraceEvent::ModeSwitch {
             tid: 0,
             kernel: true,
         });
-        t.events.push(TraceEvent::Branch {
+        t.push(TraceEvent::Branch {
             tid: 0,
             rec: BranchRecord::not_taken(0xffff_8000_0000),
         });
-        t.events.push(TraceEvent::ModeSwitch {
+        t.push(TraceEvent::ModeSwitch {
             tid: 0,
             kernel: false,
         });
-        t.events.push(TraceEvent::Interrupt { tid: 0 });
+        t.push(TraceEvent::Interrupt { tid: 0 });
+        t
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let t = sample();
         assert_eq!(t.branch_count(), 2);
         assert_eq!(t.context_switches(), 1);
         assert_eq!(t.kernel_entries(), 1);
         assert_eq!(t.instruction_count(), 1 + 9 + 1);
         assert_eq!(t.branches().count(), 2);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn thread_count_tracks_pushes_incrementally() {
+        let mut t = Trace::new("threads");
+        assert_eq!(t.thread_count(), 0);
+        t.push(TraceEvent::Interrupt { tid: 0 });
+        assert_eq!(t.thread_count(), 1);
+        t.push(TraceEvent::Interrupt { tid: 1 });
+        assert_eq!(t.thread_count(), 2);
+        // Lower tids never shrink the count.
+        t.push(TraceEvent::Interrupt { tid: 0 });
+        assert_eq!(t.thread_count(), 2);
+    }
+
+    #[test]
+    fn from_events_matches_pushes() {
+        let a = sample();
+        let b = Trace::from_events("t", a.events().to_vec());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.branch_count(), b.branch_count());
+        assert_eq!(a.thread_count(), b.thread_count());
+        assert_eq!(a.instruction_count(), b.instruction_count());
     }
 }

@@ -6,9 +6,11 @@
 use crate::event::{Trace, TraceEvent};
 use crate::profiles::WorkloadProfile;
 use crate::program::{Program, ProgramShape, Walker};
+use crate::source::{EventSource, SourceError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stbpu_bpu::EntityId;
+use std::collections::VecDeque;
 
 /// Kernel image base (inside the canonical 48-bit space).
 const KERNEL_BASE: u64 = 0xffff_8000_0000;
@@ -22,6 +24,12 @@ const SCHED_LEN: (u32, u32) = (40, 90);
 const THREAD_CHUNK: usize = 96;
 
 /// Deterministic synthetic-trace generator for one workload profile.
+///
+/// Traces can be materialized with [`TraceGenerator::generate`] or streamed
+/// with [`TraceGenerator::into_source`] — the two paths share the same
+/// stepping machinery, so for equal seeds the streamed events are
+/// bit-identical to the materialized vector while the stream needs only
+/// O(1) memory (one kernel excursion of look-ahead).
 ///
 /// ```
 /// use stbpu_trace::{TraceGenerator, WorkloadProfile};
@@ -38,6 +46,29 @@ pub struct TraceGenerator {
     kernel_walkers: Vec<Walker>,
     /// Current process (index into `programs`) per thread.
     current: [usize; 2],
+}
+
+/// Cursor state of one in-progress trace emission (shared by the
+/// materializing and streaming paths).
+#[derive(Clone, Copy, Debug)]
+struct StreamPlan {
+    budget: usize,
+    emitted: usize,
+    tid: usize,
+    chunk: usize,
+    started: bool,
+}
+
+impl StreamPlan {
+    fn new(budget: usize) -> Self {
+        StreamPlan {
+            budget,
+            emitted: 0,
+            tid: 0,
+            chunk: 0,
+            started: false,
+        }
+    }
 }
 
 impl TraceGenerator {
@@ -100,6 +131,11 @@ impl TraceGenerator {
         }
     }
 
+    /// Name of the workload profile this generator emits.
+    pub fn profile_name(&self) -> &'static str {
+        self.profile.name
+    }
+
     /// Threads used by this workload's traces. A trace never occupies more
     /// threads than it has processes (each walker is owned by one thread,
     /// keeping per-thread call/return streams well nested).
@@ -129,118 +165,193 @@ impl TraceGenerator {
         }
     }
 
-    /// Generates a trace containing exactly `branches` branch events
-    /// (kernel branches included).
-    pub fn generate(&mut self, branches: usize) -> Trace {
-        let mut trace = Trace::new(self.profile.name);
-        let threads = self.threads();
-        let nproc = self.programs.len();
-
-        // Announce the initial process on each thread (processes are
-        // partitioned across threads by index parity).
-        for t in 0..threads {
-            let first = (0..nproc).find(|p| p % threads == t).unwrap_or(0);
-            self.current[t] = first;
-            trace.events.push(TraceEvent::ContextSwitch {
-                tid: t as u8,
-                entity: self.entity_for(first),
-            });
+    /// Advances the emission by one slice (the stream prologue or one
+    /// user-branch / kernel-excursion step), appending events to `out`.
+    /// Returns `false` once the branch budget is exhausted. Overshoot from
+    /// the final kernel excursion is trimmed inside the slice, so the
+    /// cumulative branch count lands exactly on the budget.
+    fn step(&mut self, plan: &mut StreamPlan, out: &mut Vec<TraceEvent>) -> bool {
+        if !plan.started {
+            plan.started = true;
+            // Announce the initial process on each thread (processes are
+            // partitioned across threads by index parity).
+            let threads = self.threads();
+            let nproc = self.programs.len();
+            for t in 0..threads {
+                let first = (0..nproc).find(|p| p % threads == t).unwrap_or(0);
+                self.current[t] = first;
+                out.push(TraceEvent::ContextSwitch {
+                    tid: t as u8,
+                    entity: self.entity_for(first),
+                });
+            }
+            return true;
+        }
+        if plan.emitted >= plan.budget {
+            return false;
         }
 
+        let threads = self.threads();
+        let nproc = self.programs.len();
         let p_sys = self.profile.syscalls_per_1k / 1000.0;
         let p_ctx = self.profile.ctx_switches_per_1k / 1000.0;
         let p_irq = self.profile.interrupts_per_1k / 1000.0;
 
-        let mut emitted = 0usize;
-        let mut tid = 0usize;
-        let mut chunk = 0usize;
-        while emitted < branches {
-            // Thread time-slicing for two-thread traces.
-            chunk += 1;
-            if threads == 2 && chunk.is_multiple_of(THREAD_CHUNK) {
-                tid = 1 - tid;
-            }
-
-            let roll: f64 = self.rng.gen();
-            if roll < p_ctx && nproc > 1 {
-                // Scheduler: kernel entry, scheduler body, switch, exit.
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: true,
-                });
-                let n = self.rng.gen_range(SCHED_LEN.0..=SCHED_LEN.1);
-                let mut buf = Vec::new();
-                self.kernel_run(&mut buf, tid, n);
-                emitted += buf.len();
-                trace.events.append(&mut buf);
-                // Round-robin among this thread's processes.
-                let mine: Vec<usize> = (0..nproc)
-                    .filter(|p| p % threads == tid % threads)
-                    .collect();
-                let pos = mine
-                    .iter()
-                    .position(|&p| p == self.current[tid])
-                    .unwrap_or(0);
-                let next = mine[(pos + 1) % mine.len()];
-                self.current[tid] = next;
-                trace.events.push(TraceEvent::ContextSwitch {
-                    tid: tid as u8,
-                    entity: self.entity_for(next),
-                });
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: false,
-                });
-            } else if roll < p_ctx + p_sys {
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: true,
-                });
-                let n = self.rng.gen_range(SYSCALL_LEN.0..=SYSCALL_LEN.1);
-                let mut buf = Vec::new();
-                self.kernel_run(&mut buf, tid, n);
-                emitted += buf.len();
-                trace.events.append(&mut buf);
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: false,
-                });
-            } else if roll < p_ctx + p_sys + p_irq {
-                trace.events.push(TraceEvent::Interrupt { tid: tid as u8 });
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: true,
-                });
-                let n = self.rng.gen_range(IRQ_LEN.0..=IRQ_LEN.1);
-                let mut buf = Vec::new();
-                self.kernel_run(&mut buf, tid, n);
-                emitted += buf.len();
-                trace.events.append(&mut buf);
-                trace.events.push(TraceEvent::ModeSwitch {
-                    tid: tid as u8,
-                    kernel: false,
-                });
-            } else {
-                let proc_idx = self.current[tid];
-                let mut rec = self.walkers[proc_idx].next(&self.programs[proc_idx]);
-                rec.gap = Self::sample_gap(&mut self.rng, self.profile.gap_mean);
-                trace.events.push(TraceEvent::Branch {
-                    tid: tid as u8,
-                    rec,
-                });
-                emitted += 1;
-            }
+        // Thread time-slicing for two-thread traces.
+        plan.chunk += 1;
+        if threads == 2 && plan.chunk.is_multiple_of(THREAD_CHUNK) {
+            plan.tid = 1 - plan.tid;
         }
-        // Trim overshoot from the last kernel run so the count is exact.
-        while trace.branch_count() > branches {
-            let pos = trace
-                .events
+        let tid = plan.tid;
+
+        let roll: f64 = self.rng.gen();
+        if roll < p_ctx && nproc > 1 {
+            // Scheduler: kernel entry, scheduler body, switch, exit.
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: true,
+            });
+            let n = self.rng.gen_range(SCHED_LEN.0..=SCHED_LEN.1);
+            self.kernel_run(out, tid, n);
+            plan.emitted += n as usize;
+            // Round-robin among this thread's processes.
+            let mine: Vec<usize> = (0..nproc)
+                .filter(|p| p % threads == tid % threads)
+                .collect();
+            let pos = mine
+                .iter()
+                .position(|&p| p == self.current[tid])
+                .unwrap_or(0);
+            let next = mine[(pos + 1) % mine.len()];
+            self.current[tid] = next;
+            out.push(TraceEvent::ContextSwitch {
+                tid: tid as u8,
+                entity: self.entity_for(next),
+            });
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: false,
+            });
+        } else if roll < p_ctx + p_sys {
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: true,
+            });
+            let n = self.rng.gen_range(SYSCALL_LEN.0..=SYSCALL_LEN.1);
+            self.kernel_run(out, tid, n);
+            plan.emitted += n as usize;
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: false,
+            });
+        } else if roll < p_ctx + p_sys + p_irq {
+            out.push(TraceEvent::Interrupt { tid: tid as u8 });
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: true,
+            });
+            let n = self.rng.gen_range(IRQ_LEN.0..=IRQ_LEN.1);
+            self.kernel_run(out, tid, n);
+            plan.emitted += n as usize;
+            out.push(TraceEvent::ModeSwitch {
+                tid: tid as u8,
+                kernel: false,
+            });
+        } else {
+            let proc_idx = self.current[tid];
+            let mut rec = self.walkers[proc_idx].next(&self.programs[proc_idx]);
+            rec.gap = Self::sample_gap(&mut self.rng, self.profile.gap_mean);
+            out.push(TraceEvent::Branch {
+                tid: tid as u8,
+                rec,
+            });
+            plan.emitted += 1;
+        }
+
+        // Trim overshoot from a final kernel excursion so the cumulative
+        // branch count is exact (all excess branches live in this slice).
+        while plan.emitted > plan.budget {
+            let pos = out
                 .iter()
                 .rposition(|e| matches!(e, TraceEvent::Branch { .. }))
-                .expect("has branches");
-            trace.events.remove(pos);
+                .expect("overshooting slice has branches");
+            out.remove(pos);
+            plan.emitted -= 1;
+        }
+        true
+    }
+
+    /// Generates a trace containing exactly `branches` branch events
+    /// (kernel branches included).
+    pub fn generate(&mut self, branches: usize) -> Trace {
+        let mut trace = Trace::new(self.profile.name);
+        let mut plan = StreamPlan::new(branches);
+        let mut slice = Vec::new();
+        while self.step(&mut plan, &mut slice) {
+            for ev in slice.drain(..) {
+                trace.push(ev);
+            }
         }
         trace
+    }
+
+    /// Converts the generator into a streaming [`EventSource`] emitting
+    /// exactly `branches` branch events — generate-as-you-simulate with
+    /// O(1) memory, never materializing the event vector.
+    pub fn into_source(self, branches: usize) -> GeneratorSource {
+        GeneratorSource {
+            gen: self,
+            plan: StreamPlan::new(branches),
+            buf: VecDeque::new(),
+        }
+    }
+}
+
+/// Streaming [`EventSource`] over a [`TraceGenerator`] (see
+/// [`TraceGenerator::into_source`]). Holds at most one emission slice
+/// (≤ ~100 events) of look-ahead regardless of run length.
+pub struct GeneratorSource {
+    gen: TraceGenerator,
+    plan: StreamPlan,
+    /// Pending events of the current slice, drained front to back. The
+    /// capacity is reused across slices — the hot path allocates nothing.
+    buf: VecDeque<TraceEvent>,
+}
+
+impl GeneratorSource {
+    /// Refills `buf` with the next slice; false at end of stream.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.buf.is_empty());
+        // step() wants a Vec (it trims overshoot by position); borrow the
+        // deque's storage as that Vec so its capacity is reused.
+        let mut slice = Vec::from(std::mem::take(&mut self.buf));
+        slice.clear();
+        let more = self.gen.step(&mut self.plan, &mut slice);
+        self.buf = VecDeque::from(slice);
+        more
+    }
+}
+
+impl EventSource for GeneratorSource {
+    fn name(&self) -> &str {
+        self.gen.profile_name()
+    }
+
+    fn thread_count(&self) -> usize {
+        self.gen.threads()
+    }
+
+    fn branch_hint(&self) -> Option<u64> {
+        Some(self.plan.budget as u64)
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError> {
+        while self.buf.is_empty() {
+            if !self.refill() {
+                return Ok(None);
+            }
+        }
+        Ok(self.buf.pop_front())
     }
 }
 
@@ -265,7 +376,7 @@ mod tests {
     fn mode_switches_are_balanced() {
         let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(5000);
         let mut depth = 0i32;
-        for e in &t.events {
+        for e in t.events() {
             match e {
                 TraceEvent::ModeSwitch { kernel: true, .. } => depth += 1,
                 TraceEvent::ModeSwitch { kernel: false, .. } => depth -= 1,
@@ -280,7 +391,7 @@ mod tests {
     fn kernel_branches_live_in_kernel_windows() {
         let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(5000);
         let mut in_kernel = [false; 2];
-        for e in &t.events {
+        for e in t.events() {
             match e {
                 TraceEvent::ModeSwitch { tid, kernel } => in_kernel[*tid as usize] = *kernel,
                 TraceEvent::Branch { tid, rec } => {
@@ -301,7 +412,7 @@ mod tests {
         let t = TraceGenerator::new(p, 5).generate(20_000);
         let mut tids = std::collections::HashSet::new();
         let mut entities = std::collections::HashSet::new();
-        for e in &t.events {
+        for e in t.events() {
             match e {
                 TraceEvent::Branch { tid, .. } => {
                     tids.insert(*tid);
@@ -339,9 +450,30 @@ mod tests {
         let p = profiles::by_name("505.mcf").unwrap();
         let a = TraceGenerator::new(p, 77).generate(3000);
         let b = TraceGenerator::new(p, 77).generate(3000);
-        assert_eq!(a.events, b.events);
+        assert_eq!(a.events(), b.events());
         let c = TraceGenerator::new(p, 78).generate(3000);
-        assert_ne!(a.events, c.events);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn streamed_events_bit_identical_to_generate() {
+        for name in ["505.mcf", "apache2_prefork_c128"] {
+            let p = profiles::by_name(name).unwrap();
+            let materialized = TraceGenerator::new(p, 31).generate(4_000);
+            let mut src = TraceGenerator::new(p, 31).into_source(4_000);
+            assert_eq!(src.name(), name);
+            assert_eq!(src.branch_hint(), Some(4_000));
+            let streamed = src.collect_trace().unwrap();
+            assert_eq!(streamed.events(), materialized.events(), "{name}");
+            assert_eq!(src.next_event().unwrap(), None, "exhausted stays exhausted");
+        }
+    }
+
+    #[test]
+    fn source_declares_generator_threads() {
+        let p = profiles::by_name("apache2_prefork_c128").unwrap();
+        let src = TraceGenerator::new(p, 1).into_source(100);
+        assert_eq!(src.thread_count(), 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Branch-trace substrate: trace format and synthetic workload generation.
+//! Branch-trace substrate: trace format, streaming event sources, and
+//! synthetic workload generation.
 //!
 //! The paper evaluates prediction accuracy on Intel Processor Trace
 //! captures of a live machine — SPEC CPU 2017 plus user/server applications
@@ -14,20 +15,34 @@
 //! [`TraceGenerator`] walks per-entity synthetic programs (functions,
 //! loops, periodic conditionals, indirect jumps with context-dependent
 //! targets, well-nested calls/returns) and interleaves kernel excursions —
-//! producing a [`Trace`] of [`TraceEvent`]s any `stbpu_bpu::Bpu` model can
+//! producing a stream of [`TraceEvent`]s any `stbpu_bpu::Bpu` model can
 //! consume.
+//!
+//! # Materialized and streaming traces
+//!
+//! Consumers choose between two representations:
+//!
+//! * [`Trace`] — a fully materialized event vector with O(1) metadata
+//!   (thread/branch counts maintained incrementally);
+//! * [`EventSource`] — a streaming iterator of events plus declared
+//!   metadata. [`Trace::source`] adapts a materialized trace,
+//!   [`TraceGenerator::into_source`] streams generate-as-you-simulate with
+//!   O(1) memory (10M+ branch runs never build a vector), and
+//!   [`serialize::TraceReader`] streams the line-format file format.
 //!
 //! # Example
 //!
 //! ```
-//! use stbpu_trace::{profiles, TraceGenerator};
+//! use stbpu_trace::{profiles, EventSource, TraceGenerator};
 //!
 //! let profile = profiles::by_name("505.mcf").unwrap();
 //! let trace = TraceGenerator::new(profile, 42).generate(2_000);
 //! assert_eq!(trace.branch_count(), 2_000);
-//! // Same seed, same trace.
-//! let again = TraceGenerator::new(profile, 42).generate(2_000);
-//! assert_eq!(trace.events.len(), again.events.len());
+//!
+//! // The streaming path yields bit-identical events without materializing.
+//! let mut src = TraceGenerator::new(profile, 42).into_source(2_000);
+//! let streamed = src.collect_trace().unwrap();
+//! assert_eq!(streamed.events(), trace.events());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,7 +53,9 @@ mod generator;
 pub mod profiles;
 mod program;
 pub mod serialize;
+mod source;
 
 pub use event::{Trace, TraceEvent};
-pub use generator::TraceGenerator;
+pub use generator::{GeneratorSource, TraceGenerator};
 pub use profiles::{WorkloadClass, WorkloadProfile};
+pub use source::{EventSource, SourceError, TraceSource};

@@ -5,13 +5,21 @@
 //!
 //! ```text
 //! # trace <name>
+//! # branches <n>      (optional metadata, written by write_trace)
+//! # threads <n>
 //! B <tid> <pc> <kind> <taken> <target> <ilen> <gap>
 //! C <tid> <entity>
 //! M <tid> <0|1>
 //! I <tid>
 //! ```
+//!
+//! Reading is streaming-first: [`TraceReader`] implements
+//! [`crate::EventSource`] over any `BufRead`, parsing one line per pulled
+//! event so arbitrarily large files simulate in O(1) memory;
+//! [`read_trace`] is the materializing wrapper over it.
 
 use crate::event::{Trace, TraceEvent};
+use crate::source::{EventSource, SourceError};
 use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -30,6 +38,12 @@ impl fmt::Display for ParseTraceError {
 }
 
 impl std::error::Error for ParseTraceError {}
+
+impl From<ParseTraceError> for SourceError {
+    fn from(e: ParseTraceError) -> Self {
+        SourceError(e.to_string())
+    }
+}
 
 fn kind_code(k: BranchKind) -> &'static str {
     match k {
@@ -54,7 +68,9 @@ fn kind_from(code: &str) -> Option<BranchKind> {
     })
 }
 
-/// Writes `trace` in the line format.
+/// Writes `trace` in the line format, including the `# branches` /
+/// `# threads` metadata headers streaming readers use as declared
+/// [`crate::EventSource`] metadata.
 ///
 /// # Errors
 ///
@@ -62,7 +78,9 @@ fn kind_from(code: &str) -> Option<BranchKind> {
 /// `Write` implementor can be passed by mutable reference.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
     writeln!(w, "# trace {}", trace.name)?;
-    for ev in &trace.events {
+    writeln!(w, "# branches {}", trace.branch_count())?;
+    writeln!(w, "# threads {}", trace.thread_count())?;
+    for ev in trace.events() {
         match ev {
             TraceEvent::Branch { tid, rec } => writeln!(
                 w,
@@ -83,76 +101,233 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace from the line format.
+fn parse_event(line: &str, ln: usize) -> Result<TraceEvent, ParseTraceError> {
+    let err = |msg: &str| ParseTraceError {
+        line: ln,
+        msg: msg.to_string(),
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let tag = parts.next().ok_or_else(|| err("empty record"))?;
+    let mut next = || parts.next().ok_or_else(|| err("missing field"));
+    Ok(match tag {
+        "B" => {
+            let tid: u8 = next()?.parse().map_err(|_| err("bad tid"))?;
+            let pc = u64::from_str_radix(next()?, 16).map_err(|_| err("bad pc"))?;
+            let kind = kind_from(next()?).ok_or_else(|| err("bad kind"))?;
+            let taken = next()? == "1";
+            let target = u64::from_str_radix(next()?, 16).map_err(|_| err("bad target"))?;
+            let ilen: u8 = next()?.parse().map_err(|_| err("bad ilen"))?;
+            let gap: u16 = next()?.parse().map_err(|_| err("bad gap"))?;
+            TraceEvent::Branch {
+                tid,
+                rec: BranchRecord {
+                    pc: VirtAddr::new(pc),
+                    kind,
+                    taken,
+                    target: VirtAddr::new(target),
+                    ilen,
+                    gap,
+                },
+            }
+        }
+        "C" => {
+            let tid: u8 = next()?.parse().map_err(|_| err("bad tid"))?;
+            let e: u32 = next()?.parse().map_err(|_| err("bad entity"))?;
+            TraceEvent::ContextSwitch {
+                tid,
+                entity: EntityId(e),
+            }
+        }
+        "M" => {
+            let tid: u8 = next()?.parse().map_err(|_| err("bad tid"))?;
+            let k = next()? == "1";
+            TraceEvent::ModeSwitch { tid, kernel: k }
+        }
+        "I" => {
+            let tid: u8 = next()?.parse().map_err(|_| err("bad tid"))?;
+            TraceEvent::Interrupt { tid }
+        }
+        other => return Err(err(&format!("unknown record '{other}'"))),
+    })
+}
+
+/// Streaming line-format reader: a buffered [`crate::EventSource`] parsing
+/// one line per pulled event, so file size never bounds memory.
+///
+/// Metadata headers (`# trace`, `# branches`, `# threads`) written by
+/// [`write_trace`] are consumed eagerly at construction (they lead the
+/// file), populating the declared source metadata; header lines appearing
+/// later in the stream are still honored as they are reached.
+///
+/// ```
+/// use stbpu_trace::serialize::{write_trace, TraceReader};
+/// use stbpu_trace::{EventSource, TraceGenerator, WorkloadProfile};
+///
+/// let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(200);
+/// let mut buf = Vec::new();
+/// write_trace(&t, &mut buf).unwrap();
+///
+/// let mut src = TraceReader::new(buf.as_slice()).unwrap();
+/// assert_eq!(src.name(), t.name);
+/// assert_eq!(src.branch_hint(), Some(200));
+/// assert_eq!(src.collect_trace().unwrap().events(), t.events());
+/// ```
+pub struct TraceReader<R: BufRead> {
+    reader: R,
+    name: String,
+    branch_hint: Option<u64>,
+    threads: usize,
+    line_no: usize,
+    /// First record line, consumed while skipping the header block.
+    pending: Option<(String, usize)>,
+    done: bool,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps `reader`, eagerly consuming the leading header/comment block
+    /// so name and metadata are available before the first event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] when the header block cannot be read.
+    pub fn new(reader: R) -> Result<Self, ParseTraceError> {
+        let mut tr = TraceReader {
+            reader,
+            name: "unnamed".to_string(),
+            branch_hint: None,
+            threads: 0,
+            line_no: 0,
+            pending: None,
+            done: false,
+        };
+        // Skip the leading comment/blank block, recording metadata.
+        loop {
+            let Some((line, ln)) = tr.read_line()? else {
+                tr.done = true;
+                break;
+            };
+            if tr.absorb_header(&line, ln)? {
+                continue;
+            }
+            tr.pending = Some((line, ln));
+            break;
+        }
+        Ok(tr)
+    }
+
+    /// Reads the next non-empty trimmed line; `None` at EOF.
+    fn read_line(&mut self) -> Result<Option<(String, usize)>, ParseTraceError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            self.line_no += 1;
+            let n = self
+                .reader
+                .read_line(&mut buf)
+                .map_err(|e| ParseTraceError {
+                    line: self.line_no,
+                    msg: e.to_string(),
+                })?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let line = buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            return Ok(Some((line.to_string(), self.line_no)));
+        }
+    }
+
+    /// Processes a header/comment line (`Ok(true)`); `Ok(false)` for
+    /// record lines. A recognized metadata header with an unparsable value
+    /// is a hard error, like a malformed record.
+    fn absorb_header(&mut self, line: &str, ln: usize) -> Result<bool, ParseTraceError> {
+        let err = |msg: &str| ParseTraceError {
+            line: ln,
+            msg: msg.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix("# trace ") {
+            self.name = rest.to_string();
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix("# branches ") {
+            self.branch_hint = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| err("bad '# branches' header"))?,
+            );
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix("# threads ") {
+            self.threads = rest
+                .trim()
+                .parse()
+                .map_err(|_| err("bad '# threads' header"))?;
+            return Ok(true);
+        }
+        Ok(line.starts_with('#'))
+    }
+
+    /// Pulls the next event (typed error, used by [`read_trace`]).
+    pub fn next_record(&mut self) -> Result<Option<TraceEvent>, ParseTraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let (line, ln) = match self.pending.take() {
+            Some(p) => p,
+            None => loop {
+                match self.read_line()? {
+                    None => {
+                        self.done = true;
+                        return Ok(None);
+                    }
+                    Some((line, ln)) => {
+                        if self.absorb_header(&line, ln)? {
+                            continue;
+                        }
+                        break (line, ln);
+                    }
+                }
+            },
+        };
+        parse_event(&line, ln).map(Some)
+    }
+}
+
+impl<R: BufRead> EventSource for TraceReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    fn branch_hint(&self) -> Option<u64> {
+        self.branch_hint
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError> {
+        self.next_record().map_err(SourceError::from)
+    }
+}
+
+/// Reads a whole trace from the line format (materializing wrapper over
+/// [`TraceReader`]).
 ///
 /// # Errors
 ///
 /// Returns [`ParseTraceError`] on malformed lines; I/O errors are reported
 /// as parse errors carrying the line number.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
-    let mut trace = Trace::new("unnamed");
-    let err = |line: usize, msg: &str| ParseTraceError {
-        line,
-        msg: msg.to_string(),
-    };
-    for (ln, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| err(ln + 1, &e.to_string()))?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# trace ") {
-            trace.name = rest.to_string();
-            continue;
-        }
-        if line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_ascii_whitespace();
-        let tag = parts.next().ok_or_else(|| err(ln + 1, "empty record"))?;
-        let mut next = || parts.next().ok_or_else(|| err(ln + 1, "missing field"));
-        match tag {
-            "B" => {
-                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
-                let pc = u64::from_str_radix(next()?, 16).map_err(|_| err(ln + 1, "bad pc"))?;
-                let kind = kind_from(next()?).ok_or_else(|| err(ln + 1, "bad kind"))?;
-                let taken = next()? == "1";
-                let target =
-                    u64::from_str_radix(next()?, 16).map_err(|_| err(ln + 1, "bad target"))?;
-                let ilen: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad ilen"))?;
-                let gap: u16 = next()?.parse().map_err(|_| err(ln + 1, "bad gap"))?;
-                trace.events.push(TraceEvent::Branch {
-                    tid,
-                    rec: BranchRecord {
-                        pc: VirtAddr::new(pc),
-                        kind,
-                        taken,
-                        target: VirtAddr::new(target),
-                        ilen,
-                        gap,
-                    },
-                });
-            }
-            "C" => {
-                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
-                let e: u32 = next()?.parse().map_err(|_| err(ln + 1, "bad entity"))?;
-                trace.events.push(TraceEvent::ContextSwitch {
-                    tid,
-                    entity: EntityId(e),
-                });
-            }
-            "M" => {
-                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
-                let k = next()? == "1";
-                trace.events.push(TraceEvent::ModeSwitch { tid, kernel: k });
-            }
-            "I" => {
-                let tid: u8 = next()?.parse().map_err(|_| err(ln + 1, "bad tid"))?;
-                trace.events.push(TraceEvent::Interrupt { tid });
-            }
-            other => return Err(err(ln + 1, &format!("unknown record '{other}'"))),
-        }
+    let mut reader = TraceReader::new(r)?;
+    let mut trace = Trace::new(&reader.name);
+    while let Some(ev) = reader.next_record()? {
+        trace.push(ev);
     }
+    // The name may have been refined by a late `# trace` header.
+    trace.name = reader.name;
     Ok(trace)
 }
 
@@ -168,7 +343,44 @@ mod tests {
         write_trace(&t, &mut buf).expect("write");
         let back = read_trace(buf.as_slice()).expect("parse");
         assert_eq!(back.name, t.name);
-        assert_eq!(back.events, t.events);
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.branch_count(), 2_000);
+    }
+
+    #[test]
+    fn reader_streams_with_declared_metadata() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).generate(300);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        let mut src = TraceReader::new(buf.as_slice()).expect("header");
+        assert_eq!(src.name(), t.name);
+        assert_eq!(src.branch_hint(), Some(300));
+        assert_eq!(src.thread_count(), t.thread_count());
+        let back = src.collect_trace().expect("stream");
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn malformed_metadata_headers_are_hard_errors() {
+        let e = TraceReader::new("# branches 3O00\nI 0\n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("bad '# branches'"), "{e}");
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = TraceReader::new("# threads x\n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("bad '# threads'"), "{e}");
+        // Free-form comments are still skipped.
+        assert!(TraceReader::new("# threadsafe note\n# branches-ish\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn headerless_files_have_no_hints() {
+        let src = TraceReader::new("I 1\n".as_bytes()).expect("header");
+        assert_eq!(src.name(), "unnamed");
+        assert_eq!(src.branch_hint(), None);
+        assert_eq!(src.thread_count(), 0);
     }
 
     #[test]
@@ -181,8 +393,21 @@ mod tests {
     }
 
     #[test]
+    fn malformed_line_number_is_exact_mid_file() {
+        let e = read_trace("# trace x\nI 0\nB 0 zz cc 1 40 4 0\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
     fn comments_and_blanks_skipped() {
         let t = read_trace("# comment\n\nI 1\n".as_bytes()).expect("parse");
-        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn late_headers_still_rename() {
+        let t = read_trace("I 0\n# trace late\nI 1\n".as_bytes()).expect("parse");
+        assert_eq!(t.name, "late");
+        assert_eq!(t.len(), 2);
     }
 }

@@ -1,0 +1,154 @@
+//! Streaming event sources — the interface the incremental simulator
+//! consumes instead of a fully materialized [`Trace`].
+//!
+//! The paper's evaluation pushes billions of Intel PT branch events through
+//! each protection scheme; materializing such a stream as a
+//! `Vec<TraceEvent>` caps run length by RAM. An [`EventSource`] yields
+//! events one at a time and declares its metadata up front (name, thread
+//! provision, expected branch count), so consumers can size per-thread
+//! state and resolve warm-up fractions without a first pass over the data.
+//!
+//! Three implementations ship with the workspace:
+//!
+//! * [`TraceSource`] — a view over an in-memory [`Trace`];
+//! * [`crate::GeneratorSource`] — generate-as-you-simulate from a
+//!   [`crate::TraceGenerator`], O(1) memory for any run length;
+//! * [`crate::serialize::TraceReader`] — buffered line-format file reader.
+//!
+//! # Example
+//!
+//! ```
+//! use stbpu_trace::{EventSource, TraceGenerator, WorkloadProfile};
+//!
+//! // Streaming: no 10M-branch vector is ever materialized.
+//! let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).into_source(5_000);
+//! assert_eq!(src.branch_hint(), Some(5_000));
+//! let mut branches = 0u64;
+//! while let Some(ev) = src.next_event().unwrap() {
+//!     if matches!(ev, stbpu_trace::TraceEvent::Branch { .. }) {
+//!         branches += 1;
+//!     }
+//! }
+//! assert_eq!(branches, 5_000);
+//! ```
+
+use crate::event::{Trace, TraceEvent};
+use std::fmt;
+
+/// Error produced while pulling events out of a source (I/O failures,
+/// malformed serialized records, a failing custom source, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceError(pub String);
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event source failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<std::io::Error> for SourceError {
+    fn from(e: std::io::Error) -> Self {
+        SourceError(e.to_string())
+    }
+}
+
+/// A streaming supplier of [`TraceEvent`]s plus declared metadata.
+///
+/// Implementations yield events strictly in order; once `next_event`
+/// returns `Ok(None)` the source is exhausted and must keep returning
+/// `Ok(None)`.
+pub trait EventSource {
+    /// Workload name (used in report labels).
+    fn name(&self) -> &str;
+
+    /// Declared number of hardware threads the stream occupies, or 0 when
+    /// the source cannot know in advance (e.g. a headerless trace file).
+    /// Consumers fall back to their own provision for 0.
+    fn thread_count(&self) -> usize;
+
+    /// Expected number of branch events, when known — lets consumers
+    /// resolve warm-up fractions without a first pass. `None` when the
+    /// source cannot know (e.g. a file without a `# branches` header).
+    fn branch_hint(&self) -> Option<u64>;
+
+    /// Pulls the next event, `Ok(None)` at end of stream.
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError>;
+
+    /// Drains the source into a materialized [`Trace`] (name and events
+    /// preserved). Mostly useful in tests and for small streams.
+    fn collect_trace(&mut self) -> Result<Trace, SourceError> {
+        let mut t = Trace::new(self.name());
+        while let Some(ev) = self.next_event()? {
+            t.push(ev);
+        }
+        // Re-read the name: a source may refine it mid-stream (a trace
+        // file can carry a late `# trace` header).
+        t.name = self.name().to_string();
+        Ok(t)
+    }
+}
+
+/// Streaming view over a materialized [`Trace`].
+///
+/// ```
+/// use stbpu_trace::{EventSource, Trace, TraceEvent};
+///
+/// let mut t = Trace::new("demo");
+/// t.push(TraceEvent::Interrupt { tid: 0 });
+/// let mut src = t.source();
+/// assert_eq!(src.branch_hint(), Some(0));
+/// assert!(matches!(src.next_event().unwrap(), Some(TraceEvent::Interrupt { .. })));
+/// assert!(src.next_event().unwrap().is_none());
+/// ```
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// A source reading `trace` from the beginning.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource { trace, pos: 0 }
+    }
+}
+
+impl EventSource for TraceSource<'_> {
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+
+    fn thread_count(&self) -> usize {
+        self.trace.thread_count()
+    }
+
+    fn branch_hint(&self) -> Option<u64> {
+        Some(self.trace.branch_count() as u64)
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError> {
+        let ev = self.trace.events().get(self.pos).copied();
+        self.pos += usize::from(ev.is_some());
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceGenerator, WorkloadProfile};
+
+    #[test]
+    fn trace_source_replays_events_in_order() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(500);
+        let mut src = t.source();
+        assert_eq!(src.name(), t.name);
+        assert_eq!(src.thread_count(), t.thread_count());
+        assert_eq!(src.branch_hint(), Some(500));
+        let back = src.collect_trace().unwrap();
+        assert_eq!(back.events(), t.events());
+        // Exhausted sources stay exhausted.
+        assert_eq!(src.next_event().unwrap(), None);
+    }
+}

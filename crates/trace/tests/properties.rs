@@ -59,7 +59,7 @@ proptest! {
 
         let mut depth = [0i32; 2];
         let mut shadows: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
-        for ev in &trace.events {
+        for ev in trace.events() {
             match ev {
                 TraceEvent::ModeSwitch { tid, kernel } => {
                     depth[*tid as usize] += if *kernel { 1 } else { -1 };
@@ -87,7 +87,7 @@ proptest! {
     fn generation_deterministic(p in arb_profile(), seed in any::<u64>()) {
         let a = TraceGenerator::new(&p, seed).generate(800);
         let b = TraceGenerator::new(&p, seed).generate(800);
-        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.events(), b.events());
     }
 
     /// Instruction counts are consistent with branch counts and gaps.
