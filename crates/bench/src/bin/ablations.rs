@@ -1,91 +1,8 @@
-//! Accuracy-side ablations for the design choices documented in
-//! DESIGN.md §5 (the latency-side ablations live in `benches/ablations.rs`):
-//!
-//! 1. SKL hybrid chooser vs plain gshare vs one-level only.
-//! 2. Separate TAGE-misprediction threshold register on/off in SMT.
-//! 3. Remap statistical quality: generated circuits vs software mixer.
-//!
-//! Ablation models are composed declaratively through the engine's
-//! [`ModelSpec`] API — the open replacement for hand-assembled `FullBpu`s.
-
-use stbpu_bench::{branches, rule, seed};
-use stbpu_core::StConfig;
-use stbpu_engine::{MapperSpec, ModelSpec, PredictorSpec};
-use stbpu_pipeline::{run_smt, MemoryProfile, PipelineConfig};
-use stbpu_remap::analysis;
-use stbpu_sim::{simulate, Protection};
-use stbpu_trace::{profiles, TraceGenerator};
+//! Thin shim over [`stbpu_bench::figures::ablations`]: the `stbpu figures
+//! ablations` subcommand runs the same implementation; this binary keeps the
+//! historical `cargo run --bin ablations` interface (scaled by the
+//! `STBPU_*` environment knobs).
 
 fn main() {
-    let n = (branches() / 2).max(20_000);
-    let seed = seed();
-
-    // --- Ablation 1: conditional predictor composition ---
-    println!("Ablation 1 — SKL hybrid vs plain gshare (direction rate)");
-    rule(64);
-    let p = profiles::se_profile(profiles::by_name("541.leela").expect("profile"));
-    let trace = TraceGenerator::new(&p, seed).generate(n);
-    for spec in [
-        ModelSpec::new("hybrid", PredictorSpec::SklCond, MapperSpec::Baseline),
-        ModelSpec::new(
-            "gshare",
-            PredictorSpec::Gshare { bits: 14 },
-            MapperSpec::Baseline,
-        ),
-    ] {
-        let mut model = spec.build(seed);
-        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.0);
-        println!("  {:<38} {:.4}", spec.label, report.direction_rate);
-    }
-    println!("  (hybrid = 1-level + 2-level + chooser; gshare = 2-level only)");
-    println!();
-
-    // --- Ablation 2: separate TAGE threshold register in SMT ---
-    println!("Ablation 2 — separate TAGE misprediction register (ST TAGE64, SMT)");
-    rule(64);
-    let pa = profiles::se_profile(profiles::by_name("503.bwaves").expect("profile"));
-    let pb = profiles::se_profile(profiles::by_name("505.mcf").expect("profile"));
-    let ta = TraceGenerator::new(&pa, seed).generate(n);
-    let tb = TraceGenerator::new(&pb, seed ^ 9).generate(n);
-    let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
-    let cfg = PipelineConfig::table4();
-    for separate in [true, false] {
-        let st_cfg = StConfig {
-            separate_tage_register: separate,
-            ..StConfig::with_r(0.002)
-        };
-        let spec = ModelSpec::new(
-            if separate {
-                "ST_TAGE64(sep)"
-            } else {
-                "ST_TAGE64(shared)"
-            },
-            PredictorSpec::Tage64,
-            MapperSpec::SecretToken(st_cfg),
-        );
-        let mut st = spec.build(seed);
-        let r = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
-        println!(
-            "  separate={separate:<5} dir rate {:.4}, Hmean IPC {:.3}, re-randomizations {}",
-            r.direction_rate, r.hmean_ipc, r.rerandomizations
-        );
-    }
-    println!("  (the separate register shields the token from TAGE training noise)");
-    println!();
-
-    // --- Ablation 3: remap circuit quality vs software mixer ---
-    println!("Ablation 3 — statistical quality: generated circuits vs mul-xor mixer");
-    rule(64);
-    let set = stbpu_remap::RemapSet::standard();
-    for (name, c) in set.circuits() {
-        let av = analysis::avalanche(c, 300, 11);
-        println!(
-            "  {name}: avalanche {:.3} (ideal 0.5), critical path {}T (budget 45T)",
-            av.mean_hd,
-            c.cost().critical_path
-        );
-    }
-    println!(
-        "  mul-xor mixer: avalanche ~0.5 but needs a 64x64 multiplier (~3-5 cycles) — fails C1"
-    );
+    stbpu_bench::figures::ablations::run(&stbpu_bench::Knobs::from_env());
 }

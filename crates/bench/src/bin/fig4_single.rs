@@ -1,78 +1,8 @@
-//! Figure 4: single-workload pipeline evaluation — reduction of direction
-//! and target prediction rates and normalized IPC for the four ST models
-//! against their unprotected counterparts, over 18 SPEC CPU 2017 workloads.
-
-use stbpu_bench::{branches, mean, parallel_map, rule, seed};
-use stbpu_engine::ModelRegistry;
-use stbpu_pipeline::{run_single, MemoryProfile, PipelineConfig};
-use stbpu_trace::{profiles, TraceGenerator};
-
-/// The four (baseline, ST) registry pairs of the Figure 4 columns.
-const PAIRS: [(&str, &str); 4] = [
-    ("skl", "st_skl"),
-    ("tage8", "st_tage8"),
-    ("tage64", "st_tage64"),
-    ("perceptron", "st_perceptron"),
-];
+//! Thin shim over [`stbpu_bench::figures::fig4`]: the `stbpu figures
+//! fig4` subcommand runs the same implementation; this binary keeps the
+//! historical `cargo run --bin fig4_single` interface (scaled by the
+//! `STBPU_*` environment knobs).
 
 fn main() {
-    let n = branches();
-    let seed = seed();
-    let cfg = PipelineConfig::table4();
-    let registry = ModelRegistry::standard();
-    println!("Figure 4 — single-workload evaluation ({n} branches, seed {seed})");
-    println!("pipeline: {}", cfg.describe());
-    rule(112);
-    println!(
-        "{:<16} {:>22} {:>22} {:>22} {:>22}",
-        "workload", "SKLCond", "TAGE8KB", "TAGE64KB", "Perceptron"
-    );
-    println!("{:<16} {}", "", "  d-red  t-red  n-IPC".repeat(4));
-    rule(112);
-
-    let rows = parallel_map(profiles::FIG4_WORKLOADS.to_vec(), |&w| {
-        let p = profiles::se_profile(profiles::by_name(w).expect("profile"));
-        let trace = TraceGenerator::new(&p, seed).generate(n);
-        let mem = MemoryProfile::from(&p);
-        let cells: Vec<(f64, f64, f64)> = PAIRS
-            .iter()
-            .map(|&(base_spec, st_spec)| {
-                let mut base = registry.build(base_spec, seed).expect("registered");
-                let mut st = registry.build(st_spec, seed).expect("registered");
-                let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
-                let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
-                (
-                    rb.direction_rate - rs.direction_rate,
-                    rb.target_rate - rs.target_rate,
-                    rs.ipc / rb.ipc.max(1e-9),
-                )
-            })
-            .collect();
-        (w, cells)
-    });
-
-    let mut agg: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); 4];
-    for (w, cells) in &rows {
-        let short = w.split('.').nth(1).unwrap_or(w);
-        print!("{short:<16}");
-        for (m, c) in cells.iter().enumerate() {
-            print!(" {:>6.3} {:>6.3} {:>6.3}", c.0, c.1, c.2);
-            agg[m].push(*c);
-        }
-        println!();
-    }
-    rule(112);
-    print!("{:<16}", "average");
-    for column in &agg {
-        let d = mean(&column.iter().map(|c| c.0).collect::<Vec<_>>());
-        let t = mean(&column.iter().map(|c| c.1).collect::<Vec<_>>());
-        let i = mean(&column.iter().map(|c| c.2).collect::<Vec<_>>());
-        print!(" {d:>6.3} {t:>6.3} {i:>6.3}");
-    }
-    println!();
-    println!();
-    println!("paper averages (dir-red / tgt-red / norm-IPC):");
-    println!("  SKLCond    0.010 / -0.001 / 0.984   TAGE 8KB  0.011 / 0.017 / 0.969");
-    println!("  TAGE 64KB  0.009 /  0.018 / 0.977   Perceptron 0.001 / 0.012 / 1.066");
-    println!("expected shape: <2% reductions, normalized IPC within ~4% of 1.0");
+    stbpu_bench::figures::fig4::run(&stbpu_bench::Knobs::from_env());
 }

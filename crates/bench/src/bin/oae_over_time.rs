@@ -1,97 +1,8 @@
-//! OAE over time: long-horizon streaming runs through `SimSession` with
-//! the built-in interval recorder — accuracy, flush and re-randomization
-//! timelines for baseline, STBPU and microcode flushing over one workload.
-//!
-//! This is the long-horizon scenario the materialized API could not run:
-//! the stream is generated as it is simulated (O(1) memory), so
-//! `STBPU_BRANCHES=10000000` (or more) works without materializing a
-//! 10M-event vector. The re-randomization-interval column shows the
-//! defense's rhythm as thresholds accumulate.
-//!
-//! Extra knobs: `STBPU_WORKLOAD` (default `541.leela`),
-//! `STBPU_WINDOWS` — number of OAE windows printed (default 20).
-
-use stbpu_bench::{branches, rule, seed};
-use stbpu_engine::ModelRegistry;
-use stbpu_sim::{IntervalRecorder, Protection, SessionOptions, SimSession, Warmup};
-use stbpu_trace::{profiles, TraceGenerator};
+//! Thin shim over [`stbpu_bench::figures::oae_over_time`]: the `stbpu figures
+//! oae_over_time` subcommand runs the same implementation; this binary keeps the
+//! historical `cargo run --bin oae_over_time` interface (scaled by the
+//! `STBPU_*` environment knobs).
 
 fn main() {
-    let n = branches();
-    let seed = seed();
-    let workload = std::env::var("STBPU_WORKLOAD").unwrap_or_else(|_| "541.leela".to_string());
-    let windows: usize = std::env::var("STBPU_WINDOWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20)
-        .max(2);
-    let interval = (n as u64 / windows as u64).max(1);
-    let profile = profiles::by_name(&workload).unwrap_or_else(|| {
-        eprintln!("unknown workload '{workload}'");
-        std::process::exit(2);
-    });
-    let registry = ModelRegistry::standard();
-
-    println!(
-        "OAE over time — {workload}, {n} branches streamed, windows of {interval} (seed {seed})"
-    );
-    println!("(streaming session: no event vector is materialized at any run length)");
-
-    let schemes: [(&str, Protection); 3] = [
-        ("skl", Protection::Unprotected),
-        ("st_skl@r=0.05", Protection::Stbpu),
-        ("skl", Protection::Ucode1),
-    ];
-
-    let mut series = Vec::new();
-    for (spec, policy) in schemes {
-        let mut model = registry.build(spec, seed).expect("registered");
-        let mut recorder = IntervalRecorder::new();
-        let mut session = SimSession::new(
-            model.as_mut(),
-            policy,
-            SessionOptions {
-                warmup: Warmup::Branches(0),
-                interval: Some(interval),
-                ..SessionOptions::default()
-            },
-        )
-        .expect("session opens");
-        session.attach(&mut recorder);
-        let mut src = TraceGenerator::new(profile, seed).into_source(n);
-        session.run(&mut src).expect("stream simulates");
-        let report = session.finish();
-        series.push((policy.label(), report, recorder.into_windows()));
-    }
-
-    rule(96);
-    print!("{:<14}", "window start");
-    for (label, _, _) in &series {
-        print!(" {label:>18}");
-    }
-    println!(" {:>14} {:>12}", "rerand (ST)", "flush (uc1)");
-    rule(96);
-    let rows = series[0].2.len();
-    for i in 0..rows {
-        print!("{:<14}", series[0].2[i].start_branch);
-        for (_, _, windows) in &series {
-            print!(" {:>18.4}", windows[i].oae());
-        }
-        println!(
-            " {:>14} {:>12}",
-            series[1].2[i].rerandomizations, series[2].2[i].flushes
-        );
-    }
-    rule(96);
-    print!("{:<14}", "overall");
-    for (_, report, _) in &series {
-        print!(" {:>18.4}", report.oae);
-    }
-    println!(
-        " {:>14} {:>12}",
-        series[1].1.rerandomizations, series[2].1.flushes
-    );
-    println!();
-    println!("expected shape: all schemes warm up over the first windows; STBPU tracks baseline");
-    println!("closely while ucode flushing stays depressed on switch-heavy workloads.");
+    stbpu_bench::figures::oae_over_time::run(&stbpu_bench::Knobs::from_env());
 }

@@ -1,51 +1,8 @@
-//! Table I: the collision-based attack surface, executed cell by cell
-//! against the baseline BPU and STBPU.
-
-use stbpu_attacks::surface::{evaluate_surface, Vector};
-use stbpu_bench::{rule, seed};
-
-fn verdict(v: Option<bool>) -> &'static str {
-    match v {
-        Some(true) => "VULNERABLE",
-        Some(false) => "blocked",
-        None => "n/a",
-    }
-}
+//! Thin shim over [`stbpu_bench::figures::table1`]: the `stbpu figures
+//! table1` subcommand runs the same implementation; this binary keeps the
+//! historical `cargo run --bin table1_attacks` interface (scaled by the
+//! `STBPU_*` environment knobs).
 
 fn main() {
-    println!(
-        "Table I — collision-based attack surface (executed, seed {})",
-        seed()
-    );
-    rule(118);
-    println!(
-        "{:<5} {:<14} {:<12} {:<12} {:<70}",
-        "struct", "vector", "baseline", "STBPU", "scenario"
-    );
-    rule(118);
-    for c in evaluate_surface(seed()) {
-        let vec = match c.vector {
-            Vector::ReuseHome => "reuse/home",
-            Vector::ReuseAway => "reuse/away",
-            Vector::EvictionHome => "evict/home",
-            Vector::EvictionAway => "evict/away",
-        };
-        println!(
-            "{:<5} {:<14} {:<12} {:<12} {:<70}",
-            format!("{:?}", c.structure),
-            vec,
-            verdict(c.baseline_vulnerable),
-            verdict(c.stbpu_vulnerable),
-            c.description
-        );
-        println!(
-            "{:<5} {:<14} {:<12} {:<12}   note: {}",
-            "", "", "", "", c.note
-        );
-    }
-    rule(118);
-    println!("expected: baseline vulnerable in all 10 applicable cells; STBPU blocks every");
-    println!(
-        "address-revealing channel (the RSB occupancy signal survives but leaks no addresses)."
-    );
+    stbpu_bench::figures::table1::run(&stbpu_bench::Knobs::from_env());
 }

@@ -1,0 +1,32 @@
+//! Figure 2: construction of the R1 remapping function — stage structure,
+//! primitive counts and the transistor cost model, with the validation
+//! metrics of Section V-A/B.
+
+use crate::{rule, Knobs};
+use stbpu_remap::{analysis, RemapSet};
+
+/// Prints the Figure 2 construction report (scale-independent).
+pub fn run(_k: &Knobs) {
+    let set = RemapSet::standard();
+    let (_, r1) = set.circuits()[0];
+    println!("Figure 2 — R1 remapping function construction (80 -> 22 bits)");
+    rule(78);
+    print!("{}", r1.describe());
+    rule(78);
+    let cost = r1.cost();
+    println!(
+        "critical path {} series transistors (paper's R1: 36; single-cycle budget 45)",
+        cost.critical_path
+    );
+    let av = analysis::avalanche(r1, 2_000, 3);
+    println!(
+        "avalanche: mean HD {:.4} (ideal 0.5), CV {:.4}, in-bit spread {:.4}, out-bit spread {:.4}",
+        av.mean_hd, av.cv, av.input_bit_spread, av.output_bit_spread
+    );
+    let un_idx = analysis::uniformity(r1, 0, 9, 64, 5);
+    let un_tag = analysis::uniformity(r1, 9, 8, 64, 6);
+    println!(
+        "uniformity (balls/bins): index field CV {:.4} (poisson {:.4}), tag field CV {:.4} (poisson {:.4})",
+        un_idx.cv, un_idx.expected_cv, un_tag.cv, un_tag.expected_cv
+    );
+}

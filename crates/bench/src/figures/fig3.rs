@@ -1,0 +1,59 @@
+//! Figure 3: overall branch prediction accuracy (OAE) of the five
+//! protection schemes, normalized by the unprotected baseline, over the 23
+//! SPEC CPU 2017 workloads and the user/server application traces.
+
+use crate::{mean, rule, Knobs};
+use stbpu_engine::{Experiment, Scenario};
+use stbpu_trace::profiles;
+
+/// Runs the Figure 3 grid and prints the normalized-OAE table.
+pub fn run(k: &Knobs) {
+    let n = k.branches;
+    let seed = k.seed;
+    let set = Experiment::new("fig3")
+        .workloads(profiles::fig3_workloads().iter().map(|p| p.name))
+        .scenarios(Scenario::fig3())
+        .branches(n)
+        .seed(seed)
+        .warmup(0.1)
+        .run()
+        .expect("fig3 grid is valid");
+
+    println!("Figure 3 — OAE normalized by baseline ({n} branches/workload, seed {seed})");
+    rule(100);
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>8}",
+        "workload", "baseline", "STBPU", "ucode1", "ucode2", "conserv", "rerand"
+    );
+    rule(100);
+
+    let normalized = set.oae_normalized_to_first();
+    for (suite, norm) in set.suites().zip(&normalized) {
+        println!(
+            "{:<24} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {:>8}",
+            suite[0].workload,
+            suite[0].report.oae,
+            norm[0],
+            norm[1],
+            norm[2],
+            norm[3],
+            suite[1].report.rerandomizations,
+        );
+    }
+    rule(100);
+    let columns: Vec<Vec<f64>> = (0..4)
+        .map(|k| normalized.iter().map(|row| row[k]).collect())
+        .collect();
+    println!(
+        "{:<24} {:>9} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+        "average (normalized)",
+        "1.0000",
+        mean(&columns[0]),
+        mean(&columns[1]),
+        mean(&columns[2]),
+        mean(&columns[3]),
+    );
+    println!();
+    println!("paper averages: STBPU 0.99, ucode protection 0.82, ucode protection2 0.77, conservative 0.88");
+    println!("expected shape: STBPU ~1 %, microcode models >= ~10 % loss, conservative in between");
+}

@@ -1,0 +1,48 @@
+//! Table II: input/output geometry of the baseline and STBPU mapping
+//! functions, plus measured properties of the generated circuits
+//! (constraints C1–C3 of Section V).
+
+use crate::{rule, Knobs};
+use stbpu_remap::{analysis, RemapSet};
+
+/// Prints the Table II geometry/property table (scale-independent).
+pub fn run(_k: &Knobs) {
+    println!("Table II — baseline vs STBPU function I/O and measured circuit properties");
+    rule(118);
+    println!(
+        "{:<4} {:<34} {:<26} {:>6} {:>7} {:>8} {:>9} {:>10}",
+        "fn", "STBPU input", "output", "crit.T", "total.T", "layers", "avalanche", "unif. CV+"
+    );
+    rule(118);
+    let table = [
+        ("R1", "32 ψ ‖ 48 s (80b)", "9 ind + 8 tag + 5 off (22b)"),
+        ("R2", "32 ψ ‖ 58 BHB (90b)", "8 tag"),
+        ("R3", "32 ψ ‖ 48 s (80b)", "14 ind"),
+        ("R4", "32 ψ ‖ 16 GHR ‖ 48 s (96b)", "14 ind"),
+        ("Rt", "32 ψ ‖ 48 s ‖ 16 fold (96b)", "13 ind + 12 tag (25b)"),
+        ("Rp", "32 ψ ‖ 48 s (80b)", "10 ind"),
+    ];
+    let set = RemapSet::standard();
+    for ((name, c), (label, input, output)) in set.circuits().iter().zip(table) {
+        assert_eq!(*name, label);
+        let cost = c.cost();
+        let av = analysis::avalanche(c, 400, 7);
+        let field = c.output_bits().min(10);
+        let un = analysis::uniformity(c, 0, field, 32, 9);
+        println!(
+            "{:<4} {:<34} {:<26} {:>6} {:>7} {:>8} {:>9.3} {:>10.4}",
+            name,
+            input,
+            output,
+            cost.critical_path,
+            cost.total_transistors,
+            cost.layers,
+            av.mean_hd,
+            un.excess()
+        );
+    }
+    rule(118);
+    println!("constraints: C1 critical path <= 45 series transistors (one cycle);");
+    println!("C3 avalanche ~0.5 mean Hamming weight per input-bit flip; C2 excess CV ~0.");
+    println!("baseline functions consume only 30 truncated address bits; STBPU consumes all 48.");
+}

@@ -1,20 +1,24 @@
-//! Shared helpers for the figure/table harness binaries.
+//! Shared helpers and figure implementations for the paper harness.
 //!
-//! Every binary regenerates one table or figure of the paper (see
-//! DESIGN.md §4 for the index) by declaring scenarios against the
-//! `stbpu-engine` API and printing the same rows/series the paper
-//! reports. Scale knobs come from environment variables so CI can run
-//! quick passes while full runs use paper-scale traces:
+//! Every figure/table of the paper's evaluation lives in [`figures`] as a
+//! library function taking a [`Knobs`] scale configuration; the thin
+//! binaries under `src/bin/` and the `stbpu figures` CLI subcommand both
+//! dispatch into the same functions, so their outputs are bit-identical
+//! for identical knobs. Scale knobs come from environment variables so CI
+//! can run quick passes while full runs use paper-scale traces:
 //!
 //! * `STBPU_BRANCHES` — branches per workload trace (default 120 000),
-//! * `STBPU_SEED` — global seed (default 42).
+//! * `STBPU_SEED` — global seed (default 42),
+//! * `STBPU_WORKLOAD` / `STBPU_WINDOWS` — `oae_over_time` focus knobs.
 //!
 //! The compute machinery ([`parallel_map`], [`geomean`], [`mean`]) lives
-//! in `stbpu-engine` and is re-exported here for the binaries; this crate
-//! only keeps the presentation glue.
+//! in `stbpu-engine` and is re-exported here for the figure code; this
+//! crate only keeps the presentation glue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod figures;
 
 pub use stbpu_engine::{geomean, mean, parallel_map};
 
@@ -32,6 +36,76 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(42)
+}
+
+/// Scale configuration shared by every figure implementation.
+///
+/// The figure binaries use [`Knobs::from_env`] (preserving the historical
+/// `STBPU_*` environment interface); `stbpu figures --quick` uses
+/// [`Knobs::quick`], a deterministic scaled-down pass for CI.
+#[derive(Clone, Debug)]
+pub struct Knobs {
+    /// Branches per workload trace.
+    pub branches: usize,
+    /// Global seed (traces and secret tokens).
+    pub seed: u64,
+    /// Focus workload for `oae_over_time`.
+    pub workload: String,
+    /// OAE windows printed by `oae_over_time` (min 2).
+    pub windows: usize,
+    /// Quick mode: pipeline figures shrink their per-thread floors and
+    /// pair counts so a full `figures --all` pass stays CI-sized.
+    pub quick: bool,
+}
+
+impl Knobs {
+    /// Knobs from the `STBPU_*` environment variables (full-scale mode).
+    pub fn from_env() -> Self {
+        Knobs {
+            branches: branches(),
+            seed: seed(),
+            workload: std::env::var("STBPU_WORKLOAD").unwrap_or_else(|_| "541.leela".to_string()),
+            windows: std::env::var("STBPU_WINDOWS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20),
+            quick: false,
+        }
+    }
+
+    /// Deterministic CI-sized knobs: 8 000 branches, seed 42, quick
+    /// pipeline scaling.
+    pub fn quick() -> Self {
+        Knobs {
+            branches: 8_000,
+            seed: 42,
+            workload: "541.leela".to_string(),
+            windows: 20,
+            quick: true,
+        }
+    }
+
+    /// Per-thread branch count for the SMT pipeline figures, with a floor
+    /// that keeps full runs meaningful and quick runs fast.
+    pub fn smt_branches(&self) -> usize {
+        let floor = if self.quick { 2_000 } else { 20_000 };
+        (self.branches / 2).max(floor)
+    }
+
+    /// Number of SMT pairs averaged by the Figure 6 sweep (paper: 42).
+    pub fn fig6_pairs(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            12
+        }
+    }
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs::from_env()
+    }
 }
 
 /// Prints a horizontal rule sized to `width`.
@@ -53,5 +127,27 @@ mod tests {
     fn env_knobs_have_defaults() {
         assert!(branches() > 0);
         let _ = seed();
+        let k = Knobs::from_env();
+        assert!(!k.quick);
+        assert!(k.windows >= 2);
+    }
+
+    #[test]
+    fn quick_knobs_scale_down() {
+        let q = Knobs::quick();
+        assert!(q.quick);
+        assert_eq!(q.branches, 8_000);
+        assert!(q.smt_branches() < Knobs::from_env().smt_branches() || branches() < 4_000);
+        assert!(q.fig6_pairs() < 12);
+    }
+
+    #[test]
+    fn figure_registry_is_complete_and_resolvable() {
+        assert_eq!(figures::ALL.len(), 10);
+        for f in figures::ALL {
+            assert!(figures::by_name(f.name).is_some(), "{} resolves", f.name);
+            assert!(!f.summary.is_empty());
+        }
+        assert!(figures::by_name("fig99").is_none());
     }
 }

@@ -1,0 +1,171 @@
+//! A tiny hand-rolled argument parser (the build environment has no
+//! registry access, so clap is not available — and the surface is small
+//! enough that explicit parsing keeps error messages exact).
+//!
+//! Supported shapes: `--flag`, `--key value`, `--key=value`, positional
+//! operands. Every flag is consumed through [`Args::flag`] / [`Args::opt`]
+//! and whatever remains that still looks like a flag is an error, so a
+//! typo like `--brnaches` can never be silently ignored.
+
+use std::str::FromStr;
+
+/// One subcommand's argument stream.
+pub struct Args {
+    tokens: Vec<Option<String>>,
+    /// Flag names already consumed once — so a duplicated flag is
+    /// diagnosed as a duplicate, not as "unknown".
+    seen: Vec<String>,
+}
+
+impl Args {
+    /// Wraps the raw tokens following the subcommand name.
+    pub fn new(tokens: &[String]) -> Self {
+        Args {
+            tokens: tokens.iter().cloned().map(Some).collect(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Consumes a boolean `--name` flag; true when present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        for slot in &mut self.tokens {
+            if slot.as_deref() == Some(name) {
+                *slot = None;
+                self.seen.push(name.to_string());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes `--name value` / `--name=value`; `None` when absent.
+    pub fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let prefix = format!("{name}=");
+        for i in 0..self.tokens.len() {
+            let Some(tok) = self.tokens[i].as_deref() else {
+                continue;
+            };
+            if tok == name {
+                let value = self
+                    .tokens
+                    .get(i + 1)
+                    .and_then(|t| t.clone())
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("flag '{name}' needs a value"))?;
+                self.tokens[i] = None;
+                self.tokens[i + 1] = None;
+                self.seen.push(name.to_string());
+                return Ok(Some(value));
+            }
+            if let Some(value) = tok.strip_prefix(&prefix) {
+                let value = value.to_string();
+                self.tokens[i] = None;
+                self.seen.push(name.to_string());
+                return Ok(Some(value));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Consumes and parses `--name value`.
+    pub fn opt_parse<T: FromStr>(&mut self, name: &str, what: &str) -> Result<Option<T>, String> {
+        match self.opt(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag '{name}': '{v}' is not {what}")),
+        }
+    }
+
+    /// Consumes a comma-separated list value (`--name a,b,c`).
+    pub fn opt_list(&mut self, name: &str) -> Result<Option<Vec<String>>, String> {
+        Ok(self.opt(name)?.map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        }))
+    }
+
+    /// Finishes parsing: rejects any unconsumed `--flag`, returns the
+    /// remaining positional operands in order.
+    pub fn finish(self) -> Result<Vec<String>, String> {
+        let rest: Vec<String> = self.tokens.into_iter().flatten().collect();
+        if let Some(flag) = rest.iter().find(|t| t.starts_with("--")) {
+            let bare = flag.split('=').next().unwrap_or(flag);
+            if self.seen.iter().any(|s| s == bare) {
+                return Err(format!("flag '{bare}' given more than once"));
+            }
+            return Err(format!("unknown flag '{flag}'"));
+        }
+        Ok(rest)
+    }
+
+    /// Like [`Args::finish`] but also rejects positional operands.
+    pub fn finish_empty(self) -> Result<(), String> {
+        let rest = self.finish()?;
+        if let Some(op) = rest.first() {
+            return Err(format!("unexpected operand '{op}'"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::new(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flags_and_options_consume() {
+        let mut a = args("--json --seed 7 --model=skl input.trace");
+        assert!(a.flag("--json"));
+        assert!(!a.flag("--json"));
+        assert_eq!(a.opt("--seed").unwrap().as_deref(), Some("7"));
+        assert_eq!(a.opt("--model").unwrap().as_deref(), Some("skl"));
+        assert_eq!(a.finish().unwrap(), ["input.trace"]);
+    }
+
+    #[test]
+    fn typed_and_list_options() {
+        let mut a = args("--branches 5000 --seeds 1,2,3");
+        assert_eq!(
+            a.opt_parse::<usize>("--branches", "an integer").unwrap(),
+            Some(5000)
+        );
+        assert_eq!(a.opt_list("--seeds").unwrap().unwrap(), ["1", "2", "3"]);
+        a.finish_empty().unwrap();
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        let mut a = args("--seed");
+        assert!(a.opt("--seed").unwrap_err().contains("needs a value"));
+        let mut a = args("--seed --json");
+        assert!(a.opt("--seed").unwrap_err().contains("needs a value"));
+        let mut a = args("--branches nope");
+        assert!(a
+            .opt_parse::<usize>("--branches", "an integer")
+            .unwrap_err()
+            .contains("'nope'"));
+        assert!(args("--warp").finish().unwrap_err().contains("--warp"));
+        assert!(args("x y").finish_empty().unwrap_err().contains("'x'"));
+    }
+
+    #[test]
+    fn duplicate_flags_diagnosed_as_duplicates() {
+        let mut a = args("--model skl --model tage8");
+        assert_eq!(a.opt("--model").unwrap().as_deref(), Some("skl"));
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        // `--key=value` duplicates are caught under the bare name too.
+        let mut a = args("--seed=1 --seed=2");
+        let _ = a.opt("--seed").unwrap();
+        assert!(a.finish().unwrap_err().contains("'--seed'"));
+    }
+}

@@ -1,0 +1,249 @@
+//! `stbpu bench` — the deterministic perf harness behind CI's regression
+//! gate.
+//!
+//! A fixed scheme suite streams one generated workload through a
+//! `SimSession` per scheme, measuring wall-clock time, branches/second
+//! and OAE. Every scheme writes a `BENCH_<name>.json` record (archived by
+//! CI as a perf-trajectory artifact); OAE is bit-deterministic for a
+//! fixed (workload, branches, seed) configuration, so `--check` can gate
+//! regressions against the committed `ci/baseline.json` with a tight
+//! tolerance while wall-clock numbers remain informational.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_engine::minijson::{escape, Json};
+use stbpu_engine::{ModelRegistry, Workload};
+use stbpu_sim::{Protection, SessionOptions, SimSession, Warmup};
+use std::io::Write;
+use std::time::Instant;
+
+/// The benchmark suite: one representative scheme per protection class,
+/// plus the heaviest predictor (TAGE64) under secret tokens.
+const SCHEMES: &[(&str, &str, Protection)] = &[
+    ("baseline", "skl", Protection::Unprotected),
+    ("stbpu", "st_skl@r=0.05", Protection::Stbpu),
+    ("ucode1", "skl", Protection::Ucode1),
+    ("conservative", "conservative", Protection::Conservative),
+    ("st_tage64", "st_tage64", Protection::Stbpu),
+];
+
+/// One measured scheme.
+struct Record {
+    name: &'static str,
+    model: String,
+    protection: &'static str,
+    elapsed_s: f64,
+    branches_per_s: f64,
+    oae: f64,
+    branches: u64,
+}
+
+impl Record {
+    fn to_json(&self, workload: &str, requested: usize, seed: u64) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"model\":{},\"protection\":\"{}\",\"workload\":{},\
+             \"branches\":{},\"requested_branches\":{requested},\"seed\":{seed},\
+             \"elapsed_s\":{:.6},\"branches_per_s\":{:.0},\"oae\":{}}}",
+            self.name,
+            escape(&self.model),
+            self.protection,
+            escape(workload),
+            self.branches,
+            self.elapsed_s,
+            self.branches_per_s,
+            self.oae,
+        )
+    }
+}
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let quick = a.flag("--quick");
+    let json = a.flag("--json");
+    let out_dir = a.opt("--out-dir")?.unwrap_or_else(|| ".".to_string());
+    let branches: usize = a
+        .opt_parse("--branches", "an integer")?
+        .unwrap_or(if quick { 200_000 } else { 2_000_000 });
+    let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    let workload = a
+        .opt("--workload")?
+        .unwrap_or_else(|| "541.leela".to_string());
+    let check = a.opt("--check")?;
+    let update = a.opt("--update-baseline")?;
+    let tolerance: f64 = a.opt_parse("--tolerance", "a number")?.unwrap_or(1e-9);
+    a.finish_empty()?;
+    if check.is_some() && update.is_some() {
+        return Err(Failure::Usage(
+            "--check and --update-baseline are mutually exclusive".to_string(),
+        ));
+    }
+
+    let w = Workload::Named(workload.clone());
+    w.validate().map_err(Failure::from)?;
+    let registry = ModelRegistry::standard();
+
+    let mut records = Vec::new();
+    for &(name, model_spec, policy) in SCHEMES {
+        let mut model = registry.build(model_spec, seed).map_err(Failure::from)?;
+        let mut source = w.open(seed, branches).map_err(Failure::from)?;
+        let mut session = SimSession::new(
+            model.as_mut(),
+            policy,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                ..SessionOptions::default()
+            },
+        )
+        .map_err(|e| Failure::from(stbpu_engine::EngineError::from(e)))?;
+        let start = Instant::now();
+        session
+            .run(source.as_mut())
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        let report = session.finish();
+        let elapsed_s = start.elapsed().as_secs_f64();
+        records.push(Record {
+            name,
+            model: report.model,
+            protection: report.protection,
+            elapsed_s,
+            branches_per_s: report.branches as f64 / elapsed_s.max(1e-12),
+            oae: report.oae,
+            branches: report.branches,
+        });
+    }
+
+    // Per-scheme BENCH_<name>.json artifacts.
+    std::fs::create_dir_all(&out_dir)?;
+    for r in &records {
+        let path = format!("{out_dir}/BENCH_{}.json", r.name);
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", r.to_json(&workload, branches, seed))?;
+    }
+
+    if json {
+        let rows: Vec<String> = records
+            .iter()
+            .map(|r| r.to_json(&workload, branches, seed))
+            .collect();
+        println!("[{}]", rows.join(","));
+    } else {
+        println!("stbpu bench — {workload}, {branches} branches/scheme, seed {seed}");
+        println!(
+            "{:<14} {:<18} {:>10} {:>14} {:>10}",
+            "scheme", "model", "elapsed", "branches/s", "OAE"
+        );
+        for r in &records {
+            println!(
+                "{:<14} {:<18} {:>9.3}s {:>14.0} {:>10.6}",
+                r.name, r.model, r.elapsed_s, r.branches_per_s, r.oae
+            );
+        }
+        eprintln!("wrote BENCH_<scheme>.json records to {out_dir}/");
+    }
+
+    if let Some(path) = update {
+        write_baseline(&path, &workload, branches, seed, &records)?;
+        eprintln!("baseline written to {path}");
+    }
+    if let Some(path) = check {
+        check_baseline(&path, &workload, branches, seed, tolerance, &records)?;
+        eprintln!("baseline check passed ({path}, tolerance {tolerance:e})");
+    }
+    Ok(())
+}
+
+/// Writes the OAE baseline file `--check` gates against. OAE values use
+/// Rust's shortest round-trip float formatting, so the parsed values
+/// compare exactly.
+fn write_baseline(
+    path: &str,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    records: &[Record],
+) -> Result<(), Failure> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let schemes: Vec<String> = records
+        .iter()
+        .map(|r| format!("    \"{}\": {}", r.name, r.oae))
+        .collect();
+    let body = format!(
+        "{{\n  \"workload\": {},\n  \"branches\": {branches},\n  \"seed\": {seed},\n  \"schemes\": {{\n{}\n  }}\n}}\n",
+        escape(workload),
+        schemes.join(",\n")
+    );
+    std::fs::write(path, body)?;
+    Ok(())
+}
+
+/// Verifies the run configuration matches the baseline and every scheme's
+/// OAE is within `tolerance`; all drifts are reported before failing.
+fn check_baseline(
+    path: &str,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    tolerance: f64,
+    records: &[Record],
+) -> Result<(), Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::Runtime(format!("read baseline {path}: {e}")))?;
+    let doc =
+        Json::parse(&text).map_err(|e| Failure::Runtime(format!("parse baseline {path}: {e}")))?;
+    let field_err = |what: &str| Failure::Runtime(format!("baseline {path}: missing/bad {what}"));
+
+    let base_workload = doc
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| field_err("workload"))?;
+    let base_branches = doc
+        .get("branches")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_err("branches"))?;
+    let base_seed = doc
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_err("seed"))?;
+    if (base_workload, base_branches, base_seed) != (workload, branches as u64, seed) {
+        return Err(Failure::Runtime(format!(
+            "baseline {path} was recorded for ({base_workload}, {base_branches} branches, \
+             seed {base_seed}) but this run used ({workload}, {branches} branches, seed {seed}); \
+             rerun with matching flags or refresh it via --update-baseline (see CONTRIBUTING.md)"
+        )));
+    }
+    let schemes = doc.get("schemes").ok_or_else(|| field_err("schemes"))?;
+
+    let mut drifted = Vec::new();
+    for r in records {
+        let Some(expected) = schemes.get(r.name).and_then(Json::as_f64) else {
+            drifted.push(format!("scheme '{}' missing from baseline", r.name));
+            continue;
+        };
+        let delta = (r.oae - expected).abs();
+        if delta > tolerance {
+            drifted.push(format!(
+                "scheme '{}': OAE {} drifted from baseline {} (|Δ| = {delta:.3e} > {tolerance:e})",
+                r.name, r.oae, expected
+            ));
+        }
+    }
+    if let Some(fields) = schemes.fields() {
+        for (name, _) in fields {
+            if !records.iter().any(|r| r.name == name.as_str()) {
+                drifted.push(format!("baseline scheme '{name}' was not measured"));
+            }
+        }
+    }
+    if !drifted.is_empty() {
+        return Err(Failure::Runtime(format!(
+            "OAE baseline gate failed:\n  {}\n(if the change is intentional, refresh via \
+             `stbpu bench --quick --update-baseline {path}` and commit the diff)",
+            drifted.join("\n  ")
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! `stbpu grid` — declarative experiment grids from flags or spec files.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_engine::ExperimentSpec;
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let mut spec = match a.opt("--spec")? {
+        Some(path) => ExperimentSpec::load(std::path::Path::new(&path)).map_err(Failure::from)?,
+        None => ExperimentSpec::default(),
+    };
+
+    // Inline flags override (or extend an empty) spec.
+    if let Some(w) = a.opt_list("--workloads")? {
+        spec.workloads = w;
+    }
+    if let Some(f) = a.opt_list("--trace-files")? {
+        spec.trace_files = f;
+    }
+    if let Some(s) = a.opt_list("--scenarios")? {
+        spec.scenarios = s;
+    }
+    if a.flag("--fig3") {
+        if !spec.scenarios.is_empty() {
+            return Err(Failure::Usage(
+                "--fig3 conflicts with scenarios given via --scenarios or the spec file"
+                    .to_string(),
+            ));
+        }
+        spec.scenarios = vec![
+            "skl:unprotected".to_string(),
+            "st_skl@r=0.05:stbpu".to_string(),
+            "skl:ucode1".to_string(),
+            "skl:ucode2".to_string(),
+            "conservative:conservative".to_string(),
+        ];
+    }
+    if let Some(seeds) = a.opt_list("--seeds")? {
+        spec.seeds = seeds
+            .iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("flag '--seeds': '{s}' is not an integer"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(b) = a.opt_parse("--branches", "an integer")? {
+        spec.branches = Some(b);
+    }
+    if let Some(w) = a.opt_parse("--warmup", "a number")? {
+        spec.warmup = Some(w);
+    }
+    if let Some(w) = a.opt_parse("--warmup-branches", "an integer")? {
+        spec.warmup_branches = Some(w);
+    }
+    if let Some(i) = a.opt_parse("--interval", "an integer")? {
+        spec.interval = Some(i);
+    }
+    if let Some(t) = a.opt_parse("--threads", "an integer")? {
+        spec.threads = Some(t);
+    }
+    if let Some(n) = a.opt("--name")? {
+        spec.name = Some(n);
+    }
+    let json = match a.opt("--format")?.as_deref() {
+        None | Some("csv") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(Failure::Usage(format!(
+                "unknown format '{other}' (csv|json)"
+            )))
+        }
+    };
+    let out = a.opt("--out")?;
+    let summary = a.flag("--summary");
+    a.finish_empty()?;
+
+    let set = spec
+        .to_experiment()
+        .map_err(Failure::from)?
+        .run()
+        .map_err(Failure::from)?;
+
+    let body = if json { set.to_json() } else { set.to_csv() };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &body)?;
+            eprintln!("wrote {} records to {path}", set.records().len());
+        }
+        None => print!("{body}"),
+    }
+
+    if summary {
+        let scenarios = spec.scenarios;
+        eprintln!("{:<34} {:>10} {:>10}", "scenario", "mean OAE", "geomean");
+        for (i, (m, g)) in set
+            .mean_oae_by_scenario()
+            .iter()
+            .zip(set.geomean_oae_by_scenario())
+            .enumerate()
+        {
+            let label = scenarios.get(i).map(String::as_str).unwrap_or("?");
+            eprintln!("{label:<34} {m:>10.6} {g:>10.6}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,260 @@
+//! The single source of truth for `stbpu` help text.
+//!
+//! Every subcommand's usage string lives in [`SUBCOMMANDS`]; `stbpu
+//! --help`, `stbpu help <cmd>` and `<cmd> --help` all print from here, and
+//! the model/workload catalogs are generated live from the
+//! [`stbpu_engine::ModelRegistry`] and `stbpu_trace::profiles` tables —
+//! so help can never drift from what is actually registered.
+
+use stbpu_engine::ModelRegistry;
+use stbpu_trace::profiles;
+
+/// One subcommand's help entry.
+pub struct Sub {
+    /// Subcommand name.
+    pub name: &'static str,
+    /// One-line summary for the main help screen.
+    pub summary: &'static str,
+    /// Full usage text (flags and examples).
+    pub help: &'static str,
+}
+
+/// Every subcommand, in help order.
+pub const SUBCOMMANDS: &[Sub] = &[
+    Sub {
+        name: "simulate",
+        summary: "run one model over one workload, streaming",
+        help: "\
+usage: stbpu simulate --model SPEC [--workload NAME | --trace-file PATH] [options]
+
+  --model SPEC          registry model spec (e.g. skl, st_skl@r=0.01); see the
+                        model catalog below
+  --workload NAME       named workload profile (default 541.leela)
+  --trace-file PATH     line-format trace file instead of a generated workload
+  --protection P        unprotected|stbpu|ucode1|ucode2|conservative|auto
+                        (default auto: st_* models run under stbpu, the
+                        conservative model under conservative, others
+                        unprotected)
+  --branches N          branches to generate (default 120000; ignored for
+                        trace files, which replay their stored stream)
+  --seed S              trace + secret-token seed (default 42)
+  --threads T           hardware-thread provision (default: from the source)
+  --interval N          also record OAE-over-time windows of N branches
+  --warmup F            fractional warm-up (default 0.1)
+  --warmup-branches N   absolute warm-up budget (works on hint-less sources)
+  --format F            human|json|csv (default human)
+  --progress            streaming progress on stderr
+
+examples:
+  stbpu simulate --model st_skl@r=0.05 --workload 505.mcf --branches 1000000
+  stbpu simulate --model skl --trace-file capture.trace --warmup-branches 500 --format json
+",
+    },
+    Sub {
+        name: "grid",
+        summary: "run a workloads x scenarios x seeds experiment grid",
+        help: "\
+usage: stbpu grid [--spec FILE] [grid flags] [output flags]
+
+Declare the grid either in a TOML/JSON spec file (--spec; same keys as the
+flags) or inline; inline flags override the spec file.
+
+  --spec FILE           TOML or JSON experiment spec (see README)
+  --workloads A,B       named workload profiles
+  --trace-files P,Q     line-format trace files as workloads
+  --scenarios M:P,...   scenario cells, each 'model:protection'
+                        (e.g. skl:unprotected,st_skl@r=0.05:stbpu)
+  --fig3                shorthand for the five Figure 3 scheme cells
+  --seeds 1,2,3         seeds (each workload x seed pair is one suite)
+  --branches N          branches per generated stream (default 20000)
+  --warmup F            fractional warm-up
+  --warmup-branches N   absolute warm-up budget
+  --interval N          attach OAE-over-time windows of N branches
+  --threads T           explicit hardware-thread provision
+  --name NAME           experiment name (labels only)
+  --format F            csv|json (default csv)
+  --out FILE            write results to FILE instead of stdout
+  --summary             also print per-scenario mean/geomean OAE to stderr
+
+examples:
+  stbpu grid --workloads 505.mcf,541.leela --fig3 --branches 8000
+  stbpu grid --spec sweep.toml --format json --out sweep.json
+",
+    },
+    Sub {
+        name: "attack",
+        summary: "execute the Table I attack surface + monitor telemetry",
+        help: "\
+usage: stbpu attack [--seed S] [--no-surface] [--no-telemetry] [options]
+
+Runs the executed Table I collision-attack surface (baseline vs STBPU,
+cell by cell), then records attacker-observable monitor telemetry — the
+branch-indexed timeline of secret-token re-randomizations and policy
+flushes — over a realistic workload stream.
+
+  --seed S              attack + trace seed (default 42)
+  --no-surface          skip the Table I surface
+  --no-telemetry        skip the telemetry timelines
+  --model SPEC          ST model for the re-randomization timeline
+                        (default st_skl@r=0.001 — aggressive thresholds so
+                        the rhythm is visible at small branch counts)
+  --workload NAME       telemetry workload (default 541.leela; the flush
+                        timeline always uses apache2_prefork_c128)
+  --branches N          telemetry stream length (default 100000)
+  --json                machine-readable telemetry (marks arrays) on stdout
+
+examples:
+  stbpu attack
+  stbpu attack --no-surface --model st_tage64@r=0.0005 --branches 500000 --json
+",
+    },
+    Sub {
+        name: "trace",
+        summary: "generate, inspect and convert line-format trace files",
+        help: "\
+usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S]
+       stbpu trace inspect FILE [--json]
+       stbpu trace convert IN OUT [--name NAME]
+
+generate streams a synthetic workload to a trace file in O(1) memory
+(any --branches works). inspect streams a file through the TraceReader
+and reports declared metadata plus exact event/branch counts. convert
+re-serializes a file — normalizing headers (adding `# branches` /
+`# threads` to header-less captures) and optionally renaming the trace.
+
+examples:
+  stbpu trace generate --workload apache2_prefork_c128 --branches 2000000 --out apache.trace
+  stbpu trace inspect apache.trace --json
+  stbpu trace convert raw.trace clean.trace --name cleaned
+",
+    },
+    Sub {
+        name: "figures",
+        summary: "reproduce the paper's figures and tables",
+        help: "\
+usage: stbpu figures NAME... | --all [--quick] [options]
+
+Each figure prints exactly what its historical `cargo run --bin` harness
+printed — the implementations are shared, so outputs are bit-identical
+for identical knobs. With several figures a `== name ==` banner goes to
+stderr between them; stdout stays pure figure output.
+
+  --all                 run every figure/table (see list below)
+  --quick               deterministic CI-sized knobs (8000 branches,
+                        seed 42, scaled-down pipeline figures)
+  --branches N          override branches per workload
+  --seed S              override the seed
+  --workload NAME       oae_over_time focus workload
+  --windows N           oae_over_time window count
+  --list                list figure names and exit
+
+examples:
+  stbpu figures fig3
+  stbpu figures --all --quick
+",
+    },
+    Sub {
+        name: "bench",
+        summary: "deterministic perf harness with machine-readable output",
+        help: "\
+usage: stbpu bench [--quick] [--json] [--out-dir DIR] [baseline flags]
+
+Streams a fixed scheme suite (baseline, stbpu, ucode1, conservative,
+st_tage64) over one generated workload, measuring wall-clock time,
+branches/second and OAE per scheme. Each scheme writes a
+BENCH_<name>.json record into --out-dir so CI can archive perf
+trajectories; OAE is deterministic for a fixed seed and is the value the
+baseline gate compares.
+
+  --quick               200k branches per scheme (default 2M)
+  --branches N          explicit branch count (overrides --quick/default)
+  --seed S              trace + token seed (default 42)
+  --workload NAME       workload profile (default 541.leela)
+  --out-dir DIR         where BENCH_*.json records go (default .)
+  --json                print the combined record array on stdout
+  --check FILE          fail (exit 1) if any scheme's OAE drifts from the
+                        committed baseline beyond --tolerance
+  --update-baseline FILE  write/refresh the baseline file instead
+  --tolerance T         OAE drift tolerance for --check (default 1e-9)
+
+examples:
+  stbpu bench --quick --json --out-dir bench-artifacts --check ci/baseline.json
+  stbpu bench --quick --update-baseline ci/baseline.json
+",
+    },
+    Sub {
+        name: "list",
+        summary: "list registered models, workloads and figures",
+        help: "\
+usage: stbpu list [models|workloads|figures]
+
+Prints the live catalogs (everything name-resolvable from the shell).
+With no operand, prints all three.
+",
+    },
+];
+
+/// Looks up a subcommand's help entry.
+pub fn sub(name: &str) -> Option<&'static Sub> {
+    SUBCOMMANDS.iter().find(|s| s.name == name)
+}
+
+/// Prints the top-level help: subcommands plus the live model catalog and
+/// workload listing.
+pub fn print_main() {
+    println!("stbpu — STBPU reproduction driver: figures, attacks, workloads, benchmarks");
+    println!();
+    println!("usage: stbpu <command> [args]   (stbpu help <command> for details)");
+    println!();
+    println!("commands:");
+    for s in SUBCOMMANDS {
+        println!("  {:<10} {}", s.name, s.summary);
+    }
+    println!();
+    print_models();
+    println!();
+    print_workloads();
+}
+
+/// Prints the live model catalog from the standard registry.
+pub fn print_models() {
+    let registry = ModelRegistry::standard();
+    println!("models (every spec accepts a seed; ST models take @r=..., gshare @bits=...):");
+    for (name, summary, alias) in registry.catalog() {
+        if !alias {
+            println!("  {name:<16} {summary}");
+        }
+    }
+    let aliases = registry.alias_names().join(", ");
+    println!("  aliases: {aliases}");
+}
+
+/// Prints the live workload-profile listing.
+pub fn print_workloads() {
+    println!(
+        "workloads ({} SPEC CPU 2017 profiles, {} application profiles):",
+        profiles::SPEC.len(),
+        profiles::APPS.len()
+    );
+    print_name_columns(profiles::SPEC.iter().map(|p| p.name));
+    print_name_columns(profiles::APPS.iter().map(|p| p.name));
+}
+
+fn print_name_columns<'a>(names: impl Iterator<Item = &'a str>) {
+    let names: Vec<&str> = names.collect();
+    for row in names.chunks(3) {
+        let mut line = String::from(" ");
+        for n in row {
+            line.push_str(&format!(" {n:<24}"));
+        }
+        println!("{}", line.trim_end());
+    }
+}
+
+/// Prints the figure catalog (from the shared bench registry).
+pub fn print_figures() {
+    println!("figures:");
+    for f in stbpu_bench::figures::ALL {
+        println!("  {:<14} {}", f.name, f.summary);
+    }
+}

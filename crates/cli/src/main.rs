@@ -1,0 +1,6 @@
+//! The `stbpu` binary: a thin wrapper over [`stbpu_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(stbpu_cli::run(&argv));
+}

@@ -1,0 +1,251 @@
+//! `stbpu simulate` — one model over one workload, streamed through a
+//! [`SimSession`] with optional interval windows and progress reporting.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_engine::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+use stbpu_engine::{ModelRegistry, Workload};
+use stbpu_sim::{
+    IntervalRecorder, IntervalWindow, Protection, SessionOptions, SimObserver, SimSession, Warmup,
+};
+/// Output dialect.
+enum Format {
+    Human,
+    Json,
+    Csv,
+}
+
+/// Infers the protection policy a model spec is naturally evaluated
+/// under: ST models run under the STBPU policy, the conservative model
+/// under the conservative policy, everything else unprotected.
+pub fn auto_protection(model_spec: &str) -> Protection {
+    let name = model_spec.split('@').next().unwrap_or("").trim();
+    if name.starts_with("st_") || name == "stbpu" {
+        Protection::Stbpu
+    } else if name == "conservative" {
+        Protection::Conservative
+    } else {
+        Protection::Unprotected
+    }
+}
+
+/// Streaming progress meter on stderr (a [`SimObserver`], exercising the
+/// same hook seam the interval recorder and attack telemetry use).
+struct Progress {
+    seen: u64,
+    every: u64,
+    total: Option<u64>,
+}
+
+impl Progress {
+    fn new(hint: Option<u64>) -> Self {
+        Progress {
+            seen: 0,
+            every: hint.map(|h| (h / 20).max(1)).unwrap_or(1_000_000),
+            total: hint,
+        }
+    }
+}
+
+impl SimObserver for Progress {
+    fn on_branch(
+        &mut self,
+        _tid: usize,
+        _rec: &stbpu_bpu::BranchRecord,
+        _outcome: &stbpu_bpu::BranchOutcome,
+    ) {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            match self.total {
+                Some(t) if t > 0 => eprintln!(
+                    "progress: {} / {} branches ({:.0}%)",
+                    self.seen,
+                    t,
+                    self.seen as f64 * 100.0 / t as f64
+                ),
+                _ => eprintln!("progress: {} branches", self.seen),
+            }
+        }
+    }
+}
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let model_spec = a
+        .opt("--model")?
+        .ok_or_else(|| Failure::Usage("--model is required".to_string()))?;
+    let workload_name = a.opt("--workload")?;
+    let trace_file = a.opt("--trace-file")?;
+    let protection = a.opt("--protection")?;
+    let branches: usize = a.opt_parse("--branches", "an integer")?.unwrap_or(120_000);
+    let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    let threads: Option<usize> = a.opt_parse("--threads", "an integer")?;
+    let interval: Option<u64> = a.opt_parse("--interval", "an integer")?;
+    let warmup_frac: Option<f64> = a.opt_parse("--warmup", "a number")?;
+    let warmup_branches: Option<u64> = a.opt_parse("--warmup-branches", "an integer")?;
+    let format = match a.opt("--format")?.as_deref() {
+        None | Some("human") => Format::Human,
+        Some("json") => Format::Json,
+        Some("csv") => Format::Csv,
+        Some(other) => {
+            return Err(Failure::Usage(format!(
+                "unknown format '{other}' (human|json|csv)"
+            )))
+        }
+    };
+    let progress = a.flag("--progress");
+    a.finish_empty()?;
+
+    let workload = match (workload_name, trace_file) {
+        (Some(_), Some(_)) => {
+            return Err(Failure::Usage(
+                "--workload and --trace-file are mutually exclusive".to_string(),
+            ))
+        }
+        (None, Some(path)) => Workload::File(path.into()),
+        (name, None) => Workload::Named(name.unwrap_or_else(|| "541.leela".to_string())),
+    };
+    workload.validate().map_err(Failure::from)?;
+
+    let policy = match protection.as_deref() {
+        None | Some("auto") => auto_protection(&model_spec),
+        Some(p) => protection_from_str(p).map_err(Failure::from)?,
+    };
+    let warmup = match (warmup_branches, warmup_frac) {
+        (Some(_), Some(_)) => {
+            return Err(Failure::Usage(
+                "--warmup and --warmup-branches are mutually exclusive".to_string(),
+            ))
+        }
+        (Some(b), None) => Warmup::Branches(b),
+        (None, f) => Warmup::Fraction(f.unwrap_or(0.1)),
+    };
+
+    let registry = ModelRegistry::standard();
+    let mut model = registry.build(&model_spec, seed).map_err(Failure::from)?;
+    let mut source = workload.open(seed, branches).map_err(Failure::from)?;
+    let threads = threads.or(match source.thread_count() {
+        0 => None,
+        t => Some(t),
+    });
+
+    // Session construction only validates options the user typed
+    // (--warmup range, --threads provision), so its errors are usage
+    // errors; failures mid-stream stay runtime errors.
+    let mut session = SimSession::new(
+        model.as_mut(),
+        policy,
+        SessionOptions {
+            warmup,
+            threads,
+            interval,
+            workload: None,
+        },
+    )
+    .map_err(|e| Failure::Usage(e.to_string()))?;
+
+    let mut recorder = IntervalRecorder::new();
+    if interval.is_some() {
+        session.attach(&mut recorder);
+    }
+    let mut meter = Progress::new(source.branch_hint());
+    if progress {
+        session.attach(&mut meter);
+    }
+    session
+        .run(source.as_mut())
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    let report = session.finish();
+    let windows = recorder.into_windows();
+
+    match format {
+        Format::Csv => {
+            println!("{}", csv_header());
+            println!("{}", report_to_csv_row(&report, seed));
+            if !windows.is_empty() {
+                // Second block: the interval series, with its own header.
+                println!();
+                println!(
+                    "start_branch,branches,effective_correct,mispredictions,flushes,rerandomizations,oae"
+                );
+                for w in &windows {
+                    println!(
+                        "{},{},{},{},{},{},{:.6}",
+                        w.start_branch,
+                        w.branches,
+                        w.effective_correct,
+                        w.mispredictions,
+                        w.flushes,
+                        w.rerandomizations,
+                        w.oae()
+                    );
+                }
+            }
+        }
+        Format::Json => {
+            if windows.is_empty() {
+                println!("{}", report_to_json(&report, seed));
+            } else {
+                println!(
+                    "{{\"report\":{},\"intervals\":[{}]}}",
+                    report_to_json(&report, seed),
+                    windows
+                        .iter()
+                        .map(window_json)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+        }
+        Format::Human => {
+            println!(
+                "{} under {} over {} (seed {seed})",
+                report.model, report.protection, report.workload
+            );
+            println!(
+                "  OAE {:.6}  direction {:.6}  target {:.6}",
+                report.oae, report.direction_rate, report.target_rate
+            );
+            println!(
+                "  {} branches, {} mispredictions, {} evictions, {} flushes, {} re-randomizations",
+                report.branches,
+                report.mispredictions,
+                report.evictions,
+                report.flushes,
+                report.rerandomizations
+            );
+            if !windows.is_empty() {
+                println!(
+                    "  {:<12} {:>10} {:>8} {:>8} {:>8}",
+                    "start", "oae", "misp", "flush", "rerand"
+                );
+                for w in &windows {
+                    println!(
+                        "  {:<12} {:>10.4} {:>8} {:>8} {:>8}",
+                        w.start_branch,
+                        w.oae(),
+                        w.mispredictions,
+                        w.flushes,
+                        w.rerandomizations
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One interval window as a JSON object.
+pub fn window_json(w: &IntervalWindow) -> String {
+    format!(
+        "{{\"start_branch\":{},\"branches\":{},\"effective_correct\":{},\
+         \"mispredictions\":{},\"flushes\":{},\"rerandomizations\":{},\"oae\":{:.6}}}",
+        w.start_branch,
+        w.branches,
+        w.effective_correct,
+        w.mispredictions,
+        w.flushes,
+        w.rerandomizations,
+        w.oae()
+    )
+}

@@ -1,0 +1,201 @@
+//! `stbpu trace` — generate, inspect and convert line-format trace files.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_trace::serialize::{write_event, write_header, TraceReader};
+use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
+use std::io::{BufReader, BufWriter, Write};
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    match rest.first().map(String::as_str) {
+        Some("generate") => generate(&rest[1..]),
+        Some("inspect") => inspect(&rest[1..]),
+        Some("convert") => convert(&rest[1..]),
+        Some(other) => Err(Failure::Usage(format!(
+            "unknown trace action '{other}' (generate|inspect|convert)"
+        ))),
+        None => Err(Failure::Usage(
+            "trace needs an action: generate|inspect|convert".to_string(),
+        )),
+    }
+}
+
+/// Streams a synthetic workload to a trace file in O(1) memory: the
+/// generator source is drained one event at a time through
+/// [`write_event`], so any `--branches` works without materializing the
+/// event vector.
+fn generate(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let workload = a
+        .opt("--workload")?
+        .ok_or_else(|| Failure::Usage("--workload is required".to_string()))?;
+    let out = a
+        .opt("--out")?
+        .ok_or_else(|| Failure::Usage("--out is required".to_string()))?;
+    let branches: usize = a.opt_parse("--branches", "an integer")?.unwrap_or(120_000);
+    let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    a.finish_empty()?;
+
+    let profile = profiles::by_name(&workload).ok_or_else(|| {
+        Failure::from(stbpu_engine::EngineError::UnknownWorkload(workload.clone()))
+    })?;
+    let mut source = TraceGenerator::new(profile, seed).into_source(branches);
+    let file = std::fs::File::create(&out)?;
+    let mut w = BufWriter::new(file);
+    write_header(
+        &mut w,
+        source.name(),
+        source.branch_hint(),
+        source.thread_count(),
+    )?;
+    let mut events: u64 = 0;
+    while let Some(ev) = source
+        .next_event()
+        .map_err(|e| Failure::Runtime(e.to_string()))?
+    {
+        write_event(&mut w, &ev)?;
+        events += 1;
+    }
+    w.flush()?;
+    eprintln!("wrote {events} events ({branches} branches) to {out}");
+    Ok(())
+}
+
+/// Streams a trace file through the [`TraceReader`], reporting declared
+/// metadata and exact counts.
+fn inspect(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let json = a.flag("--json");
+    let ops = a.finish()?;
+    let [path] = &ops[..] else {
+        return Err(Failure::Usage(
+            "inspect takes exactly one FILE operand".to_string(),
+        ));
+    };
+
+    let file = std::fs::File::open(path)?;
+    let mut src =
+        TraceReader::new(BufReader::new(file)).map_err(|e| Failure::Runtime(e.to_string()))?;
+    let name = src.name().to_string();
+    let declared_branches = src.branch_hint();
+    let declared_threads = src.thread_count();
+
+    let (mut branches, mut taken, mut switches, mut modes, mut interrupts) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut max_tid = 0u8;
+    while let Some(ev) = src
+        .next_record()
+        .map_err(|e| Failure::Runtime(e.to_string()))?
+    {
+        match ev {
+            TraceEvent::Branch { tid, rec } => {
+                branches += 1;
+                taken += rec.taken as u64;
+                max_tid = max_tid.max(tid);
+            }
+            TraceEvent::ContextSwitch { tid, .. } => {
+                switches += 1;
+                max_tid = max_tid.max(tid);
+            }
+            TraceEvent::ModeSwitch { tid, .. } => {
+                modes += 1;
+                max_tid = max_tid.max(tid);
+            }
+            TraceEvent::Interrupt { tid } => {
+                interrupts += 1;
+                max_tid = max_tid.max(tid);
+            }
+        }
+    }
+    let events = branches + switches + modes + interrupts;
+    let taken_rate = if branches > 0 {
+        taken as f64 / branches as f64
+    } else {
+        0.0
+    };
+
+    if json {
+        println!(
+            "{{\"name\":{},\"declared_branches\":{},\"declared_threads\":{declared_threads},\
+             \"events\":{events},\"branches\":{branches},\"taken_rate\":{taken_rate:.6},\
+             \"context_switches\":{switches},\"mode_switches\":{modes},\
+             \"interrupts\":{interrupts},\"max_tid\":{max_tid}}}",
+            stbpu_engine::minijson::escape(&name),
+            declared_branches
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        );
+    } else {
+        println!("{path}: trace '{name}'");
+        match declared_branches {
+            Some(b) => println!("  declared: {b} branches, {declared_threads} threads"),
+            None => println!("  declared: no metadata headers (threads {declared_threads})"),
+        }
+        println!("  events:   {events} total — {branches} branches (taken rate {taken_rate:.4}),");
+        println!(
+            "            {switches} context switches, {modes} mode switches, {interrupts} interrupts"
+        );
+        if let Some(b) = declared_branches {
+            if b != branches {
+                println!("  WARNING: declared branch count {b} != actual {branches}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Re-serializes a trace file: normalizes headers (`# branches` /
+/// `# threads` are recomputed) and optionally renames the trace.
+///
+/// Streams in two passes — pass 1 counts branches/threads (and picks up
+/// any late `# trace` header) for the normalized header block, pass 2
+/// copies events — so file size never bounds memory, matching
+/// `generate`.
+fn convert(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let name = a.opt("--name")?;
+    let ops = a.finish()?;
+    let [input, output] = &ops[..] else {
+        return Err(Failure::Usage(
+            "convert takes exactly two operands: IN OUT".to_string(),
+        ));
+    };
+
+    // Pass 1: exact counts for the header.
+    let open = || -> Result<TraceReader<BufReader<std::fs::File>>, Failure> {
+        TraceReader::new(BufReader::new(std::fs::File::open(input)?))
+            .map_err(|e| Failure::Runtime(e.to_string()))
+    };
+    let mut src = open()?;
+    let (mut events, mut branches, mut threads) = (0u64, 0u64, 0usize);
+    while let Some(ev) = src
+        .next_record()
+        .map_err(|e| Failure::Runtime(e.to_string()))?
+    {
+        events += 1;
+        if matches!(ev, TraceEvent::Branch { .. }) {
+            branches += 1;
+        }
+        threads = threads.max(ev.tid() as usize + 1);
+    }
+    // A late `# trace` header has been absorbed by now; an explicit
+    // --name wins over whatever the file declares.
+    let name = name.unwrap_or_else(|| src.name().to_string());
+
+    // Pass 2: copy events under the normalized header.
+    let mut src = open()?;
+    let out = std::fs::File::create(output)?;
+    let mut w = BufWriter::new(out);
+    write_header(&mut w, &name, Some(branches), threads)?;
+    while let Some(ev) = src
+        .next_record()
+        .map_err(|e| Failure::Runtime(e.to_string()))?
+    {
+        write_event(&mut w, &ev)?;
+    }
+    w.flush()?;
+    eprintln!(
+        "converted {input} -> {output} ({events} events, {branches} branches, {threads} threads)"
+    );
+    Ok(())
+}

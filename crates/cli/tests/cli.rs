@@ -1,0 +1,395 @@
+//! Integration tests driving the real `stbpu` binary
+//! (`CARGO_BIN_EXE_stbpu`): round-trip parity with direct engine calls,
+//! exit-code contracts for unknown names, and help-output completeness.
+
+use stbpu_engine::{Experiment, ModelRegistry, Scenario};
+use stbpu_sim::Protection;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn stbpu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_stbpu"))
+        .args(args)
+        .env_remove("STBPU_BRANCHES")
+        .env_remove("STBPU_SEED")
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stbpu-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+// --- round-trip parity with direct engine calls -----------------------
+
+#[test]
+fn simulate_json_is_bit_identical_to_engine_run() {
+    let out = stbpu(&[
+        "simulate",
+        "--model",
+        "st_skl@r=0.05",
+        "--workload",
+        "505.mcf",
+        "--branches",
+        "6000",
+        "--seed",
+        "11",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let set = Experiment::new("ref")
+        .workload("505.mcf")
+        .scenario(Scenario::new("st_skl@r=0.05", Protection::Stbpu))
+        .branches(6000)
+        .seed(11)
+        .run()
+        .unwrap();
+    let expected = stbpu_engine::report_to_json(&set.records()[0].report, 11);
+    assert_eq!(stdout(&out).trim(), expected);
+}
+
+#[test]
+fn grid_csv_is_bit_identical_to_engine_run() {
+    let out = stbpu(&[
+        "grid",
+        "--workloads",
+        "505.mcf,541.leela",
+        "--scenarios",
+        "skl:unprotected,st_skl@r=0.05:stbpu",
+        "--seeds",
+        "1,2",
+        "--branches",
+        "3000",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let set = Experiment::new("ref")
+        .workloads(["505.mcf", "541.leela"])
+        .scenario(Scenario::new("skl", Protection::Unprotected))
+        .scenario(Scenario::new("st_skl@r=0.05", Protection::Stbpu))
+        .seeds([1, 2])
+        .branches(3000)
+        .run()
+        .unwrap();
+    assert_eq!(stdout(&out), set.to_csv());
+}
+
+#[test]
+fn spec_file_grid_matches_inline_flags() {
+    let spec_path = scratch("grid.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"spec\"\nworkloads = [\"525.x264\"]\n\
+         scenarios = [\"skl:unprotected\", \"skl:ucode1\"]\n\
+         seeds = [3]\nbranches = 2500\n",
+    )
+    .unwrap();
+    let via_spec = stbpu(&["grid", "--spec", spec_path.to_str().unwrap()]);
+    assert!(via_spec.status.success(), "{}", stderr(&via_spec));
+    let via_flags = stbpu(&[
+        "grid",
+        "--workloads",
+        "525.x264",
+        "--scenarios",
+        "skl:unprotected,skl:ucode1",
+        "--seeds",
+        "3",
+        "--branches",
+        "2500",
+    ]);
+    assert!(via_flags.status.success(), "{}", stderr(&via_flags));
+    assert_eq!(stdout(&via_spec), stdout(&via_flags));
+}
+
+#[test]
+fn trace_file_round_trip_is_bit_identical_to_generator() {
+    let trace_path = scratch("roundtrip.trace");
+    let gen = stbpu(&[
+        "trace",
+        "generate",
+        "--workload",
+        "541.leela",
+        "--branches",
+        "4000",
+        "--seed",
+        "9",
+        "--out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+
+    let common = ["--model", "skl", "--seed", "9", "--format", "json"];
+    let via_file = stbpu(
+        &[
+            &["simulate", "--trace-file", trace_path.to_str().unwrap()],
+            &common[..],
+        ]
+        .concat(),
+    );
+    assert!(via_file.status.success(), "{}", stderr(&via_file));
+    let via_generator = stbpu(
+        &[
+            &["simulate", "--workload", "541.leela", "--branches", "4000"],
+            &common[..],
+        ]
+        .concat(),
+    );
+    assert!(via_generator.status.success(), "{}", stderr(&via_generator));
+    assert_eq!(stdout(&via_file), stdout(&via_generator));
+
+    // convert re-serializes bit-identically (headers normalized).
+    let converted = scratch("converted.trace");
+    let conv = stbpu(&[
+        "trace",
+        "convert",
+        trace_path.to_str().unwrap(),
+        converted.to_str().unwrap(),
+    ]);
+    assert!(conv.status.success(), "{}", stderr(&conv));
+    assert_eq!(
+        std::fs::read_to_string(&trace_path).unwrap(),
+        std::fs::read_to_string(&converted).unwrap()
+    );
+}
+
+#[test]
+fn figures_subcommand_matches_knob_scaled_output() {
+    // table2 is deterministic and scale-independent: the CLI must print
+    // exactly what the shared implementation prints.
+    let out = stbpu(&["figures", "table2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("Table II"), "{text}");
+    for fn_name in ["R1", "R2", "R3", "R4", "Rt", "Rp"] {
+        assert!(text.contains(fn_name), "missing {fn_name}");
+    }
+}
+
+// --- exit codes and suggestion lists ----------------------------------
+
+#[test]
+fn unknown_model_exits_nonzero_with_suggestions() {
+    let out = stbpu(&["simulate", "--model", "warp_drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown model 'warp_drive'"), "{err}");
+    // The registry's full suggestion list is part of the message.
+    for name in ModelRegistry::standard().names() {
+        assert!(err.contains(name), "suggestion list missing {name}: {err}");
+    }
+}
+
+#[test]
+fn unknown_workload_exits_nonzero_with_suggestions() {
+    let out = stbpu(&["simulate", "--model", "skl", "--workload", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload profile 'warp'"), "{err}");
+    for known in ["505.mcf", "541.leela", "apache2_prefork_c128"] {
+        assert!(err.contains(known), "{err}");
+    }
+
+    let out = stbpu(&[
+        "grid",
+        "--workloads",
+        "warp",
+        "--scenarios",
+        "skl:unprotected",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown workload"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_command_flag_and_figure_exit_nonzero() {
+    assert_eq!(stbpu(&["warp"]).status.code(), Some(2));
+    assert_eq!(
+        stbpu(&["simulate", "--model", "skl", "--brnaches", "5"])
+            .status
+            .code(),
+        Some(2)
+    );
+    let out = stbpu(&["figures", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("fig3"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_model_params_exit_nonzero() {
+    let out = stbpu(&["simulate", "--model", "st_skl@r=zero"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("bad parameters"), "{}", stderr(&out));
+}
+
+// --- help completeness ------------------------------------------------
+
+#[test]
+fn main_help_lists_every_registered_scheme_and_subcommand() {
+    let out = stbpu(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let registry = ModelRegistry::standard();
+    for name in registry.names() {
+        assert!(text.contains(name), "help missing model {name}");
+    }
+    for alias in registry.alias_names() {
+        assert!(text.contains(alias), "help missing alias {alias}");
+    }
+    for sub in [
+        "simulate", "grid", "attack", "trace", "figures", "bench", "list",
+    ] {
+        assert!(text.contains(sub), "help missing subcommand {sub}");
+    }
+    // Workload catalogs are live too.
+    for workload in ["505.mcf", "mysql_256con_50s", "chrome-1jetstream"] {
+        assert!(text.contains(workload), "help missing workload {workload}");
+    }
+}
+
+#[test]
+fn subcommand_help_includes_model_catalog() {
+    let out = stbpu(&["simulate", "--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("--model"), "{text}");
+    for name in ModelRegistry::standard().names() {
+        assert!(text.contains(name), "simulate --help missing {name}");
+    }
+    let out = stbpu(&["help", "figures"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("--quick"));
+}
+
+#[test]
+fn figures_list_covers_all_ten_harnesses() {
+    let out = stbpu(&["figures", "--list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for f in stbpu_bench::figures::ALL {
+        assert!(text.contains(f.name), "missing {}", f.name);
+    }
+}
+
+// --- bench + baseline gate --------------------------------------------
+
+#[test]
+fn bench_baseline_round_trip_and_drift_detection() {
+    let dir = scratch("bench-out");
+    let baseline = scratch("baseline.json");
+    let dir_s = dir.to_str().unwrap();
+    let base_s = baseline.to_str().unwrap();
+    let config = [
+        "bench",
+        "--branches",
+        "10000",
+        "--seed",
+        "5",
+        "--out-dir",
+        dir_s,
+        "--json",
+    ];
+
+    // Record a baseline, then a fresh identical run must pass the gate.
+    let rec = stbpu(&[&config[..], &["--update-baseline", base_s]].concat());
+    assert!(rec.status.success(), "{}", stderr(&rec));
+    let json = stdout(&rec);
+    assert!(json.starts_with('[') && json.contains("\"oae\":"), "{json}");
+    for scheme in ["baseline", "stbpu", "ucode1", "conservative", "st_tage64"] {
+        assert!(
+            dir.join(format!("BENCH_{scheme}.json")).is_file(),
+            "missing BENCH_{scheme}.json"
+        );
+    }
+    let check = stbpu(&[&config[..], &["--check", base_s]].concat());
+    assert!(check.status.success(), "{}", stderr(&check));
+    assert!(stderr(&check).contains("baseline check passed"));
+
+    // Tampering with one scheme's OAE must fail the gate with the drift
+    // named.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let tampered = text.replacen("\"stbpu\": 0.", "\"stbpu\": 1.", 1);
+    assert_ne!(text, tampered, "tamper point not found in {text}");
+    std::fs::write(&baseline, tampered).unwrap();
+    let fail = stbpu(&[&config[..], &["--check", base_s]].concat());
+    assert_eq!(fail.status.code(), Some(1));
+    let err = stderr(&fail);
+    assert!(err.contains("scheme 'stbpu'"), "{err}");
+    assert!(err.contains("--update-baseline"), "{err}");
+
+    // A config mismatch is refused outright.
+    let mismatch = stbpu(&[
+        "bench",
+        "--branches",
+        "9999",
+        "--seed",
+        "5",
+        "--out-dir",
+        dir_s,
+        "--check",
+        base_s,
+    ]);
+    assert_eq!(mismatch.status.code(), Some(1));
+    assert!(
+        stderr(&mismatch).contains("was recorded for"),
+        "{}",
+        stderr(&mismatch)
+    );
+}
+
+#[test]
+fn bench_output_is_deterministic_for_fixed_seed() {
+    let dir = scratch("bench-det");
+    let run = |n: &str| {
+        let out = stbpu(&[
+            "bench",
+            "--branches",
+            "8000",
+            "--seed",
+            "7",
+            "--out-dir",
+            dir.join(n).to_str().unwrap(),
+            "--json",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    let (a, b) = (run("a"), run("b"));
+    // Strip the wall-clock fields; everything else must be identical.
+    let strip = |s: &str| {
+        s.split(',')
+            .filter(|f| !f.contains("elapsed_s") && !f.contains("branches_per_s"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(strip(&a), strip(&b));
+}
+
+// --- attack telemetry --------------------------------------------------
+
+#[test]
+fn attack_json_telemetry_is_machine_readable() {
+    let out = stbpu(&["attack", "--branches", "20000", "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&out).trim()).expect("valid JSON");
+    let st = doc.get("stbpu").expect("stbpu section");
+    assert!(st.get("rerandomizations").unwrap().as_u64().unwrap() > 0);
+    assert!(!st.get("marks").unwrap().as_array().unwrap().is_empty());
+    let uc = doc.get("ucode1").expect("ucode1 section");
+    assert!(uc.get("flushes").unwrap().as_u64().unwrap() > 0);
+}

@@ -31,6 +31,9 @@ pub enum EngineError {
     WorkloadSource(String),
     /// The experiment declares no workloads or no scenarios.
     EmptyGrid(&'static str),
+    /// A spec file (TOML/JSON experiment declaration) failed to read or
+    /// parse.
+    Spec(String),
     /// A simulation inside the experiment failed.
     Sim(SimError),
 }
@@ -59,6 +62,7 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::WorkloadSource(w) => write!(f, "workload source failed: {w}"),
             EngineError::EmptyGrid(what) => write!(f, "experiment declares no {what}"),
+            EngineError::Spec(msg) => write!(f, "bad experiment spec: {msg}"),
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }

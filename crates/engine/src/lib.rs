@@ -56,9 +56,11 @@
 
 mod error;
 mod experiment;
+pub mod minijson;
 mod parallel;
 mod registry;
 mod report;
+mod spec;
 mod stats;
 mod workload;
 
@@ -67,5 +69,6 @@ pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
 pub use parallel::parallel_map;
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
 pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+pub use spec::ExperimentSpec;
 pub use stats::{geomean, mean};
 pub use workload::{SourceFactory, Workload};

@@ -455,6 +455,24 @@ impl ModelRegistry {
         self.entries.get(name).map(|e| e.summary)
     }
 
+    /// Every registered name with its summary and alias flag, sorted by
+    /// name — the single source of truth for CLI/help catalog output.
+    pub fn catalog(&self) -> Vec<(&str, &'static str, bool)> {
+        self.entries
+            .iter()
+            .map(|(n, e)| (n.as_str(), e.summary, e.alias))
+            .collect()
+    }
+
+    /// Alias names only, sorted.
+    pub fn alias_names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.alias)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
     /// Whether `name` (canonical or alias) resolves.
     pub fn contains(&self, name: &str) -> bool {
         self.entries.contains_key(name)

@@ -1,0 +1,530 @@
+//! Experiment spec files: declare a whole `workloads × scenarios × seeds`
+//! grid in TOML or JSON and run it without recompiling.
+//!
+//! The format mirrors the [`crate::Experiment`] builder one-to-one:
+//!
+//! ```toml
+//! # sweep.toml — every key except workloads/scenarios is optional
+//! name = "r-sweep"
+//! workloads = ["505.mcf", "541.leela"]
+//! trace_files = ["captures/apache.trace"]
+//! scenarios = ["skl:unprotected", "st_skl@r=0.05:stbpu"]
+//! seeds = [1, 2, 3]
+//! branches = 20000
+//! warmup = 0.1            # fraction; or: warmup_branches = 500
+//! interval = 1000         # OAE-over-time window (branches)
+//! threads = 2
+//! ```
+//!
+//! The same keys in a JSON object work identically (the leading character
+//! decides the dialect). Parsing is offline — TOML support is a
+//! line-oriented subset (scalars and single-line arrays, `#` comments),
+//! which covers every grid the builder can express; JSON goes through
+//! [`crate::minijson`].
+
+use crate::error::EngineError;
+use crate::experiment::{Experiment, Scenario};
+use crate::minijson::Json;
+use crate::workload::Workload;
+
+/// A declarative experiment grid parsed from a spec file.
+///
+/// ```
+/// use stbpu_engine::ExperimentSpec;
+///
+/// let spec = ExperimentSpec::parse(
+///     "name = \"demo\"\nworkloads = [\"505.mcf\"]\n\
+///      scenarios = [\"skl:unprotected\"]\nbranches = 2000\n",
+/// )
+/// .unwrap();
+/// let set = spec.to_experiment().unwrap().run().unwrap();
+/// assert_eq!(set.records().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (default `"spec"`).
+    pub name: Option<String>,
+    /// Named workload profiles.
+    pub workloads: Vec<String>,
+    /// Line-format trace files (paths).
+    pub trace_files: Vec<String>,
+    /// `model:protection` scenario strings.
+    pub scenarios: Vec<String>,
+    /// Seeds (default: the builder's default seed).
+    pub seeds: Vec<u64>,
+    /// Branches per generated stream.
+    pub branches: Option<usize>,
+    /// Fractional warm-up.
+    pub warmup: Option<f64>,
+    /// Absolute warm-up budget in branches (overrides `warmup`).
+    pub warmup_branches: Option<u64>,
+    /// OAE-over-time window size in branches.
+    pub interval: Option<u64>,
+    /// Explicit hardware-thread provision.
+    pub threads: Option<usize>,
+}
+
+impl ExperimentSpec {
+    /// Parses a spec document, auto-detecting JSON (`{`-leading) vs TOML.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        if text.trim_start().starts_with('{') {
+            Self::from_json(text)
+        } else {
+            Self::from_toml(text)
+        }
+    }
+
+    /// Reads and parses a spec file.
+    pub fn load(path: &std::path::Path) -> Result<Self, EngineError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| EngineError::Spec(format!("read {}: {e}", path.display())))?;
+        Self::parse(&text)
+            .map_err(|e| EngineError::Spec(format!("{}: {}", path.display(), spec_reason(e))))
+    }
+
+    /// Parses the JSON dialect.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let doc = Json::parse(text).map_err(|e| EngineError::Spec(e.to_string()))?;
+        let fields = doc
+            .fields()
+            .ok_or_else(|| EngineError::Spec("spec document must be a JSON object".to_string()))?;
+        let mut spec = ExperimentSpec::default();
+        for (key, value) in fields {
+            spec.set(key, &JsonVal(value))?;
+        }
+        Ok(spec)
+    }
+
+    /// Parses the TOML-subset dialect.
+    pub fn from_toml(text: &str) -> Result<Self, EngineError> {
+        let mut spec = ExperimentSpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let ln = idx + 1;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                EngineError::Spec(format!("line {ln}: expected 'key = value', got '{line}'"))
+            })?;
+            let value = toml_value(value.trim())
+                .map_err(|msg| EngineError::Spec(format!("line {ln}: {msg}")))?;
+            spec.set(key.trim(), &value)
+                .map_err(|e| EngineError::Spec(format!("line {ln}: {}", spec_reason(e))))?;
+        }
+        Ok(spec)
+    }
+
+    fn set(&mut self, key: &str, value: &dyn SpecValue) -> Result<(), EngineError> {
+        let bad = |what: &str| EngineError::Spec(format!("key '{key}' must be {what}"));
+        match key {
+            "name" => self.name = Some(value.str().ok_or_else(|| bad("a string"))?),
+            "workloads" => {
+                self.workloads = value.str_list().ok_or_else(|| bad("a list of strings"))?
+            }
+            "trace_files" => {
+                self.trace_files = value.str_list().ok_or_else(|| bad("a list of strings"))?
+            }
+            "scenarios" => {
+                self.scenarios = value.str_list().ok_or_else(|| bad("a list of strings"))?
+            }
+            "seeds" => self.seeds = value.u64_list().ok_or_else(|| bad("a list of integers"))?,
+            "branches" => {
+                self.branches = Some(value.u64().ok_or_else(|| bad("an integer"))? as usize)
+            }
+            "warmup" => {
+                let w = value.f64().ok_or_else(|| bad("a number"))?;
+                if !(0.0..1.0).contains(&w) {
+                    return Err(EngineError::Spec(format!(
+                        "warmup fraction {w} not in [0, 1)"
+                    )));
+                }
+                self.warmup = Some(w);
+            }
+            "warmup_branches" => {
+                self.warmup_branches = Some(value.u64().ok_or_else(|| bad("an integer"))?)
+            }
+            "interval" => self.interval = Some(value.u64().ok_or_else(|| bad("an integer"))?),
+            "threads" => {
+                self.threads = Some(value.u64().ok_or_else(|| bad("an integer"))? as usize)
+            }
+            other => {
+                return Err(EngineError::Spec(format!(
+                    "unknown key '{other}' (accepted: name, workloads, trace_files, \
+                     scenarios, seeds, branches, warmup, warmup_branches, interval, threads)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the spec as an [`Experiment`] builder (scenario
+    /// strings parsed, workloads attached). Grid validation — names,
+    /// files, emptiness — happens in [`Experiment::run`].
+    pub fn to_experiment(&self) -> Result<Experiment, EngineError> {
+        let mut exp = Experiment::new(self.name.as_deref().unwrap_or("spec"));
+        for w in &self.workloads {
+            exp = exp.workload(w);
+        }
+        for f in &self.trace_files {
+            exp = exp.add_workload(Workload::File(f.into()));
+        }
+        for s in &self.scenarios {
+            exp = exp.scenario(Scenario::parse(s)?);
+        }
+        if !self.seeds.is_empty() {
+            exp = exp.seeds(self.seeds.iter().copied());
+        }
+        if let Some(b) = self.branches {
+            exp = exp.branches(b);
+        }
+        if let Some(w) = self.warmup {
+            exp = exp.warmup(w);
+        }
+        if let Some(w) = self.warmup_branches {
+            exp = exp.warmup_branches(w);
+        }
+        if let Some(i) = self.interval {
+            exp = exp.interval(i);
+        }
+        if let Some(t) = self.threads {
+            exp = exp.threads(t);
+        }
+        Ok(exp)
+    }
+}
+
+fn spec_reason(e: EngineError) -> String {
+    match e {
+        EngineError::Spec(msg) => msg,
+        other => other.to_string(),
+    }
+}
+
+/// Dialect-independent view of one spec value.
+trait SpecValue {
+    fn str(&self) -> Option<String>;
+    fn f64(&self) -> Option<f64>;
+    fn u64(&self) -> Option<u64>;
+    fn str_list(&self) -> Option<Vec<String>>;
+    fn u64_list(&self) -> Option<Vec<u64>>;
+}
+
+struct JsonVal<'a>(&'a Json);
+
+impl SpecValue for JsonVal<'_> {
+    fn str(&self) -> Option<String> {
+        self.0.as_str().map(str::to_string)
+    }
+    fn f64(&self) -> Option<f64> {
+        self.0.as_f64()
+    }
+    fn u64(&self) -> Option<u64> {
+        self.0.as_u64()
+    }
+    fn str_list(&self) -> Option<Vec<String>> {
+        self.0
+            .as_array()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect()
+    }
+    fn u64_list(&self) -> Option<Vec<u64>> {
+        self.0.as_array()?.iter().map(Json::as_u64).collect()
+    }
+}
+
+/// One parsed TOML-subset value.
+enum TomlVal {
+    Str(String),
+    Num(f64),
+    StrList(Vec<String>),
+    NumList(Vec<f64>),
+}
+
+impl SpecValue for TomlVal {
+    fn str(&self) -> Option<String> {
+        match self {
+            TomlVal::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+    fn f64(&self) -> Option<f64> {
+        match self {
+            TomlVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn u64(&self) -> Option<u64> {
+        match self {
+            TomlVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    fn str_list(&self) -> Option<Vec<String>> {
+        match self {
+            TomlVal::StrList(items) => Some(items.clone()),
+            _ => None,
+        }
+    }
+    fn u64_list(&self) -> Option<Vec<u64>> {
+        match self {
+            TomlVal::NumList(items) => items
+                .iter()
+                .map(|n| {
+                    if *n >= 0.0 && n.fract() == 0.0 {
+                        Some(*n as u64)
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one TOML-subset value: `"string"`, number, or a single-line
+/// array of either. A trailing `# comment` after the value is stripped.
+fn toml_value(raw: &str) -> Result<TomlVal, String> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('[') {
+        // Find the closing ']' outside any quoted string — a later ']'
+        // inside a trailing `# comment [like this]` must not be picked.
+        let mut close = None;
+        let mut in_string = false;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '"' => in_string = !in_string,
+                ']' if !in_string => {
+                    close = Some(i);
+                    break;
+                }
+                '#' if !in_string => break,
+                _ => {}
+            }
+        }
+        let close =
+            close.ok_or_else(|| "unterminated array (arrays must be single-line)".to_string())?;
+        let (body, tail) = (&rest[..close], rest[close + 1..].trim());
+        if !(tail.is_empty() || tail.starts_with('#')) {
+            return Err(format!("trailing characters after array: '{tail}'"));
+        }
+        let items = split_array_items(body);
+        if items.is_empty() {
+            return Ok(TomlVal::StrList(Vec::new()));
+        }
+        if items[0].starts_with('"') {
+            items
+                .iter()
+                .map(|i| toml_string(i))
+                .collect::<Result<_, _>>()
+                .map(TomlVal::StrList)
+        } else {
+            items
+                .iter()
+                .map(|i| {
+                    i.parse::<f64>()
+                        .map_err(|_| format!("'{i}' is not a number"))
+                })
+                .collect::<Result<_, _>>()
+                .map(TomlVal::NumList)
+        }
+    } else if raw.starts_with('"') {
+        toml_string(strip_comment_after_string(raw)?).map(TomlVal::Str)
+    } else {
+        let scalar = raw.split('#').next().unwrap_or("").trim();
+        scalar
+            .parse::<f64>()
+            .map(TomlVal::Num)
+            .map_err(|_| format!("'{scalar}' is not a number or \"string\""))
+    }
+}
+
+/// Splits an array body at commas outside quoted strings (so a path like
+/// `"a,b.trace"` stays one element), trimming and dropping empties
+/// (trailing commas).
+fn split_array_items(body: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&body[start..]);
+    items
+        .into_iter()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Strips a `# comment` following a closing quote.
+fn strip_comment_after_string(raw: &str) -> Result<&str, String> {
+    let close = raw[1..]
+        .find('"')
+        .ok_or_else(|| format!("unterminated string: {raw}"))?;
+    let (value, tail) = raw.split_at(close + 2);
+    let tail = tail.trim();
+    if tail.is_empty() || tail.starts_with('#') {
+        Ok(value)
+    } else {
+        Err(format!("trailing characters after string: '{tail}'"))
+    }
+}
+
+/// Unquotes a `"simple"` TOML string (no escape support — names, specs and
+/// paths in this workspace never need escapes).
+fn toml_string(raw: &str) -> Result<String, String> {
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("'{raw}' is not a quoted string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML: &str = r#"
+# full-surface spec
+name = "sweep"                # inline comment after a string
+workloads = ["505.mcf", "541.leela"]
+scenarios = ["skl:unprotected", "st_skl@r=0.05:stbpu"]
+seeds = [1, 2]
+branches = 2000               # inline comment after a number
+warmup = 0.1
+interval = 500
+"#;
+
+    const JSON: &str = r#"{
+  "name": "sweep",
+  "workloads": ["505.mcf", "541.leela"],
+  "scenarios": ["skl:unprotected", "st_skl@r=0.05:stbpu"],
+  "seeds": [1, 2],
+  "branches": 2000,
+  "warmup": 0.1,
+  "interval": 500
+}"#;
+
+    #[test]
+    fn toml_and_json_dialects_parse_identically() {
+        let t = ExperimentSpec::parse(TOML).unwrap();
+        let j = ExperimentSpec::parse(JSON).unwrap();
+        assert_eq!(t, j);
+        assert_eq!(t.name.as_deref(), Some("sweep"));
+        assert_eq!(t.workloads, ["505.mcf", "541.leela"]);
+        assert_eq!(t.seeds, [1, 2]);
+        assert_eq!(t.branches, Some(2000));
+        assert_eq!(t.warmup, Some(0.1));
+        assert_eq!(t.interval, Some(500));
+    }
+
+    #[test]
+    fn spec_run_matches_builder_run() {
+        use crate::experiment::{Experiment, Scenario};
+        let from_spec = ExperimentSpec::parse(TOML)
+            .unwrap()
+            .to_experiment()
+            .unwrap()
+            .run()
+            .unwrap();
+        let from_builder = Experiment::new("sweep")
+            .workloads(["505.mcf", "541.leela"])
+            .scenario(Scenario::parse("skl:unprotected").unwrap())
+            .scenario(Scenario::parse("st_skl@r=0.05:stbpu").unwrap())
+            .seeds([1, 2])
+            .branches(2000)
+            .warmup(0.1)
+            .interval(500)
+            .run()
+            .unwrap();
+        assert_eq!(from_spec.to_csv(), from_builder.to_csv());
+        assert_eq!(
+            from_spec.records()[0].intervals,
+            from_builder.records()[0].intervals
+        );
+    }
+
+    #[test]
+    fn trace_file_and_warmup_branches_keys() {
+        let spec = ExperimentSpec::parse(
+            "trace_files = [\"a.trace\"]\nscenarios = [\"skl:unprotected\"]\nwarmup_branches = 100\nthreads = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.trace_files, ["a.trace"]);
+        assert_eq!(spec.warmup_branches, Some(100));
+        assert_eq!(spec.threads, Some(2));
+        // The missing file is caught at run() time.
+        let err = spec.to_experiment().unwrap().run().unwrap_err();
+        assert!(matches!(err, EngineError::WorkloadSource(_)));
+    }
+
+    #[test]
+    fn bad_specs_report_actionable_errors() {
+        for (text, needle) in [
+            ("branches = []", "key 'branches' must be an integer"),
+            ("branches", "expected 'key = value'"),
+            ("warmup = 1.5", "not in [0, 1)"),
+            ("seeds = [1.5]", "list of integers"),
+            ("warp = 1", "unknown key 'warp'"),
+            ("workloads = [\"a\"", "unterminated array"),
+            ("name = \"a\" extra", "trailing characters"),
+            ("{\"branches\": []}", "key 'branches' must be an integer"),
+            ("{\"branches\": 1", "JSON error"),
+        ] {
+            let e = ExperimentSpec::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?} -> {e} (wanted {needle:?})"
+            );
+        }
+        let e = ExperimentSpec::from_json("[1, 2]").unwrap_err();
+        assert!(e.to_string().contains("must be a JSON object"), "{e}");
+    }
+
+    #[test]
+    fn toml_line_numbers_in_errors() {
+        let e = ExperimentSpec::parse("name = \"x\"\n\nbranches = nope\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn empty_arrays_parse() {
+        let spec = ExperimentSpec::parse("workloads = []\n").unwrap();
+        assert!(spec.workloads.is_empty());
+    }
+
+    #[test]
+    fn array_comments_and_bracket_strings_parse() {
+        // A ']' inside a trailing comment must not terminate the array…
+        let spec = ExperimentSpec::parse("workloads = [\"505.mcf\"] # see [1]\n").unwrap();
+        assert_eq!(spec.workloads, ["505.mcf"]);
+        // …and a ']' inside a quoted element belongs to the string.
+        let spec = ExperimentSpec::parse("trace_files = [\"a]b.trace\"]\n").unwrap();
+        assert_eq!(spec.trace_files, ["a]b.trace"]);
+        // A ',' inside a quoted element does not split it.
+        let spec = ExperimentSpec::parse("trace_files = [\"a,b.trace\", \"c.trace\"]\n").unwrap();
+        assert_eq!(spec.trace_files, ["a,b.trace", "c.trace"]);
+    }
+
+    #[test]
+    fn missing_spec_file_errors() {
+        let e = ExperimentSpec::load(std::path::Path::new("/nonexistent/spec.toml")).unwrap_err();
+        assert!(matches!(e, EngineError::Spec(_)));
+    }
+
+    #[test]
+    fn bad_scenario_string_surfaces_at_to_experiment() {
+        let spec = ExperimentSpec::parse("scenarios = [\"skl\"]\n").unwrap();
+        let err = spec.to_experiment().map(|_| ()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidScenario(_)));
+    }
+}

@@ -31,6 +31,18 @@ pub struct ParseTraceError {
     msg: String,
 }
 
+impl ParseTraceError {
+    /// 1-based line number the error occurred at.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The reason, without the line prefix.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "trace parse error at line {}: {}", self.line, self.msg)
@@ -77,28 +89,62 @@ fn kind_from(code: &str) -> Option<BranchKind> {
 /// Propagates I/O errors from the writer. A `&mut Vec<u8>` or any other
 /// `Write` implementor can be passed by mutable reference.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# trace {}", trace.name)?;
-    writeln!(w, "# branches {}", trace.branch_count())?;
-    writeln!(w, "# threads {}", trace.thread_count())?;
+    write_header(
+        &mut w,
+        &trace.name,
+        Some(trace.branch_count() as u64),
+        trace.thread_count(),
+    )?;
     for ev in trace.events() {
-        match ev {
-            TraceEvent::Branch { tid, rec } => writeln!(
-                w,
-                "B {} {:x} {} {} {:x} {} {}",
-                tid,
-                rec.pc.raw(),
-                kind_code(rec.kind),
-                rec.taken as u8,
-                rec.target.raw(),
-                rec.ilen,
-                rec.gap
-            )?,
-            TraceEvent::ContextSwitch { tid, entity } => writeln!(w, "C {} {}", tid, entity.0)?,
-            TraceEvent::ModeSwitch { tid, kernel } => writeln!(w, "M {} {}", tid, *kernel as u8)?,
-            TraceEvent::Interrupt { tid } => writeln!(w, "I {}", tid)?,
-        }
+        write_event(&mut w, ev)?;
     }
     Ok(())
+}
+
+/// Writes the metadata header block (`# trace` / `# branches` /
+/// `# threads`); the branch count is omitted when unknown (e.g. when
+/// streaming from a hint-less source).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_header<W: Write>(
+    mut w: W,
+    name: &str,
+    branches: Option<u64>,
+    threads: usize,
+) -> std::io::Result<()> {
+    writeln!(w, "# trace {}", name)?;
+    if let Some(b) = branches {
+        writeln!(w, "# branches {}", b)?;
+    }
+    writeln!(w, "# threads {}", threads)
+}
+
+/// Writes one event as its line-format record — the streaming unit
+/// [`write_trace`] is built on, so event sources can be serialized one
+/// event at a time in O(1) memory.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_event<W: Write>(mut w: W, ev: &TraceEvent) -> std::io::Result<()> {
+    match ev {
+        TraceEvent::Branch { tid, rec } => writeln!(
+            w,
+            "B {} {:x} {} {} {:x} {} {}",
+            tid,
+            rec.pc.raw(),
+            kind_code(rec.kind),
+            rec.taken as u8,
+            rec.target.raw(),
+            rec.ilen,
+            rec.gap
+        ),
+        TraceEvent::ContextSwitch { tid, entity } => writeln!(w, "C {} {}", tid, entity.0),
+        TraceEvent::ModeSwitch { tid, kernel } => writeln!(w, "M {} {}", tid, *kernel as u8),
+        TraceEvent::Interrupt { tid } => writeln!(w, "I {}", tid),
+    }
 }
 
 fn parse_event(line: &str, ln: usize) -> Result<TraceEvent, ParseTraceError> {
@@ -252,19 +298,27 @@ impl<R: BufRead> TraceReader<R> {
             return Ok(true);
         }
         if let Some(rest) = line.strip_prefix("# branches ") {
-            self.branch_hint = Some(
-                rest.trim()
-                    .parse()
-                    .map_err(|_| err("bad '# branches' header"))?,
-            );
+            let value = rest.trim();
+            self.branch_hint = Some(value.parse().map_err(|_| {
+                err(&format!(
+                    "bad '# branches' header: value '{value}' is not a branch count"
+                ))
+            })?);
             return Ok(true);
         }
         if let Some(rest) = line.strip_prefix("# threads ") {
-            self.threads = rest
-                .trim()
-                .parse()
-                .map_err(|_| err("bad '# threads' header"))?;
+            let value = rest.trim();
+            self.threads = value.parse().map_err(|_| {
+                err(&format!(
+                    "bad '# threads' header: value '{value}' is not a thread count"
+                ))
+            })?;
             return Ok(true);
+        }
+        // A metadata header with its value missing entirely (the trailing
+        // space is trimmed away with it) is malformed, not a comment.
+        if matches!(line, "# trace" | "# branches" | "# threads") {
+            return Err(err(&format!("bad '{line}' header: missing value")));
         }
         Ok(line.starts_with('#'))
     }
@@ -373,6 +427,63 @@ mod tests {
         assert!(e.to_string().contains("bad '# threads'"), "{e}");
         // Free-form comments are still skipped.
         assert!(TraceReader::new("# threadsafe note\n# branches-ish\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn bad_branches_header_reports_value_and_line() {
+        // Leading comments push the bad header off line 1, proving the
+        // reported line number is tracked, not hard-coded.
+        let e = TraceReader::new("# trace x\n\n# branches 3O00\n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(e.line(), 3, "{e}");
+        assert!(e.message().contains("'3O00'"), "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn bad_threads_header_reports_value_and_line() {
+        let e = TraceReader::new("# trace x\n# threads -2\n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(e.line(), 2, "{e}");
+        assert!(e.message().contains("'-2'"), "{e}");
+    }
+
+    #[test]
+    fn empty_header_values_report_line() {
+        // `# branches ` with nothing after the space trims to a valueless
+        // header — malformed, not a skippable comment.
+        let e = TraceReader::new("# branches \n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(e.line(), 1);
+        assert!(e.message().contains("missing value"), "{e}");
+        let mut src = TraceReader::new("I 0\n# threads\n".as_bytes()).expect("header");
+        assert!(src.next_record().unwrap().is_some());
+        let e = src.next_record().map(|_| ()).unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.message().contains("'# threads'"), "{e}");
+    }
+
+    #[test]
+    fn late_malformed_header_reports_mid_stream_line() {
+        // Headers appearing after records are still parsed — and still
+        // report their own line on error.
+        let mut src = TraceReader::new("I 0\nI 1\n# branches nine\n".as_bytes()).expect("header");
+        assert!(src.next_record().unwrap().is_some());
+        assert!(src.next_record().unwrap().is_some());
+        let e = src.next_record().unwrap_err();
+        assert_eq!(e.line(), 3, "{e}");
+        assert!(e.message().contains("'nine'"), "{e}");
+    }
+
+    #[test]
+    fn fractional_branch_counts_rejected() {
+        let e = TraceReader::new("# branches 12.5\n".as_bytes())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.message().contains("'12.5'"), "{e}");
     }
 
     #[test]

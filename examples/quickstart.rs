@@ -1,6 +1,9 @@
 //! Quickstart: declare an experiment against the engine API, run it, and
 //! compare STBPU with the unprotected baseline and microcode flushing.
 //!
+//! CLI equivalent of the grid below:
+//! `stbpu grid --workloads 525.x264 --scenarios skl:unprotected,st_skl@r=0.05:stbpu,skl:ucode1 --branches 60000`
+//!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```

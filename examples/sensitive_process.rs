@@ -3,6 +3,9 @@
 //! full performance — and what a BranchScope attacker sees in each case
 //! (Sections IV-A and VII-A).
 //!
+//! Per-process `r` policies are reachable from the shell as model params:
+//! `stbpu simulate --model st_skl@r=0.001 --workload 505.mcf` (see `stbpu attack --json`).
+//!
 //! ```bash
 //! cargo run --release --example sensitive_process
 //! ```

@@ -5,6 +5,9 @@
 //! including *selective sharing* of one token across identical workers
 //! (Section IV-A).
 //!
+//! The shell-level entry point to the same comparison is
+//! `stbpu simulate --model st_skl --workload apache2_prefork_c256` vs `--protection ucode1`.
+//!
 //! ```bash
 //! cargo run --release --example server_consolidation
 //! ```

@@ -1,6 +1,8 @@
 //! Spectre-v2 demonstration: branch target injection succeeds against the
 //! baseline BPU and is stalled by STBPU's keyed remapping + φ-encryption.
 //!
+//! The executed attack surface these cells belong to runs via `stbpu attack`.
+//!
 //! ```bash
 //! cargo run --release --example spectre_v2
 //! ```
