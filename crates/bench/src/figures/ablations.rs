@@ -36,7 +36,7 @@ pub fn run(k: &Knobs) {
         ),
     ] {
         let mut model = spec.build(seed);
-        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.0);
+        let report = simulate(&mut model, Protection::Unprotected, &trace, 0.0);
         println!("  {:<38} {:.4}", spec.label, report.direction_rate);
     }
     println!("  (hybrid = 1-level + 2-level + chooser; gshare = 2-level only)");
@@ -66,7 +66,7 @@ pub fn run(k: &Knobs) {
             MapperSpec::SecretToken(st_cfg),
         );
         let mut st = spec.build(seed);
-        let r = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+        let r = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
         println!(
             "  separate={separate:<5} dir rate {:.4}, Hmean IPC {:.3}, re-randomizations {}",
             r.direction_rate, r.hmean_ipc, r.rerandomizations

@@ -40,8 +40,8 @@ pub fn run(k: &Knobs) {
             .map(|&(base_spec, st_spec)| {
                 let mut base = registry.build(base_spec, seed).expect("registered");
                 let mut st = registry.build(st_spec, seed).expect("registered");
-                let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
-                let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
+                let rb = run_single(&mut base, &trace, &cfg, &mem);
+                let rs = run_single(&mut st, &trace, &cfg, &mem);
                 (
                     rb.direction_rate - rs.direction_rate,
                     rb.target_rate - rs.target_rate,

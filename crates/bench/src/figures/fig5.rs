@@ -46,8 +46,8 @@ pub fn run(k: &Knobs) {
             .map(|&(base_spec, st_spec)| {
                 let mut base = registry.build(base_spec, seed).expect("registered");
                 let mut st = registry.build(st_spec, seed).expect("registered");
-                let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
-                let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+                let rb = run_smt(&mut base, [&ta, &tb], &cfg, [&ma, &mb]);
+                let rs = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
                 (
                     rb.direction_rate - rs.direction_rate,
                     rb.target_rate - rs.target_rate,

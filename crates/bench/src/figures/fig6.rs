@@ -44,11 +44,11 @@ pub fn run(k: &Knobs) {
             let tb = TraceGenerator::new(&pb, seed ^ (i as u64) << 8).generate(n);
             let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
             let mut base = registry.build("tage64", seed).expect("registered");
-            let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+            let rb = run_smt(&mut base, [&ta, &tb], &cfg, [&ma, &mb]);
             let mut st = registry
                 .build(&st_spec, seed ^ i as u64)
                 .expect("registered");
-            let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+            let rs = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
             (
                 rs.direction_rate,
                 rs.hmean_ipc / rb.hmean_ipc.max(1e-9),

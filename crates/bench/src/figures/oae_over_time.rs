@@ -45,7 +45,7 @@ pub fn run(k: &Knobs) {
         let mut model = registry.build(spec, seed).expect("registered");
         let mut recorder = IntervalRecorder::new();
         let mut session = SimSession::new(
-            model.as_mut(),
+            &mut model,
             policy,
             SessionOptions {
                 warmup: Warmup::Branches(0),

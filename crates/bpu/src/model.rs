@@ -46,8 +46,10 @@ impl BranchOutcome {
 /// re-keyed via the [`crate::Mapper`] they are constructed with
 /// (`stbpu-core` provides the secret-token mapper).
 pub trait Bpu {
-    /// Human-readable model name (used in reports and figures).
-    fn name(&self) -> String;
+    /// Human-readable model name (used in reports and figures). Borrowed
+    /// from the model so the hot simulation/report plumbing never
+    /// allocates a `String` per call.
+    fn name(&self) -> &str;
 
     /// Processes one retired branch on hardware thread `tid`: predicts,
     /// compares with the architected outcome, updates all structures and

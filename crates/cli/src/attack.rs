@@ -25,7 +25,7 @@ fn telemetry_run(
     let mut source = w.open(seed, branches).map_err(Failure::from)?;
     let mut telemetry = MonitorTelemetry::new();
     let mut session = SimSession::new(
-        model.as_mut(),
+        &mut model,
         policy,
         SessionOptions {
             warmup: Warmup::Branches(0),

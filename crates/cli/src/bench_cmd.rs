@@ -1,19 +1,29 @@
 //! `stbpu bench` — the deterministic perf harness behind CI's regression
 //! gate.
 //!
-//! A fixed scheme suite streams one generated workload through a
-//! `SimSession` per scheme, measuring wall-clock time, branches/second
-//! and OAE. Every scheme writes a `BENCH_<name>.json` record (archived by
-//! CI as a perf-trajectory artifact); OAE is bit-deterministic for a
-//! fixed (workload, branches, seed) configuration, so `--check` can gate
-//! regressions against the committed `ci/baseline.json` with a tight
-//! tolerance while wall-clock numbers remain informational.
+//! Two suites share one fixed scheme set:
+//!
+//! * `--suite default` streams each scheme once through a batched
+//!   `SimSession`, measuring wall-clock time, branches/second and OAE.
+//!   Every scheme writes a `BENCH_<name>.json` record (archived by CI as
+//!   a perf-trajectory artifact); OAE is bit-deterministic for a fixed
+//!   (workload, branches, seed) configuration, so `--check` gates
+//!   regressions against the committed `ci/baseline.json` with a tight
+//!   tolerance while wall-clock numbers remain informational.
+//! * `--suite throughput` runs each scheme through both the batched
+//!   session path (`run`, internal event buffer, no-observer fast path)
+//!   and the unbatched reference path (`next_event` + `feed` per event),
+//!   hard-fails unless both produce bit-identical results, and emits
+//!   `BENCH_throughput.json` with branches/s for each path. Against a
+//!   baseline (`--check`) throughput drift produces *warn-only* notes —
+//!   wall-clock is machine-dependent, so the trajectory accumulates
+//!   before anything gates on it.
 
 use crate::args::Args;
 use crate::Failure;
 use stbpu_engine::minijson::{escape, Json};
 use stbpu_engine::{ModelRegistry, Workload};
-use stbpu_sim::{Protection, SessionOptions, SimSession, Warmup};
+use stbpu_sim::{Protection, SessionOptions, SimReport, SimSession, Warmup};
 use std::io::Write;
 use std::time::Instant;
 
@@ -27,6 +37,9 @@ const SCHEMES: &[(&str, &str, Protection)] = &[
     ("st_tage64", "st_tage64", Protection::Stbpu),
 ];
 
+/// Relative branches/s drift that triggers a (warn-only) throughput note.
+const THROUGHPUT_NOTE_FRAC: f64 = 0.10;
+
 /// One measured scheme.
 struct Record {
     name: &'static str,
@@ -36,14 +49,24 @@ struct Record {
     branches_per_s: f64,
     oae: f64,
     branches: u64,
+    /// Unbatched reference path (throughput suite only).
+    single_branches_per_s: Option<f64>,
 }
 
 impl Record {
     fn to_json(&self, workload: &str, requested: usize, seed: u64) -> String {
+        let single = match self.single_branches_per_s {
+            Some(s) => format!(
+                ",\"single_branches_per_s\":{:.0},\"batch_speedup\":{:.3}",
+                s,
+                self.branches_per_s / s.max(1e-12)
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\"name\":\"{}\",\"model\":{},\"protection\":\"{}\",\"workload\":{},\
              \"branches\":{},\"requested_branches\":{requested},\"seed\":{seed},\
-             \"elapsed_s\":{:.6},\"branches_per_s\":{:.0},\"oae\":{}}}",
+             \"elapsed_s\":{:.6},\"branches_per_s\":{:.0},\"oae\":{}{single}}}",
             self.name,
             escape(&self.model),
             self.protection,
@@ -56,10 +79,91 @@ impl Record {
     }
 }
 
+/// Which measurement suite runs.
+#[derive(Clone, Copy, PartialEq)]
+enum Suite {
+    Default,
+    Throughput,
+}
+
+/// Runs one scheme to completion; `batched` selects the batched session
+/// path (`run`) or the unbatched per-event reference (`next_event` +
+/// `feed`). Both must produce bit-identical reports.
+fn measure(
+    registry: &ModelRegistry,
+    model_spec: &str,
+    policy: Protection,
+    w: &Workload,
+    seed: u64,
+    branches: usize,
+    batched: bool,
+) -> Result<(SimReport, f64), Failure> {
+    let mut model = registry.build(model_spec, seed).map_err(Failure::from)?;
+    let mut source = w.open(seed, branches).map_err(Failure::from)?;
+    let mut session = SimSession::new(
+        &mut model,
+        policy,
+        SessionOptions {
+            warmup: Warmup::Branches(0),
+            ..SessionOptions::default()
+        },
+    )
+    .map_err(|e| Failure::from(stbpu_engine::EngineError::from(e)))?;
+    let start = Instant::now();
+    if batched {
+        session
+            .run(source.as_mut())
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+    } else {
+        // The pre-batching hot loop, kept as the reference the batched
+        // path must reproduce bit-for-bit.
+        while let Some(ev) = source
+            .next_event()
+            .map_err(|e| Failure::Runtime(e.to_string()))?
+        {
+            session
+                .feed(&ev)
+                .map_err(|e| Failure::Runtime(e.to_string()))?;
+        }
+    }
+    let report = session.finish();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    Ok((report, elapsed_s))
+}
+
+/// Asserts two runs of the same scheme produced bit-identical results.
+fn assert_identical(name: &str, batched: &SimReport, single: &SimReport) -> Result<(), Failure> {
+    let same = batched.oae == single.oae
+        && batched.branches == single.branches
+        && batched.mispredictions == single.mispredictions
+        && batched.evictions == single.evictions
+        && batched.flushes == single.flushes
+        && batched.rerandomizations == single.rerandomizations;
+    if same {
+        Ok(())
+    } else {
+        Err(Failure::Runtime(format!(
+            "scheme '{name}': batched and single-event paths diverged \
+             (batched OAE {} / {} branches vs single OAE {} / {} branches) — \
+             the batching fast path is broken",
+            batched.oae, batched.branches, single.oae, single.branches
+        )))
+    }
+}
+
 pub fn run(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let quick = a.flag("--quick");
     let json = a.flag("--json");
+    let suite = match a.opt("--suite")?.as_deref() {
+        None | Some("default") => Suite::Default,
+        Some("throughput") => Suite::Throughput,
+        Some(other) => {
+            return Err(Failure::Usage(format!(
+                "unknown suite '{other}' (default|throughput)"
+            )))
+        }
+    };
     let out_dir = a.opt("--out-dir")?.unwrap_or_else(|| ".".to_string());
     let branches: usize = a
         .opt_parse("--branches", "an integer")?
@@ -84,23 +188,15 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
 
     let mut records = Vec::new();
     for &(name, model_spec, policy) in SCHEMES {
-        let mut model = registry.build(model_spec, seed).map_err(Failure::from)?;
-        let mut source = w.open(seed, branches).map_err(Failure::from)?;
-        let mut session = SimSession::new(
-            model.as_mut(),
-            policy,
-            SessionOptions {
-                warmup: Warmup::Branches(0),
-                ..SessionOptions::default()
-            },
-        )
-        .map_err(|e| Failure::from(stbpu_engine::EngineError::from(e)))?;
-        let start = Instant::now();
-        session
-            .run(source.as_mut())
-            .map_err(|e| Failure::Runtime(e.to_string()))?;
-        let report = session.finish();
-        let elapsed_s = start.elapsed().as_secs_f64();
+        let (report, elapsed_s) = measure(&registry, model_spec, policy, &w, seed, branches, true)?;
+        let single_branches_per_s = if suite == Suite::Throughput {
+            let (single, single_s) =
+                measure(&registry, model_spec, policy, &w, seed, branches, false)?;
+            assert_identical(name, &report, &single)?;
+            Some(single.branches as f64 / single_s.max(1e-12))
+        } else {
+            None
+        };
         records.push(Record {
             name,
             model: report.model,
@@ -109,75 +205,237 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             branches_per_s: report.branches as f64 / elapsed_s.max(1e-12),
             oae: report.oae,
             branches: report.branches,
+            single_branches_per_s,
         });
     }
 
-    // Per-scheme BENCH_<name>.json artifacts.
     std::fs::create_dir_all(&out_dir)?;
-    for r in &records {
-        let path = format!("{out_dir}/BENCH_{}.json", r.name);
-        let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{}", r.to_json(&workload, branches, seed))?;
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| r.to_json(&workload, branches, seed))
+        .collect();
+    match suite {
+        Suite::Default => {
+            // Per-scheme BENCH_<name>.json artifacts.
+            for r in &records {
+                let path = format!("{out_dir}/BENCH_{}.json", r.name);
+                let mut f = std::fs::File::create(&path)?;
+                writeln!(f, "{}", r.to_json(&workload, branches, seed))?;
+            }
+        }
+        Suite::Throughput => {
+            // One combined BENCH_throughput.json trajectory record.
+            let path = format!("{out_dir}/BENCH_throughput.json");
+            let mut f = std::fs::File::create(&path)?;
+            writeln!(
+                f,
+                "{{\"suite\":\"throughput\",\"workload\":{},\"branches\":{branches},\
+                 \"seed\":{seed},\"schemes\":[{}]}}",
+                escape(&workload),
+                rows.join(",")
+            )?;
+        }
     }
 
     if json {
-        let rows: Vec<String> = records
-            .iter()
-            .map(|r| r.to_json(&workload, branches, seed))
-            .collect();
         println!("[{}]", rows.join(","));
     } else {
-        println!("stbpu bench — {workload}, {branches} branches/scheme, seed {seed}");
         println!(
-            "{:<14} {:<18} {:>10} {:>14} {:>10}",
-            "scheme", "model", "elapsed", "branches/s", "OAE"
+            "stbpu bench ({}) — {workload}, {branches} branches/scheme, seed {seed}",
+            match suite {
+                Suite::Default => "default suite",
+                Suite::Throughput => "throughput suite: batched vs single-event",
+            }
         );
-        for r in &records {
-            println!(
-                "{:<14} {:<18} {:>9.3}s {:>14.0} {:>10.6}",
-                r.name, r.model, r.elapsed_s, r.branches_per_s, r.oae
-            );
+        match suite {
+            Suite::Default => {
+                println!(
+                    "{:<14} {:<18} {:>10} {:>14} {:>10}",
+                    "scheme", "model", "elapsed", "branches/s", "OAE"
+                );
+                for r in &records {
+                    println!(
+                        "{:<14} {:<18} {:>9.3}s {:>14.0} {:>10.6}",
+                        r.name, r.model, r.elapsed_s, r.branches_per_s, r.oae
+                    );
+                }
+                eprintln!("wrote BENCH_<scheme>.json records to {out_dir}/");
+            }
+            Suite::Throughput => {
+                println!(
+                    "{:<14} {:<18} {:>14} {:>14} {:>8} {:>10}",
+                    "scheme", "model", "batched br/s", "single br/s", "speedup", "OAE"
+                );
+                for r in &records {
+                    let single = r.single_branches_per_s.unwrap_or(0.0);
+                    println!(
+                        "{:<14} {:<18} {:>14.0} {:>14.0} {:>7.2}x {:>10.6}",
+                        r.name,
+                        r.model,
+                        r.branches_per_s,
+                        single,
+                        r.branches_per_s / single.max(1e-12),
+                        r.oae
+                    );
+                }
+                eprintln!("wrote BENCH_throughput.json to {out_dir}/ (paths bit-identical)");
+            }
         }
-        eprintln!("wrote BENCH_<scheme>.json records to {out_dir}/");
     }
 
     if let Some(path) = update {
-        write_baseline(&path, &workload, branches, seed, &records)?;
+        write_baseline(&path, &workload, branches, seed, &records, suite)?;
         eprintln!("baseline written to {path}");
     }
     if let Some(path) = check {
-        check_baseline(&path, &workload, branches, seed, tolerance, &records)?;
-        eprintln!("baseline check passed ({path}, tolerance {tolerance:e})");
+        match suite {
+            Suite::Default => {
+                check_baseline(&path, &workload, branches, seed, tolerance, &records)?;
+                eprintln!("baseline check passed ({path}, tolerance {tolerance:e})");
+            }
+            Suite::Throughput => {
+                // Wall-clock is machine-dependent: drift produces notes,
+                // never a failing exit, so the trajectory can accumulate
+                // before the gate hardens (see CONTRIBUTING.md).
+                throughput_drift_notes(&path, &records);
+            }
+        }
     }
     Ok(())
 }
 
-/// Writes the OAE baseline file `--check` gates against. OAE values use
+/// Writes the baseline file `--check` gates against. OAE values use
 /// Rust's shortest round-trip float formatting, so the parsed values
-/// compare exactly.
+/// compare exactly. The throughput suite refreshes the `throughput`
+/// section (batched branches/s per scheme); the default suite preserves
+/// whatever throughput section the file already carries.
 fn write_baseline(
     path: &str,
     workload: &str,
     branches: usize,
     seed: u64,
     records: &[Record],
+    suite: Suite,
 ) -> Result<(), Failure> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
+    let throughput: Vec<(String, f64)> = match suite {
+        Suite::Throughput => records
+            .iter()
+            .map(|r| (r.name.to_string(), r.branches_per_s))
+            .collect(),
+        // Carry over the existing section so a default-suite refresh
+        // does not silently drop the throughput trajectory. An existing
+        // but unreadable/unparsable file is still overwritten (the whole
+        // point of --update-baseline is recovering from drift), but with
+        // a loud note that the trajectory was not preserved.
+        Suite::Default => match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => doc
+                    .get("throughput")
+                    .and_then(|t| t.fields())
+                    .map(|fields| {
+                        fields
+                            .iter()
+                            .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                Err(e) => {
+                    eprintln!(
+                        "note: existing baseline {path} did not parse ({e}); any throughput \
+                         section is dropped — re-record it via \
+                         `stbpu bench --suite throughput --quick --update-baseline {path}`"
+                    );
+                    Vec::new()
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                eprintln!(
+                    "note: existing baseline {path} could not be read ({e}); any throughput \
+                     section is dropped — re-record it via \
+                     `stbpu bench --suite throughput --quick --update-baseline {path}`"
+                );
+                Vec::new()
+            }
+        },
+    };
     let schemes: Vec<String> = records
         .iter()
         .map(|r| format!("    \"{}\": {}", r.name, r.oae))
         .collect();
+    let throughput_block = if throughput.is_empty() {
+        String::new()
+    } else {
+        let rows: Vec<String> = throughput
+            .iter()
+            .map(|(name, bps)| format!("    \"{name}\": {bps:.0}"))
+            .collect();
+        format!(",\n  \"throughput\": {{\n{}\n  }}", rows.join(",\n"))
+    };
     let body = format!(
-        "{{\n  \"workload\": {},\n  \"branches\": {branches},\n  \"seed\": {seed},\n  \"schemes\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"workload\": {},\n  \"branches\": {branches},\n  \"seed\": {seed},\n  \"schemes\": {{\n{}\n  }}{throughput_block}\n}}\n",
         escape(workload),
         schemes.join(",\n")
     );
     std::fs::write(path, body)?;
     Ok(())
+}
+
+/// Prints warn-only branches/s drift notes against the baseline's
+/// `throughput` section. Never fails: wall-clock depends on the machine,
+/// so the trajectory must accumulate before the gate hardens.
+fn throughput_drift_notes(path: &str, records: &[Record]) {
+    let doc = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("throughput note (warn-only): cannot read baseline {path}: {e}");
+            return;
+        }
+    };
+    let Some(section) = doc.get("throughput") else {
+        eprintln!(
+            "throughput note (warn-only): baseline {path} has no throughput section yet; \
+             refresh via `stbpu bench --suite throughput --quick --update-baseline {path}`"
+        );
+        return;
+    };
+    let mut notes = 0usize;
+    for r in records {
+        let Some(expected) = section.get(r.name).and_then(Json::as_f64) else {
+            eprintln!(
+                "throughput note (warn-only): scheme '{}' missing from baseline",
+                r.name
+            );
+            notes += 1;
+            continue;
+        };
+        let drift = (r.branches_per_s - expected) / expected.max(1e-12);
+        if drift.abs() > THROUGHPUT_NOTE_FRAC {
+            eprintln!(
+                "throughput note (warn-only): scheme '{}' at {:.0} branches/s, {:+.1}% vs \
+                 baseline {:.0}",
+                r.name,
+                r.branches_per_s,
+                drift * 100.0,
+                expected
+            );
+            notes += 1;
+        }
+    }
+    if notes == 0 {
+        eprintln!(
+            "throughput check passed ({path}, all schemes within {:.0}% of baseline, warn-only)",
+            THROUGHPUT_NOTE_FRAC * 100.0
+        );
+    }
 }
 
 /// Verifies the run configuration matches the baseline and every scheme's

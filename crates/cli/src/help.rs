@@ -157,7 +157,7 @@ examples:
         name: "bench",
         summary: "deterministic perf harness with machine-readable output",
         help: "\
-usage: stbpu bench [--quick] [--json] [--out-dir DIR] [baseline flags]
+usage: stbpu bench [--suite NAME] [--quick] [--json] [--out-dir DIR] [baseline flags]
 
 Streams a fixed scheme suite (baseline, stbpu, ucode1, conservative,
 st_tage64) over one generated workload, measuring wall-clock time,
@@ -166,6 +166,13 @@ BENCH_<name>.json record into --out-dir so CI can archive perf
 trajectories; OAE is deterministic for a fixed seed and is the value the
 baseline gate compares.
 
+  --suite NAME          default: one batched run per scheme.
+                        throughput: batched AND single-event runs per
+                        scheme — hard-fails unless both paths are
+                        bit-identical, emits one BENCH_throughput.json
+                        (branches/s per path, batch speedup), and treats
+                        --check drift as warn-only notes (wall-clock is
+                        machine-dependent)
   --quick               200k branches per scheme (default 2M)
   --branches N          explicit branch count (overrides --quick/default)
   --seed S              trace + token seed (default 42)
@@ -174,12 +181,16 @@ baseline gate compares.
   --json                print the combined record array on stdout
   --check FILE          fail (exit 1) if any scheme's OAE drifts from the
                         committed baseline beyond --tolerance
+                        (throughput suite: warn-only branches/s notes)
   --update-baseline FILE  write/refresh the baseline file instead
+                        (throughput suite also refreshes its throughput
+                        section; the default suite preserves it)
   --tolerance T         OAE drift tolerance for --check (default 1e-9)
 
 examples:
   stbpu bench --quick --json --out-dir bench-artifacts --check ci/baseline.json
   stbpu bench --quick --update-baseline ci/baseline.json
+  stbpu bench --suite throughput --quick --check ci/baseline.json
 ",
     },
     Sub {

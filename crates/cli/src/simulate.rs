@@ -133,7 +133,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     // (--warmup range, --threads provision), so its errors are usage
     // errors; failures mid-stream stay runtime errors.
     let mut session = SimSession::new(
-        model.as_mut(),
+        &mut model,
         policy,
         SessionOptions {
             warmup,

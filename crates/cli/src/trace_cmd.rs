@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use crate::Failure;
-use stbpu_trace::serialize::{write_event, write_header, TraceReader};
+use stbpu_trace::serialize::{TraceReader, TraceWriter};
 use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter};
 
 pub fn run(rest: &[String]) -> Result<(), Failure> {
     match rest.first().map(String::as_str) {
@@ -41,20 +41,23 @@ fn generate(rest: &[String]) -> Result<(), Failure> {
     })?;
     let mut source = TraceGenerator::new(profile, seed).into_source(branches);
     let file = std::fs::File::create(&out)?;
-    let mut w = BufWriter::new(file);
-    write_header(
-        &mut w,
-        source.name(),
-        source.branch_hint(),
-        source.thread_count(),
-    )?;
+    // One reused line buffer for the whole stream (TraceWriter), batched
+    // pulls from the generator: no per-event allocation on either side.
+    let mut w = TraceWriter::new(BufWriter::new(file));
+    w.header(source.name(), source.branch_hint(), source.thread_count())?;
     let mut events: u64 = 0;
-    while let Some(ev) = source
-        .next_event()
-        .map_err(|e| Failure::Runtime(e.to_string()))?
-    {
-        write_event(&mut w, &ev)?;
-        events += 1;
+    let mut batch = Vec::new();
+    loop {
+        let n = source
+            .next_batch(&mut batch, 4_096)
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        for ev in &batch {
+            w.event(ev)?;
+        }
+        events += n as u64;
     }
     w.flush()?;
     eprintln!("wrote {events} events ({branches} branches) to {out}");
@@ -185,13 +188,13 @@ fn convert(rest: &[String]) -> Result<(), Failure> {
     // Pass 2: copy events under the normalized header.
     let mut src = open()?;
     let out = std::fs::File::create(output)?;
-    let mut w = BufWriter::new(out);
-    write_header(&mut w, &name, Some(branches), threads)?;
+    let mut w = TraceWriter::new(BufWriter::new(out));
+    w.header(&name, Some(branches), threads)?;
     while let Some(ev) = src
         .next_record()
         .map_err(|e| Failure::Runtime(e.to_string()))?
     {
-        write_event(&mut w, &ev)?;
+        w.event(&ev)?;
     }
     w.flush()?;
     eprintln!(

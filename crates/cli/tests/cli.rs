@@ -380,6 +380,91 @@ fn bench_output_is_deterministic_for_fixed_seed() {
     assert_eq!(strip(&a), strip(&b));
 }
 
+#[test]
+fn bench_throughput_suite_emits_trajectory_and_warn_only_drift() {
+    let dir = scratch("bench-tp");
+    let baseline = scratch("baseline-tp.json");
+    let dir_s = dir.to_str().unwrap();
+    let base_s = baseline.to_str().unwrap();
+    let config = [
+        "bench",
+        "--suite",
+        "throughput",
+        "--branches",
+        "8000",
+        "--seed",
+        "5",
+        "--out-dir",
+        dir_s,
+        "--json",
+    ];
+
+    // The suite runs batched AND single-event paths (bit-identity is a
+    // hard internal check — a divergence exits 1) and emits one combined
+    // trajectory record with both rates.
+    let rec = stbpu(&[&config[..], &["--update-baseline", base_s]].concat());
+    assert!(rec.status.success(), "{}", stderr(&rec));
+    let json = stdout(&rec);
+    assert!(
+        json.contains("\"single_branches_per_s\":") && json.contains("\"batch_speedup\":"),
+        "{json}"
+    );
+    let record = std::fs::read_to_string(dir.join("BENCH_throughput.json")).expect("trajectory");
+    let doc = stbpu_engine::minijson::Json::parse(record.trim()).expect("valid JSON");
+    assert_eq!(
+        doc.get("suite").and_then(|s| s.as_str()),
+        Some("throughput")
+    );
+    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 5);
+
+    // The baseline gained a throughput section…
+    let base_doc =
+        stbpu_engine::minijson::Json::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+    assert!(
+        base_doc
+            .get("throughput")
+            .and_then(|t| t.get("st_tage64"))
+            .and_then(|v| v.as_f64())
+            .is_some(),
+        "throughput section missing"
+    );
+
+    // …and wildly-wrong throughput values produce warn-only notes, not a
+    // failing exit (wall-clock is machine-dependent; see CONTRIBUTING.md).
+    // Rewrite the section with values no real run can be within 10 % of,
+    // so the drift-note path definitely fires (not just the pass note).
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let idx = text.find("\"throughput\"").unwrap();
+    let tampered = format!(
+        "{}\"throughput\": {{\n    \"baseline\": 1,\n    \"stbpu\": 1,\n    \"ucode1\": 1,\n    \
+         \"conservative\": 1,\n    \"st_tage64\": 1\n  }}\n}}\n",
+        &text[..idx]
+    );
+    std::fs::write(&baseline, &tampered).unwrap();
+    let warn = stbpu(&[&config[..], &["--check", base_s]].concat());
+    assert!(warn.status.success(), "{}", stderr(&warn));
+    let warn_err = stderr(&warn);
+    assert!(
+        warn_err.contains("throughput note (warn-only)") && warn_err.contains("% vs"),
+        "expected drift notes: {warn_err}"
+    );
+
+    // OAE tampering in the default suite still fails hard — the throughput
+    // section does not weaken the accuracy gate.
+    let check = stbpu(&[
+        "bench",
+        "--branches",
+        "8000",
+        "--seed",
+        "5",
+        "--out-dir",
+        dir_s,
+        "--check",
+        base_s,
+    ]);
+    assert!(check.status.success(), "{}", stderr(&check));
+}
+
 // --- attack telemetry --------------------------------------------------
 
 #[test]

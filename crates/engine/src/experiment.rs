@@ -87,7 +87,7 @@ pub fn run_scenarios(
         .iter()
         .map(|sc| {
             let mut model = registry.build(&sc.model, seed)?;
-            Ok(simulate_with(model.as_mut(), sc.protection, trace, &opts)?)
+            Ok(simulate_with(&mut model, sc.protection, trace, &opts)?)
         })
         .collect()
 }
@@ -455,8 +455,10 @@ impl Experiment {
                             0 => None, // undeclared: session provisions the max
                             t => Some(t),
                         });
+                        // `&mut ModelCore` (not `&mut dyn Bpu`): the
+                        // session monomorphizes over the sealed enum.
                         let mut session = SimSession::new(
-                            model.as_mut(),
+                            &mut model,
                             sc.protection,
                             SessionOptions {
                                 warmup: self.warmup,

@@ -41,13 +41,15 @@
 //! assert!(stbpu.report.oae > 0.5);
 //! ```
 //!
-//! Single models come from the registry:
+//! Single models come from the registry — built as sealed [`ModelCore`]
+//! variants, so a `SimSession` over one monomorphizes its hot loop:
 //!
 //! ```
+//! use stbpu_bpu::Bpu;
 //! use stbpu_engine::ModelRegistry;
 //!
 //! let registry = ModelRegistry::standard();
-//! let mut model = registry.build("st_tage64@r=0.01", 7).unwrap();
+//! let model = registry.build("st_tage64@r=0.01", 7).unwrap();
 //! assert_eq!(model.name(), "ST_TAGE_SC_L_64KB");
 //! ```
 
@@ -57,6 +59,7 @@
 mod error;
 mod experiment;
 pub mod minijson;
+mod model_core;
 mod parallel;
 mod registry;
 mod report;
@@ -66,6 +69,7 @@ mod workload;
 
 pub use error::EngineError;
 pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
+pub use model_core::ModelCore;
 pub use parallel::parallel_map;
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
 pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};

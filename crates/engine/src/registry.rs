@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::error::EngineError;
-use stbpu_bpu::{BaselineMapper, Bpu, BtbConfig, ConservativeMapper};
+use crate::model_core::ModelCore;
+use stbpu_bpu::{BaselineMapper, BtbConfig, ConservativeMapper};
 use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig, StMapper};
 use stbpu_predictors::{
     conservative, perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline,
@@ -59,6 +60,7 @@ pub enum BtbSpec {
 /// secret-token gshare):
 ///
 /// ```
+/// use stbpu_bpu::Bpu;
 /// use stbpu_engine::{MapperSpec, ModelSpec, PredictorSpec};
 /// use stbpu_core::StConfig;
 ///
@@ -67,7 +69,7 @@ pub enum BtbSpec {
 ///     PredictorSpec::Gshare { bits: 12 },
 ///     MapperSpec::SecretToken(StConfig::default()),
 /// );
-/// let mut model = spec.build(42);
+/// let model = spec.build(42);
 /// assert_eq!(model.name(), "ST_gshare_demo");
 /// ```
 #[derive(Clone, Debug)]
@@ -105,9 +107,10 @@ impl ModelSpec {
         self
     }
 
-    /// Builds the composed model. `seed` keys the secret-token generator
-    /// (ignored by keyless mappers).
-    pub fn build(&self, seed: u64) -> Box<dyn Bpu> {
+    /// Builds the composed model as a sealed [`ModelCore`] variant, so
+    /// sessions over it monomorphize. `seed` keys the secret-token
+    /// generator (ignored by keyless mappers).
+    pub fn build(&self, seed: u64) -> ModelCore {
         match self.predictor {
             PredictorSpec::SklCond => self.assemble(SklCond::new(), seed),
             PredictorSpec::Gshare { bits } => self.assemble(Gshare::new(1usize << bits), seed),
@@ -119,33 +122,37 @@ impl ModelSpec {
         }
     }
 
-    fn assemble<D: DirectionPredictor + 'static>(&self, dir: D, seed: u64) -> Box<dyn Bpu> {
+    fn assemble<D>(&self, dir: D, seed: u64) -> ModelCore
+    where
+        D: DirectionPredictor + 'static,
+        FullBpu<D, BaselineMapper>: Into<ModelCore>,
+        FullBpu<D, ConservativeMapper>: Into<ModelCore>,
+        FullBpu<D, StMapper>: Into<ModelCore>,
+    {
         let (btb, full_fidelity) = match self.btb {
             BtbSpec::Skylake => (BtbConfig::skylake(), false),
             BtbSpec::Conservative => (BtbConfig::conservative(), true),
         };
         match self.mapper {
-            MapperSpec::Baseline => Box::new(FullBpu::new(
-                &self.label,
-                dir,
-                BaselineMapper::new(),
-                btb,
-                full_fidelity,
-            )),
-            MapperSpec::Conservative => Box::new(FullBpu::new(
+            MapperSpec::Baseline => {
+                FullBpu::new(&self.label, dir, BaselineMapper::new(), btb, full_fidelity).into()
+            }
+            MapperSpec::Conservative => FullBpu::new(
                 &self.label,
                 dir,
                 ConservativeMapper::new(),
                 btb,
                 full_fidelity,
-            )),
-            MapperSpec::SecretToken(cfg) => Box::new(FullBpu::new(
+            )
+            .into(),
+            MapperSpec::SecretToken(cfg) => FullBpu::new(
                 &self.label,
                 dir,
                 StMapper::new(cfg, seed),
                 btb,
                 full_fidelity,
-            )),
+            )
+            .into(),
         }
     }
 }
@@ -231,7 +238,7 @@ impl ModelParams {
     }
 }
 
-type Builder = Arc<dyn Fn(&ModelParams, u64) -> Result<Box<dyn Bpu>, EngineError> + Send + Sync>;
+type Builder = Arc<dyn Fn(&ModelParams, u64) -> Result<ModelCore, EngineError> + Send + Sync>;
 
 struct Entry {
     summary: &'static str,
@@ -268,66 +275,70 @@ impl ModelRegistry {
             "unprotected Skylake-like baseline (SKLCond)",
             |p, _| {
                 p.ensure_only("skl", &[])?;
-                Ok(Box::new(skl_baseline()))
+                Ok(skl_baseline().into())
             },
         );
         reg.alias("skl", "sklcond");
         reg.alias("skl", "baseline");
 
         reg.register("st_skl", "secret-token SKLCond (param: r)", |p, seed| {
-            Ok(Box::new(st_skl(
+            Ok(st_skl(
                 p.ensure_only("st_skl", &["r"]).and(p.st_config("st_skl"))?,
                 seed,
-            )))
+            )
+            .into())
         });
         reg.alias("st_skl", "st_sklcond");
         reg.alias("st_skl", "stbpu");
 
         reg.register("tage8", "unprotected TAGE-SC-L 8KB", |p, _| {
             p.ensure_only("tage8", &[])?;
-            Ok(Box::new(tage8_baseline()))
+            Ok(tage8_baseline().into())
         });
         reg.register(
             "st_tage8",
             "secret-token TAGE-SC-L 8KB (param: r)",
             |p, seed| {
-                Ok(Box::new(st_tage8(
+                Ok(st_tage8(
                     p.ensure_only("st_tage8", &["r"])
                         .and(p.st_config("st_tage8"))?,
                     seed,
-                )))
+                )
+                .into())
             },
         );
 
         reg.register("tage64", "unprotected TAGE-SC-L 64KB", |p, _| {
             p.ensure_only("tage64", &[])?;
-            Ok(Box::new(tage64_baseline()))
+            Ok(tage64_baseline().into())
         });
         reg.register(
             "st_tage64",
             "secret-token TAGE-SC-L 64KB (param: r)",
             |p, seed| {
-                Ok(Box::new(st_tage64(
+                Ok(st_tage64(
                     p.ensure_only("st_tage64", &["r"])
                         .and(p.st_config("st_tage64"))?,
                     seed,
-                )))
+                )
+                .into())
             },
         );
 
         reg.register("perceptron", "unprotected perceptron", |p, _| {
             p.ensure_only("perceptron", &[])?;
-            Ok(Box::new(perceptron_baseline()))
+            Ok(perceptron_baseline().into())
         });
         reg.register(
             "st_perceptron",
             "secret-token perceptron (param: r)",
             |p, seed| {
-                Ok(Box::new(st_perceptron(
+                Ok(st_perceptron(
                     p.ensure_only("st_perceptron", &["r"])
                         .and(p.st_config("st_perceptron"))?,
                     seed,
-                )))
+                )
+                .into())
             },
         );
 
@@ -366,7 +377,7 @@ impl ModelRegistry {
             "full-tag half-capacity conservative model",
             |p, _| {
                 p.ensure_only("conservative", &[])?;
-                Ok(Box::new(conservative()))
+                Ok(conservative().into())
             },
         );
 
@@ -374,9 +385,12 @@ impl ModelRegistry {
     }
 
     /// Registers a named builder. Re-registering a name replaces it.
+    /// Builders return a [`ModelCore`]: standard compositions convert via
+    /// `.into()` (monomorphized variants); anything else wraps in
+    /// [`ModelCore::Custom`] (`Box<dyn Bpu>` also converts via `.into()`).
     pub fn register<F>(&mut self, name: &str, summary: &'static str, builder: F)
     where
-        F: Fn(&ModelParams, u64) -> Result<Box<dyn Bpu>, EngineError> + Send + Sync + 'static,
+        F: Fn(&ModelParams, u64) -> Result<ModelCore, EngineError> + Send + Sync + 'static,
     {
         self.entries.insert(
             name.to_string(),
@@ -425,7 +439,9 @@ impl ModelRegistry {
     }
 
     /// Builds a model from a `name` or `name@key=value,..` spec string.
-    pub fn build(&self, spec: &str, seed: u64) -> Result<Box<dyn Bpu>, EngineError> {
+    /// Standard models come back as sealed [`ModelCore`] variants, so a
+    /// `SimSession` over the result monomorphizes its hot loop.
+    pub fn build(&self, spec: &str, seed: u64) -> Result<ModelCore, EngineError> {
         let spec = spec.trim();
         let (name, params) = match spec.split_once('@') {
             None => (spec, ModelParams::empty()),
@@ -488,6 +504,7 @@ impl Default for ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stbpu_bpu::Bpu as _;
 
     #[test]
     fn canonical_names_cover_the_paper_models() {

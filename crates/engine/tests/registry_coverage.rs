@@ -2,6 +2,7 @@
 //! short trace with sane statistics — a new predictor cannot be registered
 //! without being exercised.
 
+use stbpu_bpu::Bpu;
 use stbpu_engine::{ModelRegistry, Scenario};
 use stbpu_sim::{simulate, Protection};
 use stbpu_trace::{TraceGenerator, WorkloadProfile};
@@ -26,7 +27,7 @@ fn every_registered_model_builds_runs_and_predicts() {
             "'{name}' registered without a summary"
         );
 
-        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.1);
+        let report = simulate(&mut model, Protection::Unprotected, &trace, 0.1);
         assert!(
             report.oae > 0.4 && report.oae <= 1.0,
             "'{name}' ({}) produced implausible OAE {} on the test workload",
@@ -65,7 +66,7 @@ fn st_variants_rerandomize_under_pressure_and_baselines_do_not() {
     let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).generate(4_000);
     for name in ["skl", "tage8", "perceptron", "gshare", "conservative"] {
         let mut model = registry.build(name, 3).unwrap();
-        let report = simulate(model.as_mut(), Protection::Unprotected, &trace, 0.0);
+        let report = simulate(&mut model, Protection::Unprotected, &trace, 0.0);
         assert_eq!(
             report.rerandomizations, 0,
             "keyless '{name}' cannot re-randomize"
@@ -73,7 +74,7 @@ fn st_variants_rerandomize_under_pressure_and_baselines_do_not() {
     }
     // A tiny difficulty factor forces visible token churn on an ST model.
     let mut model = registry.build("st_skl@r=0.00001", 3).unwrap();
-    let report = simulate(model.as_mut(), Protection::Stbpu, &trace, 0.0);
+    let report = simulate(&mut model, Protection::Stbpu, &trace, 0.0);
     assert!(
         report.rerandomizations > 0,
         "st_skl with aggressive r must re-randomize (got {})",

@@ -231,7 +231,7 @@ pub fn run_single(
     }
     let s = model.stats();
     PipeReport {
-        model: model.name(),
+        model: model.name().to_string(),
         workload: trace.name.clone(),
         instructions: clock.instructions,
         cycles: clock.cycles,

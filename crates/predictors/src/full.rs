@@ -64,8 +64,8 @@ impl<D: DirectionPredictor, M: Mapper> FullBpu<D, M> {
 }
 
 impl<D: DirectionPredictor, M: Mapper> Bpu for FullBpu<D, M> {
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process(&mut self, tid: usize, rec: &BranchRecord) -> BranchOutcome {

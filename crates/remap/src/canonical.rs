@@ -16,10 +16,17 @@
 //! | Rp | ψ(32) ‖ s(48)                   | 80   | 10 ind               |
 
 use crate::circuit::Circuit;
+use crate::compiled::CompiledCircuit;
 use crate::generator::{GenError, Generator, HwConstraints};
 use std::sync::OnceLock;
 
 /// The six canonical STBPU remapping circuits.
+///
+/// Each function keeps two representations: the structural [`Circuit`]
+/// (cost model, `describe()`, the Figure 2 harness) and a
+/// [`CompiledCircuit`] lowered to flat lookup tables at construction —
+/// the representation the per-branch `r1`..`rp` calls evaluate, so the
+/// simulator hot path never interprets layer lists.
 ///
 /// ```
 /// use stbpu_remap::RemapSet;
@@ -29,12 +36,13 @@ use std::sync::OnceLock;
 /// ```
 #[derive(Debug)]
 pub struct RemapSet {
-    r1: Circuit,
-    r2: Circuit,
-    r3: Circuit,
-    r4: Circuit,
-    rt: Circuit,
-    rp: Circuit,
+    circuits: [Circuit; 6],
+    r1: CompiledCircuit,
+    r2: CompiledCircuit,
+    r3: CompiledCircuit,
+    r4: CompiledCircuit,
+    rt: CompiledCircuit,
+    rp: CompiledCircuit,
 }
 
 static STANDARD: OnceLock<RemapSet> = OnceLock::new();
@@ -59,13 +67,22 @@ impl RemapSet {
         let gen = |io: (u32, u32), s: u64| -> Result<Circuit, GenError> {
             Generator::new(HwConstraints::for_geometry(io.0, io.1), seed ^ s).generate(3, 120)
         };
+        let circuits = [
+            gen((80, 22), 0x01)?,
+            gen((90, 8), 0x02)?,
+            gen((80, 14), 0x03)?,
+            gen((96, 14), 0x04)?,
+            gen((96, 25), 0x05)?,
+            gen((80, 10), 0x06)?,
+        ];
         Ok(RemapSet {
-            r1: gen((80, 22), 0x01)?,
-            r2: gen((90, 8), 0x02)?,
-            r3: gen((80, 14), 0x03)?,
-            r4: gen((96, 14), 0x04)?,
-            rt: gen((96, 25), 0x05)?,
-            rp: gen((80, 10), 0x06)?,
+            r1: CompiledCircuit::new(&circuits[0]),
+            r2: CompiledCircuit::new(&circuits[1]),
+            r3: CompiledCircuit::new(&circuits[2]),
+            r4: CompiledCircuit::new(&circuits[3]),
+            rt: CompiledCircuit::new(&circuits[4]),
+            rp: CompiledCircuit::new(&circuits[5]),
+            circuits,
         })
     }
 
@@ -120,12 +137,12 @@ impl RemapSet {
     /// — exposed for cost/statistics reporting.
     pub fn circuits(&self) -> [(&'static str, &Circuit); 6] {
         [
-            ("R1", &self.r1),
-            ("R2", &self.r2),
-            ("R3", &self.r3),
-            ("R4", &self.r4),
-            ("Rt", &self.rt),
-            ("Rp", &self.rp),
+            ("R1", &self.circuits[0]),
+            ("R2", &self.circuits[1]),
+            ("R3", &self.circuits[2]),
+            ("R4", &self.circuits[3]),
+            ("Rt", &self.circuits[4]),
+            ("Rp", &self.circuits[5]),
         ]
     }
 }

@@ -24,7 +24,10 @@
 //! * [`analysis`] — the C2/C3 validators and the weighted scoring of
 //!   Section V-B,
 //! * [`RemapSet`] — canonical, deterministically generated instances of
-//!   R1..4, Rt and Rp matching the I/O geometry of Table II.
+//!   R1..4, Rt and Rp matching the I/O geometry of Table II,
+//! * [`CompiledCircuit`] — circuits lowered once into flat byte-sliced
+//!   lookup tables, evaluated allocation-free on the simulator hot path
+//!   (bit-identical to the interpreted evaluation).
 //!
 //! # Example
 //!
@@ -44,11 +47,13 @@
 pub mod analysis;
 mod canonical;
 mod circuit;
+mod compiled;
 mod generator;
 mod primitive;
 
 pub use canonical::RemapSet;
 pub use circuit::{Circuit, CircuitCost, Layer};
+pub use compiled::CompiledCircuit;
 pub use generator::{GenError, Generator, HwConstraints};
 pub use primitive::{SboxKind, PRESENT_SBOX, SPONGENT_SBOX};
 

@@ -48,16 +48,33 @@ impl Default for SessionOptions {
     }
 }
 
+/// Events pulled per [`EventSource::next_batch`] refill inside
+/// [`SimSession::run`] — large enough to amortize per-batch overhead,
+/// small enough to stay cache-resident (~100 KB of events).
+const RUN_BATCH: usize = 4_096;
+
 /// An incremental simulation: one model under one protection policy,
 /// consuming trace events as they arrive.
 ///
 /// Where [`crate::simulate_with`] demands a fully materialized
 /// [`stbpu_trace::Trace`], a session accepts events from any
-/// [`EventSource`] (or one at a time via [`SimSession::feed`]), so run
-/// length is never bounded by memory — a 10M-branch generator-sourced run
-/// holds only the model and a few counters. Attached [`SimObserver`]s see
-/// branches, flushes, context switches, re-randomizations and interval
-/// windows as they happen.
+/// [`EventSource`] (or one at a time via [`SimSession::feed`], or in
+/// slices via [`SimSession::feed_batch`]), so run length is never bounded
+/// by memory — a 10M-branch generator-sourced run holds only the model
+/// and a few counters. Attached [`SimObserver`]s see branches, flushes,
+/// context switches, re-randomizations and interval windows as they
+/// happen.
+///
+/// # Throughput
+///
+/// The session is generic over the model type. `B = dyn Bpu` (the
+/// default, what `Box<dyn Bpu>` callers get) dispatches every branch
+/// virtually; instantiating with a concrete model — e.g. the engine's
+/// sealed `ModelCore` enum — monomorphizes the hot loop so predictor,
+/// mapper and BTB calls inline. [`SimSession::run`] pulls events in
+/// batches and [`SimSession::feed_batch`] takes a no-observer fast path
+/// that skips all hook bookkeeping; both are bit-identical to per-event
+/// [`SimSession::feed`] (test-enforced), they only cost less.
 ///
 /// ```
 /// use stbpu_predictors::skl_baseline;
@@ -77,8 +94,8 @@ impl Default for SessionOptions {
 /// assert_eq!(report.branches, 9_000); // 10 % warm-up excluded
 /// assert!(report.oae > 0.5);
 /// ```
-pub struct SimSession<'a> {
-    model: &'a mut dyn Bpu,
+pub struct SimSession<'a, B: Bpu + ?Sized = dyn Bpu + 'a> {
+    model: &'a mut B,
     policy: Protection,
     threads: usize,
     /// Per-thread context: the user entity to return to after kernel exits.
@@ -93,9 +110,12 @@ pub struct SimSession<'a> {
     last_rerand: u64,
     workload: Option<String>,
     observers: Vec<&'a mut dyn SimObserver>,
+    /// Reused pull buffer for [`SimSession::run`] — one allocation per
+    /// session, no per-batch churn.
+    batch_buf: Vec<TraceEvent>,
 }
 
-impl<'a> SimSession<'a> {
+impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
     /// Opens a session for `model` under `policy`.
     ///
     /// # Errors
@@ -104,7 +124,7 @@ impl<'a> SimSession<'a> {
     /// [`SimError::TooManyThreads`] for an explicit thread provision above
     /// the model limit.
     pub fn new(
-        model: &'a mut dyn Bpu,
+        model: &'a mut B,
         policy: Protection,
         opts: SessionOptions,
     ) -> Result<Self, SimError> {
@@ -147,11 +167,18 @@ impl<'a> SimSession<'a> {
             last_rerand,
             workload: opts.workload,
             observers: Vec::new(),
+            batch_buf: Vec::new(),
         })
     }
 
     /// Attaches an observer for the rest of the session.
     pub fn attach(&mut self, observer: &'a mut dyn SimObserver) {
+        // Branches fed while no observer was listening take the fast path
+        // and do not track re-randomization deltas; resync so the first
+        // observed branch doesn't replay history nobody subscribed to.
+        if self.observers.is_empty() {
+            self.last_rerand = self.model.rerandomizations();
+        }
         self.observers.push(observer);
     }
 
@@ -268,9 +295,50 @@ impl<'a> SimSession<'a> {
         Ok(())
     }
 
-    /// Pumps `source` to exhaustion through the session. Resolves a
-    /// pending fractional warm-up from the source's branch hint and takes
-    /// the source's name as the workload label if none was set.
+    /// Feeds a slice of events through the session — semantically
+    /// identical to calling [`SimSession::feed`] per event (bit-identical
+    /// results and observer callback sequences, test-enforced), but when
+    /// no observer is attached and no interval is configured the branch
+    /// loop skips all hook bookkeeping (window counters, observer
+    /// iteration, re-randomization delta tracking).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SimSession::feed`] can return; the batch stops at the
+    /// first failing event (earlier events remain applied, as with
+    /// per-event feeding).
+    pub fn feed_batch(&mut self, events: &[TraceEvent]) -> Result<(), SimError> {
+        if !self.observers.is_empty() || self.interval.is_some() {
+            for ev in events {
+                self.feed(ev)?;
+            }
+            return Ok(());
+        }
+        for ev in events {
+            if let TraceEvent::Branch { tid, ref rec } = *ev {
+                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
+                let tid = self.check(tid)?;
+                self.model.process(tid, rec);
+                self.seen += 1;
+                if !self.warmed && self.seen >= target {
+                    self.model.reset_stats();
+                    self.warmed = true;
+                }
+            } else {
+                // Rare control events keep the one shared implementation
+                // (the observer loops it runs are over an empty vec).
+                self.feed(ev)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pumps `source` to exhaustion through the session, pulling events
+    /// in batches (via [`EventSource::next_batch`] into a reused internal
+    /// buffer) and feeding them through [`SimSession::feed_batch`].
+    /// Resolves a pending fractional warm-up from the source's branch
+    /// hint and takes the source's name as the workload label if none was
+    /// set.
     ///
     /// # Errors
     ///
@@ -288,10 +356,20 @@ impl<'a> SimSession<'a> {
             self.warmup_target = Some(target);
             self.warmed = self.warmed || target == 0;
         }
-        while let Some(ev) = source.next_event().map_err(SimError::from)? {
-            self.feed(&ev)?;
-        }
-        Ok(())
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        let result = loop {
+            match source.next_batch(&mut buf, RUN_BATCH) {
+                Err(e) => break Err(SimError::from(e)),
+                Ok(0) => break Ok(()),
+                Ok(_) => {
+                    if let Err(e) = self.feed_batch(&buf) {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        self.batch_buf = buf;
+        result
     }
 
     /// Ends the session: flushes a final partial interval window to the
@@ -302,7 +380,7 @@ impl<'a> SimSession<'a> {
         }
         let s = self.model.stats();
         SimReport {
-            model: self.model.name(),
+            model: self.model.name().to_string(),
             protection: self.policy.label(),
             workload: self.workload.unwrap_or_else(|| "unnamed".to_string()),
             oae: s.oae(),

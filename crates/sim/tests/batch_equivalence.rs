@@ -1,0 +1,233 @@
+//! Batched-vs-single-event equivalence: any partition of an event stream
+//! into `feed_batch` chunks must yield a bit-identical `SimReport`, and —
+//! when observers are attached — an identical observer callback sequence.
+//! This is the contract that lets `SimSession::run` batch freely and take
+//! the no-observer fast path without changing a single reported number.
+
+use proptest::prelude::*;
+use stbpu_bpu::{BranchOutcome, BranchRecord, EntityId};
+use stbpu_core::{st_skl, StConfig};
+use stbpu_predictors::skl_baseline;
+use stbpu_sim::{
+    FlushKind, IntervalWindow, Protection, SessionOptions, SimObserver, SimReport, SimSession,
+    Warmup,
+};
+use stbpu_trace::{profiles, Trace, TraceEvent, TraceGenerator};
+
+/// Records every observer callback as a comparable log entry.
+#[derive(Default, PartialEq, Debug)]
+struct CallbackLog {
+    entries: Vec<String>,
+}
+
+impl SimObserver for CallbackLog {
+    fn on_branch(&mut self, tid: usize, rec: &BranchRecord, outcome: &BranchOutcome) {
+        self.entries.push(format!(
+            "B {tid} {:x} {} {}",
+            rec.pc.raw(),
+            outcome.effective_correct,
+            outcome.mispredicted
+        ));
+    }
+    fn on_flush(&mut self, kind: FlushKind) {
+        self.entries.push(format!("F {kind:?}"));
+    }
+    fn on_context_switch(&mut self, tid: usize, entity: EntityId) {
+        self.entries.push(format!("C {tid} {}", entity.0));
+    }
+    fn on_rerandomize(&mut self, total: u64) {
+        self.entries.push(format!("R {total}"));
+    }
+    fn on_interval(&mut self, w: &IntervalWindow) {
+        self.entries.push(format!(
+            "I {} {} {} {} {} {}",
+            w.start_branch,
+            w.branches,
+            w.effective_correct,
+            w.mispredictions,
+            w.flushes,
+            w.rerandomizations
+        ));
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.oae, b.oae, "{what}: oae");
+    assert_eq!(a.branches, b.branches, "{what}: branches");
+    assert_eq!(a.mispredictions, b.mispredictions, "{what}: mispredictions");
+    assert_eq!(a.evictions, b.evictions, "{what}: evictions");
+    assert_eq!(a.flushes, b.flushes, "{what}: flushes");
+    assert_eq!(
+        a.rerandomizations, b.rerandomizations,
+        "{what}: rerandomizations"
+    );
+    assert_eq!(a.direction_rate, b.direction_rate, "{what}: direction_rate");
+    assert_eq!(a.target_rate, b.target_rate, "{what}: target_rate");
+}
+
+/// A trace with context switches, mode switches and enough churn to
+/// exercise flush/rerandomization paths.
+fn busy_trace(seed: u64) -> Trace {
+    let p = profiles::by_name("apache2_prefork_c256").unwrap();
+    TraceGenerator::new(p, seed).generate(4_000)
+}
+
+/// Splits `events` into chunks whose sizes cycle through `cuts` (empty
+/// `cuts` means one chunk with everything).
+fn partition<'a>(events: &'a [TraceEvent], cuts: &[usize]) -> Vec<&'a [TraceEvent]> {
+    if cuts.is_empty() {
+        return vec![events];
+    }
+    let mut chunks = Vec::new();
+    let mut rest = events;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let n = cuts[i % cuts.len()].max(1).min(rest.len());
+        let (head, tail) = rest.split_at(n);
+        chunks.push(head);
+        rest = tail;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fast path (no observers): any chunking == per-event feeding.
+    #[test]
+    fn any_partition_is_bit_identical(seed in any::<u64>(), cuts in proptest::collection::vec(1usize..257, 0..12)) {
+        let trace = busy_trace(seed % 1_000);
+        let opts = || SessionOptions {
+            warmup: Warmup::Branches(0),
+            threads: None,
+            interval: None,
+            workload: Some("prop".to_string()),
+        };
+
+        // Reference: one event at a time.
+        let mut m1 = st_skl(StConfig { r: 1.0, misp_complexity: 400.0, eviction_complexity: 400.0, ..StConfig::default() }, 7);
+        let mut s1 = SimSession::new(&mut m1, Protection::Stbpu, opts()).unwrap();
+        for ev in trace.events() {
+            s1.feed(ev).unwrap();
+        }
+        let r1 = s1.finish();
+
+        // Batched: the generated partition.
+        let mut m2 = st_skl(StConfig { r: 1.0, misp_complexity: 400.0, eviction_complexity: 400.0, ..StConfig::default() }, 7);
+        let mut s2 = SimSession::new(&mut m2, Protection::Stbpu, opts()).unwrap();
+        for chunk in partition(trace.events(), &cuts) {
+            s2.feed_batch(chunk).unwrap();
+        }
+        let r2 = s2.finish();
+        assert_reports_identical(&r1, &r2, "st_skl fast path");
+
+        // And via run() (source-pulled batches).
+        let mut m3 = st_skl(StConfig { r: 1.0, misp_complexity: 400.0, eviction_complexity: 400.0, ..StConfig::default() }, 7);
+        let mut s3 = SimSession::new(&mut m3, Protection::Stbpu, opts()).unwrap();
+        s3.run(&mut trace.source()).unwrap();
+        let r3 = s3.finish();
+        assert_reports_identical(&r1, &r3, "st_skl run()");
+    }
+
+    /// With observers attached, the callback sequence is identical for any
+    /// partition (and the reports still match bit-for-bit).
+    #[test]
+    fn observer_sequence_is_partition_invariant(seed in any::<u64>(), cuts in proptest::collection::vec(1usize..129, 0..10)) {
+        let trace = busy_trace(seed % 1_000);
+        let opts = || SessionOptions {
+            warmup: Warmup::Branches(0),
+            threads: None,
+            interval: Some(700),
+            workload: Some("prop".to_string()),
+        };
+
+        let mut m1 = skl_baseline();
+        let mut log1 = CallbackLog::default();
+        let mut s1 = SimSession::new(&mut m1, Protection::Ucode1, opts()).unwrap();
+        s1.attach(&mut log1);
+        for ev in trace.events() {
+            s1.feed(ev).unwrap();
+        }
+        let r1 = s1.finish();
+
+        let mut m2 = skl_baseline();
+        let mut log2 = CallbackLog::default();
+        let mut s2 = SimSession::new(&mut m2, Protection::Ucode1, opts()).unwrap();
+        s2.attach(&mut log2);
+        for chunk in partition(trace.events(), &cuts) {
+            s2.feed_batch(chunk).unwrap();
+        }
+        let r2 = s2.finish();
+
+        assert_reports_identical(&r1, &r2, "observed path");
+        prop_assert_eq!(&log1.entries, &log2.entries);
+        prop_assert!(log1.entries.iter().any(|e| e.starts_with('F')), "ucode1 on apache must flush");
+        prop_assert!(log1.entries.iter().any(|e| e.starts_with('I')), "interval windows must fire");
+    }
+}
+
+/// Warm-up reset points must land identically on both paths (the fast
+/// path reimplements the warm-up check).
+#[test]
+fn warmup_reset_is_batch_invariant() {
+    let trace = busy_trace(5);
+    for target in [0u64, 1, 999, 1_000, 3_999, 4_000] {
+        let opts = || SessionOptions {
+            warmup: Warmup::Branches(target),
+            threads: None,
+            interval: None,
+            workload: None,
+        };
+        let mut m1 = skl_baseline();
+        let mut s1 = SimSession::new(&mut m1, Protection::Unprotected, opts()).unwrap();
+        for ev in trace.events() {
+            s1.feed(ev).unwrap();
+        }
+        let r1 = s1.finish();
+
+        let mut m2 = skl_baseline();
+        let mut s2 = SimSession::new(&mut m2, Protection::Unprotected, opts()).unwrap();
+        for chunk in trace.events().chunks(37) {
+            s2.feed_batch(chunk).unwrap();
+        }
+        let r2 = s2.finish();
+        assert_reports_identical(&r1, &r2, "warm-up");
+        assert_eq!(r1.branches, 4_000 - target.min(4_000), "warm-up excluded");
+    }
+}
+
+/// Errors surface at the same event on both paths, with earlier events
+/// applied.
+#[test]
+fn batch_errors_match_single_event_errors() {
+    let mut trace = Trace::new("bad-tid");
+    trace.push(TraceEvent::Branch {
+        tid: 0,
+        rec: BranchRecord::conditional(0x4000, true, 0x4100),
+    });
+    trace.push(TraceEvent::Branch {
+        tid: 1, // outside the 1-thread provision
+        rec: BranchRecord::conditional(0x4004, true, 0x4100),
+    });
+    let opts = || SessionOptions {
+        warmup: Warmup::Branches(0),
+        threads: Some(1),
+        interval: None,
+        workload: None,
+    };
+    let mut m1 = skl_baseline();
+    let mut s1 = SimSession::new(&mut m1, Protection::Unprotected, opts()).unwrap();
+    assert!(s1.feed(&trace.events()[0]).is_ok());
+    let e1 = s1.feed(&trace.events()[1]).unwrap_err();
+
+    let mut m2 = skl_baseline();
+    let mut s2 = SimSession::new(&mut m2, Protection::Unprotected, opts()).unwrap();
+    let e2 = s2.feed_batch(trace.events()).unwrap_err();
+    assert_eq!(e1, e2);
+    assert_eq!(
+        s1.branches_seen(),
+        s2.branches_seen(),
+        "first event applied"
+    );
+}

@@ -353,6 +353,18 @@ impl EventSource for GeneratorSource {
         }
         Ok(self.buf.pop_front())
     }
+
+    fn next_batch(&mut self, buf: &mut Vec<TraceEvent>, max: usize) -> Result<usize, SourceError> {
+        buf.clear();
+        while buf.len() < max {
+            if self.buf.is_empty() && !self.refill() {
+                break;
+            }
+            let take = (max - buf.len()).min(self.buf.len());
+            buf.extend(self.buf.drain(..take));
+        }
+        Ok(buf.len())
+    }
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -467,6 +479,25 @@ mod tests {
             assert_eq!(streamed.events(), materialized.events(), "{name}");
             assert_eq!(src.next_event().unwrap(), None, "exhausted stays exhausted");
         }
+    }
+
+    #[test]
+    fn batched_pulls_bit_identical_to_generate() {
+        let p = profiles::by_name("apache2_prefork_c128").unwrap();
+        let materialized = TraceGenerator::new(p, 13).generate(3_000);
+        let mut src = TraceGenerator::new(p, 13).into_source(3_000);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            // A batch size larger than one generator slice, not dividing it.
+            let n = src.next_batch(&mut buf, 301).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got.as_slice(), materialized.events());
+        assert_eq!(src.next_batch(&mut buf, 301).unwrap(), 0);
     }
 
     #[test]

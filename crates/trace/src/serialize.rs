@@ -88,15 +88,15 @@ fn kind_from(code: &str) -> Option<BranchKind> {
 ///
 /// Propagates I/O errors from the writer. A `&mut Vec<u8>` or any other
 /// `Write` implementor can be passed by mutable reference.
-pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
-    write_header(
-        &mut w,
+pub fn write_trace<W: Write>(trace: &Trace, w: W) -> std::io::Result<()> {
+    let mut tw = TraceWriter::new(w);
+    tw.header(
         &trace.name,
         Some(trace.branch_count() as u64),
         trace.thread_count(),
     )?;
     for ev in trace.events() {
-        write_event(&mut w, ev)?;
+        tw.event(ev)?;
     }
     Ok(())
 }
@@ -129,9 +129,41 @@ pub fn write_header<W: Write>(
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_event<W: Write>(mut w: W, ev: &TraceEvent) -> std::io::Result<()> {
+    let mut sink = IoFmt {
+        w: &mut w,
+        err: None,
+    };
+    match format_event(&mut sink, ev) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(sink
+            .err
+            .unwrap_or_else(|| std::io::Error::other("formatting failed"))),
+    }
+}
+
+/// `fmt::Write` adapter over an `io::Write`, capturing the first I/O
+/// error (the `fmt::Error` carries no payload).
+struct IoFmt<'a, W: Write> {
+    w: &'a mut W,
+    err: Option<std::io::Error>,
+}
+
+impl<W: Write> fmt::Write for IoFmt<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.w.write_all(s.as_bytes()).map_err(|e| {
+            self.err = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+/// Formats one event as its line-format record (trailing newline
+/// included) — the shared formatting core of [`write_event`] and
+/// [`TraceWriter`].
+fn format_event<O: fmt::Write>(out: &mut O, ev: &TraceEvent) -> fmt::Result {
     match ev {
         TraceEvent::Branch { tid, rec } => writeln!(
-            w,
+            out,
             "B {} {:x} {} {} {:x} {} {}",
             tid,
             rec.pc.raw(),
@@ -141,9 +173,83 @@ pub fn write_event<W: Write>(mut w: W, ev: &TraceEvent) -> std::io::Result<()> {
             rec.ilen,
             rec.gap
         ),
-        TraceEvent::ContextSwitch { tid, entity } => writeln!(w, "C {} {}", tid, entity.0),
-        TraceEvent::ModeSwitch { tid, kernel } => writeln!(w, "M {} {}", tid, *kernel as u8),
-        TraceEvent::Interrupt { tid } => writeln!(w, "I {}", tid),
+        TraceEvent::ContextSwitch { tid, entity } => writeln!(out, "C {} {}", tid, entity.0),
+        TraceEvent::ModeSwitch { tid, kernel } => writeln!(out, "M {} {}", tid, *kernel as u8),
+        TraceEvent::Interrupt { tid } => writeln!(out, "I {}", tid),
+    }
+}
+
+/// Streaming line-format writer with a reused formatting buffer: each
+/// event is formatted into one scratch `String` (a single allocation for
+/// the stream's lifetime) and written with one `write_all`, instead of
+/// allocating/formatting piecewise per line. Output is byte-identical to
+/// [`write_header`] + [`write_event`].
+///
+/// ```
+/// use stbpu_trace::serialize::{read_trace, TraceWriter};
+/// use stbpu_trace::{TraceGenerator, WorkloadProfile};
+///
+/// let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(100);
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf);
+/// w.header(&t.name, Some(t.branch_count() as u64), t.thread_count()).unwrap();
+/// for ev in t.events() {
+///     w.event(ev).unwrap();
+/// }
+/// assert_eq!(read_trace(buf.as_slice()).unwrap().events(), t.events());
+/// ```
+pub struct TraceWriter<W: Write> {
+    w: W,
+    scratch: String,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `w` (pass a `BufWriter` for unbuffered sinks).
+    pub fn new(w: W) -> Self {
+        TraceWriter {
+            w,
+            scratch: String::with_capacity(64),
+        }
+    }
+
+    /// Writes the metadata header block (see [`write_header`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn header(
+        &mut self,
+        name: &str,
+        branches: Option<u64>,
+        threads: usize,
+    ) -> std::io::Result<()> {
+        write_header(&mut self.w, name, branches, threads)
+    }
+
+    /// Writes one event line, reusing the internal scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn event(&mut self, ev: &TraceEvent) -> std::io::Result<()> {
+        self.scratch.clear();
+        // Writing to a String is infallible.
+        let _ = format_event(&mut self.scratch, ev);
+        self.w.write_all(self.scratch.as_bytes())
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Unwraps the underlying writer (does not flush).
+    pub fn into_inner(self) -> W {
+        self.w
     }
 }
 
@@ -224,8 +330,13 @@ pub struct TraceReader<R: BufRead> {
     branch_hint: Option<u64>,
     threads: usize,
     line_no: usize,
-    /// First record line, consumed while skipping the header block.
-    pending: Option<(String, usize)>,
+    /// Reused line buffer: one allocation serves the whole stream (the
+    /// old reader built a fresh `String` per line, which dominated the
+    /// `trace generate`/`convert` profiles).
+    scratch: String,
+    /// True when `scratch` holds an unconsumed record line (read while
+    /// skipping the leading header block).
+    pending: bool,
     done: bool,
 }
 
@@ -243,46 +354,54 @@ impl<R: BufRead> TraceReader<R> {
             branch_hint: None,
             threads: 0,
             line_no: 0,
-            pending: None,
+            scratch: String::new(),
+            pending: false,
             done: false,
         };
         // Skip the leading comment/blank block, recording metadata.
         loop {
-            let Some((line, ln)) = tr.read_line()? else {
+            if !tr.fill_line()? {
                 tr.done = true;
                 break;
-            };
-            if tr.absorb_header(&line, ln)? {
+            }
+            if tr.absorb_scratch_header()? {
                 continue;
             }
-            tr.pending = Some((line, ln));
+            tr.pending = true;
             break;
         }
         Ok(tr)
     }
 
-    /// Reads the next non-empty trimmed line; `None` at EOF.
-    fn read_line(&mut self) -> Result<Option<(String, usize)>, ParseTraceError> {
-        let mut buf = String::new();
+    /// Reads the next non-empty line into `scratch`; false at EOF.
+    fn fill_line(&mut self) -> Result<bool, ParseTraceError> {
         loop {
-            buf.clear();
+            self.scratch.clear();
             self.line_no += 1;
             let n = self
                 .reader
-                .read_line(&mut buf)
+                .read_line(&mut self.scratch)
                 .map_err(|e| ParseTraceError {
                     line: self.line_no,
                     msg: e.to_string(),
                 })?;
             if n == 0 {
-                return Ok(None);
+                return Ok(false);
             }
-            let line = buf.trim();
-            if line.is_empty() {
-                continue;
+            if !self.scratch.trim().is_empty() {
+                return Ok(true);
             }
-            return Ok(Some((line.to_string(), self.line_no)));
         }
+    }
+
+    /// [`Self::absorb_header`] over the current `scratch` line (the
+    /// borrow is released before any metadata field is written).
+    fn absorb_scratch_header(&mut self) -> Result<bool, ParseTraceError> {
+        let line = std::mem::take(&mut self.scratch);
+        let ln = self.line_no;
+        let absorbed = self.absorb_header(line.trim(), ln);
+        self.scratch = line;
+        absorbed
     }
 
     /// Processes a header/comment line (`Ok(true)`); `Ok(false)` for
@@ -328,24 +447,17 @@ impl<R: BufRead> TraceReader<R> {
         if self.done {
             return Ok(None);
         }
-        let (line, ln) = match self.pending.take() {
-            Some(p) => p,
-            None => loop {
-                match self.read_line()? {
-                    None => {
-                        self.done = true;
-                        return Ok(None);
-                    }
-                    Some((line, ln)) => {
-                        if self.absorb_header(&line, ln)? {
-                            continue;
-                        }
-                        break (line, ln);
-                    }
-                }
-            },
-        };
-        parse_event(&line, ln).map(Some)
+        loop {
+            if !self.pending && !self.fill_line()? {
+                self.done = true;
+                return Ok(None);
+            }
+            self.pending = false;
+            if self.absorb_scratch_header()? {
+                continue;
+            }
+            return parse_event(self.scratch.trim(), self.line_no).map(Some);
+        }
     }
 }
 

@@ -76,6 +76,23 @@ pub trait EventSource {
     /// Pulls the next event, `Ok(None)` at end of stream.
     fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError>;
 
+    /// Pulls up to `max` events into `buf` (cleared first), returning how
+    /// many were written; 0 means the stream is exhausted. The default
+    /// implementation loops [`EventSource::next_event`]; sources with
+    /// bulk access (in-memory traces, generator slices) override it so
+    /// batch consumers skip the per-event virtual call. The concatenation
+    /// of all batches is exactly the `next_event` stream.
+    fn next_batch(&mut self, buf: &mut Vec<TraceEvent>, max: usize) -> Result<usize, SourceError> {
+        buf.clear();
+        while buf.len() < max {
+            match self.next_event()? {
+                Some(ev) => buf.push(ev),
+                None => break,
+            }
+        }
+        Ok(buf.len())
+    }
+
     /// Drains the source into a materialized [`Trace`] (name and events
     /// preserved). Mostly useful in tests and for small streams.
     fn collect_trace(&mut self) -> Result<Trace, SourceError> {
@@ -132,6 +149,16 @@ impl EventSource for TraceSource<'_> {
         self.pos += usize::from(ev.is_some());
         Ok(ev)
     }
+
+    fn next_batch(&mut self, buf: &mut Vec<TraceEvent>, max: usize) -> Result<usize, SourceError> {
+        buf.clear();
+        let events = self.trace.events();
+        let end = (self.pos + max).min(events.len());
+        buf.extend_from_slice(&events[self.pos..end]);
+        let n = end - self.pos;
+        self.pos = end;
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +177,33 @@ mod tests {
         assert_eq!(back.events(), t.events());
         // Exhausted sources stay exhausted.
         assert_eq!(src.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn batched_pulls_concatenate_to_the_event_stream() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(700);
+        // Odd batch size that does not divide the stream.
+        let mut src = t.source();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            let n = src.next_batch(&mut buf, 97).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert_eq!(n, buf.len());
+            assert!(n <= 97);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got.as_slice(), t.events());
+        // Exhausted batches stay exhausted.
+        assert_eq!(src.next_batch(&mut buf, 97).unwrap(), 0);
+
+        // Mixed pulls (single + batch) also cover the stream exactly.
+        let mut src = t.source();
+        let first = src.next_event().unwrap().unwrap();
+        src.next_batch(&mut buf, 10_000).unwrap();
+        assert_eq!(first, t.events()[0]);
+        assert_eq!(buf.as_slice(), &t.events()[1..]);
     }
 }

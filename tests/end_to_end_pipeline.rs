@@ -19,9 +19,9 @@ fn fig4_shape_st_models_within_a_few_percent() {
         let mem = MemoryProfile::from(&p);
 
         let mut base = registry.build("skl", 5).unwrap();
-        let rb = run_single(base.as_mut(), &trace, &cfg, &mem);
+        let rb = run_single(&mut base, &trace, &cfg, &mem);
         let mut st = registry.build("st_skl", 5).unwrap();
-        let rs = run_single(st.as_mut(), &trace, &cfg, &mem);
+        let rs = run_single(&mut st, &trace, &cfg, &mem);
 
         let norm = rs.ipc / rb.ipc;
         assert!(norm > 0.92 && norm < 1.08, "{name}: normalized IPC {norm}");
@@ -42,9 +42,9 @@ fn fig5_shape_smt_throughput_held() {
     let (ma, mb) = (MemoryProfile::from(&pa), MemoryProfile::from(&pb));
 
     let mut base = registry.build("tage64", 3).unwrap();
-    let rb = run_smt(base.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+    let rb = run_smt(&mut base, [&ta, &tb], &cfg, [&ma, &mb]);
     let mut st = registry.build("st_tage64", 3).unwrap();
-    let rs = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+    let rs = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
 
     let norm = rs.hmean_ipc / rb.hmean_ipc;
     assert!(
@@ -64,7 +64,7 @@ fn fig6_shape_aggressive_thresholds_degrade_gracefully_then_collapse() {
     let mut ipcs = Vec::new();
     for r in [0.05, 1e-4, 2e-7] {
         let mut st = registry.build(&format!("st_tage64@r={r}"), 9).unwrap();
-        let rep = run_smt(st.as_mut(), [&ta, &tb], &cfg, [&ma, &mb]);
+        let rep = run_smt(&mut st, [&ta, &tb], &cfg, [&ma, &mb]);
         ipcs.push(rep.hmean_ipc);
     }
     // Default and moderately aggressive settings are close; the extreme
