@@ -1,7 +1,7 @@
 //! `stbpu bench` — the deterministic perf harness behind CI's regression
 //! gate.
 //!
-//! Two suites share one fixed scheme set:
+//! Three suites share one fixed scheme set:
 //!
 //! * `--suite default` streams each scheme once through a batched
 //!   `SimSession`, measuring wall-clock time, branches/second and OAE.
@@ -18,6 +18,11 @@
 //!   baseline (`--check`) throughput drift produces *warn-only* notes —
 //!   wall-clock is machine-dependent, so the trajectory accumulates
 //!   before anything gates on it.
+//! * `--suite ingest` writes one generated trace to disk in both on-disk
+//!   formats (line text and binary `.stbt`), measures parse-only and
+//!   parse+simulate branches/s per format, hard-fails unless both files
+//!   ingest to bit-identical reports, and emits `BENCH_ingest.json`
+//!   (file sizes, size ratio, ingest speedup).
 
 use crate::args::Args;
 use crate::Failure;
@@ -84,6 +89,7 @@ impl Record {
 enum Suite {
     Default,
     Throughput,
+    Ingest,
 }
 
 /// Runs one scheme to completion; `batched` selects the batched session
@@ -158,16 +164,24 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let suite = match a.opt("--suite")?.as_deref() {
         None | Some("default") => Suite::Default,
         Some("throughput") => Suite::Throughput,
+        Some("ingest") => Suite::Ingest,
         Some(other) => {
             return Err(Failure::Usage(format!(
-                "unknown suite '{other}' (default|throughput)"
+                "unknown suite '{other}' (default|throughput|ingest)"
             )))
         }
     };
     let out_dir = a.opt("--out-dir")?.unwrap_or_else(|| ".".to_string());
+    // The ingest suite defaults to the paper-scale 10M-branch trace the
+    // format was built for; everything else keeps the 2M default.
+    let default_branches = match (suite, quick) {
+        (_, true) => 200_000,
+        (Suite::Ingest, false) => 10_000_000,
+        (_, false) => 2_000_000,
+    };
     let branches: usize = a
         .opt_parse("--branches", "an integer")?
-        .unwrap_or(if quick { 200_000 } else { 2_000_000 });
+        .unwrap_or(default_branches);
     let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
     let workload = a
         .opt("--workload")?
@@ -185,6 +199,27 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let w = Workload::Named(workload.clone());
     w.validate().map_err(Failure::from)?;
     let registry = ModelRegistry::standard();
+
+    if suite == Suite::Ingest {
+        if update.is_some() {
+            return Err(Failure::Usage(
+                "--update-baseline applies to the default/throughput suites; the ingest \
+                 suite hard-gates on line vs binary OAE equality and checks OAE against \
+                 the default-suite baseline via --check"
+                    .to_string(),
+            ));
+        }
+        return run_ingest(
+            &registry,
+            &workload,
+            branches,
+            seed,
+            &out_dir,
+            json,
+            check.as_deref(),
+            tolerance,
+        );
+    }
 
     let mut records = Vec::new();
     for &(name, model_spec, policy) in SCHEMES {
@@ -235,6 +270,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 rows.join(",")
             )?;
         }
+        Suite::Ingest => unreachable!("the ingest suite returns early"),
     }
 
     if json {
@@ -245,6 +281,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             match suite {
                 Suite::Default => "default suite",
                 Suite::Throughput => "throughput suite: batched vs single-event",
+                Suite::Ingest => unreachable!("the ingest suite returns early"),
             }
         );
         match suite {
@@ -280,6 +317,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 }
                 eprintln!("wrote BENCH_throughput.json to {out_dir}/ (paths bit-identical)");
             }
+            Suite::Ingest => unreachable!("the ingest suite returns early"),
         }
     }
 
@@ -299,7 +337,253 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 // before the gate hardens (see CONTRIBUTING.md).
                 throughput_drift_notes(&path, &records);
             }
+            Suite::Ingest => unreachable!("the ingest suite returns early"),
         }
+    }
+    Ok(())
+}
+
+/// One scheme of the ingest suite: parse+simulate throughput for the
+/// same trace ingested from the line file vs the binary `.stbt` file.
+struct IngestRecord {
+    name: &'static str,
+    model: String,
+    protection: &'static str,
+    oae: f64,
+    line_branches_per_s: f64,
+    bin_branches_per_s: f64,
+}
+
+/// Drains a trace file through the batched [`stbpu_trace::EventSource`]
+/// path without simulating, returning (branches, elapsed seconds) — the
+/// pure ingest cost of the format.
+fn scan_file(path: &std::path::Path) -> Result<(u64, f64), Failure> {
+    use stbpu_trace::EventSource;
+    let mut src =
+        stbpu_trace::open_trace_file(path).map_err(|e| Failure::Runtime(e.to_string()))?;
+    let mut branches = 0u64;
+    let start = Instant::now();
+    src.for_each_batch(4_096, |batch| {
+        branches += batch
+            .iter()
+            .filter(|ev| matches!(ev, stbpu_trace::TraceEvent::Branch { .. }))
+            .count() as u64;
+        Ok::<(), Failure>(())
+    })?;
+    Ok((branches, start.elapsed().as_secs_f64()))
+}
+
+/// The ingest suite: one generated workload written to disk in both
+/// formats, then (a) parse-only scan throughput per format — the headline
+/// `ingest_speedup`, which the binary format must win by a wide margin —
+/// and (b) parse+simulate throughput per scheme per format, hard-failing
+/// unless line and binary ingest produce bit-identical reports.
+/// Wall-clock per-scheme numbers are sim-bound for heavy predictors, so
+/// the parse-only pair is the format comparison; both are recorded in
+/// `BENCH_ingest.json`.
+#[allow(clippy::too_many_arguments)]
+fn run_ingest(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+    tolerance: f64,
+) -> Result<(), Failure> {
+    let dir = std::env::temp_dir().join(format!("stbpu-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let result = run_ingest_in(
+        registry, workload, branches, seed, out_dir, json, check, tolerance, &dir,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ingest_in(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+    tolerance: f64,
+    dir: &std::path::Path,
+) -> Result<(), Failure> {
+    use stbpu_trace::{EventSource, TraceFileFormat, TraceFileWriter, TraceGenerator};
+    use std::io::BufWriter;
+
+    let profile = stbpu_trace::profiles::by_name(workload).ok_or_else(|| {
+        Failure::from(stbpu_engine::EngineError::UnknownWorkload(workload.into()))
+    })?;
+    let line_path = dir.join("ingest.trace");
+    let bin_path = dir.join("ingest.stbt");
+
+    // One generator stream feeds both writers, so the two files hold the
+    // exact same events.
+    eprintln!("ingest suite: writing {branches}-branch trace in both formats…");
+    let mut source = TraceGenerator::new(profile, seed).into_source(branches);
+    let mut lw = TraceFileWriter::new(
+        TraceFileFormat::Line,
+        BufWriter::new(std::fs::File::create(&line_path)?),
+    );
+    let mut bw = TraceFileWriter::new(
+        TraceFileFormat::Binary,
+        BufWriter::new(std::fs::File::create(&bin_path)?),
+    );
+    lw.header(source.name(), source.branch_hint(), source.thread_count())?;
+    bw.header(source.name(), source.branch_hint(), source.thread_count())?;
+    source.for_each_batch(4_096, |batch| {
+        for ev in batch {
+            lw.event(ev)?;
+            bw.event(ev)?;
+        }
+        Ok::<(), Failure>(())
+    })?;
+    lw.flush()?;
+    bw.flush()?;
+    drop(lw);
+    drop(bw);
+    let line_bytes = std::fs::metadata(&line_path)?.len();
+    let bin_bytes = std::fs::metadata(&bin_path)?.len();
+    let size_ratio = bin_bytes as f64 / (line_bytes as f64).max(1.0);
+
+    // Parse-only scan: the format's ingest cost with simulation factored
+    // out entirely.
+    let (line_scanned, line_scan_s) = scan_file(&line_path)?;
+    let (bin_scanned, bin_scan_s) = scan_file(&bin_path)?;
+    if line_scanned != bin_scanned {
+        return Err(Failure::Runtime(format!(
+            "line and binary files disagree on branch count ({line_scanned} vs {bin_scanned}) \
+             — the binary encoder is broken"
+        )));
+    }
+    let line_parse_bps = line_scanned as f64 / line_scan_s.max(1e-12);
+    let bin_parse_bps = bin_scanned as f64 / bin_scan_s.max(1e-12);
+    let ingest_speedup = bin_parse_bps / line_parse_bps.max(1e-12);
+
+    // Parse+simulate per scheme, both formats, bit-identical or bust.
+    let line_w = Workload::File(line_path.clone());
+    let bin_w = Workload::File(bin_path.clone());
+    let mut records = Vec::new();
+    for &(name, model_spec, policy) in SCHEMES {
+        let (line_report, line_s) =
+            measure(registry, model_spec, policy, &line_w, seed, branches, true)?;
+        let (bin_report, bin_s) =
+            measure(registry, model_spec, policy, &bin_w, seed, branches, true)?;
+        let same = line_report.oae == bin_report.oae
+            && line_report.branches == bin_report.branches
+            && line_report.mispredictions == bin_report.mispredictions
+            && line_report.evictions == bin_report.evictions
+            && line_report.flushes == bin_report.flushes
+            && line_report.rerandomizations == bin_report.rerandomizations;
+        if !same {
+            return Err(Failure::Runtime(format!(
+                "scheme '{name}': line and binary ingest diverged (line OAE {} / {} branches \
+                 vs binary OAE {} / {} branches) — the .stbt round trip is lossy",
+                line_report.oae, line_report.branches, bin_report.oae, bin_report.branches
+            )));
+        }
+        records.push(IngestRecord {
+            name,
+            model: bin_report.model,
+            protection: bin_report.protection,
+            oae: bin_report.oae,
+            line_branches_per_s: line_report.branches as f64 / line_s.max(1e-12),
+            bin_branches_per_s: bin_report.branches as f64 / bin_s.max(1e-12),
+        });
+    }
+
+    // One combined BENCH_ingest.json trajectory record.
+    let scheme_rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"model\":{},\"protection\":\"{}\",\"oae\":{},\
+                 \"line_branches_per_s\":{:.0},\"binary_branches_per_s\":{:.0},\
+                 \"speedup\":{:.3}}}",
+                r.name,
+                escape(&r.model),
+                r.protection,
+                r.oae,
+                r.line_branches_per_s,
+                r.bin_branches_per_s,
+                r.bin_branches_per_s / r.line_branches_per_s.max(1e-12),
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"suite\":\"ingest\",\"workload\":{},\"branches\":{branches},\"seed\":{seed},\
+         \"line_bytes\":{line_bytes},\"binary_bytes\":{bin_bytes},\"size_ratio\":{size_ratio:.4},\
+         \"line_branches_per_s\":{line_parse_bps:.0},\"binary_branches_per_s\":{bin_parse_bps:.0},\
+         \"ingest_speedup\":{ingest_speedup:.3},\"schemes\":[{}]}}",
+        escape(workload),
+        scheme_rows.join(",")
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = format!("{out_dir}/BENCH_ingest.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{body}")?;
+
+    if json {
+        println!("{body}");
+    } else {
+        println!(
+            "stbpu bench (ingest suite: line vs binary .stbt) — {workload}, \
+             {branches} branches, seed {seed}"
+        );
+        println!(
+            "files:  line {:.1} MB, binary {:.1} MB ({:.1}% of line)",
+            line_bytes as f64 / 1e6,
+            bin_bytes as f64 / 1e6,
+            size_ratio * 100.0
+        );
+        println!(
+            "ingest (parse-only): line {:.2}M branches/s, binary {:.2}M branches/s — \
+             {ingest_speedup:.1}x",
+            line_parse_bps / 1e6,
+            bin_parse_bps / 1e6
+        );
+        println!(
+            "{:<14} {:<18} {:>14} {:>14} {:>8} {:>10}",
+            "scheme", "model", "line br/s", "binary br/s", "speedup", "OAE"
+        );
+        for r in &records {
+            println!(
+                "{:<14} {:<18} {:>14.0} {:>14.0} {:>7.2}x {:>10.6}",
+                r.name,
+                r.model,
+                r.line_branches_per_s,
+                r.bin_branches_per_s,
+                r.bin_branches_per_s / r.line_branches_per_s.max(1e-12),
+                r.oae
+            );
+        }
+        eprintln!("wrote BENCH_ingest.json to {out_dir}/ (line/binary bit-identical per scheme)");
+    }
+
+    // The OAE values must also match the default-suite baseline when the
+    // run configuration does: file replay is the same stream the
+    // generator feeds the default suite.
+    if let Some(path) = check {
+        let as_records: Vec<Record> = records
+            .iter()
+            .map(|r| Record {
+                name: r.name,
+                model: r.model.clone(),
+                protection: r.protection,
+                elapsed_s: 0.0,
+                branches_per_s: r.bin_branches_per_s,
+                oae: r.oae,
+                branches: branches as u64,
+                single_branches_per_s: None,
+            })
+            .collect();
+        check_baseline(path, workload, branches, seed, tolerance, &as_records)?;
+        eprintln!("baseline check passed ({path}, tolerance {tolerance:e})");
     }
     Ok(())
 }
@@ -327,6 +611,7 @@ fn write_baseline(
             .iter()
             .map(|r| (r.name.to_string(), r.branches_per_s))
             .collect(),
+        Suite::Ingest => unreachable!("the ingest suite never writes a baseline"),
         // Carry over the existing section so a default-suite refresh
         // does not silently drop the throughput trajectory. An existing
         // but unreadable/unparsable file is still overwritten (the whole

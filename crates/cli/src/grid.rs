@@ -1,14 +1,19 @@
-//! `stbpu grid` — declarative experiment grids from flags or spec files.
+//! `stbpu grid` — declarative experiment grids from flags, spec files, or
+//! named workload suites (`--suite paper|spec-like|adversarial|stress`).
 
 use crate::args::Args;
 use crate::Failure;
-use stbpu_engine::ExperimentSpec;
+use stbpu_engine::{ExperimentSpec, WorkloadSuite};
 
 pub fn run(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let mut spec = match a.opt("--spec")? {
         Some(path) => ExperimentSpec::load(std::path::Path::new(&path)).map_err(Failure::from)?,
         None => ExperimentSpec::default(),
+    };
+    let suite = match a.opt("--suite")? {
+        Some(name) => Some(WorkloadSuite::resolve(&name).map_err(Failure::from)?),
+        None => None,
     };
 
     // Inline flags override (or extend an empty) spec.
@@ -75,6 +80,27 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let out = a.opt("--out")?;
     let summary = a.flag("--summary");
     a.finish_empty()?;
+
+    // A suite supplies defaults for whatever the spec file and inline
+    // flags left unset, so `--suite paper --branches 4000` scales the
+    // whole battery down without respelling its workloads.
+    if let Some(s) = suite {
+        if spec.workloads.is_empty() && spec.trace_files.is_empty() {
+            spec.workloads = s.workload_names().iter().map(|w| w.to_string()).collect();
+        }
+        if spec.scenarios.is_empty() {
+            spec.scenarios = s.scenario_specs().iter().map(|x| x.to_string()).collect();
+        }
+        if spec.seeds.is_empty() {
+            spec.seeds = s.seeds.to_vec();
+        }
+        if spec.branches.is_none() {
+            spec.branches = Some(s.branches);
+        }
+        if spec.name.is_none() {
+            spec.name = Some(s.name.to_string());
+        }
+    }
 
     let set = spec
         .to_experiment()

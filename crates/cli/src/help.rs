@@ -54,14 +54,19 @@ examples:
         name: "grid",
         summary: "run a workloads x scenarios x seeds experiment grid",
         help: "\
-usage: stbpu grid [--spec FILE] [grid flags] [output flags]
+usage: stbpu grid [--spec FILE] [--suite NAME] [grid flags] [output flags]
 
-Declare the grid either in a TOML/JSON spec file (--spec; same keys as the
-flags) or inline; inline flags override the spec file.
+Declare the grid in a TOML/JSON spec file (--spec; same keys as the
+flags), inline, or by naming a workload suite; inline flags override the
+spec file, and a suite fills whatever both left unset.
 
   --spec FILE           TOML or JSON experiment spec (see README)
+  --suite NAME          named workloads x scenarios bundle
+                        (paper|spec-like|adversarial|stress; see the suite
+                        catalog below)
   --workloads A,B       named workload profiles
-  --trace-files P,Q     line-format trace files as workloads
+  --trace-files P,Q     trace files as workloads (line or binary .stbt,
+                        auto-detected by magic)
   --scenarios M:P,...   scenario cells, each 'model:protection'
                         (e.g. skl:unprotected,st_skl@r=0.05:stbpu)
   --fig3                shorthand for the five Figure 3 scheme cells
@@ -78,6 +83,7 @@ flags) or inline; inline flags override the spec file.
 
 examples:
   stbpu grid --workloads 505.mcf,541.leela --fig3 --branches 8000
+  stbpu grid --suite paper --branches 4000 --summary
   stbpu grid --spec sweep.toml --format json --out sweep.json
 ",
     },
@@ -110,21 +116,30 @@ examples:
     },
     Sub {
         name: "trace",
-        summary: "generate, inspect and convert line-format trace files",
+        summary: "generate, inspect and convert trace files (line or binary .stbt)",
         help: "\
-usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S]
+usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S] [--format F]
        stbpu trace inspect FILE [--json]
-       stbpu trace convert IN OUT [--name NAME]
+       stbpu trace convert IN OUT [--name NAME] [--format F]
+
+Two on-disk formats exist: the line text format and the compact binary
+.stbt format (magic \"STBT\"; ~5x smaller, far faster to ingest — see the
+README byte-level spec). Inputs are auto-detected by magic; outputs
+follow the destination extension (.stbt = binary), with --format
+line|binary|auto overriding.
 
 generate streams a synthetic workload to a trace file in O(1) memory
-(any --branches works). inspect streams a file through the TraceReader
-and reports declared metadata plus exact event/branch counts. convert
-re-serializes a file — normalizing headers (adding `# branches` /
-`# threads` to header-less captures) and optionally renaming the trace.
+(any --branches works). inspect streams a file of either format and
+reports the detected format, file size, declared metadata, exact
+event/branch counts and scan throughput (records/s). convert
+re-serializes between formats — normalizing headers (branches/threads
+recomputed) and optionally renaming the trace; line <-> binary round
+trips are lossless and byte-identical.
 
 examples:
-  stbpu trace generate --workload apache2_prefork_c128 --branches 2000000 --out apache.trace
-  stbpu trace inspect apache.trace --json
+  stbpu trace generate --workload apache2_prefork_c128 --branches 2000000 --out apache.stbt
+  stbpu trace inspect apache.stbt --json
+  stbpu trace convert apache.stbt apache.trace
   stbpu trace convert raw.trace clean.trace --name cleaned
 ",
     },
@@ -173,7 +188,14 @@ baseline gate compares.
                         (branches/s per path, batch speedup), and treats
                         --check drift as warn-only notes (wall-clock is
                         machine-dependent)
-  --quick               200k branches per scheme (default 2M)
+                        ingest: writes one trace to disk in both formats
+                        (line + binary .stbt), measures parse-only and
+                        parse+simulate branches/s per format — hard-fails
+                        unless line and binary produce bit-identical
+                        reports — and emits one BENCH_ingest.json (file
+                        sizes, size ratio, ingest speedup)
+  --quick               200k branches per scheme (default 2M;
+                        ingest suite defaults to a 10M-branch trace)
   --branches N          explicit branch count (overrides --quick/default)
   --seed S              trace + token seed (default 42)
   --workload NAME       workload profile (default 541.leela)
@@ -191,16 +213,17 @@ examples:
   stbpu bench --quick --json --out-dir bench-artifacts --check ci/baseline.json
   stbpu bench --quick --update-baseline ci/baseline.json
   stbpu bench --suite throughput --quick --check ci/baseline.json
+  stbpu bench --suite ingest --quick --check ci/baseline.json
 ",
     },
     Sub {
         name: "list",
-        summary: "list registered models, workloads and figures",
+        summary: "list registered models, workloads, suites and figures",
         help: "\
-usage: stbpu list [models|workloads|figures]
+usage: stbpu list [models|workloads|suites|figures]
 
 Prints the live catalogs (everything name-resolvable from the shell).
-With no operand, prints all three.
+With no operand, prints all four.
 ",
     },
 ];
@@ -238,6 +261,21 @@ pub fn print_models() {
     }
     let aliases = registry.alias_names().join(", ");
     println!("  aliases: {aliases}");
+}
+
+/// Prints the live workload-suite catalog.
+pub fn print_suites() {
+    println!("workload suites (grid --suite NAME; workloads x scenarios bundles):");
+    for s in stbpu_engine::WorkloadSuite::all() {
+        println!(
+            "  {:<12} {} ({} workloads x {} scenarios, default {} branches)",
+            s.name,
+            s.summary,
+            s.workload_names().len(),
+            s.scenario_specs().len(),
+            s.branches
+        );
+    }
 }
 
 /// Prints the live workload-profile listing.

@@ -2,9 +2,10 @@
 //!
 //! One binary covers the whole reproduction surface: `simulate` (one
 //! model × one workload, streaming), `grid` (declarative experiment
-//! grids, inline or from TOML/JSON spec files), `attack` (the executed
-//! Table I surface + monitor telemetry), `trace` (generate / inspect /
-//! convert line-format trace files), `figures` (every paper figure/table,
+//! grids, inline or from TOML/JSON spec files, or named workload suites),
+//! `attack` (the executed Table I surface + monitor telemetry), `trace`
+//! (generate / inspect / convert trace files in the line or binary
+//! `.stbt` format), `figures` (every paper figure/table,
 //! shared bit-identically with the `cargo run --bin` shims) and `bench`
 //! (the deterministic perf harness CI's regression gate runs on).
 //!
@@ -65,6 +66,12 @@ impl From<std::io::Error> for Failure {
     }
 }
 
+impl From<stbpu_trace::SourceError> for Failure {
+    fn from(e: stbpu_trace::SourceError) -> Self {
+        Failure::Runtime(e.to_string())
+    }
+}
+
 impl From<EngineError> for Failure {
     fn from(e: EngineError) -> Self {
         match e {
@@ -74,6 +81,10 @@ impl From<EngineError> for Failure {
             EngineError::UnknownWorkload(w) => Failure::Usage(format!(
                 "unknown workload profile '{w}'\nknown workloads: {}",
                 known_workloads().join(", ")
+            )),
+            EngineError::UnknownSuite(s) => Failure::Usage(format!(
+                "unknown workload suite '{s}'\nknown suites: {}",
+                stbpu_engine::WorkloadSuite::names().join(", ")
             )),
             e @ (EngineError::UnknownModel { .. }
             | EngineError::BadParam { .. }
@@ -130,6 +141,10 @@ pub fn run(argv: &[String]) -> i32 {
                     println!();
                     help::print_workloads();
                 }
+                if cmd == "grid" {
+                    println!();
+                    help::print_suites();
+                }
                 if cmd == "figures" {
                     println!();
                     help::print_figures();
@@ -180,17 +195,18 @@ fn list(rest: &[String]) -> Result<(), Failure> {
     let what = args::Args::new(rest).finish()?;
     let all = what.is_empty();
     for w in if all {
-        vec!["models", "workloads", "figures"]
+        vec!["models", "workloads", "suites", "figures"]
     } else {
         what.iter().map(String::as_str).collect()
     } {
         match w {
             "models" => help::print_models(),
             "workloads" => help::print_workloads(),
+            "suites" => help::print_suites(),
             "figures" => help::print_figures(),
             other => {
                 return Err(Failure::Usage(format!(
-                    "unknown catalog '{other}' (models|workloads|figures)"
+                    "unknown catalog '{other}' (models|workloads|suites|figures)"
                 )))
             }
         }

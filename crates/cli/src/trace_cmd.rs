@@ -1,10 +1,21 @@
-//! `stbpu trace` — generate, inspect and convert line-format trace files.
+//! `stbpu trace` — generate, inspect and convert trace files in either
+//! on-disk format (line text or compact binary `.stbt`).
+//!
+//! Input format is always auto-detected by magic; output format follows
+//! the destination extension (`.stbt` = binary) unless `--format`
+//! overrides it. Conversions are lossless in both directions, so
+//! `line → binary → line` and `binary → line → binary` round-trip
+//! byte-identically (the CI golden fixture gates exactly this).
 
 use crate::args::Args;
 use crate::Failure;
-use stbpu_trace::serialize::{TraceReader, TraceWriter};
-use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
-use std::io::{BufReader, BufWriter};
+use stbpu_trace::{
+    open_trace_file, profiles, EventSource, TraceEvent, TraceFileFormat, TraceFileWriter,
+    TraceGenerator,
+};
+use std::io::BufWriter;
+use std::path::Path;
+use std::time::Instant;
 
 pub fn run(rest: &[String]) -> Result<(), Failure> {
     match rest.first().map(String::as_str) {
@@ -20,10 +31,22 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     }
 }
 
+/// Resolves the output format: an explicit `--format` wins, otherwise the
+/// destination extension decides (`.stbt` = binary, anything else line).
+fn out_format(flag: Option<&str>, out: &str) -> Result<TraceFileFormat, Failure> {
+    match flag {
+        None | Some("auto") => Ok(TraceFileFormat::from_extension(Path::new(out))),
+        Some("line") => Ok(TraceFileFormat::Line),
+        Some("binary") => Ok(TraceFileFormat::Binary),
+        Some(other) => Err(Failure::Usage(format!(
+            "unknown format '{other}' (line|binary|auto)"
+        ))),
+    }
+}
+
 /// Streams a synthetic workload to a trace file in O(1) memory: the
-/// generator source is drained one event at a time through
-/// [`write_event`], so any `--branches` works without materializing the
-/// event vector.
+/// generator source is drained in batches through a [`TraceFileWriter`],
+/// so any `--branches` works without materializing the event vector.
 fn generate(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let workload = a
@@ -34,38 +57,34 @@ fn generate(rest: &[String]) -> Result<(), Failure> {
         .ok_or_else(|| Failure::Usage("--out is required".to_string()))?;
     let branches: usize = a.opt_parse("--branches", "an integer")?.unwrap_or(120_000);
     let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    let format = a.opt("--format")?;
     a.finish_empty()?;
+    let format = out_format(format.as_deref(), &out)?;
 
     let profile = profiles::by_name(&workload).ok_or_else(|| {
         Failure::from(stbpu_engine::EngineError::UnknownWorkload(workload.clone()))
     })?;
     let mut source = TraceGenerator::new(profile, seed).into_source(branches);
     let file = std::fs::File::create(&out)?;
-    // One reused line buffer for the whole stream (TraceWriter), batched
-    // pulls from the generator: no per-event allocation on either side.
-    let mut w = TraceWriter::new(BufWriter::new(file));
+    // One reused record buffer for the whole stream, batched pulls from
+    // the generator: no per-event allocation on either side.
+    let mut w = TraceFileWriter::new(format, BufWriter::new(file));
     w.header(source.name(), source.branch_hint(), source.thread_count())?;
     let mut events: u64 = 0;
-    let mut batch = Vec::new();
-    loop {
-        let n = source
-            .next_batch(&mut batch, 4_096)
-            .map_err(|e| Failure::Runtime(e.to_string()))?;
-        if n == 0 {
-            break;
-        }
-        for ev in &batch {
+    source.for_each_batch(4_096, |batch| {
+        for ev in batch {
             w.event(ev)?;
         }
-        events += n as u64;
-    }
+        events += batch.len() as u64;
+        Ok::<(), Failure>(())
+    })?;
     w.flush()?;
-    eprintln!("wrote {events} events ({branches} branches) to {out}");
+    eprintln!("wrote {events} events ({branches} branches, {format} format) to {out}");
     Ok(())
 }
 
-/// Streams a trace file through the [`TraceReader`], reporting declared
-/// metadata and exact counts.
+/// Streams a trace file of either format, reporting the detected format,
+/// file size, declared metadata, exact counts and scan throughput.
 fn inspect(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let json = a.flag("--json");
@@ -76,41 +95,57 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
         ));
     };
 
-    let file = std::fs::File::open(path)?;
-    let mut src =
-        TraceReader::new(BufReader::new(file)).map_err(|e| Failure::Runtime(e.to_string()))?;
-    let name = src.name().to_string();
+    let bytes = std::fs::metadata(path)?.len();
+    let mut src = open_trace_file(Path::new(path)).map_err(|e| Failure::Runtime(e.to_string()))?;
+    let format = src.format();
     let declared_branches = src.branch_hint();
     let declared_threads = src.thread_count();
 
     let (mut branches, mut taken, mut switches, mut modes, mut interrupts) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut max_tid = 0u8;
-    while let Some(ev) = src
-        .next_record()
-        .map_err(|e| Failure::Runtime(e.to_string()))?
-    {
-        match ev {
-            TraceEvent::Branch { tid, rec } => {
-                branches += 1;
-                taken += rec.taken as u64;
-                max_tid = max_tid.max(tid);
-            }
-            TraceEvent::ContextSwitch { tid, .. } => {
-                switches += 1;
-                max_tid = max_tid.max(tid);
-            }
-            TraceEvent::ModeSwitch { tid, .. } => {
-                modes += 1;
-                max_tid = max_tid.max(tid);
-            }
-            TraceEvent::Interrupt { tid } => {
-                interrupts += 1;
-                max_tid = max_tid.max(tid);
+    // Scan-progress cadence: frequent enough to show life on 100M-record
+    // files, silent on anything CI-sized.
+    const PROGRESS_EVERY: u64 = 8_000_000;
+    let mut next_progress = PROGRESS_EVERY;
+    let start = Instant::now();
+    src.for_each_batch(4_096, |batch| {
+        for ev in batch {
+            match *ev {
+                TraceEvent::Branch { tid, rec } => {
+                    branches += 1;
+                    taken += rec.taken as u64;
+                    max_tid = max_tid.max(tid);
+                }
+                TraceEvent::ContextSwitch { tid, .. } => {
+                    switches += 1;
+                    max_tid = max_tid.max(tid);
+                }
+                TraceEvent::ModeSwitch { tid, .. } => {
+                    modes += 1;
+                    max_tid = max_tid.max(tid);
+                }
+                TraceEvent::Interrupt { tid } => {
+                    interrupts += 1;
+                    max_tid = max_tid.max(tid);
+                }
             }
         }
-    }
+        // Scan progress for paper-scale files (stderr, never in --json).
+        let events = branches + switches + modes + interrupts;
+        if events >= next_progress {
+            eprintln!(
+                "scanning: {events} records ({:.1}M records/s)",
+                events as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6
+            );
+            next_progress += PROGRESS_EVERY;
+        }
+        Ok::<(), Failure>(())
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let name = src.name().to_string();
     let events = branches + switches + modes + interrupts;
+    let records_per_s = events as f64 / elapsed.max(1e-9);
     let taken_rate = if branches > 0 {
         taken as f64 / branches as f64
     } else {
@@ -119,17 +154,19 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
 
     if json {
         println!(
-            "{{\"name\":{},\"declared_branches\":{},\"declared_threads\":{declared_threads},\
+            "{{\"name\":{},\"format\":\"{format}\",\"bytes\":{bytes},\
+             \"declared_branches\":{},\"declared_threads\":{declared_threads},\
              \"events\":{events},\"branches\":{branches},\"taken_rate\":{taken_rate:.6},\
              \"context_switches\":{switches},\"mode_switches\":{modes},\
-             \"interrupts\":{interrupts},\"max_tid\":{max_tid}}}",
+             \"interrupts\":{interrupts},\"max_tid\":{max_tid},\
+             \"records_per_s\":{records_per_s:.0}}}",
             stbpu_engine::minijson::escape(&name),
             declared_branches
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "null".to_string()),
         );
     } else {
-        println!("{path}: trace '{name}'");
+        println!("{path}: trace '{name}' ({format} format, {bytes} bytes)");
         match declared_branches {
             Some(b) => println!("  declared: {b} branches, {declared_threads} threads"),
             None => println!("  declared: no metadata headers (threads {declared_threads})"),
@@ -137,6 +174,11 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
         println!("  events:   {events} total — {branches} branches (taken rate {taken_rate:.4}),");
         println!(
             "            {switches} context switches, {modes} mode switches, {interrupts} interrupts"
+        );
+        println!(
+            "  scan:     {:.3}s ({:.1}M records/s)",
+            elapsed,
+            records_per_s / 1e6
         );
         if let Some(b) = declared_branches {
             if b != branches {
@@ -147,40 +189,42 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
-/// Re-serializes a trace file: normalizes headers (`# branches` /
-/// `# threads` are recomputed) and optionally renames the trace.
+/// Re-serializes a trace file, converting between formats: the input
+/// format is auto-detected, the output format follows `--format` or the
+/// destination extension. Headers are normalized (`branches`/`threads`
+/// recomputed) and the trace optionally renamed.
 ///
 /// Streams in two passes — pass 1 counts branches/threads (and picks up
-/// any late `# trace` header) for the normalized header block, pass 2
-/// copies events — so file size never bounds memory, matching
-/// `generate`.
+/// any late `# trace` header) for the normalized header, pass 2 copies
+/// events — so file size never bounds memory, matching `generate`.
 fn convert(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let name = a.opt("--name")?;
+    let format = a.opt("--format")?;
     let ops = a.finish()?;
     let [input, output] = &ops[..] else {
         return Err(Failure::Usage(
             "convert takes exactly two operands: IN OUT".to_string(),
         ));
     };
+    let out_fmt = out_format(format.as_deref(), output)?;
 
-    // Pass 1: exact counts for the header.
-    let open = || -> Result<TraceReader<BufReader<std::fs::File>>, Failure> {
-        TraceReader::new(BufReader::new(std::fs::File::open(input)?))
-            .map_err(|e| Failure::Runtime(e.to_string()))
-    };
+    let open = || open_trace_file(Path::new(input)).map_err(|e| Failure::Runtime(e.to_string()));
+
+    // Pass 1: exact counts for the normalized header.
     let mut src = open()?;
+    let in_fmt = src.format();
     let (mut events, mut branches, mut threads) = (0u64, 0u64, 0usize);
-    while let Some(ev) = src
-        .next_record()
-        .map_err(|e| Failure::Runtime(e.to_string()))?
-    {
-        events += 1;
-        if matches!(ev, TraceEvent::Branch { .. }) {
-            branches += 1;
+    src.for_each_batch(4_096, |batch| {
+        for ev in batch {
+            events += 1;
+            if matches!(ev, TraceEvent::Branch { .. }) {
+                branches += 1;
+            }
+            threads = threads.max(ev.tid() as usize + 1);
         }
-        threads = threads.max(ev.tid() as usize + 1);
-    }
+        Ok::<(), Failure>(())
+    })?;
     // A late `# trace` header has been absorbed by now; an explicit
     // --name wins over whatever the file declares.
     let name = name.unwrap_or_else(|| src.name().to_string());
@@ -188,17 +232,18 @@ fn convert(rest: &[String]) -> Result<(), Failure> {
     // Pass 2: copy events under the normalized header.
     let mut src = open()?;
     let out = std::fs::File::create(output)?;
-    let mut w = TraceWriter::new(BufWriter::new(out));
+    let mut w = TraceFileWriter::new(out_fmt, BufWriter::new(out));
     w.header(&name, Some(branches), threads)?;
-    while let Some(ev) = src
-        .next_record()
-        .map_err(|e| Failure::Runtime(e.to_string()))?
-    {
-        w.event(&ev)?;
-    }
+    src.for_each_batch(4_096, |batch| {
+        for ev in batch {
+            w.event(ev)?;
+        }
+        Ok::<(), Failure>(())
+    })?;
     w.flush()?;
     eprintln!(
-        "converted {input} -> {output} ({events} events, {branches} branches, {threads} threads)"
+        "converted {input} ({in_fmt}) -> {output} ({out_fmt}; {events} events, \
+         {branches} branches, {threads} threads)"
     );
     Ok(())
 }

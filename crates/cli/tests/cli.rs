@@ -478,3 +478,231 @@ fn attack_json_telemetry_is_machine_readable() {
     let uc = doc.get("ucode1").expect("ucode1 section");
     assert!(uc.get("flushes").unwrap().as_u64().unwrap() > 0);
 }
+
+// --- binary .stbt format: round trips, golden gate, ingest suite -------
+
+#[test]
+fn stbt_round_trips_are_byte_identical_and_simulate_identically() {
+    let stbt = scratch("fmt.stbt");
+    let line = scratch("fmt.trace");
+    let back = scratch("fmt-back.stbt");
+    let gen = stbpu(&[
+        "trace",
+        "generate",
+        "--workload",
+        "505.mcf",
+        "--branches",
+        "5000",
+        "--seed",
+        "3",
+        "--out",
+        stbt.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+    // The .stbt extension alone selects the binary format.
+    let header = std::fs::read(&stbt).unwrap();
+    assert_eq!(&header[..4], b"STBT");
+
+    // binary -> line -> binary is byte-identical.
+    for (from, to) in [(&stbt, &line), (&line, &back)] {
+        let conv = stbpu(&[
+            "trace",
+            "convert",
+            from.to_str().unwrap(),
+            to.to_str().unwrap(),
+        ]);
+        assert!(conv.status.success(), "{}", stderr(&conv));
+    }
+    assert_eq!(
+        std::fs::read(&stbt).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "binary -> line -> binary drifted"
+    );
+
+    // Simulating either file is bit-identical: same stream, same report.
+    let common = [
+        "--model",
+        "st_skl@r=0.05",
+        "--seed",
+        "3",
+        "--format",
+        "json",
+    ];
+    let via_bin = stbpu(
+        &[
+            &["simulate", "--trace-file", stbt.to_str().unwrap()],
+            &common[..],
+        ]
+        .concat(),
+    );
+    let via_line = stbpu(
+        &[
+            &["simulate", "--trace-file", line.to_str().unwrap()],
+            &common[..],
+        ]
+        .concat(),
+    );
+    assert!(via_bin.status.success(), "{}", stderr(&via_bin));
+    assert_eq!(stdout(&via_bin), stdout(&via_line));
+
+    // inspect reports the detected format, size and scan rate.
+    let ins = stbpu(&["trace", "inspect", stbt.to_str().unwrap(), "--json"]);
+    assert!(ins.status.success(), "{}", stderr(&ins));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&ins).trim()).expect("valid JSON");
+    assert_eq!(doc.get("format").unwrap().as_str().unwrap(), "binary");
+    assert_eq!(
+        doc.get("bytes").unwrap().as_u64().unwrap(),
+        std::fs::metadata(&stbt).unwrap().len()
+    );
+    assert_eq!(doc.get("branches").unwrap().as_u64().unwrap(), 5000);
+    assert!(doc.get("records_per_s").unwrap().as_f64().unwrap() > 0.0);
+    let ins_line = stbpu(&["trace", "inspect", line.to_str().unwrap(), "--json"]);
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&ins_line).trim()).expect("valid JSON");
+    assert_eq!(doc.get("format").unwrap().as_str().unwrap(), "line");
+}
+
+/// The committed golden fixture is the local mirror of CI's
+/// format-stability gate: any byte or OAE drift means the on-disk format
+/// changed without a version bump + fixture refresh (see CONTRIBUTING.md).
+#[test]
+fn golden_stbt_fixture_is_format_stable() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let golden = repo.join("ci/golden.stbt");
+    let golden_oae = repo.join("ci/golden-oae.json");
+    let line = scratch("golden.trace");
+    let back = scratch("golden-back.stbt");
+
+    for (from, to) in [
+        (golden.to_str().unwrap(), line.to_str().unwrap()),
+        (line.to_str().unwrap(), back.to_str().unwrap()),
+    ] {
+        let conv = stbpu(&["trace", "convert", from, to]);
+        assert!(conv.status.success(), "{}", stderr(&conv));
+    }
+    assert_eq!(
+        std::fs::read(&golden).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "golden .stbt no longer round-trips byte-identically — if the format \
+         change is intentional, bump binfmt::VERSION and refresh the fixture \
+         (see CONTRIBUTING.md)"
+    );
+
+    let sim = stbpu(&[
+        "simulate",
+        "--model",
+        "st_skl@r=0.05",
+        "--trace-file",
+        golden.to_str().unwrap(),
+        "--warmup-branches",
+        "0",
+        "--seed",
+        "42",
+        "--format",
+        "json",
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    assert_eq!(
+        stdout(&sim).trim(),
+        std::fs::read_to_string(&golden_oae).unwrap().trim(),
+        "golden .stbt OAE drifted from ci/golden-oae.json"
+    );
+}
+
+#[test]
+fn bench_ingest_suite_gates_formats_and_reports_speedup() {
+    let dir = scratch("ingest-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = stbpu(&[
+        "bench",
+        "--suite",
+        "ingest",
+        "--branches",
+        "20000",
+        "--seed",
+        "6",
+        "--json",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&out).trim()).expect("valid JSON");
+    assert_eq!(doc.get("suite").unwrap().as_str().unwrap(), "ingest");
+    // The .stbt file must be dramatically smaller than the line file
+    // (acceptance: <= 40% — in practice ~20%).
+    assert!(doc.get("size_ratio").unwrap().as_f64().unwrap() < 0.4);
+    assert!(doc.get("ingest_speedup").unwrap().as_f64().unwrap() > 1.0);
+    let schemes = doc.get("schemes").unwrap().as_array().unwrap();
+    assert_eq!(schemes.len(), 5);
+    for s in schemes {
+        assert!(s.get("line_branches_per_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(s.get("binary_branches_per_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+    // The emitted artifact matches stdout.
+    let record = std::fs::read_to_string(dir.join("BENCH_ingest.json")).unwrap();
+    assert_eq!(record.trim(), stdout(&out).trim());
+    // --update-baseline is a usage error for this suite.
+    let upd = stbpu(&[
+        "bench",
+        "--suite",
+        "ingest",
+        "--quick",
+        "--update-baseline",
+        "x.json",
+    ]);
+    assert_eq!(upd.status.code(), Some(2));
+}
+
+// --- workload suites ---------------------------------------------------
+
+#[test]
+fn grid_suite_runs_the_named_bundle() {
+    let out_path = scratch("suite.csv");
+    let out = stbpu(&[
+        "grid",
+        "--suite",
+        "stress",
+        "--branches",
+        "1000",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let csv = std::fs::read_to_string(&out_path).unwrap();
+    // 6 workloads x 5 scenarios x 1 seed + header.
+    assert_eq!(csv.lines().count(), 31, "{csv}");
+    for workload in ["apache2_prefork_c512", "mysql_256con_50s", "502.gcc"] {
+        assert!(csv.contains(workload), "missing {workload}");
+    }
+
+    // Inline flags still override the suite's bundle.
+    let narrowed = stbpu(&[
+        "grid",
+        "--suite",
+        "stress",
+        "--workloads",
+        "541.leela",
+        "--branches",
+        "1000",
+    ]);
+    assert!(narrowed.status.success(), "{}", stderr(&narrowed));
+    let csv = stdout(&narrowed);
+    assert_eq!(csv.lines().count(), 6, "{csv}");
+    assert!(!csv.contains("502.gcc"));
+}
+
+#[test]
+fn unknown_suite_exits_nonzero_with_catalog() {
+    let out = stbpu(&["grid", "--suite", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload suite 'warp'"), "{err}");
+    for name in ["paper", "spec-like", "adversarial", "stress"] {
+        assert!(err.contains(name), "catalog missing {name}: {err}");
+    }
+    // The suites are listable.
+    let list = stbpu(&["list", "suites"]);
+    assert!(list.status.success());
+    for name in ["paper", "spec-like", "adversarial", "stress"] {
+        assert!(stdout(&list).contains(name), "list missing {name}");
+    }
+}

@@ -24,6 +24,8 @@ pub enum EngineError {
     UnknownProtection(String),
     /// Workload profile name not recognized.
     UnknownWorkload(String),
+    /// Workload suite name not recognized (see `WorkloadSuite`).
+    UnknownSuite(String),
     /// A scenario string did not have the `model:protection` shape.
     InvalidScenario(String),
     /// A workload's event source could not be opened (missing or
@@ -56,6 +58,7 @@ impl std::fmt::Display for EngineError {
                 "unknown protection '{p}' (expected unprotected|stbpu|ucode1|ucode2|conservative)"
             ),
             EngineError::UnknownWorkload(w) => write!(f, "unknown workload profile '{w}'"),
+            EngineError::UnknownSuite(s) => write!(f, "unknown workload suite '{s}'"),
             EngineError::InvalidScenario(s) => write!(
                 f,
                 "invalid scenario '{s}' (expected 'model:protection', e.g. 'st_skl@r=0.05:stbpu')"

@@ -65,6 +65,7 @@ mod registry;
 mod report;
 mod spec;
 mod stats;
+mod suite;
 mod workload;
 
 pub use error::EngineError;
@@ -75,4 +76,5 @@ pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, P
 pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
 pub use spec::ExperimentSpec;
 pub use stats::{geomean, mean};
+pub use suite::WorkloadSuite;
 pub use workload::{SourceFactory, Workload};

@@ -1,0 +1,261 @@
+//! Named workload suites: curated `workloads × scenarios` bundles.
+//!
+//! The paper's evaluation is not one workload but a battery — SPEC CPU
+//! 2017 plus user/server applications, each run under every protection
+//! scheme. A [`WorkloadSuite`] names such a battery once so `stbpu grid
+//! --suite paper` (or an [`crate::Experiment`] built from
+//! [`WorkloadSuite::to_experiment`]) reproduces it without spelling out
+//! dozens of workload and scenario names. Suites only bundle *names*;
+//! overriding branches, seeds or scenarios at the call site still works.
+//!
+//! Four suites are registered:
+//!
+//! | suite | workloads | scenarios | intent |
+//! |---|---|---|---|
+//! | `paper` | all 37 Figure 3 profiles | the five Figure 3 schemes | the headline accuracy grid |
+//! | `spec-like` | the 23 SPEC CPU 2017 profiles | baseline vs ST (SKL + TAGE64) | predictor-focused sweeps |
+//! | `adversarial` | high-pressure server/desktop profiles | aggressive re-randomization + ucode defenses | attack-surface conditions |
+//! | `stress` | the heaviest footprint profiles | the five Figure 3 schemes | throughput and capacity stress |
+//!
+//! ```
+//! use stbpu_engine::WorkloadSuite;
+//!
+//! let s = WorkloadSuite::by_name("spec-like").unwrap();
+//! assert_eq!(s.workload_names().len(), 23);
+//! let exp = s.to_experiment().unwrap().branches(2_000);
+//! assert!(exp.run().unwrap().records().len() >= 23);
+//! ```
+
+use crate::error::EngineError;
+use crate::experiment::{Experiment, Scenario};
+use crate::workload::Workload;
+use stbpu_trace::profiles;
+
+/// The five Figure 3 protection-scheme scenarios.
+const FIG3_SCENARIOS: &[&str] = &[
+    "skl:unprotected",
+    "st_skl@r=0.05:stbpu",
+    "skl:ucode1",
+    "skl:ucode2",
+    "conservative:conservative",
+];
+
+/// Which workload set a suite draws from.
+#[derive(Debug)]
+enum SuiteWorkloads {
+    /// Every Figure 3 profile (SPEC + applications).
+    Fig3All,
+    /// The 23 SPEC CPU 2017 profiles.
+    SpecAll,
+    /// An explicit profile-name list.
+    Explicit(&'static [&'static str]),
+}
+
+/// One registered suite: named workloads × scenarios with default
+/// branches and seeds.
+#[derive(Debug)]
+pub struct WorkloadSuite {
+    /// Registry name (`"paper"`, `"spec-like"`, …).
+    pub name: &'static str,
+    /// One-line description for catalogs and help output.
+    pub summary: &'static str,
+    workloads: SuiteWorkloads,
+    scenarios: &'static [&'static str],
+    /// Default branches per generated stream (overridable downstream).
+    pub branches: usize,
+    /// Default seeds (overridable downstream).
+    pub seeds: &'static [u64],
+}
+
+/// The suite registry, in catalog order.
+static SUITES: &[WorkloadSuite] = &[
+    WorkloadSuite {
+        name: "paper",
+        summary: "all 37 Figure 3 workloads under the five paper schemes",
+        workloads: SuiteWorkloads::Fig3All,
+        scenarios: FIG3_SCENARIOS,
+        branches: 50_000,
+        seeds: &[42],
+    },
+    WorkloadSuite {
+        name: "spec-like",
+        summary: "the 23 SPEC CPU 2017 profiles, baseline vs ST models",
+        workloads: SuiteWorkloads::SpecAll,
+        scenarios: &["skl:unprotected", "st_skl@r=0.05:stbpu", "st_tage64:stbpu"],
+        branches: 50_000,
+        seeds: &[42],
+    },
+    WorkloadSuite {
+        name: "adversarial",
+        summary: "high-pressure server/desktop workloads under aggressive \
+                  re-randomization and ucode defenses",
+        workloads: SuiteWorkloads::Explicit(&[
+            "apache2_prefork_c128",
+            "apache2_prefork_c256",
+            "apache2_prefork_c512",
+            "mysql_128con_50s",
+            "mysql_256con_50s",
+            "chrome-1je_1mo_1sp",
+        ]),
+        scenarios: &[
+            "skl:unprotected",
+            "st_skl@r=0.001:stbpu",
+            "st_tage64@r=0.001:stbpu",
+            "skl:ucode1",
+            "skl:ucode2",
+        ],
+        branches: 100_000,
+        seeds: &[42, 43, 44],
+    },
+    WorkloadSuite {
+        name: "stress",
+        summary: "the heaviest-footprint profiles at long stream lengths",
+        workloads: SuiteWorkloads::Explicit(&[
+            "apache2_prefork_c512",
+            "mysql_256con_50s",
+            "chrome-1je_1mo_1sp",
+            "502.gcc",
+            "523.xalancbmk",
+            "520.omnetpp",
+        ]),
+        scenarios: FIG3_SCENARIOS,
+        branches: 200_000,
+        seeds: &[42],
+    },
+];
+
+impl WorkloadSuite {
+    /// Every registered suite, in catalog order.
+    pub fn all() -> &'static [WorkloadSuite] {
+        SUITES
+    }
+
+    /// Looks a suite up by name.
+    pub fn by_name(name: &str) -> Option<&'static WorkloadSuite> {
+        SUITES.iter().find(|s| s.name == name)
+    }
+
+    /// Looks a suite up by name, failing with
+    /// [`EngineError::UnknownSuite`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSuite`] for unregistered names.
+    pub fn resolve(name: &str) -> Result<&'static WorkloadSuite, EngineError> {
+        Self::by_name(name).ok_or_else(|| EngineError::UnknownSuite(name.to_string()))
+    }
+
+    /// The registered suite names, in catalog order.
+    pub fn names() -> Vec<&'static str> {
+        SUITES.iter().map(|s| s.name).collect()
+    }
+
+    /// The suite's workload-profile names.
+    pub fn workload_names(&self) -> Vec<&'static str> {
+        match self.workloads {
+            SuiteWorkloads::Fig3All => profiles::fig3_workloads().iter().map(|p| p.name).collect(),
+            SuiteWorkloads::SpecAll => profiles::SPEC.iter().map(|p| p.name).collect(),
+            SuiteWorkloads::Explicit(names) => names.to_vec(),
+        }
+    }
+
+    /// The suite's workloads as engine [`Workload`]s.
+    pub fn workloads(&self) -> Vec<Workload> {
+        self.workload_names()
+            .into_iter()
+            .map(|n| Workload::Named(n.to_string()))
+            .collect()
+    }
+
+    /// The suite's `model:protection` scenario strings.
+    pub fn scenario_specs(&self) -> &'static [&'static str] {
+        self.scenarios
+    }
+
+    /// The suite's scenarios, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-parse errors (cannot happen for the registered
+    /// suites — covered by tests — but the signature stays honest).
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, EngineError> {
+        self.scenarios.iter().map(|s| Scenario::parse(s)).collect()
+    }
+
+    /// Materializes the suite as an [`Experiment`] builder carrying its
+    /// default branches and seeds; chain builder calls to override.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-parse errors.
+    pub fn to_experiment(&self) -> Result<Experiment, EngineError> {
+        let mut exp = Experiment::new(self.name)
+            .branches(self.branches)
+            .seeds(self.seeds.iter().copied());
+        for w in self.workloads() {
+            exp = exp.add_workload(w);
+        }
+        for s in self.scenarios()? {
+            exp = exp.scenario(s);
+        }
+        Ok(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_suite_is_well_formed() {
+        assert_eq!(
+            WorkloadSuite::names(),
+            ["paper", "spec-like", "adversarial", "stress"]
+        );
+        for suite in WorkloadSuite::all() {
+            // All workload names resolve against the profile tables.
+            for name in suite.workload_names() {
+                assert!(
+                    profiles::by_name(name).is_some(),
+                    "suite '{}' names unknown workload '{name}'",
+                    suite.name
+                );
+            }
+            // All scenario strings parse against the live registry.
+            let scenarios = suite.scenarios().expect("scenarios parse");
+            assert_eq!(scenarios.len(), suite.scenario_specs().len());
+            assert!(!suite.workload_names().is_empty());
+            assert!(suite.branches > 0);
+            assert!(!suite.seeds.is_empty());
+            // The experiment builder accepts the whole bundle.
+            suite.to_experiment().expect("experiment builds");
+        }
+    }
+
+    #[test]
+    fn paper_suite_covers_all_fig3_workloads_and_schemes() {
+        let s = WorkloadSuite::by_name("paper").unwrap();
+        assert_eq!(s.workload_names().len(), 37);
+        assert_eq!(s.scenario_specs().len(), 5);
+    }
+
+    #[test]
+    fn unknown_suite_lists_are_reported() {
+        let e = WorkloadSuite::resolve("warp").unwrap_err();
+        assert_eq!(e, EngineError::UnknownSuite("warp".to_string()));
+        assert!(e.to_string().contains("warp"), "{e}");
+    }
+
+    #[test]
+    fn suite_experiment_runs_scaled_down() {
+        let set = WorkloadSuite::resolve("stress")
+            .unwrap()
+            .to_experiment()
+            .unwrap()
+            .branches(1_500)
+            .run()
+            .unwrap();
+        // 6 workloads x 5 scenarios x 1 seed.
+        assert_eq!(set.records().len(), 30);
+    }
+}

@@ -2,16 +2,15 @@
 //! from.
 //!
 //! A [`Workload`] names a supplier of [`EventSource`]s — a registered
-//! profile, an ad-hoc profile, a shared in-memory trace, a line-format
-//! trace file, or a custom factory. Grid runs open one fresh source per
+//! profile, an ad-hoc profile, a shared in-memory trace, a trace file
+//! (line or binary `.stbt`, auto-detected by magic), or a custom factory. Grid runs open one fresh source per
 //! (scenario, seed) cell inside the worker thread, so traces are streamed
 //! per worker instead of being materialized centrally and cloned around:
 //! generator-backed workloads run in O(1) memory at any length, and a
 //! shared trace is only ever borrowed.
 
 use crate::error::EngineError;
-use stbpu_trace::serialize::TraceReader;
-use stbpu_trace::{profiles, EventSource, Trace, TraceGenerator, WorkloadProfile};
+use stbpu_trace::{open_trace_file, profiles, EventSource, Trace, TraceGenerator, WorkloadProfile};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -30,8 +29,9 @@ pub enum Workload {
     /// A shared, already-materialized trace; workers borrow it, never
     /// clone it.
     Trace(Arc<Trace>),
-    /// A line-format trace file (see `stbpu_trace::serialize`), streamed
-    /// from disk in O(1) memory.
+    /// A trace file streamed from disk in O(1) memory; line vs binary
+    /// `.stbt` format is auto-detected by magic
+    /// (see [`stbpu_trace::open_trace_file`]).
     File(PathBuf),
     /// A custom source factory (replay proxies, fuzzers, captures…).
     Custom {
@@ -114,15 +114,9 @@ impl Workload {
             }
             Workload::Profile(p) => Box::new(TraceGenerator::new(p, seed).into_source(branches)),
             Workload::Trace(t) => Box::new(t.source()),
-            Workload::File(p) => {
-                let f = std::fs::File::open(p).map_err(|e| {
-                    EngineError::WorkloadSource(format!("open {}: {e}", p.display()))
-                })?;
-                Box::new(
-                    TraceReader::new(std::io::BufReader::new(f))
-                        .map_err(|e| EngineError::WorkloadSource(e.to_string()))?,
-                )
-            }
+            Workload::File(p) => Box::new(
+                open_trace_file(p).map_err(|e| EngineError::WorkloadSource(e.to_string()))?,
+            ),
             Workload::Custom { factory, .. } => factory(seed, branches),
         })
     }
@@ -169,6 +163,23 @@ mod tests {
         }
         assert_eq!(n, t.len());
         assert_eq!(Arc::strong_count(&t), 2, "only the Arc is duplicated");
+    }
+
+    #[test]
+    fn file_workload_auto_detects_binary_format() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(300);
+        let dir = std::env::temp_dir().join(format!("stbpu-engine-wl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.stbt");
+        let mut buf = Vec::new();
+        stbpu_trace::binfmt::write_bin_trace(&t, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let w = Workload::File(path);
+        w.validate().unwrap();
+        let mut src = w.open(0, 0).unwrap();
+        assert_eq!(src.branch_hint(), Some(300));
+        assert_eq!(src.collect_trace().unwrap().events(), t.events());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Trace-file opening with on-disk format auto-detection.
+//!
+//! Two formats live on disk: the human-readable line format
+//! ([`crate::serialize`]) and the compact binary `.stbt` format
+//! ([`crate::binfmt`]). The first four bytes decide which one a file is —
+//! a binary trace always starts with the `"STBT"` magic, which can never
+//! lead a valid line-format file — so consumers ask [`open_trace_file`]
+//! and get a streaming [`EventSource`] either way.
+
+use crate::binfmt::{BinTraceReader, MAGIC};
+use crate::event::TraceEvent;
+use crate::serialize::TraceReader;
+use crate::source::{EventSource, SourceError};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Which on-disk trace format a file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFileFormat {
+    /// The line-oriented text format (`B <tid> <pc> …`).
+    Line,
+    /// The compact binary `.stbt` format.
+    Binary,
+}
+
+impl TraceFileFormat {
+    /// The conventional format for a path: `.stbt` means binary,
+    /// anything else line.
+    pub fn from_extension(path: &Path) -> TraceFileFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("stbt") => TraceFileFormat::Binary,
+            _ => TraceFileFormat::Line,
+        }
+    }
+}
+
+impl fmt::Display for TraceFileFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceFileFormat::Line => "line",
+            TraceFileFormat::Binary => "binary",
+        })
+    }
+}
+
+/// Reads up to four leading bytes from `r` and classifies them: binary
+/// if and only if they are the full `"STBT"` magic.
+fn sniff_magic<R: Read>(r: &mut R) -> std::io::Result<TraceFileFormat> {
+    let mut magic = [0u8; 4];
+    let mut got = 0;
+    while got < magic.len() {
+        let n = r.read(&mut magic[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    Ok(if got == magic.len() && magic == MAGIC {
+        TraceFileFormat::Binary
+    } else {
+        TraceFileFormat::Line
+    })
+}
+
+/// Sniffs a file's trace format from its leading magic bytes. Files
+/// shorter than the magic (including empty files) are classified as line
+/// format — the line reader treats them as empty traces.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file.
+pub fn detect_format(path: &Path) -> std::io::Result<TraceFileFormat> {
+    sniff_magic(&mut File::open(path)?)
+}
+
+/// A streaming [`EventSource`] over a trace file of either format,
+/// selected by magic sniffing at open time.
+///
+/// ```no_run
+/// use stbpu_trace::{open_trace_file, EventSource};
+///
+/// let mut src = open_trace_file(std::path::Path::new("capture.stbt")).unwrap();
+/// println!("{} declares {:?} branches", src.name(), src.branch_hint());
+/// ```
+pub enum TraceFileSource {
+    /// A line-format file (buffered text reader).
+    Line(TraceReader<BufReader<File>>),
+    /// A binary `.stbt` file (the reader buffers internally; boxed — it
+    /// carries per-thread delta state much larger than the line variant).
+    Binary(Box<BinTraceReader<File>>),
+}
+
+impl TraceFileSource {
+    /// The format that was detected at open time.
+    pub fn format(&self) -> TraceFileFormat {
+        match self {
+            TraceFileSource::Line(_) => TraceFileFormat::Line,
+            TraceFileSource::Binary(_) => TraceFileFormat::Binary,
+        }
+    }
+}
+
+/// Opens `path` as a streaming event source, auto-detecting line vs
+/// binary format by magic.
+///
+/// # Errors
+///
+/// Returns [`SourceError`] when the file cannot be opened (with the path
+/// in the message) or its header is malformed.
+pub fn open_trace_file(path: &Path) -> Result<TraceFileSource, SourceError> {
+    use std::io::{Seek, SeekFrom};
+    let ctx = |e: String| SourceError(format!("{}: {e}", path.display()));
+    // One handle for sniff and read: no second open to race against the
+    // path changing underneath us.
+    let mut file = File::open(path).map_err(|e| ctx(e.to_string()))?;
+    let format = sniff_magic(&mut file).map_err(|e| ctx(e.to_string()))?;
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| ctx(e.to_string()))?;
+    Ok(match format {
+        TraceFileFormat::Line => TraceFileSource::Line(
+            TraceReader::new(BufReader::new(file)).map_err(|e| ctx(e.to_string()))?,
+        ),
+        TraceFileFormat::Binary => TraceFileSource::Binary(Box::new(
+            BinTraceReader::new(file).map_err(|e| ctx(e.to_string()))?,
+        )),
+    })
+}
+
+impl EventSource for TraceFileSource {
+    fn name(&self) -> &str {
+        match self {
+            TraceFileSource::Line(r) => r.name(),
+            TraceFileSource::Binary(r) => r.name(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        match self {
+            TraceFileSource::Line(r) => r.thread_count(),
+            TraceFileSource::Binary(r) => r.thread_count(),
+        }
+    }
+
+    fn branch_hint(&self) -> Option<u64> {
+        match self {
+            TraceFileSource::Line(r) => r.branch_hint(),
+            TraceFileSource::Binary(r) => r.branch_hint(),
+        }
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError> {
+        match self {
+            TraceFileSource::Line(r) => r.next_event(),
+            TraceFileSource::Binary(r) => r.next_event(),
+        }
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<TraceEvent>, max: usize) -> Result<usize, SourceError> {
+        match self {
+            TraceFileSource::Line(r) => r.next_batch(buf, max),
+            TraceFileSource::Binary(r) => r.next_batch(buf, max),
+        }
+    }
+}
+
+/// A streaming trace writer for either on-disk format, selected at
+/// construction — the writing counterpart of [`TraceFileSource`]. The
+/// `header`/`event`/`flush` surface mirrors
+/// [`crate::serialize::TraceWriter`] and [`crate::binfmt::BinTraceWriter`],
+/// so call sites serialize a stream without caring which format was
+/// requested.
+pub enum TraceFileWriter<W: std::io::Write> {
+    /// Line-format output.
+    Line(crate::serialize::TraceWriter<W>),
+    /// Binary `.stbt` output (boxed — the encoder's per-thread delta
+    /// state dwarfs the line variant).
+    Binary(Box<crate::binfmt::BinTraceWriter<W>>),
+}
+
+impl<W: std::io::Write> TraceFileWriter<W> {
+    /// A writer emitting `format` into `w` (pass a `BufWriter` for
+    /// unbuffered sinks).
+    pub fn new(format: TraceFileFormat, w: W) -> Self {
+        match format {
+            TraceFileFormat::Line => TraceFileWriter::Line(crate::serialize::TraceWriter::new(w)),
+            TraceFileFormat::Binary => {
+                TraceFileWriter::Binary(Box::new(crate::binfmt::BinTraceWriter::new(w)))
+            }
+        }
+    }
+
+    /// The format being written.
+    pub fn format(&self) -> TraceFileFormat {
+        match self {
+            TraceFileWriter::Line(_) => TraceFileFormat::Line,
+            TraceFileWriter::Binary(_) => TraceFileFormat::Binary,
+        }
+    }
+
+    /// Writes the format's metadata header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn header(
+        &mut self,
+        name: &str,
+        branches: Option<u64>,
+        threads: usize,
+    ) -> std::io::Result<()> {
+        match self {
+            TraceFileWriter::Line(w) => w.header(name, branches, threads),
+            TraceFileWriter::Binary(w) => w.header(name, branches, threads),
+        }
+    }
+
+    /// Writes one event record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn event(&mut self, ev: &TraceEvent) -> std::io::Result<()> {
+        match self {
+            TraceFileWriter::Line(w) => w.event(ev),
+            TraceFileWriter::Binary(w) => w.event(ev),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            TraceFileWriter::Line(w) => w.flush(),
+            TraceFileWriter::Binary(w) => w.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binfmt::write_bin_trace;
+    use crate::serialize::write_trace;
+    use crate::{TraceGenerator, WorkloadProfile};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("stbpu-file-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn both_formats_detected_and_stream_identically() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 4).generate(400);
+        let (line, bin) = (scratch("t.trace"), scratch("t.stbt"));
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        std::fs::write(&line, &buf).unwrap();
+        buf.clear();
+        write_bin_trace(&t, &mut buf).unwrap();
+        std::fs::write(&bin, &buf).unwrap();
+
+        assert_eq!(detect_format(&line).unwrap(), TraceFileFormat::Line);
+        assert_eq!(detect_format(&bin).unwrap(), TraceFileFormat::Binary);
+
+        let mut l = open_trace_file(&line).unwrap();
+        let mut b = open_trace_file(&bin).unwrap();
+        assert_eq!(l.format(), TraceFileFormat::Line);
+        assert_eq!(b.format(), TraceFileFormat::Binary);
+        assert_eq!(l.branch_hint(), b.branch_hint());
+        let lt = l.collect_trace().unwrap();
+        let bt = b.collect_trace().unwrap();
+        assert_eq!(lt.events(), bt.events());
+        assert_eq!(lt.events(), t.events());
+    }
+
+    #[test]
+    fn short_and_empty_files_fall_back_to_line() {
+        let p = scratch("short.trace");
+        std::fs::write(&p, b"I 0").unwrap();
+        assert_eq!(detect_format(&p).unwrap(), TraceFileFormat::Line);
+        std::fs::write(&p, b"").unwrap();
+        assert_eq!(detect_format(&p).unwrap(), TraceFileFormat::Line);
+        let mut src = open_trace_file(&p).unwrap();
+        assert!(src.next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn extension_convention_and_format_writer_agree() {
+        use std::path::Path;
+        assert_eq!(
+            TraceFileFormat::from_extension(Path::new("a/b/cap.stbt")),
+            TraceFileFormat::Binary
+        );
+        assert_eq!(
+            TraceFileFormat::from_extension(Path::new("cap.trace")),
+            TraceFileFormat::Line
+        );
+        assert_eq!(
+            TraceFileFormat::from_extension(Path::new("noext")),
+            TraceFileFormat::Line
+        );
+
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 2).generate(150);
+        for format in [TraceFileFormat::Line, TraceFileFormat::Binary] {
+            let mut buf = Vec::new();
+            let mut w = TraceFileWriter::new(format, &mut buf);
+            assert_eq!(w.format(), format);
+            w.header(&t.name, Some(t.branch_count() as u64), t.thread_count())
+                .unwrap();
+            for ev in t.events() {
+                w.event(ev).unwrap();
+            }
+            w.flush().unwrap();
+            drop(w);
+            let p = scratch(&format!("fw.{format}"));
+            std::fs::write(&p, &buf).unwrap();
+            assert_eq!(detect_format(&p).unwrap(), format);
+            let mut src = open_trace_file(&p).unwrap();
+            assert_eq!(src.collect_trace().unwrap().events(), t.events());
+        }
+    }
+
+    #[test]
+    fn missing_file_error_carries_path() {
+        let e = open_trace_file(Path::new("/nonexistent/x.stbt"))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("/nonexistent/x.stbt"), "{e}");
+    }
+}

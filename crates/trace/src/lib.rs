@@ -27,8 +27,10 @@
 //! * [`EventSource`] — a streaming iterator of events plus declared
 //!   metadata. [`Trace::source`] adapts a materialized trace,
 //!   [`TraceGenerator::into_source`] streams generate-as-you-simulate with
-//!   O(1) memory (10M+ branch runs never build a vector), and
-//!   [`serialize::TraceReader`] streams the line-format file format.
+//!   O(1) memory (10M+ branch runs never build a vector),
+//!   [`serialize::TraceReader`] streams the line-format file format,
+//!   [`binfmt::BinTraceReader`] streams the compact binary `.stbt`
+//!   format, and [`open_trace_file`] picks between the two by magic.
 //!
 //! # Example
 //!
@@ -48,7 +50,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 mod event;
+mod file;
 mod generator;
 pub mod profiles;
 mod program;
@@ -56,6 +60,7 @@ pub mod serialize;
 mod source;
 
 pub use event::{Trace, TraceEvent};
+pub use file::{detect_format, open_trace_file, TraceFileFormat, TraceFileSource, TraceFileWriter};
 pub use generator::{GeneratorSource, TraceGenerator};
 pub use profiles::{WorkloadClass, WorkloadProfile};
 pub use source::{EventSource, SourceError, TraceSource};

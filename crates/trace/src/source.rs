@@ -93,6 +93,31 @@ pub trait EventSource {
         Ok(buf.len())
     }
 
+    /// Drains the source in batches of at most `max` events, invoking
+    /// `f` on each non-empty batch — the shared shape of every bulk
+    /// consumer (serializers, inspectors, ingest benchmarks). Source
+    /// errors convert into the caller's error type; closure errors
+    /// propagate unchanged. Unavailable on `dyn EventSource` (it is
+    /// generic); batch-pull there via [`EventSource::next_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first source or closure error.
+    fn for_each_batch<E, F>(&mut self, max: usize, mut f: F) -> Result<(), E>
+    where
+        Self: Sized,
+        E: From<SourceError>,
+        F: FnMut(&[TraceEvent]) -> Result<(), E>,
+    {
+        let mut buf = Vec::new();
+        loop {
+            if self.next_batch(&mut buf, max)? == 0 {
+                return Ok(());
+            }
+            f(&buf)?;
+        }
+    }
+
     /// Drains the source into a materialized [`Trace`] (name and events
     /// preserved). Mostly useful in tests and for small streams.
     fn collect_trace(&mut self) -> Result<Trace, SourceError> {

@@ -1,0 +1,212 @@
+//! Property tests for the binary `.stbt` format: lossless round trips
+//! against the line format over arbitrary event streams, streaming/batch
+//! equivalence, and header/record corruption reporting rich positioned
+//! errors (the binary counterpart of the line reader's line numbers).
+
+use proptest::prelude::*;
+use stbpu_bpu::{BranchKind, BranchRecord, EntityId, VirtAddr};
+use stbpu_trace::binfmt::{read_bin_trace, write_bin_trace, BinTraceReader, MAGIC, VERSION};
+use stbpu_trace::serialize::{read_trace, write_trace};
+use stbpu_trace::{EventSource, Trace, TraceEvent};
+
+/// Arbitrary events across all four variants, all six branch kinds, the
+/// full tid/pc/target/ilen/gap/entity ranges.
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u8>(),  // variant + kind selector
+        any::<u8>(),  // tid
+        any::<u64>(), // pc
+        any::<u64>(), // target
+        any::<bool>(),
+        any::<u8>(),  // ilen
+        any::<u16>(), // gap
+        any::<u32>(), // entity
+    )
+        .prop_map(
+            |(sel, tid, pc, target, taken, ilen, gap, entity)| match sel % 8 {
+                0 => TraceEvent::ContextSwitch {
+                    tid,
+                    entity: EntityId(entity),
+                },
+                1 => TraceEvent::ModeSwitch { tid, kernel: taken },
+                2 => TraceEvent::Interrupt { tid },
+                _ => TraceEvent::Branch {
+                    tid,
+                    rec: BranchRecord {
+                        pc: VirtAddr::new(pc),
+                        kind: BranchKind::ALL[(sel >> 3) as usize % 6],
+                        taken,
+                        target: VirtAddr::new(target),
+                        ilen,
+                        gap,
+                    },
+                },
+            },
+        )
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(arb_event(), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `line -> binary -> line` is the identity on events AND on the
+    /// serialized line bytes (headers normalized the same way), for any
+    /// event stream.
+    #[test]
+    fn line_binary_line_roundtrip(events in arb_stream()) {
+        let t = Trace::from_events("prop", events);
+        let mut line1 = Vec::new();
+        write_trace(&t, &mut line1).unwrap();
+
+        // line -> (parse) -> binary -> (parse) -> line
+        let parsed = read_trace(line1.as_slice()).unwrap();
+        let mut bin = Vec::new();
+        write_bin_trace(&parsed, &mut bin).unwrap();
+        let back = read_bin_trace(bin.as_slice()).unwrap();
+        prop_assert_eq!(back.events(), t.events());
+        prop_assert_eq!(back.name.as_str(), "prop");
+
+        let mut line2 = Vec::new();
+        write_trace(&back, &mut line2).unwrap();
+        prop_assert_eq!(line1, line2, "line bytes drifted across the binary hop");
+    }
+
+    /// `binary -> line -> binary` is the identity on the binary bytes.
+    #[test]
+    fn binary_line_binary_roundtrip(events in arb_stream()) {
+        let t = Trace::from_events("prop", events);
+        let mut bin1 = Vec::new();
+        write_bin_trace(&t, &mut bin1).unwrap();
+
+        let hop = read_bin_trace(bin1.as_slice()).unwrap();
+        let mut line = Vec::new();
+        write_trace(&hop, &mut line).unwrap();
+        let hop2 = read_trace(line.as_slice()).unwrap();
+
+        let mut bin2 = Vec::new();
+        write_bin_trace(&hop2, &mut bin2).unwrap();
+        prop_assert_eq!(bin1, bin2, "binary bytes drifted across the line hop");
+    }
+
+    /// Batched pulls of any size concatenate to exactly the event stream.
+    #[test]
+    fn batch_sizes_are_equivalent(events in arb_stream(), chunk in any::<u16>()) {
+        let chunk = (chunk as usize % 97) + 1;
+        let t = Trace::from_events("prop", events);
+        let mut bin = Vec::new();
+        write_bin_trace(&t, &mut bin).unwrap();
+        let mut src = BinTraceReader::new(bin.as_slice()).unwrap();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            let n = src.next_batch(&mut buf, chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            prop_assert!(n <= chunk);
+            got.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(got.as_slice(), t.events());
+    }
+
+    /// Truncating a binary trace anywhere inside the record section never
+    /// panics, never fabricates extra events, and reports a positioned
+    /// "truncated record" error unless the cut lands exactly on a record
+    /// boundary.
+    #[test]
+    fn arbitrary_truncation_is_detected(events in arb_stream(), cut in any::<u64>()) {
+        prop_assume!(!events.is_empty());
+        let total = events.len();
+        let t = Trace::from_events("prop", events);
+        let mut bin = Vec::new();
+        write_bin_trace(&t, &mut bin).unwrap();
+        let header_len = 20 + "prop".len();
+        prop_assume!(bin.len() > header_len);
+        let cut = header_len + (cut as usize % (bin.len() - header_len));
+
+        let mut src = BinTraceReader::new(&bin[..cut]).unwrap();
+        let mut seen = 0usize;
+        let outcome = loop {
+            match src.next_record() {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        prop_assert!(seen < total, "truncated stream yielded all {total} events");
+        match outcome {
+            Ok(()) => {}
+            Err(e) => {
+                prop_assert!(
+                    e.to_string().contains("truncated record"),
+                    "unexpected error: {}", e
+                );
+                prop_assert!(e.record() == seen as u64 + 1);
+                prop_assert!(e.offset() >= header_len as u64);
+            }
+        }
+    }
+}
+
+// --- deterministic header-corruption cases (the rich errors the line
+// --- TraceReader grew in PR 3, mirrored byte-positioned) --------------
+
+fn golden_bytes() -> Vec<u8> {
+    let t = Trace::from_events(
+        "hdr",
+        [
+            TraceEvent::Interrupt { tid: 0 },
+            TraceEvent::ModeSwitch {
+                tid: 1,
+                kernel: true,
+            },
+        ],
+    );
+    let mut bin = Vec::new();
+    write_bin_trace(&t, &mut bin).unwrap();
+    bin
+}
+
+#[test]
+fn bad_magic_reports_what_was_found() {
+    let mut bin = golden_bytes();
+    bin[0..4].copy_from_slice(b"NOPE");
+    let e = BinTraceReader::new(bin.as_slice()).map(|_| ()).unwrap_err();
+    assert_eq!(e.offset(), 0);
+    assert_eq!(e.record(), 0);
+    assert!(e.to_string().contains("bad magic"), "{e}");
+    assert!(e.to_string().contains("STBT"), "{e}");
+}
+
+#[test]
+fn version_mismatch_names_both_versions() {
+    let mut bin = golden_bytes();
+    bin[4..6].copy_from_slice(&(VERSION + 41).to_le_bytes());
+    let e = BinTraceReader::new(bin.as_slice()).map(|_| ()).unwrap_err();
+    assert_eq!(e.offset(), 4);
+    assert!(e.to_string().contains("version 42"), "{e}");
+    assert!(e.to_string().contains(&format!("version {VERSION}")), "{e}");
+}
+
+#[test]
+fn truncated_header_is_positioned() {
+    let bin = golden_bytes();
+    for cut in [0, 3, 10, 19] {
+        let e = BinTraceReader::new(&bin[..cut]).map(|_| ()).unwrap_err();
+        assert_eq!(e.record(), 0, "cut at {cut}");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("magic") || msg.contains("truncated header"),
+            "cut at {cut}: {msg}"
+        );
+    }
+}
+
+#[test]
+fn magic_survives_both_hops_unchanged() {
+    // The detection seam everything rides on: the first four bytes.
+    assert_eq!(&golden_bytes()[..4], &MAGIC);
+}
