@@ -2,11 +2,10 @@
 //! monitor telemetry timelines.
 
 use crate::args::Args;
-use crate::simulate::auto_protection;
 use crate::Failure;
 use stbpu_attacks::telemetry::MonitorTelemetry;
 use stbpu_bench::{figures, Knobs};
-use stbpu_engine::{ModelRegistry, Workload};
+use stbpu_engine::{auto_protection, ModelRegistry, Workload};
 use stbpu_sim::{Protection, SessionOptions, SimSession, Warmup};
 
 /// Streams `branches` events of `workload` through `model_spec` under

@@ -1,7 +1,8 @@
 //! `stbpu bench` — the deterministic perf harness behind CI's regression
 //! gate.
 //!
-//! Three suites share one fixed scheme set:
+//! Three suites share one fixed scheme set (a fourth, `serve`, drives
+//! the socket daemon instead — see [`run_serve`]):
 //!
 //! * `--suite default` streams each scheme once through a batched
 //!   `SimSession`, measuring wall-clock time, branches/second and OAE.
@@ -90,6 +91,7 @@ enum Suite {
     Default,
     Throughput,
     Ingest,
+    Serve,
 }
 
 /// Runs one scheme to completion; `batched` selects the batched session
@@ -165,16 +167,28 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         None | Some("default") => Suite::Default,
         Some("throughput") => Suite::Throughput,
         Some("ingest") => Suite::Ingest,
+        Some("serve") => Suite::Serve,
         Some(other) => {
             return Err(Failure::Usage(format!(
-                "unknown suite '{other}' (default|throughput|ingest)"
+                "unknown suite '{other}' (default|throughput|ingest|serve)"
             )))
         }
     };
+    let clients_opt: Option<usize> = a.opt_parse("--clients", "an integer")?;
+    let sessions_opt: Option<usize> = a.opt_parse("--sessions", "an integer")?;
+    if suite != Suite::Serve && (clients_opt.is_some() || sessions_opt.is_some()) {
+        return Err(Failure::Usage(
+            "--clients/--sessions apply only to the serve suite".to_string(),
+        ));
+    }
     let out_dir = a.opt("--out-dir")?.unwrap_or_else(|| ".".to_string());
     // The ingest suite defaults to the paper-scale 10M-branch trace the
     // format was built for; everything else keeps the 2M default.
     let default_branches = match (suite, quick) {
+        // The serve suite streams branches × clients × sessions, so its
+        // per-session defaults sit well below the single-run suites.
+        (Suite::Serve, true) => 50_000,
+        (Suite::Serve, false) => 200_000,
         (_, true) => 200_000,
         (Suite::Ingest, false) => 10_000_000,
         (_, false) => 2_000_000,
@@ -199,6 +213,27 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let w = Workload::Named(workload.clone());
     w.validate().map_err(Failure::from)?;
     let registry = ModelRegistry::standard();
+
+    if suite == Suite::Serve {
+        if update.is_some() {
+            return Err(Failure::Usage(
+                "--update-baseline applies to the default/throughput suites; the serve \
+                 suite hard-gates every streamed report bit-identical against an offline \
+                 run in-process"
+                    .to_string(),
+            ));
+        }
+        return run_serve(
+            &workload,
+            branches,
+            seed,
+            clients_opt.unwrap_or(8),
+            sessions_opt.unwrap_or(2),
+            &out_dir,
+            json,
+            check.as_deref(),
+        );
+    }
 
     if suite == Suite::Ingest {
         if update.is_some() {
@@ -270,7 +305,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 rows.join(",")
             )?;
         }
-        Suite::Ingest => unreachable!("the ingest suite returns early"),
+        Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
     }
 
     if json {
@@ -281,7 +316,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             match suite {
                 Suite::Default => "default suite",
                 Suite::Throughput => "throughput suite: batched vs single-event",
-                Suite::Ingest => unreachable!("the ingest suite returns early"),
+                Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
             }
         );
         match suite {
@@ -317,7 +352,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 }
                 eprintln!("wrote BENCH_throughput.json to {out_dir}/ (paths bit-identical)");
             }
-            Suite::Ingest => unreachable!("the ingest suite returns early"),
+            Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
         }
     }
 
@@ -335,9 +370,9 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 // Wall-clock is machine-dependent: drift produces notes,
                 // never a failing exit, so the trajectory can accumulate
                 // before the gate hardens (see CONTRIBUTING.md).
-                throughput_drift_notes(&path, &records);
+                throughput_drift_notes("throughput", &path, &records);
             }
-            Suite::Ingest => unreachable!("the ingest suite returns early"),
+            Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
         }
     }
     Ok(())
@@ -588,6 +623,95 @@ fn run_ingest_in(
     Ok(())
 }
 
+/// The serve suite: the socket daemon on loopback, a concurrent client
+/// fleet over real TCP, and a hard in-run bit-parity gate (every
+/// streamed report vs one offline run of the same events — see
+/// [`stbpu_serve::run_bench`]). Emits one `BENCH_serve.json` trajectory
+/// record; wall-clock numbers are machine-dependent and never gate.
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    clients: usize,
+    sessions_per_client: usize,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+) -> Result<(), Failure> {
+    let cfg = stbpu_serve::BenchConfig {
+        clients,
+        sessions_per_client,
+        branches,
+        workload: workload.to_string(),
+        seed,
+        ..stbpu_serve::BenchConfig::default()
+    };
+    eprintln!(
+        "serve suite: {clients} clients x {sessions_per_client} sessions x {branches} \
+         branches over loopback…"
+    );
+    let r = stbpu_serve::run_bench(&cfg).map_err(Failure::Runtime)?;
+
+    let body = format!(
+        "{{\"suite\":\"serve\",\"workload\":{},\"model\":{},\"protection\":\"{}\",\
+         \"branches\":{branches},\"seed\":{seed},\"clients\":{},\"sessions\":{},\
+         \"total_branches\":{},\"elapsed_s\":{:.6},\"sessions_per_s\":{:.3},\
+         \"branches_per_s\":{:.0},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"oae\":{}}}",
+        escape(workload),
+        escape(&cfg.model),
+        cfg.protection,
+        r.clients,
+        r.sessions,
+        r.total_branches,
+        r.elapsed_s,
+        r.sessions_per_s,
+        r.branches_per_s,
+        r.p50_ms,
+        r.p99_ms,
+        r.oae,
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = format!("{out_dir}/BENCH_serve.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{body}")?;
+
+    if json {
+        println!("{body}");
+    } else {
+        println!(
+            "stbpu bench (serve suite: daemon + socket clients) — {workload}, \
+             {branches} branches/session, seed {seed}"
+        );
+        println!(
+            "{} sessions over {} clients in {:.3}s (every report bit-identical to the \
+             offline run, OAE {:.6})",
+            r.sessions, r.clients, r.elapsed_s, r.oae
+        );
+        println!(
+            "throughput: {:.1} sessions/s, {:.2}M branches/s aggregate",
+            r.sessions_per_s,
+            r.branches_per_s / 1e6
+        );
+        println!(
+            "flush-to-report latency: p50 {:.2} ms, p99 {:.2} ms",
+            r.p50_ms, r.p99_ms
+        );
+        eprintln!("wrote BENCH_serve.json to {out_dir}/");
+    }
+
+    // Socket throughput has no baseline section yet; correctness is
+    // hard-gated in-run, so --check degrades to a named warn-only note
+    // instead of pretending to compare anything.
+    if let Some(path) = check {
+        eprintln!(
+            "serve suite note (warn-only): no baseline gate for socket throughput \
+             ({path} not consulted); bit-parity was hard-gated in-run"
+        );
+    }
+    Ok(())
+}
+
 /// Writes the baseline file `--check` gates against. OAE values use
 /// Rust's shortest round-trip float formatting, so the parsed values
 /// compare exactly. The throughput suite refreshes the `throughput`
@@ -611,7 +735,9 @@ fn write_baseline(
             .iter()
             .map(|r| (r.name.to_string(), r.branches_per_s))
             .collect(),
-        Suite::Ingest => unreachable!("the ingest suite never writes a baseline"),
+        Suite::Ingest | Suite::Serve => {
+            unreachable!("these suites never write a baseline")
+        }
         // Carry over the existing section so a default-suite refresh
         // does not silently drop the throughput trajectory. An existing
         // but unreadable/unparsable file is still overwritten (the whole
@@ -673,21 +799,23 @@ fn write_baseline(
 
 /// Prints warn-only branches/s drift notes against the baseline's
 /// `throughput` section. Never fails: wall-clock depends on the machine,
-/// so the trajectory must accumulate before the gate hardens.
-fn throughput_drift_notes(path: &str, records: &[Record]) {
+/// so the trajectory must accumulate before the gate hardens. Every note
+/// names the suite that produced it, so interleaved CI logs from several
+/// suites stay attributable.
+fn throughput_drift_notes(suite: &str, path: &str, records: &[Record]) {
     let doc = match std::fs::read_to_string(path)
         .map_err(|e| e.to_string())
         .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
     {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("throughput note (warn-only): cannot read baseline {path}: {e}");
+            eprintln!("{suite} suite note (warn-only): cannot read baseline {path}: {e}");
             return;
         }
     };
     let Some(section) = doc.get("throughput") else {
         eprintln!(
-            "throughput note (warn-only): baseline {path} has no throughput section yet; \
+            "{suite} suite note (warn-only): baseline {path} has no throughput section yet; \
              refresh via `stbpu bench --suite throughput --quick --update-baseline {path}`"
         );
         return;
@@ -696,7 +824,7 @@ fn throughput_drift_notes(path: &str, records: &[Record]) {
     for r in records {
         let Some(expected) = section.get(r.name).and_then(Json::as_f64) else {
             eprintln!(
-                "throughput note (warn-only): scheme '{}' missing from baseline",
+                "{suite} suite note (warn-only): scheme '{}' missing from baseline",
                 r.name
             );
             notes += 1;
@@ -705,7 +833,7 @@ fn throughput_drift_notes(path: &str, records: &[Record]) {
         let drift = (r.branches_per_s - expected) / expected.max(1e-12);
         if drift.abs() > THROUGHPUT_NOTE_FRAC {
             eprintln!(
-                "throughput note (warn-only): scheme '{}' at {:.0} branches/s, {:+.1}% vs \
+                "{suite} suite note (warn-only): scheme '{}' at {:.0} branches/s, {:+.1}% vs \
                  baseline {:.0}",
                 r.name,
                 r.branches_per_s,
@@ -717,7 +845,8 @@ fn throughput_drift_notes(path: &str, records: &[Record]) {
     }
     if notes == 0 {
         eprintln!(
-            "throughput check passed ({path}, all schemes within {:.0}% of baseline, warn-only)",
+            "{suite} suite throughput check passed ({path}, all schemes within {:.0}% of \
+             baseline, warn-only)",
             THROUGHPUT_NOTE_FRAC * 100.0
         );
     }

@@ -119,7 +119,7 @@ examples:
         summary: "generate, inspect and convert trace files (line or binary .stbt)",
         help: "\
 usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S] [--format F]
-       stbpu trace inspect FILE [--json]
+       stbpu trace inspect FILE [--json]     ('-' reads a stream from stdin)
        stbpu trace convert IN OUT [--name NAME] [--format F]
 
 Two on-disk formats exist: the line text format and the compact binary
@@ -194,11 +194,19 @@ baseline gate compares.
                         unless line and binary produce bit-identical
                         reports — and emits one BENCH_ingest.json (file
                         sizes, size ratio, ingest speedup)
+                        serve: spawns the streaming daemon on loopback,
+                        drives concurrent socket clients through it —
+                        hard-fails unless every streamed report is
+                        bit-identical to an offline run — and emits one
+                        BENCH_serve.json (sessions/s, aggregate branches/s,
+                        p50/p99 flush-to-report latency)
   --quick               200k branches per scheme (default 2M;
                         ingest suite defaults to a 10M-branch trace)
   --branches N          explicit branch count (overrides --quick/default)
   --seed S              trace + token seed (default 42)
   --workload NAME       workload profile (default 541.leela)
+  --clients N           serve suite: concurrent socket clients (default 8)
+  --sessions N          serve suite: sessions per client (default 2)
   --out-dir DIR         where BENCH_*.json records go (default .)
   --json                print the combined record array on stdout
   --check FILE          fail (exit 1) if any scheme's OAE drifts from the
@@ -214,6 +222,55 @@ examples:
   stbpu bench --quick --update-baseline ci/baseline.json
   stbpu bench --suite throughput --quick --check ci/baseline.json
   stbpu bench --suite ingest --quick --check ci/baseline.json
+  stbpu bench --suite serve --quick --out-dir bench-artifacts
+",
+    },
+    Sub {
+        name: "serve",
+        summary: "streaming TCP simulation daemon (and its socket self-test)",
+        help: "\
+usage: stbpu serve [--listen ADDR] [daemon options]
+       stbpu serve --client [--connect ADDR] [self-test options]
+
+Daemon mode binds a TCP listener and accepts sessions over a
+length-prefixed binary protocol (see the README frame spec): a client
+sends Hello{model, protection, workload, seed, warmup, interval},
+streams raw .stbt record bytes in TraceChunk frames, and receives
+IntervalRecord frames as windows complete plus one FinalReport after
+Flush — bit-identical to running `stbpu simulate` offline on the same
+stream. Per-connection quotas bound sessions and buffered bytes;
+overload answers with advisory Backpressure/Resume frames and TCP
+pushback, never a dropped session.
+
+daemon options:
+  --listen ADDR         bind address (default 127.0.0.1:4588)
+  --workers N           worker threads (default: one per core, max 8)
+  --max-sessions N      live sessions per connection (default 16)
+  --max-buffered N      buffered chunk bytes per connection (default 8 MiB)
+  --idle-timeout-ms N   idle session reap timeout (default 30000)
+
+self-test options (--client):
+  --connect ADDR        target a running daemon (default: spawn one
+                        in-process on loopback)
+  --clients N           concurrent socket clients (default 2)
+  --workload NAME       workload profile (default 541.leela)
+  --model SPEC          model spec (default st_skl)
+  --protection P        protection policy (default auto)
+  --branches N          branches per session (default 60000)
+  --seed S              trace + token seed (default 42)
+  --warmup-branches N   warm-up budget (default branches/10)
+  --interval N          also stream OAE interval windows of N branches
+  --json                print the streamed report as `stbpu simulate
+                        --format json` would (byte-identical for the
+                        same flags — CI diffs the two)
+
+every self-test client hard-fails unless its streamed report is
+bit-identical to one offline reference run of the same events.
+
+examples:
+  stbpu serve --listen 0.0.0.0:4588
+  stbpu serve --client --clients 4 --branches 100000
+  stbpu serve --client --connect 10.0.0.7:4588 --json
 ",
     },
     Sub {

@@ -6,8 +6,9 @@
 //! `attack` (the executed Table I surface + monitor telemetry), `trace`
 //! (generate / inspect / convert trace files in the line or binary
 //! `.stbt` format), `figures` (every paper figure/table,
-//! shared bit-identically with the `cargo run --bin` shims) and `bench`
-//! (the deterministic perf harness CI's regression gate runs on).
+//! shared bit-identically with the `cargo run --bin` shims), `bench`
+//! (the deterministic perf harness CI's regression gate runs on) and
+//! `serve` (the streaming TCP daemon plus its socket self-test).
 //!
 //! Model and workload names resolve through the live
 //! [`stbpu_engine::ModelRegistry`] and `stbpu_trace::profiles` tables, so
@@ -25,6 +26,7 @@ mod bench_cmd;
 mod figures_cmd;
 mod grid;
 mod help;
+mod serve_cmd;
 mod simulate;
 mod trace_cmd;
 
@@ -165,6 +167,7 @@ pub fn run(argv: &[String]) -> i32 {
         "trace" => trace_cmd::run(rest),
         "figures" => figures_cmd::run(rest),
         "bench" => bench_cmd::run(rest),
+        "serve" => serve_cmd::run(rest),
         "list" => list(rest),
         other => {
             eprintln!(

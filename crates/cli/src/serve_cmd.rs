@@ -1,0 +1,311 @@
+//! `stbpu serve` — the streaming simulation daemon, plus a `--client`
+//! self-test mode that drives it over real sockets.
+//!
+//! Daemon mode binds a TCP listener and runs the [`stbpu_serve`] session
+//! manager until the process is killed. Self-test mode generates one
+//! workload, runs it offline through an [`OwnedSession`] as the
+//! reference, then streams the same events through N concurrent socket
+//! clients and hard-fails unless every streamed `FinalReport` is
+//! **bit-identical** to the reference — the same gate `bench --suite
+//! serve` applies, packaged as a one-shot check CI (and users debugging
+//! a deployment) can run against an in-process or remote daemon.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_engine::minijson::escape;
+use stbpu_engine::{auto_protection, protection_from_str, ModelRegistry};
+use stbpu_serve::protocol::WireReport;
+use stbpu_serve::server::{self, ServerConfig};
+use stbpu_serve::{ChunkEncoder, Hello, ServeClient};
+use stbpu_sim::{IntervalWindow, OwnedSession, SessionOptions, SimReport, Warmup};
+use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    if a.flag("--client") {
+        return self_test(a);
+    }
+    let listen = a
+        .opt("--listen")?
+        .unwrap_or_else(|| "127.0.0.1:4588".to_string());
+    let defaults = ServerConfig::default();
+    let workers: usize = a
+        .opt_parse("--workers", "an integer")?
+        .unwrap_or(defaults.workers);
+    let max_sessions: usize = a
+        .opt_parse("--max-sessions", "an integer")?
+        .unwrap_or(defaults.max_sessions_per_conn);
+    let max_buffered: usize = a
+        .opt_parse("--max-buffered", "an integer")?
+        .unwrap_or(defaults.max_buffered_per_conn);
+    let idle_ms: u64 = a
+        .opt_parse("--idle-timeout-ms", "an integer")?
+        .unwrap_or(defaults.idle_timeout.as_millis() as u64);
+    a.finish_empty()?;
+    if max_sessions == 0 || max_buffered == 0 || idle_ms == 0 {
+        return Err(Failure::Usage(
+            "--max-sessions, --max-buffered and --idle-timeout-ms must be positive".to_string(),
+        ));
+    }
+
+    let server = server::spawn(
+        &listen,
+        ServerConfig {
+            workers,
+            max_sessions_per_conn: max_sessions,
+            max_buffered_per_conn: max_buffered,
+            idle_timeout: Duration::from_millis(idle_ms),
+        },
+    )
+    .map_err(|e| Failure::Runtime(format!("cannot listen on {listen}: {e}")))?;
+    eprintln!(
+        "stbpu serve: listening on {} ({} sessions/conn, {} KiB buffered/conn, {}ms idle timeout)",
+        server.addr(),
+        max_sessions,
+        max_buffered / 1024,
+        idle_ms
+    );
+    // The accept/reader/worker threads own all the work; this thread
+    // just keeps the process (and the ServerHandle) alive until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}
+
+/// Everything one self-test run shares across its client threads.
+struct Fixture {
+    chunks: Vec<Vec<u8>>,
+    reference: SimReport,
+    ref_intervals: Vec<IntervalWindow>,
+}
+
+/// `stbpu serve --client`: stream one workload through N concurrent
+/// socket sessions and gate each final report bit-identical against the
+/// offline reference run.
+fn self_test(mut a: Args) -> Result<(), Failure> {
+    let connect = a.opt("--connect")?;
+    let clients: usize = a.opt_parse("--clients", "an integer")?.unwrap_or(2);
+    let branches: usize = a.opt_parse("--branches", "an integer")?.unwrap_or(60_000);
+    let workload = a
+        .opt("--workload")?
+        .unwrap_or_else(|| "541.leela".to_string());
+    let model = a.opt("--model")?.unwrap_or_else(|| "st_skl".to_string());
+    let protection = a.opt("--protection")?.unwrap_or_else(|| "auto".to_string());
+    let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    let warmup_branches: u64 = a
+        .opt_parse("--warmup-branches", "an integer")?
+        .unwrap_or(branches as u64 / 10);
+    let interval: u64 = a.opt_parse("--interval", "an integer")?.unwrap_or(0);
+    let json = a.flag("--json");
+    a.finish_empty()?;
+    if clients == 0 {
+        return Err(Failure::Usage("--clients must be positive".to_string()));
+    }
+
+    // The offline reference: the exact stream every socket session
+    // replays, run through an OwnedSession with the same options the
+    // server derives from the Hello (and `stbpu simulate` derives from
+    // the equivalent flags), so all three agree bit-for-bit.
+    let profile = profiles::by_name(&workload).ok_or_else(|| {
+        Failure::from(stbpu_engine::EngineError::UnknownWorkload(workload.clone()))
+    })?;
+    let mut source = TraceGenerator::new(profile, seed).into_source(branches);
+    let threads = source.thread_count() as u64;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    source.for_each_batch(4_096, |batch| {
+        events.extend_from_slice(batch);
+        Ok::<(), Failure>(())
+    })?;
+
+    let registry = ModelRegistry::standard();
+    let built = registry.build(&model, seed).map_err(Failure::from)?;
+    let policy = if protection == "auto" {
+        auto_protection(&model)
+    } else {
+        protection_from_str(&protection).map_err(Failure::from)?
+    };
+    let mut sim = OwnedSession::new(
+        built,
+        policy,
+        SessionOptions {
+            warmup: Warmup::Branches(warmup_branches),
+            threads: (threads != 0).then_some(threads as usize),
+            interval: (interval != 0).then_some(interval),
+            workload: Some(workload.clone()),
+        },
+    )
+    .map_err(|e| Failure::Usage(e.to_string()))?;
+    sim.feed_batch(&events)
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    let (reference, ref_intervals) = sim.finish_with_intervals();
+
+    let mut enc = ChunkEncoder::new(32 << 10);
+    let mut chunks = Vec::new();
+    for ev in &events {
+        if let Some(chunk) = enc.push(ev)? {
+            chunks.push(chunk);
+        }
+    }
+    let tail = enc.flush();
+    if !tail.is_empty() {
+        chunks.push(tail);
+    }
+    let fixture = Arc::new(Fixture {
+        chunks,
+        reference,
+        ref_intervals,
+    });
+
+    // An in-process daemon unless the test targets a running one.
+    let (server, addr) = match connect {
+        Some(addr) => (None, addr),
+        None => {
+            let s = server::spawn("127.0.0.1:0", ServerConfig::default())
+                .map_err(|e| Failure::Runtime(format!("cannot bind loopback: {e}")))?;
+            let addr = s.addr().to_string();
+            (Some(s), addr)
+        }
+    };
+
+    let mut handles = Vec::with_capacity(clients);
+    for idx in 0..clients {
+        let fixture = Arc::clone(&fixture);
+        let addr = addr.clone();
+        let hello = Hello {
+            session: 1,
+            seed,
+            model: model.clone(),
+            protection: protection.clone(),
+            workload: workload.clone(),
+            warmup_branches,
+            interval,
+            threads,
+        };
+        handles.push(std::thread::spawn(move || -> Result<WireReport, String> {
+            let client =
+                ServeClient::connect(addr.as_str()).map_err(|e| format!("client {idx}: {e}"))?;
+            let mut handle = client
+                .open(hello)
+                .map_err(|e| format!("client {idx}: {e}"))?;
+            let mut intervals = Vec::new();
+            for chunk in &fixture.chunks {
+                intervals.extend(
+                    handle
+                        .send_chunk(chunk)
+                        .map_err(|e| format!("client {idx}: {e}"))?,
+                );
+            }
+            let (report, tail) = handle.finish().map_err(|e| format!("client {idx}: {e}"))?;
+            intervals.extend(tail);
+            check_parity(&report, &fixture.reference).map_err(|e| format!("client {idx}: {e}"))?;
+            if intervals != fixture.ref_intervals {
+                return Err(format!(
+                    "client {idx}: streamed {} interval windows, offline run produced {}",
+                    intervals.len(),
+                    fixture.ref_intervals.len()
+                ));
+            }
+            Ok(report)
+        }));
+    }
+
+    let mut first_report = None;
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(report)) => {
+                first_report.get_or_insert(report);
+            }
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert("a self-test client panicked".to_string());
+            }
+        }
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    if let Some(e) = first_err {
+        return Err(Failure::Runtime(e));
+    }
+    let report = first_report.expect("at least one client ran");
+
+    if json {
+        // Byte-identical to `stbpu simulate --format json` for the same
+        // configuration: the smoke test in CI diffs the two lines.
+        println!("{}", wire_report_to_json(&report, seed));
+    } else {
+        println!(
+            "serve self-test passed: {clients} clients over {addr}, all reports \
+             bit-identical to the offline run"
+        );
+        println!(
+            "{} under {} over {} (seed {seed})",
+            report.model, report.protection, report.workload
+        );
+        println!(
+            "  OAE {:.6}  direction {:.6}  target {:.6}",
+            report.oae, report.direction_rate, report.target_rate
+        );
+        println!(
+            "  {} branches, {} mispredictions, {} evictions, {} flushes, {} re-randomizations",
+            report.branches,
+            report.mispredictions,
+            report.evictions,
+            report.flushes,
+            report.rerandomizations
+        );
+    }
+    Ok(())
+}
+
+/// Field-by-field bit comparison of a streamed report against the
+/// offline reference (same gate as `bench --suite serve`).
+fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
+    let same = wire.oae.to_bits() == offline.oae.to_bits()
+        && wire.direction_rate.to_bits() == offline.direction_rate.to_bits()
+        && wire.target_rate.to_bits() == offline.target_rate.to_bits()
+        && wire.branches == offline.branches
+        && wire.mispredictions == offline.mispredictions
+        && wire.evictions == offline.evictions
+        && wire.flushes == offline.flushes
+        && wire.rerandomizations == offline.rerandomizations
+        && wire.model == offline.model
+        && wire.protection == offline.protection;
+    if same {
+        Ok(())
+    } else {
+        Err(format!(
+            "streamed report diverges from offline run (streamed OAE {} / {} branches \
+             vs offline OAE {} / {} branches)",
+            wire.oae, wire.branches, offline.oae, offline.branches
+        ))
+    }
+}
+
+/// A [`WireReport`] in exactly the JSON shape `stbpu simulate --format
+/// json` prints (same field order, same `{:.6}` rate formatting), so the
+/// two commands' outputs can be compared byte-for-byte.
+fn wire_report_to_json(r: &WireReport, seed: u64) -> String {
+    format!(
+        "{{\"workload\":{},\"model\":{},\"protection\":{},\"seed\":{seed},\
+         \"oae\":{:.6},\"direction_rate\":{:.6},\"target_rate\":{:.6},\
+         \"branches\":{},\"mispredictions\":{},\"evictions\":{},\
+         \"flushes\":{},\"rerandomizations\":{}}}",
+        escape(&r.workload),
+        escape(&r.model),
+        escape(&r.protection),
+        r.oae,
+        r.direction_rate,
+        r.target_rate,
+        r.branches,
+        r.mispredictions,
+        r.evictions,
+        r.flushes,
+        r.rerandomizations,
+    )
+}

@@ -3,30 +3,18 @@
 
 use crate::args::Args;
 use crate::Failure;
-use stbpu_engine::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+use stbpu_engine::{
+    auto_protection, csv_header, protection_from_str, report_to_csv_row, report_to_json,
+};
 use stbpu_engine::{ModelRegistry, Workload};
 use stbpu_sim::{
-    IntervalRecorder, IntervalWindow, Protection, SessionOptions, SimObserver, SimSession, Warmup,
+    IntervalRecorder, IntervalWindow, SessionOptions, SimObserver, SimSession, Warmup,
 };
 /// Output dialect.
 enum Format {
     Human,
     Json,
     Csv,
-}
-
-/// Infers the protection policy a model spec is naturally evaluated
-/// under: ST models run under the STBPU policy, the conservative model
-/// under the conservative policy, everything else unprotected.
-pub fn auto_protection(model_spec: &str) -> Protection {
-    let name = model_spec.split('@').next().unwrap_or("").trim();
-    if name.starts_with("st_") || name == "stbpu" {
-        Protection::Stbpu
-    } else if name == "conservative" {
-        Protection::Conservative
-    } else {
-        Protection::Unprotected
-    }
 }
 
 /// Streaming progress meter on stderr (a [`SimObserver`], exercising the

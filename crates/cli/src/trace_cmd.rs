@@ -10,8 +10,8 @@
 use crate::args::Args;
 use crate::Failure;
 use stbpu_trace::{
-    open_trace_file, profiles, EventSource, TraceEvent, TraceFileFormat, TraceFileWriter,
-    TraceGenerator,
+    open_trace_file, open_trace_stream, profiles, EventSource, TraceEvent, TraceFileFormat,
+    TraceFileWriter, TraceGenerator,
 };
 use std::io::BufWriter;
 use std::path::Path;
@@ -83,21 +83,51 @@ fn generate(rest: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
-/// Streams a trace file of either format, reporting the detected format,
-/// file size, declared metadata, exact counts and scan throughput.
+/// Streams a trace of either format, reporting the detected format, size
+/// (when the input has one), declared metadata, exact counts and scan
+/// throughput. The input may be a regular file, `-` for stdin, or a
+/// non-seekable path (pipe/FIFO/device) — the latter two stream with an
+/// unknown byte size.
 fn inspect(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let json = a.flag("--json");
     let ops = a.finish()?;
     let [path] = &ops[..] else {
         return Err(Failure::Usage(
-            "inspect takes exactly one FILE operand".to_string(),
+            "inspect takes exactly one FILE operand ('-' reads stdin)".to_string(),
         ));
     };
 
-    let bytes = std::fs::metadata(path)?.len();
-    let mut src = open_trace_file(Path::new(path)).map_err(|e| Failure::Runtime(e.to_string()))?;
-    let format = src.format();
+    if path == "-" {
+        let src = open_trace_stream(std::io::stdin().lock(), "<stdin>")
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        let format = src.format();
+        return inspect_source(src, format, None, "<stdin>", json);
+    }
+    let meta = std::fs::metadata(path)?;
+    if meta.is_file() {
+        let src = open_trace_file(Path::new(path)).map_err(|e| Failure::Runtime(e.to_string()))?;
+        let format = src.format();
+        inspect_source(src, format, Some(meta.len()), path, json)
+    } else {
+        // A pipe, FIFO or device: readable but neither seekable nor
+        // sized, so stream it like stdin.
+        let file = std::fs::File::open(path)?;
+        let src = open_trace_stream(file, path).map_err(|e| Failure::Runtime(e.to_string()))?;
+        let format = src.format();
+        inspect_source(src, format, None, path, json)
+    }
+}
+
+/// The format-agnostic inspect scan: counts every record class from any
+/// event source; `bytes` is `None` when the input has no knowable size.
+fn inspect_source<S: EventSource>(
+    mut src: S,
+    format: TraceFileFormat,
+    bytes: Option<u64>,
+    path: &str,
+    json: bool,
+) -> Result<(), Failure> {
     let declared_branches = src.branch_hint();
     let declared_threads = src.thread_count();
 
@@ -154,19 +184,25 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
 
     if json {
         println!(
-            "{{\"name\":{},\"format\":\"{format}\",\"bytes\":{bytes},\
+            "{{\"name\":{},\"format\":\"{format}\",\"bytes\":{},\
              \"declared_branches\":{},\"declared_threads\":{declared_threads},\
              \"events\":{events},\"branches\":{branches},\"taken_rate\":{taken_rate:.6},\
              \"context_switches\":{switches},\"mode_switches\":{modes},\
              \"interrupts\":{interrupts},\"max_tid\":{max_tid},\
              \"records_per_s\":{records_per_s:.0}}}",
             stbpu_engine::minijson::escape(&name),
+            bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_string()),
             declared_branches
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "null".to_string()),
         );
     } else {
-        println!("{path}: trace '{name}' ({format} format, {bytes} bytes)");
+        match bytes {
+            Some(b) => println!("{path}: trace '{name}' ({format} format, {b} bytes)"),
+            None => println!("{path}: trace '{name}' ({format} format, size unknown)"),
+        }
         match declared_branches {
             Some(b) => println!("  declared: {b} branches, {declared_threads} threads"),
             None => println!("  declared: no metadata headers (threads {declared_threads})"),

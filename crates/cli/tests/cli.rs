@@ -445,8 +445,8 @@ fn bench_throughput_suite_emits_trajectory_and_warn_only_drift() {
     assert!(warn.status.success(), "{}", stderr(&warn));
     let warn_err = stderr(&warn);
     assert!(
-        warn_err.contains("throughput note (warn-only)") && warn_err.contains("% vs"),
-        "expected drift notes: {warn_err}"
+        warn_err.contains("throughput suite note (warn-only)") && warn_err.contains("% vs"),
+        "expected suite-named drift notes: {warn_err}"
     );
 
     // OAE tampering in the default suite still fails hard — the throughput
@@ -705,4 +705,88 @@ fn unknown_suite_exits_nonzero_with_catalog() {
     for name in ["paper", "spec-like", "adversarial", "stress"] {
         assert!(stdout(&list).contains(name), "list missing {name}");
     }
+}
+
+// --- the serve daemon, self-test and bench suite ----------------------
+
+#[test]
+fn serve_client_json_is_byte_identical_to_simulate() {
+    // The self-test hard-gates every streamed report bit-identical to
+    // its offline reference internally; this proves the printed JSON
+    // also matches `stbpu simulate` byte for byte for the same flags —
+    // the exact comparison the CI smoke step makes.
+    let served = stbpu(&[
+        "serve",
+        "--client",
+        "--clients",
+        "2",
+        "--branches",
+        "8000",
+        "--seed",
+        "11",
+        "--warmup-branches",
+        "800",
+        "--json",
+    ]);
+    assert!(served.status.success(), "{}", stderr(&served));
+    let offline = stbpu(&[
+        "simulate",
+        "--model",
+        "st_skl",
+        "--workload",
+        "541.leela",
+        "--branches",
+        "8000",
+        "--seed",
+        "11",
+        "--warmup-branches",
+        "800",
+        "--format",
+        "json",
+    ]);
+    assert!(offline.status.success(), "{}", stderr(&offline));
+    assert_eq!(stdout(&served), stdout(&offline));
+}
+
+#[test]
+fn bench_serve_suite_emits_trajectory_record() {
+    let dir = scratch("serve-bench");
+    let out = stbpu(&[
+        "bench",
+        "--suite",
+        "serve",
+        "--branches",
+        "5000",
+        "--clients",
+        "2",
+        "--sessions",
+        "1",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let record = std::fs::read_to_string(dir.join("BENCH_serve.json")).expect("record written");
+    for field in [
+        "\"suite\":\"serve\"",
+        "\"clients\":2",
+        "\"sessions\":2",
+        "\"sessions_per_s\"",
+        "\"branches_per_s\"",
+        "\"p50_ms\"",
+        "\"p99_ms\"",
+        "\"oae\"",
+    ] {
+        assert!(record.contains(field), "missing {field} in {record}");
+    }
+    assert_eq!(stdout(&out).trim(), record.trim());
+
+    // The fleet flags belong to the serve suite alone.
+    let misuse = stbpu(&["bench", "--quick", "--clients", "4"]);
+    assert_eq!(misuse.status.code(), Some(2));
+    assert!(
+        stderr(&misuse).contains("serve suite"),
+        "{}",
+        stderr(&misuse)
+    );
 }

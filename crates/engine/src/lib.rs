@@ -73,7 +73,9 @@ pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
 pub use model_core::ModelCore;
 pub use parallel::parallel_map;
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
-pub use report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+pub use report::{
+    auto_protection, csv_header, protection_from_str, report_to_csv_row, report_to_json,
+};
 pub use spec::ExperimentSpec;
 pub use stats::{geomean, mean};
 pub use suite::WorkloadSuite;

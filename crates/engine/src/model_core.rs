@@ -31,7 +31,10 @@ macro_rules! model_core {
                 $variant(FullBpu<$dir, $mapper>),
             )+
             /// Any other [`Bpu`] implementation (virtual dispatch).
-            Custom(Box<dyn Bpu>),
+            /// `Send` so a `ModelCore` of any variant can migrate across
+            /// worker threads (sessions check in and out of a server
+            /// registry).
+            Custom(Box<dyn Bpu + Send>),
         }
 
         $(
@@ -121,11 +124,18 @@ model_core! {
     PerceptronSt(PerceptronPredictor, StMapper),
 }
 
-impl From<Box<dyn Bpu>> for ModelCore {
-    fn from(m: Box<dyn Bpu>) -> Self {
+impl From<Box<dyn Bpu + Send>> for ModelCore {
+    fn from(m: Box<dyn Bpu + Send>) -> Self {
         ModelCore::Custom(m)
     }
 }
+
+/// Compile-time guarantee that every variant (standard compositions and
+/// `Custom`) is `Send` — the property server worker pools rely on.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ModelCore>();
+};
 
 impl std::fmt::Debug for ModelCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -172,7 +182,7 @@ mod tests {
 
     #[test]
     fn custom_variant_keeps_the_registry_open() {
-        let boxed: Box<dyn Bpu> = Box::new(skl_baseline());
+        let boxed: Box<dyn Bpu + Send> = Box::new(skl_baseline());
         let mut core = ModelCore::from(boxed);
         assert_eq!(core.name(), "SKLCond");
         core.flush();

@@ -18,6 +18,23 @@ pub fn protection_from_str(s: &str) -> Result<Protection, EngineError> {
     }
 }
 
+/// Infers the protection policy a model spec is naturally evaluated
+/// under: ST models run under the STBPU policy, the conservative model
+/// under the conservative policy, everything else unprotected. The one
+/// resolution rule behind every `--protection auto` surface (CLI
+/// simulate/attack, the serve `Hello` handshake), so "auto" means the
+/// same thing on every path.
+pub fn auto_protection(model_spec: &str) -> Protection {
+    let name = model_spec.split('@').next().unwrap_or("").trim();
+    if name.starts_with("st_") || name == "stbpu" {
+        Protection::Stbpu
+    } else if name == "conservative" {
+        Protection::Conservative
+    } else {
+        Protection::Unprotected
+    }
+}
+
 /// Column header matching [`report_to_csv_row`].
 pub fn csv_header() -> &'static str {
     "workload,model,protection,seed,oae,direction_rate,target_rate,branches,\

@@ -1,0 +1,307 @@
+//! The `serve` benchmark suite: a daemon on loopback, N concurrent
+//! clients over real sockets, and a hard bit-parity gate.
+//!
+//! Every streamed session's final report is asserted **bit-identical**
+//! (`f64::to_bits` on every rate, exact equality on every counter)
+//! against one offline [`OwnedSession`] run over the same events — the
+//! benchmark doubles as the strongest correctness test in the crate, so
+//! a throughput number from a wrong answer cannot exist.
+
+use crate::client::{ChunkEncoder, ServeClient};
+use crate::protocol::{Hello, WireReport};
+use crate::server::{self, ServerConfig};
+use stbpu_engine::{auto_protection, protection_from_str, ModelRegistry};
+use stbpu_sim::{IntervalWindow, OwnedSession, SessionOptions, SimReport, Warmup};
+use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of one `serve` bench run.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Concurrent client connections (the acceptance floor is 8).
+    pub clients: usize,
+    /// Sessions each client streams, sequentially.
+    pub sessions_per_client: usize,
+    /// Branches per session.
+    pub branches: usize,
+    /// Workload profile streamed by every session.
+    pub workload: String,
+    /// Model spec every session opens.
+    pub model: String,
+    /// Protection name (`"auto"` resolves like the CLI).
+    pub protection: String,
+    /// Trace + model seed.
+    pub seed: u64,
+    /// Target wire chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// Interval window in branches; 0 disables interval streaming.
+    pub interval: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 8,
+            sessions_per_client: 2,
+            branches: 200_000,
+            workload: "541.leela".to_string(),
+            model: "st_skl".to_string(),
+            protection: "auto".to_string(),
+            seed: 42,
+            chunk_bytes: 32 << 10,
+            interval: 0,
+        }
+    }
+}
+
+/// What a `serve` bench run measured.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Concurrent client connections driven.
+    pub clients: usize,
+    /// Sessions completed (all of them bit-parity-checked).
+    pub sessions: u64,
+    /// Branches streamed across every session.
+    pub total_branches: u64,
+    /// Wall-clock for the whole fleet.
+    pub elapsed_s: f64,
+    /// Completed sessions per second.
+    pub sessions_per_s: f64,
+    /// Aggregate branches per second across the fleet.
+    pub branches_per_s: f64,
+    /// Median flush→final-report latency.
+    pub p50_ms: f64,
+    /// 99th-percentile flush→final-report latency.
+    pub p99_ms: f64,
+    /// The (shared) OAE every session reproduced.
+    pub oae: f64,
+}
+
+/// Field-by-field bit comparison of a streamed report against the
+/// offline reference. Any difference is a hard failure.
+fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
+    let mut diffs = Vec::new();
+    if wire.oae.to_bits() != offline.oae.to_bits() {
+        diffs.push(format!("oae {} != {}", wire.oae, offline.oae));
+    }
+    if wire.direction_rate.to_bits() != offline.direction_rate.to_bits() {
+        diffs.push("direction_rate".to_string());
+    }
+    if wire.target_rate.to_bits() != offline.target_rate.to_bits() {
+        diffs.push("target_rate".to_string());
+    }
+    if wire.branches != offline.branches {
+        diffs.push(format!(
+            "branches {} != {}",
+            wire.branches, offline.branches
+        ));
+    }
+    if wire.mispredictions != offline.mispredictions {
+        diffs.push("mispredictions".to_string());
+    }
+    if wire.evictions != offline.evictions {
+        diffs.push("evictions".to_string());
+    }
+    if wire.flushes != offline.flushes {
+        diffs.push("flushes".to_string());
+    }
+    if wire.rerandomizations != offline.rerandomizations {
+        diffs.push("rerandomizations".to_string());
+    }
+    if wire.model != offline.model || wire.protection != offline.protection {
+        diffs.push(format!(
+            "labels {}/{} != {}/{}",
+            wire.model, wire.protection, offline.model, offline.protection
+        ));
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "streamed report diverges from offline run: {}",
+            diffs.join(", ")
+        ))
+    }
+}
+
+/// The offline reference plus everything the clients stream.
+struct Fixture {
+    chunks: Vec<Vec<u8>>,
+    reference: SimReport,
+    ref_intervals: Vec<IntervalWindow>,
+    warmup_branches: u64,
+}
+
+/// Generates the trace once, runs it offline once, and pre-encodes the
+/// wire chunks every session replays.
+fn build_fixture(cfg: &BenchConfig) -> Result<Fixture, String> {
+    let profile = profiles::by_name(&cfg.workload)
+        .ok_or_else(|| format!("unknown workload '{}'", cfg.workload))?;
+    let mut source = TraceGenerator::new(profile, cfg.seed).into_source(cfg.branches);
+    let mut events: Vec<TraceEvent> = Vec::new();
+    source
+        .for_each_batch(4_096, |batch| {
+            events.extend_from_slice(batch);
+            Ok(())
+        })
+        .map_err(|e: stbpu_trace::SourceError| e.to_string())?;
+    let warmup_branches = (cfg.branches / 10) as u64;
+
+    let registry = ModelRegistry::standard();
+    let model = registry
+        .build(&cfg.model, cfg.seed)
+        .map_err(|e| e.to_string())?;
+    let policy = if cfg.protection == "auto" {
+        auto_protection(&cfg.model)
+    } else {
+        protection_from_str(&cfg.protection).map_err(|e| e.to_string())?
+    };
+    let mut sim = OwnedSession::new(
+        model,
+        policy,
+        SessionOptions {
+            warmup: Warmup::Branches(warmup_branches),
+            threads: None,
+            interval: (cfg.interval != 0).then_some(cfg.interval),
+            workload: Some(cfg.workload.clone()),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    sim.feed_batch(&events).map_err(|e| e.to_string())?;
+    let (reference, ref_intervals) = sim.finish_with_intervals();
+
+    let mut enc = ChunkEncoder::new(cfg.chunk_bytes);
+    let mut chunks = Vec::new();
+    for ev in &events {
+        if let Some(chunk) = enc.push(ev).map_err(|e| e.to_string())? {
+            chunks.push(chunk);
+        }
+    }
+    let tail = enc.flush();
+    if !tail.is_empty() {
+        chunks.push(tail);
+    }
+    Ok(Fixture {
+        chunks,
+        reference,
+        ref_intervals,
+        warmup_branches,
+    })
+}
+
+/// Runs one bench: spawn the daemon on loopback, drive the client
+/// fleet, gate parity, aggregate throughput and latency.
+///
+/// # Errors
+///
+/// Any transport failure, server refusal, or parity violation in any
+/// session, with the offending client identified.
+pub fn run_bench(cfg: &BenchConfig) -> Result<BenchResult, String> {
+    if cfg.clients == 0 || cfg.sessions_per_client == 0 {
+        return Err("serve bench needs at least one client and one session".to_string());
+    }
+    let fixture = Arc::new(build_fixture(cfg)?);
+    let server = server::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions_per_conn: cfg.sessions_per_client.max(16),
+            idle_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("serve bench could not bind loopback: {e}"))?;
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let mut threads = Vec::with_capacity(cfg.clients);
+    for client_idx in 0..cfg.clients {
+        let fixture = Arc::clone(&fixture);
+        let cfg = cfg.clone();
+        threads.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let client =
+                ServeClient::connect(addr).map_err(|e| format!("client {client_idx}: {e}"))?;
+            let mut latencies = Vec::with_capacity(cfg.sessions_per_client);
+            for s in 0..cfg.sessions_per_client {
+                let mut handle = client
+                    .open(Hello {
+                        session: s as u64 + 1,
+                        seed: cfg.seed,
+                        model: cfg.model.clone(),
+                        protection: cfg.protection.clone(),
+                        workload: cfg.workload.clone(),
+                        warmup_branches: fixture.warmup_branches,
+                        interval: cfg.interval,
+                        threads: 0,
+                    })
+                    .map_err(|e| format!("client {client_idx} session {s}: {e}"))?;
+                let mut intervals = Vec::new();
+                for chunk in &fixture.chunks {
+                    intervals.extend(
+                        handle
+                            .send_chunk(chunk)
+                            .map_err(|e| format!("client {client_idx} session {s}: {e}"))?,
+                    );
+                }
+                let flushed = Instant::now();
+                let (report, tail) = handle
+                    .finish()
+                    .map_err(|e| format!("client {client_idx} session {s}: {e}"))?;
+                latencies.push(flushed.elapsed().as_secs_f64() * 1e3);
+                intervals.extend(tail);
+                check_parity(&report, &fixture.reference)
+                    .map_err(|e| format!("client {client_idx} session {s}: {e}"))?;
+                if intervals != fixture.ref_intervals {
+                    return Err(format!(
+                        "client {client_idx} session {s}: streamed {} interval windows, \
+                         offline run produced {}",
+                        intervals.len(),
+                        fixture.ref_intervals.len()
+                    ));
+                }
+            }
+            Ok(latencies)
+        }));
+    }
+
+    let mut latencies = Vec::new();
+    let mut first_err = None;
+    for t in threads {
+        match t.join() {
+            Ok(Ok(ls)) => latencies.extend(ls),
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert("a bench client panicked".to_string());
+            }
+        }
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    server.shutdown();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    let sessions = (cfg.clients * cfg.sessions_per_client) as u64;
+    let total_branches = sessions * cfg.branches as u64;
+    Ok(BenchResult {
+        clients: cfg.clients,
+        sessions,
+        total_branches,
+        elapsed_s,
+        sessions_per_s: sessions as f64 / elapsed_s.max(1e-9),
+        branches_per_s: total_branches as f64 / elapsed_s.max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        oae: fixture.reference.oae,
+    })
+}

@@ -1,0 +1,38 @@
+//! TCP simulation service: stream `.stbt` record bytes at a daemon that
+//! multiplexes live [`stbpu_sim::OwnedSession`]s and streams results back.
+//!
+//! The crate has four layers:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (varint
+//!   framing shared with `.stbt`), message catalogue, and an
+//!   incremental [`protocol::FrameReader`] that never over-reads.
+//! * [`server`] — the daemon: a session manager owning N worker threads
+//!   over a registry of live sessions keyed by (connection, session id),
+//!   feeding decoded chunks through the batched fast path with
+//!   per-client quotas, backpressure frames and idle timeouts.
+//! * [`client`] — the client library: a [`client::ServeClient`]
+//!   multiplexing sessions over one socket, plus a
+//!   [`client::ChunkEncoder`] that turns [`stbpu_trace::TraceEvent`]s
+//!   into wire chunks.
+//! * [`mod@bench`] — the `serve` benchmark suite behind
+//!   `stbpu bench --suite serve`: spawns the daemon, drives concurrent
+//!   clients over real sockets, and gates every streamed report
+//!   bit-identical against an offline run.
+//!
+//! The load-bearing invariant, end to end: a session streamed through a
+//! socket produces a final report **bit-identical** (`f64::to_bits`) to
+//! `stbpu simulate` on the same trace, model and seed. CI smokes exactly
+//! this on loopback.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use bench::{run_bench, BenchConfig, BenchResult};
+pub use client::{ChunkEncoder, ServeClient, ServeError, SessionHandle};
+pub use protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg, WireError, WireReport};
+pub use server::{ServerConfig, ServerHandle};

@@ -1,0 +1,342 @@
+//! End-to-end daemon tests over real loopback sockets: bit-parity with
+//! offline simulation, malicious-client containment, quota enforcement,
+//! and idle-session reaping.
+
+use stbpu_engine::{auto_protection, ModelRegistry};
+use stbpu_serve::client::{ChunkEncoder, ServeClient};
+use stbpu_serve::protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg};
+use stbpu_serve::server::{spawn, ServerConfig};
+use stbpu_serve::ServeError;
+use stbpu_sim::{IntervalWindow, OwnedSession, SessionOptions, SimReport, Warmup};
+use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const MODEL: &str = "st_skl";
+const WORKLOAD: &str = "541.leela";
+const BRANCHES: usize = 30_000;
+const WARMUP: u64 = 3_000;
+const SEED: u64 = 1234;
+
+/// Trace events, their wire chunks, and the offline reference results.
+struct Fixture {
+    chunks: Vec<Vec<u8>>,
+    report: SimReport,
+    intervals: Vec<IntervalWindow>,
+}
+
+fn fixture(interval: Option<u64>) -> Fixture {
+    let profile = profiles::by_name(WORKLOAD).expect("workload exists");
+    let mut source = TraceGenerator::new(profile, SEED).into_source(BRANCHES);
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let collected: Result<(), stbpu_trace::SourceError> = source.for_each_batch(4_096, |b| {
+        events.extend_from_slice(b);
+        Ok(())
+    });
+    collected.unwrap();
+
+    let model = ModelRegistry::standard().build(MODEL, SEED).unwrap();
+    let mut sim = OwnedSession::new(
+        model,
+        auto_protection(MODEL),
+        SessionOptions {
+            warmup: Warmup::Branches(WARMUP),
+            threads: None,
+            interval,
+            workload: Some(WORKLOAD.to_string()),
+        },
+    )
+    .unwrap();
+    sim.feed_batch(&events).unwrap();
+    let (report, intervals) = sim.finish_with_intervals();
+
+    let mut enc = ChunkEncoder::new(4 << 10);
+    let mut chunks = Vec::new();
+    for ev in &events {
+        if let Some(c) = enc.push(ev).unwrap() {
+            chunks.push(c);
+        }
+    }
+    let tail = enc.flush();
+    if !tail.is_empty() {
+        chunks.push(tail);
+    }
+    Fixture {
+        chunks,
+        report,
+        intervals,
+    }
+}
+
+fn hello(session: u64, interval: u64) -> Hello {
+    Hello {
+        session,
+        seed: SEED,
+        model: MODEL.to_string(),
+        protection: "auto".to_string(),
+        workload: WORKLOAD.to_string(),
+        warmup_branches: WARMUP,
+        interval,
+        threads: 0,
+    }
+}
+
+/// The load-bearing acceptance property: a session streamed chunk by
+/// chunk through a real socket reports **bit-identically** to the
+/// offline run — final report and every streamed interval window.
+#[test]
+fn socket_session_matches_offline_bit_for_bit() {
+    let fx = fixture(Some(5_000));
+    let server = spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+
+    let mut handle = client.open(hello(1, 5_000)).unwrap();
+    let mut windows = Vec::new();
+    for chunk in &fx.chunks {
+        windows.extend(handle.send_chunk(chunk).unwrap());
+    }
+    let (report, tail) = handle.finish().unwrap();
+    windows.extend(tail);
+
+    assert_eq!(report.oae.to_bits(), fx.report.oae.to_bits());
+    assert_eq!(
+        report.direction_rate.to_bits(),
+        fx.report.direction_rate.to_bits()
+    );
+    assert_eq!(
+        report.target_rate.to_bits(),
+        fx.report.target_rate.to_bits()
+    );
+    assert_eq!(report.branches, fx.report.branches);
+    assert_eq!(report.mispredictions, fx.report.mispredictions);
+    assert_eq!(report.evictions, fx.report.evictions);
+    assert_eq!(report.flushes, fx.report.flushes);
+    assert_eq!(report.rerandomizations, fx.report.rerandomizations);
+    assert_eq!(report.model, fx.report.model);
+    assert_eq!(report.protection, fx.report.protection);
+    assert_eq!(report.workload, fx.report.workload);
+    assert_eq!(windows, fx.intervals);
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Reads server frames off a raw socket until one decodes (or EOF).
+fn read_frame(stream: &mut TcpStream, frames: &mut FrameReader) -> Option<ServerMsg> {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Ok(Some(body)) = frames.next_frame() {
+            return Some(ServerMsg::decode(&body).unwrap());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => frames.extend(&buf[..n]),
+        }
+    }
+}
+
+/// Malicious clients are contained: an oversized declared frame length
+/// kills only its own connection, a quota overflow kills only its own
+/// session, an unknown-session chunk is answered and survived — all
+/// while an unrelated victim session on another connection streams to a
+/// bit-identical report.
+#[test]
+fn malicious_clients_cannot_kill_unrelated_sessions() {
+    let fx = fixture(None);
+    let server = spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_buffered_per_conn: 64 << 10,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The victim: a well-behaved session that stays open throughout.
+    let victim = ServeClient::connect(addr).unwrap();
+    let mut victim_session = victim.open(hello(1, 0)).unwrap();
+    let mid = fx.chunks.len() / 2;
+    for chunk in &fx.chunks[..mid] {
+        victim_session.send_chunk(chunk).unwrap();
+    }
+
+    // Attacker 1: declares a frame length far beyond the cap. The server
+    // must answer a connection-level BadFrame error and close — without
+    // ever buffering the phantom payload.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        stbpu_trace::binfmt::push_varint(&mut wire, u64::MAX / 2);
+        s.write_all(&wire).unwrap();
+        let mut frames = FrameReader::new();
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::Error { session, code, .. }) => {
+                assert_eq!(session, 0);
+                assert_eq!(code, ErrorCode::BadFrame);
+            }
+            other => panic!("expected connection-level BadFrame, got {other:?}"),
+        }
+        // The connection is closed afterwards.
+        assert!(read_frame(&mut s, &mut frames).is_none());
+    }
+
+    // Attacker 2: a single chunk bigger than the whole connection quota.
+    // Its session dies with QuotaBuffered; the connection survives and
+    // can open another session.
+    {
+        let attacker = ServeClient::connect(addr).unwrap();
+        let mut sess = attacker.open(hello(1, 0)).unwrap();
+        let blob = vec![0u8; 80 << 10];
+        let mut outcome = sess.send_chunk(&blob);
+        for _ in 0..100 {
+            if outcome.is_err() {
+                break;
+            }
+            // The teardown error arrives asynchronously; poke until the
+            // handle drains it.
+            std::thread::sleep(Duration::from_millis(10));
+            outcome = sess.send_chunk(&[]);
+        }
+        match outcome {
+            Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaBuffered),
+            other => panic!("expected QuotaBuffered teardown, got {other:?}"),
+        }
+        // Same connection, fresh session id: still serviceable.
+        let fresh = attacker.open(hello(2, 0)).unwrap();
+        fresh.close().unwrap();
+    }
+
+    // Attacker 3: addresses a session that was never opened. The server
+    // answers UnknownSession and the connection keeps working.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        ClientMsg::Hello(hello(7, 0)).encode(&mut wire);
+        ClientMsg::TraceChunk {
+            session: 99,
+            bytes: vec![1, 2, 3],
+        }
+        .encode(&mut wire);
+        s.write_all(&wire).unwrap();
+        let mut frames = FrameReader::new();
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::HelloAck { session: 7 }) => {}
+            other => panic!("expected HelloAck for 7, got {other:?}"),
+        }
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::Error { session, code, .. }) => {
+                assert_eq!(session, 99);
+                assert_eq!(code, ErrorCode::UnknownSession);
+            }
+            other => panic!("expected UnknownSession for 99, got {other:?}"),
+        }
+        // Still alive: a second Hello on the same connection is acked.
+        let mut wire = Vec::new();
+        ClientMsg::Hello(hello(8, 0)).encode(&mut wire);
+        s.write_all(&wire).unwrap();
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::HelloAck { session: 8 }) => {}
+            other => panic!("expected HelloAck for 8, got {other:?}"),
+        }
+    }
+
+    // The victim finishes and still matches offline bit-for-bit.
+    for chunk in &fx.chunks[mid..] {
+        victim_session.send_chunk(chunk).unwrap();
+    }
+    let (report, _) = victim_session.finish().unwrap();
+    assert_eq!(report.oae.to_bits(), fx.report.oae.to_bits());
+    assert_eq!(report.mispredictions, fx.report.mispredictions);
+
+    drop(victim);
+    server.shutdown();
+}
+
+/// Session-count quota: the N+1th concurrent Hello is refused with
+/// QuotaSessions, duplicate ids with DuplicateSession, and closing one
+/// session frees its slot.
+#[test]
+fn session_quota_and_duplicate_ids_are_enforced() {
+    let server = spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions_per_conn: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+
+    let a = client.open(hello(1, 0)).unwrap();
+    let _b = client.open(hello(2, 0)).unwrap();
+    match client.open(hello(3, 0)) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaSessions),
+        other => panic!("expected QuotaSessions, got {other:?}"),
+    }
+    match client.open(hello(2, 0)) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::DuplicateSession),
+        other => panic!("expected DuplicateSession, got {other:?}"),
+    }
+    a.close().unwrap();
+    // Closing is asynchronous on the server; retry briefly.
+    let mut freed = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(20));
+        match client.open(hello(4, 0)) {
+            Ok(h) => {
+                h.close().unwrap();
+                freed = true;
+                break;
+            }
+            Err(ServeError::Remote {
+                code: ErrorCode::QuotaSessions,
+                ..
+            }) => continue,
+            other => panic!("expected the freed slot to admit a session, got {other:?}"),
+        }
+    }
+    assert!(freed, "closed session never freed its quota slot");
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Sessions that stop sending are reaped with IdleTimeout; an active
+/// session on the same server is untouched.
+#[test]
+fn idle_sessions_are_reaped() {
+    let fx = fixture(None);
+    let server = spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+    let idle = client.open(hello(1, 0)).unwrap();
+
+    // An active session outlives the sweep by streaming slowly: total
+    // stream time comfortably exceeds idle_timeout + sweep period.
+    let active_client = ServeClient::connect(server.addr()).unwrap();
+    let mut active = active_client.open(hello(1, 0)).unwrap();
+    for chunk in &fx.chunks {
+        active.send_chunk(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The idle one is gone: the reaper's error beats the Flush reply.
+    match idle.finish() {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
+        other => panic!("expected IdleTimeout, got {other:?}"),
+    }
+    let (report, _) = active.finish().unwrap();
+    assert_eq!(report.oae.to_bits(), fx.report.oae.to_bits());
+
+    drop(client);
+    drop(active_client);
+    server.shutdown();
+}

@@ -65,7 +65,7 @@ mod observer;
 mod session;
 
 pub use observer::{FlushKind, IntervalRecorder, IntervalWindow, SimObserver};
-pub use session::{SessionOptions, SimSession, Warmup};
+pub use session::{OwnedSession, SessionOptions, SimSession, Warmup};
 
 use stbpu_bpu::Bpu;
 use stbpu_trace::{SourceError, Trace};

@@ -1,6 +1,33 @@
 //! The incremental simulation session: feed events one at a time (or pump
 //! a whole [`EventSource`]) through a model under a protection policy,
 //! with observer hooks and interval statistics.
+//!
+//! # Session lifecycle
+//!
+//! Both session types ([`SimSession`], which borrows its model, and
+//! [`OwnedSession`], which owns it) move through the same states:
+//!
+//! 1. **Open** — construction validated the options and put the model
+//!    under the policy ([`Bpu::set_partitioned`] applied). No events yet.
+//! 2. **Feeding** — events arrive via `feed`/`feed_batch`/`run`, in any
+//!    mix. A failed feed leaves earlier events applied; the session stays
+//!    usable for diagnostics but its statistics now reflect a partial
+//!    stream.
+//! 3. **Finished** — `finish()` consumed the session: the final partial
+//!    interval window (if any) was closed and a [`SimReport`] built from
+//!    the model's statistics. This is the only state that runs end-of-run
+//!    bookkeeping.
+//! 4. **Aborted** — `abort()` consumed the session *without* any
+//!    bookkeeping: no window closes, no observer callbacks, no report.
+//!    Dropping a session has exactly the same effect (neither type
+//!    implements `Drop`); `abort()` exists so tear-down is explicit in
+//!    code that manages many sessions — a server evicting a half-fed
+//!    session on quota or timeout calls `abort()` and the model is simply
+//!    released. [`OwnedSession::abort`] additionally returns the model,
+//!    still carrying its trained state and statistics.
+//!
+//! There is no reopen: a finished or aborted session is gone, and the
+//! model (borrowed or returned) can seed a fresh one.
 
 use crate::observer::{FlushKind, IntervalWindow, SimObserver};
 use crate::{Protection, SimError, SimReport};
@@ -19,7 +46,7 @@ pub enum Warmup {
     Branches(u64),
 }
 
-/// Options for a [`SimSession`].
+/// Options for a [`SimSession`] or [`OwnedSession`].
 #[derive(Clone, Debug)]
 pub struct SessionOptions {
     /// Warm-up policy (default: 10 % of the declared branch count).
@@ -30,7 +57,9 @@ pub struct SessionOptions {
     /// `tid` is validated against the provision.
     pub threads: Option<usize>,
     /// When set, close an [`IntervalWindow`] every this many branches and
-    /// report it to observers via [`SimObserver::on_interval`].
+    /// report it to observers via [`SimObserver::on_interval`] (an
+    /// [`OwnedSession`] retains the windows internally instead — drain
+    /// them via [`OwnedSession::take_intervals`]).
     pub interval: Option<u64>,
     /// Workload label for the final report. `None` takes the name of the
     /// first source passed to [`SimSession::run`].
@@ -53,6 +82,281 @@ impl Default for SessionOptions {
 /// small enough to stay cache-resident (~100 KB of events).
 const RUN_BATCH: usize = 4_096;
 
+/// All session state and logic that does not depend on how the model is
+/// held. [`SimSession`] (borrowed model + borrowed observers) and
+/// [`OwnedSession`] (owned model, no observers) both delegate every event
+/// to this one implementation, so the two are bit-identical by
+/// construction — there is no second simulation loop to drift.
+struct SessionCore {
+    policy: Protection,
+    threads: usize,
+    /// Per-thread context: the user entity to return to after kernel exits.
+    user_entity: Vec<EntityId>,
+    /// `None` until a fraction warm-up is resolved against a branch hint.
+    warmup_target: Option<u64>,
+    pending_fraction: f64,
+    seen: u64,
+    warmed: bool,
+    interval: Option<u64>,
+    window: IntervalWindow,
+    last_rerand: u64,
+    workload: Option<String>,
+    /// Reused pull buffer for `run` — one allocation per session, no
+    /// per-batch churn.
+    batch_buf: Vec<TraceEvent>,
+    /// When true, closed interval windows are retained in `recorded`
+    /// (the observer-free mechanism [`OwnedSession`] uses).
+    record_intervals: bool,
+    recorded: Vec<IntervalWindow>,
+}
+
+impl SessionCore {
+    fn open<B: Bpu + ?Sized>(
+        model: &mut B,
+        policy: Protection,
+        opts: SessionOptions,
+        record_intervals: bool,
+    ) -> Result<Self, SimError> {
+        let (warmup_target, pending_fraction) = match opts.warmup {
+            Warmup::Branches(n) => (Some(n), 0.0),
+            Warmup::Fraction(f) => {
+                if !(0.0..1.0).contains(&f) {
+                    return Err(SimError::WarmupOutOfRange(f));
+                }
+                if f == 0.0 {
+                    (Some(0), 0.0)
+                } else {
+                    (None, f)
+                }
+            }
+        };
+        let threads = opts
+            .threads
+            .map(|t| t.max(1))
+            .unwrap_or(stbpu_bpu::MAX_THREADS);
+        if threads > stbpu_bpu::MAX_THREADS {
+            return Err(SimError::TooManyThreads {
+                requested: threads,
+                max: stbpu_bpu::MAX_THREADS,
+            });
+        }
+        model.set_partitioned(policy.partitions());
+        let last_rerand = model.rerandomizations();
+        Ok(SessionCore {
+            policy,
+            threads,
+            user_entity: vec![EntityId::user(0); threads],
+            warmed: warmup_target == Some(0),
+            warmup_target,
+            pending_fraction,
+            seen: 0,
+            interval: opts.interval,
+            window: IntervalWindow::default(),
+            last_rerand,
+            workload: opts.workload,
+            batch_buf: Vec::new(),
+            record_intervals,
+            recorded: Vec::new(),
+        })
+    }
+
+    fn check(&self, tid: u8) -> Result<usize, SimError> {
+        let tid = tid as usize;
+        if tid < self.threads {
+            Ok(tid)
+        } else {
+            Err(SimError::ThreadOutOfRange {
+                tid,
+                threads: self.threads,
+            })
+        }
+    }
+
+    fn close_window(&mut self, obs: &mut [&mut dyn SimObserver]) {
+        let w = self.window;
+        if self.record_intervals {
+            self.recorded.push(w);
+        }
+        for o in obs.iter_mut() {
+            o.on_interval(&w);
+        }
+        self.window = IntervalWindow {
+            start_branch: self.seen,
+            ..IntervalWindow::default()
+        };
+    }
+
+    fn record_flush(&mut self, obs: &mut [&mut dyn SimObserver], kind: FlushKind) {
+        self.window.flushes += 1;
+        for o in obs.iter_mut() {
+            o.on_flush(kind);
+        }
+    }
+
+    fn notify_context_switch(obs: &mut [&mut dyn SimObserver], tid: usize, entity: EntityId) {
+        for o in obs.iter_mut() {
+            o.on_context_switch(tid, entity);
+        }
+    }
+
+    fn feed<B: Bpu + ?Sized>(
+        &mut self,
+        model: &mut B,
+        obs: &mut [&mut dyn SimObserver],
+        ev: &TraceEvent,
+    ) -> Result<(), SimError> {
+        match *ev {
+            TraceEvent::Branch { tid, ref rec } => {
+                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
+                let tid = self.check(tid)?;
+                let outcome = model.process(tid, rec);
+                self.seen += 1;
+                if !self.warmed && self.seen >= target {
+                    model.reset_stats();
+                    self.warmed = true;
+                }
+                self.window.branches += 1;
+                self.window.effective_correct += u64::from(outcome.effective_correct);
+                self.window.mispredictions += u64::from(outcome.mispredicted);
+                let rerand = model.rerandomizations();
+                if rerand > self.last_rerand {
+                    self.window.rerandomizations += rerand - self.last_rerand;
+                    self.last_rerand = rerand;
+                    for o in obs.iter_mut() {
+                        o.on_rerandomize(rerand);
+                    }
+                }
+                for o in obs.iter_mut() {
+                    o.on_branch(tid, rec, &outcome);
+                }
+                if self.interval.is_some_and(|n| self.window.branches >= n) {
+                    self.close_window(obs);
+                }
+            }
+            TraceEvent::ContextSwitch { tid, entity } => {
+                let tid = self.check(tid)?;
+                self.user_entity[tid] = entity;
+                model.context_switch(tid, entity);
+                Self::notify_context_switch(obs, tid, entity);
+                if self.policy.flushes_on_context_switch() {
+                    model.flush(); // IBPB
+                    self.record_flush(obs, FlushKind::Full);
+                }
+            }
+            TraceEvent::ModeSwitch { tid, kernel } => {
+                let tid = self.check(tid)?;
+                if kernel {
+                    model.context_switch(tid, EntityId::KERNEL);
+                    Self::notify_context_switch(obs, tid, EntityId::KERNEL);
+                    if self.policy.flushes_targets_on_kernel_entry() {
+                        // IBRS: no user-placed targets in kernel.
+                        model.flush_targets();
+                        self.record_flush(obs, FlushKind::Targets);
+                    }
+                } else {
+                    let entity = self.user_entity[tid];
+                    model.context_switch(tid, entity);
+                    Self::notify_context_switch(obs, tid, entity);
+                }
+            }
+            TraceEvent::Interrupt { tid } => {
+                // Delivery itself is free; the kernel excursion follows as
+                // ModeSwitch events.
+                self.check(tid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn feed_batch<B: Bpu + ?Sized>(
+        &mut self,
+        model: &mut B,
+        obs: &mut [&mut dyn SimObserver],
+        events: &[TraceEvent],
+    ) -> Result<(), SimError> {
+        if !obs.is_empty() || self.interval.is_some() {
+            for ev in events {
+                self.feed(model, obs, ev)?;
+            }
+            return Ok(());
+        }
+        for ev in events {
+            if let TraceEvent::Branch { tid, ref rec } = *ev {
+                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
+                let tid = self.check(tid)?;
+                model.process(tid, rec);
+                self.seen += 1;
+                if !self.warmed && self.seen >= target {
+                    model.reset_stats();
+                    self.warmed = true;
+                }
+            } else {
+                // Rare control events keep the one shared implementation
+                // (the observer loops it runs are over an empty slice).
+                self.feed(model, obs, ev)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run<B: Bpu + ?Sized>(
+        &mut self,
+        model: &mut B,
+        obs: &mut [&mut dyn SimObserver],
+        source: &mut dyn EventSource,
+    ) -> Result<(), SimError> {
+        if self.workload.is_none() {
+            self.workload = Some(source.name().to_string());
+        }
+        if self.warmup_target.is_none() {
+            let hint = source
+                .branch_hint()
+                .ok_or(SimError::WarmupNeedsBranchCount)?;
+            let target = (hint as f64 * self.pending_fraction) as u64;
+            self.warmup_target = Some(target);
+            self.warmed = self.warmed || target == 0;
+        }
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        let result = loop {
+            match source.next_batch(&mut buf, RUN_BATCH) {
+                Err(e) => break Err(SimError::from(e)),
+                Ok(0) => break Ok(()),
+                Ok(_) => {
+                    if let Err(e) = self.feed_batch(model, obs, &buf) {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        self.batch_buf = buf;
+        result
+    }
+
+    fn finish<B: Bpu + ?Sized>(
+        mut self,
+        model: &mut B,
+        obs: &mut [&mut dyn SimObserver],
+    ) -> SimReport {
+        if self.interval.is_some() && self.window.branches > 0 {
+            self.close_window(obs);
+        }
+        let s = model.stats();
+        SimReport {
+            model: model.name().to_string(),
+            protection: self.policy.label(),
+            workload: self.workload.unwrap_or_else(|| "unnamed".to_string()),
+            oae: s.oae(),
+            direction_rate: s.direction_rate(),
+            target_rate: s.target_rate(),
+            branches: s.branches,
+            mispredictions: s.mispredictions,
+            evictions: s.btb_evictions,
+            flushes: s.flushes,
+            rerandomizations: model.rerandomizations(),
+        }
+    }
+}
+
 /// An incremental simulation: one model under one protection policy,
 /// consuming trace events as they arrive.
 ///
@@ -63,7 +367,8 @@ const RUN_BATCH: usize = 4_096;
 /// by memory — a 10M-branch generator-sourced run holds only the model
 /// and a few counters. Attached [`SimObserver`]s see branches, flushes,
 /// context switches, re-randomizations and interval windows as they
-/// happen.
+/// happen. See the module docs for the lifecycle
+/// (open → feeding → [`SimSession::finish`] | [`SimSession::abort`]).
 ///
 /// # Throughput
 ///
@@ -96,23 +401,8 @@ const RUN_BATCH: usize = 4_096;
 /// ```
 pub struct SimSession<'a, B: Bpu + ?Sized = dyn Bpu + 'a> {
     model: &'a mut B,
-    policy: Protection,
-    threads: usize,
-    /// Per-thread context: the user entity to return to after kernel exits.
-    user_entity: Vec<EntityId>,
-    /// `None` until a fraction warm-up is resolved against a branch hint.
-    warmup_target: Option<u64>,
-    pending_fraction: f64,
-    seen: u64,
-    warmed: bool,
-    interval: Option<u64>,
-    window: IntervalWindow,
-    last_rerand: u64,
-    workload: Option<String>,
     observers: Vec<&'a mut dyn SimObserver>,
-    /// Reused pull buffer for [`SimSession::run`] — one allocation per
-    /// session, no per-batch churn.
-    batch_buf: Vec<TraceEvent>,
+    core: SessionCore,
 }
 
 impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
@@ -128,46 +418,11 @@ impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
         policy: Protection,
         opts: SessionOptions,
     ) -> Result<Self, SimError> {
-        let (warmup_target, pending_fraction) = match opts.warmup {
-            Warmup::Branches(n) => (Some(n), 0.0),
-            Warmup::Fraction(f) => {
-                if !(0.0..1.0).contains(&f) {
-                    return Err(SimError::WarmupOutOfRange(f));
-                }
-                if f == 0.0 {
-                    (Some(0), 0.0)
-                } else {
-                    (None, f)
-                }
-            }
-        };
-        let threads = opts
-            .threads
-            .map(|t| t.max(1))
-            .unwrap_or(stbpu_bpu::MAX_THREADS);
-        if threads > stbpu_bpu::MAX_THREADS {
-            return Err(SimError::TooManyThreads {
-                requested: threads,
-                max: stbpu_bpu::MAX_THREADS,
-            });
-        }
-        model.set_partitioned(policy.partitions());
-        let last_rerand = model.rerandomizations();
+        let core = SessionCore::open(model, policy, opts, false)?;
         Ok(SimSession {
             model,
-            policy,
-            threads,
-            user_entity: vec![EntityId::user(0); threads],
-            warmed: warmup_target == Some(0),
-            warmup_target,
-            pending_fraction,
-            seen: 0,
-            interval: opts.interval,
-            window: IntervalWindow::default(),
-            last_rerand,
-            workload: opts.workload,
             observers: Vec::new(),
-            batch_buf: Vec::new(),
+            core,
         })
     }
 
@@ -177,50 +432,14 @@ impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
         // and do not track re-randomization deltas; resync so the first
         // observed branch doesn't replay history nobody subscribed to.
         if self.observers.is_empty() {
-            self.last_rerand = self.model.rerandomizations();
+            self.core.last_rerand = self.model.rerandomizations();
         }
         self.observers.push(observer);
     }
 
     /// Branch events fed so far (warm-up included).
     pub fn branches_seen(&self) -> u64 {
-        self.seen
-    }
-
-    fn check(&self, tid: u8) -> Result<usize, SimError> {
-        let tid = tid as usize;
-        if tid < self.threads {
-            Ok(tid)
-        } else {
-            Err(SimError::ThreadOutOfRange {
-                tid,
-                threads: self.threads,
-            })
-        }
-    }
-
-    fn close_window(&mut self) {
-        let w = self.window;
-        for obs in self.observers.iter_mut() {
-            obs.on_interval(&w);
-        }
-        self.window = IntervalWindow {
-            start_branch: self.seen,
-            ..IntervalWindow::default()
-        };
-    }
-
-    fn record_flush(&mut self, kind: FlushKind) {
-        self.window.flushes += 1;
-        for obs in self.observers.iter_mut() {
-            obs.on_flush(kind);
-        }
-    }
-
-    fn notify_context_switch(&mut self, tid: usize, entity: EntityId) {
-        for obs in self.observers.iter_mut() {
-            obs.on_context_switch(tid, entity);
-        }
+        self.core.seen
     }
 
     /// Feeds one event through the session.
@@ -232,67 +451,7 @@ impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
     /// warm-up was requested but no branch hint has resolved it (run a
     /// hinted source first, or use [`Warmup::Branches`]).
     pub fn feed(&mut self, ev: &TraceEvent) -> Result<(), SimError> {
-        match *ev {
-            TraceEvent::Branch { tid, ref rec } => {
-                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
-                let tid = self.check(tid)?;
-                let outcome = self.model.process(tid, rec);
-                self.seen += 1;
-                if !self.warmed && self.seen >= target {
-                    self.model.reset_stats();
-                    self.warmed = true;
-                }
-                self.window.branches += 1;
-                self.window.effective_correct += u64::from(outcome.effective_correct);
-                self.window.mispredictions += u64::from(outcome.mispredicted);
-                let rerand = self.model.rerandomizations();
-                if rerand > self.last_rerand {
-                    self.window.rerandomizations += rerand - self.last_rerand;
-                    self.last_rerand = rerand;
-                    for obs in self.observers.iter_mut() {
-                        obs.on_rerandomize(rerand);
-                    }
-                }
-                for obs in self.observers.iter_mut() {
-                    obs.on_branch(tid, rec, &outcome);
-                }
-                if self.interval.is_some_and(|n| self.window.branches >= n) {
-                    self.close_window();
-                }
-            }
-            TraceEvent::ContextSwitch { tid, entity } => {
-                let tid = self.check(tid)?;
-                self.user_entity[tid] = entity;
-                self.model.context_switch(tid, entity);
-                self.notify_context_switch(tid, entity);
-                if self.policy.flushes_on_context_switch() {
-                    self.model.flush(); // IBPB
-                    self.record_flush(FlushKind::Full);
-                }
-            }
-            TraceEvent::ModeSwitch { tid, kernel } => {
-                let tid = self.check(tid)?;
-                if kernel {
-                    self.model.context_switch(tid, EntityId::KERNEL);
-                    self.notify_context_switch(tid, EntityId::KERNEL);
-                    if self.policy.flushes_targets_on_kernel_entry() {
-                        // IBRS: no user-placed targets in kernel.
-                        self.model.flush_targets();
-                        self.record_flush(FlushKind::Targets);
-                    }
-                } else {
-                    let entity = self.user_entity[tid];
-                    self.model.context_switch(tid, entity);
-                    self.notify_context_switch(tid, entity);
-                }
-            }
-            TraceEvent::Interrupt { tid } => {
-                // Delivery itself is free; the kernel excursion follows as
-                // ModeSwitch events.
-                self.check(tid)?;
-            }
-        }
-        Ok(())
+        self.core.feed(self.model, &mut self.observers, ev)
     }
 
     /// Feeds a slice of events through the session — semantically
@@ -308,29 +467,8 @@ impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
     /// first failing event (earlier events remain applied, as with
     /// per-event feeding).
     pub fn feed_batch(&mut self, events: &[TraceEvent]) -> Result<(), SimError> {
-        if !self.observers.is_empty() || self.interval.is_some() {
-            for ev in events {
-                self.feed(ev)?;
-            }
-            return Ok(());
-        }
-        for ev in events {
-            if let TraceEvent::Branch { tid, ref rec } = *ev {
-                let target = self.warmup_target.ok_or(SimError::WarmupNeedsBranchCount)?;
-                let tid = self.check(tid)?;
-                self.model.process(tid, rec);
-                self.seen += 1;
-                if !self.warmed && self.seen >= target {
-                    self.model.reset_stats();
-                    self.warmed = true;
-                }
-            } else {
-                // Rare control events keep the one shared implementation
-                // (the observer loops it runs are over an empty vec).
-                self.feed(ev)?;
-            }
-        }
-        Ok(())
+        self.core
+            .feed_batch(self.model, &mut self.observers, events)
     }
 
     /// Pumps `source` to exhaustion through the session, pulling events
@@ -345,53 +483,156 @@ impl<'a, B: Bpu + ?Sized> SimSession<'a, B> {
     /// [`SimError::Source`] when the source fails mid-stream, plus
     /// everything [`SimSession::feed`] can return.
     pub fn run(&mut self, source: &mut dyn EventSource) -> Result<(), SimError> {
-        if self.workload.is_none() {
-            self.workload = Some(source.name().to_string());
-        }
-        if self.warmup_target.is_none() {
-            let hint = source
-                .branch_hint()
-                .ok_or(SimError::WarmupNeedsBranchCount)?;
-            let target = (hint as f64 * self.pending_fraction) as u64;
-            self.warmup_target = Some(target);
-            self.warmed = self.warmed || target == 0;
-        }
-        let mut buf = std::mem::take(&mut self.batch_buf);
-        let result = loop {
-            match source.next_batch(&mut buf, RUN_BATCH) {
-                Err(e) => break Err(SimError::from(e)),
-                Ok(0) => break Ok(()),
-                Ok(_) => {
-                    if let Err(e) = self.feed_batch(&buf) {
-                        break Err(e);
-                    }
-                }
-            }
-        };
-        self.batch_buf = buf;
-        result
+        self.core.run(self.model, &mut self.observers, source)
     }
 
     /// Ends the session: flushes a final partial interval window to the
     /// observers and produces the aggregated report.
+    pub fn finish(self) -> SimReport {
+        let SimSession {
+            model,
+            mut observers,
+            core,
+        } = self;
+        core.finish(model, &mut observers)
+    }
+
+    /// Tears the session down *without* end-of-run bookkeeping: no final
+    /// window closes, no observer callbacks fire, no report is built —
+    /// the explicit form of simply dropping the session (see the
+    /// module docs). The borrowed model is released unchanged,
+    /// still carrying whatever state and statistics the fed events built
+    /// up. This is the path for evicting half-fed sessions (quota hits,
+    /// idle timeouts, disconnected clients) where running `finish()`
+    /// would waste work on a report nobody will read.
+    pub fn abort(self) {
+        // Dropping the fields is the entire teardown; the method exists
+        // so call sites say what they mean.
+    }
+}
+
+/// A session that owns its model — the registry-friendly form a server
+/// needs: many live sessions in one collection, each movable across
+/// worker threads, none borrowing anything.
+///
+/// Behavior is bit-identical to a [`SimSession`] over the same model and
+/// options (both delegate to one internal implementation; test-enforced).
+/// The differences are ownership-shaped:
+///
+/// * no observers — when [`SessionOptions::interval`] is set, closed
+///   [`IntervalWindow`]s are retained internally and drained via
+///   [`OwnedSession::take_intervals`] (drain regularly on long streams,
+///   or the backlog grows unbounded);
+/// * [`OwnedSession::finish`] and [`OwnedSession::abort`] both hand the
+///   model back, so a server can recycle or inspect it.
+///
+/// See the module docs for the lifecycle states.
+///
+/// ```
+/// use stbpu_predictors::skl_baseline;
+/// use stbpu_sim::{OwnedSession, Protection, SessionOptions, Warmup};
+/// use stbpu_trace::{EventSource, TraceGenerator, WorkloadProfile};
+///
+/// let opts = SessionOptions {
+///     warmup: Warmup::Branches(0),
+///     interval: Some(1_000),
+///     ..SessionOptions::default()
+/// };
+/// let mut session = OwnedSession::new(skl_baseline(), Protection::Unprotected, opts).unwrap();
+/// let mut src = TraceGenerator::new(&WorkloadProfile::test_profile(), 1).into_source(4_000);
+/// session.run(&mut src).unwrap();
+/// assert_eq!(session.take_intervals().len(), 4);
+/// let report = session.finish();
+/// assert_eq!(report.branches, 4_000);
+/// ```
+pub struct OwnedSession<B: Bpu> {
+    model: B,
+    core: SessionCore,
+}
+
+impl<B: Bpu> OwnedSession<B> {
+    /// Opens a session owning `model` under `policy`. When
+    /// `opts.interval` is set, closed windows are retained for
+    /// [`OwnedSession::take_intervals`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SimSession::new`]'s errors.
+    pub fn new(mut model: B, policy: Protection, opts: SessionOptions) -> Result<Self, SimError> {
+        let record_intervals = opts.interval.is_some();
+        let core = SessionCore::open(&mut model, policy, opts, record_intervals)?;
+        Ok(OwnedSession { model, core })
+    }
+
+    /// Branch events fed so far (warm-up included).
+    pub fn branches_seen(&self) -> u64 {
+        self.core.seen
+    }
+
+    /// The owned model (e.g. to read statistics mid-stream).
+    pub fn model(&self) -> &B {
+        &self.model
+    }
+
+    /// Feeds one event — see [`SimSession::feed`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SimSession::feed`]'s errors.
+    pub fn feed(&mut self, ev: &TraceEvent) -> Result<(), SimError> {
+        self.core.feed(&mut self.model, &mut [], ev)
+    }
+
+    /// Feeds a slice of events — see [`SimSession::feed_batch`]. With no
+    /// interval configured this is the same no-bookkeeping fast path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SimSession::feed_batch`]'s errors.
+    pub fn feed_batch(&mut self, events: &[TraceEvent]) -> Result<(), SimError> {
+        self.core.feed_batch(&mut self.model, &mut [], events)
+    }
+
+    /// Pumps `source` to exhaustion — see [`SimSession::run`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SimSession::run`]'s errors.
+    pub fn run(&mut self, source: &mut dyn EventSource) -> Result<(), SimError> {
+        self.core.run(&mut self.model, &mut [], source)
+    }
+
+    /// Drains the interval windows closed since the last call (empty
+    /// unless [`SessionOptions::interval`] was set). The incremental-OAE
+    /// feed a server streams back between chunks.
+    pub fn take_intervals(&mut self) -> Vec<IntervalWindow> {
+        std::mem::take(&mut self.core.recorded)
+    }
+
+    /// Ends the session — closes the final partial interval window (into
+    /// the retained series; drain it first or it is lost) and builds the
+    /// report. See [`SimSession::finish`].
     pub fn finish(mut self) -> SimReport {
-        if self.interval.is_some() && self.window.branches > 0 {
-            self.close_window();
+        self.core.finish(&mut self.model, &mut [])
+    }
+
+    /// Ends the session, also returning the interval backlog (including
+    /// the final partial window) alongside the report — the one-call form
+    /// of `take_intervals` + `finish` a server uses at `Flush`.
+    pub fn finish_with_intervals(mut self) -> (SimReport, Vec<IntervalWindow>) {
+        if self.core.interval.is_some() && self.core.window.branches > 0 {
+            self.core.close_window(&mut []);
         }
-        let s = self.model.stats();
-        SimReport {
-            model: self.model.name().to_string(),
-            protection: self.policy.label(),
-            workload: self.workload.unwrap_or_else(|| "unnamed".to_string()),
-            oae: s.oae(),
-            direction_rate: s.direction_rate(),
-            target_rate: s.target_rate(),
-            branches: s.branches,
-            mispredictions: s.mispredictions,
-            evictions: s.btb_evictions,
-            flushes: s.flushes,
-            rerandomizations: self.model.rerandomizations(),
-        }
+        let intervals = std::mem::take(&mut self.core.recorded);
+        let report = self.core.finish(&mut self.model, &mut []);
+        (report, intervals)
+    }
+
+    /// Tears the session down without end-of-run bookkeeping and returns
+    /// the model (trained state and statistics intact) — see
+    /// [`SimSession::abort`] and the lifecycle notes in the module docs.
+    pub fn abort(self) -> B {
+        self.model
     }
 }
 
@@ -432,6 +673,126 @@ mod tests {
         // feed-by-hand had no source, so no workload label.
         assert_eq!(r1.workload, "unnamed");
         assert_eq!(r2.workload, trace.name);
+    }
+
+    #[test]
+    fn owned_session_matches_borrowed_session_bit_for_bit() {
+        let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 4).generate(3_000);
+
+        let mut m = skl_baseline();
+        let mut borrowed = SimSession::new(&mut m, Protection::Ucode1, opts_nowarm()).unwrap();
+        borrowed.run(&mut trace.source()).unwrap();
+        let r1 = borrowed.finish();
+
+        let mut owned =
+            OwnedSession::new(skl_baseline(), Protection::Ucode1, opts_nowarm()).unwrap();
+        owned.run(&mut trace.source()).unwrap();
+        assert_eq!(owned.branches_seen(), 3_000);
+        let r2 = owned.finish();
+
+        assert_eq!(r1.oae.to_bits(), r2.oae.to_bits());
+        assert_eq!(r1.branches, r2.branches);
+        assert_eq!(r1.mispredictions, r2.mispredictions);
+        assert_eq!(r1.evictions, r2.evictions);
+        assert_eq!(r1.flushes, r2.flushes);
+        assert_eq!(r1.rerandomizations, r2.rerandomizations);
+    }
+
+    #[test]
+    fn owned_session_retains_intervals_without_observers() {
+        let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 7).generate(1_750);
+
+        // Reference: a borrowed session + recorder observer.
+        let mut m = skl_baseline();
+        let mut rec = IntervalRecorder::new();
+        let mut s = SimSession::new(
+            &mut m,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                interval: Some(500),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        s.attach(&mut rec);
+        s.run(&mut trace.source()).unwrap();
+        let r1 = s.finish();
+
+        let mut owned = OwnedSession::new(
+            skl_baseline(),
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                interval: Some(500),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        owned.run(&mut trace.source()).unwrap();
+        let (r2, windows) = owned.finish_with_intervals();
+        assert_eq!(windows.as_slice(), rec.windows());
+        assert_eq!(windows.len(), 4, "3 full + 1 partial window");
+        assert_eq!(r1.oae.to_bits(), r2.oae.to_bits());
+    }
+
+    #[test]
+    fn take_intervals_drains_incrementally() {
+        let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 2).generate(1_200);
+        let mut owned = OwnedSession::new(
+            skl_baseline(),
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                interval: Some(400),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        let mut drained = Vec::new();
+        for ev in trace.events() {
+            owned.feed(ev).unwrap();
+            drained.extend(owned.take_intervals());
+        }
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained.iter().map(|w| w.branches).sum::<u64>(), 1_200);
+        let (_, tail) = owned.finish_with_intervals();
+        assert!(tail.is_empty(), "everything was drained mid-stream");
+    }
+
+    #[test]
+    fn abort_skips_finish_bookkeeping() {
+        let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 3).generate(900);
+
+        // Borrowed: abort() leaves the model's trained stats intact and
+        // fires no observer callbacks.
+        let mut m = skl_baseline();
+        let mut rec = IntervalRecorder::new();
+        let mut s = SimSession::new(
+            &mut m,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Branches(0),
+                interval: Some(10_000), // longer than the stream: only finish() would close it
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        s.attach(&mut rec);
+        s.run(&mut trace.source()).unwrap();
+        s.abort();
+        assert!(
+            rec.windows().is_empty(),
+            "abort must not close the partial window"
+        );
+        assert_eq!(m.stats().branches, 900, "model state survives the abort");
+
+        // Owned: abort() hands the model back mid-stream.
+        let mut owned =
+            OwnedSession::new(skl_baseline(), Protection::Unprotected, opts_nowarm()).unwrap();
+        owned.feed_batch(trace.events()).unwrap();
+        let model = owned.abort();
+        assert_eq!(model.stats().branches, 900);
     }
 
     #[test]

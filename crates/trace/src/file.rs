@@ -165,6 +165,108 @@ impl EventSource for TraceFileSource {
     }
 }
 
+/// A streaming [`EventSource`] over a non-seekable trace byte stream
+/// (stdin, a pipe, a socket) of either format — the [`TraceFileSource`]
+/// counterpart for inputs that have no path and no known size. The magic
+/// bytes consumed by sniffing are spliced back in front of the remaining
+/// stream, so the reader sees the bytes from offset 0.
+pub enum TraceStreamSource<R: Read> {
+    /// A line-format stream (buffered text reader).
+    Line(TraceReader<BufReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>>>),
+    /// A binary `.stbt` stream (the reader buffers internally; boxed — it
+    /// carries per-thread delta state much larger than the line variant).
+    Binary(Box<BinTraceReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>>>),
+}
+
+impl<R: Read> TraceStreamSource<R> {
+    /// The format that was detected at open time.
+    pub fn format(&self) -> TraceFileFormat {
+        match self {
+            TraceStreamSource::Line(_) => TraceFileFormat::Line,
+            TraceStreamSource::Binary(_) => TraceFileFormat::Binary,
+        }
+    }
+}
+
+/// Opens an arbitrary byte stream as a trace event source, auto-detecting
+/// line vs binary format by magic — [`open_trace_file`] for inputs that
+/// cannot be reopened or seeked (stdin via `-`, pipes, sockets). `label`
+/// names the stream in error messages the way the file path does for
+/// files.
+///
+/// # Errors
+///
+/// Returns [`SourceError`] when the stream cannot be read or its header
+/// is malformed.
+pub fn open_trace_stream<R: Read>(
+    mut r: R,
+    label: &str,
+) -> Result<TraceStreamSource<R>, SourceError> {
+    let ctx = |e: String| SourceError(format!("{label}: {e}"));
+    // Sniff by hand: unlike the file path there is no seeking back, so
+    // the consumed bytes are chained back in front of the remainder.
+    let mut sniffed = Vec::with_capacity(4);
+    let mut byte = [0u8; 1];
+    while sniffed.len() < 4 {
+        let n = r.read(&mut byte).map_err(|e| ctx(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        sniffed.push(byte[0]);
+    }
+    let format = if sniffed.as_slice() == MAGIC {
+        TraceFileFormat::Binary
+    } else {
+        TraceFileFormat::Line
+    };
+    let full = std::io::Cursor::new(sniffed).chain(r);
+    Ok(match format {
+        TraceFileFormat::Line => TraceStreamSource::Line(
+            TraceReader::new(BufReader::new(full)).map_err(|e| ctx(e.to_string()))?,
+        ),
+        TraceFileFormat::Binary => TraceStreamSource::Binary(Box::new(
+            BinTraceReader::new(full).map_err(|e| ctx(e.to_string()))?,
+        )),
+    })
+}
+
+impl<R: Read> EventSource for TraceStreamSource<R> {
+    fn name(&self) -> &str {
+        match self {
+            TraceStreamSource::Line(r) => r.name(),
+            TraceStreamSource::Binary(r) => r.name(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        match self {
+            TraceStreamSource::Line(r) => r.thread_count(),
+            TraceStreamSource::Binary(r) => r.thread_count(),
+        }
+    }
+
+    fn branch_hint(&self) -> Option<u64> {
+        match self {
+            TraceStreamSource::Line(r) => r.branch_hint(),
+            TraceStreamSource::Binary(r) => r.branch_hint(),
+        }
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, SourceError> {
+        match self {
+            TraceStreamSource::Line(r) => r.next_event(),
+            TraceStreamSource::Binary(r) => r.next_event(),
+        }
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<TraceEvent>, max: usize) -> Result<usize, SourceError> {
+        match self {
+            TraceStreamSource::Line(r) => r.next_batch(buf, max),
+            TraceStreamSource::Binary(r) => r.next_batch(buf, max),
+        }
+    }
+}
+
 /// A streaming trace writer for either on-disk format, selected at
 /// construction — the writing counterpart of [`TraceFileSource`]. The
 /// `header`/`event`/`flush` surface mirrors
@@ -324,6 +426,39 @@ mod tests {
             let mut src = open_trace_file(&p).unwrap();
             assert_eq!(src.collect_trace().unwrap().events(), t.events());
         }
+    }
+
+    #[test]
+    fn streams_without_paths_detect_and_decode_both_formats() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 4).generate(300);
+        let mut line = Vec::new();
+        write_trace(&t, &mut line).unwrap();
+        let mut bin = Vec::new();
+        write_bin_trace(&t, &mut bin).unwrap();
+
+        // Read-only byte streams: no path, no seek, no size.
+        let mut l = open_trace_stream(line.as_slice(), "<stdin>").unwrap();
+        assert_eq!(l.format(), TraceFileFormat::Line);
+        let mut b = open_trace_stream(bin.as_slice(), "<stdin>").unwrap();
+        assert_eq!(b.format(), TraceFileFormat::Binary);
+        assert_eq!(l.branch_hint(), b.branch_hint());
+        assert_eq!(l.collect_trace().unwrap().events(), t.events());
+        assert_eq!(b.collect_trace().unwrap().events(), t.events());
+
+        // Shorter than the magic: falls back to line, streams empty.
+        let mut s = open_trace_stream(&b"I 0"[..], "<pipe>").unwrap();
+        assert_eq!(s.format(), TraceFileFormat::Line);
+        assert!(matches!(
+            s.next_event().unwrap(),
+            Some(TraceEvent::Interrupt { tid: 0 })
+        ));
+
+        // Errors carry the label instead of a path.
+        let bad = b"STBT\xff\xff garbage";
+        let e = open_trace_stream(&bad[..], "<stdin>")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("<stdin>"), "{e}");
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub mod serialize;
 mod source;
 
 pub use event::{Trace, TraceEvent};
-pub use file::{detect_format, open_trace_file, TraceFileFormat, TraceFileSource, TraceFileWriter};
+pub use file::{
+    detect_format, open_trace_file, open_trace_stream, TraceFileFormat, TraceFileSource,
+    TraceFileWriter, TraceStreamSource,
+};
 pub use generator::{GeneratorSource, TraceGenerator};
 pub use profiles::{WorkloadClass, WorkloadProfile};
 pub use source::{EventSource, SourceError, TraceSource};
