@@ -246,8 +246,12 @@ daemon options:
   --listen ADDR         bind address (default 127.0.0.1:4588)
   --workers N           worker threads (default: one per core, max 8)
   --max-sessions N      live sessions per connection (default 16)
-  --max-buffered N      buffered chunk bytes per connection (default 8 MiB)
+  --max-buffered N      buffered chunk bytes per connection (default
+                        8 MiB, minimum one 1 MiB frame)
   --idle-timeout-ms N   idle session reap timeout (default 30000)
+  --write-timeout-ms N  per-write timeout to a client socket; a client
+                        that stops reading loses its connection after
+                        at most this long (default 10000)
 
 self-test options (--client):
   --connect ADDR        target a running daemon (default: spawn one

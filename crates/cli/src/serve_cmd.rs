@@ -16,7 +16,7 @@ use stbpu_engine::minijson::escape;
 use stbpu_engine::{auto_protection, protection_from_str, ModelRegistry};
 use stbpu_serve::protocol::WireReport;
 use stbpu_serve::server::{self, ServerConfig};
-use stbpu_serve::{ChunkEncoder, Hello, ServeClient};
+use stbpu_serve::{check_parity, ChunkEncoder, Hello, ServeClient};
 use stbpu_sim::{IntervalWindow, OwnedSession, SessionOptions, SimReport, Warmup};
 use stbpu_trace::{profiles, EventSource, TraceEvent, TraceGenerator};
 use std::sync::Arc;
@@ -43,11 +43,23 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let idle_ms: u64 = a
         .opt_parse("--idle-timeout-ms", "an integer")?
         .unwrap_or(defaults.idle_timeout.as_millis() as u64);
+    let write_timeout_ms: u64 = a
+        .opt_parse("--write-timeout-ms", "an integer")?
+        .unwrap_or(defaults.write_timeout.as_millis() as u64);
     a.finish_empty()?;
-    if max_sessions == 0 || max_buffered == 0 || idle_ms == 0 {
+    if max_sessions == 0 || idle_ms == 0 || write_timeout_ms == 0 {
         return Err(Failure::Usage(
-            "--max-sessions, --max-buffered and --idle-timeout-ms must be positive".to_string(),
+            "--max-sessions, --idle-timeout-ms and --write-timeout-ms must be positive"
+                .to_string(),
         ));
+    }
+    // Below one max-size frame every chunk is an instant quota kill and
+    // the backpressure watermarks degenerate; refuse outright.
+    if max_buffered < stbpu_serve::protocol::MAX_FRAME {
+        return Err(Failure::Usage(format!(
+            "--max-buffered must be at least one {}-byte frame",
+            stbpu_serve::protocol::MAX_FRAME
+        )));
     }
 
     let server = server::spawn(
@@ -57,6 +69,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             max_sessions_per_conn: max_sessions,
             max_buffered_per_conn: max_buffered,
             idle_timeout: Duration::from_millis(idle_ms),
+            write_timeout: Duration::from_millis(write_timeout_ms),
         },
     )
     .map_err(|e| Failure::Runtime(format!("cannot listen on {listen}: {e}")))?;
@@ -261,30 +274,6 @@ fn self_test(mut a: Args) -> Result<(), Failure> {
         );
     }
     Ok(())
-}
-
-/// Field-by-field bit comparison of a streamed report against the
-/// offline reference (same gate as `bench --suite serve`).
-fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
-    let same = wire.oae.to_bits() == offline.oae.to_bits()
-        && wire.direction_rate.to_bits() == offline.direction_rate.to_bits()
-        && wire.target_rate.to_bits() == offline.target_rate.to_bits()
-        && wire.branches == offline.branches
-        && wire.mispredictions == offline.mispredictions
-        && wire.evictions == offline.evictions
-        && wire.flushes == offline.flushes
-        && wire.rerandomizations == offline.rerandomizations
-        && wire.model == offline.model
-        && wire.protection == offline.protection;
-    if same {
-        Ok(())
-    } else {
-        Err(format!(
-            "streamed report diverges from offline run (streamed OAE {} / {} branches \
-             vs offline OAE {} / {} branches)",
-            wire.oae, wire.branches, offline.oae, offline.branches
-        ))
-    }
 }
 
 /// A [`WireReport`] in exactly the JSON shape `stbpu simulate --format

@@ -78,9 +78,17 @@ pub struct BenchResult {
     pub oae: f64,
 }
 
-/// Field-by-field bit comparison of a streamed report against the
-/// offline reference. Any difference is a hard failure.
-fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
+/// Field-by-field bit comparison of a streamed report against an
+/// offline reference run: every rate via `f64::to_bits`, exact equality
+/// on every counter and label (workload included — a corrupted label on
+/// the wire is as much a protocol bug as a corrupted counter). Any
+/// difference is a hard failure. Shared by this bench suite and the
+/// `stbpu serve --client` self-test so the two gates cannot drift.
+///
+/// # Errors
+///
+/// Lists every diverging field.
+pub fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
     let mut diffs = Vec::new();
     if wire.oae.to_bits() != offline.oae.to_bits() {
         diffs.push(format!("oae {} != {}", wire.oae, offline.oae));
@@ -109,10 +117,18 @@ fn check_parity(wire: &WireReport, offline: &SimReport) -> Result<(), String> {
     if wire.rerandomizations != offline.rerandomizations {
         diffs.push("rerandomizations".to_string());
     }
-    if wire.model != offline.model || wire.protection != offline.protection {
+    if wire.model != offline.model
+        || wire.protection != offline.protection
+        || wire.workload != offline.workload
+    {
         diffs.push(format!(
-            "labels {}/{} != {}/{}",
-            wire.model, wire.protection, offline.model, offline.protection
+            "labels {}/{}/{} != {}/{}/{}",
+            wire.model,
+            wire.protection,
+            wire.workload,
+            offline.model,
+            offline.protection,
+            offline.workload
         ));
     }
     if diffs.is_empty() {

@@ -11,6 +11,7 @@ use crate::protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg, WireR
 use stbpu_sim::IntervalWindow;
 use stbpu_trace::binfmt::BinTraceWriter;
 use stbpu_trace::TraceEvent;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -115,16 +116,31 @@ impl ServeClient {
     ///
     /// # Errors
     ///
+    /// [`ServeError::Protocol`] if this client already has a live
+    /// session with the same id (refused locally, before anything is
+    /// sent, so the existing session's frame route is untouched),
     /// [`ServeError::Remote`] if the server refuses (bad model, quota,
-    /// duplicate id, …), [`ServeError::Io`] on transport failure.
+    /// duplicate id from another client object on the same socket, …),
+    /// [`ServeError::Io`] on transport failure.
     pub fn open(&self, hello: Hello) -> Result<SessionHandle, ServeError> {
         let id = hello.session;
         let (tx, rx) = channel();
-        self.inner
+        match self
+            .inner
             .routes
             .lock()
             .map_err(|_| ServeError::Protocol("route lock poisoned".to_string()))?
-            .insert(id, tx);
+            .entry(id)
+        {
+            Entry::Occupied(_) => {
+                return Err(ServeError::Protocol(format!(
+                    "session {id} is already open on this client"
+                )))
+            }
+            Entry::Vacant(v) => {
+                v.insert(tx);
+            }
+        }
         let mut handle = SessionHandle {
             inner: Arc::clone(&self.inner),
             session: id,

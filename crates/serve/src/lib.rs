@@ -32,7 +32,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use bench::{run_bench, BenchConfig, BenchResult};
+pub use bench::{check_parity, run_bench, BenchConfig, BenchResult};
 pub use client::{ChunkEncoder, ServeClient, ServeError, SessionHandle};
 pub use protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg, WireError, WireReport};
 pub use server::{ServerConfig, ServerHandle};

@@ -20,6 +20,13 @@
 //! [`ServerMsg::Error`] — every other session, on the same connection or
 //! others, keeps streaming. Only an unframeable byte stream costs the
 //! whole connection, because framing has no resync point.
+//!
+//! Outbound frames never touch the socket while the global state lock is
+//! held: they are queued per connection under the lock and flushed after
+//! it is released, and every send half carries
+//! [`ServerConfig::write_timeout`] — so a client that stops *reading*
+//! wedges nothing; its first timed-out write kills its own connection
+//! and frees whatever worker was serving it.
 
 use crate::protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg, WireReport};
 use stbpu_engine::{auto_protection, protection_from_str, ModelCore, ModelRegistry};
@@ -55,6 +62,12 @@ pub struct ServerConfig {
     /// A session receiving nothing for this long is torn down with
     /// [`ErrorCode::IdleTimeout`].
     pub idle_timeout: Duration,
+    /// Per-write timeout on every connection's send half. A peer that
+    /// stops reading its socket makes the next write to it fail after at
+    /// most this long, which tears that one connection down — a
+    /// non-reading client costs whoever writes to it one timeout, never
+    /// a permanently wedged worker or reader.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -64,14 +77,18 @@ impl Default for ServerConfig {
             max_sessions_per_conn: 16,
             max_buffered_per_conn: 8 << 20,
             idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
 
 impl ServerConfig {
     /// Buffered-bytes level that triggers a [`ServerMsg::Backpressure`].
+    /// Clamped to at least 1 so a degenerate quota (< 4 bytes) still
+    /// leaves the stall check satisfiable — the connection throttles
+    /// per-chunk instead of wedging on a watermark of 0.
     fn high_watermark(&self) -> usize {
-        self.max_buffered_per_conn / 4 * 3
+        (self.max_buffered_per_conn / 4 * 3).max(1)
     }
 
     /// Buffered-bytes level that triggers the matching
@@ -125,20 +142,86 @@ struct ConnInfo {
     paused: Option<u64>,
 }
 
-/// The shared half of a connection's socket; workers and the reader both
-/// push frames through it, serialized by the mutex.
+/// The shared half of a connection's socket; workers, the reader and the
+/// sweep all push frames through it.
+///
+/// Sending is split in two so no socket I/O ever happens under the
+/// global state lock: [`ConnWriter::queue_msg`] encodes onto a FIFO
+/// (cheap, lock-safe — wire order is queue order, which under the state
+/// lock is state-transition order, keeping e.g. `Backpressure` ahead of
+/// its `Resume`), and [`ConnWriter::flush`] drains the FIFO to the
+/// socket and must only run with no state lock held. The socket carries
+/// the configured write timeout, so a peer that stops reading fails the
+/// write in bounded time; the failure marks the writer dead and shuts
+/// the socket down, which the reader notices and turns into a full
+/// connection teardown — releasing any sessions (and therefore workers)
+/// the stalled peer was holding.
 #[derive(Clone)]
-struct ConnWriter(Arc<Mutex<TcpStream>>);
+struct ConnWriter {
+    queue: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    stream: Arc<Mutex<TcpStream>>,
+    dead: Arc<AtomicBool>,
+}
 
 impl ConnWriter {
-    /// Writes one frame; a dead peer is not an error worth propagating —
-    /// the reader thread notices EOF and cleans the connection up.
-    fn send(&self, msg: &ServerMsg) {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            stream: Arc::new(Mutex::new(stream)),
+            dead: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Encodes one frame onto the outbound queue. No I/O — safe while
+    /// holding the state lock. The caller must [`ConnWriter::flush`]
+    /// after releasing it.
+    fn queue_msg(&self, msg: &ServerMsg) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
         let mut wire = Vec::new();
         msg.encode(&mut wire);
-        if let Ok(mut s) = self.0.lock() {
-            let _ = s.write_all(&wire);
+        if let Ok(mut q) = self.queue.lock() {
+            q.push_back(wire);
         }
+    }
+
+    /// Writes every queued frame in FIFO order. Blocks up to the write
+    /// timeout per syscall, so it must never run with the state lock
+    /// held. A failed or timed-out write kills the writer and shuts the
+    /// socket down; the reader thread then cleans the connection up —
+    /// a dead peer is not an error worth propagating.
+    fn flush(&self) {
+        let Ok(mut s) = self.stream.lock() else {
+            return;
+        };
+        while !self.dead.load(Ordering::Relaxed) {
+            // Only the stream-lock holder pops, so frames hit the wire
+            // in queue order even with concurrent flushers.
+            let frame = match self.queue.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(f) => f,
+                    None => return,
+                },
+                Err(_) => return,
+            };
+            if s.write_all(&frame).is_err() {
+                self.dead.store(true, Ordering::Relaxed);
+                let _ = s.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+
+    /// Queue + flush, for call sites that hold no locks.
+    fn send(&self, msg: &ServerMsg) {
+        self.queue_msg(msg);
+        self.flush();
+    }
+
+    /// True once a write failed or timed out; the connection is doomed.
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
     }
 }
 
@@ -255,22 +338,33 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 /// checked-out or queued engine are actively progressing and skipped.
 fn sweep_idle(shared: &Shared) {
     let timeout = shared.cfg.idle_timeout;
-    let mut st = shared.state.lock().unwrap();
-    let idle: Vec<Key> = st
-        .sessions
-        .iter()
-        .filter(|(_, s)| s.engine.is_some() && !s.queued && s.last_activity.elapsed() >= timeout)
-        .map(|(k, _)| *k)
-        .collect();
-    for key in idle {
-        if let Some(slot) = st.sessions.remove(&key) {
-            slot.writer.send(&ServerMsg::Error {
-                session: key.1,
-                code: ErrorCode::IdleTimeout,
-                message: format!("session idle for {}s", timeout.as_secs()),
-            });
-            settle_removed(&mut st, key.0, &slot);
+    let mut writers = Vec::new();
+    {
+        let mut st = shared.state.lock().unwrap();
+        let idle: Vec<Key> = st
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.engine.is_some() && !s.queued && s.last_activity.elapsed() >= timeout
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in idle {
+            if let Some(slot) = st.sessions.remove(&key) {
+                settle_removed(&mut st, key.0, &slot);
+                slot.writer.queue_msg(&ServerMsg::Error {
+                    session: key.1,
+                    code: ErrorCode::IdleTimeout,
+                    message: format!("session idle for {}s", timeout.as_secs()),
+                });
+                writers.push(slot.writer);
+            }
         }
+    }
+    // Flush outside the lock: a stalled peer costs this thread at most
+    // one write timeout (once — the writer is dead afterwards).
+    for w in writers {
+        w.flush();
     }
 }
 
@@ -304,7 +398,14 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     let Ok(clone) = stream.try_clone() else {
         return;
     };
-    let writer = ConnWriter(Arc::new(Mutex::new(clone)));
+    // SO_SNDTIMEO on the shared socket: bounds every write to this peer.
+    if clone
+        .set_write_timeout(Some(shared.cfg.write_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let writer = ConnWriter::new(clone);
     shared.state.lock().unwrap().conns.insert(
         conn_id,
         ConnInfo {
@@ -334,6 +435,9 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
                 .is_some_and(|c| c.buffered >= shared.cfg.high_watermark());
             if !over || shared.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            if writer.is_dead() {
+                break 'conn; // a write timed out; the connection is doomed
             }
             thread::sleep(Duration::from_millis(5));
         }
@@ -443,24 +547,28 @@ fn handle_hello(shared: &Shared, conn_id: u64, writer: &ConnWriter, h: Hello) {
             "session id 0 is reserved for connection-level errors".to_string(),
         );
     }
-    {
+    // Look, decide, release — the reject frames go out lock-free below.
+    let (duplicate, live) = {
         let st = shared.state.lock().unwrap();
-        if st.sessions.contains_key(&(conn_id, h.session)) {
-            return reject(
-                ErrorCode::DuplicateSession,
-                format!("session {} is already open on this connection", h.session),
-            );
-        }
-        let live = st.conns.get(&conn_id).map_or(0, |c| c.sessions);
-        if live >= shared.cfg.max_sessions_per_conn {
-            return reject(
-                ErrorCode::QuotaSessions,
-                format!(
-                    "connection already has {live} live sessions (quota {})",
-                    shared.cfg.max_sessions_per_conn
-                ),
-            );
-        }
+        (
+            st.sessions.contains_key(&(conn_id, h.session)),
+            st.conns.get(&conn_id).map_or(0, |c| c.sessions),
+        )
+    };
+    if duplicate {
+        return reject(
+            ErrorCode::DuplicateSession,
+            format!("session {} is already open on this connection", h.session),
+        );
+    }
+    if live >= shared.cfg.max_sessions_per_conn {
+        return reject(
+            ErrorCode::QuotaSessions,
+            format!(
+                "connection already has {live} live sessions (quota {})",
+                shared.cfg.max_sessions_per_conn
+            ),
+        );
     }
 
     let model = match shared.registry.build(&h.model, h.seed) {
@@ -509,6 +617,10 @@ fn handle_hello(shared: &Shared, conn_id: u64, writer: &ConnWriter, h: Hello) {
     if let Some(conn) = st.conns.get_mut(&conn_id) {
         conn.sessions += 1;
     }
+    drop(st);
+    // Safe to ack after the lock: this reader is the only thread that
+    // can feed the new session, so nothing else addresses it before the
+    // ack is on the wire.
     writer.send(&ServerMsg::HelloAck { session: h.session });
 }
 
@@ -518,29 +630,28 @@ fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64
     let key = (conn_id, session);
     let len = bytes.len();
     let mut st = shared.state.lock().unwrap();
-    match st.sessions.get(&key) {
-        None => {
-            writer.send(&ServerMsg::Error {
-                session,
-                code: ErrorCode::UnknownSession,
-                message: format!("no live session {session} on this connection"),
-            });
-            return;
-        }
+    let refusal = match st.sessions.get(&key) {
+        None => Some(format!("no live session {session} on this connection")),
         Some(slot) if slot.closing != Closing::No => {
-            writer.send(&ServerMsg::Error {
-                session,
-                code: ErrorCode::UnknownSession,
-                message: format!("session {session} is already closing"),
-            });
-            return;
+            Some(format!("session {session} is already closing"))
         }
-        Some(_) => {}
+        Some(_) => None,
+    };
+    if let Some(message) = refusal {
+        drop(st);
+        writer.send(&ServerMsg::Error {
+            session,
+            code: ErrorCode::UnknownSession,
+            message,
+        });
+        return;
     }
     if len > shared.cfg.max_buffered_per_conn {
         // A single chunk no draining could ever make room for: abusive
         // by construction, and the one quota kill that cannot be a race
         // against in-flight data. Costs the offending session only.
+        kill_session(&mut st, key);
+        drop(st);
         writer.send(&ServerMsg::Error {
             session,
             code: ErrorCode::QuotaBuffered,
@@ -549,7 +660,6 @@ fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64
                 shared.cfg.max_buffered_per_conn
             ),
         });
-        kill_session(&mut st, key);
         return;
     }
     let slot = st.sessions.get_mut(&key).expect("liveness checked above");
@@ -561,13 +671,17 @@ fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64
         conn.buffered += len;
         if conn.paused.is_none() && conn.buffered >= shared.cfg.high_watermark() {
             conn.paused = Some(session);
-            writer.send(&ServerMsg::Backpressure {
+            // Queued under the lock so the frame is ordered before any
+            // Resume a draining worker issues for the same pause.
+            writer.queue_msg(&ServerMsg::Backpressure {
                 session,
                 buffered: conn.buffered as u64,
             });
         }
     }
     shared.work.notify_one();
+    drop(st);
+    writer.flush();
 }
 
 /// Handles `Flush` (finish + report) and `Close` (silent abort).
@@ -575,6 +689,7 @@ fn handle_end(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64, 
     let key = (conn_id, session);
     let mut st = shared.state.lock().unwrap();
     let Some(slot) = st.sessions.get_mut(&key) else {
+        drop(st);
         writer.send(&ServerMsg::Error {
             session,
             code: ErrorCode::UnknownSession,
@@ -675,12 +790,16 @@ fn advance_session(shared: &Shared, key: Key) {
             conn.buffered = conn.buffered.saturating_sub(taken);
             if conn.buffered <= shared.cfg.low_watermark() {
                 if let Some(paused) = conn.paused.take() {
-                    writer.send(&ServerMsg::Resume { session: paused });
+                    // Queued under the lock: ordered after the
+                    // Backpressure that set the pause, flushed below
+                    // once the lock is gone.
+                    writer.queue_msg(&ServerMsg::Resume { session: paused });
                 }
             }
         }
         (engine, chunks, closing, writer)
     };
+    writer.flush();
 
     // Process without the lock.
     let mut failure: Option<(ErrorCode, String)> = None;
@@ -776,5 +895,25 @@ fn remove_session(shared: &Shared, key: Key) {
     let mut st = shared.state.lock().unwrap();
     if let Some(slot) = st.sessions.remove(&key) {
         settle_removed(&mut st, key.0, &slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Degenerate buffer quotas must still leave the reader's stall
+    /// check satisfiable: a watermark of 0 with nothing buffered would
+    /// wedge every connection forever.
+    #[test]
+    fn high_watermark_never_zero() {
+        for quota in [1, 2, 3, 4, 5, 8] {
+            let cfg = ServerConfig {
+                max_buffered_per_conn: quota,
+                ..ServerConfig::default()
+            };
+            assert!(cfg.high_watermark() >= 1, "quota {quota}");
+            assert!(cfg.low_watermark() < cfg.high_watermark(), "quota {quota}");
+        }
     }
 }

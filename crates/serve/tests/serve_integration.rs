@@ -255,10 +255,12 @@ fn malicious_clients_cannot_kill_unrelated_sessions() {
 }
 
 /// Session-count quota: the N+1th concurrent Hello is refused with
-/// QuotaSessions, duplicate ids with DuplicateSession, and closing one
-/// session frees its slot.
+/// QuotaSessions, duplicate ids are refused (locally by the client
+/// library, with DuplicateSession by the server for raw peers) without
+/// disturbing the live session, and closing one session frees its slot.
 #[test]
 fn session_quota_and_duplicate_ids_are_enforced() {
+    let fx = fixture(None);
     let server = spawn(
         "127.0.0.1:0",
         ServerConfig {
@@ -270,14 +272,44 @@ fn session_quota_and_duplicate_ids_are_enforced() {
     let client = ServeClient::connect(server.addr()).unwrap();
 
     let a = client.open(hello(1, 0)).unwrap();
-    let _b = client.open(hello(2, 0)).unwrap();
+    let mut b = client.open(hello(2, 0)).unwrap();
     match client.open(hello(3, 0)) {
         Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaSessions),
         other => panic!("expected QuotaSessions, got {other:?}"),
     }
+    // A duplicate id is refused locally, before any frame goes out…
     match client.open(hello(2, 0)) {
-        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::DuplicateSession),
-        other => panic!("expected DuplicateSession, got {other:?}"),
+        Err(ServeError::Protocol(m)) => assert!(m.contains("already open"), "{m}"),
+        other => panic!("expected a local duplicate-id refusal, got {other:?}"),
+    }
+    // …and the live session it collided with keeps its frame route: it
+    // still streams to a bit-identical report instead of going deaf.
+    for chunk in &fx.chunks {
+        b.send_chunk(chunk).unwrap();
+    }
+    let (report, _) = b.finish().unwrap();
+    assert_eq!(report.oae.to_bits(), fx.report.oae.to_bits());
+
+    // Raw peers that bypass the client library still get the server's
+    // own DuplicateSession answer.
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut wire = Vec::new();
+        ClientMsg::Hello(hello(5, 0)).encode(&mut wire);
+        ClientMsg::Hello(hello(5, 0)).encode(&mut wire);
+        s.write_all(&wire).unwrap();
+        let mut frames = FrameReader::new();
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::HelloAck { session: 5 }) => {}
+            other => panic!("expected HelloAck for 5, got {other:?}"),
+        }
+        match read_frame(&mut s, &mut frames) {
+            Some(ServerMsg::Error { session, code, .. }) => {
+                assert_eq!(session, 5);
+                assert_eq!(code, ErrorCode::DuplicateSession);
+            }
+            other => panic!("expected DuplicateSession for 5, got {other:?}"),
+        }
     }
     a.close().unwrap();
     // Closing is asynchronous on the server; retry briefly.
@@ -300,6 +332,57 @@ fn session_quota_and_duplicate_ids_are_enforced() {
     assert!(freed, "closed session never freed its quota slot");
 
     drop(client);
+    server.shutdown();
+}
+
+/// A client that streams work but never reads its socket must not wedge
+/// the daemon: outbound frames are never written under the global state
+/// lock, and the write timeout tears the stalled connection down. With
+/// a single worker (the worst case for starvation), a victim on another
+/// connection still streams to a bit-identical report.
+#[test]
+fn non_reading_client_cannot_wedge_the_daemon() {
+    let fx = fixture(None);
+    let server = spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            write_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The stalled peer: an interval window every branch makes the
+    // server push hundreds of kilobytes of IntervalRecord frames back
+    // at a socket nobody reads, jamming its writes once the kernel
+    // buffers fill.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    let mut wire = Vec::new();
+    ClientMsg::Hello(hello(1, 1)).encode(&mut wire);
+    for chunk in &fx.chunks {
+        ClientMsg::TraceChunk {
+            session: 1,
+            bytes: chunk.clone(),
+        }
+        .encode(&mut wire);
+    }
+    ClientMsg::Flush { session: 1 }.encode(&mut wire);
+    stalled.write_all(&wire).unwrap();
+    // Deliberately never read from `stalled`.
+
+    let victim = ServeClient::connect(addr).unwrap();
+    let mut session = victim.open(hello(1, 0)).unwrap();
+    for chunk in &fx.chunks {
+        session.send_chunk(chunk).unwrap();
+    }
+    let (report, _) = session.finish().unwrap();
+    assert_eq!(report.oae.to_bits(), fx.report.oae.to_bits());
+    assert_eq!(report.branches, fx.report.branches);
+
+    drop(stalled);
+    drop(victim);
     server.shutdown();
 }
 
