@@ -1,0 +1,1047 @@
+//! The lint passes: token-window pattern matching with brace/scope
+//! tracking over [`crate::tokenizer`] output.
+//!
+//! Each lint encodes one invariant the OAE / serving gates depend on but
+//! the compiler cannot check:
+//!
+//! * **lock-scope** — no blocking call while a `Mutex` guard binding is
+//!   live in scope (the PR 6 daemon-wedge class: socket I/O under the
+//!   serve registry lock).
+//! * **determinism** — no iteration over `HashMap`/`HashSet` in crates
+//!   whose iteration order can reach serialized or user-visible output;
+//!   use `BTreeMap`/`BTreeSet` or sort before emitting.
+//! * **wall-clock** — no `Instant::now` / `SystemTime` in OAE-affecting
+//!   crates: simulated time must come from the event stream, never the
+//!   host clock.
+//! * **panic-freedom** — no `unwrap`/`expect`/`panic!`-family macros or
+//!   unchecked (non-range) indexing in the serve request/decode paths: a
+//!   panic there kills a worker or reader thread and wedges live
+//!   sessions.
+//!
+//! `#[cfg(test)]` scopes are skipped for every lint (tests may unwrap),
+//! and doc comments are comments to the tokenizer, so examples never
+//! fire. Findings are suppressible only through the checked-in
+//! `ci/analyze-allow.toml` (see [`crate::allowlist`]) — there is
+//! deliberately no inline `// allow` escape hatch.
+
+use crate::tokenizer::{tokenize, Tok, TokKind};
+
+/// Identifies one lint pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintId {
+    /// Blocking call while a lock guard is live.
+    LockScope,
+    /// Hash-ordered iteration in a report path.
+    Determinism,
+    /// Host-clock read in an OAE-affecting crate.
+    WallClock,
+    /// Panicking construct in a daemon request/decode path.
+    PanicFreedom,
+}
+
+impl LintId {
+    /// Every lint, in catalog order.
+    pub const ALL: &'static [LintId] = &[
+        LintId::LockScope,
+        LintId::Determinism,
+        LintId::WallClock,
+        LintId::PanicFreedom,
+    ];
+
+    /// The stable lint id used in diagnostics and the allowlist.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::LockScope => "lock-scope",
+            LintId::Determinism => "determinism",
+            LintId::WallClock => "wall-clock",
+            LintId::PanicFreedom => "panic-freedom",
+        }
+    }
+
+    /// Parses a lint id as written in `ci/analyze-allow.toml`.
+    pub fn from_name(name: &str) -> Option<LintId> {
+        LintId::ALL.iter().copied().find(|l| l.name() == name)
+    }
+
+    /// One-line catalog summary.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintId::LockScope => "no blocking I/O while a Mutex guard binding is live in scope",
+            LintId::Determinism => {
+                "no HashMap/HashSet iteration where order can reach serialized output"
+            }
+            LintId::WallClock => "no Instant::now/SystemTime in OAE-affecting crates",
+            LintId::PanicFreedom => {
+                "no unwrap/expect/panic!/unchecked indexing in serve request paths"
+            }
+        }
+    }
+
+    /// Why the invariant exists (printed by `stbpu analyze --list-lints`).
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintId::LockScope => {
+                "a write to a stalled peer under the serve registry lock wedged every \
+                 connection (the PR 6 daemon bug); queue under the lock, do I/O after \
+                 releasing it"
+            }
+            LintId::Determinism => {
+                "every PR is gated on bit-identical OAE/report output; hash iteration \
+                 order varies across runs and toolchains, so it must never order \
+                 anything a gate diffs"
+            }
+            LintId::WallClock => {
+                "simulation results must be a pure function of the event stream and \
+                 seed; a host-clock read makes output machine-dependent"
+            }
+            LintId::PanicFreedom => {
+                "a panic in a request/decode path kills a worker or reader thread and \
+                 silently wedges unrelated live sessions; malformed input must become \
+                 a positioned Error frame instead"
+            }
+        }
+    }
+
+    /// The workspace paths (relative, `/`-separated) the lint applies to.
+    /// An empty list means every analyzed file.
+    pub fn path_scope(self) -> &'static [&'static str] {
+        match self {
+            // Any crate may grow a lock; the invariant is universal.
+            LintId::LockScope => &[],
+            // Crates whose collections can feed reports, traces or wire
+            // frames that CI diffs byte-for-byte.
+            LintId::Determinism => &[
+                "crates/sim/src/",
+                "crates/engine/src/",
+                "crates/trace/src/",
+                "crates/serve/src/",
+                "crates/core/src/",
+            ],
+            // Crates on the OAE-affecting simulation path. Bench/CLI
+            // progress code lives outside these roots and may time freely.
+            LintId::WallClock => &[
+                "crates/bpu/src/",
+                "crates/remap/src/",
+                "crates/sim/src/",
+                "crates/trace/src/",
+                "crates/core/src/",
+            ],
+            // The daemon request/decode paths and the client library that
+            // multiplexes live sessions. `bench.rs` (a harness that may
+            // panic on setup failure) is deliberately out of scope.
+            LintId::PanicFreedom => &[
+                "crates/serve/src/server.rs",
+                "crates/serve/src/protocol.rs",
+                "crates/serve/src/client.rs",
+            ],
+        }
+    }
+
+    /// True when the lint applies to `rel_path` (repo-relative,
+    /// `/`-separated).
+    pub fn applies_to(self, rel_path: &str) -> bool {
+        let scope = self.path_scope();
+        scope.is_empty() || scope.iter().any(|p| rel_path.starts_with(p))
+    }
+}
+
+/// One positioned diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: LintId,
+    /// Repo-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and how to fix it.
+    pub message: String,
+    /// The trimmed source line, for display and allowlist matching.
+    pub source_line: String,
+}
+
+impl Finding {
+    /// `file:line:col: lint: message` — the human diagnostic form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}\n    {}",
+            self.file,
+            self.line,
+            self.col,
+            self.lint.name(),
+            self.message,
+            self.source_line
+        )
+    }
+}
+
+/// Tokenized file plus derived masks, shared by every lint pass.
+struct FileCtx<'a> {
+    rel_path: &'a str,
+    toks: Vec<Tok>,
+    /// True for tokens inside `#[cfg(test)]` scopes.
+    test: Vec<bool>,
+    lines: Vec<&'a str>,
+}
+
+impl FileCtx<'_> {
+    fn finding(&self, lint: LintId, at: &Tok, message: String) -> Finding {
+        Finding {
+            lint,
+            file: self.rel_path.to_string(),
+            line: at.line,
+            col: at.col,
+            message,
+            source_line: self
+                .lines
+                .get(at.line as usize - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(|t| match t.kind {
+            TokKind::Ident => Some(t.text.as_str()),
+            _ => None,
+        })
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+}
+
+/// Runs `lints` over one source file. `rel_path` is used for scoping
+/// messages only — callers (the fixture tests) may force lints a path
+/// would not normally select; [`crate::analyze_workspace`] passes each
+/// lint only where [`LintId::applies_to`] holds.
+pub fn lint_source(rel_path: &str, src: &str, lints: &[LintId]) -> Vec<Finding> {
+    let toks = tokenize(src);
+    let test = test_mask(&toks);
+    let ctx = FileCtx {
+        rel_path,
+        toks,
+        test,
+        lines: src.lines().collect(),
+    };
+    let mut findings = Vec::new();
+    for &lint in lints {
+        match lint {
+            LintId::LockScope => lock_scope(&ctx, &mut findings),
+            LintId::Determinism => determinism(&ctx, &mut findings),
+            LintId::WallClock => wall_clock(&ctx, &mut findings),
+            LintId::PanicFreedom => panic_freedom(&ctx, &mut findings),
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.lint));
+    findings
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated `mod`/`fn` body.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            // Any `test` ident inside the cfg(...) parens counts
+            // (`cfg(test)`, `cfg(all(test, …))`).
+            let close = match matching(toks, i + 3, '(', ')') {
+                Some(c) => c,
+                None => break,
+            };
+            let gates_test = toks[i + 4..close]
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("doctest"));
+            if gates_test {
+                // Skip the next item's body if it is a mod or fn: find
+                // the first `{` or `;` after the attribute.
+                let mut j = close + 1;
+                let mut is_item = false;
+                while j < toks.len() {
+                    if toks[j].is_ident("mod") || toks[j].is_ident("fn") {
+                        is_item = true;
+                    }
+                    if toks[j].is_punct('{') || toks[j].is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if is_item && j < toks.len() && toks[j].is_punct('{') {
+                    if let Some(end) = matching(toks, j, '{', '}') {
+                        for m in &mut mask[i..=end] {
+                            *m = true;
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the punct matching the opener at `open` (which must hold
+/// `open_c`), or `None` when unbalanced.
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------
+
+fn wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        if ctx.toks[i].is_ident("Instant")
+            && ctx.punct(i + 1, ':')
+            && ctx.punct(i + 2, ':')
+            && ctx.ident(i + 3) == Some("now")
+        {
+            out.push(
+                ctx.finding(
+                    LintId::WallClock,
+                    &ctx.toks[i],
+                    "`Instant::now` in an OAE-affecting crate: simulated time must come \
+                 from the event stream and seed, never the host clock"
+                        .to_string(),
+                ),
+            );
+        }
+        if ctx.toks[i].is_ident("SystemTime") {
+            out.push(
+                ctx.finding(
+                    LintId::WallClock,
+                    &ctx.toks[i],
+                    "`SystemTime` in an OAE-affecting crate: wall-clock reads make \
+                 output machine-dependent"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-freedom
+// ---------------------------------------------------------------------
+
+/// Identifier-position keywords that can precede `[` without it being an
+/// index expression (slice patterns, array types, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "while", "match", "return", "break", "else", "move", "dyn",
+    "for", "as", "where", "pub", "use", "const", "static", "crate", "fn", "enum", "struct", "type",
+    "impl", "mod", "unsafe", "await", "yield", "box",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn panic_freedom(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        let t = &ctx.toks[i];
+        // `.unwrap()` / `.expect(`
+        if t.is_punct('.') {
+            if let Some(m) = ctx.ident(i + 1) {
+                if (m == "unwrap" || m == "expect") && ctx.punct(i + 2, '(') {
+                    out.push(ctx.finding(
+                        LintId::PanicFreedom,
+                        &ctx.toks[i + 1],
+                        format!(
+                            "`.{m}()` can panic in a request/decode path — return a \
+                             positioned error (Error frame / Err) instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        // panic!-family macros (debug_assert* is a distinct ident and
+        // deliberately allowed: it compiles out of release builds).
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && ctx.punct(i + 1, '!')
+        {
+            out.push(ctx.finding(
+                LintId::PanicFreedom,
+                t,
+                format!(
+                    "`{}!` panics in a request/decode path — handle the case and \
+                     answer an Error frame instead",
+                    t.text
+                ),
+            ));
+        }
+        // Unchecked (non-range) indexing: `expr[index]`. Range slicing
+        // (`buf[..n]`) is out of scope — it is reviewed manually because
+        // most sites bounds-check first and a token scan cannot see that.
+        if t.is_punct('[') && i > 0 {
+            let prev = &ctx.toks[i - 1];
+            let indexable = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if indexable {
+                if let Some(close) = matching(&ctx.toks, i, '[', ']') {
+                    let mut depth = 0usize;
+                    let mut has_range = false;
+                    let mut k = i + 1;
+                    while k < close {
+                        let c = &ctx.toks[k];
+                        if c.is_punct('(') || c.is_punct('[') || c.is_punct('{') {
+                            depth += 1;
+                        } else if c.is_punct(')') || c.is_punct(']') || c.is_punct('}') {
+                            depth = depth.saturating_sub(1);
+                        } else if depth == 0
+                            && c.is_punct('.')
+                            && ctx.toks.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                        {
+                            has_range = true;
+                        }
+                        k += 1;
+                    }
+                    if !has_range && close > i + 1 {
+                        out.push(
+                            ctx.finding(
+                                LintId::PanicFreedom,
+                                t,
+                                "unchecked indexing can panic in a request/decode path — \
+                             use `.get()` and handle the miss"
+                                    .to_string(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    // Pass 1: names whose declared type or initializer involves a
+    // hash-ordered collection — struct fields / params (`name: HashMap<…>`
+    // possibly wrapped in Mutex/Arc/…) and let bindings whose statement
+    // mentions HashMap/HashSet.
+    let mut names: Vec<String> = Vec::new();
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        // `name :` (not `::` on either side) followed by a type window
+        // containing a hash type before a depth-0 terminator.
+        if let Some(name) = ctx.ident(i) {
+            let ascription = ctx.punct(i + 1, ':')
+                && !ctx.punct(i + 2, ':')
+                && !(i >= 1 && ctx.punct(i - 1, ':'));
+            if ascription {
+                let mut depth = 0i32;
+                let mut k = i + 2;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.is_punct('<') || t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct('>') || t.is_punct(')') {
+                        if t.is_punct(')') && depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if depth <= 0
+                        && (t.is_punct(',')
+                            || t.is_punct(';')
+                            || t.is_punct('{')
+                            || t.is_punct('}')
+                            || t.is_punct('='))
+                    {
+                        break;
+                    } else if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                        names.push(name.to_string());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // `let [mut] name = … HashMap/HashSet … ;`
+        if toks[i].is_ident("let") {
+            let mut k = i + 1;
+            if ctx.ident(k) == Some("mut") {
+                k += 1;
+            }
+            if let Some(name) = ctx.ident(k) {
+                let mut depth = 0i32;
+                let mut j = k + 1;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        break;
+                    } else if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                        names.push(name.to_string());
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+
+    // Pass 2: iteration over any collected name.
+    let mut lines_flagged: Vec<u32> = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        // `name.iter()` etc.
+        if let Some(name) = ctx.ident(i) {
+            if names.iter().any(|n| n == name)
+                && ctx.punct(i + 1, '.')
+                && ctx.ident(i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+                && ctx.punct(i + 3, '(')
+                && !lines_flagged.contains(&toks[i].line)
+            {
+                lines_flagged.push(toks[i].line);
+                out.push(ctx.finding(
+                    LintId::Determinism,
+                    &ctx.toks[i],
+                    format!(
+                        "iteration over hash-ordered `{name}` — order varies across \
+                         runs; use BTreeMap/BTreeSet or collect-and-sort before \
+                         anything serialized or user-visible"
+                    ),
+                ));
+            }
+        }
+        // `for … in <expr containing a hash name> {`
+        if toks[i].is_ident("for") {
+            let mut depth = 0i32;
+            let mut in_at = None;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_ident("in") {
+                    in_at = Some(j);
+                    break;
+                } else if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = in_at {
+                let mut j = start + 1;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct('{') && depth == 0 {
+                        break;
+                    } else if t.kind == TokKind::Ident
+                        && names.iter().any(|n| n == &t.text)
+                        && !lines_flagged.contains(&toks[i].line)
+                    {
+                        lines_flagged.push(toks[i].line);
+                        out.push(ctx.finding(
+                            LintId::Determinism,
+                            &ctx.toks[i],
+                            format!(
+                                "`for` loop over hash-ordered `{}` — order varies \
+                                 across runs; use BTreeMap/BTreeSet or sort first",
+                                t.text
+                            ),
+                        ));
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-scope
+// ---------------------------------------------------------------------
+
+/// Methods that block (I/O, joins, sleeps) and must not run while a lock
+/// guard is live. `send` is deliberately absent: `mpsc::Sender::send`
+/// never blocks, and queue-under-lock is exactly the pattern the serve
+/// daemon uses to stay safe.
+const BLOCKING_METHODS: &[&str] = &[
+    "write_all",
+    "write_fmt",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_until",
+    "read_line",
+    "flush",
+    "accept",
+    "connect",
+    "join",
+    "recv",
+    "recv_timeout",
+    "sleep",
+];
+
+/// Chain methods that pass a `.lock()` result through unchanged, so a
+/// `let` binding whose initializer ends in them binds the guard itself.
+const GUARD_PASSTHROUGH: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "map_err",
+    "ok",
+    "unwrap_or",
+    "unwrap_or_default",
+];
+
+struct Guard {
+    name: String,
+    line: u32,
+    depth: usize,
+}
+
+fn lock_scope(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    // A `.lock()` temporary live inside the current statement/expression
+    // (covers chains and `match x.lock() { … }` without a binding); holds
+    // the brace depth at acquisition.
+    let mut temp_lock: Option<usize> = None;
+    let mut pending: Vec<(usize, Guard)> = Vec::new(); // activate after stmt end
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            if temp_lock.is_some_and(|d| depth <= d) {
+                temp_lock = None;
+            }
+        } else if t.is_punct(';') && temp_lock.is_some_and(|d| depth <= d) {
+            temp_lock = None;
+        }
+        // Activate guards whose binding statement has ended.
+        pending.retain_mut(|(at, g)| {
+            if i >= *at {
+                guards.push(Guard {
+                    name: std::mem::take(&mut g.name),
+                    line: g.line,
+                    depth: g.depth,
+                });
+                false
+            } else {
+                true
+            }
+        });
+
+        if ctx.test[i] {
+            i += 1;
+            continue;
+        }
+
+        // `drop(name)` releases a tracked guard early.
+        if t.is_ident("drop") && ctx.punct(i + 1, '(') {
+            if let Some(name) = ctx.ident(i + 2) {
+                if ctx.punct(i + 3, ')') {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+        }
+
+        // `let …` — may bind a guard.
+        if t.is_ident("let") {
+            if let Some((name, is_guard, end)) = let_binding(ctx, i) {
+                // Shadowing rebinds the name; the old guard (if any) is
+                // released when its value is overwritten.
+                guards.retain(|g| g.name != name);
+                if is_guard {
+                    pending.push((
+                        end + 1,
+                        Guard {
+                            name,
+                            line: t.line,
+                            depth,
+                        },
+                    ));
+                }
+            }
+        }
+
+        // `.lock()` temporary (chained use, match scrutinee, …).
+        if t.is_punct('.')
+            && ctx.ident(i + 1) == Some("lock")
+            && ctx.punct(i + 2, '(')
+            && temp_lock.is_none()
+        {
+            temp_lock = Some(depth);
+        }
+
+        // A blocking call while any guard or lock temporary is live.
+        let blocking = (t.is_punct('.') || (t.is_punct(':') && i > 0 && ctx.punct(i - 1, ':')))
+            && ctx
+                .ident(i + 1)
+                .is_some_and(|m| BLOCKING_METHODS.contains(&m))
+            && ctx.punct(i + 2, '(');
+        if blocking {
+            let method = ctx.ident(i + 1).unwrap_or_default();
+            if let Some(g) = guards.last() {
+                out.push(ctx.finding(
+                    LintId::LockScope,
+                    &ctx.toks[i + 1],
+                    format!(
+                        "blocking call `{method}()` while lock guard `{}` (acquired \
+                         line {}) is live — queue the work under the lock and perform \
+                         I/O after releasing it (drop({}) first)",
+                        g.name, g.line, g.name
+                    ),
+                ));
+            } else if temp_lock.is_some() {
+                out.push(ctx.finding(
+                    LintId::LockScope,
+                    &ctx.toks[i + 1],
+                    format!(
+                        "blocking call `{method}()` chained on a live `.lock()` \
+                         temporary — the guard is held across the I/O; bind it, copy \
+                         what you need, release, then block"
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses the `let` statement starting at `li`: returns the bound name,
+/// whether the initializer binds a lock guard (`.lock()` followed only by
+/// pass-through methods / `?` / `else {…}` up to `;`), and the index of
+/// the terminating `;`.
+fn let_binding(ctx: &FileCtx<'_>, li: usize) -> Option<(String, bool, usize)> {
+    let toks = &ctx.toks;
+    let mut k = li + 1;
+    if ctx.ident(k) == Some("mut") {
+        k += 1;
+    }
+    // `let Ok(mut g) = …` / `let Some(g) = …` destructure the guard out.
+    let mut destructured = false;
+    if matches!(ctx.ident(k), Some("Ok" | "Some")) && ctx.punct(k + 1, '(') {
+        destructured = true;
+        k += 2;
+        if ctx.ident(k) == Some("mut") {
+            k += 1;
+        }
+    }
+    let name = ctx.ident(k)?.to_string();
+    if name == "_" {
+        return None;
+    }
+    if destructured && ctx.punct(k + 1, ')') {
+        k += 1;
+    }
+
+    // Scan the statement, brace/paren aware, for a `.lock()` in the
+    // initializer itself (depth 0 — a lock taken inside a nested block
+    // or call argument does not outlive that subexpression) and for the
+    // statement end.
+    let mut depth = 0i32;
+    let mut j = k + 1;
+    let mut lock_close: Option<usize> = None;
+    let end = loop {
+        let t = toks.get(j)?;
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                break j; // unbalanced: treat as statement end
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            break j;
+        } else if depth == 0
+            && t.is_punct('.')
+            && ctx.ident(j + 1) == Some("lock")
+            && ctx.punct(j + 2, '(')
+            && lock_close.is_none()
+        {
+            lock_close = matching(toks, j + 2, '(', ')');
+        }
+        j += 1;
+    };
+
+    let Some(mut j) = lock_close.map(|c| c + 1) else {
+        return Some((name, false, end));
+    };
+    // Guard-ness: only pass-through tokens may follow the `.lock()`.
+    let is_guard = loop {
+        if j >= end {
+            break true;
+        }
+        let t = &toks[j];
+        if t.is_punct('?') {
+            j += 1;
+        } else if t.is_punct('.')
+            && ctx
+                .ident(j + 1)
+                .is_some_and(|m| GUARD_PASSTHROUGH.contains(&m))
+            && ctx.punct(j + 2, '(')
+        {
+            match matching(toks, j + 2, '(', ')') {
+                Some(c) => j = c + 1,
+                None => break false,
+            }
+        } else if t.is_ident("else") && ctx.punct(j + 1, '{') {
+            match matching(toks, j + 1, '{', '}') {
+                Some(c) => j = c + 1,
+                None => break false,
+            }
+        } else if t.is_punct(';') {
+            break true;
+        } else {
+            break false;
+        }
+    };
+    Some((name, is_guard, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lint: LintId, src: &str) -> Vec<Finding> {
+        lint_source("test.rs", src, &[lint])
+    }
+
+    #[test]
+    fn wall_clock_fires_on_instant_now_and_system_time() {
+        let f = run(
+            LintId::WallClock,
+            "fn decode() { let t = Instant::now(); let s = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        let clean = run(
+            LintId::WallClock,
+            "fn decode(branches: u64) -> u64 { branches }",
+        );
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_catches_the_catalog() {
+        let src = r#"
+fn handle(v: &[u8]) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.first().expect("nonempty");
+    if v.is_empty() { panic!("empty"); }
+    v[0]
+}
+"#;
+        let f = run(LintId::PanicFreedom, src);
+        let kinds: Vec<&str> = f
+            .iter()
+            .map(|f| f.message.split_whitespace().next().unwrap())
+            .collect();
+        assert_eq!(f.len(), 4, "{kinds:?}");
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+        assert_eq!(f[2].line, 5);
+        assert_eq!(f[3].line, 6, "indexing");
+    }
+
+    #[test]
+    fn panic_freedom_allows_ranges_types_and_tests() {
+        let src = r#"
+fn ok(v: &[u8], n: usize) -> &[u8] {
+    let _arr: [u8; 8] = [0; 8];
+    let _d = v.first().unwrap_or(&0);
+    debug_assert!(n <= v.len());
+    &v[..n]
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let v = vec![1]; assert_eq!(v[0], v.first().unwrap().clone()); }
+}
+"#;
+        let f = run(LintId::PanicFreedom, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_sees_fields_lets_and_for_loops() {
+        let src = r#"
+struct S { entities: HashMap<u32, u64> }
+impl S {
+    fn report(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.entities.iter() { out.push_str(&format!("{k}={v}")); }
+        out
+    }
+}
+fn f() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1);
+    for s in &seen { println!("{s}"); }
+}
+"#;
+        let f = run(LintId::Determinism, src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 6);
+        assert_eq!(f[1].line, 13);
+    }
+
+    #[test]
+    fn determinism_is_quiet_on_btree_and_point_lookups() {
+        let src = r#"
+struct S { entities: BTreeMap<u32, u64>, index: HashMap<u32, u64> }
+impl S {
+    fn get(&self, k: u32) -> Option<&u64> { self.index.get(&k) }
+    fn report(&self) -> Vec<u64> { self.entities.values().copied().collect() }
+}
+"#;
+        let f = run(LintId::Determinism, src);
+        assert!(
+            f.is_empty(),
+            "point lookups and BTreeMap iteration are fine: {f:?}"
+        );
+    }
+
+    #[test]
+    fn lock_scope_catches_guard_and_chain_blocking() {
+        let src = r#"
+fn bad(state: &std::sync::Mutex<Vec<u8>>, sock: &mut std::net::TcpStream) {
+    let mut st = state.lock().unwrap();
+    st.push(1);
+    sock.write_all(&st).unwrap();
+}
+fn bad_chain(inner: &Inner, wire: &[u8]) {
+    inner.writer.lock().unwrap().write_all(wire).unwrap();
+}
+"#;
+        let f = run(LintId::LockScope, src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("`st`"), "{}", f[0].message);
+        assert_eq!(f[1].line, 8);
+    }
+
+    #[test]
+    fn lock_scope_respects_drop_scope_end_and_temporaries() {
+        let src = r#"
+fn ok(state: &std::sync::Mutex<Vec<u8>>, sock: &mut std::net::TcpStream) {
+    let queued = {
+        let mut st = state.lock().unwrap();
+        st.push(1);
+        st.clone()
+    };
+    sock.write_all(&queued).unwrap();
+}
+fn ok_drop(state: &std::sync::Mutex<Vec<u8>>, sock: &mut std::net::TcpStream) {
+    let mut st = state.lock().unwrap();
+    st.push(1);
+    drop(st);
+    sock.write_all(&[1]).unwrap();
+}
+fn ok_temp_value(state: &std::sync::Mutex<Vec<u8>>) {
+    let over = state.lock().unwrap().len() > 4;
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _ = over;
+}
+"#;
+        let f = run(LintId::LockScope, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_scope_sees_match_scrutinee_temporaries() {
+        let src = r#"
+fn bad(q: &std::sync::Mutex<Vec<Vec<u8>>>, sock: &mut std::net::TcpStream) {
+    match q.lock() {
+        Ok(mut g) => { sock.write_all(&g.pop().unwrap()).unwrap(); }
+        Err(_) => {}
+    }
+    sock.flush().unwrap();
+}
+"#;
+        let f = run(LintId::LockScope, src);
+        // write_all under the scrutinee temporary fires; the flush after
+        // the match (guard dead) must not.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for l in LintId::ALL {
+            assert_eq!(LintId::from_name(l.name()), Some(*l));
+            assert!(!l.summary().is_empty() && !l.rationale().is_empty());
+        }
+        assert_eq!(LintId::from_name("nope"), None);
+    }
+}

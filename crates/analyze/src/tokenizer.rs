@@ -1,0 +1,350 @@
+//! A lightweight Rust tokenizer: enough lexical fidelity for source-level
+//! lints, nothing more.
+//!
+//! The lexer understands everything that could make a naive text scan lie
+//! about code — line and (nested) block comments, string / raw-string /
+//! byte-string / char literals, lifetimes vs. char literals — and reduces
+//! the rest to identifiers, numbers and single-character punctuation,
+//! each carrying its 1-based line and column. It deliberately does *not*
+//! build a syntax tree: the lints in [`crate::lints`] pattern-match token
+//! windows and track brace depth themselves, which keeps the whole engine
+//! dependency-free and fast enough to run on every file of the workspace
+//! in CI.
+
+/// What a token is. Literal payloads are not kept — no lint needs to see
+/// inside a string, only to know it is one (so `"unwrap()"` in a message
+/// never fires the panic-freedom lint).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// One punctuation character (`.`, `{`, `!`, …). Multi-character
+    /// operators arrive as consecutive tokens (`::` is two `:`).
+    Punct(char),
+    /// A string / raw-string / byte-string literal.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal (integers, floats, and their suffixes).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The identifier text; empty for every other kind.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes Rust source. Malformed input (unterminated strings or
+/// comments) does not error: the lexer consumes to end of input, which is
+/// the right degradation for a linter — the compiler owns syntax errors.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances over `n` characters, maintaining line/col.
+    macro_rules! advance {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let next = chars.get(i + 1).copied();
+
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Comments (doc comments included — they are comments to a lint).
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                advance!(1);
+            }
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            advance!(2);
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    advance!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            continue;
+        }
+
+        // Raw strings: r"…", r#"…"#, br#"…"# — find the matching quote
+        // with the same hash count.
+        let raw_prefix = match (c, next) {
+            ('r', Some('"' | '#')) => Some(1),
+            ('b', Some('r')) if matches!(chars.get(i + 2), Some('"' | '#')) => Some(2),
+            _ => None,
+        };
+        if let Some(skip) = raw_prefix {
+            advance!(skip);
+            let mut hashes = 0usize;
+            while chars.get(i) == Some(&'#') {
+                hashes += 1;
+                advance!(1);
+            }
+            if chars.get(i) == Some(&'"') {
+                advance!(1);
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            advance!(1 + hashes);
+                            break 'raw;
+                        }
+                    }
+                    advance!(1);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // `r#ident` (raw identifier) or a lone `r`/`b` — fall through
+            // by emitting the consumed prefix as an identifier start.
+            let mut text = String::from(if skip == 2 { "br" } else { "r" });
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                advance!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && next == Some('"')) {
+            advance!(if c == 'b' { 2 } else { 1 });
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => advance!(2),
+                    '"' => {
+                        advance!(1);
+                        break;
+                    }
+                    _ => advance!(1),
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Lifetime vs. char literal: `'a` / `'static` are lifetimes when
+        // not closed by a quote; `'x'`, `'\n'` are chars.
+        if c == '\'' {
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if n.is_alphanumeric() || n == '_' => chars.get(i + 2) == Some(&'\''),
+                Some(_) => true, // e.g. '(' … punctuation chars
+                None => true,
+            };
+            if is_char {
+                advance!(1);
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => advance!(2),
+                        '\'' => {
+                            advance!(1);
+                            break;
+                        }
+                        _ => advance!(1),
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                advance!(1);
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    advance!(1);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numbers. A `.` is part of the number only when a digit follows
+        // (so `0..10` lexes as `0`, `.`, `.`, `10`).
+        if c.is_ascii_digit() {
+            advance!(1);
+            while i < chars.len() {
+                let d = chars[i];
+                let in_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit));
+                if !in_number {
+                    break;
+                }
+                advance!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                advance!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line: tline,
+            col: tcol,
+        });
+        advance!(1);
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r####"
+            // unwrap in a line comment
+            /* unwrap in /* a nested */ block */
+            let a = "unwrap() in a string";
+            let b = r#"unwrap in a raw "string""#;
+            let c = b"unwrap bytes";
+            real_ident();
+        "####;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = tokenize("&x[0..10]");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..10 must lex the range dots separately");
+        let toks = tokenize("let f = 1.5e-9;");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 0, "float literals keep their dot");
+    }
+
+    #[test]
+    fn unterminated_input_terminates() {
+        // Degenerate inputs must not hang or panic.
+        for src in ["\"abc", "/* open", "r#\"open", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Hash-ordered iteration feeding serialized output: the rendered report
+//! changes from run to run. The `determinism` lint must fire on both the
+//! method iteration and the `for` loop.
+
+use std::collections::{HashMap, HashSet};
+
+struct Report {
+    per_session: HashMap<u64, f64>,
+}
+
+impl Report {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, oae) in self.per_session.iter() {
+            out.push_str(&format!("session {id}: oae {oae}\n"));
+        }
+        out
+    }
+}
+
+fn seen_lines(ids: &[u64]) -> String {
+    let mut seen = HashSet::new();
+    for id in ids {
+        seen.insert(*id);
+    }
+    let mut out = String::new();
+    for id in &seen {
+        out.push_str(&format!("{id}\n"));
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! The fixed twin of `determinism_bad.rs`: ordered maps where iteration
+//! reaches output, and hash maps kept for point lookups only. The
+//! `determinism` lint must stay quiet.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+struct Report {
+    per_session: BTreeMap<u64, f64>,
+    index: HashMap<u64, usize>,
+}
+
+impl Report {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, oae) in self.per_session.iter() {
+            out.push_str(&format!("session {id}: oae {oae}\n"));
+        }
+        out
+    }
+
+    fn lookup(&self, id: u64) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+}
+
+fn seen_lines(ids: &[u64]) -> String {
+    let seen: BTreeSet<u64> = ids.iter().copied().collect();
+    let mut out = String::new();
+    for id in &seen {
+        out.push_str(&format!("{id}\n"));
+    }
+    out
+}

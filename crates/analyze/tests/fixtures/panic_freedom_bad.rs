@@ -1,0 +1,14 @@
+//! Panicking constructs in a request/decode path: any of these kills a
+//! worker or reader thread on malformed input. The `panic-freedom` lint
+//! must fire on the unwrap, the expect, the panic! and the unchecked
+//! index.
+
+fn decode(body: &[u8]) -> (u8, u64) {
+    let tag = body.first().unwrap();
+    let len = body.get(1).expect("length byte");
+    if *len == 0 {
+        panic!("empty payload");
+    }
+    let first = body[2];
+    (*tag, u64::from(first) + u64::from(*len))
+}

@@ -1,0 +1,32 @@
+//! The fixed twin of `panic_freedom_bad.rs`: every malformed shape
+//! becomes an `Err` the caller can answer with a positioned Error frame.
+//! The `panic-freedom` lint must stay quiet (range slicing on checked
+//! bounds and `debug_assert!` are allowed).
+
+fn decode(body: &[u8]) -> Result<(u8, u64), String> {
+    let Some(tag) = body.first() else {
+        return Err("empty frame".to_string());
+    };
+    let Some(len) = body.get(1) else {
+        return Err("missing length byte".to_string());
+    };
+    if *len == 0 {
+        return Err("empty payload".to_string());
+    }
+    let Some(first) = body.get(2) else {
+        return Err("truncated payload".to_string());
+    };
+    debug_assert!(body.len() >= 3);
+    let _rest = &body[..3];
+    Ok((*tag, u64::from(*first) + u64::from(*len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::decode;
+
+    #[test]
+    fn tests_may_unwrap_freely() {
+        assert_eq!(decode(&[7, 2, 5]).unwrap(), (7, 7));
+    }
+}

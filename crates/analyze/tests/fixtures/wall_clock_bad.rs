@@ -1,0 +1,22 @@
+//! Host-clock reads inside simulation code: results become a function of
+//! the machine, not the event stream. The `wall-clock` lint must fire on
+//! both the `Instant::now` and the `SystemTime` use.
+
+use std::time::{Instant, SystemTime};
+
+struct Window {
+    started: Instant,
+}
+
+fn open_window() -> Window {
+    Window {
+        started: Instant::now(),
+    }
+}
+
+fn stamp() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,17 @@
+//! The fixed twin of `wall_clock_bad.rs`: simulated time is carried by
+//! the event stream (branch counts), never read from the host clock.
+//! The `wall-clock` lint must stay quiet.
+
+struct Window {
+    started_branch: u64,
+}
+
+fn open_window(branch: u64) -> Window {
+    Window {
+        started_branch: branch,
+    }
+}
+
+fn stamp(branches_retired: u64) -> u64 {
+    branches_retired
+}

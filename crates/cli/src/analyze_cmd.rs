@@ -1,0 +1,96 @@
+//! `stbpu analyze` — the workspace static-analysis gate.
+//!
+//! Thin CLI shell over [`stbpu_analyze`]: resolve the workspace root,
+//! load the allowlist, run every lint over every crate's `src/` tree and
+//! render the report. Exit code 0 means clean (stale allowlist entries
+//! warn but do not fail); any non-allowlisted finding exits 1 with
+//! positioned diagnostics, which is what makes the CI step a hard gate.
+
+use crate::args::Args;
+use crate::Failure;
+use stbpu_analyze::{analyze_workspace, find_workspace_root, Allowlist, LintId};
+use std::path::PathBuf;
+
+pub fn run(rest: &[String]) -> Result<(), Failure> {
+    let mut a = Args::new(rest);
+    let list_lints = a.flag("--list-lints");
+    let format = a.opt("--format")?.unwrap_or_else(|| "human".to_string());
+    let root = a.opt("--root")?;
+    let allow_flag = a.opt("--allowlist")?;
+    let out = a.opt("--out")?;
+    a.finish_empty()?;
+
+    if list_lints {
+        println!("lints ({}):", LintId::ALL.len());
+        for l in LintId::ALL {
+            println!("  {:<14} {}", l.name(), l.summary());
+            println!("  {:<14}   why: {}", "", l.rationale());
+            let scope = l.path_scope();
+            if scope.is_empty() {
+                println!("  {:<14}   scope: every analyzed file", "");
+            } else {
+                println!("  {:<14}   scope: {}", "", scope.join(", "));
+            }
+        }
+        return Ok(());
+    }
+
+    if format != "human" && format != "json" {
+        return Err(Failure::Usage(format!(
+            "unknown format '{format}' (human|json)"
+        )));
+    }
+
+    let root = match root {
+        Some(r) => {
+            let p = PathBuf::from(r);
+            if !p.join("Cargo.toml").is_file() {
+                return Err(Failure::Usage(format!(
+                    "--root {}: no Cargo.toml there",
+                    p.display()
+                )));
+            }
+            p
+        }
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| {
+                Failure::Runtime(format!("cannot determine working directory: {e}"))
+            })?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                Failure::Usage(
+                    "no workspace root found above the working directory; \
+                     run from inside the repo or pass --root"
+                        .to_string(),
+                )
+            })?
+        }
+    };
+
+    let allow_path = allow_flag
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("ci").join("analyze-allow.toml"));
+    let allow = Allowlist::load(&allow_path).map_err(Failure::Runtime)?;
+
+    let report = analyze_workspace(&root, &allow).map_err(Failure::Runtime)?;
+
+    let rendered = match format.as_str() {
+        "json" => report.render_json(),
+        _ => report.render_human(),
+    };
+    match out {
+        Some(path) => std::fs::write(&path, &rendered)
+            .map_err(|e| Failure::Runtime(format!("write {path}: {e}")))?,
+        None => print!("{rendered}"),
+    }
+
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Failure::Runtime(format!(
+            "{} non-allowlisted finding{} (allowlist: {})",
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" },
+            allow_path.display()
+        )))
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze_cmd;
 pub mod args;
 mod attack;
 mod bench_cmd;
@@ -168,6 +169,7 @@ pub fn run(argv: &[String]) -> i32 {
         "figures" => figures_cmd::run(rest),
         "bench" => bench_cmd::run(rest),
         "serve" => serve_cmd::run(rest),
+        "analyze" => analyze_cmd::run(rest),
         "list" => list(rest),
         other => {
             eprintln!(

@@ -49,8 +49,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     a.finish_empty()?;
     if max_sessions == 0 || idle_ms == 0 || write_timeout_ms == 0 {
         return Err(Failure::Usage(
-            "--max-sessions, --idle-timeout-ms and --write-timeout-ms must be positive"
-                .to_string(),
+            "--max-sessions, --idle-timeout-ms and --write-timeout-ms must be positive".to_string(),
         ));
     }
     // Below one max-size frame every chunk is an instant quota kill and

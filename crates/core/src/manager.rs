@@ -5,7 +5,7 @@ use crate::config::StConfig;
 use crate::token::SecretToken;
 use rand::SeedableRng;
 use stbpu_bpu::EntityId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The monitoring MSRs of one software entity: countdown registers
 /// initialised to their thresholds; an observed event decrements the
@@ -60,9 +60,11 @@ struct EntityState {
 pub struct TokenManager {
     cfg: StConfig,
     rng: rand::rngs::StdRng,
-    entities: HashMap<EntityId, EntityState>,
+    // BTreeMaps so any future iteration over the tables is ordered —
+    // token state feeds OAE-gated output downstream.
+    entities: BTreeMap<EntityId, EntityState>,
     /// Selective history sharing: alias → canonical entity (Section IV-A).
-    aliases: HashMap<EntityId, EntityId>,
+    aliases: BTreeMap<EntityId, EntityId>,
     rerandomizations: u64,
     generations: u64,
 }
@@ -73,8 +75,8 @@ impl TokenManager {
         TokenManager {
             cfg,
             rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x57_42_50_55),
-            entities: HashMap::new(),
-            aliases: HashMap::new(),
+            entities: BTreeMap::new(),
+            aliases: BTreeMap::new(),
             rerandomizations: 0,
             generations: 0,
         }

@@ -11,8 +11,8 @@ use crate::protocol::{ClientMsg, ErrorCode, FrameReader, Hello, ServerMsg, WireR
 use stbpu_sim::IntervalWindow;
 use stbpu_trace::binfmt::BinTraceWriter;
 use stbpu_trace::TraceEvent;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -63,9 +63,12 @@ impl From<io::Error> for ServeError {
 }
 
 /// State shared between the client, its handles, and the reader thread.
+/// `routes` is a `BTreeMap` because the reader broadcasts session-0
+/// errors by iterating it — delivery order must be deterministic (the
+/// determinism lint enforces this).
 struct Inner {
     writer: Mutex<TcpStream>,
-    routes: Mutex<HashMap<u64, Sender<ServerMsg>>>,
+    routes: Mutex<BTreeMap<u64, Sender<ServerMsg>>>,
 }
 
 impl Inner {
@@ -101,7 +104,7 @@ impl ServeClient {
         let read_half = stream.try_clone()?;
         let inner = Arc::new(Inner {
             writer: Mutex::new(writer),
-            routes: Mutex::new(HashMap::new()),
+            routes: Mutex::new(BTreeMap::new()),
         });
         let routes = Arc::clone(&inner);
         let reader = std::thread::spawn(move || reader_loop(read_half, &routes));

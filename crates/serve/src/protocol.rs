@@ -239,7 +239,10 @@ impl<'a> Cur<'a> {
         if end > self.data.len() {
             return Err(format!("truncated {what} (needs 8 bytes)"));
         }
-        let bits = u64::from_le_bytes(self.data[self.pos..end].try_into().expect("8 bytes"));
+        let bits = match self.data[self.pos..end].try_into() {
+            Ok(bytes) => u64::from_le_bytes(bytes),
+            Err(_) => return Err(format!("truncated {what} (needs 8 bytes)")),
+        };
         self.pos = end;
         Ok(f64::from_bits(bits))
     }

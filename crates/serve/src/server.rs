@@ -33,11 +33,11 @@ use stbpu_engine::{auto_protection, protection_from_str, ModelCore, ModelRegistr
 use stbpu_sim::{OwnedSession, SessionOptions, Warmup};
 use stbpu_trace::binfmt::RecordDecoder;
 use stbpu_trace::TraceEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -225,13 +225,22 @@ impl ConnWriter {
     }
 }
 
-/// Registry + run queue, under one lock.
+/// Registry + run queue, under one lock. Both maps are `BTreeMap` on
+/// purpose: the sweep and cleanup paths iterate them, and anything that
+/// iterates registry state must do so in a deterministic order (the
+/// determinism lint enforces this).
 struct State {
-    sessions: HashMap<Key, Slot>,
+    sessions: BTreeMap<Key, Slot>,
     ready: VecDeque<Key>,
-    conns: HashMap<u64, ConnInfo>,
+    conns: BTreeMap<u64, ConnInfo>,
 }
 
+/// Everything the threads share. Every acquisition of `state` recovers
+/// from poisoning via `unwrap_or_else(PoisonError::into_inner)` rather
+/// than unwrapping: a panicking thread elsewhere must degrade one
+/// session, not wedge the registry for every live connection — each path
+/// re-validates the slot it touches anyway. (The panic-freedom lint bans
+/// the `unwrap()` form in this file.)
 struct Shared {
     cfg: ServerConfig,
     registry: ModelRegistry,
@@ -286,9 +295,9 @@ pub fn spawn(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
         cfg,
         registry: ModelRegistry::standard(),
         state: Mutex::new(State {
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             ready: VecDeque::new(),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
         }),
         work: Condvar::new(),
         shutdown: AtomicBool::new(false),
@@ -340,7 +349,7 @@ fn sweep_idle(shared: &Shared) {
     let timeout = shared.cfg.idle_timeout;
     let mut writers = Vec::new();
     {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         let idle: Vec<Key> = st
             .sessions
             .iter()
@@ -406,14 +415,19 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
         return;
     }
     let writer = ConnWriter::new(clone);
-    shared.state.lock().unwrap().conns.insert(
-        conn_id,
-        ConnInfo {
-            buffered: 0,
-            sessions: 0,
-            paused: None,
-        },
-    );
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .conns
+        .insert(
+            conn_id,
+            ConnInfo {
+                buffered: 0,
+                sessions: 0,
+                paused: None,
+            },
+        );
 
     let mut stream = stream;
     let mut frames = FrameReader::new();
@@ -429,7 +443,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
             let over = shared
                 .state
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .conns
                 .get(&conn_id)
                 .is_some_and(|c| c.buffered >= shared.cfg.high_watermark());
@@ -477,7 +491,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
 
 /// Aborts every session a vanished connection still has in the registry.
 fn cleanup_conn(shared: &Shared, conn_id: u64) {
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     let keys: Vec<Key> = st
         .sessions
         .keys()
@@ -549,7 +563,7 @@ fn handle_hello(shared: &Shared, conn_id: u64, writer: &ConnWriter, h: Hello) {
     }
     // Look, decide, release — the reject frames go out lock-free below.
     let (duplicate, live) = {
-        let st = shared.state.lock().unwrap();
+        let st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         (
             st.sessions.contains_key(&(conn_id, h.session)),
             st.conns.get(&conn_id).map_or(0, |c| c.sessions),
@@ -594,7 +608,7 @@ fn handle_hello(shared: &Shared, conn_id: u64, writer: &ConnWriter, h: Hello) {
         Err(e) => return reject(ErrorCode::BadHello, e.to_string()),
     };
 
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     if !st.conns.contains_key(&conn_id) {
         return; // connection died while we built the model
     }
@@ -629,7 +643,7 @@ fn handle_hello(shared: &Shared, conn_id: u64, writer: &ConnWriter, h: Hello) {
 fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64, bytes: Vec<u8>) {
     let key = (conn_id, session);
     let len = bytes.len();
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     let refusal = match st.sessions.get(&key) {
         None => Some(format!("no live session {session} on this connection")),
         Some(slot) if slot.closing != Closing::No => {
@@ -662,7 +676,13 @@ fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64
         });
         return;
     }
-    let slot = st.sessions.get_mut(&key).expect("liveness checked above");
+    // Liveness was checked above and the lock has been held throughout,
+    // so the slot is present; the defensive return (instead of a panic
+    // that would kill this reader and every session it feeds) costs
+    // nothing on the happy path.
+    let Some(slot) = st.sessions.get_mut(&key) else {
+        return;
+    };
     slot.last_activity = Instant::now();
     slot.pending_bytes += len;
     slot.pending.push_back(bytes);
@@ -687,7 +707,7 @@ fn handle_chunk(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64
 /// Handles `Flush` (finish + report) and `Close` (silent abort).
 fn handle_end(shared: &Shared, conn_id: u64, writer: &ConnWriter, session: u64, how: Closing) {
     let key = (conn_id, session);
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(slot) = st.sessions.get_mut(&key) else {
         drop(st);
         writer.send(&ServerMsg::Error {
@@ -748,7 +768,7 @@ fn enqueue(st: &mut State, key: Key) {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let key = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -759,7 +779,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 let (guard, _) = shared
                     .work
                     .wait_timeout(st, Duration::from_millis(100))
-                    .unwrap();
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
             }
         };
@@ -773,7 +793,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn advance_session(shared: &Shared, key: Key) {
     // Check out.
     let (mut engine, chunks, closing, writer) = {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(slot) = st.sessions.get_mut(&key) else {
             return; // torn down while queued
         };
@@ -874,13 +894,14 @@ fn advance_session(shared: &Shared, key: Key) {
     }
 
     // Check back in (or honor an abort that landed while we worked).
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(slot) = st.sessions.get_mut(&key) else {
         return; // connection cleanup removed the slot; drop the engine
     };
     if closing == Closing::Abort || slot.closing == Closing::Abort {
-        let removed = st.sessions.remove(&key).expect("slot just found");
-        settle_removed(&mut st, key.0, &removed);
+        if let Some(removed) = st.sessions.remove(&key) {
+            settle_removed(&mut st, key.0, &removed);
+        }
         return;
     }
     slot.engine = Some(engine);
@@ -892,7 +913,7 @@ fn advance_session(shared: &Shared, key: Key) {
 
 /// Removes a finished/failed session and settles its connection's books.
 fn remove_session(shared: &Shared, key: Key) {
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(slot) = st.sessions.remove(&key) {
         settle_removed(&mut st, key.0, &slot);
     }
