@@ -117,22 +117,33 @@ impl LintId {
                 "crates/serve/src/",
                 "crates/core/src/",
             ],
-            // Crates on the OAE-affecting simulation path. Bench/CLI
-            // progress code lives outside these roots and may time freely.
+            // Crates on the OAE-affecting simulation path, plus the
+            // engine's shard/resume drivers whose outputs CI diffs
+            // byte-for-byte against sequential runs (timing belongs in
+            // the CLI bench layer). Bench/CLI progress code lives outside
+            // these roots and may time freely.
             LintId::WallClock => &[
                 "crates/bpu/src/",
                 "crates/remap/src/",
                 "crates/sim/src/",
                 "crates/trace/src/",
                 "crates/core/src/",
+                "crates/engine/src/shard.rs",
+                "crates/engine/src/resume.rs",
             ],
             // The daemon request/decode paths and the client library that
-            // multiplexes live sessions. `bench.rs` (a harness that may
-            // panic on setup failure) is deliberately out of scope.
+            // multiplexes live sessions, plus the checkpoint codecs: a
+            // truncated or corrupt .stck / completed.jsonl must decode to
+            // a positioned error, never a panic — a panic during grid
+            // resume would lose the completed work it exists to protect.
+            // `bench.rs` (a harness that may panic on setup failure) is
+            // deliberately out of scope.
             LintId::PanicFreedom => &[
                 "crates/serve/src/server.rs",
                 "crates/serve/src/protocol.rs",
                 "crates/serve/src/client.rs",
+                "crates/sim/src/checkpoint.rs",
+                "crates/engine/src/resume.rs",
             ],
         }
     }
@@ -1034,6 +1045,75 @@ fn bad(q: &std::sync::Mutex<Vec<Vec<u8>>>, sock: &mut std::net::TcpStream) {
         // the match (guard dead) must not.
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn checkpoint_paths_are_in_scope() {
+        // The checkpoint layer joined the lint surface in PR 8: the .stck
+        // and completed.jsonl codecs must stay panic-free, and the
+        // shard/resume drivers must stay wall-clock-free (their outputs
+        // are byte-diffed against sequential runs).
+        for path in [
+            "crates/sim/src/checkpoint.rs",
+            "crates/engine/src/resume.rs",
+        ] {
+            assert!(LintId::PanicFreedom.applies_to(path), "{path}");
+        }
+        for path in ["crates/engine/src/shard.rs", "crates/engine/src/resume.rs"] {
+            assert!(LintId::WallClock.applies_to(path), "{path}");
+        }
+        assert!(LintId::Determinism.applies_to("crates/sim/src/checkpoint.rs"));
+        // The CLI bench layer times on purpose and must stay out.
+        assert!(!LintId::WallClock.applies_to("crates/cli/src/bench_cmd.rs"));
+    }
+
+    #[test]
+    fn checkpoint_decode_bad_twin_fires_and_good_twin_is_clean() {
+        // Bad twin: a .stck-style decoder that panics on truncated or
+        // corrupt input instead of returning a positioned error.
+        let bad = r#"
+fn decode(data: &[u8]) -> (u16, u64) {
+    let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+    let seed = parse_varint(&data[8..]).expect("varint");
+    (version, seed)
+}
+"#;
+        let f = run(LintId::PanicFreedom, bad);
+        // Range indexing is out of the lint's scope (reviewed manually),
+        // so the unwrap and the expect are the two findings.
+        assert_eq!(f.len(), 2, "{f:?}");
+        // Good twin: every miss becomes an error value.
+        let good = r#"
+fn decode(data: &[u8]) -> Result<(u16, u64), CheckpointError> {
+    let v = data
+        .get(4..6)
+        .ok_or_else(|| CheckpointError::truncated(4))?;
+    let version = u16::from_le_bytes(v.try_into().map_err(|_| CheckpointError::truncated(4))?);
+    let rest = data.get(8..).ok_or_else(|| CheckpointError::truncated(8))?;
+    let seed = parse_varint(rest)?;
+    Ok((version, seed))
+}
+"#;
+        let f = run(LintId::PanicFreedom, good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn shard_driver_bad_twin_fires_on_wall_clock_reads() {
+        // Bad twin: timing inside the shard driver (timing belongs in the
+        // CLI bench layer, outside the byte-parity surface).
+        let bad = r#"
+fn run_segment(events: u64) -> f64 {
+    let start = std::time::Instant::now();
+    feed(events);
+    start.elapsed().as_secs_f64()
+}
+"#;
+        let f = run(LintId::WallClock, bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        let good = "fn run_segment(events: u64) -> u64 { feed(events); events }";
+        assert!(run(LintId::WallClock, good).is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! count them (Section IV-B) and eviction-based attacks are measured by
 //! them (Table I, Section VI).
 
+use crate::snap::{check_len, SnapError, StateReader, StateWriter};
+
 /// Geometry of a [`Btb`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BtbConfig {
@@ -235,6 +237,45 @@ impl Btb {
     /// Evictions of valid entries so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Serializes the complete BTB state (geometry guard, LRU clock,
+    /// statistics and every entry) for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.cfg.sets);
+        w.usize(self.cfg.ways);
+        w.u64(self.clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.evictions);
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u64(e.tag);
+            w.u8(e.offset);
+            w.u64(e.payload);
+            w.u64(e.lru);
+        }
+    }
+
+    /// Restores state saved by [`Btb::save_state`] into a BTB of identical
+    /// geometry.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let sets = r.usize()?;
+        check_len(r, "BTB sets", sets, self.cfg.sets)?;
+        let ways = r.usize()?;
+        check_len(r, "BTB ways", ways, self.cfg.ways)?;
+        self.clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.evictions = r.u64()?;
+        for e in &mut self.entries {
+            e.valid = r.bool()?;
+            e.tag = r.u64()?;
+            e.offset = r.u8()?;
+            e.payload = r.u64()?;
+            e.lru = r.u64()?;
+        }
+        Ok(())
     }
 }
 

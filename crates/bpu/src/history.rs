@@ -13,6 +13,7 @@
 
 use crate::addr::VirtAddr;
 use crate::rsb::Rsb;
+use crate::snap::{SnapError, StateReader, StateWriter};
 use crate::RSB_ENTRIES;
 
 /// GHR length used by the baseline two-level PHT mode (Table II, fn ④).
@@ -83,6 +84,20 @@ impl HistoryCtx {
         self.ghr = 0;
         self.bhb = 0;
         self.rsb.clear();
+    }
+
+    /// Serializes GHR, BHB and the RSB for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.ghr);
+        w.u64(self.bhb);
+        self.rsb.save_state(w);
+    }
+
+    /// Restores state saved by [`HistoryCtx::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.ghr = r.u64()?;
+        self.bhb = r.u64()?;
+        self.rsb.load_state(r)
     }
 }
 

@@ -45,6 +45,7 @@ mod map;
 mod model;
 mod pht;
 mod rsb;
+mod snap;
 mod stats;
 
 pub use addr::{EntityId, VirtAddr, VA_BITS, VA_MASK};
@@ -56,6 +57,7 @@ pub use map::{fold_u64, BaselineMapper, BtbCoord, ConservativeMapper, Mapper};
 pub use model::{Bpu, BranchOutcome, MAX_THREADS};
 pub use pht::Pht;
 pub use rsb::Rsb;
+pub use snap::{check_len, SnapError, StateReader, StateWriter};
 pub use stats::BpuStats;
 
 /// Number of BTB sets in the Skylake-like baseline (4096 entries, 8 ways).

@@ -12,6 +12,7 @@
 //! remappings R1..4,t,p of Table II plus φ target encryption).
 
 use crate::addr::EntityId;
+use crate::snap::{SnapError, StateReader, StateWriter};
 
 /// XOR-folds `value` down to `bits` bits.
 ///
@@ -127,6 +128,20 @@ pub trait Mapper {
     /// Models may use it to cheaply detect stale metadata.
     fn generation(&self, _tid: usize) -> u64 {
         0
+    }
+
+    /// Serializes the mapper's mutable state (secret tokens, RNG state,
+    /// monitoring counters) for `.stck` checkpoints. Stateless mappers —
+    /// the baseline and conservative functions are pure — keep the default
+    /// no-op, which writes nothing.
+    fn save_state(&self, _w: &mut StateWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    /// Restores mapper state written by [`Mapper::save_state`] on a mapper
+    /// constructed with the same configuration and seed.
+    fn load_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 

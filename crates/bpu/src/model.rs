@@ -3,6 +3,7 @@
 
 use crate::addr::EntityId;
 use crate::branch::BranchRecord;
+use crate::snap::{SnapError, StateReader, StateWriter};
 use crate::stats::BpuStats;
 
 /// Maximum number of SMT hardware threads a model must support.
@@ -85,6 +86,26 @@ pub trait Bpu {
 
     /// Number of secret-token re-randomizations (0 for unprotected models).
     fn rerandomizations(&self) -> u64;
+
+    /// Serializes the model's complete microarchitectural state (predictor
+    /// tables, mapper tokens, per-thread history, BTB, statistics) into
+    /// `w`. Together with [`Bpu::load_state`] this is the contract behind
+    /// `.stck` checkpoints: `save_state` on one model followed by
+    /// `load_state` on a freshly-constructed model of the *same spec and
+    /// seed* must yield bit-identical future behaviour. Models that cannot
+    /// snapshot themselves (e.g. externally-injected custom models) keep
+    /// the default, which fails with [`SnapError::unsupported`].
+    fn save_state(&self, _w: &mut StateWriter) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(self.name()))
+    }
+
+    /// Restores state previously written by [`Bpu::save_state`] on a model
+    /// with identical construction parameters. Geometry mismatches and
+    /// truncated/corrupt blobs return positioned errors; implementations
+    /// must never panic on arbitrary input bytes.
+    fn load_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(self.name()))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! such as BranchScope exploit.
 
 use crate::counter::SaturatingCounter;
+use crate::snap::{check_len, SnapError, StateReader, StateWriter};
 
 /// A direct-mapped table of two-bit saturating counters.
 ///
@@ -81,6 +82,30 @@ impl Pht {
         for c in &mut self.table {
             *c = SaturatingCounter::weakly_not_taken();
         }
+    }
+
+    /// Serializes every counter value for checkpointing (width is fixed at
+    /// construction and therefore not stored).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.table.len());
+        for c in &self.table {
+            w.u8(c.value());
+        }
+    }
+
+    /// Restores counters saved by [`Pht::save_state`] into a table of the
+    /// same size.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        check_len(r, "PHT", n, self.table.len())?;
+        for c in &mut self.table {
+            let v = r.u8()?;
+            if v > c.max() {
+                return Err(r.err(format!("PHT counter value {v} exceeds width")));
+            }
+            c.set(v);
+        }
+        Ok(())
     }
 }
 

@@ -11,6 +11,8 @@
 //! with φ — both decisions are made by the surrounding model, keeping this
 //! structure mechanism-agnostic.
 
+use crate::snap::{check_len, SnapError, StateReader, StateWriter};
+
 /// A circular hardware return stack.
 ///
 /// ```
@@ -124,6 +126,43 @@ impl Rsb {
     /// Number of pops from an empty stack.
     pub fn underflows(&self) -> u64 {
         self.underflows
+    }
+
+    /// Serializes the complete stack (all slots, including dead ones — they
+    /// still hold payload bytes that `map_in_place` may rewrite) for
+    /// checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.slots.len());
+        w.usize(self.top);
+        w.usize(self.live);
+        w.u64(self.overflows);
+        w.u64(self.underflows);
+        for s in &self.slots {
+            w.u64(*s);
+        }
+    }
+
+    /// Restores state saved by [`Rsb::save_state`] into a stack of the same
+    /// capacity.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let cap = r.usize()?;
+        check_len(r, "RSB", cap, self.slots.len())?;
+        let top = r.usize()?;
+        if top >= cap {
+            return Err(r.err(format!("RSB top {top} out of range for capacity {cap}")));
+        }
+        let live = r.usize()?;
+        if live > cap {
+            return Err(r.err(format!("RSB live count {live} exceeds capacity {cap}")));
+        }
+        self.top = top;
+        self.live = live;
+        self.overflows = r.u64()?;
+        self.underflows = r.u64()?;
+        for s in &mut self.slots {
+            *s = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,381 @@
+//! Binary state-snapshot primitives for checkpointable BPU state.
+//!
+//! Every stateful microarchitectural component (PHT, BTB, RSB, history
+//! contexts, predictor tables, token managers) serializes itself through
+//! [`StateWriter`] and restores through [`StateReader`]. The encoding is
+//! deliberately tiny and self-contained: LEB128 varints for unsigned
+//! integers, zigzag varints for signed ones, fixed 8-byte little-endian
+//! for `f64` bit patterns, and length-prefixed byte strings. The `.stck`
+//! checkpoint container in `stbpu-sim` wraps these component blobs in a
+//! versioned envelope; this module is only the per-component payload
+//! encoding.
+//!
+//! Two invariants matter for checkpoint correctness:
+//!
+//! 1. **Determinism** — the same logical state always serializes to the
+//!    same bytes (all collections are ordered; no addresses, no clocks),
+//!    so shard-handoff verification can compare snapshots with `==`.
+//! 2. **No panics** — [`StateReader`] is bounds-checked everywhere and
+//!    reports failures as positioned [`SnapError`]s, because checkpoint
+//!    bytes come from disk and may be truncated or corrupt.
+
+use std::fmt;
+
+/// A positioned snapshot encode/decode failure.
+///
+/// `offset` is the byte position in the component blob where decoding
+/// stopped making sense — sufficient to pinpoint truncation or
+/// corruption when combined with the envelope's own offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError {
+    /// Byte offset within the state blob at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+}
+
+impl SnapError {
+    /// A new positioned error.
+    pub fn new(offset: usize, msg: impl Into<String>) -> Self {
+        SnapError {
+            offset,
+            msg: msg.into(),
+        }
+    }
+
+    /// The error a model that cannot snapshot itself returns from the
+    /// default `save_state`/`load_state` implementations.
+    pub fn unsupported(what: &str) -> Self {
+        SnapError::new(0, format!("'{what}' does not support state snapshots"))
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only encoder for component state blobs.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded blob.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes an unsigned integer as a LEB128 varint.
+    pub fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a signed integer as a zigzag LEB128 varint.
+    pub fn i64(&mut self, v: i64) {
+        self.u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes a `u32` (as a varint).
+    pub fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    /// Writes a `usize` (as a varint).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes an `f64` as its 8-byte little-endian bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a component state blob.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset into the blob.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// A positioned error at the current offset.
+    pub fn err(&self, msg: impl Into<String>) -> SnapError {
+        SnapError::new(self.pos, msg)
+    }
+
+    /// Fails unless every byte of the blob has been consumed — catches
+    /// blobs from a component with different geometry than the decoder.
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "{} trailing bytes after component state",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(self.err("unexpected end of state blob")),
+        }
+    }
+
+    /// Reads a LEB128 varint into a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = match self.buf.get(self.pos) {
+                Some(&b) => b,
+                None => {
+                    return Err(SnapError::new(start, "truncated varint in state blob"));
+                }
+            };
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(SnapError::new(start, "varint overflows u64 in state blob"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag varint into an `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a varint expected to fit a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let start = self.pos;
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| SnapError::new(start, "varint overflows u32 in state blob"))
+    }
+
+    /// Reads a varint expected to fit a `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let start = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::new(start, "varint overflows usize"))
+    }
+
+    /// Reads a one-byte bool, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        let start = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapError::new(
+                start,
+                format!("invalid bool byte 0x{other:02x} in state blob"),
+            )),
+        }
+    }
+
+    /// Reads an 8-byte little-endian `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        let raw = self.take(8)?;
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bits)))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let start = self.pos;
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| SnapError::new(start, "invalid UTF-8 string in state blob"))
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(self.err(format!(
+                "state blob truncated: need {len} bytes, have {}",
+                self.remaining()
+            ))),
+        }
+    }
+}
+
+/// Checks that a restored collection length matches the construction-time
+/// geometry of the receiving component.
+pub fn check_len(
+    r: &StateReader<'_>,
+    what: &str,
+    got: usize,
+    expected: usize,
+) -> Result<(), SnapError> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(SnapError::new(
+            r.offset(),
+            format!("{what} length mismatch: snapshot has {got}, component expects {expected}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = StateWriter::new();
+        w.u64(0);
+        w.u64(127);
+        w.u64(128);
+        w.u64(u64::MAX);
+        w.i64(-1);
+        w.i64(i64::MIN);
+        w.i64(i64::MAX);
+        w.u32(u32::MAX);
+        w.u8(0xab);
+        w.bool(true);
+        w.bool(false);
+        w.f64(-0.0);
+        w.f64(f64::from_bits(0x7ff8_0000_0000_0001));
+        w.str("stbpu");
+        w.bytes(&[1, 2, 3]);
+        let blob = w.into_bytes();
+        let mut r = StateReader::new(&blob);
+        assert_eq!(r.u64().unwrap(), 0);
+        assert_eq!(r.u64().unwrap(), 127);
+        assert_eq!(r.u64().unwrap(), 128);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -1);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.i64().unwrap(), i64::MAX);
+        assert_eq!(r.u32().unwrap(), u32::MAX);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7ff8_0000_0000_0001);
+        assert_eq!(r.str().unwrap(), "stbpu");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncated_reads_are_positioned_errors() {
+        let mut w = StateWriter::new();
+        w.u64(300);
+        let mut blob = w.into_bytes();
+        blob.truncate(1);
+        let mut r = StateReader::new(&blob);
+        let e = r.u64().unwrap_err();
+        assert_eq!(e.offset, 0);
+        assert!(e.msg.contains("truncated"));
+
+        let mut r = StateReader::new(&[0x05, b'a']);
+        let e = r.bytes().unwrap_err();
+        assert_eq!(e.offset, 1);
+
+        let mut r = StateReader::new(&[2]);
+        let e = r.bool().unwrap_err();
+        assert!(e.msg.contains("invalid bool"));
+
+        let mut r = StateReader::new(&[0xff; 11]);
+        assert!(r.u64().unwrap_err().msg.contains("overflows"));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut r = StateReader::new(&[1, 2]);
+        assert_eq!(r.u8().unwrap(), 1);
+        let e = r.expect_end().unwrap_err();
+        assert_eq!(e.offset, 1);
+        assert!(e.msg.contains("trailing"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Prediction statistics, including the paper's OAE metric.
 
 use crate::branch::BranchKind;
+use crate::snap::{SnapError, StateReader, StateWriter};
 use std::fmt;
 
 /// Accumulated prediction statistics for one model run.
@@ -119,6 +120,51 @@ impl BpuStats {
             self.by_kind[i] += other.by_kind[i];
             self.by_kind_correct[i] += other.by_kind_correct[i];
         }
+    }
+
+    /// Serializes every counter for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for v in [
+            self.branches,
+            self.effective_correct,
+            self.cond,
+            self.cond_correct,
+            self.target_needed,
+            self.target_correct,
+            self.mispredictions,
+            self.btb_evictions,
+            self.btb_misses,
+            self.rsb_underflows,
+            self.flushes,
+        ] {
+            w.u64(v);
+        }
+        for v in self.by_kind.iter().chain(self.by_kind_correct.iter()) {
+            w.u64(*v);
+        }
+    }
+
+    /// Restores counters saved by [`BpuStats::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.branches = r.u64()?;
+        self.effective_correct = r.u64()?;
+        self.cond = r.u64()?;
+        self.cond_correct = r.u64()?;
+        self.target_needed = r.u64()?;
+        self.target_correct = r.u64()?;
+        self.mispredictions = r.u64()?;
+        self.btb_evictions = r.u64()?;
+        self.btb_misses = r.u64()?;
+        self.rsb_underflows = r.u64()?;
+        self.flushes = r.u64()?;
+        for v in self
+            .by_kind
+            .iter_mut()
+            .chain(self.by_kind_correct.iter_mut())
+        {
+            *v = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -24,6 +24,11 @@
 //!   parse+simulate branches/s per format, hard-fails unless both files
 //!   ingest to bit-identical reports, and emits `BENCH_ingest.json`
 //!   (file sizes, size ratio, ingest speedup).
+//! * `--suite shard` times the sequential run against two-pass sharded
+//!   runs at N = 2 and 4 (cold and checkpoint-cache-warm), hard-fails
+//!   unless every sharded report is bit-identical to the sequential one,
+//!   measures `.stck` save/load throughput, and emits `BENCH_shard.json`
+//!   (scaling curve, warm-resume speedup, core count) — see [`run_shard`].
 
 use crate::args::Args;
 use crate::Failure;
@@ -91,6 +96,7 @@ enum Suite {
     Default,
     Throughput,
     Ingest,
+    Shard,
     Serve,
 }
 
@@ -167,10 +173,11 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         None | Some("default") => Suite::Default,
         Some("throughput") => Suite::Throughput,
         Some("ingest") => Suite::Ingest,
+        Some("shard") => Suite::Shard,
         Some("serve") => Suite::Serve,
         Some(other) => {
             return Err(Failure::Usage(format!(
-                "unknown suite '{other}' (default|throughput|ingest|serve)"
+                "unknown suite '{other}' (default|throughput|ingest|shard|serve)"
             )))
         }
     };
@@ -189,6 +196,10 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         // per-session defaults sit well below the single-run suites.
         (Suite::Serve, true) => 50_000,
         (Suite::Serve, false) => 200_000,
+        // The shard suite is the paper-scale 10M-branch scaling curve;
+        // --quick keeps the same shape at CI size.
+        (Suite::Shard, true) => 1_000_000,
+        (Suite::Shard, false) => 10_000_000,
         (_, true) => 200_000,
         (Suite::Ingest, false) => 10_000_000,
         (_, false) => 2_000_000,
@@ -229,6 +240,26 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             seed,
             clients_opt.unwrap_or(8),
             sessions_opt.unwrap_or(2),
+            &out_dir,
+            json,
+            check.as_deref(),
+        );
+    }
+
+    if suite == Suite::Shard {
+        if update.is_some() {
+            return Err(Failure::Usage(
+                "--update-baseline applies to the default/throughput suites; the shard \
+                 suite hard-gates every sharded report bit-identical against the \
+                 sequential run in-process"
+                    .to_string(),
+            ));
+        }
+        return run_shard(
+            &registry,
+            &workload,
+            branches,
+            seed,
             &out_dir,
             json,
             check.as_deref(),
@@ -305,7 +336,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 rows.join(",")
             )?;
         }
-        Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
+        Suite::Ingest | Suite::Shard | Suite::Serve => unreachable!("these suites return early"),
     }
 
     if json {
@@ -316,7 +347,8 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             match suite {
                 Suite::Default => "default suite",
                 Suite::Throughput => "throughput suite: batched vs single-event",
-                Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
+                Suite::Ingest | Suite::Shard | Suite::Serve =>
+                    unreachable!("these suites return early"),
             }
         );
         match suite {
@@ -352,7 +384,9 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 }
                 eprintln!("wrote BENCH_throughput.json to {out_dir}/ (paths bit-identical)");
             }
-            Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
+            Suite::Ingest | Suite::Shard | Suite::Serve => {
+                unreachable!("these suites return early")
+            }
         }
     }
 
@@ -372,7 +406,9 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 // before the gate hardens (see CONTRIBUTING.md).
                 throughput_drift_notes("throughput", &path, &records);
             }
-            Suite::Ingest | Suite::Serve => unreachable!("these suites return early"),
+            Suite::Ingest | Suite::Shard | Suite::Serve => {
+                unreachable!("these suites return early")
+            }
         }
     }
     Ok(())
@@ -623,6 +659,271 @@ fn run_ingest_in(
     Ok(())
 }
 
+/// The shard suite: the sequential reference run, then two-pass sharded
+/// runs at N = 2 and N = 4 — cold (pass 1 cuts checkpoints, pass 2
+/// simulates shards) and warm (boundary checkpoints reused from the
+/// cache, pass 1 skipped). Every sharded report is hard-gated
+/// bit-identical to the sequential one. The headline `warm_resume_speedup`
+/// is sequential wall time over the time to resume the cached
+/// last-boundary checkpoint (3/4 of the stream at 4 shards) to the end —
+/// the re-simulation work the checkpoint layer avoids on a rerun,
+/// meaningful on any core count (the measured `cores` is recorded so
+/// pass-2 wall numbers are interpretable). Also measures checkpoint
+/// save/load throughput over the real boundary blobs. Emits one
+/// `BENCH_shard.json` trajectory record.
+fn run_shard(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+) -> Result<(), Failure> {
+    let dir = std::env::temp_dir().join(format!("stbpu-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let result = run_shard_in(
+        registry, workload, branches, seed, out_dir, json, check, &dir,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard_in(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+    dir: &std::path::Path,
+) -> Result<(), Failure> {
+    use stbpu_engine::{cut_checkpoints, run_sequential, run_sharded, ShardConfig};
+    use stbpu_sim::Checkpoint;
+
+    const MODEL: &str = "st_skl@r=0.05";
+    const SHARD_COUNTS: &[usize] = &[2, 4];
+    let policy = Protection::Stbpu;
+    let warmup = Warmup::Fraction(0.1);
+    let w = Workload::Named(workload.to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Untimed warm-up: the first simulation in a process pays one-off
+    // costs (heap growth, page faults) that measured 3-4x on this
+    // workload; every timed run below starts from a warmed process.
+    eprintln!("shard suite: untimed process warm-up…");
+    let warm_branches = (branches / 10).clamp(10_000.min(branches), branches);
+    run_sequential(
+        registry,
+        MODEL,
+        policy,
+        seed,
+        &w,
+        warm_branches,
+        warmup,
+        None,
+        None,
+    )
+    .map_err(Failure::from)?;
+
+    eprintln!("shard suite: sequential reference over {branches} branches…");
+    let start = Instant::now();
+    let (seq_report, _) = run_sequential(
+        registry, MODEL, policy, seed, &w, branches, warmup, None, None,
+    )
+    .map_err(Failure::from)?;
+    let seq_s = start.elapsed().as_secs_f64();
+
+    struct ShardPoint {
+        shards: usize,
+        pass1_s: f64,
+        cold_s: f64,
+        warm_s: f64,
+    }
+    let mut points = Vec::new();
+    let mut ckpt_bytes = 0u64;
+    let mut ckpt_count = 0usize;
+    let mut save_s = 0.0f64;
+    let mut load_s = 0.0f64;
+    let mut last_cp: Option<Checkpoint> = None;
+    for &n in SHARD_COUNTS {
+        let cfg = ShardConfig {
+            shards: n,
+            warmup,
+            interval: None,
+            threads: None,
+            checkpoint_dir: Some(dir.join(format!("n{n}"))),
+        };
+        eprintln!("shard suite: N={n} cold (pass 1 + pass 2)…");
+        let start = Instant::now();
+        let cold = run_sharded(registry, MODEL, policy, seed, &w, branches, &cfg)
+            .map_err(Failure::from)?;
+        let cold_s = start.elapsed().as_secs_f64();
+        assert_identical(&format!("shard x{n} (cold)"), &seq_report, &cold.report)?;
+        if cold.cache_hits != 0 {
+            return Err(Failure::Runtime(format!(
+                "cold N={n} run reported {} cache hits from an empty cache",
+                cold.cache_hits
+            )));
+        }
+
+        eprintln!("shard suite: N={n} warm (cached checkpoints, pass 1 skipped)…");
+        let start = Instant::now();
+        let warm = run_sharded(registry, MODEL, policy, seed, &w, branches, &cfg)
+            .map_err(Failure::from)?;
+        let warm_s = start.elapsed().as_secs_f64();
+        assert_identical(&format!("shard x{n} (warm)"), &seq_report, &warm.report)?;
+        if warm.cache_hits != n - 1 {
+            return Err(Failure::Runtime(format!(
+                "warm N={n} run reused {} of {} cached boundary checkpoints",
+                warm.cache_hits,
+                n - 1
+            )));
+        }
+
+        // Pass 1 in isolation, re-cutting the exact boundaries the run
+        // used; its checkpoints also feed the save/load measurement.
+        let start = Instant::now();
+        let cps = cut_checkpoints(
+            registry, MODEL, policy, seed, &w, branches, &cfg, &warm.cuts,
+        )
+        .map_err(Failure::from)?;
+        let pass1_s = start.elapsed().as_secs_f64();
+        last_cp = cps.last().cloned().or(last_cp);
+        for (i, cp) in cps.iter().enumerate() {
+            let path = dir.join(format!("meas-n{n}-{i}.stck"));
+            let start = Instant::now();
+            cp.save(&path)
+                .map_err(|e| Failure::Runtime(e.to_string()))?;
+            save_s += start.elapsed().as_secs_f64();
+            ckpt_bytes += std::fs::metadata(&path)?.len();
+            ckpt_count += 1;
+            let start = Instant::now();
+            let back = Checkpoint::load(&path).map_err(|e| Failure::Runtime(e.to_string()))?;
+            load_s += start.elapsed().as_secs_f64();
+            if back.branches_seen != cp.branches_seen {
+                return Err(Failure::Runtime(format!(
+                    "checkpoint {} round trip changed branches_seen ({} vs {})",
+                    path.display(),
+                    back.branches_seen,
+                    cp.branches_seen
+                )));
+            }
+        }
+
+        points.push(ShardPoint {
+            shards: n,
+            pass1_s,
+            cold_s,
+            warm_s,
+        });
+    }
+
+    let save_mbps = ckpt_bytes as f64 / 1e6 / save_s.max(1e-12);
+    let load_mbps = ckpt_bytes as f64 / 1e6 / load_s.max(1e-12);
+
+    // The headline: a rerun that resumes the cached last-boundary
+    // checkpoint (at 3/4 of the stream for 4 shards) vs re-simulating
+    // from branch 0 — the work the checkpoint layer actually avoids,
+    // meaningful on any core count.
+    let last_cp =
+        last_cp.ok_or_else(|| Failure::Runtime("pass 1 produced no checkpoints".to_string()))?;
+    eprintln!(
+        "shard suite: resuming the cached checkpoint at branch {}…",
+        last_cp.branches_seen
+    );
+    let mut source = w.open(seed, branches).map_err(Failure::from)?;
+    let start = Instant::now();
+    let (resume_report, _) =
+        stbpu_engine::resume_to_end(registry, &last_cp, source.as_mut()).map_err(Failure::from)?;
+    let resume_s = start.elapsed().as_secs_f64();
+    assert_identical("resume from last boundary", &seq_report, &resume_report)?;
+    let warm_resume_speedup = seq_s / resume_s.max(1e-12);
+
+    let shard_rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"shards\":{},\"pass1_s\":{:.6},\"cold_s\":{:.6},\"warm_s\":{:.6},\
+                 \"cold_speedup\":{:.3},\"warm_speedup\":{:.3}}}",
+                p.shards,
+                p.pass1_s,
+                p.cold_s,
+                p.warm_s,
+                seq_s / p.cold_s.max(1e-12),
+                seq_s / p.warm_s.max(1e-12),
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"suite\":\"shard\",\"workload\":{},\"model\":{},\"protection\":\"{}\",\
+         \"branches\":{branches},\"seed\":{seed},\"cores\":{cores},\"oae\":{},\
+         \"sequential_s\":{seq_s:.6},\"shards\":[{}],\
+         \"checkpoints\":{ckpt_count},\"checkpoint_bytes\":{ckpt_bytes},\
+         \"checkpoint_save_mb_per_s\":{save_mbps:.1},\"checkpoint_load_mb_per_s\":{load_mbps:.1},\
+         \"resume_last_shard_s\":{resume_s:.6},\"warm_resume_speedup\":{warm_resume_speedup:.3}}}",
+        escape(workload),
+        escape(MODEL),
+        policy.label(),
+        seq_report.oae,
+        shard_rows.join(",")
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = format!("{out_dir}/BENCH_shard.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{body}")?;
+
+    if json {
+        println!("{body}");
+    } else {
+        println!(
+            "stbpu bench (shard suite: sequential vs two-pass sharded) — {workload}, \
+             {branches} branches, seed {seed}, {cores} core(s)"
+        );
+        println!("sequential: {seq_s:.3}s (OAE {:.6})", seq_report.oae);
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "shards", "pass1", "cold", "warm", "cold-x", "warm-x"
+        );
+        for p in &points {
+            println!(
+                "{:>6} {:>9.3}s {:>9.3}s {:>9.3}s {:>8.2}x {:>8.2}x",
+                p.shards,
+                p.pass1_s,
+                p.cold_s,
+                p.warm_s,
+                seq_s / p.cold_s.max(1e-12),
+                seq_s / p.warm_s.max(1e-12),
+            );
+        }
+        println!(
+            "checkpoints: {ckpt_count} blobs, {:.1} KB total — save {save_mbps:.0} MB/s, \
+             load {load_mbps:.0} MB/s",
+            ckpt_bytes as f64 / 1e3
+        );
+        println!(
+            "warm-resume speedup (rerun from the cached branch-{} checkpoint vs from \
+             branch 0): {warm_resume_speedup:.2}x ({resume_s:.3}s vs {seq_s:.3}s)",
+            last_cp.branches_seen
+        );
+        eprintln!("wrote BENCH_shard.json to {out_dir}/ (every sharded report bit-identical)");
+    }
+
+    // Like serve: correctness is hard-gated in-run; wall-clock never
+    // gates against a baseline.
+    if let Some(path) = check {
+        eprintln!(
+            "shard suite note (warn-only): no baseline gate for shard wall-clock \
+             ({path} not consulted); bit-parity was hard-gated in-run"
+        );
+    }
+    Ok(())
+}
+
 /// The serve suite: the socket daemon on loopback, a concurrent client
 /// fleet over real TCP, and a hard in-run bit-parity gate (every
 /// streamed report vs one offline run of the same events — see
@@ -735,7 +1036,7 @@ fn write_baseline(
             .iter()
             .map(|r| (r.name.to_string(), r.branches_per_s))
             .collect(),
-        Suite::Ingest | Suite::Serve => {
+        Suite::Ingest | Suite::Shard | Suite::Serve => {
             unreachable!("these suites never write a baseline")
         }
         // Carry over the existing section so a default-suite refresh

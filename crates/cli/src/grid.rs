@@ -77,9 +77,17 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             )))
         }
     };
+    let checkpoint_dir = a.opt("--checkpoint-dir")?;
+    let checkpoint_every: Option<u64> = a.opt_parse("--checkpoint-every", "an integer")?;
     let out = a.opt("--out")?;
     let summary = a.flag("--summary");
     a.finish_empty()?;
+
+    if checkpoint_every.is_some() && checkpoint_dir.is_none() {
+        return Err(Failure::Usage(
+            "--checkpoint-every requires --checkpoint-dir".to_string(),
+        ));
+    }
 
     // A suite supplies defaults for whatever the spec file and inline
     // flags left unset, so `--suite paper --branches 4000` scales the
@@ -102,11 +110,14 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         }
     }
 
-    let set = spec
-        .to_experiment()
-        .map_err(Failure::from)?
-        .run()
-        .map_err(Failure::from)?;
+    let mut experiment = spec.to_experiment().map_err(Failure::from)?;
+    if let Some(dir) = checkpoint_dir {
+        experiment = experiment.checkpoint_dir(dir);
+    }
+    if let Some(every) = checkpoint_every {
+        experiment = experiment.checkpoint_every(every);
+    }
+    let set = experiment.run().map_err(Failure::from)?;
 
     let body = if json { set.to_json() } else { set.to_csv() };
     match out {

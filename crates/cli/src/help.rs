@@ -43,11 +43,24 @@ usage: stbpu simulate --model SPEC [--workload NAME | --trace-file PATH] [option
   --warmup F            fractional warm-up (default 0.1)
   --warmup-branches N   absolute warm-up budget (works on hint-less sources)
   --format F            human|json|csv (default human)
-  --progress            streaming progress on stderr
+  --progress            streaming progress on stderr (sequential path only)
+  --shards N            two-pass sharded run: pass 1 fast-forwards to the
+                        N-1 shard boundaries and checkpoints them, pass 2
+                        simulates the shards from those warm checkpoints —
+                        output is bit-identical to the sequential run
+                        (CI diffs the two)
+  --checkpoint-dir DIR  with --shards: cache boundary checkpoints in DIR
+                        so repeat runs skip pass 1 (keyed on every knob
+                        that affects the stream)
+  --resume-from FILE    resume a .stck checkpoint to the end of its
+                        workload; model/protection/seed come from the
+                        checkpoint (--model is not needed)
 
 examples:
   stbpu simulate --model st_skl@r=0.05 --workload 505.mcf --branches 1000000
   stbpu simulate --model skl --trace-file capture.trace --warmup-branches 500 --format json
+  stbpu simulate --model st_skl@r=0.05 --branches 1000000 --shards 4 --format json
+  stbpu simulate --resume-from boundary.stck --branches 1000000 --format json
 ",
     },
     Sub {
@@ -80,6 +93,13 @@ spec file, and a suite fills whatever both left unset.
   --format F            csv|json (default csv)
   --out FILE            write results to FILE instead of stdout
   --summary             also print per-scenario mean/geomean OAE to stderr
+  --checkpoint-dir DIR  crash-safe mode: persist per-suite results and
+                        in-flight cell checkpoints in DIR; a killed run
+                        rerun with the same flags resumes where it died
+                        and produces byte-identical output. DIR is bound
+                        to one grid shape (fingerprinted manifest).
+  --checkpoint-every N  in-flight cell checkpoint cadence in branches
+                        (default 1000000; requires --checkpoint-dir)
 
 examples:
   stbpu grid --workloads 505.mcf,541.leela --fig3 --branches 8000
@@ -144,6 +164,44 @@ examples:
 ",
     },
     Sub {
+        name: "checkpoint",
+        summary: "inspect and create .stck simulation checkpoints",
+        help: "\
+usage: stbpu checkpoint inspect FILE [--json]
+       stbpu checkpoint create --model SPEC --at-branches N --out FILE [options]
+
+A .stck checkpoint (magic \"STCK\"; see the README byte-level spec)
+freezes one simulation mid-stream: model spec, workload label,
+protection, seed, stream position and the full session + model state
+blobs, tailed by an FNV-1a checksum. `stbpu simulate --resume-from`
+continues one to the end of its workload; the sharded driver and the
+grid crash-resume layer read and write the same format.
+
+inspect decodes FILE (verifying version and checksum) and prints its
+metadata and blob sizes. create runs the fast-forward pass over a
+workload and snapshots immediately after branch N retires:
+
+  --model SPEC          registry model spec (required)
+  --workload NAME       named workload profile (default 541.leela)
+  --trace-file PATH     trace file instead of a generated workload
+  --protection P        protection policy (default auto)
+  --at-branches N       snapshot position, in retired branches (required)
+  --out FILE            where the .stck file goes (required)
+  --branches N          stream length for generated workloads
+                        (default 120000; must be >= --at-branches)
+  --seed S              trace + token seed (default 42)
+  --threads T           hardware-thread provision (default: from source)
+  --interval N          interval cadence baked into the session state
+  --warmup F            fractional warm-up (default 0.1)
+  --warmup-branches N   absolute warm-up budget
+
+examples:
+  stbpu checkpoint create --model st_skl@r=0.05 --at-branches 60000 --out half.stck
+  stbpu checkpoint inspect half.stck --json
+  stbpu simulate --resume-from half.stck --format json
+",
+    },
+    Sub {
         name: "figures",
         summary: "reproduce the paper's figures and tables",
         help: "\
@@ -194,6 +252,13 @@ baseline gate compares.
                         unless line and binary produce bit-identical
                         reports — and emits one BENCH_ingest.json (file
                         sizes, size ratio, ingest speedup)
+                        shard: times the sequential run, then sharded
+                        runs at N=2 and N=4 (pass-1 cut cost, cold and
+                        warm pass-2 wall time, checkpoint save/load
+                        throughput) — hard-fails unless every sharded
+                        report is bit-identical to the sequential one —
+                        and emits one BENCH_shard.json (scaling curve,
+                        warm-resume speedup, core count)
                         serve: spawns the streaming daemon on loopback,
                         drives concurrent socket clients through it —
                         hard-fails unless every streamed report is
@@ -201,7 +266,8 @@ baseline gate compares.
                         BENCH_serve.json (sessions/s, aggregate branches/s,
                         p50/p99 flush-to-report latency)
   --quick               200k branches per scheme (default 2M;
-                        ingest suite defaults to a 10M-branch trace)
+                        ingest suite defaults to a 10M-branch trace,
+                        shard suite to 10M branches / 1M with --quick)
   --branches N          explicit branch count (overrides --quick/default)
   --seed S              trace + token seed (default 42)
   --workload NAME       workload profile (default 541.leela)
@@ -222,6 +288,7 @@ examples:
   stbpu bench --quick --update-baseline ci/baseline.json
   stbpu bench --suite throughput --quick --check ci/baseline.json
   stbpu bench --suite ingest --quick --check ci/baseline.json
+  stbpu bench --suite shard --quick --out-dir bench-artifacts
   stbpu bench --suite serve --quick --out-dir bench-artifacts
 ",
     },

@@ -24,6 +24,7 @@ mod analyze_cmd;
 pub mod args;
 mod attack;
 mod bench_cmd;
+mod checkpoint_cmd;
 mod figures_cmd;
 mod grid;
 mod help;
@@ -95,9 +96,10 @@ impl From<EngineError> for Failure {
             | EngineError::InvalidScenario(_)
             | EngineError::EmptyGrid(_)
             | EngineError::Spec(_)) => Failure::Usage(e.to_string()),
-            e @ (EngineError::WorkloadSource(_) | EngineError::Sim(_)) => {
-                Failure::Runtime(e.to_string())
-            }
+            e @ (EngineError::WorkloadSource(_)
+            | EngineError::Sim(_)
+            | EngineError::Checkpoint(_)
+            | EngineError::Shard(_)) => Failure::Runtime(e.to_string()),
         }
     }
 }
@@ -168,6 +170,7 @@ pub fn run(argv: &[String]) -> i32 {
         "trace" => trace_cmd::run(rest),
         "figures" => figures_cmd::run(rest),
         "bench" => bench_cmd::run(rest),
+        "checkpoint" => checkpoint_cmd::run(rest),
         "serve" => serve_cmd::run(rest),
         "analyze" => analyze_cmd::run(rest),
         "list" => list(rest),

@@ -5,10 +5,12 @@ use crate::args::Args;
 use crate::Failure;
 use stbpu_engine::{
     auto_protection, csv_header, protection_from_str, report_to_csv_row, report_to_json,
+    run_sharded, ShardConfig,
 };
 use stbpu_engine::{ModelRegistry, Workload};
 use stbpu_sim::{
-    IntervalRecorder, IntervalWindow, SessionOptions, SimObserver, SimSession, Warmup,
+    Checkpoint, IntervalRecorder, IntervalWindow, SessionOptions, SimObserver, SimReport,
+    SimSession, Warmup,
 };
 /// Output dialect.
 enum Format {
@@ -59,9 +61,7 @@ impl SimObserver for Progress {
 
 pub fn run(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
-    let model_spec = a
-        .opt("--model")?
-        .ok_or_else(|| Failure::Usage("--model is required".to_string()))?;
+    let model_spec = a.opt("--model")?; // required unless --resume-from
     let workload_name = a.opt("--workload")?;
     let trace_file = a.opt("--trace-file")?;
     let protection = a.opt("--protection")?;
@@ -82,7 +82,21 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         }
     };
     let progress = a.flag("--progress");
+    let shards: Option<usize> = a.opt_parse("--shards", "an integer")?;
+    let checkpoint_dir = a.opt("--checkpoint-dir")?;
+    let resume_from = a.opt("--resume-from")?;
     a.finish_empty()?;
+
+    if resume_from.is_some() && shards.is_some() {
+        return Err(Failure::Usage(
+            "--resume-from and --shards are mutually exclusive".to_string(),
+        ));
+    }
+    if progress && (shards.is_some() || resume_from.is_some()) {
+        return Err(Failure::Usage(
+            "--progress only works with the plain sequential path".to_string(),
+        ));
+    }
 
     let workload = match (workload_name, trace_file) {
         (Some(_), Some(_)) => {
@@ -90,15 +104,12 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 "--workload and --trace-file are mutually exclusive".to_string(),
             ))
         }
-        (None, Some(path)) => Workload::File(path.into()),
-        (name, None) => Workload::Named(name.unwrap_or_else(|| "541.leela".to_string())),
+        (None, Some(path)) => Some(Workload::File(path.into())),
+        (Some(name), None) => Some(Workload::Named(name)),
+        (None, None) if resume_from.is_some() => None, // take it from the checkpoint
+        (None, None) => Some(Workload::Named("541.leela".to_string())),
     };
-    workload.validate().map_err(Failure::from)?;
 
-    let policy = match protection.as_deref() {
-        None | Some("auto") => auto_protection(&model_spec),
-        Some(p) => protection_from_str(p).map_err(Failure::from)?,
-    };
     let warmup = match (warmup_branches, warmup_frac) {
         (Some(_), Some(_)) => {
             return Err(Failure::Usage(
@@ -110,41 +121,55 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     };
 
     let registry = ModelRegistry::standard();
-    let mut model = registry.build(&model_spec, seed).map_err(Failure::from)?;
-    let mut source = workload.open(seed, branches).map_err(Failure::from)?;
-    let threads = threads.or(match source.thread_count() {
-        0 => None,
-        t => Some(t),
-    });
-
-    // Session construction only validates options the user typed
-    // (--warmup range, --threads provision), so its errors are usage
-    // errors; failures mid-stream stay runtime errors.
-    let mut session = SimSession::new(
-        &mut model,
-        policy,
-        SessionOptions {
+    let (report, windows, seed) = if let Some(path) = resume_from {
+        // The checkpoint supplies model, protection, seed and workload;
+        // --model and the warm-up flags are ignored (warm-up progress is
+        // part of the restored state).
+        let cp = Checkpoint::load(std::path::Path::new(&path))
+            .map_err(|e| Failure::Runtime(e.to_string()))?;
+        let workload = match workload {
+            Some(w) => w,
+            None => workload_for_label(&cp.workload)?,
+        };
+        workload.validate().map_err(Failure::from)?;
+        let mut source = workload.open(cp.seed, branches).map_err(Failure::from)?;
+        let seed = cp.seed;
+        let (report, windows) =
+            stbpu_engine::resume_to_end(&registry, &cp, source.as_mut()).map_err(Failure::from)?;
+        (report, windows, seed)
+    } else if let Some(shards) = shards {
+        let model_spec = require_model(&model_spec)?;
+        let policy = resolve_policy(protection.as_deref(), model_spec)?;
+        let workload = workload.expect("always set without --resume-from");
+        workload.validate().map_err(Failure::from)?;
+        let cfg = ShardConfig {
+            shards,
             warmup,
-            threads,
             interval,
-            workload: None,
-        },
-    )
-    .map_err(|e| Failure::Usage(e.to_string()))?;
-
-    let mut recorder = IntervalRecorder::new();
-    if interval.is_some() {
-        session.attach(&mut recorder);
-    }
-    let mut meter = Progress::new(source.branch_hint());
-    if progress {
-        session.attach(&mut meter);
-    }
-    session
-        .run(source.as_mut())
-        .map_err(|e| Failure::Runtime(e.to_string()))?;
-    let report = session.finish();
-    let windows = recorder.into_windows();
+            threads,
+            checkpoint_dir: checkpoint_dir.map(Into::into),
+        };
+        let run = run_sharded(
+            &registry, model_spec, policy, seed, &workload, branches, &cfg,
+        )
+        .map_err(Failure::from)?;
+        if run.cache_hits > 0 {
+            eprintln!(
+                "reused {} cached boundary checkpoints (pass 1 skipped)",
+                run.cache_hits
+            );
+        }
+        (run.report, run.intervals, seed)
+    } else {
+        let model_spec = require_model(&model_spec)?;
+        let policy = resolve_policy(protection.as_deref(), model_spec)?;
+        let workload = workload.expect("always set without --resume-from");
+        workload.validate().map_err(Failure::from)?;
+        run_plain(
+            &registry, model_spec, policy, seed, &workload, branches, warmup, threads, interval,
+            progress,
+        )?
+    };
 
     match format {
         Format::Csv => {
@@ -221,6 +246,88 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         }
     }
     Ok(())
+}
+
+fn require_model(spec: &Option<String>) -> Result<&str, Failure> {
+    spec.as_deref()
+        .ok_or_else(|| Failure::Usage("--model is required".to_string()))
+}
+
+fn resolve_policy(
+    protection: Option<&str>,
+    model_spec: &str,
+) -> Result<stbpu_sim::Protection, Failure> {
+    match protection {
+        None | Some("auto") => Ok(auto_protection(model_spec)),
+        Some(p) => protection_from_str(p).map_err(Failure::from),
+    }
+}
+
+/// Reconstructs a workload from a checkpoint's stored label: a known
+/// profile name, else an existing trace-file path.
+fn workload_for_label(label: &str) -> Result<Workload, Failure> {
+    if stbpu_trace::profiles::by_name(label).is_some() {
+        Ok(Workload::Named(label.to_string()))
+    } else if std::path::Path::new(label).exists() {
+        Ok(Workload::File(label.into()))
+    } else {
+        Err(Failure::Usage(format!(
+            "cannot reconstruct workload '{label}' from the checkpoint — pass --workload or \
+             --trace-file explicitly"
+        )))
+    }
+}
+
+/// The plain sequential path: one [`SimSession`] over one source, with
+/// optional interval recording and progress metering.
+#[allow(clippy::too_many_arguments)]
+fn run_plain(
+    registry: &ModelRegistry,
+    model_spec: &str,
+    policy: stbpu_sim::Protection,
+    seed: u64,
+    workload: &Workload,
+    branches: usize,
+    warmup: Warmup,
+    threads: Option<usize>,
+    interval: Option<u64>,
+    progress: bool,
+) -> Result<(SimReport, Vec<IntervalWindow>, u64), Failure> {
+    let mut model = registry.build(model_spec, seed).map_err(Failure::from)?;
+    let mut source = workload.open(seed, branches).map_err(Failure::from)?;
+    let threads = threads.or(match source.thread_count() {
+        0 => None,
+        t => Some(t),
+    });
+
+    // Session construction only validates options the user typed
+    // (--warmup range, --threads provision), so its errors are usage
+    // errors; failures mid-stream stay runtime errors.
+    let mut session = SimSession::new(
+        &mut model,
+        policy,
+        SessionOptions {
+            warmup,
+            threads,
+            interval,
+            workload: None,
+        },
+    )
+    .map_err(|e| Failure::Usage(e.to_string()))?;
+
+    let mut recorder = IntervalRecorder::new();
+    if interval.is_some() {
+        session.attach(&mut recorder);
+    }
+    let mut meter = Progress::new(source.branch_hint());
+    if progress {
+        session.attach(&mut meter);
+    }
+    session
+        .run(source.as_mut())
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    let report = session.finish();
+    Ok((report, recorder.into_windows(), seed))
 }
 
 /// One interval window as a JSON object.

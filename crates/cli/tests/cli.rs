@@ -748,6 +748,310 @@ fn serve_client_json_is_byte_identical_to_simulate() {
     assert_eq!(stdout(&served), stdout(&offline));
 }
 
+// --- sharded simulation, checkpoints and crash-resume ------------------
+
+#[test]
+fn simulate_shards_is_byte_identical_to_sequential() {
+    let common = [
+        "simulate",
+        "--model",
+        "st_skl@r=0.05",
+        "--workload",
+        "505.mcf",
+        "--branches",
+        "20000",
+        "--seed",
+        "11",
+        "--interval",
+        "5000",
+        "--format",
+        "json",
+    ];
+    let seq = stbpu(&common);
+    assert!(seq.status.success(), "{}", stderr(&seq));
+    let sharded = stbpu(&[&common[..], &["--shards", "4"]].concat());
+    assert!(sharded.status.success(), "{}", stderr(&sharded));
+    assert_eq!(stdout(&seq), stdout(&sharded), "sharded output drifted");
+
+    // With a checkpoint cache, the second sharded run reuses every
+    // boundary checkpoint (pass 1 skipped) and stays byte-identical.
+    let cache = scratch("shard-cache");
+    let cached = [&common[..], &["--shards", "4", "--checkpoint-dir"]].concat();
+    let cold = stbpu(&[&cached[..], &[cache.to_str().unwrap()]].concat());
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let warm = stbpu(&[&cached[..], &[cache.to_str().unwrap()]].concat());
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert!(
+        stderr(&warm).contains("reused 3 cached boundary checkpoints"),
+        "{}",
+        stderr(&warm)
+    );
+    assert_eq!(stdout(&seq), stdout(&warm), "warm sharded output drifted");
+}
+
+#[test]
+fn checkpoint_create_inspect_resume_round_trip() {
+    let ck = scratch("mid.stck");
+    let ck_s = ck.to_str().unwrap();
+    let create = stbpu(&[
+        "checkpoint",
+        "create",
+        "--model",
+        "st_skl@r=0.05",
+        "--workload",
+        "541.leela",
+        "--branches",
+        "30000",
+        "--seed",
+        "7",
+        "--at-branches",
+        "12000",
+        "--out",
+        ck_s,
+    ]);
+    assert!(create.status.success(), "{}", stderr(&create));
+    assert!(
+        stderr(&create).contains("at branch 12000"),
+        "{}",
+        stderr(&create)
+    );
+
+    let ins = stbpu(&["checkpoint", "inspect", ck_s, "--json"]);
+    assert!(ins.status.success(), "{}", stderr(&ins));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&ins).trim()).expect("valid JSON");
+    assert_eq!(
+        doc.get("model_spec").unwrap().as_str().unwrap(),
+        "st_skl@r=0.05"
+    );
+    assert_eq!(doc.get("workload").unwrap().as_str().unwrap(), "541.leela");
+    assert_eq!(doc.get("branches_seen").unwrap().as_u64().unwrap(), 12_000);
+    assert_eq!(doc.get("seed").unwrap().as_u64().unwrap(), 7);
+    assert_eq!(
+        doc.get("version").unwrap().as_u64().unwrap(),
+        u64::from(stbpu_sim::STCK_VERSION)
+    );
+
+    // Resuming from the checkpoint reproduces the uninterrupted run byte
+    // for byte (model/seed/workload all come from the checkpoint).
+    let resumed = stbpu(&[
+        "simulate",
+        "--resume-from",
+        ck_s,
+        "--branches",
+        "30000",
+        "--format",
+        "json",
+    ]);
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let plain = stbpu(&[
+        "simulate",
+        "--model",
+        "st_skl@r=0.05",
+        "--workload",
+        "541.leela",
+        "--branches",
+        "30000",
+        "--seed",
+        "7",
+        "--format",
+        "json",
+    ]);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    assert_eq!(stdout(&resumed), stdout(&plain), "resume drifted");
+
+    // Truncated checkpoints are runtime errors with a position, never
+    // panics.
+    let bytes = std::fs::read(&ck).unwrap();
+    let cut = scratch("cut.stck");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+    let bad = stbpu(&["checkpoint", "inspect", cut.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(
+        stderr(&bad).contains("checkpoint error at byte"),
+        "{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
+fn checkpoint_and_shard_flag_misuse_exits_two() {
+    let out = stbpu(&["simulate", "--resume-from", "x.stck", "--shards", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = stbpu(&[
+        "grid",
+        "--workloads",
+        "505.mcf",
+        "--scenarios",
+        "skl:unprotected",
+        "--checkpoint-every",
+        "1000",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--checkpoint-every requires --checkpoint-dir"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = stbpu(&["checkpoint", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("inspect|create"), "{}", stderr(&out));
+
+    let out = stbpu(&["checkpoint"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = stbpu(&[
+        "checkpoint",
+        "create",
+        "--model",
+        "skl",
+        "--at-branches",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--out is required"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn grid_checkpoint_dir_matches_plain_and_replays_identically() {
+    let dir = scratch("grid-ck");
+    let grid = [
+        "grid",
+        "--workloads",
+        "505.mcf",
+        "--scenarios",
+        "skl:unprotected,st_skl@r=0.05:stbpu",
+        "--seeds",
+        "1,2",
+        "--branches",
+        "5000",
+    ];
+    let plain = stbpu(&grid);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    let ck_args = [
+        &grid[..],
+        &[
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "2000",
+        ],
+    ]
+    .concat();
+    let first = stbpu(&ck_args);
+    assert!(first.status.success(), "{}", stderr(&first));
+    assert_eq!(stdout(&plain), stdout(&first), "checkpointed grid drifted");
+    // The completed-cell log now covers the whole grid: a second run
+    // replays it instead of recomputing, to byte-identical output.
+    let replay = stbpu(&ck_args);
+    assert!(replay.status.success(), "{}", stderr(&replay));
+    assert_eq!(stdout(&plain), stdout(&replay), "replayed grid drifted");
+}
+
+#[test]
+fn bench_shard_suite_emits_trajectory_record() {
+    let dir = scratch("shard-bench");
+    let out = stbpu(&[
+        "bench",
+        "--suite",
+        "shard",
+        "--branches",
+        "40000",
+        "--seed",
+        "5",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&out).trim()).expect("valid JSON");
+    assert_eq!(doc.get("suite").unwrap().as_str().unwrap(), "shard");
+    assert_eq!(doc.get("branches").unwrap().as_u64().unwrap(), 40_000);
+    let shards = doc.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), 2, "expected N=2 and N=4 entries");
+    for entry in shards {
+        assert!(entry.get("cold_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(entry.get("warm_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+    assert!(doc.get("sequential_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(doc.get("warm_resume_speedup").unwrap().as_f64().unwrap() > 0.0);
+    assert!(
+        doc.get("checkpoint_save_mb_per_s")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    let record = std::fs::read_to_string(dir.join("BENCH_shard.json")).expect("record written");
+    assert_eq!(stdout(&out).trim(), record.trim());
+
+    // Parity with the sequential reference is a hard internal gate, and
+    // baseline recording belongs to the default suite alone.
+    let upd = stbpu(&[
+        "bench",
+        "--suite",
+        "shard",
+        "--quick",
+        "--update-baseline",
+        "x.json",
+    ]);
+    assert_eq!(upd.status.code(), Some(2));
+}
+
+/// The committed golden `.stck` fixture mirrors CI's checkpoint
+/// format-stability gate: any decode or resume drift means the on-disk
+/// checkpoint format changed without a STCK_VERSION bump + fixture
+/// refresh (see CONTRIBUTING.md).
+#[test]
+fn golden_stck_fixture_resumes_identically() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let golden = repo.join("ci/golden.stck");
+    let trace = repo.join("ci/golden.stbt");
+    let expected = repo.join("ci/golden-resume.json");
+
+    let ins = stbpu(&["checkpoint", "inspect", golden.to_str().unwrap(), "--json"]);
+    assert!(ins.status.success(), "{}", stderr(&ins));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&ins).trim()).expect("valid JSON");
+    assert_eq!(
+        doc.get("model_spec").unwrap().as_str().unwrap(),
+        "st_skl@r=0.05"
+    );
+    assert_eq!(
+        doc.get("version").unwrap().as_u64().unwrap(),
+        u64::from(stbpu_sim::STCK_VERSION)
+    );
+
+    let sim = stbpu(&[
+        "simulate",
+        "--resume-from",
+        golden.to_str().unwrap(),
+        "--trace-file",
+        trace.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    assert_eq!(
+        stdout(&sim).trim(),
+        std::fs::read_to_string(&expected).unwrap().trim(),
+        "golden .stck resume drifted from ci/golden-resume.json — if the \
+         format change is intentional, bump STCK_VERSION and refresh the \
+         fixture (see CONTRIBUTING.md)"
+    );
+}
+
+// --- the serve daemon, self-test and bench suite (continued) ----------
+
 #[test]
 fn bench_serve_suite_emits_trajectory_record() {
     let dir = scratch("serve-bench");

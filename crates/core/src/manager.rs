@@ -4,7 +4,7 @@
 use crate::config::StConfig;
 use crate::token::SecretToken;
 use rand::SeedableRng;
-use stbpu_bpu::EntityId;
+use stbpu_bpu::{EntityId, SnapError, StateReader, StateWriter};
 use std::collections::BTreeMap;
 
 /// The monitoring MSRs of one software entity: countdown registers
@@ -201,6 +201,71 @@ impl TokenManager {
     /// Total re-randomizations performed.
     pub fn rerandomizations(&self) -> u64 {
         self.rerandomizations
+    }
+
+    /// Serializes the DRNG state, every entity's token/monitor/generation,
+    /// the alias table and the global counters for checkpointing. The
+    /// configuration is construction-time state and is not stored.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.usize(self.entities.len());
+        for (e, st) in &self.entities {
+            w.u32(e.0);
+            w.u64(st.token.raw());
+            w.u64(st.monitor.misp_left);
+            w.u64(st.monitor.tage_misp_left);
+            w.u64(st.monitor.evictions_left);
+            w.u64(st.generation);
+        }
+        w.usize(self.aliases.len());
+        for (a, c) in &self.aliases {
+            w.u32(a.0);
+            w.u32(c.0);
+        }
+        w.u64(self.rerandomizations);
+        w.u64(self.generations);
+    }
+
+    /// Restores state saved by [`TokenManager::save_state`] into a manager
+    /// constructed with the same configuration and seed.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.u64()?;
+        }
+        self.rng = rand::rngs::StdRng::from_state(rng_state);
+        let n = r.usize()?;
+        self.entities = BTreeMap::new();
+        for _ in 0..n {
+            let e = EntityId(r.u32()?);
+            let token = SecretToken::from_raw(r.u64()?);
+            let monitor = EventMonitor {
+                misp_left: r.u64()?,
+                tage_misp_left: r.u64()?,
+                evictions_left: r.u64()?,
+            };
+            let generation = r.u64()?;
+            self.entities.insert(
+                e,
+                EntityState {
+                    token,
+                    monitor,
+                    generation,
+                },
+            );
+        }
+        let na = r.usize()?;
+        self.aliases = BTreeMap::new();
+        for _ in 0..na {
+            let a = EntityId(r.u32()?);
+            let c = EntityId(r.u32()?);
+            self.aliases.insert(a, c);
+        }
+        self.rerandomizations = r.u64()?;
+        self.generations = r.u64()?;
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::config::StConfig;
 use crate::manager::TokenManager;
 use crate::token::SecretToken;
-use stbpu_bpu::{BtbCoord, EntityId, Mapper, MAX_THREADS};
+use stbpu_bpu::{BtbCoord, EntityId, Mapper, SnapError, StateReader, StateWriter, MAX_THREADS};
 use stbpu_remap::RemapSet;
 
 /// The STBPU mapping policy: every structure address is produced by the
@@ -179,6 +179,28 @@ impl Mapper for StMapper {
 
     fn generation(&self, tid: usize) -> u64 {
         self.generation[tid.min(MAX_THREADS - 1)]
+    }
+
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        // `remaps` is the process-wide canonical circuit set, identical in
+        // every process — only the manager and per-thread caches are state.
+        self.mgr.save_state(w);
+        for t in 0..MAX_THREADS {
+            w.u32(self.current[t].0);
+            w.u64(self.token[t].raw());
+            w.u64(self.generation[t]);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.mgr.load_state(r)?;
+        for t in 0..MAX_THREADS {
+            self.current[t] = EntityId(r.u32()?);
+            self.token[t] = SecretToken::from_raw(r.u64()?);
+            self.generation[t] = r.u64()?;
+        }
+        Ok(())
     }
 }
 

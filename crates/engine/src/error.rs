@@ -38,6 +38,12 @@ pub enum EngineError {
     Spec(String),
     /// A simulation inside the experiment failed.
     Sim(SimError),
+    /// A checkpoint could not be captured, saved, loaded or applied.
+    Checkpoint(String),
+    /// Sharded execution failed (bad shard count, hint-less stream,
+    /// handoff state mismatch between a shard and its successor's
+    /// checkpoint…).
+    Shard(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -67,6 +73,8 @@ impl std::fmt::Display for EngineError {
             EngineError::EmptyGrid(what) => write!(f, "experiment declares no {what}"),
             EngineError::Spec(msg) => write!(f, "bad experiment spec: {msg}"),
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            EngineError::Checkpoint(msg) => write!(f, "checkpoint failed: {msg}"),
+            EngineError::Shard(msg) => write!(f, "sharded run failed: {msg}"),
         }
     }
 }

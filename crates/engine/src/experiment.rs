@@ -14,14 +14,18 @@ use crate::error::EngineError;
 use crate::parallel::parallel_map;
 use crate::registry::ModelRegistry;
 use crate::report::{csv_header, protection_from_str, report_to_csv_row, report_to_json};
+use crate::resume::{cell_path, run_cell, suite_from_json_line, suite_to_json_line};
 use crate::stats::{geomean, mean};
 use crate::workload::Workload;
 use stbpu_sim::{
-    simulate_with, IntervalRecorder, IntervalWindow, Protection, SessionOptions, SimOptions,
-    SimReport, SimSession, Warmup,
+    fnv1a64, simulate_with, IntervalRecorder, IntervalWindow, Protection, SessionOptions,
+    SimOptions, SimReport, SimSession, Warmup,
 };
 use stbpu_trace::{EventSource, Trace, WorkloadProfile};
-use std::sync::Arc;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Suites over generator-backed workloads materialize their stream once
 /// (instead of regenerating it per scenario) up to this many branches;
@@ -234,6 +238,8 @@ pub struct Experiment {
     warmup: Warmup,
     threads: Option<usize>,
     interval: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
 }
 
 impl Experiment {
@@ -251,6 +257,8 @@ impl Experiment {
             warmup: Warmup::Fraction(0.1),
             threads: None,
             interval: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1_000_000,
         }
     }
 
@@ -385,6 +393,26 @@ impl Experiment {
         self
     }
 
+    /// Makes the run killable: completed suites stream into
+    /// `completed.jsonl` under `dir` and in-flight cells persist periodic
+    /// `.stck` checkpoints there, so rerunning the identical experiment
+    /// after a crash (or SIGKILL) resumes instead of restarting and
+    /// produces byte-identical output. The directory is created on
+    /// demand; reusing it for a *different* experiment is rejected via a
+    /// manifest fingerprint.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// How often (in branch events per cell) in-flight cell checkpoints
+    /// are refreshed when [`Experiment::checkpoint_dir`] is set. Default:
+    /// 1 000 000.
+    pub fn checkpoint_every(mut self, branches: u64) -> Self {
+        self.checkpoint_every = branches.max(1);
+        self
+    }
+
     /// Runs the whole grid in parallel and collects a [`RunSet`].
     ///
     /// Each (workload, seed, scenario) cell runs a [`SimSession`] over a
@@ -421,6 +449,10 @@ impl Experiment {
             .iter()
             .flat_map(|w| self.seeds.iter().map(move |&s| (w.clone(), s)))
             .collect();
+
+        if let Some(dir) = self.checkpoint_dir.clone() {
+            return self.run_checkpointed(&dir, &jobs, scenarios_per_suite);
+        }
 
         let suites: Vec<Result<Vec<RunRecord>, EngineError>> =
             parallel_map(jobs, |(workload, seed)| {
@@ -493,6 +525,200 @@ impl Experiment {
             records,
             scenarios_per_suite,
         })
+    }
+
+    /// Everything that changes the grid's results, as one canonical
+    /// string — the manifest fingerprint that stops two different
+    /// experiments from sharing (and corrupting) one checkpoint
+    /// directory. `checkpoint_every` is deliberately excluded: it only
+    /// changes how often state is saved, never what is computed.
+    fn grid_fingerprint(&self) -> String {
+        let workloads: Vec<String> = self.workloads.iter().map(|w| w.label()).collect();
+        let scenarios: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|sc| format!("{}:{}", sc.model, sc.protection.code()))
+            .collect();
+        let seeds: Vec<String> = self.seeds.iter().map(|s| s.to_string()).collect();
+        let warm = match self.warmup {
+            Warmup::Fraction(f) => format!("f{:016x}", f.to_bits()),
+            Warmup::Branches(n) => format!("b{n}"),
+        };
+        format!(
+            "v1|{}|{}|{}|{}|{}|{}|{}",
+            workloads.join(";"),
+            scenarios.join(";"),
+            seeds.join(";"),
+            self.branches,
+            warm,
+            self.interval
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            self.threads
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "auto".to_string()),
+        )
+    }
+
+    /// The killable grid path: suites stream to `completed.jsonl` as they
+    /// finish, in-flight cells checkpoint periodically, and a rerun of
+    /// the identical experiment picks up where the dead process stopped.
+    fn run_checkpointed(
+        &self,
+        dir: &Path,
+        jobs: &[(Workload, u64)],
+        scenarios_per_suite: usize,
+    ) -> Result<RunSet, EngineError> {
+        let io_err = |e: std::io::Error| EngineError::Checkpoint(e.to_string());
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let key = format!("{:016x}", fnv1a64(self.grid_fingerprint().as_bytes()));
+
+        // Manifest: create on first run, verify on resume.
+        let manifest = dir.join("manifest.json");
+        match std::fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let stored = crate::minijson::Json::parse(&text)
+                    .ok()
+                    .and_then(|j| j.get("key").and_then(|k| k.as_str().map(String::from)));
+                if stored.as_deref() != Some(key.as_str()) {
+                    return Err(EngineError::Checkpoint(format!(
+                        "checkpoint directory {} belongs to a different experiment \
+                         (manifest fingerprint mismatch) — point --checkpoint-dir at a \
+                         fresh directory or rerun the original command",
+                        dir.display()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let body = format!(
+                    "{{\"version\":\"1\",\"name\":{},\"key\":\"{key}\",\"suites\":\"{}\"}}\n",
+                    crate::minijson::escape(&self.name),
+                    jobs.len()
+                );
+                let tmp = dir.join("manifest.json.tmp");
+                std::fs::write(&tmp, body).map_err(io_err)?;
+                std::fs::rename(&tmp, &manifest).map_err(io_err)?;
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+
+        // Replay the completed-suite log (ignoring any partial trailing
+        // line a kill left behind), then clear now-stale cell files.
+        let log_path = dir.join("completed.jsonl");
+        let mut results: Vec<Option<Vec<RunRecord>>> = Vec::with_capacity(jobs.len());
+        results.resize_with(jobs.len(), || None);
+        if let Ok(text) = std::fs::read_to_string(&log_path) {
+            for line in text.lines() {
+                if let Some((i, recs)) = suite_from_json_line(line) {
+                    if i < jobs.len() && recs.len() == scenarios_per_suite {
+                        for sidx in 0..scenarios_per_suite {
+                            let _ = std::fs::remove_file(cell_path(dir, i, sidx));
+                        }
+                        results[i] = Some(recs);
+                    }
+                }
+            }
+        }
+        let todo: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+
+        if !todo.is_empty() {
+            let mut log = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&log_path)
+                .map_err(io_err)?;
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, Result<Vec<RunRecord>, EngineError>)>();
+            let mut first_err: Option<EngineError> = None;
+            std::thread::scope(|s| {
+                let workers = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+                    .min(todo.len());
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, todo) = (&next, todo.as_slice());
+                    s.spawn(move || loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= todo.len() {
+                            break;
+                        }
+                        let i = todo[t];
+                        let (workload, seed) = &jobs[i];
+                        let res = self.run_suite_checkpointed(dir, i, workload, *seed);
+                        if tx.send((i, res)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                // Main thread is the only log writer: one durable line
+                // per finished suite, then its cell files are obsolete.
+                for (i, res) in rx {
+                    match res {
+                        Ok(recs) => {
+                            let line = suite_to_json_line(i, &recs);
+                            let write = writeln!(log, "{line}").and_then(|()| log.flush());
+                            if let Err(e) = write {
+                                first_err.get_or_insert(io_err(e));
+                                continue;
+                            }
+                            for sidx in 0..scenarios_per_suite {
+                                let _ = std::fs::remove_file(cell_path(dir, i, sidx));
+                            }
+                            results[i] = Some(recs);
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+
+        let mut records = Vec::with_capacity(jobs.len() * scenarios_per_suite);
+        for r in results {
+            records.extend(r.ok_or_else(|| {
+                EngineError::Checkpoint("a suite finished without reporting".to_string())
+            })?);
+        }
+        Ok(RunSet {
+            records,
+            scenarios_per_suite,
+        })
+    }
+
+    /// One (workload, seed) suite under the checkpointed path: every cell
+    /// streams (no shared materialization — cells must be individually
+    /// resumable) and saves periodic in-flight checkpoints.
+    fn run_suite_checkpointed(
+        &self,
+        dir: &Path,
+        suite: usize,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<Vec<RunRecord>, EngineError> {
+        self.scenarios
+            .iter()
+            .enumerate()
+            .map(|(sidx, sc)| {
+                run_cell(
+                    &self.registry,
+                    sc,
+                    workload,
+                    seed,
+                    self.branches,
+                    self.warmup,
+                    self.threads,
+                    self.interval,
+                    &cell_path(dir, suite, sidx),
+                    self.checkpoint_every,
+                )
+            })
+            .collect()
     }
 }
 
@@ -785,6 +1011,134 @@ mod tests {
             single.records()[0].report.mispredictions,
             multi.records()[0].report.mispredictions
         );
+    }
+
+    fn ckpt_experiment(name: &str, dir: &std::path::Path) -> Experiment {
+        Experiment::new(name)
+            .workloads(["541.leela", "505.mcf"])
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .scenario(Scenario::new("st_skl@r=0.05", Protection::Stbpu))
+            .branches(6_000)
+            .seeds([1, 2])
+            .interval(2_000)
+            .checkpoint_dir(dir)
+            .checkpoint_every(1_500)
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("stbpu-grid-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpointed_grid_matches_plain_grid_exactly() {
+        let dir = tmpdir("plain");
+        let plain = Experiment::new("ref")
+            .workloads(["541.leela", "505.mcf"])
+            .scenario(Scenario::new("skl", Protection::Unprotected))
+            .scenario(Scenario::new("st_skl@r=0.05", Protection::Stbpu))
+            .branches(6_000)
+            .seeds([1, 2])
+            .interval(2_000)
+            .run()
+            .unwrap();
+        let ckpt = ckpt_experiment("ckpt", &dir).run().unwrap();
+        assert_eq!(plain.to_csv(), ckpt.to_csv());
+        for (a, b) in plain.records().iter().zip(ckpt.records()) {
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.intervals, b.intervals);
+        }
+        // Completed run: one log line per suite, no leftover cell files.
+        let log = std::fs::read_to_string(dir.join("completed.jsonl")).unwrap();
+        assert_eq!(log.lines().count(), 4);
+        assert!(!std::fs::read_dir(&dir).unwrap().any(|e| e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .starts_with("cell-")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_to_identical_output() {
+        let dir = tmpdir("resume");
+        let full = ckpt_experiment("a", &dir).run().unwrap();
+        let log_path = dir.join("completed.jsonl");
+        let log = std::fs::read_to_string(&log_path).unwrap();
+
+        // Simulate a kill after the first suite landed, mid-write of the
+        // second: keep line 1 plus a truncated prefix of line 2.
+        let lines: Vec<&str> = log.lines().collect();
+        let truncated = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+        std::fs::write(&log_path, truncated).unwrap();
+
+        let resumed = ckpt_experiment("a", &dir).run().unwrap();
+        assert_eq!(full.to_csv(), resumed.to_csv());
+        for (a, b) in full.records().iter().zip(resumed.records()) {
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.intervals, b.intervals);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_flight_cell_checkpoint_resumes_bit_identically() {
+        let dir = tmpdir("cell");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Plant a genuine mid-stream checkpoint where suite 0 / scenario 0
+        // of the experiment will look for it — as if the process died with
+        // the cell half done.
+        let reg = ModelRegistry::standard();
+        let wl = Workload::Named("541.leela".to_string());
+        let model = reg.build("skl", 1).unwrap();
+        let mut source = wl.open(1, 6_000).unwrap();
+        let threads = match source.thread_count() {
+            0 => None,
+            t => Some(t),
+        };
+        let mut session = stbpu_sim::OwnedSession::new(
+            model,
+            Protection::Unprotected,
+            SessionOptions {
+                warmup: Warmup::Fraction(0.1),
+                threads,
+                interval: Some(2_000),
+                workload: None,
+            },
+        )
+        .unwrap();
+        session.begin(source.name(), source.branch_hint()).unwrap();
+        let mut fed = 0u64;
+        let mut buf = Vec::new();
+        while session.branches_seen() < 3_000 {
+            let n = source.next_batch(&mut buf, 64).unwrap();
+            assert!(n > 0);
+            session.feed_batch(&buf).unwrap();
+            fed += n as u64;
+        }
+        let cp = stbpu_sim::Checkpoint::capture(&session, "skl", 1, fed).unwrap();
+        cp.save(&cell_path(&dir, 0, 0)).unwrap();
+        drop(session);
+
+        let reference = ckpt_experiment("b", &tmpdir("cell-ref")).run().unwrap();
+        let resumed = ckpt_experiment("b", &dir).run().unwrap();
+        assert_eq!(reference.to_csv(), resumed.to_csv());
+        assert_eq!(
+            reference.records()[0].intervals,
+            resumed.records()[0].intervals
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(tmpdir("cell-ref"));
+    }
+
+    #[test]
+    fn checkpoint_dir_rejects_a_different_experiment() {
+        let dir = tmpdir("mismatch");
+        ckpt_experiment("a", &dir).run().unwrap();
+        let err = ckpt_experiment("a", &dir).seed(99).run().unwrap_err();
+        assert!(matches!(err, EngineError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -63,6 +63,8 @@ mod model_core;
 mod parallel;
 mod registry;
 mod report;
+mod resume;
+mod shard;
 mod spec;
 mod stats;
 mod suite;
@@ -75,6 +77,10 @@ pub use parallel::parallel_map;
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
 pub use report::{
     auto_protection, csv_header, protection_from_str, report_to_csv_row, report_to_json,
+};
+pub use shard::{
+    cut_checkpoints, resume_session, resume_to_end, run_sequential, run_sharded, ShardConfig,
+    ShardRun, MAX_SHARDS,
 };
 pub use spec::ExperimentSpec;
 pub use stats::{geomean, mean};

@@ -14,6 +14,7 @@
 
 use stbpu_bpu::{
     BaselineMapper, Bpu, BpuStats, BranchOutcome, BranchRecord, ConservativeMapper, EntityId,
+    SnapError, StateReader, StateWriter,
 };
 use stbpu_core::StMapper;
 use stbpu_predictors::{FullBpu, Gshare, PerceptronPredictor, SklCond, Tage};
@@ -104,6 +105,17 @@ macro_rules! model_core {
                     $(ModelCore::$variant(m) => m.rerandomizations(),)+
                     ModelCore::Custom(m) => m.rerandomizations(),
                 }
+            }
+
+            fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+                match self {
+                    $(ModelCore::$variant(m) => m.save_state(w),)+
+                    ModelCore::Custom(m) => m.save_state(w),
+                }
+            }
+
+            fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+                self.with_dyn(|m| m.load_state(r))
             }
         }
     };

@@ -1,6 +1,6 @@
 //! The direction-predictor abstraction shared by all conditional predictors.
 
-use stbpu_bpu::{HistoryCtx, Mapper};
+use stbpu_bpu::{HistoryCtx, Mapper, SnapError, StateReader, StateWriter};
 
 /// Which component produced a direction prediction.
 ///
@@ -76,6 +76,19 @@ pub trait DirectionPredictor {
 
     /// Clears all predictor state (flush-based protections).
     fn flush(&mut self);
+
+    /// Serializes all predictor tables for `.stck` checkpoints. The default
+    /// refuses, so exotic external predictors fail loudly rather than
+    /// checkpoint an incomplete state.
+    fn save_state(&self, _w: &mut StateWriter) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(self.name()))
+    }
+
+    /// Restores tables written by [`DirectionPredictor::save_state`] into a
+    /// predictor constructed with identical configuration.
+    fn load_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(self.name()))
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 use crate::direction::{DirPrediction, DirectionPredictor};
 use crate::target::TargetUnit;
 use stbpu_bpu::{
-    Bpu, BpuStats, BranchOutcome, BranchRecord, BtbConfig, EntityId, HistoryCtx, Mapper,
-    MAX_THREADS,
+    Bpu, BpuStats, BranchOutcome, BranchRecord, BtbConfig, EntityId, HistoryCtx, Mapper, SnapError,
+    StateReader, StateWriter, MAX_THREADS,
 };
 
 /// A complete branch prediction unit: `D` predicts directions, a
@@ -203,6 +203,28 @@ impl<D: DirectionPredictor, M: Mapper> Bpu for FullBpu<D, M> {
 
     fn rerandomizations(&self) -> u64 {
         self.mapper.rerandomizations()
+    }
+
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        self.dir.save_state(w)?;
+        self.mapper.save_state(w)?;
+        self.target.save_state(w);
+        for h in &self.hist {
+            h.save_state(w);
+        }
+        self.stats.save_state(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.dir.load_state(r)?;
+        self.mapper.load_state(r)?;
+        self.target.load_state(r)?;
+        for h in &mut self.hist {
+            h.load_state(r)?;
+        }
+        self.stats.load_state(r)?;
+        r.expect_end()
     }
 }
 

@@ -2,7 +2,7 @@
 //! used by ablation benches as a reference point for the SKL hybrid.
 
 use crate::direction::{DirPrediction, DirectionPredictor, Provider};
-use stbpu_bpu::{HistoryCtx, Mapper, Pht};
+use stbpu_bpu::{HistoryCtx, Mapper, Pht, SnapError, StateReader, StateWriter};
 
 /// A single-table gshare direction predictor.
 ///
@@ -58,6 +58,15 @@ impl DirectionPredictor for Gshare {
 
     fn flush(&mut self) {
         self.pht.flush();
+    }
+
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        self.pht.save_state(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.pht.load_state(r)
     }
 }
 

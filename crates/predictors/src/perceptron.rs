@@ -7,7 +7,7 @@
 //! θ = ⌊1.93·h + 14⌋.
 
 use crate::direction::{DirPrediction, DirectionPredictor, Provider};
-use stbpu_bpu::{HistoryCtx, Mapper};
+use stbpu_bpu::{check_len, HistoryCtx, Mapper, SnapError, StateReader, StateWriter};
 
 /// Perceptron predictor geometry.
 #[derive(Clone, Copy, Debug)]
@@ -121,6 +121,32 @@ impl DirectionPredictor for PerceptronPredictor {
         for row in &mut self.weights {
             row.iter_mut().for_each(|w| *w = 0);
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        w.usize(self.weights.len());
+        w.usize(self.cfg.history + 1);
+        for row in &self.weights {
+            for v in row {
+                w.i64(i64::from(*v));
+            }
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let rows = r.usize()?;
+        check_len(r, "perceptron rows", rows, self.weights.len())?;
+        let cols = r.usize()?;
+        check_len(r, "perceptron row width", cols, self.cfg.history + 1)?;
+        for row in &mut self.weights {
+            for v in row.iter_mut() {
+                let raw = r.i64()?;
+                *v = i8::try_from(raw)
+                    .map_err(|_| r.err(format!("perceptron weight {raw} out of i8 range")))?;
+            }
+        }
+        Ok(())
     }
 }
 

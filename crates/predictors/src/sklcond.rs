@@ -9,7 +9,10 @@
 //! counters — a documented generalization (see DESIGN.md §5).
 
 use crate::direction::{DirPrediction, DirectionPredictor, Provider};
-use stbpu_bpu::{HistoryCtx, Mapper, Pht, SaturatingCounter, PHT_ENTRIES};
+use stbpu_bpu::{
+    check_len, HistoryCtx, Mapper, Pht, SaturatingCounter, SnapError, StateReader, StateWriter,
+    PHT_ENTRIES,
+};
 
 /// Chooser table size (2-bit counters, address-indexed).
 const CHOOSER_ENTRIES: usize = 1 << 12;
@@ -102,6 +105,29 @@ impl DirectionPredictor for SklCond {
         for c in &mut self.chooser {
             *c = SaturatingCounter::new(2, 2);
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        self.pht.save_state(w);
+        w.usize(self.chooser.len());
+        for c in &self.chooser {
+            w.u8(c.value());
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.pht.load_state(r)?;
+        let n = r.usize()?;
+        check_len(r, "SKLCond chooser", n, self.chooser.len())?;
+        for c in &mut self.chooser {
+            let v = r.u8()?;
+            if v > c.max() {
+                return Err(r.err(format!("chooser counter value {v} exceeds width")));
+            }
+            c.set(v);
+        }
+        Ok(())
     }
 }
 

@@ -9,7 +9,9 @@
 //! using bank ids above the tagged tables.
 
 use crate::direction::{DirPrediction, DirectionPredictor, Provider};
-use stbpu_bpu::{HistoryCtx, Mapper, Pht, MAX_THREADS};
+use stbpu_bpu::{
+    check_len, HistoryCtx, Mapper, Pht, SnapError, StateReader, StateWriter, MAX_THREADS,
+};
 
 /// Geometry of a TAGE-SC-L instance.
 #[derive(Clone, Debug)]
@@ -592,6 +594,125 @@ impl DirectionPredictor for Tage {
         }
         self.use_alt = 0;
         self.tick = 0;
+    }
+
+    // Everything mutable is serialized except the per-thread `scratch`,
+    // which is only live between a `predict` and its paired `update` —
+    // checkpoints are taken between retired branches, where it is dead.
+    fn save_state(&self, w: &mut StateWriter) -> Result<(), SnapError> {
+        w.usize(self.tables.len());
+        for table in &self.tables {
+            w.usize(table.len());
+            for e in table {
+                w.u64(e.tag);
+                w.i64(i64::from(e.ctr));
+                w.u8(e.u);
+            }
+        }
+        self.bimodal.save_state(w);
+        for table in &self.sc {
+            for c in table {
+                w.i64(i64::from(*c));
+            }
+        }
+        w.usize(self.loops.len());
+        for e in &self.loops {
+            w.u64(e.tag);
+            w.u32(u32::from(e.past_iter));
+            w.u32(u32::from(e.curr_iter));
+            w.u8(e.conf);
+            w.bool(e.dir);
+            w.bool(e.valid);
+        }
+        w.usize(self.threads.len());
+        for t in &self.threads {
+            for b in &t.bits {
+                w.bool(*b);
+            }
+            w.usize(t.ptr);
+            for f in t.folded_idx.iter().chain(t.folded_tag.iter()) {
+                w.u64(f.comp);
+            }
+            for f in &t.sc_folds {
+                w.u64(f.comp);
+            }
+        }
+        w.i64(i64::from(self.use_alt));
+        w.u32(self.tick);
+        w.u64(self.lfsr);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let nt = r.usize()?;
+        check_len(r, "TAGE tagged tables", nt, self.tables.len())?;
+        for table in &mut self.tables {
+            let n = r.usize()?;
+            check_len(r, "TAGE table", n, table.len())?;
+            for e in table.iter_mut() {
+                e.tag = r.u64()?;
+                let ctr = r.i64()?;
+                if !(-4..=3).contains(&ctr) {
+                    return Err(r.err(format!("TAGE counter {ctr} out of range")));
+                }
+                e.ctr = ctr as i8;
+                e.u = r.u8()?;
+                if e.u > 3 {
+                    return Err(r.err(format!("TAGE useful bits {} out of range", e.u)));
+                }
+            }
+        }
+        self.bimodal.load_state(r)?;
+        for table in &mut self.sc {
+            for c in table.iter_mut() {
+                let v = r.i64()?;
+                if !(-32..=31).contains(&v) {
+                    return Err(r.err(format!("SC counter {v} out of range")));
+                }
+                *c = v as i8;
+            }
+        }
+        let nl = r.usize()?;
+        check_len(r, "loop table", nl, self.loops.len())?;
+        for e in &mut self.loops {
+            e.tag = r.u64()?;
+            let past = r.u32()?;
+            let curr = r.u32()?;
+            e.past_iter = u16::try_from(past)
+                .map_err(|_| r.err(format!("loop past_iter {past} out of range")))?;
+            e.curr_iter = u16::try_from(curr)
+                .map_err(|_| r.err(format!("loop curr_iter {curr} out of range")))?;
+            e.conf = r.u8()?;
+            e.dir = r.bool()?;
+            e.valid = r.bool()?;
+        }
+        let nthreads = r.usize()?;
+        check_len(r, "TAGE threads", nthreads, self.threads.len())?;
+        for t in &mut self.threads {
+            for b in &mut t.bits {
+                *b = r.bool()?;
+            }
+            let ptr = r.usize()?;
+            if ptr >= HIST_CAP {
+                return Err(r.err(format!("history pointer {ptr} out of range")));
+            }
+            t.ptr = ptr;
+            for f in t.folded_idx.iter_mut().chain(t.folded_tag.iter_mut()) {
+                f.comp = r.u64()?;
+            }
+            for f in &mut t.sc_folds {
+                f.comp = r.u64()?;
+            }
+            t.scratch = Scratch::default();
+        }
+        let ua = r.i64()?;
+        if !(-8..=7).contains(&ua) {
+            return Err(r.err(format!("use_alt {ua} out of range")));
+        }
+        self.use_alt = ua as i8;
+        self.tick = r.u32()?;
+        self.lfsr = r.u64()?;
+        Ok(())
     }
 }
 

@@ -14,7 +14,8 @@
 //! and the conservative model keeps the full 48-bit address.
 
 use stbpu_bpu::{
-    partition_set, BranchKind, BranchRecord, Btb, BtbConfig, HistoryCtx, Mapper, VirtAddr,
+    partition_set, BranchKind, BranchRecord, Btb, BtbConfig, HistoryCtx, Mapper, SnapError,
+    StateReader, StateWriter, VirtAddr,
 };
 
 /// Result of a target lookup for one branch.
@@ -80,6 +81,25 @@ impl TargetUnit {
     /// Invalidates all BTB entries.
     pub fn flush(&mut self) {
         self.btb.flush();
+    }
+
+    /// Serializes the BTB and the unit's mode flags for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.btb.save_state(w);
+        w.bool(self.full_fidelity);
+        w.bool(self.partitioned);
+    }
+
+    /// Restores state saved by [`TargetUnit::save_state`] into a unit of
+    /// identical geometry and fidelity mode.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.btb.load_state(r)?;
+        let ff = r.bool()?;
+        if ff != self.full_fidelity {
+            return Err(r.err("target-unit fidelity mode mismatch"));
+        }
+        self.partitioned = r.bool()?;
+        Ok(())
     }
 
     fn set_for(&self, index: usize, tid: usize) -> usize {

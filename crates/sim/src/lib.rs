@@ -61,9 +61,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod observer;
 mod session;
 
+pub use checkpoint::{fnv1a64, Checkpoint, CheckpointError, STCK_MAGIC, STCK_VERSION};
 pub use observer::{FlushKind, IntervalRecorder, IntervalWindow, SimObserver};
 pub use session::{OwnedSession, SessionOptions, SimSession, Warmup};
 
@@ -120,7 +122,7 @@ impl Protection {
 }
 
 /// Aggregated result of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Model name.
     pub model: String,

@@ -31,7 +31,7 @@
 
 use crate::observer::{FlushKind, IntervalWindow, SimObserver};
 use crate::{Protection, SimError, SimReport};
-use stbpu_bpu::{Bpu, EntityId};
+use stbpu_bpu::{check_len, Bpu, EntityId, SnapError, StateReader, StateWriter};
 use stbpu_trace::{EventSource, TraceEvent};
 
 /// Warm-up policy for a session: the structures train without counting
@@ -299,23 +299,122 @@ impl SessionCore {
         Ok(())
     }
 
+    /// The prologue [`SessionCore::run`] performs before pulling any event:
+    /// adopt the source's name as the workload label (if none was set) and
+    /// resolve a pending fractional warm-up against its branch hint. Pulled
+    /// out so manual-feed paths (shard workers, checkpoint creation) can
+    /// run it and stay bit-identical to `run` over the same stream.
+    fn begin(&mut self, name: &str, branch_hint: Option<u64>) -> Result<(), SimError> {
+        if self.workload.is_none() {
+            self.workload = Some(name.to_string());
+        }
+        if self.warmup_target.is_none() {
+            let hint = branch_hint.ok_or(SimError::WarmupNeedsBranchCount)?;
+            let target = (hint as f64 * self.pending_fraction) as u64;
+            self.warmup_target = Some(target);
+            self.warmed = self.warmed || target == 0;
+        }
+        Ok(())
+    }
+
+    /// Serializes every field a resumed session needs to continue the
+    /// stream bit-identically. The policy lives in the checkpoint envelope
+    /// (the session is re-opened under it before loading), and `batch_buf`
+    /// is a scratch buffer that is always empty between events.
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.threads);
+        for e in &self.user_entity {
+            w.u32(e.0);
+        }
+        match self.warmup_target {
+            Some(t) => {
+                w.bool(true);
+                w.u64(t);
+            }
+            None => w.bool(false),
+        }
+        w.f64(self.pending_fraction);
+        w.u64(self.seen);
+        w.bool(self.warmed);
+        match self.interval {
+            Some(n) => {
+                w.bool(true);
+                w.u64(n);
+            }
+            None => w.bool(false),
+        }
+        Self::save_window(w, &self.window);
+        w.u64(self.last_rerand);
+        match &self.workload {
+            Some(s) => {
+                w.bool(true);
+                w.str(s);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.record_intervals);
+        w.usize(self.recorded.len());
+        for win in &self.recorded {
+            Self::save_window(w, win);
+        }
+    }
+
+    fn save_window(w: &mut StateWriter, win: &IntervalWindow) {
+        w.u64(win.start_branch);
+        w.u64(win.branches);
+        w.u64(win.effective_correct);
+        w.u64(win.mispredictions);
+        w.u64(win.flushes);
+        w.u64(win.rerandomizations);
+    }
+
+    fn load_window(r: &mut StateReader<'_>) -> Result<IntervalWindow, SnapError> {
+        Ok(IntervalWindow {
+            start_branch: r.u64()?,
+            branches: r.u64()?,
+            effective_correct: r.u64()?,
+            mispredictions: r.u64()?,
+            flushes: r.u64()?,
+            rerandomizations: r.u64()?,
+        })
+    }
+
+    /// Restores state saved by [`SessionCore::save_state`] into a session
+    /// opened with the same thread provision.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let threads = r.usize()?;
+        check_len(r, "session threads", threads, self.threads)?;
+        for e in &mut self.user_entity {
+            *e = EntityId(r.u32()?);
+        }
+        self.warmup_target = if r.bool()? { Some(r.u64()?) } else { None };
+        self.pending_fraction = r.f64()?;
+        self.seen = r.u64()?;
+        self.warmed = r.bool()?;
+        self.interval = if r.bool()? { Some(r.u64()?) } else { None };
+        self.window = Self::load_window(r)?;
+        self.last_rerand = r.u64()?;
+        self.workload = if r.bool()? {
+            Some(r.str()?.to_string())
+        } else {
+            None
+        };
+        self.record_intervals = r.bool()?;
+        let n = r.usize()?;
+        self.recorded = Vec::new();
+        for _ in 0..n {
+            self.recorded.push(Self::load_window(r)?);
+        }
+        Ok(())
+    }
+
     fn run<B: Bpu + ?Sized>(
         &mut self,
         model: &mut B,
         obs: &mut [&mut dyn SimObserver],
         source: &mut dyn EventSource,
     ) -> Result<(), SimError> {
-        if self.workload.is_none() {
-            self.workload = Some(source.name().to_string());
-        }
-        if self.warmup_target.is_none() {
-            let hint = source
-                .branch_hint()
-                .ok_or(SimError::WarmupNeedsBranchCount)?;
-            let target = (hint as f64 * self.pending_fraction) as u64;
-            self.warmup_target = Some(target);
-            self.warmed = self.warmed || target == 0;
-        }
+        self.begin(source.name(), source.branch_hint())?;
         let mut buf = std::mem::take(&mut self.batch_buf);
         let result = loop {
             match source.next_batch(&mut buf, RUN_BATCH) {
@@ -569,9 +668,61 @@ impl<B: Bpu> OwnedSession<B> {
         self.core.seen
     }
 
+    /// The workload label the report will carry, once resolved (set in
+    /// the options or adopted from the first source/[`OwnedSession::begin`]).
+    pub fn workload(&self) -> Option<&str> {
+        self.core.workload.as_deref()
+    }
+
+    /// The protection policy the session was opened under.
+    pub fn protection(&self) -> Protection {
+        self.core.policy
+    }
+
     /// The owned model (e.g. to read statistics mid-stream).
     pub fn model(&self) -> &B {
         &self.model
+    }
+
+    /// Mutable access to the owned model — the checkpoint restore path
+    /// loads predictor state through this.
+    pub fn model_mut(&mut self) -> &mut B {
+        &mut self.model
+    }
+
+    /// Runs the stream prologue [`SimSession::run`] would: adopts
+    /// `workload` as the label (if none was set) and resolves a pending
+    /// fractional warm-up against `branch_hint`. Manual-feed drivers
+    /// (shard workers, checkpoint creation) call this once before their
+    /// first [`OwnedSession::feed_batch`] so their sessions are
+    /// bit-identical to a `run` over the same source.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WarmupNeedsBranchCount`] when a fractional warm-up is
+    /// pending and `branch_hint` is `None`.
+    pub fn begin(&mut self, workload: &str, branch_hint: Option<u64>) -> Result<(), SimError> {
+        self.core.begin(workload, branch_hint)
+    }
+
+    /// Serializes the session bookkeeping (warm-up progress, interval
+    /// window, workload label, retained windows — everything except the
+    /// model itself and the protection policy, which the checkpoint
+    /// envelope carries). Pair with [`Bpu::save_state`] on
+    /// [`OwnedSession::model`] for a complete snapshot.
+    pub fn save_session_state(&self, w: &mut StateWriter) {
+        self.core.save_state(w);
+    }
+
+    /// Restores bookkeeping saved by [`OwnedSession::save_session_state`]
+    /// into a session opened under the same policy and thread provision.
+    ///
+    /// # Errors
+    ///
+    /// A positioned [`SnapError`] on truncation, corruption, or a thread
+    /// provision mismatch.
+    pub fn load_session_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.core.load_state(r)
     }
 
     /// Feeds one event — see [`SimSession::feed`].

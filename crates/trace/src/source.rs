@@ -93,6 +93,31 @@ pub trait EventSource {
         Ok(buf.len())
     }
 
+    /// Skips up to `n` events without yielding them, returning how many
+    /// were actually skipped (less than `n` only at end of stream). The
+    /// stream then continues exactly where a consumer that pulled and
+    /// discarded `n` events would be — the resume primitive for
+    /// checkpointed simulation. The default implementation decodes and
+    /// discards in batches; seekable sources override it with an O(1)
+    /// position jump.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first source error hit while skipping.
+    fn skip_events(&mut self, n: u64) -> Result<u64, SourceError> {
+        let mut buf = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let chunk = left.min(4_096) as usize;
+            let got = self.next_batch(&mut buf, chunk)?;
+            if got == 0 {
+                break;
+            }
+            left -= got as u64;
+        }
+        Ok(n - left)
+    }
+
     /// Drains the source in batches of at most `max` events, invoking
     /// `f` on each non-empty batch — the shared shape of every bulk
     /// consumer (serializers, inspectors, ingest benchmarks). Source
@@ -184,6 +209,15 @@ impl EventSource for TraceSource<'_> {
         self.pos = end;
         Ok(n)
     }
+
+    fn skip_events(&mut self, n: u64) -> Result<u64, SourceError> {
+        let len = self.trace.events().len();
+        let want = usize::try_from(n).unwrap_or(usize::MAX);
+        let end = self.pos.saturating_add(want).min(len);
+        let skipped = (end - self.pos) as u64;
+        self.pos = end;
+        Ok(skipped)
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +264,33 @@ mod tests {
         src.next_batch(&mut buf, 10_000).unwrap();
         assert_eq!(first, t.events()[0]);
         assert_eq!(buf.as_slice(), &t.events()[1..]);
+    }
+
+    #[test]
+    fn skip_events_matches_pull_and_discard() {
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).generate(600);
+        let total = t.events().len() as u64;
+
+        // Seekable override (TraceSource).
+        let mut src = t.source();
+        assert_eq!(src.skip_events(123).unwrap(), 123);
+        assert_eq!(src.next_event().unwrap(), Some(t.events()[123]));
+
+        // Skipping past the end reports the shortfall and exhausts.
+        let mut src = t.source();
+        assert_eq!(src.skip_events(total + 50).unwrap(), total);
+        assert_eq!(src.next_event().unwrap(), None);
+
+        // Default decode-and-discard path (generator source) lands on the
+        // same stream position as pulling.
+        let mut a = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).into_source(600);
+        let mut b = TraceGenerator::new(&WorkloadProfile::test_profile(), 5).into_source(600);
+        a.skip_events(200).unwrap();
+        for _ in 0..200 {
+            b.next_event().unwrap();
+        }
+        let ra = a.collect_trace().unwrap();
+        let rb = b.collect_trace().unwrap();
+        assert_eq!(ra.events(), rb.events());
     }
 }
