@@ -109,19 +109,26 @@ impl LintId {
             // Any crate may grow a lock; the invariant is universal.
             LintId::LockScope => &[],
             // Crates whose collections can feed reports, traces or wire
-            // frames that CI diffs byte-for-byte.
+            // frames that CI diffs byte-for-byte. `crates/phases` joined
+            // in PR 9: k-means centroid updates and representative
+            // selection order anything in `.stbp`, which CI byte-diffs.
             LintId::Determinism => &[
                 "crates/sim/src/",
                 "crates/engine/src/",
                 "crates/trace/src/",
                 "crates/serve/src/",
                 "crates/core/src/",
+                "crates/phases/src/",
             ],
             // Crates on the OAE-affecting simulation path, plus the
             // engine's shard/resume drivers whose outputs CI diffs
             // byte-for-byte against sequential runs (timing belongs in
             // the CLI bench layer). Bench/CLI progress code lives outside
             // these roots and may time freely.
+            // PR 9 additions: the clustering crate (a wall-clock read in
+            // k-means would make phase selection machine-dependent) and
+            // the engine's phase driver, whose estimates the simpoint
+            // reference gate diffs against a committed JSON.
             LintId::WallClock => &[
                 "crates/bpu/src/",
                 "crates/remap/src/",
@@ -130,6 +137,8 @@ impl LintId {
                 "crates/core/src/",
                 "crates/engine/src/shard.rs",
                 "crates/engine/src/resume.rs",
+                "crates/engine/src/phases.rs",
+                "crates/phases/src/",
             ],
             // The daemon request/decode paths and the client library that
             // multiplexes live sessions, plus the checkpoint codecs: a
@@ -138,12 +147,18 @@ impl LintId {
             // resume would lose the completed work it exists to protect.
             // `bench.rs` (a harness that may panic on setup failure) is
             // deliberately out of scope.
+            // PR 9 additions: the `.stbp` codec (a truncated or corrupt
+            // phase file must decode to a positioned PhaseError) and the
+            // BBV extractor, which runs inside the bench/CI pipeline
+            // where a panic aborts the whole figure-estimation gate.
             LintId::PanicFreedom => &[
                 "crates/serve/src/server.rs",
                 "crates/serve/src/protocol.rs",
                 "crates/serve/src/client.rs",
                 "crates/sim/src/checkpoint.rs",
                 "crates/engine/src/resume.rs",
+                "crates/phases/src/file.rs",
+                "crates/trace/src/bbv.rs",
             ],
         }
     }
@@ -1113,6 +1128,120 @@ fn run_segment(events: u64) -> f64 {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 3);
         let good = "fn run_segment(events: u64) -> u64 { feed(events); events }";
+        assert!(run(LintId::WallClock, good).is_empty());
+    }
+
+    #[test]
+    fn phase_paths_are_in_scope() {
+        // The phase-clustering layer joined the lint surface in PR 9: the
+        // .stbp codec and BBV extractor must stay panic-free (they run
+        // inside the CI figure-estimation gate), the whole phases crate
+        // must stay deterministic and wall-clock-free (phase selection
+        // orders `.stbp` bytes CI diffs), and the engine's phase driver
+        // must stay wall-clock-free (its estimates are diffed against
+        // ci/simpoint-reference.json).
+        for path in ["crates/phases/src/file.rs", "crates/trace/src/bbv.rs"] {
+            assert!(LintId::PanicFreedom.applies_to(path), "{path}");
+        }
+        for path in [
+            "crates/phases/src/cluster.rs",
+            "crates/phases/src/file.rs",
+            "crates/engine/src/phases.rs",
+        ] {
+            assert!(LintId::WallClock.applies_to(path), "{path}");
+        }
+        assert!(LintId::Determinism.applies_to("crates/phases/src/cluster.rs"));
+        // The bench layer wraps the estimation in timing on purpose.
+        assert!(!LintId::WallClock.applies_to("crates/cli/src/bench_cmd.rs"));
+        // The clustering internals may unwrap on invariants the builder
+        // establishes — only the codec and extractor are panic-scoped.
+        assert!(!LintId::PanicFreedom.applies_to("crates/phases/src/cluster.rs"));
+    }
+
+    #[test]
+    fn kmeans_hash_iteration_bad_twin_fires_and_btree_twin_is_clean() {
+        // Bad twin: a centroid update that accumulates members in a
+        // HashMap and iterates it — the iteration order decides tie-broken
+        // representative picks, which reach `.stbp` bytes CI diffs.
+        let bad = r#"
+fn update_centroids(assign: &[usize], dims: usize) -> Vec<Vec<f64>> {
+    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (slice, &c) in assign.iter().enumerate() {
+        members.entry(c).or_default().push(slice);
+    }
+    let mut out = Vec::new();
+    for (c, slices) in members.iter() {
+        let _ = (c, slices, dims);
+        out.push(vec![0.0; dims]);
+    }
+    out
+}
+"#;
+        let f = run(LintId::Determinism, bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`members`"), "{}", f[0].message);
+        // Good twin: BTreeMap accumulation — iteration order is the key
+        // order, stable across runs and toolchains.
+        let good = r#"
+fn update_centroids(assign: &[usize], dims: usize) -> Vec<Vec<f64>> {
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (slice, &c) in assign.iter().enumerate() {
+        members.entry(c).or_default().push(slice);
+    }
+    let mut out = Vec::new();
+    for (c, slices) in members.iter() {
+        let _ = (c, slices, dims);
+        out.push(vec![0.0; dims]);
+    }
+    out
+}
+"#;
+        let f = run(LintId::Determinism, good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stbp_decode_bad_twin_fires_and_good_twin_is_clean() {
+        // Bad twin: a .stbp-style decoder that panics on short input
+        // instead of returning a positioned PhaseError.
+        let bad = r#"
+fn decode_phase_header(data: &[u8]) -> (u16, u64) {
+    let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+    let slice_branches = read_varint(&data[8..]).expect("slice size");
+    (version, slice_branches)
+}
+"#;
+        let f = run(LintId::PanicFreedom, bad);
+        assert_eq!(f.len(), 2, "{f:?}");
+        // Good twin: the shape crates/phases/src/file.rs actually uses —
+        // every miss becomes a PhaseError with the failing offset.
+        let good = r#"
+fn decode_phase_header(data: &[u8]) -> Result<(u16, u64), PhaseError> {
+    let v = data.get(4..6).ok_or_else(|| PhaseError::truncated(4))?;
+    let version = u16::from_le_bytes(v.try_into().map_err(|_| PhaseError::truncated(4))?);
+    let rest = data.get(8..).ok_or_else(|| PhaseError::truncated(8))?;
+    let slice_branches = read_varint(rest)?;
+    Ok((version, slice_branches))
+}
+"#;
+        let f = run(LintId::PanicFreedom, good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn clustering_bad_twin_fires_on_wall_clock_seeding() {
+        // Bad twin: seeding k-means restarts from the host clock — the
+        // clustering (and with it every estimate) would differ per run.
+        let bad = r#"
+fn pick_restart_seed(base: u64) -> u64 {
+    let t = std::time::SystemTime::now();
+    base ^ hash(t)
+}
+"#;
+        let f = run(LintId::WallClock, bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        let good =
+            "fn pick_restart_seed(base: u64, restart: u64) -> u64 { splitmix(base ^ restart) }";
         assert!(run(LintId::WallClock, good).is_empty());
     }
 

@@ -51,6 +51,12 @@ const SCHEMES: &[(&str, &str, Protection)] = &[
 /// Relative branches/s drift that triggers a (warn-only) throughput note.
 const THROUGHPUT_NOTE_FRAC: f64 = 0.10;
 
+/// The documented absolute OAE error bound for phase-based estimation
+/// (README "Phase clustering"): the simpoint suite hard-fails any scheme
+/// whose |estimated − full| OAE exceeds it, and the CI reference gate
+/// inherits it as the widest acceptable drift.
+const SIMPOINT_OAE_ERROR_BOUND: f64 = 0.02;
+
 /// One measured scheme.
 struct Record {
     name: &'static str,
@@ -98,6 +104,7 @@ enum Suite {
     Ingest,
     Shard,
     Serve,
+    Simpoint,
 }
 
 /// Runs one scheme to completion; `batched` selects the batched session
@@ -175,9 +182,10 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         Some("ingest") => Suite::Ingest,
         Some("shard") => Suite::Shard,
         Some("serve") => Suite::Serve,
+        Some("simpoint") => Suite::Simpoint,
         Some(other) => {
             return Err(Failure::Usage(format!(
-                "unknown suite '{other}' (default|throughput|ingest|shard|serve)"
+                "unknown suite '{other}' (default|throughput|ingest|shard|serve|simpoint)"
             )))
         }
     };
@@ -188,6 +196,13 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             "--clients/--sessions apply only to the serve suite".to_string(),
         ));
     }
+    let estimate_only = a.flag("--estimate-only");
+    let update_reference = a.opt("--update-reference")?;
+    if suite != Suite::Simpoint && (estimate_only || update_reference.is_some()) {
+        return Err(Failure::Usage(
+            "--estimate-only/--update-reference apply only to the simpoint suite".to_string(),
+        ));
+    }
     let out_dir = a.opt("--out-dir")?.unwrap_or_else(|| ".".to_string());
     // The ingest suite defaults to the paper-scale 10M-branch trace the
     // format was built for; everything else keeps the 2M default.
@@ -196,10 +211,10 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         // per-session defaults sit well below the single-run suites.
         (Suite::Serve, true) => 50_000,
         (Suite::Serve, false) => 200_000,
-        // The shard suite is the paper-scale 10M-branch scaling curve;
-        // --quick keeps the same shape at CI size.
-        (Suite::Shard, true) => 1_000_000,
-        (Suite::Shard, false) => 10_000_000,
+        // The shard and simpoint suites are the paper-scale 10M-branch
+        // comparisons; --quick keeps the same shape at CI size.
+        (Suite::Shard | Suite::Simpoint, true) => 1_000_000,
+        (Suite::Shard | Suite::Simpoint, false) => 10_000_000,
         (_, true) => 200_000,
         (Suite::Ingest, false) => 10_000_000,
         (_, false) => 2_000_000,
@@ -243,6 +258,28 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             &out_dir,
             json,
             check.as_deref(),
+        );
+    }
+
+    if suite == Suite::Simpoint {
+        if update.is_some() {
+            return Err(Failure::Usage(
+                "--update-baseline applies to the default/throughput suites; the simpoint \
+                 suite refreshes its own reference via --update-reference"
+                    .to_string(),
+            ));
+        }
+        return run_simpoint(
+            &registry,
+            &workload,
+            branches,
+            seed,
+            &out_dir,
+            json,
+            check.as_deref(),
+            update_reference.as_deref(),
+            tolerance,
+            estimate_only,
         );
     }
 
@@ -336,7 +373,9 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 rows.join(",")
             )?;
         }
-        Suite::Ingest | Suite::Shard | Suite::Serve => unreachable!("these suites return early"),
+        Suite::Ingest | Suite::Shard | Suite::Serve | Suite::Simpoint => {
+            unreachable!("these suites return early")
+        }
     }
 
     if json {
@@ -347,7 +386,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             match suite {
                 Suite::Default => "default suite",
                 Suite::Throughput => "throughput suite: batched vs single-event",
-                Suite::Ingest | Suite::Shard | Suite::Serve =>
+                Suite::Ingest | Suite::Shard | Suite::Serve | Suite::Simpoint =>
                     unreachable!("these suites return early"),
             }
         );
@@ -384,7 +423,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 }
                 eprintln!("wrote BENCH_throughput.json to {out_dir}/ (paths bit-identical)");
             }
-            Suite::Ingest | Suite::Shard | Suite::Serve => {
+            Suite::Ingest | Suite::Shard | Suite::Serve | Suite::Simpoint => {
                 unreachable!("these suites return early")
             }
         }
@@ -406,7 +445,7 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
                 // before the gate hardens (see CONTRIBUTING.md).
                 throughput_drift_notes("throughput", &path, &records);
             }
-            Suite::Ingest | Suite::Shard | Suite::Serve => {
+            Suite::Ingest | Suite::Shard | Suite::Serve | Suite::Simpoint => {
                 unreachable!("these suites return early")
             }
         }
@@ -924,6 +963,431 @@ fn run_shard_in(
     Ok(())
 }
 
+/// One scheme of the simpoint suite.
+struct SimpointRecord {
+    name: &'static str,
+    model: String,
+    protection: String,
+    est_oae: f64,
+    est_s: f64,
+    full_oae: Option<f64>,
+    full_s: Option<f64>,
+}
+
+/// The simpoint suite: the workload is staged to a `.stbt` trace file
+/// once (both pipelines then start from the same on-disk trace, the
+/// setting phase estimation targets), one BBV + k-means pass distills it
+/// into a phase file, every scheme is estimated from the representative
+/// slices alone, and — unless `--estimate-only` — every scheme also runs
+/// in full so the suite can hard-gate the absolute OAE error (bound
+/// [`SIMPOINT_OAE_ERROR_BOUND`]). The headline gate is deterministic:
+/// the simulated-branch speedup `total / (Σ representatives + warm-up)`
+/// must be ≥ 10x at paper scale (≥10M branches) — the suite caps `k` at
+/// 6 so ≤ 9 of ~100 slices are ever simulated. Wall-clock speedup is
+/// reported alongside but never gates (this repo benches on shared
+/// 1-core runners). Estimates are bit-deterministic for a fixed
+/// configuration, so `--check` compares them exactly (within
+/// `--tolerance`) against the committed `ci/simpoint-reference.json` —
+/// the per-PR full-scale figure gate — and `--update-reference`
+/// refreshes that file. Emits one `BENCH_simpoint.json` trajectory
+/// record.
+#[allow(clippy::too_many_arguments)]
+fn run_simpoint(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+    update_reference: Option<&str>,
+    tolerance: f64,
+    estimate_only: bool,
+) -> Result<(), Failure> {
+    let dir = std::env::temp_dir().join(format!("stbpu-simpoint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let result = run_simpoint_in(
+        registry,
+        workload,
+        branches,
+        seed,
+        out_dir,
+        json,
+        check,
+        update_reference,
+        tolerance,
+        estimate_only,
+        &dir,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_simpoint_in(
+    registry: &ModelRegistry,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    out_dir: &str,
+    json: bool,
+    check: Option<&str>,
+    update_reference: Option<&str>,
+    tolerance: f64,
+    estimate_only: bool,
+    dir: &std::path::Path,
+) -> Result<(), Failure> {
+    use stbpu_engine::{build_phase_file, run_phase_file, run_sequential, PhaseBuildOptions};
+    use stbpu_phases::ClusterConfig;
+    use stbpu_trace::{EventSource, TraceFileFormat, TraceFileWriter, TraceGenerator};
+    use std::io::BufWriter;
+
+    // Stage the workload to a binary trace file once: every pipeline
+    // below (BBV pass, per-phase estimates, full references) then reads
+    // the same on-disk `.stbt`, which is the setting phase estimation is
+    // for — a trace that already exists and decodes far faster than it
+    // simulates.
+    let profile = stbpu_trace::profiles::by_name(workload).ok_or_else(|| {
+        Failure::from(stbpu_engine::EngineError::UnknownWorkload(workload.into()))
+    })?;
+    let bin_path = dir.join("simpoint.stbt");
+    eprintln!(
+        "simpoint suite: staging {branches}-branch trace to {}…",
+        bin_path.display()
+    );
+    let stage_start = Instant::now();
+    {
+        let mut source = TraceGenerator::new(profile, seed).into_source(branches);
+        let mut bw = TraceFileWriter::new(
+            TraceFileFormat::Binary,
+            BufWriter::new(std::fs::File::create(&bin_path)?),
+        );
+        bw.header(source.name(), source.branch_hint(), source.thread_count())?;
+        source.for_each_batch(4_096, |batch| {
+            for ev in batch {
+                bw.event(ev)?;
+            }
+            Ok::<(), Failure>(())
+        })?;
+        bw.flush()?;
+    }
+    let stage_s = stage_start.elapsed().as_secs_f64();
+    let w = Workload::File(bin_path.clone());
+
+    // ~100 slices at any scale (clamped to the canonical 100k-branch
+    // slice at paper size), with k capped at 6: each cold phase costs
+    // 1.5 slices (half-slice warm-up + representative), so at most 9 of
+    // ~100 slices are simulated — a ≥11x simulated-branch speedup by
+    // construction.
+    let slice_branches =
+        ((branches as u64) / 100).clamp(1_000, stbpu_trace::DEFAULT_SLICE_BRANCHES);
+
+    eprintln!(
+        "simpoint suite: BBV + clustering over {branches} branches \
+         ({slice_branches} branches/slice)…"
+    );
+    let start = Instant::now();
+    let opts = PhaseBuildOptions {
+        slice_branches,
+        cluster: ClusterConfig {
+            k_max: 6,
+            ..ClusterConfig::default()
+        },
+        ..PhaseBuildOptions::default()
+    };
+    let pf = build_phase_file(registry, seed, &w, branches, &opts).map_err(Failure::from)?;
+    let bbv_s = start.elapsed().as_secs_f64();
+    let phases = pf.phases.len();
+
+    let mut records: Vec<SimpointRecord> = Vec::new();
+    let (mut est_total_s, mut full_total_s) = (0.0f64, 0.0f64);
+    let mut simulated = pf.simulated_branches();
+    for &(name, model_spec, policy) in SCHEMES {
+        eprintln!("simpoint suite: estimating {name} from {phases} phases…");
+        let start = Instant::now();
+        let run = run_phase_file(registry, model_spec, policy, &pf, &w).map_err(Failure::from)?;
+        let est_s = start.elapsed().as_secs_f64();
+        est_total_s += est_s;
+        // Includes warm-up branches; identical across schemes (all cold).
+        simulated = run.simulated_branches;
+
+        let (full_oae, full_s) = if estimate_only {
+            (None, None)
+        } else {
+            eprintln!("simpoint suite: full reference run for {name}…");
+            let start = Instant::now();
+            let (full, _) = run_sequential(
+                registry,
+                model_spec,
+                policy,
+                seed,
+                &w,
+                branches,
+                Warmup::Branches(0),
+                None,
+                None,
+            )
+            .map_err(Failure::from)?;
+            let full_s = start.elapsed().as_secs_f64();
+            full_total_s += full_s;
+            let err = (run.report.oae - full.oae).abs();
+            if err > SIMPOINT_OAE_ERROR_BOUND {
+                return Err(Failure::Runtime(format!(
+                    "scheme '{name}': estimated OAE {} is {err:.4} away from the full run's {} \
+                     — beyond the documented {SIMPOINT_OAE_ERROR_BOUND} bound (see README \
+                     \"Phase clustering\")",
+                    run.report.oae, full.oae
+                )));
+            }
+            (Some(full.oae), Some(full_s))
+        };
+        records.push(SimpointRecord {
+            name,
+            model: run.report.model,
+            protection: run.report.protection.to_string(),
+            est_oae: run.report.oae,
+            est_s,
+            full_oae,
+            full_s,
+        });
+    }
+
+    // The gated speedup is the deterministic one: how many branches the
+    // estimate simulates versus the full run. Wall-clock speedup is
+    // reported for context but never gates — it depends on the runner,
+    // the core count, and how sim-bound the scheme mix is.
+    let branch_speedup = branches as f64 / (simulated as f64).max(1.0);
+    if branches >= 10_000_000 && branch_speedup < 10.0 {
+        return Err(Failure::Runtime(format!(
+            "simpoint simulated-branch speedup {branch_speedup:.2}x is below the 10x floor at \
+             paper scale: {simulated} of {branches} branches simulated"
+        )));
+    }
+    let wall_speedup = if estimate_only {
+        None
+    } else {
+        Some(full_total_s / (bbv_s + est_total_s).max(1e-12))
+    };
+
+    let scheme_rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let full = match (r.full_oae, r.full_s) {
+                (Some(oae), Some(s)) => format!(
+                    ",\"full_oae\":{oae},\"full_s\":{s:.6},\"abs_oae_error\":{:.9}",
+                    (r.est_oae - oae).abs()
+                ),
+                _ => String::new(),
+            };
+            format!(
+                "{{\"name\":\"{}\",\"model\":{},\"protection\":\"{}\",\
+                 \"estimated_oae\":{},\"estimate_s\":{:.6}{full}}}",
+                r.name,
+                escape(&r.model),
+                r.protection,
+                r.est_oae,
+                r.est_s,
+            )
+        })
+        .collect();
+    let wall_field = match wall_speedup {
+        Some(s) => format!(",\"full_total_s\":{full_total_s:.6},\"wall_speedup\":{s:.3}"),
+        None => String::new(),
+    };
+    let body = format!(
+        "{{\"suite\":\"simpoint\",\"workload\":{},\"branches\":{branches},\"seed\":{seed},\
+         \"slice_branches\":{slice_branches},\"phases\":{phases},\
+         \"simulated_branches\":{simulated},\"branch_speedup\":{branch_speedup:.3},\
+         \"error_bound\":{SIMPOINT_OAE_ERROR_BOUND},\"stage_s\":{stage_s:.6},\
+         \"bbv_s\":{bbv_s:.6},\"estimate_total_s\":{est_total_s:.6}{wall_field},\
+         \"schemes\":[{}]}}",
+        escape(workload),
+        scheme_rows.join(",")
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = format!("{out_dir}/BENCH_simpoint.json");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{body}")?;
+
+    if json {
+        println!("{body}");
+    } else {
+        println!(
+            "stbpu bench (simpoint suite: phase estimation vs full simulation) — {workload}, \
+             {branches} branches, seed {seed}"
+        );
+        println!(
+            "phase file: {phases} phases over {} slices of {slice_branches} branches — \
+             simulating {simulated} branches incl. warm-up ({:.1}% of the stream, \
+             {branch_speedup:.1}x); stage {stage_s:.3}s, BBV+cluster {bbv_s:.3}s",
+            branches as u64 / slice_branches.max(1),
+            simulated as f64 * 100.0 / (branches as f64).max(1.0)
+        );
+        println!(
+            "{:<14} {:<18} {:>12} {:>9} {:>12} {:>9} {:>11}",
+            "scheme", "model", "est OAE", "est", "full OAE", "full", "|OAE err|"
+        );
+        for r in &records {
+            match (r.full_oae, r.full_s) {
+                (Some(oae), Some(s)) => println!(
+                    "{:<14} {:<18} {:>12.6} {:>8.3}s {:>12.6} {:>8.3}s {:>11.2e}",
+                    r.name,
+                    r.model,
+                    r.est_oae,
+                    r.est_s,
+                    oae,
+                    s,
+                    (r.est_oae - oae).abs()
+                ),
+                _ => println!(
+                    "{:<14} {:<18} {:>12.6} {:>8.3}s {:>12} {:>9} {:>11}",
+                    r.name, r.model, r.est_oae, r.est_s, "-", "-", "-"
+                ),
+            }
+        }
+        match wall_speedup {
+            Some(s) => println!(
+                "speedup: {branch_speedup:.1}x simulated-branch (gated), {s:.1}x wall-clock \
+                 (full {full_total_s:.3}s vs BBV {bbv_s:.3}s + estimates {est_total_s:.3}s; \
+                 error bound {SIMPOINT_OAE_ERROR_BOUND})"
+            ),
+            None => println!(
+                "speedup: {branch_speedup:.1}x simulated-branch (gated); estimate-only run, no \
+                 full references (wall-clock speedup/error not measured this run)"
+            ),
+        }
+        eprintln!("wrote BENCH_simpoint.json to {out_dir}/");
+    }
+
+    if let Some(path) = update_reference {
+        write_simpoint_reference(path, workload, branches, seed, slice_branches, &records)?;
+        eprintln!("simpoint reference written to {path}");
+    }
+    if let Some(path) = check {
+        check_simpoint_reference(
+            path,
+            workload,
+            branches,
+            seed,
+            slice_branches,
+            tolerance,
+            &records,
+        )?;
+        eprintln!("simpoint reference check passed ({path}, tolerance {tolerance:e})");
+    }
+    Ok(())
+}
+
+/// Writes the `ci/simpoint-reference.json` file the per-PR estimation
+/// gate compares against. Estimated OAE uses shortest round-trip float
+/// formatting, so a later parse compares exactly.
+fn write_simpoint_reference(
+    path: &str,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    slice_branches: u64,
+    records: &[SimpointRecord],
+) -> Result<(), Failure> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let schemes: Vec<String> = records
+        .iter()
+        .map(|r| format!("    \"{}\": {}", r.name, r.est_oae))
+        .collect();
+    let body = format!(
+        "{{\n  \"workload\": {},\n  \"branches\": {branches},\n  \"seed\": {seed},\n  \
+         \"slice_branches\": {slice_branches},\n  \"error_bound\": {SIMPOINT_OAE_ERROR_BOUND},\n  \
+         \"schemes\": {{\n{}\n  }}\n}}\n",
+        escape(workload),
+        schemes.join(",\n")
+    );
+    std::fs::write(path, body)?;
+    Ok(())
+}
+
+/// Verifies the run configuration matches the committed simpoint
+/// reference and every scheme's estimated OAE is within `tolerance`
+/// (estimates are bit-deterministic, so drift means behavior changed).
+fn check_simpoint_reference(
+    path: &str,
+    workload: &str,
+    branches: usize,
+    seed: u64,
+    slice_branches: u64,
+    tolerance: f64,
+    records: &[SimpointRecord],
+) -> Result<(), Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::Runtime(format!("read simpoint reference {path}: {e}")))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| Failure::Runtime(format!("parse simpoint reference {path}: {e}")))?;
+    let field_err = |what: &str| Failure::Runtime(format!("reference {path}: missing/bad {what}"));
+
+    let ref_workload = doc
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| field_err("workload"))?;
+    let ref_branches = doc
+        .get("branches")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_err("branches"))?;
+    let ref_seed = doc
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_err("seed"))?;
+    let ref_slice = doc
+        .get("slice_branches")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| field_err("slice_branches"))?;
+    if (ref_workload, ref_branches, ref_seed, ref_slice)
+        != (workload, branches as u64, seed, slice_branches)
+    {
+        return Err(Failure::Runtime(format!(
+            "reference {path} was recorded for ({ref_workload}, {ref_branches} branches, seed \
+             {ref_seed}, {ref_slice} branches/slice) but this run used ({workload}, {branches} \
+             branches, seed {seed}, {slice_branches} branches/slice); rerun with matching flags \
+             or refresh it (see CONTRIBUTING.md)"
+        )));
+    }
+    let schemes = doc.get("schemes").ok_or_else(|| field_err("schemes"))?;
+
+    let mut drifted = Vec::new();
+    for r in records {
+        let Some(expected) = schemes.get(r.name).and_then(Json::as_f64) else {
+            drifted.push(format!("scheme '{}' missing from reference", r.name));
+            continue;
+        };
+        let delta = (r.est_oae - expected).abs();
+        if delta > tolerance {
+            drifted.push(format!(
+                "scheme '{}': estimated OAE {} drifted from reference {} \
+                 (|Δ| = {delta:.3e} > {tolerance:e})",
+                r.name, r.est_oae, expected
+            ));
+        }
+    }
+    if let Some(fields) = schemes.fields() {
+        for (name, _) in fields {
+            if !records.iter().any(|r| r.name == name.as_str()) {
+                drifted.push(format!("reference scheme '{name}' was not measured"));
+            }
+        }
+    }
+    if !drifted.is_empty() {
+        return Err(Failure::Runtime(format!(
+            "simpoint estimation gate failed:\n  {}\n(if the change is intentional, refresh via \
+             `stbpu bench --suite simpoint --estimate-only --update-reference {path}` with the \
+             same scale flags and commit the diff — see CONTRIBUTING.md)",
+            drifted.join("\n  ")
+        )));
+    }
+    Ok(())
+}
+
 /// The serve suite: the socket daemon on loopback, a concurrent client
 /// fleet over real TCP, and a hard in-run bit-parity gate (every
 /// streamed report vs one offline run of the same events — see
@@ -1036,7 +1500,7 @@ fn write_baseline(
             .iter()
             .map(|r| (r.name.to_string(), r.branches_per_s))
             .collect(),
-        Suite::Ingest | Suite::Shard | Suite::Serve => {
+        Suite::Ingest | Suite::Shard | Suite::Serve | Suite::Simpoint => {
             unreachable!("these suites never write a baseline")
         }
         // Carry over the existing section so a default-suite refresh

@@ -55,12 +55,22 @@ usage: stbpu simulate --model SPEC [--workload NAME | --trace-file PATH] [option
   --resume-from FILE    resume a .stck checkpoint to the end of its
                         workload; model/protection/seed come from the
                         checkpoint (--model is not needed)
+  --phases FILE         SimPoint estimation: simulate only the .stbp
+                        file's representative slices and reconstruct the
+                        whole-trace report as the branch-weighted sum
+                        (stream/seed/branches come from the file; any
+                        --workload/--trace-file overrides the base
+                        stream; zero warm-up always)
+  --compare-full        with --phases: also run the full simulation and
+                        report the estimated-vs-full error on stderr
 
 examples:
   stbpu simulate --model st_skl@r=0.05 --workload 505.mcf --branches 1000000
   stbpu simulate --model skl --trace-file capture.trace --warmup-branches 500 --format json
   stbpu simulate --model st_skl@r=0.05 --branches 1000000 --shards 4 --format json
   stbpu simulate --resume-from boundary.stck --branches 1000000 --format json
+  stbpu simulate --model st_skl@r=0.05 --phases leela.stbp --format json
+  stbpu simulate --model skl --phases leela.stbp --compare-full
 ",
     },
     Sub {
@@ -136,31 +146,54 @@ examples:
     },
     Sub {
         name: "trace",
-        summary: "generate, inspect and convert trace files (line or binary .stbt)",
+        summary: "generate, inspect, convert and phase-cluster trace files",
         help: "\
 usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S] [--format F]
        stbpu trace inspect FILE [--json]     ('-' reads a stream from stdin)
        stbpu trace convert IN OUT [--name NAME] [--format F]
+       stbpu trace simpoint (--workload NAME | --trace-file PATH) --out FILE.stbp [options]
 
-Two on-disk formats exist: the line text format and the compact binary
-.stbt format (magic \"STBT\"; ~5x smaller, far faster to ingest — see the
-README byte-level spec). Inputs are auto-detected by magic; outputs
-follow the destination extension (.stbt = binary), with --format
-line|binary|auto overriding.
+Two on-disk trace formats exist: the line text format and the compact
+binary .stbt format (magic \"STBT\"; ~5x smaller, far faster to ingest —
+see the README byte-level spec). Inputs are auto-detected by magic;
+outputs follow the destination extension (.stbt = binary), with
+--format line|binary|auto overriding.
 
 generate streams a synthetic workload to a trace file in O(1) memory
 (any --branches works). inspect streams a file of either format and
 reports the detected format, file size, declared metadata, exact
-event/branch counts and scan throughput (records/s). convert
-re-serializes between formats — normalizing headers (branches/threads
-recomputed) and optionally renaming the trace; line <-> binary round
-trips are lossless and byte-identical.
+event/branch counts and scan throughput (records/s); on a .stbp phase
+file (magic \"STBP\") it reports phase count, slice size, per-phase
+weights and embedded-checkpoint presence instead. convert re-serializes
+between formats — normalizing headers (branches/threads recomputed) and
+optionally renaming the trace; line <-> binary round trips are lossless
+and byte-identical.
+
+simpoint runs the SimPoint pipeline: one streaming basic-block-vector
+pass over the stream, seeded k-means over the slices, one weighted
+representative slice per phase, and a .stbp phase file out (README has
+the byte-level spec). `stbpu simulate --phases` then estimates
+whole-trace metrics from the representatives alone.
+
+simpoint options:
+  --branches N          branches for generated workloads (default 120000)
+  --seed S              stream seed (default 42)
+  --slice-branches N    slice size in branches (default 100000)
+  --k-max K             largest k the BIC scan considers (default 8)
+  --k K                 skip the scan, force exactly K clusters
+  --cluster-seed S      k-means RNG seed (default 42)
+  --embed-model SPEC    also cut and embed one warm .stck checkpoint per
+                        phase while simulating SPEC (pins the file to
+                        that model/protection/seed; omit for a
+                        model-independent file)
+  --protection P        protection for --embed-model (default auto)
 
 examples:
   stbpu trace generate --workload apache2_prefork_c128 --branches 2000000 --out apache.stbt
   stbpu trace inspect apache.stbt --json
   stbpu trace convert apache.stbt apache.trace
-  stbpu trace convert raw.trace clean.trace --name cleaned
+  stbpu trace simpoint --workload 541.leela --branches 10000000 --out leela.stbp
+  stbpu trace inspect leela.stbp
 ",
     },
     Sub {
@@ -265,9 +298,18 @@ baseline gate compares.
                         bit-identical to an offline run — and emits one
                         BENCH_serve.json (sessions/s, aggregate branches/s,
                         p50/p99 flush-to-report latency)
+                        simpoint: distills the workload into a .stbp
+                        phase file (one BBV + k-means pass), estimates
+                        every scheme from the representative slices, and
+                        — unless --estimate-only — runs each scheme in
+                        full too, hard-failing if any |estimated − full|
+                        OAE exceeds the documented 0.02 bound or the
+                        speedup falls below 10x at paper scale; emits one
+                        BENCH_simpoint.json
   --quick               200k branches per scheme (default 2M;
                         ingest suite defaults to a 10M-branch trace,
-                        shard suite to 10M branches / 1M with --quick)
+                        shard/simpoint suites to 10M branches / 1M with
+                        --quick)
   --branches N          explicit branch count (overrides --quick/default)
   --seed S              trace + token seed (default 42)
   --workload NAME       workload profile (default 541.leela)
@@ -277,10 +319,17 @@ baseline gate compares.
   --json                print the combined record array on stdout
   --check FILE          fail (exit 1) if any scheme's OAE drifts from the
                         committed baseline beyond --tolerance
-                        (throughput suite: warn-only branches/s notes)
+                        (throughput suite: warn-only branches/s notes;
+                        simpoint suite: compares estimated OAE against
+                        the committed ci/simpoint-reference.json)
   --update-baseline FILE  write/refresh the baseline file instead
                         (throughput suite also refreshes its throughput
                         section; the default suite preserves it)
+  --estimate-only       simpoint suite: skip the full reference runs —
+                        the cheap per-PR CI gate shape (estimates are
+                        deterministic, so --check still gates exactly)
+  --update-reference FILE  simpoint suite: write/refresh the estimation
+                        reference file instead of checking it
   --tolerance T         OAE drift tolerance for --check (default 1e-9)
 
 examples:
@@ -290,6 +339,7 @@ examples:
   stbpu bench --suite ingest --quick --check ci/baseline.json
   stbpu bench --suite shard --quick --out-dir bench-artifacts
   stbpu bench --suite serve --quick --out-dir bench-artifacts
+  stbpu bench --suite simpoint --estimate-only --check ci/simpoint-reference.json
 ",
     },
     Sub {

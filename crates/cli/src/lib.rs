@@ -99,7 +99,8 @@ impl From<EngineError> for Failure {
             e @ (EngineError::WorkloadSource(_)
             | EngineError::Sim(_)
             | EngineError::Checkpoint(_)
-            | EngineError::Shard(_)) => Failure::Runtime(e.to_string()),
+            | EngineError::Shard(_)
+            | EngineError::Phase(_)) => Failure::Runtime(e.to_string()),
         }
     }
 }

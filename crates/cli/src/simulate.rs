@@ -85,6 +85,8 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
     let shards: Option<usize> = a.opt_parse("--shards", "an integer")?;
     let checkpoint_dir = a.opt("--checkpoint-dir")?;
     let resume_from = a.opt("--resume-from")?;
+    let phases_file = a.opt("--phases")?;
+    let compare_full = a.flag("--compare-full");
     a.finish_empty()?;
 
     if resume_from.is_some() && shards.is_some() {
@@ -97,6 +99,33 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
             "--progress only works with the plain sequential path".to_string(),
         ));
     }
+    if compare_full && phases_file.is_none() {
+        return Err(Failure::Usage(
+            "--compare-full only applies together with --phases".to_string(),
+        ));
+    }
+    if phases_file.is_some() {
+        // The phase file pins stream, seed, position and warm-up (always
+        // Warmup::Branches(0), the configuration the weights partition);
+        // every flag that would steer those is a contradiction.
+        if shards.is_some() || resume_from.is_some() {
+            return Err(Failure::Usage(
+                "--phases is mutually exclusive with --shards/--resume-from".to_string(),
+            ));
+        }
+        if progress || interval.is_some() {
+            return Err(Failure::Usage(
+                "--progress/--interval do not apply to phase-based estimation".to_string(),
+            ));
+        }
+        if warmup_frac.is_some() || warmup_branches.is_some() {
+            return Err(Failure::Usage(
+                "phase-based estimation always runs with zero warm-up (the phase weights \
+                 partition the whole stream); drop the warm-up flags"
+                    .to_string(),
+            ));
+        }
+    }
 
     let workload = match (workload_name, trace_file) {
         (Some(_), Some(_)) => {
@@ -106,7 +135,9 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         }
         (None, Some(path)) => Some(Workload::File(path.into())),
         (Some(name), None) => Some(Workload::Named(name)),
-        (None, None) if resume_from.is_some() => None, // take it from the checkpoint
+        // Without --phases/--resume-from there is a default; with them
+        // the file supplies (or overrides) the stream.
+        (None, None) if resume_from.is_some() || phases_file.is_some() => None,
         (None, None) => Some(Workload::Named("541.leela".to_string())),
     };
 
@@ -137,6 +168,40 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         let (report, windows) =
             stbpu_engine::resume_to_end(&registry, &cp, source.as_mut()).map_err(Failure::from)?;
         (report, windows, seed)
+    } else if let Some(path) = phases_file {
+        let model_spec = require_model(&model_spec)?;
+        let policy = resolve_policy(protection.as_deref(), model_spec)?;
+        let phased = Workload::phases_from_path(std::path::Path::new(&path), workload)
+            .map_err(Failure::from)?;
+        let file_seed = match &phased {
+            Workload::Phases { file, .. } => file.seed,
+            _ => seed,
+        };
+        let run = if compare_full {
+            let (run, full, _) =
+                stbpu_engine::run_phases_vs_full(&registry, model_spec, policy, &phased)
+                    .map_err(Failure::from)?;
+            eprintln!(
+                "estimated vs full: OAE {:.6} vs {:.6} (|Δ| {:.2e}), mispredictions {} vs {}, \
+                 rerandomizations {} vs {}",
+                run.report.oae,
+                full.oae,
+                (run.report.oae - full.oae).abs(),
+                run.report.mispredictions,
+                full.mispredictions,
+                run.report.rerandomizations,
+                full.rerandomizations
+            );
+            run
+        } else {
+            stbpu_engine::run_phases(&registry, model_spec, policy, &phased)
+                .map_err(Failure::from)?
+        };
+        eprintln!(
+            "phase estimate: {} phases ({} warm), {} of {} branches simulated, est. MPKI {:.3}",
+            run.phases, run.warm_phases, run.simulated_branches, run.report.branches, run.mpki
+        );
+        (run.report, Vec::new(), file_seed)
     } else if let Some(shards) = shards {
         let model_spec = require_model(&model_spec)?;
         let policy = resolve_policy(protection.as_deref(), model_spec)?;
@@ -253,7 +318,7 @@ fn require_model(spec: &Option<String>) -> Result<&str, Failure> {
         .ok_or_else(|| Failure::Usage("--model is required".to_string()))
 }
 
-fn resolve_policy(
+pub(crate) fn resolve_policy(
     protection: Option<&str>,
     model_spec: &str,
 ) -> Result<stbpu_sim::Protection, Failure> {

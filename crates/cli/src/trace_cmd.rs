@@ -1,14 +1,19 @@
 //! `stbpu trace` — generate, inspect and convert trace files in either
-//! on-disk format (line text or compact binary `.stbt`).
+//! on-disk format (line text or compact binary `.stbt`), plus the
+//! SimPoint pipeline (`simpoint`) that distills a stream into a `.stbp`
+//! phase file.
 //!
-//! Input format is always auto-detected by magic; output format follows
-//! the destination extension (`.stbt` = binary) unless `--format`
+//! Input format is always auto-detected by magic (`inspect` also
+//! recognizes `.stbp` phase files); output format follows the
+//! destination extension (`.stbt` = binary) unless `--format`
 //! overrides it. Conversions are lossless in both directions, so
 //! `line → binary → line` and `binary → line → binary` round-trip
 //! byte-identically (the CI golden fixture gates exactly this).
 
 use crate::args::Args;
 use crate::Failure;
+use stbpu_engine::{build_phase_file, ModelRegistry, PhaseBuildOptions, Workload};
+use stbpu_phases::{ClusterConfig, PhaseFile, STBP_MAGIC};
 use stbpu_trace::{
     open_trace_file, open_trace_stream, profiles, EventSource, TraceEvent, TraceFileFormat,
     TraceFileWriter, TraceGenerator,
@@ -22,11 +27,12 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
         Some("generate") => generate(&rest[1..]),
         Some("inspect") => inspect(&rest[1..]),
         Some("convert") => convert(&rest[1..]),
+        Some("simpoint") => simpoint(&rest[1..]),
         Some(other) => Err(Failure::Usage(format!(
-            "unknown trace action '{other}' (generate|inspect|convert)"
+            "unknown trace action '{other}' (generate|inspect|convert|simpoint)"
         ))),
         None => Err(Failure::Usage(
-            "trace needs an action: generate|inspect|convert".to_string(),
+            "trace needs an action: generate|inspect|convert|simpoint".to_string(),
         )),
     }
 }
@@ -106,6 +112,12 @@ fn inspect(rest: &[String]) -> Result<(), Failure> {
     }
     let meta = std::fs::metadata(path)?;
     if meta.is_file() {
+        // Phase files share the trace-inspection entry point: sniff the
+        // 4-byte magic before handing the file to the trace openers,
+        // which would reject "STBP" as an unknown format.
+        if sniff_stbp(path)? {
+            return inspect_stbp(path, meta.len(), json);
+        }
         let src = open_trace_file(Path::new(path)).map_err(|e| Failure::Runtime(e.to_string()))?;
         let format = src.format();
         inspect_source(src, format, Some(meta.len()), path, json)
@@ -222,6 +234,188 @@ fn inspect_source<S: EventSource>(
             }
         }
     }
+    Ok(())
+}
+
+/// True when the file starts with the `.stbp` phase-file magic. A file
+/// shorter than the magic is simply not a phase file.
+fn sniff_stbp(path: &str) -> Result<bool, Failure> {
+    use std::io::Read;
+    let mut head = [0u8; 4];
+    let mut file = std::fs::File::open(path)?;
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(head == STBP_MAGIC),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Inspects a `.stbp` phase file: stream identity, slice size, per-phase
+/// weights and embedded-checkpoint presence.
+fn inspect_stbp(path: &str, bytes: u64, json: bool) -> Result<(), Failure> {
+    let pf = PhaseFile::load(Path::new(path)).map_err(|e| Failure::Runtime(e.to_string()))?;
+    let warm = pf.phases.iter().filter(|p| p.has_checkpoint()).count();
+    let simulated = pf.simulated_branches();
+    let pct = simulated as f64 * 100.0 / (pf.total_branches as f64).max(1.0);
+    if json {
+        let phases: Vec<String> = pf
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"rep_slice\":{},\"weight_branches\":{},\"weight_slices\":{},\
+                     \"start_branch\":{},\"start_event\":{},\"rep_branches\":{},\
+                     \"checkpoint_bytes\":{}}}",
+                    p.rep_slice,
+                    p.weight_branches,
+                    p.weight_slices,
+                    p.start_branch,
+                    p.start_event,
+                    p.rep_branches,
+                    p.checkpoint.len()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"format\":\"stbp\",\"workload\":{},\"bytes\":{bytes},\"seed\":{},\
+             \"total_branches\":{},\"total_instructions\":{},\"total_events\":{},\
+             \"slice_branches\":{},\"cluster_seed\":{},\"phases\":{},\"warm_phases\":{warm},\
+             \"simulated_branches\":{simulated},\"phase_table\":[{}]}}",
+            stbpu_engine::minijson::escape(&pf.workload),
+            pf.seed,
+            pf.total_branches,
+            pf.total_instructions,
+            pf.total_events,
+            pf.slice_branches,
+            pf.cluster_seed,
+            pf.phases.len(),
+            phases.join(",")
+        );
+    } else {
+        println!(
+            "{path}: phase file '{}' (.stbp format, {bytes} bytes)",
+            pf.workload
+        );
+        println!(
+            "  stream:   {} branches, {} instructions, {} events (seed {})",
+            pf.total_branches, pf.total_instructions, pf.total_events, pf.seed
+        );
+        println!(
+            "  slices:   {} branches/slice, cluster seed {}",
+            pf.slice_branches, pf.cluster_seed
+        );
+        println!(
+            "  phases:   {} ({warm} with embedded warm checkpoints) — simulating {simulated} \
+             branches ({pct:.1}% of the stream)",
+            pf.phases.len()
+        );
+        println!(
+            "  {:>5} {:>9} {:>14} {:>8} {:>14} {:>12} {:>10}",
+            "phase", "rep", "weight(br)", "slices", "start(br)", "rep(br)", "warm"
+        );
+        for (i, p) in pf.phases.iter().enumerate() {
+            println!(
+                "  {i:>5} {:>9} {:>14} {:>8} {:>14} {:>12} {:>10}",
+                p.rep_slice,
+                p.weight_branches,
+                p.weight_slices,
+                p.start_branch,
+                p.rep_branches,
+                if p.has_checkpoint() {
+                    format!("{} B", p.checkpoint.len())
+                } else {
+                    "-".to_string()
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `stbpu trace simpoint` — the SimPoint pipeline: one streaming BBV
+/// pass, seeded k-means, and a `.stbp` phase file out.
+fn simpoint(rest: &[String]) -> Result<(), Failure> {
+    let defaults = ClusterConfig::default();
+    let mut a = Args::new(rest);
+    let workload_name = a.opt("--workload")?;
+    let trace_file = a.opt("--trace-file")?;
+    let out = a
+        .opt("--out")?
+        .ok_or_else(|| Failure::Usage("--out is required".to_string()))?;
+    let branches: usize = a.opt_parse("--branches", "an integer")?.unwrap_or(120_000);
+    let seed: u64 = a.opt_parse("--seed", "an integer")?.unwrap_or(42);
+    let slice_branches: u64 = a
+        .opt_parse("--slice-branches", "an integer")?
+        .unwrap_or(stbpu_trace::DEFAULT_SLICE_BRANCHES);
+    let k_max: usize = a
+        .opt_parse("--k-max", "an integer")?
+        .unwrap_or(defaults.k_max);
+    let forced_k: Option<usize> = a.opt_parse("--k", "an integer")?;
+    let cluster_seed: u64 = a
+        .opt_parse("--cluster-seed", "an integer")?
+        .unwrap_or(defaults.seed);
+    let embed_model = a.opt("--embed-model")?;
+    let protection = a.opt("--protection")?;
+    a.finish_empty()?;
+
+    if protection.is_some() && embed_model.is_none() {
+        return Err(Failure::Usage(
+            "--protection only applies together with --embed-model".to_string(),
+        ));
+    }
+    let workload = match (workload_name, trace_file) {
+        (Some(_), Some(_)) => {
+            return Err(Failure::Usage(
+                "--workload and --trace-file are mutually exclusive".to_string(),
+            ))
+        }
+        (None, Some(path)) => Workload::File(path.into()),
+        (Some(name), None) => Workload::Named(name),
+        (None, None) => {
+            return Err(Failure::Usage(
+                "--workload or --trace-file is required".to_string(),
+            ))
+        }
+    };
+    workload.validate().map_err(Failure::from)?;
+
+    let registry = ModelRegistry::standard();
+    let embed = match embed_model {
+        Some(spec) => {
+            let policy = crate::simulate::resolve_policy(protection.as_deref(), &spec)?;
+            Some((spec, policy))
+        }
+        None => None,
+    };
+    let opts = PhaseBuildOptions {
+        slice_branches,
+        cluster: ClusterConfig {
+            k_max,
+            forced_k,
+            seed: cluster_seed,
+            ..defaults
+        },
+        embed,
+    };
+    let pf =
+        build_phase_file(&registry, seed, &workload, branches, &opts).map_err(Failure::from)?;
+    pf.save(Path::new(&out))
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    let slices: u64 = pf.phases.iter().map(|p| p.weight_slices).sum();
+    eprintln!(
+        "wrote {} phases over {slices} slices ({} branches/slice) to {out}: simulating {} of {} \
+         branches ({:.1}%){}",
+        pf.phases.len(),
+        pf.slice_branches,
+        pf.simulated_branches(),
+        pf.total_branches,
+        pf.simulated_branches() as f64 * 100.0 / (pf.total_branches as f64).max(1.0),
+        if pf.fully_warm() {
+            ", warm checkpoints embedded"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 

@@ -1050,6 +1050,246 @@ fn golden_stck_fixture_resumes_identically() {
     );
 }
 
+// --- phase clustering: trace simpoint, .stbp, bench simpoint -----------
+
+fn stbpu_in(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_stbpu"))
+        .args(args)
+        .current_dir(dir)
+        .env_remove("STBPU_BRANCHES")
+        .env_remove("STBPU_SEED")
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn trace_simpoint_builds_deterministic_stbp_and_estimates_from_it() {
+    let a = scratch("phases-a.stbp");
+    let b = scratch("phases-b.stbp");
+    let build = |out: &PathBuf| {
+        let run = stbpu(&[
+            "trace",
+            "simpoint",
+            "--workload",
+            "505.mcf",
+            "--branches",
+            "30000",
+            "--seed",
+            "9",
+            "--slice-branches",
+            "1500",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(run.status.success(), "{}", stderr(&run));
+    };
+    build(&a);
+    build(&b);
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "phase-file build is not deterministic"
+    );
+
+    // inspect understands the format instead of failing on unknown magic.
+    let ins = stbpu(&["trace", "inspect", a.to_str().unwrap(), "--json"]);
+    assert!(ins.status.success(), "{}", stderr(&ins));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&ins).trim()).expect("valid JSON");
+    assert_eq!(doc.get("format").unwrap().as_str().unwrap(), "stbp");
+    assert_eq!(doc.get("total_branches").unwrap().as_u64().unwrap(), 30_000);
+    assert_eq!(doc.get("slice_branches").unwrap().as_u64().unwrap(), 1_500);
+    let phases = doc.get("phases").unwrap().as_u64().unwrap();
+    assert!(phases >= 1, "no phases in {doc:?}");
+
+    // Estimation through the workload layer, with the estimated-vs-full
+    // error surfaced on demand.
+    let est = stbpu(&[
+        "simulate",
+        "--model",
+        "st_skl@r=0.05",
+        "--phases",
+        a.to_str().unwrap(),
+        "--workload",
+        "505.mcf",
+        "--compare-full",
+        "--format",
+        "json",
+    ]);
+    assert!(est.status.success(), "{}", stderr(&est));
+    let err = stderr(&est);
+    assert!(err.contains("estimated vs full"), "{err}");
+    assert!(err.contains("phase estimate:"), "{err}");
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&est).trim()).expect("valid JSON");
+    assert_eq!(doc.get("branches").unwrap().as_u64().unwrap(), 30_000);
+}
+
+/// The committed golden `.stbp` fixture mirrors CI's phase-file
+/// format-stability gate: regeneration from the golden trace must be
+/// byte-identical, inspect must print the committed table, and the
+/// phase-based estimate must reproduce the committed report. Any drift
+/// means the `.stbp` format or the clustering changed without a
+/// STBP_VERSION bump + fixture refresh (see CONTRIBUTING.md).
+#[test]
+fn golden_stbp_fixture_is_format_stable() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rebuilt = scratch("golden-rebuilt.stbp");
+    let build = stbpu_in(
+        &repo,
+        &[
+            "trace",
+            "simpoint",
+            "--trace-file",
+            "ci/golden.stbt",
+            "--out",
+            rebuilt.to_str().unwrap(),
+            "--branches",
+            "400",
+            "--slice-branches",
+            "50",
+            "--k",
+            "3",
+        ],
+    );
+    assert!(build.status.success(), "{}", stderr(&build));
+    assert_eq!(
+        std::fs::read(repo.join("ci/golden.stbp")).unwrap(),
+        std::fs::read(&rebuilt).unwrap(),
+        "golden .stbp no longer regenerates byte-identically — if the \
+         format or clustering change is intentional, bump STBP_VERSION \
+         and refresh the fixture (see CONTRIBUTING.md)"
+    );
+
+    let ins = stbpu_in(&repo, &["trace", "inspect", "ci/golden.stbp"]);
+    assert!(ins.status.success(), "{}", stderr(&ins));
+    assert_eq!(
+        stdout(&ins),
+        std::fs::read_to_string(repo.join("ci/golden-simpoint.txt")).unwrap(),
+        "golden .stbp inspect output drifted from ci/golden-simpoint.txt"
+    );
+
+    let est = stbpu_in(
+        &repo,
+        &[
+            "simulate",
+            "--phases",
+            "ci/golden.stbp",
+            "--trace-file",
+            "ci/golden.stbt",
+            "--model",
+            "st_skl@r=0.05",
+            "--format",
+            "json",
+        ],
+    );
+    assert!(est.status.success(), "{}", stderr(&est));
+    assert_eq!(
+        stdout(&est).trim(),
+        std::fs::read_to_string(repo.join("ci/golden-phases.json"))
+            .unwrap()
+            .trim(),
+        "golden .stbp estimate drifted from ci/golden-phases.json"
+    );
+}
+
+#[test]
+fn bench_simpoint_suite_reference_round_trip_and_drift_detection() {
+    let dir = scratch("simpoint-bench");
+    let reference = scratch("simpoint-ref.json");
+    let dir_s = dir.to_str().unwrap();
+    let ref_s = reference.to_str().unwrap();
+    // Big enough that the 10k-branch cold-start warm-up floor doesn't
+    // swamp the representatives (branch_speedup must exceed 1).
+    let config = [
+        "bench",
+        "--suite",
+        "simpoint",
+        "--branches",
+        "200000",
+        "--seed",
+        "5",
+        "--estimate-only",
+        "--out-dir",
+        dir_s,
+        "--json",
+    ];
+
+    let rec = stbpu(&[&config[..], &["--update-reference", ref_s]].concat());
+    assert!(rec.status.success(), "{}", stderr(&rec));
+    let doc = stbpu_engine::minijson::Json::parse(stdout(&rec).trim()).expect("valid JSON");
+    assert_eq!(doc.get("suite").unwrap().as_str().unwrap(), "simpoint");
+    assert!(doc.get("branch_speedup").unwrap().as_f64().unwrap() > 1.0);
+    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 5);
+    let record = std::fs::read_to_string(dir.join("BENCH_simpoint.json")).expect("record");
+    assert_eq!(record.trim(), stdout(&rec).trim());
+
+    // A fresh identical run passes the committed-reference gate…
+    let check = stbpu(&[&config[..], &["--check", ref_s]].concat());
+    assert!(check.status.success(), "{}", stderr(&check));
+    assert!(
+        stderr(&check).contains("simpoint reference check passed"),
+        "{}",
+        stderr(&check)
+    );
+
+    // …and a tampered estimate fails it, naming the scheme and the
+    // refresh recipe.
+    let text = std::fs::read_to_string(&reference).unwrap();
+    let tampered = text.replacen("\"stbpu\": 0.", "\"stbpu\": 1.", 1);
+    assert_ne!(text, tampered, "tamper point not found in {text}");
+    std::fs::write(&reference, tampered).unwrap();
+    let fail = stbpu(&[&config[..], &["--check", ref_s]].concat());
+    assert_eq!(fail.status.code(), Some(1));
+    let err = stderr(&fail);
+    assert!(err.contains("scheme 'stbpu'"), "{err}");
+    assert!(err.contains("--update-reference"), "{err}");
+}
+
+#[test]
+fn simpoint_flag_misuse_exits_two() {
+    // --phases excludes the sharding/resume machinery.
+    let out = stbpu(&[
+        "simulate", "--model", "skl", "--phases", "x.stbp", "--shards", "4",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+
+    // --compare-full means nothing without --phases.
+    let out = stbpu(&["simulate", "--model", "skl", "--compare-full"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // --protection without --embed-model cannot pin a checkpoint.
+    let out = stbpu(&[
+        "trace",
+        "simpoint",
+        "--workload",
+        "505.mcf",
+        "--out",
+        "x.stbp",
+        "--protection",
+        "stbpu",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // The reference flags belong to the simpoint suite alone, and the
+    // OAE baseline belongs to the default suite alone.
+    let out = stbpu(&["bench", "--quick", "--update-reference", "x.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("simpoint"), "{}", stderr(&out));
+    let out = stbpu(&[
+        "bench",
+        "--suite",
+        "simpoint",
+        "--quick",
+        "--update-baseline",
+        "x.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 // --- the serve daemon, self-test and bench suite (continued) ----------
 
 #[test]

@@ -44,6 +44,10 @@ pub enum EngineError {
     /// handoff state mismatch between a shard and its successor's
     /// checkpoint…).
     Shard(String),
+    /// Phase clustering or phase-based estimation failed (undecodable
+    /// `.stbp`, embedded checkpoint cut for a different configuration,
+    /// stream/phase-file disagreement…).
+    Phase(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -75,6 +79,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint failed: {msg}"),
             EngineError::Shard(msg) => write!(f, "sharded run failed: {msg}"),
+            EngineError::Phase(msg) => write!(f, "phase estimation failed: {msg}"),
         }
     }
 }

@@ -61,6 +61,7 @@ mod experiment;
 pub mod minijson;
 mod model_core;
 mod parallel;
+mod phases;
 mod registry;
 mod report;
 mod resume;
@@ -74,6 +75,10 @@ pub use error::EngineError;
 pub use experiment::{run_scenarios, Experiment, RunRecord, RunSet, Scenario};
 pub use model_core::ModelCore;
 pub use parallel::parallel_map;
+pub use phases::{
+    build_phase_file, run_phase_file, run_phases, run_phases_vs_full, PhaseBuildOptions, PhaseRun,
+    COLD_WARM_FLOOR_BRANCHES,
+};
 pub use registry::{BtbSpec, MapperSpec, ModelParams, ModelRegistry, ModelSpec, PredictorSpec};
 pub use report::{
     auto_protection, csv_header, protection_from_str, report_to_csv_row, report_to_json,

@@ -158,7 +158,7 @@ fn feed_to_end<B: stbpu_bpu::Bpu>(
 /// Resolves the effective thread provision the way the CLI does: explicit
 /// request, else the source's declared count (0 = unknown → `None`, the
 /// model maximum).
-fn resolve_threads(explicit: Option<usize>, declared: usize) -> Option<usize> {
+pub(crate) fn resolve_threads(explicit: Option<usize>, declared: usize) -> Option<usize> {
     explicit.or(match declared {
         0 => None,
         t => Some(t),

@@ -10,9 +10,10 @@
 //! shared trace is only ever borrowed.
 
 use crate::error::EngineError;
+use stbpu_phases::PhaseFile;
 use stbpu_trace::{open_trace_file, profiles, EventSource, Trace, TraceGenerator, WorkloadProfile};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A factory producing one event source per `(seed, branches)` request.
@@ -40,6 +41,19 @@ pub enum Workload {
         /// Factory invoked once per (scenario, seed) cell.
         factory: Arc<SourceFactory>,
     },
+    /// A SimPoint-style phase file over a base workload: simulation
+    /// covers only the representative slices and whole-trace metrics are
+    /// reconstructed as the weighted sum (see `run_phases`). The phase
+    /// file pins the stream — [`Workload::open`] always opens `base`
+    /// with the file's recorded seed and branch count, ignoring the
+    /// caller's, so estimation can never silently run over a different
+    /// stream than the one profiled.
+    Phases {
+        /// The decoded `.stbp` phase file.
+        file: Arc<PhaseFile>,
+        /// The stream the phases were cut from.
+        base: Arc<Workload>,
+    },
 }
 
 impl fmt::Debug for Workload {
@@ -50,6 +64,14 @@ impl fmt::Debug for Workload {
             Workload::Trace(t) => write!(f, "Workload::Trace({})", t.name),
             Workload::File(p) => write!(f, "Workload::File({})", p.display()),
             Workload::Custom { name, .. } => write!(f, "Workload::Custom({name})"),
+            Workload::Phases { file, .. } => {
+                write!(
+                    f,
+                    "Workload::Phases({}, {} phases)",
+                    file.workload,
+                    file.phases.len()
+                )
+            }
         }
     }
 }
@@ -66,6 +88,61 @@ impl Workload {
         }
     }
 
+    /// A phase-estimation workload over `file`, with `base` supplying
+    /// the underlying stream. With `base` `None`, the stream is
+    /// reconstructed from the file's recorded workload label: a
+    /// registered profile name, else an existing trace-file path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Phase`] for an empty phase list, an
+    /// unreconstructible label, or a phases-over-phases nesting.
+    pub fn phases(file: PhaseFile, base: Option<Workload>) -> Result<Self, EngineError> {
+        if file.phases.is_empty() {
+            return Err(EngineError::Phase(format!(
+                "phase file for '{}' declares no phases",
+                file.workload
+            )));
+        }
+        let base = match base {
+            Some(Workload::Phases { .. }) => {
+                return Err(EngineError::Phase(
+                    "a phase file cannot be layered over another phase file".to_string(),
+                ))
+            }
+            Some(b) => b,
+            None => {
+                if profiles::by_name(&file.workload).is_some() {
+                    Workload::Named(file.workload.clone())
+                } else if Path::new(&file.workload).exists() {
+                    Workload::File(PathBuf::from(&file.workload))
+                } else {
+                    return Err(EngineError::Phase(format!(
+                        "cannot reconstruct workload '{}' from the phase file — pass the base \
+                         workload explicitly",
+                        file.workload
+                    )));
+                }
+            }
+        };
+        Ok(Workload::Phases {
+            file: Arc::new(file),
+            base: Arc::new(base),
+        })
+    }
+
+    /// Loads a `.stbp` phase file from `path` and wraps it via
+    /// [`Workload::phases`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Phase`] for I/O and decode failures, plus
+    /// everything [`Workload::phases`] can return.
+    pub fn phases_from_path(path: &Path, base: Option<Workload>) -> Result<Self, EngineError> {
+        let file = PhaseFile::load(path).map_err(|e| EngineError::Phase(e.to_string()))?;
+        Workload::phases(file, base)
+    }
+
     /// Display label used in run records (for files: the path).
     pub fn label(&self) -> String {
         match self {
@@ -74,6 +151,7 @@ impl Workload {
             Workload::Trace(t) => t.name.clone(),
             Workload::File(p) => p.display().to_string(),
             Workload::Custom { name, .. } => name.clone(),
+            Workload::Phases { file, .. } => format!("phases:{}", file.workload),
         }
     }
 
@@ -94,6 +172,7 @@ impl Workload {
                     )))
                 }
             }
+            Workload::Phases { base, .. } => base.validate(),
             _ => Ok(()),
         }
     }
@@ -118,6 +197,12 @@ impl Workload {
                 open_trace_file(p).map_err(|e| EngineError::WorkloadSource(e.to_string()))?,
             ),
             Workload::Custom { factory, .. } => factory(seed, branches),
+            // The phase file pins the stream: always the recorded seed
+            // and branch count, never the caller's.
+            Workload::Phases { file, base } => {
+                let _ = (seed, branches);
+                return base.open(file.seed, file.total_branches as usize);
+            }
         })
     }
 }

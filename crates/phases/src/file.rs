@@ -1,0 +1,518 @@
+//! The versioned `.stbp` phase-file container: a clustering result
+//! (representative slices, weights, stream coordinates, optional
+//! embedded warm checkpoints) that a later run can estimate from without
+//! re-profiling.
+//!
+//! # File format (version 1)
+//!
+//! All multi-byte scalars are little-endian; `varint` is the same LEB128
+//! encoding the `.stbt` trace and `.stck` checkpoint formats use
+//! ([`stbpu_trace::binfmt`]).
+//!
+//! | field              | encoding                                   |
+//! |--------------------|--------------------------------------------|
+//! | magic              | 4 bytes `"STBP"`                           |
+//! | version            | u16 LE (currently 1)                       |
+//! | flags              | u16 LE (must be 0)                         |
+//! | workload           | varint length + UTF-8 bytes                |
+//! | seed               | varint (stream seed the profile was cut on)|
+//! | total branches     | varint                                     |
+//! | total instructions | varint                                     |
+//! | total events       | varint                                     |
+//! | slice size         | varint (branches per slice)                |
+//! | cluster seed       | varint (k-means / projection seed)         |
+//! | phase count        | varint                                     |
+//! | per phase          | see below                                  |
+//! | checksum           | u64 LE, FNV-1a 64 of all preceding bytes   |
+//!
+//! Each phase record is eight varints — representative slice index,
+//! weight in branches, weight in instructions, weight in slices, start
+//! branch, start event, representative branches, representative
+//! instructions — followed by a varint-framed blob holding the raw bytes
+//! of an embedded `.stck` warm checkpoint cut at the phase's start
+//! branch. A zero-length blob means "no embedded checkpoint" (cold
+//! start); a real checkpoint is never empty, so the encoding is
+//! unambiguous.
+//!
+//! Decoding is total: any truncated, corrupt or alien input produces a
+//! positioned [`PhaseError`], never a panic (this module is in the
+//! `stbpu analyze` panic-freedom lint scope).
+
+use stbpu_trace::binfmt::{decode_varint, push_varint};
+use std::path::Path;
+
+/// Magic bytes opening every phase file.
+pub const STBP_MAGIC: [u8; 4] = *b"STBP";
+/// Current format version.
+pub const STBP_VERSION: u16 = 1;
+
+/// A decode/validation failure with the byte offset where it was
+/// detected (I/O failures report offset 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseError {
+    /// Byte offset into the phase-file stream where the problem was
+    /// detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl PhaseError {
+    /// An error at `offset`.
+    pub fn new(offset: usize, msg: impl Into<String>) -> Self {
+        PhaseError {
+            offset,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "phase file error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for PhaseError {}
+
+/// One phase: a representative slice, the weight of the cluster it
+/// stands for, and where it lives in the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseEntry {
+    /// 0-based index of the representative slice.
+    pub rep_slice: u64,
+    /// Branch events across every slice of this phase's cluster.
+    pub weight_branches: u64,
+    /// Instructions across every slice of this phase's cluster.
+    pub weight_instructions: u64,
+    /// Number of slices in this phase's cluster.
+    pub weight_slices: u64,
+    /// Branch events before the representative slice starts.
+    pub start_branch: u64,
+    /// Trace events (all kinds) before the representative slice starts —
+    /// the cold-start `skip_events` count.
+    pub start_event: u64,
+    /// Branch events inside the representative slice.
+    pub rep_branches: u64,
+    /// Instructions inside the representative slice.
+    pub rep_instructions: u64,
+    /// Raw bytes of an embedded `.stck` checkpoint cut at
+    /// [`PhaseEntry::start_branch`]; empty = no embedded checkpoint
+    /// (cold start).
+    pub checkpoint: Vec<u8>,
+}
+
+impl PhaseEntry {
+    /// Whether a warm checkpoint is embedded.
+    pub fn has_checkpoint(&self) -> bool {
+        !self.checkpoint.is_empty()
+    }
+}
+
+/// A complete phase file, decoded from (or ready to encode into) a
+/// `.stbp` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseFile {
+    /// Workload label the profile was extracted from.
+    pub workload: String,
+    /// Stream seed the profile was cut on (generator workloads replay
+    /// bit-identically from this).
+    pub seed: u64,
+    /// Total branch events in the profiled stream. Phase weights sum to
+    /// exactly this.
+    pub total_branches: u64,
+    /// Total instructions in the profiled stream.
+    pub total_instructions: u64,
+    /// Total trace events of all kinds.
+    pub total_events: u64,
+    /// Slice size in branch events.
+    pub slice_branches: u64,
+    /// Seed the projection/k-means ran under.
+    pub cluster_seed: u64,
+    /// The phases, sorted by representative slice index.
+    pub phases: Vec<PhaseEntry>,
+}
+
+/// Bounds-checked cursor over an encoded phase file.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn err(&self, msg: impl Into<String>) -> PhaseError {
+        PhaseError::new(self.pos, msg)
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, PhaseError> {
+        match decode_varint(self.rest()) {
+            Ok(Some((v, n))) => {
+                self.pos += n;
+                Ok(v)
+            }
+            Ok(None) => Err(self.err(format!("truncated varint reading {what}"))),
+            Err(_) => Err(self.err(format!("varint overflow reading {what}"))),
+        }
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], PhaseError> {
+        let len = self.varint(what)?;
+        let len = usize::try_from(len)
+            .map_err(|_| self.err(format!("{what} length {len} exceeds address space")))?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or_else(|| self.err(format!("{what} length overflows")))?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.err(format!("truncated {what}: {len} bytes declared")))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, PhaseError> {
+        let start = self.pos;
+        let raw = self.bytes(what)?;
+        std::str::from_utf8(raw)
+            .map_err(|_| PhaseError::new(start, format!("{what} is not valid UTF-8")))
+    }
+}
+
+impl PhaseFile {
+    /// Encodes the phase file into the `.stbp` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&STBP_MAGIC);
+        out.extend_from_slice(&STBP_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags
+        push_varint(&mut out, self.workload.len() as u64);
+        out.extend_from_slice(self.workload.as_bytes());
+        push_varint(&mut out, self.seed);
+        push_varint(&mut out, self.total_branches);
+        push_varint(&mut out, self.total_instructions);
+        push_varint(&mut out, self.total_events);
+        push_varint(&mut out, self.slice_branches);
+        push_varint(&mut out, self.cluster_seed);
+        push_varint(&mut out, self.phases.len() as u64);
+        for p in &self.phases {
+            push_varint(&mut out, p.rep_slice);
+            push_varint(&mut out, p.weight_branches);
+            push_varint(&mut out, p.weight_instructions);
+            push_varint(&mut out, p.weight_slices);
+            push_varint(&mut out, p.start_branch);
+            push_varint(&mut out, p.start_event);
+            push_varint(&mut out, p.rep_branches);
+            push_varint(&mut out, p.rep_instructions);
+            push_varint(&mut out, p.checkpoint.len() as u64);
+            out.extend_from_slice(&p.checkpoint);
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a phase file, validating magic, version, flags, framing
+    /// and the trailer checksum.
+    ///
+    /// # Errors
+    ///
+    /// A positioned [`PhaseError`] on any malformed input; decoding
+    /// never panics.
+    pub fn from_bytes(data: &[u8]) -> Result<PhaseFile, PhaseError> {
+        const HEAD: usize = 8;
+        const TAIL: usize = 8;
+        if data.len() < HEAD + TAIL {
+            return Err(PhaseError::new(
+                data.len(),
+                format!(
+                    "file too short for a phase file: {} bytes (need at least {})",
+                    data.len(),
+                    HEAD + TAIL
+                ),
+            ));
+        }
+        let magic = data.get(0..4).unwrap_or(&[]);
+        if magic != STBP_MAGIC {
+            return Err(PhaseError::new(
+                0,
+                format!("bad magic {magic:02x?}, expected \"STBP\""),
+            ));
+        }
+        let word = |at: usize| -> u16 {
+            let lo = data.get(at).copied().unwrap_or(0);
+            let hi = data.get(at + 1).copied().unwrap_or(0);
+            u16::from_le_bytes([lo, hi])
+        };
+        let version = word(4);
+        if version != STBP_VERSION {
+            return Err(PhaseError::new(
+                4,
+                format!(
+                    "unsupported phase-file version {version} (this build reads {STBP_VERSION})"
+                ),
+            ));
+        }
+        let flags = word(6);
+        if flags != 0 {
+            return Err(PhaseError::new(
+                6,
+                format!("unsupported flags {flags:#06x} (no flags are defined in version 1)"),
+            ));
+        }
+        let body_end = data.len() - TAIL;
+        let stored = {
+            let mut raw = [0u8; 8];
+            for (i, slot) in raw.iter_mut().enumerate() {
+                *slot = data.get(body_end + i).copied().unwrap_or(0);
+            }
+            u64::from_le_bytes(raw)
+        };
+        let actual = fnv1a64(data.get(..body_end).unwrap_or(&[]));
+        if stored != actual {
+            return Err(PhaseError::new(
+                body_end,
+                format!("checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"),
+            ));
+        }
+        let mut cur = Cur {
+            buf: data.get(..body_end).unwrap_or(&[]),
+            pos: HEAD,
+        };
+        let workload = cur.str("workload")?.to_string();
+        let seed = cur.varint("seed")?;
+        let total_branches = cur.varint("total branches")?;
+        let total_instructions = cur.varint("total instructions")?;
+        let total_events = cur.varint("total events")?;
+        let slice_branches = cur.varint("slice size")?;
+        let cluster_seed = cur.varint("cluster seed")?;
+        let count = cur.varint("phase count")?;
+        // Growth by push keeps a forged count from allocating anything
+        // before the (bounded) body runs out.
+        let mut phases = Vec::new();
+        for i in 0..count {
+            let what = |field: &str| format!("phase {i} {field}");
+            let rep_slice = cur.varint(&what("representative slice"))?;
+            let weight_branches = cur.varint(&what("weight (branches)"))?;
+            let weight_instructions = cur.varint(&what("weight (instructions)"))?;
+            let weight_slices = cur.varint(&what("weight (slices)"))?;
+            let start_branch = cur.varint(&what("start branch"))?;
+            let start_event = cur.varint(&what("start event"))?;
+            let rep_branches = cur.varint(&what("representative branches"))?;
+            let rep_instructions = cur.varint(&what("representative instructions"))?;
+            let checkpoint = cur.bytes(&what("embedded checkpoint"))?.to_vec();
+            phases.push(PhaseEntry {
+                rep_slice,
+                weight_branches,
+                weight_instructions,
+                weight_slices,
+                start_branch,
+                start_event,
+                rep_branches,
+                rep_instructions,
+                checkpoint,
+            });
+        }
+        if cur.pos != body_end {
+            return Err(PhaseError::new(
+                cur.pos,
+                format!("{} trailing bytes after the last phase", body_end - cur.pos),
+            ));
+        }
+        Ok(PhaseFile {
+            workload,
+            seed,
+            total_branches,
+            total_instructions,
+            total_events,
+            slice_branches,
+            cluster_seed,
+            phases,
+        })
+    }
+
+    /// Writes the phase file to `path` atomically (temp file in the same
+    /// directory, then rename), so a crash mid-write never leaves a
+    /// half-written `.stbp` behind.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, reported with offset 0.
+    pub fn save(&self, path: &Path) -> Result<(), PhaseError> {
+        let tmp = path.with_extension("stbp.tmp");
+        let io = |e: std::io::Error| PhaseError::new(0, format!("{}: {e}", path.display()));
+        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads and decodes a phase file from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (offset 0) and everything [`PhaseFile::from_bytes`]
+    /// can return.
+    pub fn load(path: &Path) -> Result<PhaseFile, PhaseError> {
+        let data = std::fs::read(path)
+            .map_err(|e| PhaseError::new(0, format!("{}: {e}", path.display())))?;
+        PhaseFile::from_bytes(&data)
+    }
+
+    /// Branch events that estimation actually simulates (the sum of the
+    /// representative slices).
+    pub fn simulated_branches(&self) -> u64 {
+        self.phases.iter().map(|p| p.rep_branches).sum()
+    }
+
+    /// Whether every phase carries an embedded warm checkpoint.
+    pub fn fully_warm(&self) -> bool {
+        self.phases.iter().all(PhaseEntry::has_checkpoint)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `data` — the phase-file trailer checksum (the same
+/// function `.stck` checkpoints use).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseFile {
+        PhaseFile {
+            workload: "541.leela".to_string(),
+            seed: 42,
+            total_branches: 1_000_000,
+            total_instructions: 5_431_002,
+            total_events: 1_020_408,
+            slice_branches: 100_000,
+            cluster_seed: 7,
+            phases: vec![
+                PhaseEntry {
+                    rep_slice: 0,
+                    weight_branches: 300_000,
+                    weight_instructions: 1_630_000,
+                    weight_slices: 3,
+                    start_branch: 0,
+                    start_event: 0,
+                    rep_branches: 100_000,
+                    rep_instructions: 542_113,
+                    checkpoint: Vec::new(),
+                },
+                PhaseEntry {
+                    rep_slice: 4,
+                    weight_branches: 700_000,
+                    weight_instructions: 3_801_002,
+                    weight_slices: 7,
+                    start_branch: 400_000,
+                    start_event: 408_163,
+                    rep_branches: 100_000,
+                    rep_instructions: 544_201,
+                    checkpoint: b"not-a-real-checkpoint-but-opaque-here".to_vec(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let pf = sample();
+        let bytes = pf.to_bytes();
+        let back = PhaseFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, pf);
+        assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+        assert_eq!(back.simulated_branches(), 200_000);
+        assert!(!back.fully_warm());
+        assert!(back.phases[1].has_checkpoint());
+    }
+
+    #[test]
+    fn every_truncation_is_a_positioned_error() {
+        let bytes = sample().to_bytes();
+        for n in 0..bytes.len() {
+            let err = PhaseFile::from_bytes(&bytes[..n])
+                .expect_err("truncated phase file must not decode");
+            assert!(err.offset <= n, "offset {} past truncation {n}", err.offset);
+        }
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_checksum() {
+        let mut bytes = sample().to_bytes();
+        // Flip one bit in the middle of the body.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = PhaseFile::from_bytes(&bytes).unwrap_err();
+        assert!(err.msg.contains("checksum mismatch"), "{}", err.msg);
+    }
+
+    #[test]
+    fn alien_headers_are_rejected_up_front() {
+        let pf = sample();
+        let mut bad_magic = pf.to_bytes();
+        bad_magic[0] = b'X';
+        assert_eq!(PhaseFile::from_bytes(&bad_magic).unwrap_err().offset, 0);
+
+        let mut v2 = pf.to_bytes();
+        v2[4] = 2;
+        let body_end = v2.len() - 8;
+        let sum = fnv1a64(&v2[..body_end]);
+        v2[body_end..].copy_from_slice(&sum.to_le_bytes());
+        let err = PhaseFile::from_bytes(&v2).unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.msg.contains("version 2"), "{}", err.msg);
+
+        let mut flagged = pf.to_bytes();
+        flagged[6] = 1;
+        let sum = fnv1a64(&flagged[..body_end]);
+        flagged[body_end..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(PhaseFile::from_bytes(&flagged).unwrap_err().offset, 6);
+    }
+
+    #[test]
+    fn forged_phase_count_fails_without_allocating() {
+        // A body that declares u64::MAX phases but carries none must die
+        // on the first missing field, positioned inside the real bytes.
+        let mut pf = sample();
+        pf.phases.clear();
+        let mut bytes = pf.to_bytes();
+        let body_end = bytes.len() - 8;
+        // The phase count is the last varint before the checksum; a
+        // zero-phase file ends ...count(0). Rewrite it to a huge count.
+        bytes.truncate(body_end - 1);
+        bytes.extend_from_slice(&[0xff; 10]);
+        bytes.push(0x01);
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let err = PhaseFile::from_bytes(&bytes).unwrap_err();
+        assert!(
+            err.msg.contains("phase 0") || err.msg.contains("overflow"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn save_load_via_disk() {
+        let dir = std::env::temp_dir().join("stbp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.stbp");
+        let pf = sample();
+        pf.save(&path).unwrap();
+        assert_eq!(PhaseFile::load(&path).unwrap(), pf);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

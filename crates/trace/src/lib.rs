@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bbv;
 pub mod binfmt;
 mod event;
 mod file;
@@ -59,6 +60,7 @@ mod program;
 pub mod serialize;
 mod source;
 
+pub use bbv::{extract_bbv, BbvProfile, SliceProfile, DEFAULT_SLICE_BRANCHES};
 pub use event::{Trace, TraceEvent};
 pub use file::{
     detect_format, open_trace_file, open_trace_stream, TraceFileFormat, TraceFileSource,

@@ -8,6 +8,7 @@ pub use stbpu_attacks as attacks;
 pub use stbpu_bpu as bpu;
 pub use stbpu_core as stcore;
 pub use stbpu_engine as engine;
+pub use stbpu_phases as phases;
 pub use stbpu_pipeline as pipeline;
 pub use stbpu_predictors as predictors;
 pub use stbpu_remap as remap;

@@ -3,8 +3,14 @@
 
 use proptest::prelude::*;
 use stbpu_suite::bpu::{BaselineMapper, EntityId, Mapper, VirtAddr};
+use stbpu_suite::engine::{
+    build_phase_file, run_phases_vs_full, ModelRegistry, PhaseBuildOptions, Workload,
+};
+use stbpu_suite::phases::{cluster_slices, ClusterConfig, PhaseEntry, PhaseFile};
 use stbpu_suite::remap::RemapSet;
+use stbpu_suite::sim::Protection;
 use stbpu_suite::stcore::{SecretToken, StConfig, StMapper, TokenManager};
+use stbpu_suite::trace::{extract_bbv, profiles, TraceGenerator};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -81,5 +87,179 @@ proptest! {
         m.set_entity(0, EntityId::user(2));
         let b2 = (b, m.btb1(0, pc));
         prop_assert_ne!(a2, b2);
+    }
+}
+
+/// A small BBV profile for the clustering invariants: one generated
+/// stream, sliced finely enough to give k-means real work.
+fn small_bbv(seed: u64, branches: usize) -> stbpu_suite::trace::bbv::BbvProfile {
+    let profile = profiles::by_name("541.leela").unwrap();
+    let mut source = TraceGenerator::new(profile, seed).into_source(branches);
+    extract_bbv(&mut source, 1_000).unwrap()
+}
+
+/// An arbitrary-but-valid phase entry for codec tests (the codec treats
+/// every field as an opaque varint, so any u64s are fair game).
+fn entry_strategy() -> impl Strategy<Value = PhaseEntry> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(rs, wb, wi, ws, sb, se, rb, ri, checkpoint)| PhaseEntry {
+            rep_slice: rs,
+            weight_branches: wb,
+            weight_instructions: wi,
+            weight_slices: ws,
+            start_branch: sb,
+            start_event: se,
+            rep_branches: rb,
+            rep_instructions: ri,
+            checkpoint,
+        })
+}
+
+fn phase_file_strategy() -> impl Strategy<Value = PhaseFile> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..24),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        1u64..1_000_000,
+        any::<u64>(),
+        proptest::collection::vec(entry_strategy(), 0..5),
+    )
+        .prop_map(|(name, seed, tb, ti, te, slice, cseed, phases)| {
+            // Arbitrary bytes folded into ASCII so the label is valid
+            // UTF-8 (the codec enforces that on decode).
+            let workload: String = name
+                .into_iter()
+                .map(|b| char::from(b'a' + b % 26))
+                .collect();
+            PhaseFile {
+                workload,
+                seed,
+                total_branches: tb,
+                total_instructions: ti,
+                total_events: te,
+                slice_branches: slice,
+                cluster_seed: cseed,
+                phases,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// k-means over BBVs is bit-identical across runs for a fixed seed:
+    /// the clustering carries no hidden iteration-order or wall-clock
+    /// dependence.
+    #[test]
+    fn clustering_bit_identical_for_fixed_seed(
+        stream_seed in any::<u64>(),
+        cluster_seed in any::<u64>(),
+    ) {
+        let bbv = small_bbv(stream_seed, 12_000);
+        let cfg = ClusterConfig { seed: cluster_seed, ..ClusterConfig::default() };
+        let a = cluster_slices(&bbv.slices, &cfg);
+        let b = cluster_slices(&bbv.slices, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Phase weights partition the stream exactly: branches, slices and
+    /// instructions all sum to the profiled totals, so the weighted
+    /// reconstruction has no gap and no double counting.
+    #[test]
+    fn phase_weights_partition_the_stream(
+        stream_seed in any::<u64>(),
+        branches in 3_000usize..24_000,
+    ) {
+        let reg = ModelRegistry::standard();
+        let wl = Workload::Named("541.leela".to_string());
+        let opts = PhaseBuildOptions {
+            slice_branches: 1_000,
+            ..PhaseBuildOptions::default()
+        };
+        let pf = build_phase_file(&reg, stream_seed, &wl, branches, &opts).unwrap();
+        prop_assert_eq!(pf.total_branches, branches as u64);
+        let wb: u64 = pf.phases.iter().map(|p| p.weight_branches).sum();
+        let wi: u64 = pf.phases.iter().map(|p| p.weight_instructions).sum();
+        let ws: u64 = pf.phases.iter().map(|p| p.weight_slices).sum();
+        prop_assert_eq!(wb, pf.total_branches);
+        prop_assert_eq!(wi, pf.total_instructions);
+        prop_assert_eq!(ws, branches.div_ceil(1_000) as u64);
+    }
+
+    /// `.stbp` encoding round-trips byte-identically for arbitrary
+    /// content, and every truncation decodes to a positioned error —
+    /// never a panic, never a bogus success.
+    #[test]
+    fn stbp_roundtrip_and_truncation_totality(
+        pf in phase_file_strategy(),
+        cut in any::<u64>(),
+    ) {
+        let bytes = pf.to_bytes();
+        let back = PhaseFile::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &pf);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+
+        let n = (cut % bytes.len() as u64) as usize;
+        let err = PhaseFile::from_bytes(&bytes[..n]).unwrap_err();
+        prop_assert!(err.offset <= n, "offset {} past truncation {}", err.offset, n);
+    }
+
+    /// Any single-byte corruption of a `.stbp` file is rejected (the
+    /// FNV-1a trailer covers the whole body, and the trailer itself is
+    /// compared) — again a positioned error, never a panic.
+    #[test]
+    fn stbp_single_byte_corruption_is_rejected(
+        pf in phase_file_strategy(),
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = pf.to_bytes();
+        let i = (at % bytes.len() as u64) as usize;
+        bytes[i] ^= flip;
+        prop_assert!(PhaseFile::from_bytes(&bytes).is_err());
+    }
+}
+
+proptest! {
+    // Full simulations per case: keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The degenerate clustering (k = slice count, warm checkpoints
+    /// embedded) reproduces the full simulation's OAE bit-exactly for
+    /// any stream seed: estimation error comes only from sampling, never
+    /// from the reconstruction arithmetic.
+    #[test]
+    fn phases_k_equals_slices_reproduces_full_oae(stream_seed in any::<u64>()) {
+        let reg = ModelRegistry::standard();
+        let wl = Workload::Named("505.mcf".to_string());
+        let n_slices = 6usize;
+        let opts = PhaseBuildOptions {
+            slice_branches: 1_000,
+            cluster: ClusterConfig {
+                forced_k: Some(n_slices),
+                ..ClusterConfig::default()
+            },
+            embed: Some(("st_skl@r=0.05".to_string(), Protection::Stbpu)),
+        };
+        let pf = build_phase_file(&reg, stream_seed, &wl, 6_000, &opts).unwrap();
+        prop_assert!(pf.fully_warm());
+        let phased = Workload::phases(pf, None).unwrap();
+        let (run, full, _) =
+            run_phases_vs_full(&reg, "st_skl@r=0.05", Protection::Stbpu, &phased).unwrap();
+        prop_assert_eq!(run.report.oae.to_bits(), full.oae.to_bits());
+        prop_assert_eq!(run.report.mispredictions, full.mispredictions);
+        prop_assert_eq!(run.report.rerandomizations, full.rerandomizations);
     }
 }
