@@ -112,6 +112,9 @@ impl LintId {
             // frames that CI diffs byte-for-byte. `crates/phases` joined
             // in PR 9: k-means centroid updates and representative
             // selection order anything in `.stbp`, which CI byte-diffs.
+            // PR 10 addition: `crates/predictors` — allocator randomness
+            // (ITTAGE/TAGE lfsr) must stay seeded-deterministic, or OAE
+            // baselines and checkpoint bit-identity gates break.
             LintId::Determinism => &[
                 "crates/sim/src/",
                 "crates/engine/src/",
@@ -119,6 +122,7 @@ impl LintId {
                 "crates/serve/src/",
                 "crates/core/src/",
                 "crates/phases/src/",
+                "crates/predictors/src/",
             ],
             // Crates on the OAE-affecting simulation path, plus the
             // engine's shard/resume drivers whose outputs CI diffs
@@ -129,6 +133,9 @@ impl LintId {
             // k-means would make phase selection machine-dependent) and
             // the engine's phase driver, whose estimates the simpoint
             // reference gate diffs against a committed JSON.
+            // PR 10 addition: the predictor models themselves — a timing
+            // read inside a predict/update path would make reports
+            // machine-dependent.
             LintId::WallClock => &[
                 "crates/bpu/src/",
                 "crates/remap/src/",
@@ -139,6 +146,7 @@ impl LintId {
                 "crates/engine/src/resume.rs",
                 "crates/engine/src/phases.rs",
                 "crates/phases/src/",
+                "crates/predictors/src/",
             ],
             // The daemon request/decode paths and the client library that
             // multiplexes live sessions, plus the checkpoint codecs: a
@@ -151,6 +159,11 @@ impl LintId {
             // phase file must decode to a positioned PhaseError) and the
             // BBV extractor, which runs inside the bench/CI pipeline
             // where a panic aborts the whole figure-estimation gate.
+            // PR 10 additions: the CBP trace decoder (arbitrary
+            // third-party captures must decode totally — truncation or
+            // corruption is a positioned CbpError, never a panic) and the
+            // ITTAGE predictor, whose snapshot loader consumes `.stck`
+            // images from disk.
             LintId::PanicFreedom => &[
                 "crates/serve/src/server.rs",
                 "crates/serve/src/protocol.rs",
@@ -159,6 +172,8 @@ impl LintId {
                 "crates/engine/src/resume.rs",
                 "crates/phases/src/file.rs",
                 "crates/trace/src/bbv.rs",
+                "crates/trace/src/cbp.rs",
+                "crates/predictors/src/ittage.rs",
             ],
         }
     }
@@ -1225,6 +1240,112 @@ fn decode_phase_header(data: &[u8]) -> Result<(u16, u64), PhaseError> {
 }
 "#;
         let f = run(LintId::PanicFreedom, good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cbp_and_predictor_paths_are_in_scope() {
+        // The real-trace frontend and predictor family joined the lint
+        // surface in PR 10: the CBP decoder consumes untrusted
+        // championship traces and must stay total (positioned errors,
+        // never panics), the ITTAGE snapshot loader consumes `.stck`
+        // bytes from disk, and the predictors crate as a whole must stay
+        // deterministic and wall-clock-free (its allocation lfsr reaches
+        // OAE numbers CI diffs against golden fixtures).
+        for path in ["crates/trace/src/cbp.rs", "crates/predictors/src/ittage.rs"] {
+            assert!(LintId::PanicFreedom.applies_to(path), "{path}");
+        }
+        for path in [
+            "crates/predictors/src/ittage.rs",
+            "crates/predictors/src/tage.rs",
+            "crates/predictors/src/target.rs",
+        ] {
+            assert!(LintId::Determinism.applies_to(path), "{path}");
+            assert!(LintId::WallClock.applies_to(path), "{path}");
+        }
+        // Only the snapshot-consuming ITTAGE file is panic-scoped; the
+        // rest of the crate may assert on builder-established invariants.
+        assert!(!LintId::PanicFreedom.applies_to("crates/predictors/src/tage.rs"));
+    }
+
+    #[test]
+    fn cbp_decode_bad_twin_fires_and_good_twin_is_clean() {
+        // Bad twin: a CBP-record decoder that panics on truncated or
+        // out-of-range input instead of returning a positioned CbpError.
+        let bad = r#"
+fn decode_record(data: &[u8], off: usize) -> (u64, u8, u64) {
+    let pc = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+    let kind = data[off + 8];
+    if kind > 5 {
+        panic!("bad branch type {kind}");
+    }
+    let target = read_le_u64(&data[off + 10..]).expect("target");
+    (pc, kind, target)
+}
+"#;
+        let f = run(LintId::PanicFreedom, bad);
+        // The unwrap, the single index, the panic!, and the expect.
+        assert_eq!(f.len(), 4, "{f:?}");
+        // Good twin: the shape crates/trace/src/cbp.rs actually uses —
+        // every miss becomes a CbpError carrying the failing offset.
+        let good = r#"
+fn decode_record(data: &[u8], off: usize) -> Result<(u64, u8, u64), CbpError> {
+    let pc_bytes = data.get(off..off + 8).ok_or_else(|| CbpError::truncated(off))?;
+    let pc = u64::from_le_bytes(pc_bytes.try_into().map_err(|_| CbpError::truncated(off))?);
+    let kind = *data.get(off + 8).ok_or_else(|| CbpError::truncated(off + 8))?;
+    if kind > 5 {
+        return Err(CbpError::bad_type(off + 8, kind));
+    }
+    let rest = data.get(off + 10..).ok_or_else(|| CbpError::truncated(off + 10))?;
+    let target = read_le_u64(rest)?;
+    Ok((pc, kind, target))
+}
+"#;
+        let f = run(LintId::PanicFreedom, good);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ittage_allocation_bad_twin_fires_on_hash_iteration() {
+        // Bad twin: picking an ITTAGE allocation victim by iterating a
+        // HashMap — the iteration order decides which table is stolen,
+        // which reaches OAE numbers diffed against golden fixtures.
+        let bad = r#"
+fn pick_victim(candidates: &HashMap<usize, u8>) -> Vec<usize> {
+    let mut picks = Vec::new();
+    for (table, u) in candidates.iter() {
+        if *u == 0 {
+            picks.push(*table);
+        }
+    }
+    picks
+}
+"#;
+        let f = run(LintId::Determinism, bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`candidates`"), "{}", f[0].message);
+        // Good twin: the shape ittage.rs actually uses — a seeded
+        // xorshift lfsr scans tables in index order.
+        let good = r#"
+fn pick_victim(candidates: &[u8], lfsr: &mut u64) -> Option<usize> {
+    *lfsr ^= *lfsr << 13;
+    *lfsr ^= *lfsr >> 7;
+    *lfsr ^= *lfsr << 17;
+    let skip = (*lfsr & 1) == 1;
+    let mut seen = 0usize;
+    for (table, u) in candidates.iter().enumerate() {
+        if *u == 0 {
+            if skip && seen == 0 {
+                seen = 1;
+                continue;
+            }
+            return Some(table);
+        }
+    }
+    None
+}
+"#;
+        let f = run(LintId::Determinism, good);
         assert!(f.is_empty(), "{f:?}");
     }
 

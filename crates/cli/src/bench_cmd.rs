@@ -39,13 +39,19 @@ use std::io::Write;
 use std::time::Instant;
 
 /// The benchmark suite: one representative scheme per protection class,
-/// plus the heaviest predictor (TAGE64) under secret tokens.
+/// the heaviest direction predictor (TAGE64) under secret tokens, and the
+/// CBP-class family (TAGE-SC-L + ITTAGE, and the ITTAGE-only ablation) in
+/// both unprotected and secret-token form.
 const SCHEMES: &[(&str, &str, Protection)] = &[
     ("baseline", "skl", Protection::Unprotected),
     ("stbpu", "st_skl@r=0.05", Protection::Stbpu),
     ("ucode1", "skl", Protection::Ucode1),
     ("conservative", "conservative", Protection::Conservative),
     ("st_tage64", "st_tage64", Protection::Stbpu),
+    ("tagescl", "tagescl", Protection::Unprotected),
+    ("st_tagescl", "st_tagescl", Protection::Stbpu),
+    ("ittage", "ittage", Protection::Unprotected),
+    ("st_ittage", "st_ittage", Protection::Stbpu),
 ];
 
 /// Relative branches/s drift that triggers a (warn-only) throughput note.

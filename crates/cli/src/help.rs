@@ -150,24 +150,29 @@ examples:
         help: "\
 usage: stbpu trace generate --workload NAME --out FILE [--branches N] [--seed S] [--format F]
        stbpu trace inspect FILE [--json]     ('-' reads a stream from stdin)
-       stbpu trace convert IN OUT [--name NAME] [--format F]
+       stbpu trace convert IN OUT [--name NAME] [--format F] [--from F]
        stbpu trace simpoint (--workload NAME | --trace-file PATH) --out FILE.stbp [options]
 
-Two on-disk trace formats exist: the line text format and the compact
-binary .stbt format (magic \"STBT\"; ~5x smaller, far faster to ingest —
-see the README byte-level spec). Inputs are auto-detected by magic;
-outputs follow the destination extension (.stbt = binary), with
---format line|binary|auto overriding.
+Three on-disk trace formats exist: the line text format, the compact
+binary .stbt format (magic \"STBT\"; ~5x smaller, far faster to ingest)
+and the CBP championship import format (magic \"CBPT\"; fixed 18-byte
+branch records, the real-trace frontend) — byte-level specs in the
+README. Inputs are auto-detected by magic; outputs follow the
+destination extension (.stbt = binary, .cbp = CBP), with
+--format line|binary|cbp|auto overriding.
 
 generate streams a synthetic workload to a trace file in O(1) memory
-(any --branches works). inspect streams a file of either format and
+(any --branches works). inspect streams a file of any format and
 reports the detected format, file size, declared metadata, exact
 event/branch counts and scan throughput (records/s); on a .stbp phase
 file (magic \"STBP\") it reports phase count, slice size, per-phase
 weights and embedded-checkpoint presence instead. convert re-serializes
 between formats — normalizing headers (branches/threads recomputed) and
-optionally renaming the trace; line <-> binary round trips are lossless
-and byte-identical.
+optionally renaming the trace; --from line|binary|cbp asserts the input
+format (exits loudly on a mismatch instead of trusting auto-detection).
+line <-> binary round trips are lossless and byte-identical, and
+cbp -> .stbt -> cbp reproduces any valid .cbp byte-for-byte; converting
+*into* cbp is lossy (thread ids, non-branch events and gaps drop).
 
 simpoint runs the SimPoint pipeline: one streaming basic-block-vector
 pass over the stream, seeded k-means over the slices, one weighted
@@ -192,6 +197,7 @@ examples:
   stbpu trace generate --workload apache2_prefork_c128 --branches 2000000 --out apache.stbt
   stbpu trace inspect apache.stbt --json
   stbpu trace convert apache.stbt apache.trace
+  stbpu trace convert --from cbp capture.cbp capture.stbt
   stbpu trace simpoint --workload 541.leela --branches 10000000 --out leela.stbp
   stbpu trace inspect leela.stbp
 ",

@@ -1,14 +1,17 @@
-//! `stbpu trace` — generate, inspect and convert trace files in either
-//! on-disk format (line text or compact binary `.stbt`), plus the
-//! SimPoint pipeline (`simpoint`) that distills a stream into a `.stbp`
-//! phase file.
+//! `stbpu trace` — generate, inspect and convert trace files in any
+//! on-disk format (line text, compact binary `.stbt`, or CBP-style
+//! championship `.cbp`), plus the SimPoint pipeline (`simpoint`) that
+//! distills a stream into a `.stbp` phase file.
 //!
 //! Input format is always auto-detected by magic (`inspect` also
-//! recognizes `.stbp` phase files); output format follows the
-//! destination extension (`.stbt` = binary) unless `--format`
-//! overrides it. Conversions are lossless in both directions, so
-//! `line → binary → line` and `binary → line → binary` round-trip
-//! byte-identically (the CI golden fixture gates exactly this).
+//! recognizes `.stbp` phase files); `convert --from` additionally
+//! *asserts* the detected input format. Output format follows the
+//! destination extension (`.stbt` = binary, `.cbp` = CBP) unless
+//! `--format` overrides it. Conversions between line and binary are
+//! lossless in both directions, and `cbp → .stbt → cbp` round-trips
+//! byte-identically (the CI golden fixtures gate exactly this); note the
+//! `.cbp` format itself is branch-only and single-thread, so converting
+//! *into* it drops context/mode-switch and interrupt records.
 
 use crate::args::Args;
 use crate::Failure;
@@ -38,14 +41,30 @@ pub fn run(rest: &[String]) -> Result<(), Failure> {
 }
 
 /// Resolves the output format: an explicit `--format` wins, otherwise the
-/// destination extension decides (`.stbt` = binary, anything else line).
+/// destination extension decides (`.stbt` = binary, `.cbp` = CBP,
+/// anything else line).
 fn out_format(flag: Option<&str>, out: &str) -> Result<TraceFileFormat, Failure> {
     match flag {
         None | Some("auto") => Ok(TraceFileFormat::from_extension(Path::new(out))),
         Some("line") => Ok(TraceFileFormat::Line),
         Some("binary") => Ok(TraceFileFormat::Binary),
+        Some("cbp") => Ok(TraceFileFormat::Cbp),
         Some(other) => Err(Failure::Usage(format!(
-            "unknown format '{other}' (line|binary|auto)"
+            "unknown format '{other}' (line|binary|cbp|auto)"
+        ))),
+    }
+}
+
+/// Parses a `--from` input-format assertion: `auto` (or absent) accepts
+/// whatever the magic says, a concrete name must match it.
+fn in_format(flag: Option<&str>) -> Result<Option<TraceFileFormat>, Failure> {
+    match flag {
+        None | Some("auto") => Ok(None),
+        Some("line") => Ok(Some(TraceFileFormat::Line)),
+        Some("binary") => Ok(Some(TraceFileFormat::Binary)),
+        Some("cbp") => Ok(Some(TraceFileFormat::Cbp)),
+        Some(other) => Err(Failure::Usage(format!(
+            "unknown input format '{other}' (line|binary|cbp|auto)"
         ))),
     }
 }
@@ -431,6 +450,7 @@ fn convert(rest: &[String]) -> Result<(), Failure> {
     let mut a = Args::new(rest);
     let name = a.opt("--name")?;
     let format = a.opt("--format")?;
+    let from = a.opt("--from")?;
     let ops = a.finish()?;
     let [input, output] = &ops[..] else {
         return Err(Failure::Usage(
@@ -438,12 +458,20 @@ fn convert(rest: &[String]) -> Result<(), Failure> {
         ));
     };
     let out_fmt = out_format(format.as_deref(), output)?;
+    let want_fmt = in_format(from.as_deref())?;
 
     let open = || open_trace_file(Path::new(input)).map_err(|e| Failure::Runtime(e.to_string()));
 
     // Pass 1: exact counts for the normalized header.
     let mut src = open()?;
     let in_fmt = src.format();
+    if let Some(want) = want_fmt {
+        if want != in_fmt {
+            return Err(Failure::Runtime(format!(
+                "{input}: detected {in_fmt} format, but --from {want} was asserted"
+            )));
+        }
+    }
     let (mut events, mut branches, mut threads) = (0u64, 0u64, 0usize);
     src.for_each_batch(4_096, |batch| {
         for ev in batch {

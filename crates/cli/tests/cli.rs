@@ -310,7 +310,17 @@ fn bench_baseline_round_trip_and_drift_detection() {
     assert!(rec.status.success(), "{}", stderr(&rec));
     let json = stdout(&rec);
     assert!(json.starts_with('[') && json.contains("\"oae\":"), "{json}");
-    for scheme in ["baseline", "stbpu", "ucode1", "conservative", "st_tage64"] {
+    for scheme in [
+        "baseline",
+        "stbpu",
+        "ucode1",
+        "conservative",
+        "st_tage64",
+        "tagescl",
+        "st_tagescl",
+        "ittage",
+        "st_ittage",
+    ] {
         assert!(
             dir.join(format!("BENCH_{scheme}.json")).is_file(),
             "missing BENCH_{scheme}.json"
@@ -415,7 +425,7 @@ fn bench_throughput_suite_emits_trajectory_and_warn_only_drift() {
         doc.get("suite").and_then(|s| s.as_str()),
         Some("throughput")
     );
-    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 5);
+    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 9);
 
     // The baseline gained a throughput section…
     let base_doc =
@@ -608,6 +618,80 @@ fn golden_stbt_fixture_is_format_stable() {
     );
 }
 
+/// The committed golden `.cbp` fixture is the local mirror of CI's CBP
+/// stable-leg gate: the championship container must convert through
+/// `.stbt` and back byte-identically, `--from` must assert the detected
+/// input format, and simulating the fixture with the CBP-class predictor
+/// must reproduce the committed report.
+#[test]
+fn golden_cbp_fixture_is_format_stable() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let golden = repo.join("ci/golden.cbp");
+    let golden_oae = repo.join("ci/golden-cbp-oae.json");
+    let stbt = scratch("golden-cbp.stbt");
+    let back = scratch("golden-back.cbp");
+
+    // The input-format assertion holds for the fixture…
+    let conv = stbpu(&[
+        "trace",
+        "convert",
+        "--from",
+        "cbp",
+        golden.to_str().unwrap(),
+        stbt.to_str().unwrap(),
+    ]);
+    assert!(conv.status.success(), "{}", stderr(&conv));
+    assert_eq!(&std::fs::read(&stbt).unwrap()[..4], b"STBT");
+    // …and fails loudly when asserted against the wrong container.
+    let wrong = stbpu(&[
+        "trace",
+        "convert",
+        "--from",
+        "cbp",
+        stbt.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]);
+    assert_eq!(wrong.status.code(), Some(1));
+    assert!(stderr(&wrong).contains("--from cbp"), "{}", stderr(&wrong));
+
+    let conv = stbpu(&[
+        "trace",
+        "convert",
+        "--from",
+        "binary",
+        stbt.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]);
+    assert!(conv.status.success(), "{}", stderr(&conv));
+    assert_eq!(
+        std::fs::read(&golden).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "golden .cbp no longer round-trips byte-identically through .stbt — \
+         if the format change is intentional, bump cbp::VERSION and refresh \
+         the fixture (see CONTRIBUTING.md)"
+    );
+
+    let sim = stbpu(&[
+        "simulate",
+        "--model",
+        "tagescl",
+        "--trace-file",
+        golden.to_str().unwrap(),
+        "--warmup-branches",
+        "0",
+        "--seed",
+        "42",
+        "--format",
+        "json",
+    ]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    assert_eq!(
+        stdout(&sim).trim(),
+        std::fs::read_to_string(&golden_oae).unwrap().trim(),
+        "golden .cbp OAE drifted from ci/golden-cbp-oae.json"
+    );
+}
+
 #[test]
 fn bench_ingest_suite_gates_formats_and_reports_speedup() {
     let dir = scratch("ingest-bench");
@@ -632,7 +716,7 @@ fn bench_ingest_suite_gates_formats_and_reports_speedup() {
     assert!(doc.get("size_ratio").unwrap().as_f64().unwrap() < 0.4);
     assert!(doc.get("ingest_speedup").unwrap().as_f64().unwrap() > 1.0);
     let schemes = doc.get("schemes").unwrap().as_array().unwrap();
-    assert_eq!(schemes.len(), 5);
+    assert_eq!(schemes.len(), 9);
     for s in schemes {
         assert!(s.get("line_branches_per_s").unwrap().as_f64().unwrap() > 0.0);
         assert!(s.get("binary_branches_per_s").unwrap().as_f64().unwrap() > 0.0);
@@ -696,13 +780,13 @@ fn unknown_suite_exits_nonzero_with_catalog() {
     assert_eq!(out.status.code(), Some(2));
     let err = stderr(&out);
     assert!(err.contains("unknown workload suite 'warp'"), "{err}");
-    for name in ["paper", "spec-like", "adversarial", "stress"] {
+    for name in ["paper", "spec-like", "adversarial", "stress", "realtrace"] {
         assert!(err.contains(name), "catalog missing {name}: {err}");
     }
     // The suites are listable.
     let list = stbpu(&["list", "suites"]);
     assert!(list.status.success());
-    for name in ["paper", "spec-like", "adversarial", "stress"] {
+    for name in ["paper", "spec-like", "adversarial", "stress", "realtrace"] {
         assert!(stdout(&list).contains(name), "list missing {name}");
     }
 }
@@ -1218,7 +1302,7 @@ fn bench_simpoint_suite_reference_round_trip_and_drift_detection() {
     let doc = stbpu_engine::minijson::Json::parse(stdout(&rec).trim()).expect("valid JSON");
     assert_eq!(doc.get("suite").unwrap().as_str().unwrap(), "simpoint");
     assert!(doc.get("branch_speedup").unwrap().as_f64().unwrap() > 1.0);
-    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 5);
+    assert_eq!(doc.get("schemes").unwrap().as_array().unwrap().len(), 9);
     let record = std::fs::read_to_string(dir.join("BENCH_simpoint.json")).expect("record");
     assert_eq!(record.trim(), stdout(&rec).trim());
 

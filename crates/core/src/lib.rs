@@ -47,7 +47,9 @@ pub use mapper::StMapper;
 pub use token::SecretToken;
 
 use stbpu_bpu::BtbConfig;
-use stbpu_predictors::{FullBpu, PerceptronConfig, PerceptronPredictor, SklCond, Tage, TageConfig};
+use stbpu_predictors::{
+    FullBpu, IttageConfig, PerceptronConfig, PerceptronPredictor, SklCond, Tage, TageConfig,
+};
 
 /// ST_SKLCond: the Skylake-like baseline model protected by secret tokens.
 ///
@@ -95,6 +97,41 @@ pub fn st_tage8(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
         StMapper::new(cfg, seed),
         BtbConfig::skylake(),
         false,
+    )
+}
+
+/// ST championship-class model: TAGE-SC-L 64 KB directions plus an ITTAGE
+/// indirect-target stage, both remapped through the secret token (ITTAGE
+/// banks start at `ITTAGE_BANK_BASE`, disjoint from the direction banks).
+pub fn st_tagescl(cfg: StConfig, seed: u64) -> FullBpu<Tage, StMapper> {
+    let cfg = StConfig {
+        separate_tage_register: true,
+        ..cfg
+    };
+    FullBpu::with_ittage(
+        "ST_TAGE_SC_L_ITTAGE",
+        Tage::new(TageConfig::kb64()),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+        IttageConfig::default_tables(),
+    )
+}
+
+/// ST ITTAGE ablation model: the Skylake-like conditional predictor with
+/// only the indirect-target stage upgraded, under secret-token remapping.
+pub fn st_ittage(cfg: StConfig, seed: u64) -> FullBpu<SklCond, StMapper> {
+    let cfg = StConfig {
+        separate_tage_register: false,
+        ..cfg
+    };
+    FullBpu::with_ittage(
+        "ST_ITTAGE",
+        SklCond::new(),
+        StMapper::new(cfg, seed),
+        BtbConfig::skylake(),
+        false,
+        IttageConfig::default_tables(),
     )
 }
 

@@ -8,11 +8,13 @@ use std::sync::Arc;
 use crate::error::EngineError;
 use crate::model_core::ModelCore;
 use stbpu_bpu::{BaselineMapper, BtbConfig, ConservativeMapper};
-use stbpu_core::{st_perceptron, st_skl, st_tage64, st_tage8, StConfig, StMapper};
+use stbpu_core::{
+    st_ittage, st_perceptron, st_skl, st_tage64, st_tage8, st_tagescl, StConfig, StMapper,
+};
 use stbpu_predictors::{
-    conservative, perceptron_baseline, skl_baseline, tage64_baseline, tage8_baseline,
-    DirectionPredictor, FullBpu, Gshare, PerceptronConfig, PerceptronPredictor, SklCond, Tage,
-    TageConfig,
+    conservative, ittage_baseline, perceptron_baseline, skl_baseline, tage64_baseline,
+    tage8_baseline, tagescl_baseline, DirectionPredictor, FullBpu, Gshare, PerceptronConfig,
+    PerceptronPredictor, SklCond, Tage, TageConfig,
 };
 
 /// Direction-predictor choice for a [`ModelSpec`].
@@ -343,6 +345,48 @@ impl ModelRegistry {
         );
 
         reg.register(
+            "tagescl",
+            "unprotected TAGE-SC-L 64KB + ITTAGE indirect targets",
+            |p, _| {
+                p.ensure_only("tagescl", &[])?;
+                Ok(tagescl_baseline().into())
+            },
+        );
+        reg.register(
+            "st_tagescl",
+            "secret-token TAGE-SC-L 64KB + ITTAGE (param: r)",
+            |p, seed| {
+                Ok(st_tagescl(
+                    p.ensure_only("st_tagescl", &["r"])
+                        .and(p.st_config("st_tagescl"))?,
+                    seed,
+                )
+                .into())
+            },
+        );
+
+        reg.register(
+            "ittage",
+            "unprotected SKLCond + ITTAGE indirect-target ablation",
+            |p, _| {
+                p.ensure_only("ittage", &[])?;
+                Ok(ittage_baseline().into())
+            },
+        );
+        reg.register(
+            "st_ittage",
+            "secret-token SKLCond + ITTAGE (param: r)",
+            |p, seed| {
+                Ok(st_ittage(
+                    p.ensure_only("st_ittage", &["r"])
+                        .and(p.st_config("st_ittage"))?,
+                    seed,
+                )
+                .into())
+            },
+        );
+
+        reg.register(
             "gshare",
             "plain gshare ablation model (param: bits)",
             |p, seed| {
@@ -518,13 +562,17 @@ mod tests {
             "st_tage64",
             "perceptron",
             "st_perceptron",
+            "tagescl",
+            "st_tagescl",
+            "ittage",
+            "st_ittage",
             "gshare",
             "st_gshare",
             "conservative",
         ] {
             assert!(reg.contains(name), "missing {name}");
         }
-        assert_eq!(reg.names().len(), 11);
+        assert_eq!(reg.names().len(), 15);
     }
 
     #[test]

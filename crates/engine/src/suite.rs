@@ -8,7 +8,7 @@
 //! dozens of workload and scenario names. Suites only bundle *names*;
 //! overriding branches, seeds or scenarios at the call site still works.
 //!
-//! Four suites are registered:
+//! Five suites are registered:
 //!
 //! | suite | workloads | scenarios | intent |
 //! |---|---|---|---|
@@ -16,6 +16,7 @@
 //! | `spec-like` | the 23 SPEC CPU 2017 profiles | baseline vs ST (SKL + TAGE64) | predictor-focused sweeps |
 //! | `adversarial` | high-pressure server/desktop profiles | aggressive re-randomization + ucode defenses | attack-surface conditions |
 //! | `stress` | the heaviest footprint profiles | the five Figure 3 schemes | throughput and capacity stress |
+//! | `realtrace` | indirect-heavy profiles | CBP-class family (TAGE-SC-L + ITTAGE) ± ST | championship-predictor comparison |
 //!
 //! ```
 //! use stbpu_engine::WorkloadSuite;
@@ -122,6 +123,28 @@ static SUITES: &[WorkloadSuite] = &[
         branches: 200_000,
         seeds: &[42],
     },
+    WorkloadSuite {
+        name: "realtrace",
+        summary: "indirect-heavy profiles under the CBP-class predictor \
+                  family (TAGE-SC-L + ITTAGE) and its ST variants",
+        workloads: SuiteWorkloads::Explicit(&[
+            "500.perlbench",
+            "502.gcc",
+            "523.xalancbmk",
+            "520.omnetpp",
+            "510.parest",
+            "chrome-1je_1mo_1sp",
+        ]),
+        scenarios: &[
+            "tagescl:unprotected",
+            "st_tagescl@r=0.05:stbpu",
+            "ittage:unprotected",
+            "st_ittage@r=0.05:stbpu",
+            "skl:unprotected",
+        ],
+        branches: 100_000,
+        seeds: &[42],
+    },
 ];
 
 impl WorkloadSuite {
@@ -210,7 +233,7 @@ mod tests {
     fn every_registered_suite_is_well_formed() {
         assert_eq!(
             WorkloadSuite::names(),
-            ["paper", "spec-like", "adversarial", "stress"]
+            ["paper", "spec-like", "adversarial", "stress", "realtrace"]
         );
         for suite in WorkloadSuite::all() {
             // All workload names resolve against the profile tables.

@@ -101,7 +101,7 @@ proptest! {
         }
         // If the registry shrinks or capture support silently regresses,
         // fail loudly instead of vacuously passing.
-        prop_assert!(resumed_models >= 5, "only {} models round-tripped", resumed_models);
+        prop_assert!(resumed_models >= 15, "only {} models round-tripped", resumed_models);
     }
 
     /// Any truncation of a valid `.stck` image decodes to a positioned

@@ -12,7 +12,7 @@ fn every_registered_model_builds_runs_and_predicts() {
     let registry = ModelRegistry::standard();
     let trace = TraceGenerator::new(&WorkloadProfile::test_profile(), 9).generate(4_000);
     let names = registry.names();
-    assert!(names.len() >= 11, "standard registry shrank: {names:?}");
+    assert!(names.len() >= 15, "standard registry shrank: {names:?}");
 
     for name in names {
         let mut model = registry

@@ -2,6 +2,7 @@
 //! complete [`Bpu`] model.
 
 use crate::direction::{DirPrediction, DirectionPredictor};
+use crate::ittage::IttageConfig;
 use crate::target::TargetUnit;
 use stbpu_bpu::{
     Bpu, BpuStats, BranchOutcome, BranchRecord, BtbConfig, EntityId, HistoryCtx, Mapper, SnapError,
@@ -37,6 +38,26 @@ impl<D: DirectionPredictor, M: Mapper> FullBpu<D, M> {
             dir,
             mapper,
             target: TargetUnit::new(btb, full_fidelity),
+            hist: (0..MAX_THREADS).map(|_| HistoryCtx::new()).collect(),
+            stats: BpuStats::new(),
+        }
+    }
+
+    /// Builds a full model whose target unit carries an ITTAGE
+    /// indirect-target stage in front of the BTB.
+    pub fn with_ittage(
+        name: &str,
+        dir: D,
+        mapper: M,
+        btb: BtbConfig,
+        full_fidelity: bool,
+        ittage: IttageConfig,
+    ) -> Self {
+        FullBpu {
+            name: name.to_string(),
+            dir,
+            mapper,
+            target: TargetUnit::with_ittage(btb, full_fidelity, ittage),
             hist: (0..MAX_THREADS).map(|_| HistoryCtx::new()).collect(),
             stats: BpuStats::new(),
         }

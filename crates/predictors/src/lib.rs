@@ -45,6 +45,7 @@
 mod direction;
 mod full;
 mod gshare;
+mod ittage;
 mod perceptron;
 mod sklcond;
 mod tage;
@@ -53,6 +54,7 @@ mod target;
 pub use direction::{DirPrediction, DirectionPredictor, Provider};
 pub use full::FullBpu;
 pub use gshare::Gshare;
+pub use ittage::{Ittage, IttageConfig, ITTAGE_BANK_BASE};
 pub use perceptron::{PerceptronConfig, PerceptronPredictor};
 pub use sklcond::SklCond;
 pub use tage::{Tage, TageConfig};
@@ -103,6 +105,32 @@ pub fn tage8_baseline() -> FullBpu<Tage, BaselineMapper> {
         BaselineMapper::new(),
         BtbConfig::skylake(),
         false,
+    )
+}
+
+/// Unprotected championship-class model: TAGE-SC-L 64 KB directions plus
+/// an ITTAGE indirect-target stage in front of the BTB.
+pub fn tagescl_baseline() -> FullBpu<Tage, BaselineMapper> {
+    FullBpu::with_ittage(
+        "TAGE_SC_L_ITTAGE",
+        Tage::new(TageConfig::kb64()),
+        BaselineMapper::new(),
+        BtbConfig::skylake(),
+        false,
+        IttageConfig::default_tables(),
+    )
+}
+
+/// Unprotected ITTAGE ablation model: the Skylake-like conditional
+/// predictor with only the indirect-target stage upgraded.
+pub fn ittage_baseline() -> FullBpu<SklCond, BaselineMapper> {
+    FullBpu::with_ittage(
+        "ITTAGE",
+        SklCond::new(),
+        BaselineMapper::new(),
+        BtbConfig::skylake(),
+        false,
+        IttageConfig::default_tables(),
     )
 }
 

@@ -13,6 +13,7 @@
 //! XOR-encrypted with φ (the mapper's `encrypt_target`/`decrypt_target`),
 //! and the conservative model keeps the full 48-bit address.
 
+use crate::ittage::{Ittage, IttageConfig};
 use stbpu_bpu::{
     partition_set, BranchKind, BranchRecord, Btb, BtbConfig, HistoryCtx, Mapper, SnapError,
     StateReader, StateWriter, VirtAddr,
@@ -50,6 +51,9 @@ pub struct TargetUnit {
     /// Conservative model: store full 48-bit tags/targets, no encryption.
     full_fidelity: bool,
     partitioned: bool,
+    /// Optional ITTAGE stage consulted before the BTB for indirect
+    /// branches (the championship-class front end).
+    ittage: Option<Ittage>,
 }
 
 impl TargetUnit {
@@ -60,7 +64,21 @@ impl TargetUnit {
             btb: Btb::new(cfg),
             full_fidelity,
             partitioned: false,
+            ittage: None,
         }
+    }
+
+    /// Creates the unit with an ITTAGE indirect-target stage in front of
+    /// the BTB.
+    pub fn with_ittage(cfg: BtbConfig, full_fidelity: bool, ittage: IttageConfig) -> Self {
+        let mut unit = TargetUnit::new(cfg, full_fidelity);
+        unit.ittage = Some(Ittage::new(ittage));
+        unit
+    }
+
+    /// Access to the ITTAGE stage, when configured.
+    pub fn ittage(&self) -> Option<&Ittage> {
+        self.ittage.as_ref()
     }
 
     /// Enables or disables STIBP-style set partitioning between threads.
@@ -78,16 +96,24 @@ impl TargetUnit {
         &self.btb
     }
 
-    /// Invalidates all BTB entries.
+    /// Invalidates all BTB entries (and the ITTAGE stage, if present).
     pub fn flush(&mut self) {
         self.btb.flush();
+        if let Some(it) = &mut self.ittage {
+            it.flush();
+        }
     }
 
     /// Serializes the BTB and the unit's mode flags for checkpointing.
+    /// The ITTAGE stage, when configured, appends its state — models
+    /// without one keep their historical byte layout.
     pub fn save_state(&self, w: &mut StateWriter) {
         self.btb.save_state(w);
         w.bool(self.full_fidelity);
         w.bool(self.partitioned);
+        if let Some(it) = &self.ittage {
+            it.save_state(w);
+        }
     }
 
     /// Restores state saved by [`TargetUnit::save_state`] into a unit of
@@ -99,6 +125,9 @@ impl TargetUnit {
             return Err(r.err("target-unit fidelity mode mismatch"));
         }
         self.partitioned = r.bool()?;
+        if let Some(it) = &mut self.ittage {
+            it.load_state(r)?;
+        }
         Ok(())
     }
 
@@ -178,6 +207,17 @@ impl TargetUnit {
         offset: u8,
         h: &HistoryCtx,
     ) -> TargetPrediction {
+        // ITTAGE stage first: tagged path-history tables capture far more
+        // context than the BHB-derived mode-two tag.
+        if let Some(it) = &self.ittage {
+            if let Some(payload) = it.predict(m, tid, rec.pc.raw()) {
+                return TargetPrediction {
+                    target: Some(self.decode(m, tid, rec.pc, payload)),
+                    btb_miss: false,
+                    rsb_underflow: false,
+                };
+            }
+        }
         // Mode two: BHB-derived tag captures the branch context, allowing
         // several targets per static branch.
         let tag2 = m.btb2_tag(tid, h.bhb());
@@ -227,6 +267,9 @@ impl TargetUnit {
                     // Returns live in the RSB; the indirect predictor only
                     // learns them when the RSB underflowed.
                     if rsb_underflowed {
+                        if let Some(it) = &mut self.ittage {
+                            it.update(m, tid, pc, payload);
+                        }
                         let tag2 = m.btb2_tag(tid, h.bhb());
                         if self
                             .btb
@@ -238,6 +281,9 @@ impl TargetUnit {
                     }
                 }
                 BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                    if let Some(it) = &mut self.ittage {
+                        it.update(m, tid, pc, payload);
+                    }
                     let tag2 = m.btb2_tag(tid, h.bhb());
                     if self
                         .btb
@@ -271,6 +317,12 @@ impl TargetUnit {
             h.rsb.push(ret);
         }
         if rec.taken {
+            // The ITTAGE path history advances on *every* taken branch —
+            // prediction or not — so replayed/resumed streams reconstruct
+            // bit-identical state.
+            if let Some(it) = &mut self.ittage {
+                it.push_history(tid, rec.pc.raw(), rec.target.raw());
+            }
             h.push_edge(rec.pc, rec.target);
         }
         evictions

@@ -1,13 +1,16 @@
 //! Trace-file opening with on-disk format auto-detection.
 //!
-//! Two formats live on disk: the human-readable line format
-//! ([`crate::serialize`]) and the compact binary `.stbt` format
-//! ([`crate::binfmt`]). The first four bytes decide which one a file is —
-//! a binary trace always starts with the `"STBT"` magic, which can never
-//! lead a valid line-format file — so consumers ask [`open_trace_file`]
-//! and get a streaming [`EventSource`] either way.
+//! Three formats live on disk: the human-readable line format
+//! ([`crate::serialize`]), the compact binary `.stbt` format
+//! ([`crate::binfmt`]), and the CBP-style championship `.cbp` format
+//! ([`crate::cbp`]). The first four bytes decide which one a file is —
+//! a binary trace always starts with the `"STBT"` magic and a cbp trace
+//! with `"CBPT"`, neither of which can lead a valid line-format file —
+//! so consumers ask [`open_trace_file`] and get a streaming
+//! [`EventSource`] any way.
 
 use crate::binfmt::{BinTraceReader, MAGIC};
+use crate::cbp::CbpReader;
 use crate::event::TraceEvent;
 use crate::serialize::TraceReader;
 use crate::source::{EventSource, SourceError};
@@ -23,14 +26,17 @@ pub enum TraceFileFormat {
     Line,
     /// The compact binary `.stbt` format.
     Binary,
+    /// The CBP-style championship `.cbp` format.
+    Cbp,
 }
 
 impl TraceFileFormat {
     /// The conventional format for a path: `.stbt` means binary,
-    /// anything else line.
+    /// `.cbp` the championship format, anything else line.
     pub fn from_extension(path: &Path) -> TraceFileFormat {
         match path.extension().and_then(|e| e.to_str()) {
             Some("stbt") => TraceFileFormat::Binary,
+            Some("cbp") => TraceFileFormat::Cbp,
             _ => TraceFileFormat::Line,
         }
     }
@@ -41,12 +47,24 @@ impl fmt::Display for TraceFileFormat {
         f.write_str(match self {
             TraceFileFormat::Line => "line",
             TraceFileFormat::Binary => "binary",
+            TraceFileFormat::Cbp => "cbp",
         })
     }
 }
 
-/// Reads up to four leading bytes from `r` and classifies them: binary
-/// if and only if they are the full `"STBT"` magic.
+/// Classifies four leading bytes: binary for the full `"STBT"` magic,
+/// cbp for `"CBPT"`, line for everything else (including short reads).
+fn classify_magic(magic: &[u8]) -> TraceFileFormat {
+    if magic == MAGIC {
+        TraceFileFormat::Binary
+    } else if magic == crate::cbp::MAGIC {
+        TraceFileFormat::Cbp
+    } else {
+        TraceFileFormat::Line
+    }
+}
+
+/// Reads up to four leading bytes from `r` and classifies them by magic.
 fn sniff_magic<R: Read>(r: &mut R) -> std::io::Result<TraceFileFormat> {
     let mut magic = [0u8; 4];
     let mut got = 0;
@@ -57,11 +75,7 @@ fn sniff_magic<R: Read>(r: &mut R) -> std::io::Result<TraceFileFormat> {
         }
         got += n;
     }
-    Ok(if got == magic.len() && magic == MAGIC {
-        TraceFileFormat::Binary
-    } else {
-        TraceFileFormat::Line
-    })
+    Ok(classify_magic(&magic[..got]))
 }
 
 /// Sniffs a file's trace format from its leading magic bytes. Files
@@ -90,6 +104,8 @@ pub enum TraceFileSource {
     /// A binary `.stbt` file (the reader buffers internally; boxed — it
     /// carries per-thread delta state much larger than the line variant).
     Binary(Box<BinTraceReader<File>>),
+    /// A CBP-style `.cbp` file (boxed for its internal decode buffer).
+    Cbp(Box<CbpReader<File>>),
 }
 
 impl TraceFileSource {
@@ -98,6 +114,7 @@ impl TraceFileSource {
         match self {
             TraceFileSource::Line(_) => TraceFileFormat::Line,
             TraceFileSource::Binary(_) => TraceFileFormat::Binary,
+            TraceFileSource::Cbp(_) => TraceFileFormat::Cbp,
         }
     }
 }
@@ -125,6 +142,9 @@ pub fn open_trace_file(path: &Path) -> Result<TraceFileSource, SourceError> {
         TraceFileFormat::Binary => TraceFileSource::Binary(Box::new(
             BinTraceReader::new(file).map_err(|e| ctx(e.to_string()))?,
         )),
+        TraceFileFormat::Cbp => TraceFileSource::Cbp(Box::new(
+            CbpReader::new(file).map_err(|e| ctx(e.to_string()))?,
+        )),
     })
 }
 
@@ -133,6 +153,7 @@ impl EventSource for TraceFileSource {
         match self {
             TraceFileSource::Line(r) => r.name(),
             TraceFileSource::Binary(r) => r.name(),
+            TraceFileSource::Cbp(r) => r.name(),
         }
     }
 
@@ -140,6 +161,7 @@ impl EventSource for TraceFileSource {
         match self {
             TraceFileSource::Line(r) => r.thread_count(),
             TraceFileSource::Binary(r) => r.thread_count(),
+            TraceFileSource::Cbp(r) => r.thread_count(),
         }
     }
 
@@ -147,6 +169,7 @@ impl EventSource for TraceFileSource {
         match self {
             TraceFileSource::Line(r) => r.branch_hint(),
             TraceFileSource::Binary(r) => r.branch_hint(),
+            TraceFileSource::Cbp(r) => r.branch_hint(),
         }
     }
 
@@ -154,6 +177,7 @@ impl EventSource for TraceFileSource {
         match self {
             TraceFileSource::Line(r) => r.next_event(),
             TraceFileSource::Binary(r) => r.next_event(),
+            TraceFileSource::Cbp(r) => r.next_event(),
         }
     }
 
@@ -161,6 +185,7 @@ impl EventSource for TraceFileSource {
         match self {
             TraceFileSource::Line(r) => r.next_batch(buf, max),
             TraceFileSource::Binary(r) => r.next_batch(buf, max),
+            TraceFileSource::Cbp(r) => r.next_batch(buf, max),
         }
     }
 }
@@ -176,6 +201,8 @@ pub enum TraceStreamSource<R: Read> {
     /// A binary `.stbt` stream (the reader buffers internally; boxed — it
     /// carries per-thread delta state much larger than the line variant).
     Binary(Box<BinTraceReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>>>),
+    /// A CBP-style `.cbp` stream (boxed for its internal decode buffer).
+    Cbp(Box<CbpReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>>>),
 }
 
 impl<R: Read> TraceStreamSource<R> {
@@ -184,6 +211,7 @@ impl<R: Read> TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(_) => TraceFileFormat::Line,
             TraceStreamSource::Binary(_) => TraceFileFormat::Binary,
+            TraceStreamSource::Cbp(_) => TraceFileFormat::Cbp,
         }
     }
 }
@@ -214,11 +242,7 @@ pub fn open_trace_stream<R: Read>(
         }
         sniffed.push(byte[0]);
     }
-    let format = if sniffed.as_slice() == MAGIC {
-        TraceFileFormat::Binary
-    } else {
-        TraceFileFormat::Line
-    };
+    let format = classify_magic(&sniffed);
     let full = std::io::Cursor::new(sniffed).chain(r);
     Ok(match format {
         TraceFileFormat::Line => TraceStreamSource::Line(
@@ -226,6 +250,9 @@ pub fn open_trace_stream<R: Read>(
         ),
         TraceFileFormat::Binary => TraceStreamSource::Binary(Box::new(
             BinTraceReader::new(full).map_err(|e| ctx(e.to_string()))?,
+        )),
+        TraceFileFormat::Cbp => TraceStreamSource::Cbp(Box::new(
+            CbpReader::new(full).map_err(|e| ctx(e.to_string()))?,
         )),
     })
 }
@@ -235,6 +262,7 @@ impl<R: Read> EventSource for TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(r) => r.name(),
             TraceStreamSource::Binary(r) => r.name(),
+            TraceStreamSource::Cbp(r) => r.name(),
         }
     }
 
@@ -242,6 +270,7 @@ impl<R: Read> EventSource for TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(r) => r.thread_count(),
             TraceStreamSource::Binary(r) => r.thread_count(),
+            TraceStreamSource::Cbp(r) => r.thread_count(),
         }
     }
 
@@ -249,6 +278,7 @@ impl<R: Read> EventSource for TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(r) => r.branch_hint(),
             TraceStreamSource::Binary(r) => r.branch_hint(),
+            TraceStreamSource::Cbp(r) => r.branch_hint(),
         }
     }
 
@@ -256,6 +286,7 @@ impl<R: Read> EventSource for TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(r) => r.next_event(),
             TraceStreamSource::Binary(r) => r.next_event(),
+            TraceStreamSource::Cbp(r) => r.next_event(),
         }
     }
 
@@ -263,6 +294,7 @@ impl<R: Read> EventSource for TraceStreamSource<R> {
         match self {
             TraceStreamSource::Line(r) => r.next_batch(buf, max),
             TraceStreamSource::Binary(r) => r.next_batch(buf, max),
+            TraceStreamSource::Cbp(r) => r.next_batch(buf, max),
         }
     }
 }
@@ -279,6 +311,10 @@ pub enum TraceFileWriter<W: std::io::Write> {
     /// Binary `.stbt` output (boxed — the encoder's per-thread delta
     /// state dwarfs the line variant).
     Binary(Box<crate::binfmt::BinTraceWriter<W>>),
+    /// CBP-style `.cbp` output. The format carries no name or thread
+    /// count (both header arguments are discarded) and represents only
+    /// branch events — see [`crate::cbp::CbpWriter::event`].
+    Cbp(crate::cbp::CbpWriter<W>),
 }
 
 impl<W: std::io::Write> TraceFileWriter<W> {
@@ -290,6 +326,7 @@ impl<W: std::io::Write> TraceFileWriter<W> {
             TraceFileFormat::Binary => {
                 TraceFileWriter::Binary(Box::new(crate::binfmt::BinTraceWriter::new(w)))
             }
+            TraceFileFormat::Cbp => TraceFileWriter::Cbp(crate::cbp::CbpWriter::new(w)),
         }
     }
 
@@ -298,6 +335,7 @@ impl<W: std::io::Write> TraceFileWriter<W> {
         match self {
             TraceFileWriter::Line(_) => TraceFileFormat::Line,
             TraceFileWriter::Binary(_) => TraceFileFormat::Binary,
+            TraceFileWriter::Cbp(_) => TraceFileFormat::Cbp,
         }
     }
 
@@ -315,6 +353,7 @@ impl<W: std::io::Write> TraceFileWriter<W> {
         match self {
             TraceFileWriter::Line(w) => w.header(name, branches, threads),
             TraceFileWriter::Binary(w) => w.header(name, branches, threads),
+            TraceFileWriter::Cbp(w) => w.header(branches),
         }
     }
 
@@ -327,6 +366,7 @@ impl<W: std::io::Write> TraceFileWriter<W> {
         match self {
             TraceFileWriter::Line(w) => w.event(ev),
             TraceFileWriter::Binary(w) => w.event(ev),
+            TraceFileWriter::Cbp(w) => w.event(ev),
         }
     }
 
@@ -339,6 +379,7 @@ impl<W: std::io::Write> TraceFileWriter<W> {
         match self {
             TraceFileWriter::Line(w) => w.flush(),
             TraceFileWriter::Binary(w) => w.flush(),
+            TraceFileWriter::Cbp(w) => w.flush(),
         }
     }
 }
@@ -456,6 +497,51 @@ mod tests {
         // Errors carry the label instead of a path.
         let bad = b"STBT\xff\xff garbage";
         let e = open_trace_stream(&bad[..], "<stdin>")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("<stdin>"), "{e}");
+    }
+
+    #[test]
+    fn cbp_files_and_streams_are_detected_and_decoded() {
+        use crate::cbp::write_cbp_trace;
+        let t = TraceGenerator::new(&WorkloadProfile::test_profile(), 6).generate(250);
+        let mut bytes = Vec::new();
+        write_cbp_trace(&t, &mut bytes).unwrap();
+        let p = scratch("t.cbp");
+        std::fs::write(&p, &bytes).unwrap();
+
+        assert_eq!(
+            TraceFileFormat::from_extension(Path::new("cap.cbp")),
+            TraceFileFormat::Cbp
+        );
+        assert_eq!(detect_format(&p).unwrap(), TraceFileFormat::Cbp);
+        let mut src = open_trace_file(&p).unwrap();
+        assert_eq!(src.format(), TraceFileFormat::Cbp);
+        assert_eq!(src.branch_hint(), Some(250));
+        assert_eq!(src.thread_count(), 1);
+        let file_t = src.collect_trace().unwrap();
+        assert_eq!(file_t.branch_count(), 250);
+
+        let mut stream = open_trace_stream(bytes.as_slice(), "<stdin>").unwrap();
+        assert_eq!(stream.format(), TraceFileFormat::Cbp);
+        assert_eq!(stream.collect_trace().unwrap().events(), file_t.events());
+
+        // The format writer wrapper produces the same bytes.
+        let mut buf = Vec::new();
+        let mut w = TraceFileWriter::new(TraceFileFormat::Cbp, &mut buf);
+        assert_eq!(w.format(), TraceFileFormat::Cbp);
+        w.header(&t.name, Some(t.branch_count() as u64), t.thread_count())
+            .unwrap();
+        for ev in t.events() {
+            w.event(ev).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(buf, bytes);
+
+        // A cbp header with drifted bytes fails with the stream label.
+        let e = open_trace_stream(&b"CBPT\x09\x00\x00\x00"[..], "<stdin>")
             .map(|_| ())
             .unwrap_err();
         assert!(e.to_string().contains("<stdin>"), "{e}");

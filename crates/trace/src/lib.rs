@@ -30,7 +30,8 @@
 //!   O(1) memory (10M+ branch runs never build a vector),
 //!   [`serialize::TraceReader`] streams the line-format file format,
 //!   [`binfmt::BinTraceReader`] streams the compact binary `.stbt`
-//!   format, and [`open_trace_file`] picks between the two by magic.
+//!   format, [`cbp::CbpReader`] streams CBP-style championship `.cbp`
+//!   captures, and [`open_trace_file`] picks among them by magic.
 //!
 //! # Example
 //!
@@ -52,6 +53,7 @@
 
 pub mod bbv;
 pub mod binfmt;
+pub mod cbp;
 mod event;
 mod file;
 mod generator;
@@ -61,6 +63,7 @@ pub mod serialize;
 mod source;
 
 pub use bbv::{extract_bbv, BbvProfile, SliceProfile, DEFAULT_SLICE_BRANCHES};
+pub use cbp::{read_cbp_trace, write_cbp_trace, CbpError, CbpReader, CbpWriter};
 pub use event::{Trace, TraceEvent};
 pub use file::{
     detect_format, open_trace_file, open_trace_stream, TraceFileFormat, TraceFileSource,

@@ -1,0 +1,144 @@
+//! Property tests for the CBP-style trace frontend: semantic round trips
+//! through `.stbt`, byte-identical re-emission, and total decoding under
+//! arbitrary truncation and corruption.
+
+use proptest::prelude::*;
+use stbpu_trace::binfmt::{read_bin_trace, write_bin_trace};
+use stbpu_trace::cbp::{read_cbp_trace, write_cbp_trace, CbpReader};
+use stbpu_trace::{EventSource, TraceEvent};
+
+const HEADER_LEN: usize = 16;
+const RECORD_LEN: usize = 18;
+const VA_MASK: u64 = (1u64 << 48) - 1;
+
+/// One syntactically valid record: 48-bit addresses, type 0..=5, taken
+/// forced to 1 for unconditional types.
+fn arb_record() -> impl Strategy<Value = (u64, u8, u8, u64)> {
+    (any::<u64>(), 0u8..=5, any::<bool>(), any::<u64>()).prop_map(|(pc, ty, taken, target)| {
+        let taken = if ty == 0 { u8::from(taken) } else { 1 };
+        (pc & VA_MASK, ty, taken, target & VA_MASK)
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u8, u8, u64)>> {
+    proptest::collection::vec(arb_record(), 0..80)
+}
+
+/// Serializes records as a valid `.cbp` byte stream (count flag set).
+fn encode(records: &[(u64, u8, u8, u64)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + records.len() * RECORD_LEN);
+    bytes.extend_from_slice(b"CBPT");
+    bytes.extend_from_slice(&1u16.to_le_bytes());
+    bytes.extend_from_slice(&1u16.to_le_bytes());
+    bytes.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for &(pc, ty, taken, target) in records {
+        bytes.extend_from_slice(&pc.to_le_bytes());
+        bytes.push(ty);
+        bytes.push(taken);
+        bytes.extend_from_slice(&target.to_le_bytes());
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// cbp → `.stbt` → cbp reproduces any valid `.cbp` stream
+    /// byte-for-byte, and the decoded fields match the encoded ones.
+    #[test]
+    fn cbp_stbt_cbp_round_trip_is_byte_identical(records in arb_stream()) {
+        let bytes = encode(&records);
+        let decoded = read_cbp_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(decoded.branch_count(), records.len());
+        for ((_, rec), &(pc, ty, taken, target)) in decoded.branches().zip(records.iter()) {
+            prop_assert_eq!(rec.pc.raw(), pc);
+            prop_assert_eq!(u8::from(rec.taken), taken);
+            prop_assert_eq!(rec.target.raw(), target);
+            let _ = ty;
+        }
+
+        let mut stbt = Vec::new();
+        write_bin_trace(&decoded, &mut stbt).unwrap();
+        let back = read_bin_trace(stbt.as_slice()).unwrap();
+        prop_assert_eq!(back.events(), decoded.events());
+
+        let mut again = Vec::new();
+        write_cbp_trace(&back, &mut again).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// Cutting a valid stream at an arbitrary byte either decodes a
+    /// prefix (cut on a record boundary) or yields a positioned error
+    /// naming the cut — never a panic, never garbage records.
+    #[test]
+    fn arbitrary_truncation_yields_positioned_error(
+        records in arb_stream(),
+        frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode(&records);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let prefix = &bytes[..cut];
+        if cut < HEADER_LEN {
+            let e = CbpReader::new(prefix).map(|_| ()).unwrap_err();
+            prop_assert_eq!(e.record(), 0);
+            prop_assert!(e.offset() <= cut as u64);
+        } else {
+            let body = cut - HEADER_LEN;
+            let whole = body / RECORD_LEN;
+            let mut src = CbpReader::new(prefix).unwrap();
+            for _ in 0..whole {
+                prop_assert!(src.next_record().unwrap().is_some());
+            }
+            if body.is_multiple_of(RECORD_LEN) {
+                prop_assert!(src.next_record().unwrap().is_none());
+            } else {
+                let e = src.next_record().map(|_| ()).unwrap_err();
+                prop_assert_eq!(e.offset(), (HEADER_LEN + whole * RECORD_LEN) as u64);
+                prop_assert_eq!(e.record(), whole as u64 + 1);
+                prop_assert!(e.message().contains("truncated record"), "{}", e);
+            }
+        }
+    }
+
+    /// Flipping one byte anywhere in a valid stream decodes totally:
+    /// either the stream still parses or the error points inside it.
+    #[test]
+    fn single_byte_corruption_decodes_totally(
+        records in arb_stream(),
+        frac in 0.0f64..1.0,
+        patch in any::<u8>(),
+    ) {
+        let mut bytes = encode(&records);
+        let pos = ((bytes.len() as f64) * frac) as usize % bytes.len().max(1);
+        if let Some(b) = bytes.get_mut(pos) {
+            *b ^= patch | 1; // guarantee the byte actually changes
+        }
+        match read_cbp_trace(bytes.as_slice()) {
+            Ok(t) => prop_assert!(t.branch_count() <= records.len()),
+            Err(e) => prop_assert!(e.offset() <= bytes.len() as u64, "{}", e),
+        }
+    }
+
+    /// Completely arbitrary bytes never panic the reader — decoding is
+    /// total, including the batched path.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        match CbpReader::new(bytes.as_slice()) {
+            Ok(mut src) => {
+                let mut buf = Vec::new();
+                loop {
+                    match src.next_batch(&mut buf, 64) {
+                        Ok(0) => break,
+                        Ok(_) => {
+                            for ev in &buf {
+                                prop_assert!(matches!(ev, TraceEvent::Branch { tid: 0, .. }));
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(e) => prop_assert_eq!(e.record(), 0),
+        }
+    }
+}
